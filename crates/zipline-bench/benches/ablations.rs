@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * Hamming parameter `m` — per-chunk transform cost as the deviation width
+//!   grows (the compression-ratio side of this ablation is printed by
+//!   `cargo run -p zipline-bench --bin ablations`);
+//! * identifier width — dictionary behaviour under different capacities;
+//! * eviction policy — LRU (the paper's choice) vs FIFO;
+//! * CRC implementation — bit-serial vs table-driven (also covered by
+//!   `crc_hamming`, repeated here over whole chunks for the ablation record).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use zipline_gd::bits::BitVec;
+use zipline_gd::codec::ChunkCodec;
+use zipline_gd::crc::CrcEngine;
+use zipline_gd::dictionary::{BasisDictionary, EvictionPolicy};
+use zipline_gd::hamming::HammingCode;
+use zipline_gd::GdConfig;
+
+fn bench_hamming_parameter_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hamming_parameter");
+    for m in [3u32, 5, 8, 10, 12] {
+        let config = GdConfig::for_parameters(m, 15).unwrap();
+        let codec = ChunkCodec::new(&config).unwrap();
+        let chunk: Vec<u8> =
+            (0..config.chunk_bytes).map(|i| (i as u8).wrapping_mul(73).wrapping_add(5)).collect();
+        group.throughput(Throughput::Bytes(config.chunk_bytes as u64));
+        group.bench_with_input(BenchmarkId::new("encode_chunk_m", m), &m, |b, _| {
+            b.iter(|| black_box(codec.encode_chunk(black_box(&chunk)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dictionary_capacity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_identifier_width");
+    for id_bits in [7u32, 15, 20] {
+        let mut dictionary = BasisDictionary::with_id_bits(id_bits);
+        // Pre-fill to capacity so lookups and inserts run in steady state.
+        for i in 0..dictionary.capacity() as u64 {
+            dictionary.insert(BitVec::from_u64(i, 40), i).unwrap();
+        }
+        let present = BitVec::from_u64(17, 40);
+        group.bench_with_input(BenchmarkId::new("lookup_hit", id_bits), &id_bits, |b, _| {
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 1;
+                black_box(dictionary.lookup_basis(black_box(&present), now, true))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("insert_with_eviction", id_bits), &id_bits, |b, _| {
+            let mut now = u64::MAX / 2;
+            b.iter(|| {
+                now += 1;
+                black_box(dictionary.insert(BitVec::from_u64(now, 40), now).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eviction_policy");
+    for (label, policy) in [("lru", EvictionPolicy::Lru), ("fifo", EvictionPolicy::Fifo)] {
+        group.bench_function(BenchmarkId::new("churn", label), |b| {
+            b.iter(|| {
+                let mut dictionary = BasisDictionary::with_policy(256, policy, None);
+                for i in 0..2_000u64 {
+                    dictionary.insert(BitVec::from_u64(i % 512, 32), i).unwrap();
+                }
+                black_box(dictionary.evictions())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc_implementation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_crc_implementation");
+    let code = HammingCode::new(8).unwrap();
+    let engine: &CrcEngine = code.crc();
+    let chunk: Vec<u8> = (0..255).map(|i| (i as u8).wrapping_mul(29)).collect();
+    let bits = BitVec::from_bytes(&chunk);
+    group.throughput(Throughput::Bytes(chunk.len() as u64));
+    group.bench_function("bit_serial_255B", |b| {
+        b.iter(|| black_box(engine.compute_bits_serial(black_box(&bits))))
+    });
+    group.bench_function("table_driven_255B", |b| {
+        b.iter(|| black_box(engine.compute_bytes(black_box(&chunk))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hamming_parameter_sweep,
+    bench_dictionary_capacity_sweep,
+    bench_eviction_policy,
+    bench_crc_implementation
+);
+criterion_main!(benches);

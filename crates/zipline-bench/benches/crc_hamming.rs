@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the GD building blocks: CRC computation (bit-serial
+//! vs table-driven), Hamming syndrome/encode, and the full chunk transform.
+//!
+//! These correspond to the per-packet work the Tofino data plane does in
+//! hardware; in the simulator they dominate the software packet rate
+//! reported by the `switch_throughput` bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use zipline_gd::bits::BitVec;
+use zipline_gd::codec::ChunkCodec;
+use zipline_gd::crc::{CrcEngine, CrcSpec};
+use zipline_gd::hamming::HammingCode;
+use zipline_gd::transform::HammingTransform;
+use zipline_gd::GdConfig;
+
+fn chunk_bytes(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)).collect()
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc8_over_32B_chunk");
+    group.throughput(Throughput::Bytes(32));
+    let engine = CrcEngine::new(CrcSpec::new(8, 0x1D).unwrap());
+    let bytes = chunk_bytes(32);
+    let bits = BitVec::from_bytes(&bytes);
+
+    group.bench_function("bit_serial", |b| {
+        b.iter(|| black_box(engine.compute_bits_serial(black_box(&bits))))
+    });
+    group.bench_function("table_driven", |b| {
+        b.iter(|| black_box(engine.compute_bytes(black_box(&bytes))))
+    });
+    group.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming_255_247");
+    let code = HammingCode::new(8).unwrap();
+    let word = BitVec::from_bytes(&chunk_bytes(32)).slice(0..255);
+    let message = word.slice(8..255);
+
+    group.bench_function("syndrome", |b| {
+        b.iter(|| black_box(code.syndrome(black_box(&word)).unwrap()))
+    });
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(code.encode(black_box(&message)).unwrap()))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(code.decode(black_box(&word)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gd_transform");
+    for m in [3u32, 8, 11] {
+        let transform = HammingTransform::new(m).unwrap();
+        let n = transform.chunk_bits();
+        let chunk: BitVec = (0..n).map(|i| i % 3 == 0).collect();
+        let deconstructed = transform.deconstruct(&chunk).unwrap();
+        group.bench_with_input(BenchmarkId::new("deconstruct", m), &m, |b, _| {
+            b.iter(|| black_box(transform.deconstruct(black_box(&chunk)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("reconstruct", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    transform
+                        .reconstruct(black_box(&deconstructed.basis), deconstructed.deviation)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunk_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk_codec_paper_params");
+    group.throughput(Throughput::Bytes(32));
+    let codec = ChunkCodec::new(&GdConfig::paper_default()).unwrap();
+    let chunk = chunk_bytes(32);
+    let encoded = codec.encode_chunk(&chunk).unwrap();
+    group.bench_function("encode_chunk", |b| {
+        b.iter(|| black_box(codec.encode_chunk(black_box(&chunk)).unwrap()))
+    });
+    group.bench_function("decode_chunk", |b| {
+        b.iter(|| black_box(codec.decode_chunk(black_box(&encoded)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_hamming, bench_transform, bench_chunk_codec);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Baseline benches: throughput of the from-scratch DEFLATE/gzip
+//! implementation used as the Figure 3 comparison point, at each level and
+//! on both evaluation workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use zipline_deflate::Level;
+use zipline_traces::dns::{DnsWorkload, DnsWorkloadConfig};
+use zipline_traces::sensor::{SensorWorkload, SensorWorkloadConfig};
+use zipline_traces::ChunkWorkload;
+
+fn dataset(workload: &dyn ChunkWorkload) -> Vec<u8> {
+    let mut file = Vec::new();
+    for chunk in workload.chunks() {
+        file.extend_from_slice(&chunk);
+    }
+    file
+}
+
+fn bench_gzip_levels(c: &mut Criterion) {
+    let sensor = dataset(&SensorWorkload::new(SensorWorkloadConfig {
+        chunks: 8_000,
+        sensors: 64,
+        readings_per_sensor: 5,
+        ..SensorWorkloadConfig::paper_scale()
+    }));
+    let dns = dataset(&DnsWorkload::new(DnsWorkloadConfig {
+        queries: 8_000,
+        distinct_names: 500,
+        ..DnsWorkloadConfig::small()
+    }));
+
+    for (name, data) in [("sensor", &sensor), ("dns", &dns)] {
+        let mut group = c.benchmark_group(format!("gzip_baseline_{name}"));
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.sample_size(20);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            group.bench_with_input(
+                BenchmarkId::new("compress", format!("{level:?}")),
+                &level,
+                |b, &level| b.iter(|| black_box(zipline_deflate::gzip_compress(black_box(data), level))),
+            );
+        }
+        let compressed = zipline_deflate::gzip_compress(data, Level::Default);
+        group.bench_function("decompress_default", |b| {
+            b.iter(|| black_box(zipline_deflate::gzip_decompress(black_box(&compressed)).unwrap()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_gzip_levels);
+criterion_main!(benches);

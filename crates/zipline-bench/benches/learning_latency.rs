@@ -1,0 +1,39 @@
+//! Dynamic-learning counterpart bench: cost of one learning-delay repetition
+//! in the simulator, and the scaling of the measured delay with the
+//! configured control-plane latency (the knob the paper's 1.77 ms hangs on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zipline::experiment::learning::{run_learning_experiment, LearningExperimentConfig};
+use zipline_net::time::SimDuration;
+
+fn bench_learning_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_learning_measurement");
+    group.sample_size(10);
+    for latency_us in [20u64, 200, 590] {
+        let config = LearningExperimentConfig {
+            control_plane_latency: SimDuration::from_micros(latency_us),
+            repetitions: 1,
+            packets_per_second: 1_000_000.0,
+            packets_per_repetition: (latency_us * 5).max(500),
+            ..LearningExperimentConfig::paper_default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("control_plane_latency_us", latency_us),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let result = run_learning_experiment(black_box(config)).unwrap();
+                    // The measured delay must scale with the control-plane
+                    // latency (three traversals), or the model is broken.
+                    assert!(result.mean_delay.as_nanos() >= 3 * latency_us * 1_000);
+                    black_box(result.mean_delay)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning_run);
+criterion_main!(benches);

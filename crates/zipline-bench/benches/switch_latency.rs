@@ -1,0 +1,43 @@
+//! Figure 5 counterpart bench: cost of the RTT measurement itself, plus the
+//! pure in-simulator forwarding latency of one probe for each switch
+//! operation (which is what the figure compares).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zipline::experiment::latency::{run_one, LatencyExperimentConfig};
+use zipline::experiment::throughput::SwitchOperation;
+
+fn bench_latency_experiment(c: &mut Criterion) {
+    let config = LatencyExperimentConfig {
+        probes: 10,
+        ..LatencyExperimentConfig::paper_default()
+    };
+    let mut group = c.benchmark_group("figure5_rtt_measurement");
+    group.sample_size(20);
+    for op in SwitchOperation::all() {
+        group.bench_with_input(BenchmarkId::new("op", op.label()), &op, |b, &op| {
+            b.iter(|| black_box(run_one(&config, op).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reported_rtts_are_equal(c: &mut Criterion) {
+    // Not a timing bench per se: asserts (under criterion's repeated
+    // execution) that the three operations keep reporting identical
+    // simulated RTTs, the Figure 5 claim.
+    let config = LatencyExperimentConfig::paper_default();
+    c.bench_function("figure5_invariance_check", |b| {
+        b.iter(|| {
+            let noop = run_one(&config, SwitchOperation::NoOp).unwrap().mean_rtt;
+            let encode = run_one(&config, SwitchOperation::Encode).unwrap().mean_rtt;
+            let decode = run_one(&config, SwitchOperation::Decode).unwrap().mean_rtt;
+            assert_eq!(noop, encode);
+            assert_eq!(noop, decode);
+            black_box((noop, encode, decode))
+        })
+    });
+}
+
+criterion_group!(benches, bench_latency_experiment, bench_reported_rtts_are_equal);
+criterion_main!(benches);

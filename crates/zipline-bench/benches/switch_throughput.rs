@@ -1,0 +1,94 @@
+//! Figure 4 counterpart bench: software packet-processing rate of the switch
+//! programs.
+//!
+//! On the hardware target the forwarding rate is the port line rate
+//! regardless of the program (the figure's point); in this reproduction the
+//! analogous measurement is the per-packet processing cost of the three
+//! programs, which determines how fast the discrete-event simulation can
+//! replay traces. The bar to watch is that encode/decode stay within a small
+//! factor of plain forwarding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use zipline::decoder::{DecoderConfig, ZipLineDecodeProgram};
+use zipline::encoder::{EncoderConfig, ZipLineEncodeProgram};
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::mac::MacAddress;
+use zipline_net::time::SimTime;
+use zipline_switch::packet_ctx::PacketContext;
+use zipline_switch::program::{L2ForwardingProgram, PipelineProgram};
+
+fn raw_frame(wire_size: usize) -> EthernetFrame {
+    EthernetFrame::test_frame(MacAddress::local(2), MacAddress::local(1), wire_size, 0xA5)
+}
+
+fn bench_per_packet_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_program_per_packet");
+    group.throughput(Throughput::Elements(1));
+
+    for &size in &[64usize, 1500, 9000] {
+        let frame = raw_frame(size);
+
+        // No op.
+        let mut noop = L2ForwardingProgram::two_port_wire();
+        group.bench_with_input(BenchmarkId::new("noop", size), &size, |b, _| {
+            b.iter(|| {
+                let mut ctx = PacketContext::new(0, black_box(frame.clone()));
+                noop.ingress(&mut ctx, SimTime::ZERO);
+                black_box(ctx.egress_port)
+            })
+        });
+
+        // Encode.
+        let mut encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+        encoder.preload_static_table(std::iter::once(frame.payload.clone())).unwrap();
+        group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
+            b.iter(|| {
+                let mut ctx = PacketContext::new(0, black_box(frame.clone()));
+                encoder.ingress(&mut ctx, SimTime::ZERO);
+                black_box(ctx.frame.payload.len())
+            })
+        });
+
+        // Decode (of the frame the encoder produced).
+        let encoded_frame = {
+            let mut ctx = PacketContext::new(0, frame.clone());
+            encoder.ingress(&mut ctx, SimTime::ZERO);
+            ctx.frame
+        };
+        let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+        for (id, basis) in encoder.control_plane().dictionary().iter() {
+            decoder.install_mapping(id, basis.to_bytes(), SimTime::ZERO).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
+            b.iter(|| {
+                let mut ctx = PacketContext::new(0, black_box(encoded_frame.clone()));
+                decoder.ingress(&mut ctx, SimTime::ZERO);
+                black_box(ctx.frame.payload.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_simulation_rate(c: &mut Criterion) {
+    // Whole Figure 4 cell (generator + switch + capture in the DES), to track
+    // the cost of regenerating the figure.
+    use zipline::experiment::throughput::{run_one, SwitchOperation, ThroughputExperimentConfig};
+    let config = ThroughputExperimentConfig {
+        frames_per_run: 5_000,
+        ..ThroughputExperimentConfig::paper_default()
+    };
+    let mut group = c.benchmark_group("figure4_single_cell_simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(config.frames_per_run));
+    for op in SwitchOperation::all() {
+        group.bench_with_input(BenchmarkId::new("op", op.label()), &op, |b, &op| {
+            b.iter(|| black_box(run_one(&config, op, 1500).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_packet_processing, bench_end_to_end_simulation_rate);
+criterion_main!(benches);

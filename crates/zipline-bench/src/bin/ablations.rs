@@ -1,0 +1,165 @@
+//! Ablation study over the design choices DESIGN.md calls out: the Hamming
+//! parameter `m`, the identifier width, the control-plane learning latency
+//! and the eviction policy. Prints compression-ratio tables in the style of
+//! Figure 3 so the trade-offs are directly comparable with the paper's
+//! chosen operating point (m = 8, 15-bit identifiers, ~1.77 ms learning).
+//!
+//! ```sh
+//! cargo run --release -p zipline-bench --bin ablations
+//! ```
+
+use zipline_bench::print_header;
+use zipline::experiment::compression::{
+    run_compression_experiment, CompressionExperimentConfig, CompressionMode,
+};
+use zipline_gd::codec::ChunkCodec;
+use zipline_gd::dictionary::{BasisDictionary, EvictionPolicy};
+use zipline_gd::GdConfig;
+use zipline_net::time::SimDuration;
+use zipline_traces::sensor::{SensorWorkload, SensorWorkloadConfig};
+use zipline_traces::ChunkWorkload;
+
+fn workload(canonical_m: u32) -> SensorWorkload {
+    SensorWorkload::new(SensorWorkloadConfig {
+        chunks: 40_000,
+        sensors: 128,
+        readings_per_sensor: 5,
+        canonical_m: Some(canonical_m),
+        ..SensorWorkloadConfig::paper_scale()
+    })
+}
+
+/// Sweep of the Hamming parameter m: smaller m means a larger share of every
+/// chunk is carried verbatim (worse ratio), larger m means fewer, longer
+/// chunks per packet.
+fn ablation_m() {
+    print_header("Ablation 1 — Hamming parameter m (static-table ratio, 32-byte payload chunks)");
+    println!("{:>4} {:>8} {:>8} {:>12} {:>16} {:>12}", "m", "n", "k", "chunk [B]", "type-3 size [B]", "ratio");
+    for m in [4u32, 6, 8, 10, 12] {
+        // Keep 32-byte payloads; chunks larger than the payload are skipped.
+        let config = GdConfig::for_parameters(m, 15).unwrap();
+        if config.chunk_bytes > 32 {
+            println!("{m:>4} {:>8} {:>8} {:>12} {:>16} {:>12}", config.n(), config.k(), config.chunk_bytes, "-", "payload too small");
+            continue;
+        }
+        // With a static table the whole payload compresses to: one type-3
+        // header per chunk plus the payload bytes not covered by chunks.
+        let chunks_per_payload = 32 / config.chunk_bytes;
+        let leftover = 32 - chunks_per_payload * config.chunk_bytes;
+        let compressed = chunks_per_payload * config.compressed_payload_bytes() + leftover;
+        println!(
+            "{m:>4} {:>8} {:>8} {:>12} {:>16} {:>12.3}",
+            config.n(),
+            config.k(),
+            config.chunk_bytes,
+            compressed,
+            compressed as f64 / 32.0
+        );
+    }
+    println!("(the paper picks m = 8: the largest multiple of 8 that fits the hardware)\n");
+}
+
+/// Sweep of the identifier width: how many bases fit before eviction starts
+/// hurting, measured on a workload with ~640 distinct bases.
+fn ablation_id_bits() {
+    print_header("Ablation 2 — identifier width (dictionary capacity vs distinct bases)");
+    let workload = workload(8);
+    let distinct = workload.config().distinct_patterns();
+    println!("workload: {} chunks, {} distinct bases", workload.total_chunks(), distinct);
+    println!("{:>8} {:>10} {:>14} {:>10}", "id bits", "capacity", "evictions", "hit rate");
+    for id_bits in [7u32, 9, 11, 15] {
+        let config = GdConfig { id_bits, ..GdConfig::paper_default() };
+        let codec = ChunkCodec::new(&config).unwrap();
+        let mut dictionary = BasisDictionary::with_id_bits(id_bits);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut clock = 0u64;
+        for chunk in workload.chunks() {
+            clock += 1;
+            let basis = codec.encode_chunk(&chunk).unwrap().basis;
+            if dictionary.lookup_basis(&basis, clock, true).is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+                dictionary.insert(basis, clock).unwrap();
+            }
+        }
+        println!(
+            "{:>8} {:>10} {:>14} {:>9.1}%",
+            id_bits,
+            dictionary.capacity(),
+            dictionary.evictions(),
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+    println!("(the paper picks 15 bits = 32 768 cached bases, one below a byte multiple)\n");
+}
+
+/// Sweep of the control-plane learning latency: the dynamic-learning ratio
+/// degrades as the control plane slows down — the trade-off behind the
+/// paper's decision to move basis management off the data plane.
+fn ablation_learning_latency() {
+    print_header("Ablation 3 — control-plane learning latency (dynamic-learning ratio)");
+    let workload = workload(8);
+    println!("{:>22} {:>12} {:>14}", "per-switch latency", "ratio", "uncompressed");
+    for latency_us in [0u64, 50, 590, 2_000] {
+        let mut config = CompressionExperimentConfig::paper_default();
+        config.deployment.control_plane_latency = SimDuration::from_micros(latency_us);
+        config.deployment.max_packets_per_second = Some(250_000.0);
+        let results =
+            run_compression_experiment(&workload, &[CompressionMode::DynamicLearning], &config)
+                .unwrap();
+        let r = &results[0];
+        println!(
+            "{:>19} µs {:>12.3} {:>14}",
+            latency_us, r.ratio, r.uncompressed_chunks
+        );
+    }
+    println!("(0 µs approximates the abandoned all-data-plane design; 590 µs × 3 hops ≈ the paper's 1.77 ms)\n");
+}
+
+/// LRU vs FIFO identifier recycling on a working set slightly larger than
+/// the dictionary.
+fn ablation_eviction_policy() {
+    print_header("Ablation 4 — eviction policy under dictionary pressure");
+    let workload = SensorWorkload::new(SensorWorkloadConfig {
+        chunks: 40_000,
+        sensors: 96,
+        readings_per_sensor: 6, // 576 bases
+        ..SensorWorkloadConfig::paper_scale()
+    });
+    let config = GdConfig::paper_default();
+    let codec = ChunkCodec::new(&config).unwrap();
+    println!("workload: {} distinct bases, dictionary capacity 512", workload.config().distinct_patterns());
+    println!("{:>8} {:>14} {:>10}", "policy", "evictions", "hit rate");
+    for (label, policy) in [("LRU", EvictionPolicy::Lru), ("FIFO", EvictionPolicy::Fifo)] {
+        let mut dictionary = BasisDictionary::with_policy(512, policy, None);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut clock = 0u64;
+        for chunk in workload.chunks() {
+            clock += 1;
+            let basis = codec.encode_chunk(&chunk).unwrap().basis;
+            if dictionary.lookup_basis(&basis, clock, true).is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+                dictionary.insert(basis, clock).unwrap();
+            }
+        }
+        println!(
+            "{:>8} {:>14} {:>9.1}%",
+            label,
+            dictionary.evictions(),
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+    println!("(the paper uses LRU, implemented with TNA's per-entry TTLs)");
+}
+
+fn main() {
+    ablation_m();
+    ablation_id_bits();
+    ablation_learning_latency();
+    ablation_eviction_policy();
+}

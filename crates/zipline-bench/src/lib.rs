@@ -1,0 +1,49 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see EXPERIMENTS.md at the repository root for the index and
+//! the paper-vs-measured record). The helpers here are just formatting and
+//! argument plumbing so the binaries stay small and uniform.
+
+/// Prints a section header in the style used by all harness binaries.
+pub fn print_header(title: &str) {
+    println!("{}", "=".repeat(title.len().max(20)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(20)));
+}
+
+/// Prints a `paper vs measured` line, used to make the comparison explicit
+/// in every harness binary's output.
+pub fn print_comparison(label: &str, paper: &str, measured: &str) {
+    println!("{label:<42} paper: {paper:<18} measured: {measured}");
+}
+
+/// True when `--full` was passed: run the experiment at the paper's full
+/// scale rather than the quick default.
+pub fn full_scale_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Formats a byte count like the figure axes (MB with two decimals).
+pub fn format_mb(bytes: u64) -> String {
+    format!("{:.2} MB", bytes as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_mb_matches_figure_axis_style() {
+        assert_eq!(format_mb(0), "0.00 MB");
+        assert_eq!(format_mb(25_000_000), "25.00 MB");
+        assert_eq!(format_mb(99_968_000), "99.97 MB");
+    }
+
+    #[test]
+    fn helpers_do_not_panic() {
+        print_header("test");
+        print_comparison("ratio", "0.09", "0.094");
+        let _ = full_scale_requested();
+    }
+}

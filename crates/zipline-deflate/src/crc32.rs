@@ -1,0 +1,93 @@
+//! CRC-32 (IEEE 802.3, reflected) as used by the gzip trailer.
+//!
+//! This is the conventional byte-reflected CRC-32 with polynomial
+//! `0xEDB88320`, initial value `0xFFFFFFFF` and final inversion — distinct
+//! from the non-reflected, non-premultiplied CRC convention the GD transform
+//! uses (`zipline-gd`).
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+/// 256-entry lookup table for the reflected polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh CRC-32 state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        for &b in data {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ table[idx];
+        }
+    }
+
+    /// Finishes and returns the CRC value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(13) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn default_is_fresh_state() {
+        let c: Crc32 = Default::default();
+        assert_eq!(c.finalize(), crc32(b""));
+    }
+}

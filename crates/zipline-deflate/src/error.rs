@@ -1,0 +1,48 @@
+//! Error type for DEFLATE / gzip decoding.
+
+use std::fmt;
+
+/// Errors produced while decoding DEFLATE or gzip streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeflateError {
+    /// The input ended before the stream was complete.
+    UnexpectedEof,
+    /// A block header, Huffman code or back-reference is invalid.
+    Corrupt(String),
+    /// The gzip container header is invalid or uses unsupported features.
+    BadGzipHeader(String),
+    /// The gzip CRC-32 or size trailer does not match the decompressed data.
+    ChecksumMismatch { expected: u32, actual: u32 },
+}
+
+impl fmt::Display for DeflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeflateError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DeflateError::Corrupt(msg) => write!(f, "corrupt DEFLATE stream: {msg}"),
+            DeflateError::BadGzipHeader(msg) => write!(f, "bad gzip header: {msg}"),
+            DeflateError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeflateError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DeflateError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(DeflateError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert!(DeflateError::Corrupt("bad code".into()).to_string().contains("bad code"));
+        assert!(DeflateError::BadGzipHeader("magic".into()).to_string().contains("magic"));
+        let e = DeflateError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("0x00000001"));
+    }
+}

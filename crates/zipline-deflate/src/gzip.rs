@@ -1,0 +1,230 @@
+//! The gzip container (RFC 1952).
+//!
+//! The paper's Figure 3 baseline "extract[s] all payloads in a regular file
+//! that we compress with the gzip compression tool"; this module provides the
+//! same end-to-end format: a 10-byte header, a DEFLATE stream, and a trailer
+//! with CRC-32 and the uncompressed length modulo 2³².
+
+use crate::crc32::crc32;
+use crate::deflate::{deflate_compress, Level};
+use crate::error::{DeflateError, Result};
+use crate::inflate::inflate_with_consumed;
+
+/// gzip magic bytes.
+const MAGIC: [u8; 2] = [0x1F, 0x8B];
+/// Compression method 8 = DEFLATE.
+const CM_DEFLATE: u8 = 8;
+
+/// Header flag bits (RFC 1952 §2.3.1).
+const FTEXT: u8 = 1 << 0;
+const FHCRC: u8 = 1 << 1;
+const FEXTRA: u8 = 1 << 2;
+const FNAME: u8 = 1 << 3;
+const FCOMMENT: u8 = 1 << 4;
+
+/// Compresses `data` into a single-member gzip file.
+pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    out.extend_from_slice(&MAGIC);
+    out.push(CM_DEFLATE);
+    out.push(0); // FLG: no optional fields
+    out.extend_from_slice(&0u32.to_le_bytes()); // MTIME unknown
+    out.push(match level {
+        Level::Best => 2,
+        Level::Fast | Level::Store => 4,
+        Level::Default => 0,
+    }); // XFL
+    out.push(255); // OS = unknown
+    out.extend_from_slice(&deflate_compress(data, level));
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompresses a single-member gzip file, verifying the CRC-32 and length
+/// trailer.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let body_offset = parse_header(data)?;
+    let (out, consumed) = inflate_with_consumed(&data[body_offset..])?;
+    let trailer_offset = body_offset + consumed;
+    if data.len() < trailer_offset + 8 {
+        return Err(DeflateError::UnexpectedEof);
+    }
+    let expected_crc = u32::from_le_bytes([
+        data[trailer_offset],
+        data[trailer_offset + 1],
+        data[trailer_offset + 2],
+        data[trailer_offset + 3],
+    ]);
+    let expected_len = u32::from_le_bytes([
+        data[trailer_offset + 4],
+        data[trailer_offset + 5],
+        data[trailer_offset + 6],
+        data[trailer_offset + 7],
+    ]);
+    let actual_crc = crc32(&out);
+    if actual_crc != expected_crc {
+        return Err(DeflateError::ChecksumMismatch { expected: expected_crc, actual: actual_crc });
+    }
+    if expected_len != out.len() as u32 {
+        return Err(DeflateError::Corrupt(format!(
+            "ISIZE mismatch: header says {expected_len}, got {}",
+            out.len() as u32
+        )));
+    }
+    Ok(out)
+}
+
+/// Parses the gzip header and returns the offset of the DEFLATE body.
+fn parse_header(data: &[u8]) -> Result<usize> {
+    if data.len() < 10 {
+        return Err(DeflateError::UnexpectedEof);
+    }
+    if data[0..2] != MAGIC {
+        return Err(DeflateError::BadGzipHeader("wrong magic bytes".into()));
+    }
+    if data[2] != CM_DEFLATE {
+        return Err(DeflateError::BadGzipHeader(format!("unsupported method {}", data[2])));
+    }
+    let flags = data[3];
+    if flags & !(FTEXT | FHCRC | FEXTRA | FNAME | FCOMMENT) != 0 {
+        return Err(DeflateError::BadGzipHeader(format!("reserved flag bits set: {flags:#x}")));
+    }
+    let mut offset = 10usize;
+    if flags & FEXTRA != 0 {
+        if data.len() < offset + 2 {
+            return Err(DeflateError::UnexpectedEof);
+        }
+        let xlen = u16::from_le_bytes([data[offset], data[offset + 1]]) as usize;
+        offset += 2 + xlen;
+    }
+    for flag in [FNAME, FCOMMENT] {
+        if flags & flag != 0 {
+            let terminator = data[offset.min(data.len())..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(DeflateError::UnexpectedEof)?;
+            offset += terminator + 1;
+        }
+    }
+    if flags & FHCRC != 0 {
+        offset += 2;
+    }
+    if offset > data.len() {
+        return Err(DeflateError::UnexpectedEof);
+    }
+    Ok(offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let data = b"gzip container roundtrip test data ".repeat(100);
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            let gz = gzip_compress(&data, level);
+            assert_eq!(&gz[0..2], &MAGIC);
+            assert_eq!(gz[2], CM_DEFLATE);
+            assert_eq!(gzip_decompress(&gz).unwrap(), data, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let gz = gzip_compress(b"", Level::Default);
+        assert_eq!(gzip_decompress(&gz).unwrap(), b"");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let data = b"integrity protected payload".repeat(50);
+        let mut gz = gzip_compress(&data, Level::Default);
+        // Flip a bit in the middle of the DEFLATE body.
+        let mid = gz.len() / 2;
+        gz[mid] ^= 0x01;
+        let result = gzip_decompress(&gz);
+        assert!(result.is_err(), "corruption must not go unnoticed");
+    }
+
+    #[test]
+    fn corrupted_trailer_is_detected() {
+        let data = b"payload".repeat(10);
+        let mut gz = gzip_compress(&data, Level::Default);
+        let n = gz.len();
+        gz[n - 1] ^= 0xFF; // ISIZE
+        assert!(gzip_decompress(&gz).is_err());
+        let mut gz = gzip_compress(&data, Level::Default);
+        gz[n - 8] ^= 0xFF; // CRC
+        assert!(matches!(gzip_decompress(&gz), Err(DeflateError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn header_validation() {
+        let data = b"x".repeat(20);
+        let gz = gzip_compress(&data, Level::Default);
+
+        let mut bad_magic = gz.clone();
+        bad_magic[0] = 0x00;
+        assert!(matches!(gzip_decompress(&bad_magic), Err(DeflateError::BadGzipHeader(_))));
+
+        let mut bad_method = gz.clone();
+        bad_method[2] = 7;
+        assert!(matches!(gzip_decompress(&bad_method), Err(DeflateError::BadGzipHeader(_))));
+
+        let mut reserved_flag = gz.clone();
+        reserved_flag[3] = 0x80;
+        assert!(gzip_decompress(&reserved_flag).is_err());
+
+        assert!(gzip_decompress(&gz[..5]).is_err());
+        assert!(gzip_decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn optional_header_fields_are_skipped() {
+        // Build a gzip file with FNAME and FEXTRA by hand around our own
+        // deflate body and trailer.
+        let data = b"optional header field test".repeat(5);
+        let body = deflate_compress(&data, Level::Default);
+        let mut gz = Vec::new();
+        gz.extend_from_slice(&MAGIC);
+        gz.push(CM_DEFLATE);
+        gz.push(FNAME | FEXTRA);
+        gz.extend_from_slice(&0u32.to_le_bytes());
+        gz.push(0);
+        gz.push(255);
+        // FEXTRA: 4 bytes of payload.
+        gz.extend_from_slice(&4u16.to_le_bytes());
+        gz.extend_from_slice(&[1, 2, 3, 4]);
+        // FNAME: null-terminated.
+        gz.extend_from_slice(b"trace.bin\0");
+        gz.extend_from_slice(&body);
+        gz.extend_from_slice(&crc32(&data).to_le_bytes());
+        gz.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_trailer_is_detected() {
+        let data = b"trailer test".repeat(10);
+        let gz = gzip_compress(&data, Level::Default);
+        assert!(gzip_decompress(&gz[..gz.len() - 4]).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn roundtrip_arbitrary_data(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let gz = gzip_compress(&data, Level::Default);
+            prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        }
+
+        #[test]
+        fn random_bytes_never_panic_the_gzip_decoder(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = gzip_decompress(&data);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! LZ77 matching with hash chains.
+//!
+//! Produces the literal / (length, distance) token stream that the DEFLATE
+//! block encoders consume. The matcher follows the classic zlib structure:
+//! a hash of the next three bytes indexes a chain of previous positions, the
+//! chain is searched up to a configurable depth, and an optional "lazy"
+//! evaluation defers emitting a match by one byte when the next position
+//! offers a longer one.
+
+use crate::tables::{MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+/// One element of the token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference of `length` bytes starting `distance` bytes back.
+    Match {
+        /// Match length in bytes (3..=258).
+        length: u16,
+        /// Match distance in bytes (1..=32768).
+        distance: u16,
+    },
+}
+
+/// Matcher tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherConfig {
+    /// Maximum number of chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Stop searching as soon as a match of at least this length is found.
+    pub good_enough: usize,
+    /// Enable lazy matching (defer a match if the next byte starts a longer
+    /// one).
+    pub lazy: bool,
+}
+
+impl MatcherConfig {
+    /// Fast preset: shallow chains, greedy.
+    pub fn fast() -> Self {
+        Self { max_chain: 16, good_enough: 32, lazy: false }
+    }
+
+    /// Default preset: a balance similar to zlib level 6.
+    pub fn default_level() -> Self {
+        Self { max_chain: 128, good_enough: 128, lazy: true }
+    }
+
+    /// Best preset: deep chains, lazy.
+    pub fn best() -> Self {
+        Self { max_chain: 1024, good_enough: MAX_MATCH, lazy: true }
+    }
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = (data[pos] as u32) | ((data[pos + 1] as u32) << 8) | ((data[pos + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Longest common prefix of `data[a..]` and `data[b..]`, capped at
+/// `MAX_MATCH`.
+fn match_length(data: &[u8], a: usize, b: usize) -> usize {
+    let limit = MAX_MATCH.min(data.len() - b);
+    let mut len = 0;
+    while len < limit && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// Tokenizes `data` into literals and matches.
+pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 16);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let insert = |head: &mut Vec<usize>, prev: &mut Vec<usize>, data: &[u8], pos: usize| {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+    };
+
+    let find_best = |head: &[usize], prev: &[usize], data: &[u8], pos: usize| -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let h = hash3(data, pos);
+        let mut candidate = head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = 0usize;
+        while candidate != usize::MAX && chain < config.max_chain {
+            let distance = pos - candidate;
+            if distance > WINDOW_SIZE {
+                break;
+            }
+            let len = match_length(data, candidate, pos);
+            if len > best_len {
+                best_len = len;
+                best_dist = distance;
+                if len >= config.good_enough || len == MAX_MATCH {
+                    break;
+                }
+            }
+            candidate = prev[candidate];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let current = find_best(&head, &prev, data, pos);
+        match current {
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                insert(&mut head, &mut prev, data, pos);
+                pos += 1;
+            }
+            Some((mut len, mut dist)) => {
+                // Lazy evaluation: if the next position has a strictly longer
+                // match, emit the current byte as a literal instead.
+                if config.lazy && pos + 1 < data.len() {
+                    insert(&mut head, &mut prev, data, pos);
+                    if let Some((next_len, next_dist)) = find_best(&head, &prev, data, pos + 1) {
+                        if next_len > len {
+                            tokens.push(Token::Literal(data[pos]));
+                            pos += 1;
+                            len = next_len;
+                            dist = next_dist;
+                        }
+                    }
+                    // Emit the (possibly deferred) match starting at `pos`.
+                    tokens.push(Token::Match { length: len as u16, distance: dist as u16 });
+                    let end = pos + len;
+                    // `pos` itself may or may not have been inserted above
+                    // (it was, when lazy); insert the remaining covered
+                    // positions so later matches can reference them.
+                    let mut p = pos + 1;
+                    while p < end && p + MIN_MATCH <= data.len() {
+                        insert(&mut head, &mut prev, data, p);
+                        p += 1;
+                    }
+                    pos = end;
+                } else {
+                    tokens.push(Token::Match { length: len as u16, distance: dist as u16 });
+                    let end = pos + len;
+                    let mut p = pos;
+                    while p < end && p + MIN_MATCH <= data.len() {
+                        insert(&mut head, &mut prev, data, p);
+                        p += 1;
+                    }
+                    pos = end;
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Expands a token stream back into bytes (the reference decoder used by
+/// tests; the real decoder works from the bit stream in `inflate`).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => out.push(b),
+            Token::Match { length, distance } => {
+                let start = out.len() - distance as usize;
+                for i in 0..length as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8], config: MatcherConfig) {
+        let tokens = tokenize(data, config);
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn short_inputs_are_all_literals() {
+        for data in [&b""[..], b"a", b"ab"] {
+            let tokens = tokenize(data, MatcherConfig::default_level());
+            assert_eq!(tokens.len(), data.len());
+            assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+        }
+    }
+
+    #[test]
+    fn repeated_data_produces_matches() {
+        let data = b"abcabcabcabcabcabc";
+        let tokens = tokenize(data, MatcherConfig::default_level());
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(expand(&tokens), data);
+        // The match distance for a period-3 repeat is 3.
+        let first_match = tokens.iter().find_map(|t| match t {
+            Token::Match { distance, .. } => Some(*distance),
+            _ => None,
+        });
+        assert_eq!(first_match, Some(3));
+    }
+
+    #[test]
+    fn run_of_identical_bytes_uses_overlapping_match() {
+        let data = vec![0x41u8; 1000];
+        let tokens = tokenize(&data, MatcherConfig::default_level());
+        // 1 literal + a few long matches, far fewer tokens than bytes.
+        assert!(tokens.len() < 20, "tokens: {}", tokens.len());
+        assert_eq!(expand(&tokens), data);
+        // Overlapping match: distance 1, lengths up to 258.
+        assert!(tokens.iter().any(
+            |t| matches!(t, Token::Match { distance: 1, length } if *length == MAX_MATCH as u16)
+        ));
+    }
+
+    #[test]
+    fn matches_never_exceed_window_or_max_length() {
+        let mut data = Vec::new();
+        for i in 0..40_000u32 {
+            data.push((i % 251) as u8);
+            data.push((i % 7) as u8);
+        }
+        let tokens = tokenize(&data, MatcherConfig::fast());
+        for t in &tokens {
+            if let Token::Match { length, distance } = t {
+                assert!((*length as usize) <= MAX_MATCH);
+                assert!((*length as usize) >= MIN_MATCH);
+                assert!((*distance as usize) <= WINDOW_SIZE);
+                assert!(*distance >= 1);
+            }
+        }
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn all_presets_roundtrip_structured_data() {
+        let mut data = Vec::new();
+        for i in 0..5_000u32 {
+            data.extend_from_slice(format!("sensor-{} value={}\n", i % 50, i % 13).as_bytes());
+        }
+        for config in [MatcherConfig::fast(), MatcherConfig::default_level(), MatcherConfig::best()] {
+            roundtrip(&data, config);
+        }
+    }
+
+    #[test]
+    fn lazy_matching_never_hurts_correctness() {
+        let data = b"abcdebcdefghibcdefghijklmnop".repeat(20);
+        roundtrip(&data, MatcherConfig { max_chain: 64, good_enough: 258, lazy: true });
+        roundtrip(&data, MatcherConfig { max_chain: 64, good_enough: 258, lazy: false });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn arbitrary_data_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            roundtrip(&data, MatcherConfig::default_level());
+        }
+
+        #[test]
+        fn low_entropy_data_roundtrips_and_compresses(
+            pattern in proptest::collection::vec(any::<u8>(), 1..20),
+            repeats in 10usize..200,
+        ) {
+            let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * repeats).collect();
+            let tokens = tokenize(&data, MatcherConfig::default_level());
+            prop_assert_eq!(expand(&tokens), data.clone());
+            // Repetitive input must yield fewer tokens than bytes.
+            prop_assert!(tokens.len() < data.len());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Interoperability tests against the system `gzip`/`gunzip` binaries.
+//!
+//! These verify that the from-scratch DEFLATE/gzip implementation produces
+//! files the reference tool accepts and can read files the reference tool
+//! produces — i.e. that the Figure 3 baseline really is "gzip", not merely
+//! something gzip-shaped. The tests skip silently when no `gzip` binary is
+//! installed so the suite stays hermetic.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn gzip_available() -> bool {
+    Command::new("gzip")
+        .arg("--version")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+fn sample_data() -> Vec<u8> {
+    let mut data = Vec::new();
+    for i in 0..4000u32 {
+        data.extend_from_slice(format!("sensor-{:03} temperature={:04}\n", i % 37, i % 100).as_bytes());
+    }
+    data
+}
+
+#[test]
+fn system_gunzip_accepts_our_output() {
+    if !gzip_available() {
+        eprintln!("skipping: gzip not installed");
+        return;
+    }
+    let data = sample_data();
+    for level in [
+        zipline_deflate::Level::Store,
+        zipline_deflate::Level::Fast,
+        zipline_deflate::Level::Default,
+        zipline_deflate::Level::Best,
+    ] {
+        let ours = zipline_deflate::gzip_compress(&data, level);
+        let mut child = Command::new("gzip")
+            .args(["-d", "-c"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn gzip");
+        child.stdin.as_mut().unwrap().write_all(&ours).unwrap();
+        let output = child.wait_with_output().unwrap();
+        assert!(output.status.success(), "gzip -d rejected our output at {level:?}");
+        assert_eq!(output.stdout, data, "gzip -d produced different bytes at {level:?}");
+    }
+}
+
+#[test]
+fn we_accept_system_gzip_output() {
+    if !gzip_available() {
+        eprintln!("skipping: gzip not installed");
+        return;
+    }
+    let data = sample_data();
+    for flag in ["-1", "-6", "-9"] {
+        let mut child = Command::new("gzip")
+            .args([flag, "-c"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn gzip");
+        child.stdin.as_mut().unwrap().write_all(&data).unwrap();
+        let output = child.wait_with_output().unwrap();
+        assert!(output.status.success());
+        let decoded = zipline_deflate::gzip_decompress(&output.stdout)
+            .unwrap_or_else(|e| panic!("failed to decode gzip {flag} output: {e}"));
+        assert_eq!(decoded, data, "mismatch decoding gzip {flag} output");
+    }
+}
+
+#[test]
+fn our_compression_ratio_is_in_the_same_ballpark_as_system_gzip() {
+    if !gzip_available() {
+        eprintln!("skipping: gzip not installed");
+        return;
+    }
+    let data = sample_data();
+    let mut child = Command::new("gzip")
+        .args(["-6", "-c"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn gzip");
+    child.stdin.as_mut().unwrap().write_all(&data).unwrap();
+    let system = child.wait_with_output().unwrap().stdout;
+    let ours = zipline_deflate::gzip_compress(&data, zipline_deflate::Level::Default);
+    let ratio = ours.len() as f64 / system.len() as f64;
+    assert!(
+        ratio < 1.35,
+        "our output is {ratio:.2}x the size of system gzip ({} vs {} bytes)",
+        ours.len(),
+        system.len()
+    );
+}

@@ -1,0 +1,739 @@
+//! Bit-exact buffers and readers/writers.
+//!
+//! Hamming block lengths (`n = 2^m - 1`) are never byte aligned, and the
+//! ZipLine wire formats pack fields such as a 15-bit identifier next to a
+//! single carried-over bit. Everything in the GD data path therefore operates
+//! on explicit bit sequences.
+//!
+//! # Conventions
+//!
+//! A [`BitVec`] is an ordered sequence of bits. Position `0` is the *first*
+//! bit of the sequence — the most significant bit when the sequence is viewed
+//! as a binary number, and the coefficient of the highest power of `x` when
+//! it is viewed as a polynomial over GF(2) (the paper writes the chunk `B` as
+//! `b_{n-1} … b_1 b_0` with `b_{n-1}` the MSB and the coefficient of
+//! `x^{n-1}`).
+//!
+//! When converting to and from bytes, the first bit of the sequence maps to
+//! the most significant bit of the first byte (network bit order).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A growable, bit-addressed vector.
+///
+/// Bits are stored packed into 64-bit words. Position 0 is the first /
+/// most-significant bit (see the module documentation for conventions).
+#[derive(Clone, Default, Eq)]
+pub struct BitVec {
+    /// Packed storage; bit `i` lives in `words[i / 64]` at bit position
+    /// `63 - (i % 64)` (MSB-first within each word).
+    words: Vec<u64>,
+    /// Number of valid bits.
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self { words: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty bit vector with room for at least `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a bit vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self { words: vec![u64::MAX; len.div_ceil(64)], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector from a byte slice; every byte contributes 8 bits,
+    /// most significant bit first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut v = Self::with_capacity(bytes.len() * 8);
+        for &b in bytes {
+            v.push_bits(b as u64, 8);
+        }
+        v
+    }
+
+    /// Creates a bit vector from the lowest `width` bits of `value`, most
+    /// significant bit first.
+    ///
+    /// # Panics
+    /// Panics if `width > 64`.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        assert!(width <= 64, "width must be <= 64");
+        let mut v = Self::with_capacity(width);
+        v.push_bits(value, width);
+        v
+    }
+
+    /// Creates a bit vector from a slice of booleans (first element = first
+    /// bit).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut v = Self::with_capacity(bools.len());
+        for &b in bools {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Parses a string of `0` and `1` characters. Any other character is an
+    /// error. Useful in tests and examples.
+    pub fn from_bit_str(s: &str) -> Option<Self> {
+        let mut v = Self::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => v.push(false),
+                '1' => v.push(true),
+                _ => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `index` (position 0 = first bit).
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        let word = self.words[index / 64];
+        (word >> (63 - (index % 64))) & 1 == 1
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        let mask = 1u64 << (63 - (index % 64));
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `index`.
+    pub fn flip(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        self.words[index / 64] ^= 1u64 << (63 - (index % 64));
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, bit: bool) {
+        let index = self.len;
+        if index / 64 == self.words.len() {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if bit {
+            self.words[index / 64] |= 1u64 << (63 - (index % 64));
+        }
+    }
+
+    /// Appends the lowest `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `width > 64`.
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width must be <= 64");
+        for i in (0..width).rev() {
+            self.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_from_bitvec(&mut self, other: &BitVec) {
+        // Fast path would require word shifting; correctness first. The
+        // buffers involved in GD are a few hundred bits, so a per-bit loop is
+        // not a bottleneck in practice (the switch data path uses fixed-size
+        // operations anyway).
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Returns the bits in `range` as a new vector.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.start <= range.end, "reversed range");
+        assert!(range.end <= self.len, "slice end {} out of range (len {})", range.end, self.len);
+        let mut out = BitVec::with_capacity(range.len());
+        for i in range {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// Interprets bits `[pos, pos + width)` as an unsigned integer
+    /// (first bit = most significant).
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or the range is out of bounds.
+    pub fn get_bits(&self, pos: usize, width: usize) -> u64 {
+        assert!(width <= 64, "width must be <= 64");
+        assert!(pos + width <= self.len, "bit range out of bounds");
+        let mut value = 0u64;
+        for i in 0..width {
+            value = (value << 1) | (self.get(pos + i) as u64);
+        }
+        value
+    }
+
+    /// Interprets the whole vector as an unsigned integer (first bit = MSB).
+    ///
+    /// # Panics
+    /// Panics if the vector is longer than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= 64, "vector too long for u64");
+        self.get_bits(0, self.len)
+    }
+
+    /// Serializes to bytes, first bit = MSB of first byte. The final byte is
+    /// zero-padded on the right when the length is not a multiple of 8.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i / 8] |= 1 << (7 - (i % 8));
+            }
+        }
+        out
+    }
+
+    /// XORs `other` into `self` (both must have the same length).
+    pub fn xor_with(&mut self, other: &BitVec) -> crate::error::Result<()> {
+        if self.len != other.len {
+            return Err(crate::error::GdError::LengthMismatch {
+                expected: self.len,
+                actual: other.len,
+            });
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= *b;
+        }
+        self.mask_tail();
+        Ok(())
+    }
+
+    /// Returns `self XOR other` as a new vector (lengths must match).
+    pub fn xor(&self, other: &BitVec) -> crate::error::Result<BitVec> {
+        let mut out = self.clone();
+        out.xor_with(other)?;
+        Ok(out)
+    }
+
+    /// Number of bits set to one.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over the bits, first to last.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Truncates the vector to `len` bits (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+            self.words.truncate(len.div_ceil(64));
+            self.mask_tail();
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Zeroes any storage bits beyond `len` so that equality and hashing can
+    /// operate on whole words.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX << (64 - rem);
+            }
+        }
+        // Drop fully unused words (can happen after truncate).
+        let needed = self.len.div_ceil(64);
+        self.words.truncate(needed);
+    }
+}
+
+impl PartialEq for BitVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+
+impl Hash for BitVec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words.hash(state);
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}]<", self.len)?;
+        let limit = self.len.min(96);
+        for i in 0..limit {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        if self.len > limit {
+            write!(f, "…")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut v = BitVec::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+/// Incremental writer that packs bit fields into a byte buffer
+/// (first field = most significant bits of the first byte).
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bits: BitVec,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { bits: BitVec::new() }
+    }
+
+    /// Appends the lowest `width` bits of `value`.
+    pub fn write_bits(&mut self, value: u64, width: usize) {
+        self.bits.push_bits(value, width);
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Appends an entire bit vector.
+    pub fn write_bitvec(&mut self, bits: &BitVec) {
+        self.bits.extend_from_bitvec(bits);
+    }
+
+    /// Appends whole bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.bits.push_bits(b as u64, 8);
+        }
+    }
+
+    /// Appends zero bits until the total length is a multiple of 8.
+    /// Returns how many padding bits were added.
+    pub fn pad_to_byte(&mut self) -> usize {
+        let pad = (8 - self.bits.len() % 8) % 8;
+        for _ in 0..pad {
+            self.bits.push(false);
+        }
+        pad
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Finishes the writer, zero-padding to a byte boundary.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.pad_to_byte();
+        self.bits.to_bytes()
+    }
+
+    /// Finishes the writer, returning the raw bit vector (no padding).
+    pub fn into_bitvec(self) -> BitVec {
+        self.bits
+    }
+}
+
+/// Incremental reader that extracts bit fields from a byte buffer.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit to read, counted from the MSB of the first byte.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Total number of bits in the underlying buffer.
+    pub fn total_bits(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Number of bits not yet consumed.
+    pub fn remaining_bits(&self) -> usize {
+        self.total_bits() - self.pos
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> crate::error::Result<bool> {
+        if self.pos >= self.total_bits() {
+            return Err(crate::error::GdError::Malformed("bit reader exhausted".into()));
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `width` bits as an unsigned integer (first bit = MSB).
+    pub fn read_bits(&mut self, width: usize) -> crate::error::Result<u64> {
+        assert!(width <= 64, "width must be <= 64");
+        if self.remaining_bits() < width {
+            return Err(crate::error::GdError::Malformed(format!(
+                "bit reader exhausted: wanted {width} bits, {} remaining",
+                self.remaining_bits()
+            )));
+        }
+        let mut value = 0u64;
+        for _ in 0..width {
+            value = (value << 1) | (self.read_bit()? as u64);
+        }
+        Ok(value)
+    }
+
+    /// Reads `count` bits into a new [`BitVec`].
+    pub fn read_bitvec(&mut self, count: usize) -> crate::error::Result<BitVec> {
+        if self.remaining_bits() < count {
+            return Err(crate::error::GdError::Malformed(format!(
+                "bit reader exhausted: wanted {count} bits, {} remaining",
+                self.remaining_bits()
+            )));
+        }
+        let mut out = BitVec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.read_bit()?);
+        }
+        Ok(out)
+    }
+
+    /// Skips `count` bits.
+    pub fn skip(&mut self, count: usize) -> crate::error::Result<()> {
+        if self.remaining_bits() < count {
+            return Err(crate::error::GdError::Malformed("bit reader exhausted".into()));
+        }
+        self.pos += count;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut v = BitVec::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            v.push(b);
+        }
+        assert_eq!(v.len(), pattern.len());
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(v.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn from_bytes_bit_order_is_msb_first() {
+        let v = BitVec::from_bytes(&[0b1010_0000, 0b0000_0001]);
+        assert_eq!(v.len(), 16);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(2));
+        assert!(!v.get(3));
+        assert!(!v.get(14));
+        assert!(v.get(15));
+    }
+
+    #[test]
+    fn to_bytes_roundtrip() {
+        let bytes = [0xDE, 0xAD, 0xBE, 0xEF, 0x01];
+        let v = BitVec::from_bytes(&bytes);
+        assert_eq!(v.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn to_bytes_pads_final_byte_with_zeros() {
+        let v = BitVec::from_bit_str("11111").unwrap();
+        assert_eq!(v.to_bytes(), vec![0b1111_1000]);
+    }
+
+    #[test]
+    fn from_u64_and_to_u64() {
+        let v = BitVec::from_u64(0b1011, 4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.to_u64(), 0b1011);
+        assert_eq!(v.to_string(), "1011");
+
+        let v = BitVec::from_u64(5, 8);
+        assert_eq!(v.to_string(), "00000101");
+    }
+
+    #[test]
+    fn from_bit_str_rejects_garbage() {
+        assert!(BitVec::from_bit_str("0102").is_none());
+        assert_eq!(BitVec::from_bit_str("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert!(z.is_zero());
+        assert_eq!(z.count_ones(), 0);
+
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(!o.is_zero());
+    }
+
+    #[test]
+    fn set_flip_and_count() {
+        let mut v = BitVec::zeros(100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert_eq!(v.count_ones(), 4);
+        v.flip(63);
+        assert_eq!(v.count_ones(), 3);
+        assert!(!v.get(63));
+    }
+
+    #[test]
+    fn xor_matches_per_bit_xor() {
+        let a = BitVec::from_bit_str("110010101110001").unwrap();
+        let b = BitVec::from_bit_str("101110000110011").unwrap();
+        let c = a.xor(&b).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(c.get(i), a.get(i) ^ b.get(i));
+        }
+    }
+
+    #[test]
+    fn xor_length_mismatch_is_error() {
+        let a = BitVec::zeros(5);
+        let b = BitVec::zeros(6);
+        assert!(a.xor(&b).is_err());
+    }
+
+    #[test]
+    fn slice_extracts_correct_range() {
+        let v = BitVec::from_bit_str("0011010111").unwrap();
+        let s = v.slice(2..7);
+        assert_eq!(s.to_string(), "11010");
+        let whole = v.slice(0..v.len());
+        assert_eq!(whole, v);
+        let empty = v.slice(3..3);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn get_bits_reads_msb_first() {
+        let v = BitVec::from_bit_str("11010110").unwrap();
+        assert_eq!(v.get_bits(0, 8), 0b1101_0110);
+        assert_eq!(v.get_bits(2, 3), 0b010);
+        assert_eq!(v.get_bits(5, 3), 0b110);
+    }
+
+    #[test]
+    fn equality_ignores_stale_tail_bits() {
+        // Construct two vectors with the same logical value but different
+        // histories (one had extra bits truncated away).
+        let mut a = BitVec::from_bit_str("1111").unwrap();
+        a.push(true);
+        a.truncate(4);
+        let b = BitVec::from_bit_str("1111").unwrap();
+        assert_eq!(a, b);
+
+        use std::collections::hash_map::DefaultHasher;
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = BitVec::from_bit_str("101").unwrap();
+        let b = BitVec::from_bit_str("0110").unwrap();
+        a.extend_from_bitvec(&b);
+        assert_eq!(a.to_string(), "1010110");
+    }
+
+    #[test]
+    fn push_bits_is_msb_first() {
+        let mut v = BitVec::new();
+        v.push_bits(0b1011, 4);
+        v.push_bits(0x0F, 6);
+        assert_eq!(v.to_string(), "1011001111");
+    }
+
+    #[test]
+    fn truncate_then_push_does_not_resurrect_old_bits() {
+        let mut v = BitVec::ones(70);
+        v.truncate(3);
+        assert_eq!(v.len(), 3);
+        v.push(false);
+        assert_eq!(v.to_string(), "1110");
+    }
+
+    #[test]
+    fn from_bools_and_iter() {
+        let bools = [true, false, false, true, true];
+        let v = BitVec::from_bools(&bools);
+        let collected: Vec<bool> = v.iter().collect();
+        assert_eq!(collected, bools);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: BitVec = (0..10).map(|i| i % 3 == 0).collect();
+        assert_eq!(v.to_string(), "1001001001");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = BitVec::from_bit_str("1010").unwrap();
+        assert_eq!(format!("{v}"), "1010");
+        assert!(format!("{v:?}").contains("BitVec[4]"));
+    }
+
+    #[test]
+    fn bit_writer_packs_fields() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bit(true);
+        w.write_bits(0xAB, 8);
+        assert_eq!(w.bit_len(), 12);
+        let bytes = w.into_bytes();
+        // 101 1 10101011 0000 -> 1011 1010 1011 0000
+        assert_eq!(bytes, vec![0b1011_1010, 0b1011_0000]);
+    }
+
+    #[test]
+    fn bit_writer_pad_counts() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 3);
+        assert_eq!(w.pad_to_byte(), 5);
+        assert_eq!(w.pad_to_byte(), 0);
+        assert_eq!(w.bit_len(), 8);
+    }
+
+    #[test]
+    fn bit_reader_reads_back_writer_output() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x5, 3);
+        w.write_bits(0x1234, 16);
+        w.write_bit(true);
+        w.write_bitvec(&BitVec::from_bit_str("0011").unwrap());
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0x5);
+        assert_eq!(r.read_bits(16).unwrap(), 0x1234);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bitvec(4).unwrap().to_string(), "0011");
+    }
+
+    #[test]
+    fn bit_reader_errors_when_exhausted() {
+        let bytes = [0xFF];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+        assert!(r.read_bits(1).is_err());
+        assert!(r.read_bitvec(1).is_err());
+
+        let mut r2 = BitReader::new(&bytes);
+        assert!(r2.skip(9).is_err());
+        assert!(r2.skip(8).is_ok());
+        assert_eq!(r2.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn bit_reader_position_tracking() {
+        let bytes = [0xAA, 0x55];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.total_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining_bits(), 11);
+    }
+
+    #[test]
+    fn writer_bitvec_roundtrip_without_padding() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let v = w.into_bitvec();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.to_string(), "11");
+    }
+}

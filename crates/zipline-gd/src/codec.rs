@@ -1,0 +1,648 @@
+//! Chunk- and stream-level GD codec.
+//!
+//! The switch data path (crates `zipline-switch` / `zipline`) works one
+//! packet at a time; this module provides the same transformation as an
+//! ordinary, host-side compression library:
+//!
+//! * [`ChunkCodec`] — stateless encode/decode of a single fixed-size chunk
+//!   into `(carried bits, deviation, basis)` and back;
+//! * [`GdCompressor`] / [`GdDecompressor`] — stateful stream compression
+//!   where repeated bases are replaced by dictionary identifiers, plus a
+//!   bit-packed serialization of the compressed stream. This is what the
+//!   examples use to compare GD against gzip on equal terms, and it mirrors
+//!   the "static table" accounting of Figure 3.
+
+use crate::bits::{BitReader, BitVec, BitWriter};
+use crate::config::GdConfig;
+use crate::dictionary::BasisDictionary;
+use crate::error::{GdError, Result};
+use crate::stats::CompressionStats;
+use crate::transform::HammingTransform;
+
+/// A chunk after the GD transformation, before any dictionary lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EncodedChunk {
+    /// Bits of the chunk not covered by the Hamming code, carried verbatim
+    /// (the paper's "one additional bit to store the MSB").
+    pub extra: BitVec,
+    /// The `m`-bit deviation (Hamming syndrome).
+    pub deviation: u64,
+    /// The `k`-bit basis.
+    pub basis: BitVec,
+}
+
+/// Stateless encoder/decoder for fixed-size chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkCodec {
+    config: GdConfig,
+    transform: HammingTransform,
+}
+
+impl ChunkCodec {
+    /// Builds a codec for the given configuration.
+    pub fn new(config: &GdConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config: *config, transform: HammingTransform::new(config.m)? })
+    }
+
+    /// The configuration this codec was built for.
+    pub fn config(&self) -> &GdConfig {
+        &self.config
+    }
+
+    /// The underlying transform.
+    pub fn transform(&self) -> &HammingTransform {
+        &self.transform
+    }
+
+    /// Encodes one chunk of exactly `config.chunk_bytes` bytes.
+    pub fn encode_chunk(&self, chunk: &[u8]) -> Result<EncodedChunk> {
+        if chunk.len() != self.config.chunk_bytes {
+            return Err(GdError::LengthMismatch {
+                expected: self.config.chunk_bytes,
+                actual: chunk.len(),
+            });
+        }
+        let bits = BitVec::from_bytes(chunk);
+        let extra_bits = self.config.extra_bits();
+        let extra = bits.slice(0..extra_bits);
+        let body = bits.slice(extra_bits..bits.len());
+        let d = self.transform.deconstruct(&body)?;
+        Ok(EncodedChunk { extra, deviation: d.deviation, basis: d.basis })
+    }
+
+    /// Decodes one chunk back to its original bytes.
+    pub fn decode_chunk(&self, encoded: &EncodedChunk) -> Result<Vec<u8>> {
+        if encoded.extra.len() != self.config.extra_bits() {
+            return Err(GdError::LengthMismatch {
+                expected: self.config.extra_bits(),
+                actual: encoded.extra.len(),
+            });
+        }
+        let body = self.transform.reconstruct(&encoded.basis, encoded.deviation)?;
+        let mut bits = BitVec::with_capacity(self.config.raw_payload_bits());
+        bits.extend_from_bitvec(&encoded.extra);
+        bits.extend_from_bitvec(&body);
+        debug_assert_eq!(bits.len(), self.config.raw_payload_bits());
+        Ok(bits.to_bytes())
+    }
+}
+
+/// One record of a compressed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// First occurrence of a basis: carried bits, deviation and the basis
+    /// itself (the receiver learns the next free identifier implicitly).
+    NewBasis { extra: BitVec, deviation: u64, basis: BitVec },
+    /// A chunk whose basis is already known, referenced by identifier.
+    Ref { extra: BitVec, deviation: u64, id: u64 },
+    /// Trailing bytes that did not fill a whole chunk, stored verbatim.
+    RawTail { bytes: Vec<u8> },
+}
+
+/// A GD-compressed stream: configuration plus records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedStream {
+    /// Configuration used to produce the stream.
+    pub config: GdConfig,
+    /// Records in input order.
+    pub records: Vec<Record>,
+}
+
+/// Record tags used by the bit-packed serialization.
+const TAG_NEW_BASIS: u64 = 0;
+const TAG_REF: u64 = 1;
+const TAG_RAW_TAIL: u64 = 2;
+/// Magic bytes identifying a serialized GD stream ("GD" + format version 1).
+const MAGIC: [u8; 3] = [0x47, 0x44, 0x01];
+
+impl CompressedStream {
+    /// Size of the stream payload in bits when serialized without container
+    /// overhead — the number the Figure 3 experiment accounts (each record's
+    /// wire size, excluding the fixed stream header).
+    pub fn payload_bits(&self) -> usize {
+        let k = self.config.k();
+        let m = self.config.m as usize;
+        let t = self.config.id_bits as usize;
+        let e = self.config.extra_bits();
+        self.records
+            .iter()
+            .map(|r| match r {
+                Record::NewBasis { .. } => 2 + m + e + k,
+                Record::Ref { .. } => 2 + m + e + t,
+                Record::RawTail { bytes } => 2 + 16 + bytes.len() * 8,
+            })
+            .sum()
+    }
+
+    /// Serialized size in bytes, including the stream header.
+    pub fn serialized_len(&self) -> usize {
+        MAGIC.len() + 8 + (self.payload_bits().div_ceil(8))
+    }
+
+    /// Serializes the stream to a self-describing byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut header = Vec::with_capacity(self.serialized_len());
+        header.extend_from_slice(&MAGIC);
+        header.push(self.config.m as u8);
+        header.push(self.config.id_bits as u8);
+        header.extend_from_slice(&(self.config.chunk_bytes as u16).to_be_bytes());
+        header.extend_from_slice(&(self.records.len() as u32).to_be_bytes());
+
+        let mut w = BitWriter::new();
+        let m = self.config.m as usize;
+        let t = self.config.id_bits as usize;
+        for record in &self.records {
+            match record {
+                Record::NewBasis { extra, deviation, basis } => {
+                    w.write_bits(TAG_NEW_BASIS, 2);
+                    w.write_bits(*deviation, m);
+                    w.write_bitvec(extra);
+                    w.write_bitvec(basis);
+                }
+                Record::Ref { extra, deviation, id } => {
+                    w.write_bits(TAG_REF, 2);
+                    w.write_bits(*deviation, m);
+                    w.write_bitvec(extra);
+                    w.write_bits(*id, t);
+                }
+                Record::RawTail { bytes } => {
+                    w.write_bits(TAG_RAW_TAIL, 2);
+                    w.write_bits(bytes.len() as u64, 16);
+                    w.write_bytes(bytes);
+                }
+            }
+        }
+        header.extend_from_slice(&w.into_bytes());
+        header
+    }
+
+    /// Parses a stream serialized by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        if data.len() < MAGIC.len() + 8 {
+            return Err(GdError::Malformed("stream too short for header".into()));
+        }
+        if data[..3] != MAGIC {
+            return Err(GdError::Malformed("bad magic bytes".into()));
+        }
+        let m = data[3] as u32;
+        let id_bits = data[4] as u32;
+        let chunk_bytes = u16::from_be_bytes([data[5], data[6]]) as usize;
+        let record_count = u32::from_be_bytes([data[7], data[8], data[9], data[10]]) as usize;
+        let config = GdConfig { m, id_bits, chunk_bytes, tofino_padding_bits: 0 };
+        config.validate()?;
+
+        let mut reader = BitReader::new(&data[11..]);
+        let mut records = Vec::with_capacity(record_count);
+        let k = config.k();
+        let e = config.extra_bits();
+        for _ in 0..record_count {
+            let tag = reader.read_bits(2)?;
+            let record = match tag {
+                TAG_NEW_BASIS => {
+                    let deviation = reader.read_bits(m as usize)?;
+                    let extra = reader.read_bitvec(e)?;
+                    let basis = reader.read_bitvec(k)?;
+                    Record::NewBasis { extra, deviation, basis }
+                }
+                TAG_REF => {
+                    let deviation = reader.read_bits(m as usize)?;
+                    let extra = reader.read_bitvec(e)?;
+                    let id = reader.read_bits(id_bits as usize)?;
+                    Record::Ref { extra, deviation, id }
+                }
+                TAG_RAW_TAIL => {
+                    let len = reader.read_bits(16)? as usize;
+                    let mut bytes = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        bytes.push(reader.read_bits(8)? as u8);
+                    }
+                    Record::RawTail { bytes }
+                }
+                other => return Err(GdError::Malformed(format!("unknown record tag {other}"))),
+            };
+            records.push(record);
+        }
+        Ok(Self { config, records })
+    }
+}
+
+/// Stateful stream compressor: deduplicates bases through a
+/// [`BasisDictionary`].
+#[derive(Debug, Clone)]
+pub struct GdCompressor {
+    codec: ChunkCodec,
+    dictionary: BasisDictionary,
+    stats: CompressionStats,
+    clock: u64,
+}
+
+impl GdCompressor {
+    /// Builds a compressor with a fresh dictionary sized by the
+    /// configuration.
+    pub fn new(config: &GdConfig) -> Result<Self> {
+        Ok(Self {
+            codec: ChunkCodec::new(config)?,
+            dictionary: BasisDictionary::new(config.dictionary_capacity()),
+            stats: CompressionStats::new(),
+            clock: 0,
+        })
+    }
+
+    /// Builds a compressor with a pre-populated dictionary (the "static
+    /// table" scenario of Figure 3).
+    pub fn with_dictionary(config: &GdConfig, dictionary: BasisDictionary) -> Result<Self> {
+        Ok(Self { codec: ChunkCodec::new(config)?, dictionary, stats: CompressionStats::new(), clock: 0 })
+    }
+
+    /// The chunk codec.
+    pub fn codec(&self) -> &ChunkCodec {
+        &self.codec
+    }
+
+    /// Current compression statistics.
+    pub fn stats(&self) -> &CompressionStats {
+        &self.stats
+    }
+
+    /// Access to the dictionary (e.g. to inspect learned bases).
+    pub fn dictionary(&self) -> &BasisDictionary {
+        &self.dictionary
+    }
+
+    /// Compresses one chunk, updating the dictionary.
+    pub fn compress_chunk(&mut self, chunk: &[u8]) -> Result<Record> {
+        self.clock += 1;
+        let encoded = self.codec.encode_chunk(chunk)?;
+        self.stats.chunks_in += 1;
+        self.stats.bytes_in += chunk.len() as u64;
+        let m = self.codec.config().m as usize;
+        let e = self.codec.config().extra_bits();
+        match self.dictionary.lookup_basis(&encoded.basis, self.clock, true) {
+            Some(id) => {
+                self.stats.emitted_compressed += 1;
+                self.stats.bytes_out += ((m + e + self.codec.config().id_bits as usize) as u64).div_ceil(8);
+                Ok(Record::Ref { extra: encoded.extra, deviation: encoded.deviation, id })
+            }
+            None => {
+                let outcome = self.dictionary.insert(encoded.basis.clone(), self.clock)?;
+                if outcome.evicted.is_some() {
+                    self.stats.evictions += 1;
+                }
+                self.stats.bases_learned += 1;
+                self.stats.emitted_uncompressed += 1;
+                self.stats.bytes_out +=
+                    ((m + e + self.codec.config().k()) as u64).div_ceil(8);
+                Ok(Record::NewBasis {
+                    extra: encoded.extra,
+                    deviation: encoded.deviation,
+                    basis: encoded.basis,
+                })
+            }
+        }
+    }
+
+    /// Compresses a whole buffer. The buffer is split into
+    /// `config.chunk_bytes`-sized chunks; a trailing partial chunk is stored
+    /// verbatim as a [`Record::RawTail`].
+    pub fn compress(&mut self, data: &[u8]) -> Result<CompressedStream> {
+        let chunk_bytes = self.codec.config().chunk_bytes;
+        let mut records = Vec::with_capacity(data.len() / chunk_bytes + 1);
+        let mut offset = 0;
+        while offset + chunk_bytes <= data.len() {
+            records.push(self.compress_chunk(&data[offset..offset + chunk_bytes])?);
+            offset += chunk_bytes;
+        }
+        if offset < data.len() {
+            let tail = data[offset..].to_vec();
+            self.stats.bytes_in += tail.len() as u64;
+            self.stats.bytes_out += tail.len() as u64;
+            self.stats.emitted_raw += 1;
+            self.stats.chunks_in += 1;
+            records.push(Record::RawTail { bytes: tail });
+        }
+        Ok(CompressedStream { config: *self.codec.config(), records })
+    }
+}
+
+/// Stream decompressor: rebuilds the dictionary from `NewBasis` records in
+/// stream order, so it stays synchronized with the compressor without any
+/// out-of-band communication.
+#[derive(Debug, Clone)]
+pub struct GdDecompressor {
+    codec: ChunkCodec,
+    dictionary: BasisDictionary,
+    stats: CompressionStats,
+    clock: u64,
+}
+
+impl GdDecompressor {
+    /// Builds a decompressor for the given configuration with an empty
+    /// dictionary.
+    pub fn new(config: &GdConfig) -> Result<Self> {
+        Ok(Self {
+            codec: ChunkCodec::new(config)?,
+            dictionary: BasisDictionary::new(config.dictionary_capacity()),
+            stats: CompressionStats::new(),
+            clock: 0,
+        })
+    }
+
+    /// Builds a decompressor with a pre-populated dictionary (static table).
+    pub fn with_dictionary(config: &GdConfig, dictionary: BasisDictionary) -> Result<Self> {
+        Ok(Self { codec: ChunkCodec::new(config)?, dictionary, stats: CompressionStats::new(), clock: 0 })
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &CompressionStats {
+        &self.stats
+    }
+
+    /// Decompresses one record into original bytes.
+    pub fn decompress_record(&mut self, record: &Record) -> Result<Vec<u8>> {
+        self.clock += 1;
+        match record {
+            Record::NewBasis { extra, deviation, basis } => {
+                // Mirror the compressor's dictionary update so that later Ref
+                // records resolve to the same identifiers.
+                self.dictionary.insert(basis.clone(), self.clock)?;
+                let bytes = self.codec.decode_chunk(&EncodedChunk {
+                    extra: extra.clone(),
+                    deviation: *deviation,
+                    basis: basis.clone(),
+                })?;
+                self.stats.chunks_decoded += 1;
+                Ok(bytes)
+            }
+            Record::Ref { extra, deviation, id } => {
+                let basis = self
+                    .dictionary
+                    .lookup_id(*id, self.clock, true)
+                    .ok_or(GdError::UnknownIdentifier(*id))
+                    .inspect_err(|_| self.stats.decode_failures += 1)?;
+                let bytes = self.codec.decode_chunk(&EncodedChunk {
+                    extra: extra.clone(),
+                    deviation: *deviation,
+                    basis,
+                })?;
+                self.stats.chunks_decoded += 1;
+                Ok(bytes)
+            }
+            Record::RawTail { bytes } => {
+                self.stats.chunks_decoded += 1;
+                Ok(bytes.clone())
+            }
+        }
+    }
+
+    /// Decompresses a whole stream.
+    pub fn decompress(&mut self, stream: &CompressedStream) -> Result<Vec<u8>> {
+        if stream.config.m != self.codec.config().m
+            || stream.config.chunk_bytes != self.codec.config().chunk_bytes
+            || stream.config.id_bits != self.codec.config().id_bits
+        {
+            return Err(GdError::InvalidConfig(
+                "stream was compressed with a different configuration".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(stream.records.len() * self.codec.config().chunk_bytes);
+        for record in &stream.records {
+            out.extend_from_slice(&self.decompress_record(record)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience one-shot API: compress a buffer with a fresh dictionary.
+pub fn compress(config: &GdConfig, data: &[u8]) -> Result<CompressedStream> {
+    GdCompressor::new(config)?.compress(data)
+}
+
+/// Convenience one-shot API: decompress a stream with a fresh dictionary.
+pub fn decompress(stream: &CompressedStream) -> Result<Vec<u8>> {
+    GdDecompressor::new(&stream.config)?.decompress(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_config() -> GdConfig {
+        // m = 3: 1-byte chunks (7 code bits + 1 carried bit), 4-bit ids.
+        GdConfig::for_parameters(3, 4).unwrap()
+    }
+
+    #[test]
+    fn chunk_codec_roundtrip_paper_params() {
+        let config = GdConfig::paper_default();
+        let codec = ChunkCodec::new(&config).unwrap();
+        let chunk: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(17).wrapping_add(3)).collect();
+        let enc = codec.encode_chunk(&chunk).unwrap();
+        assert_eq!(enc.extra.len(), 1);
+        assert_eq!(enc.basis.len(), 247);
+        assert!(enc.deviation < 256);
+        assert_eq!(codec.decode_chunk(&enc).unwrap(), chunk);
+    }
+
+    #[test]
+    fn chunk_codec_rejects_wrong_sizes() {
+        let codec = ChunkCodec::new(&GdConfig::paper_default()).unwrap();
+        assert!(codec.encode_chunk(&[0u8; 31]).is_err());
+        assert!(codec.encode_chunk(&[0u8; 33]).is_err());
+        let mut enc = codec.encode_chunk(&[0u8; 32]).unwrap();
+        enc.extra = BitVec::zeros(2);
+        assert!(codec.decode_chunk(&enc).is_err());
+    }
+
+    #[test]
+    fn identical_chunks_share_a_basis_and_get_referenced() {
+        let config = GdConfig::paper_default();
+        let mut comp = GdCompressor::new(&config).unwrap();
+        let chunk = [0x42u8; 32];
+        let first = comp.compress_chunk(&chunk).unwrap();
+        let second = comp.compress_chunk(&chunk).unwrap();
+        assert!(matches!(first, Record::NewBasis { .. }));
+        assert!(matches!(second, Record::Ref { .. }));
+        assert_eq!(comp.stats().emitted_uncompressed, 1);
+        assert_eq!(comp.stats().emitted_compressed, 1);
+        assert!(comp.stats().is_consistent());
+    }
+
+    #[test]
+    fn similar_chunks_differing_by_one_bit_share_a_basis() {
+        // The whole point of GD: all single-bit perturbations of a codeword
+        // deduplicate against the codeword's basis (256 chunks per basis for
+        // the paper's parameters).
+        let config = GdConfig::paper_default();
+        let codec = ChunkCodec::new(&config).unwrap();
+        // Canonicalize an arbitrary chunk onto its codeword (deviation 0).
+        let seed = codec.encode_chunk(&[0x5Au8; 32]).unwrap();
+        let codeword_chunk = codec
+            .decode_chunk(&EncodedChunk { extra: seed.extra.clone(), deviation: 0, basis: seed.basis.clone() })
+            .unwrap();
+        // A perturbed sibling: same basis, non-zero deviation.
+        let perturbed_chunk = codec
+            .decode_chunk(&EncodedChunk { extra: seed.extra.clone(), deviation: 42, basis: seed.basis.clone() })
+            .unwrap();
+        assert_ne!(codeword_chunk, perturbed_chunk);
+
+        let mut comp = GdCompressor::new(&config).unwrap();
+        let first = comp.compress_chunk(&codeword_chunk).unwrap();
+        let second = comp.compress_chunk(&perturbed_chunk).unwrap();
+        assert!(matches!(first, Record::NewBasis { .. }));
+        assert!(matches!(second, Record::Ref { .. }), "near-duplicate must be compressed");
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip_with_tail() {
+        let config = GdConfig::paper_default();
+        let mut data = Vec::new();
+        for i in 0..100u32 {
+            let mut chunk = [0u8; 32];
+            chunk[0] = (i % 7) as u8;
+            chunk[31] = 0xEE;
+            data.extend_from_slice(&chunk);
+        }
+        data.extend_from_slice(b"tail-bytes"); // partial chunk
+        let stream = compress(&config, &data).unwrap();
+        assert!(matches!(stream.records.last(), Some(Record::RawTail { .. })));
+        let out = decompress(&stream).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn compression_reduces_size_for_redundant_data() {
+        let config = GdConfig::paper_default();
+        let data = vec![0xABu8; 32 * 1000];
+        let mut comp = GdCompressor::new(&config).unwrap();
+        let stream = comp.compress(&data).unwrap();
+        let ratio = stream.serialized_len() as f64 / data.len() as f64;
+        assert!(ratio < 0.15, "expected strong compression, got ratio {ratio}");
+        assert!(comp.stats().compression_ratio().unwrap() < 0.15);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let config = GdConfig::paper_default();
+        let mut data = Vec::new();
+        for i in 0..50u8 {
+            data.extend_from_slice(&[i % 5; 32]);
+        }
+        data.extend_from_slice(&[1, 2, 3]);
+        let stream = compress(&config, &data).unwrap();
+        let bytes = stream.to_bytes();
+        assert_eq!(bytes.len(), stream.serialized_len());
+        let parsed = CompressedStream::from_bytes(&bytes).unwrap();
+        // tofino_padding_bits is not part of the wire format.
+        assert_eq!(parsed.records, stream.records);
+        assert_eq!(decompress(&parsed).unwrap(), data);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(CompressedStream::from_bytes(&[]).is_err());
+        assert!(CompressedStream::from_bytes(&[0u8; 4]).is_err());
+        let config = small_config();
+        let stream = compress(&config, &[0u8; 8]).unwrap();
+        let mut bytes = stream.to_bytes();
+        bytes[0] ^= 0xFF; // break magic
+        assert!(CompressedStream::from_bytes(&bytes).is_err());
+        // Truncated payload.
+        let bytes = stream.to_bytes();
+        assert!(CompressedStream::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn decompressor_rejects_mismatched_config() {
+        let stream = compress(&small_config(), &[0u8; 4]).unwrap();
+        let mut other = GdDecompressor::new(&GdConfig::paper_default()).unwrap();
+        assert!(other.decompress(&stream).is_err());
+    }
+
+    #[test]
+    fn unknown_identifier_fails_cleanly() {
+        let config = small_config();
+        let mut dec = GdDecompressor::new(&config).unwrap();
+        let record = Record::Ref { extra: BitVec::zeros(1), deviation: 0, id: 3 };
+        let err = dec.decompress_record(&record).unwrap_err();
+        assert_eq!(err, GdError::UnknownIdentifier(3));
+        assert_eq!(dec.stats().decode_failures, 1);
+    }
+
+    #[test]
+    fn static_dictionary_compresses_first_occurrence_too() {
+        let config = GdConfig::paper_default();
+        let chunk = [0x11u8; 32];
+        // Pre-learn the basis.
+        let codec = ChunkCodec::new(&config).unwrap();
+        let enc = codec.encode_chunk(&chunk).unwrap();
+        let mut dict = BasisDictionary::new(config.dictionary_capacity());
+        dict.insert(enc.basis.clone(), 0).unwrap();
+
+        let mut comp = GdCompressor::with_dictionary(&config, dict.clone()).unwrap();
+        let record = comp.compress_chunk(&chunk).unwrap();
+        assert!(matches!(record, Record::Ref { .. }));
+
+        // And the decompressor with the same static dictionary can decode it.
+        let mut dec = GdDecompressor::with_dictionary(&config, dict).unwrap();
+        assert_eq!(dec.decompress_record(&record).unwrap(), chunk);
+    }
+
+    #[test]
+    fn stats_bytes_track_payload_sizes() {
+        let config = GdConfig::paper_default();
+        let mut comp = GdCompressor::new(&config).unwrap();
+        let chunk = [9u8; 32];
+        comp.compress_chunk(&chunk).unwrap(); // NewBasis: 8+1+247 bits -> 32 B
+        comp.compress_chunk(&chunk).unwrap(); // Ref: 8+1+15 bits -> 3 B
+        assert_eq!(comp.stats().bytes_in, 64);
+        assert_eq!(comp.stats().bytes_out, 32 + 3);
+    }
+
+    #[test]
+    fn payload_bits_accounting_matches_record_mix() {
+        let config = GdConfig::paper_default();
+        let mut data = Vec::new();
+        for _ in 0..10 {
+            data.extend_from_slice(&[7u8; 32]);
+        }
+        let stream = compress(&config, &data).unwrap();
+        // 1 NewBasis + 9 Refs.
+        let expected = (2 + 8 + 1 + 247) + 9 * (2 + 8 + 1 + 15);
+        assert_eq!(stream.payload_bits(), expected);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn roundtrip_arbitrary_data_small_config(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let config = small_config();
+            let stream = compress(&config, &data).unwrap();
+            prop_assert_eq!(decompress(&stream).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_arbitrary_data_paper_config(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let config = GdConfig::paper_default();
+            let stream = compress(&config, &data).unwrap();
+            prop_assert_eq!(decompress(&stream).unwrap(), data.clone());
+            // Serialization also round-trips.
+            let parsed = CompressedStream::from_bytes(&stream.to_bytes()).unwrap();
+            prop_assert_eq!(decompress(&parsed).unwrap(), data);
+        }
+
+        #[test]
+        fn compressed_never_larger_than_one_new_basis_per_chunk(
+            chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 32), 1..20)
+        ) {
+            let config = GdConfig::paper_default();
+            let data: Vec<u8> = chunks.concat();
+            let stream = compress(&config, &data).unwrap();
+            // Upper bound: every chunk is a NewBasis record.
+            let worst = chunks.len() * (2 + 8 + 1 + 247);
+            prop_assert!(stream.payload_bits() <= worst);
+        }
+    }
+}

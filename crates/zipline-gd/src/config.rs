@@ -1,0 +1,230 @@
+//! Configuration of the GD / ZipLine parameters.
+//!
+//! Three parameters pertain to the Hamming code (`m`, with `n` and `k`
+//! derived), one to the identifier width, and one to the payload chunk size.
+//! The paper settles on `m = 8` (the largest multiple of 8 that fits the
+//! hardware) and 15-bit identifiers (one below a multiple of 8, leaving room
+//! for the one carried-over raw bit), with 256-bit chunks (section 7,
+//! "Choice of parameters").
+
+use crate::error::{GdError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a GD / ZipLine deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GdConfig {
+    /// Hamming parameter `m`: number of parity bits, syndrome width, and CRC
+    /// width. The paper uses 8.
+    pub m: u32,
+    /// Width in bits of the short identifiers that replace bases (the paper
+    /// uses 15, allowing 2^15 = 32 768 cached bases).
+    pub id_bits: u32,
+    /// Size of the payload chunk processed per packet, in bytes. Must be at
+    /// least `ceil(n / 8)`. Bits beyond the `n` covered by the Hamming code
+    /// are carried verbatim ("we require one additional bit to store the MSB
+    /// of the raw data packet" for the paper's parameters).
+    pub chunk_bytes: usize,
+    /// Extra padding bits that the hardware target forces into the
+    /// processed-but-uncompressed packet format because of byte-alignment
+    /// constraints (the paper measures 8 such bits, producing the 3 %
+    /// overhead of Figure 3's "no table" bar).
+    pub tofino_padding_bits: u32,
+}
+
+impl GdConfig {
+    /// The parameters used throughout the paper's evaluation:
+    /// Hamming(255, 247) (`m = 8`), 15-bit identifiers, 32-byte chunks, and
+    /// 8 alignment padding bits.
+    pub fn paper_default() -> Self {
+        Self { m: 8, id_bits: 15, chunk_bytes: 32, tofino_padding_bits: 8 }
+    }
+
+    /// A configuration with the given Hamming parameter and identifier
+    /// width, choosing the smallest chunk size that covers the code length
+    /// and no artificial padding. Useful for ablations and tests.
+    pub fn for_parameters(m: u32, id_bits: u32) -> Result<Self> {
+        if !(3..=15).contains(&m) {
+            return Err(GdError::UnsupportedHammingParameter(m));
+        }
+        let n = (1usize << m) - 1;
+        let cfg = Self { m, id_bits, chunk_bytes: n.div_ceil(8), tofino_padding_bits: 0 };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Codeword length `n = 2^m - 1` in bits.
+    pub fn n(&self) -> usize {
+        (1usize << self.m) - 1
+    }
+
+    /// Basis length `k = n - m` in bits.
+    pub fn k(&self) -> usize {
+        self.n() - self.m as usize
+    }
+
+    /// Number of chunk bits not covered by the Hamming code and carried
+    /// verbatim through both processed packet formats.
+    pub fn extra_bits(&self) -> usize {
+        self.chunk_bytes * 8 - self.n()
+    }
+
+    /// Number of distinct identifiers (dictionary capacity): `2^id_bits`.
+    pub fn dictionary_capacity(&self) -> usize {
+        1usize << self.id_bits
+    }
+
+    /// Size of a raw (type 1) chunk payload, in bits.
+    pub fn raw_payload_bits(&self) -> usize {
+        self.chunk_bytes * 8
+    }
+
+    /// Size of a processed-but-uncompressed (type 2) payload, in bits:
+    /// syndrome + basis + carried bits + hardware padding.
+    pub fn uncompressed_payload_bits(&self) -> usize {
+        self.m as usize + self.k() + self.extra_bits() + self.tofino_padding_bits as usize
+    }
+
+    /// Size of a processed-and-compressed (type 3) payload, in bits:
+    /// syndrome + identifier + carried bits.
+    pub fn compressed_payload_bits(&self) -> usize {
+        self.m as usize + self.id_bits as usize + self.extra_bits()
+    }
+
+    /// Size in bytes (rounded up to whole bytes, as transmitted on the wire)
+    /// of a type 1 payload.
+    pub fn raw_payload_bytes(&self) -> usize {
+        self.raw_payload_bits().div_ceil(8)
+    }
+
+    /// Size in bytes of a type 2 payload as transmitted.
+    pub fn uncompressed_payload_bytes(&self) -> usize {
+        self.uncompressed_payload_bits().div_ceil(8)
+    }
+
+    /// Size in bytes of a type 3 payload as transmitted.
+    pub fn compressed_payload_bytes(&self) -> usize {
+        self.compressed_payload_bits().div_ceil(8)
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if !(3..=15).contains(&self.m) {
+            return Err(GdError::UnsupportedHammingParameter(self.m));
+        }
+        if self.id_bits == 0 || self.id_bits > 32 {
+            return Err(GdError::InvalidConfig(format!(
+                "id_bits = {} out of range 1..=32",
+                self.id_bits
+            )));
+        }
+        if self.chunk_bytes * 8 < self.n() {
+            return Err(GdError::InvalidConfig(format!(
+                "chunk of {} bytes cannot hold a {}-bit Hamming block",
+                self.chunk_bytes,
+                self.n()
+            )));
+        }
+        if self.chunk_bytes == 0 || self.chunk_bytes > 9216 {
+            return Err(GdError::InvalidConfig(format!(
+                "chunk_bytes = {} out of range 1..=9216",
+                self.chunk_bytes
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GdConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section7() {
+        let c = GdConfig::paper_default();
+        assert_eq!(c.m, 8);
+        assert_eq!(c.n(), 255);
+        assert_eq!(c.k(), 247);
+        assert_eq!(c.id_bits, 15);
+        assert_eq!(c.dictionary_capacity(), 32_768);
+        assert_eq!(c.chunk_bytes, 32);
+        // One carried bit: "We require one additional bit to store the MSB of
+        // the raw data packet".
+        assert_eq!(c.extra_bits(), 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_payload_sizes_reproduce_figure3_ratios() {
+        let c = GdConfig::paper_default();
+        // Raw chunk: 32 bytes.
+        assert_eq!(c.raw_payload_bytes(), 32);
+        // Type 2: 8 + 247 + 1 + 8 padding = 264 bits = 33 bytes -> the 1.03
+        // "no table" ratio of Figure 3.
+        assert_eq!(c.uncompressed_payload_bits(), 264);
+        assert_eq!(c.uncompressed_payload_bytes(), 33);
+        assert!((c.uncompressed_payload_bytes() as f64 / 32.0 - 1.03).abs() < 0.005);
+        // Type 3: 8 + 15 + 1 = 24 bits = 3 bytes -> the 0.09 static-table
+        // ratio of Figure 3.
+        assert_eq!(c.compressed_payload_bits(), 24);
+        assert_eq!(c.compressed_payload_bytes(), 3);
+        assert!((c.compressed_payload_bytes() as f64 / 32.0 - 0.094).abs() < 0.005);
+    }
+
+    #[test]
+    fn for_parameters_builds_minimal_chunks() {
+        let c = GdConfig::for_parameters(3, 4).unwrap();
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.k(), 4);
+        assert_eq!(c.chunk_bytes, 1);
+        assert_eq!(c.extra_bits(), 1);
+        assert_eq!(c.tofino_padding_bits, 0);
+
+        let c = GdConfig::for_parameters(8, 15).unwrap();
+        assert_eq!(c.chunk_bytes, 32);
+        assert_eq!(c.extra_bits(), 1);
+
+        let c = GdConfig::for_parameters(10, 12).unwrap();
+        assert_eq!(c.chunk_bytes, 128);
+        assert_eq!(c.extra_bits(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(GdConfig::for_parameters(2, 4).is_err());
+        assert!(GdConfig::for_parameters(16, 4).is_err());
+
+        let mut c = GdConfig::paper_default();
+        c.chunk_bytes = 31; // cannot hold 255 bits
+        assert!(c.validate().is_err());
+
+        let mut c = GdConfig::paper_default();
+        c.id_bits = 0;
+        assert!(c.validate().is_err());
+        c.id_bits = 33;
+        assert!(c.validate().is_err());
+
+        let mut c = GdConfig::paper_default();
+        c.chunk_bytes = 10_000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(GdConfig::default(), GdConfig::paper_default());
+    }
+
+    #[test]
+    fn payload_sizes_without_padding() {
+        // Without the Tofino alignment padding, a type 2 payload is exactly
+        // the raw chunk size (GD adds no bits by itself).
+        let mut c = GdConfig::paper_default();
+        c.tofino_padding_bits = 0;
+        assert_eq!(c.uncompressed_payload_bits(), c.raw_payload_bits());
+    }
+}

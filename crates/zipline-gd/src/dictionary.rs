@@ -1,0 +1,583 @@
+//! The basis ↔ identifier dictionary.
+//!
+//! ZipLine replaces `syndrome + basis` pairs with `syndrome + identifier`
+//! once a basis has been seen. The pool of identifiers is finite
+//! (`2^id_bits`, 32 768 for the paper's parameters) and managed by the
+//! control plane:
+//!
+//! * when unused identifiers remain, the *least recently used* unused
+//!   identifier is assigned to a newly discovered basis;
+//! * when every identifier is in use, a least-recently-used eviction policy
+//!   recycles an identifier, helped by the per-table-entry time-to-live
+//!   feature of TNA (section 5 of the paper).
+//!
+//! The dictionary uses a logical clock supplied by the caller (the control
+//! plane passes simulation time in nanoseconds); it never reads wall-clock
+//! time itself, which keeps the data structure deterministic and testable.
+
+use crate::bits::BitVec;
+use crate::error::{GdError, Result};
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of inserting a basis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Identifier now mapping to the basis.
+    pub id: u64,
+    /// True if the basis was already present (the identifier was refreshed,
+    /// not newly assigned).
+    pub already_known: bool,
+    /// Basis/identifier pair that was evicted to make room, if any.
+    pub evicted: Option<(u64, BitVec)>,
+}
+
+/// Eviction policy for a full dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently *used* mapping (the paper's policy).
+    #[default]
+    Lru,
+    /// Evict the oldest inserted mapping regardless of use
+    /// (ablation baseline).
+    Fifo,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    basis: BitVec,
+    /// Logical time of last use (lookup or insert).
+    last_used: u64,
+    /// Logical time of insertion (for FIFO ablation and statistics).
+    inserted_at: u64,
+    /// Doubly-linked LRU list: more recently used neighbour.
+    prev: Option<u64>,
+    /// Less recently used neighbour.
+    next: Option<u64>,
+}
+
+/// Bounded bidirectional basis ↔ identifier map with LRU (or FIFO) eviction
+/// and optional idle time-to-live.
+#[derive(Debug, Clone)]
+pub struct BasisDictionary {
+    capacity: usize,
+    policy: EvictionPolicy,
+    /// Idle TTL in logical time units; entries idle longer than this are
+    /// dropped by [`expire_idle`](Self::expire_idle). `None` disables TTL.
+    idle_ttl: Option<u64>,
+    by_basis: HashMap<BitVec, u64>,
+    by_id: HashMap<u64, Entry>,
+    /// Most recently used entry.
+    head: Option<u64>,
+    /// Least recently used entry.
+    tail: Option<u64>,
+    /// Identifiers that have never been assigned yet, in ascending order.
+    never_used: VecDeque<u64>,
+    /// Identifiers released by eviction or expiry, oldest release first
+    /// ("the control plane selects the least recently used one" among the
+    /// unused identifiers).
+    released: VecDeque<u64>,
+    /// Cumulative number of evictions (for statistics).
+    evictions: u64,
+    /// Cumulative number of TTL expirations.
+    expirations: u64,
+}
+
+impl BasisDictionary {
+    /// Creates a dictionary holding up to `capacity` mappings.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::Lru, None)
+    }
+
+    /// Creates a dictionary sized for `id_bits`-bit identifiers
+    /// (capacity `2^id_bits`).
+    pub fn with_id_bits(id_bits: u32) -> Self {
+        Self::new(1usize << id_bits)
+    }
+
+    /// Creates a dictionary with an explicit eviction policy and optional
+    /// idle TTL (logical time units).
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy, idle_ttl: Option<u64>) -> Self {
+        assert!(capacity > 0, "dictionary capacity must be positive");
+        Self {
+            capacity,
+            policy,
+            idle_ttl,
+            by_basis: HashMap::new(),
+            by_id: HashMap::new(),
+            head: None,
+            tail: None,
+            never_used: (0..capacity as u64).collect(),
+            released: VecDeque::new(),
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    /// Maximum number of mappings.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of mappings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no mapping is stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// True when every identifier is in use.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// Number of evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of TTL expirations performed so far.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Looks up the identifier of a basis. When `touch` is set, the entry is
+    /// marked as used at time `now` (moving it to the front of the LRU list).
+    pub fn lookup_basis(&mut self, basis: &BitVec, now: u64, touch: bool) -> Option<u64> {
+        let id = *self.by_basis.get(basis)?;
+        if touch {
+            self.touch(id, now);
+        }
+        Some(id)
+    }
+
+    /// Looks up the identifier of a basis without updating recency.
+    pub fn peek_basis(&self, basis: &BitVec) -> Option<u64> {
+        self.by_basis.get(basis).copied()
+    }
+
+    /// Looks up the basis mapped to an identifier. When `touch` is set, the
+    /// entry is marked as used at time `now`.
+    pub fn lookup_id(&mut self, id: u64, now: u64, touch: bool) -> Option<BitVec> {
+        if !self.by_id.contains_key(&id) {
+            return None;
+        }
+        if touch {
+            self.touch(id, now);
+        }
+        Some(self.by_id[&id].basis.clone())
+    }
+
+    /// Looks up the basis for an identifier without updating recency.
+    pub fn peek_id(&self, id: u64) -> Option<&BitVec> {
+        self.by_id.get(&id).map(|e| &e.basis)
+    }
+
+    /// Inserts a basis, assigning it an identifier. If the basis is already
+    /// present its existing identifier is refreshed. If the dictionary is
+    /// full, a mapping is evicted according to the configured policy.
+    pub fn insert(&mut self, basis: BitVec, now: u64) -> Result<InsertOutcome> {
+        if let Some(&id) = self.by_basis.get(&basis) {
+            self.touch(id, now);
+            return Ok(InsertOutcome { id, already_known: true, evicted: None });
+        }
+
+        let mut evicted = None;
+        if self.is_full() {
+            let victim = match self.policy {
+                EvictionPolicy::Lru => self.tail.expect("full dictionary has a tail"),
+                EvictionPolicy::Fifo => self.oldest_inserted().expect("full dictionary non-empty"),
+            };
+            let old = self.remove_entry(victim);
+            self.evictions += 1;
+            evicted = Some((victim, old));
+            // The released identifier is the one we hand right back out, so do
+            // not queue it; reuse it directly.
+            let id = victim;
+            self.install(id, basis, now);
+            return Ok(InsertOutcome { id, already_known: false, evicted });
+        }
+
+        let id = self.allocate_id().ok_or(GdError::DictionaryFull)?;
+        self.install(id, basis, now);
+        Ok(InsertOutcome { id, already_known: false, evicted })
+    }
+
+    /// Removes the mapping for `id`, returning its basis.
+    pub fn remove_id(&mut self, id: u64) -> Option<BitVec> {
+        if !self.by_id.contains_key(&id) {
+            return None;
+        }
+        let basis = self.remove_entry(id);
+        self.released.push_back(id);
+        Some(basis)
+    }
+
+    /// Drops every mapping that has been idle for longer than the configured
+    /// TTL, mirroring TNA's per-table-entry ageing. Returns the identifiers
+    /// expired. No-op when no TTL is configured.
+    pub fn expire_idle(&mut self, now: u64) -> Vec<u64> {
+        let Some(ttl) = self.idle_ttl else { return Vec::new() };
+        let mut expired = Vec::new();
+        // Walk from the LRU end; stop at the first entry that is fresh.
+        while let Some(tail) = self.tail {
+            let idle = now.saturating_sub(self.by_id[&tail].last_used);
+            if idle <= ttl {
+                break;
+            }
+            self.remove_entry(tail);
+            self.released.push_back(tail);
+            self.expirations += 1;
+            expired.push(tail);
+        }
+        expired
+    }
+
+    /// Identifier of the least recently used mapping, if any.
+    pub fn lru_id(&self) -> Option<u64> {
+        self.tail
+    }
+
+    /// Identifier of the most recently used mapping, if any.
+    pub fn mru_id(&self) -> Option<u64> {
+        self.head
+    }
+
+    /// Iterates over `(id, basis)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &BitVec)> {
+        self.by_id.iter().map(|(id, e)| (*id, &e.basis))
+    }
+
+    /// Clears all mappings, returning identifiers to the never-used pool.
+    pub fn clear(&mut self) {
+        self.by_basis.clear();
+        self.by_id.clear();
+        self.head = None;
+        self.tail = None;
+        self.never_used = (0..self.capacity as u64).collect();
+        self.released.clear();
+    }
+
+    fn allocate_id(&mut self) -> Option<u64> {
+        // Prefer identifiers that have never been used; otherwise take the
+        // identifier that has been unused the longest.
+        self.never_used.pop_front().or_else(|| self.released.pop_front())
+    }
+
+    fn install(&mut self, id: u64, basis: BitVec, now: u64) {
+        self.by_basis.insert(basis.clone(), id);
+        self.by_id.insert(
+            id,
+            Entry { basis, last_used: now, inserted_at: now, prev: None, next: None },
+        );
+        self.link_front(id);
+    }
+
+    fn remove_entry(&mut self, id: u64) -> BitVec {
+        self.unlink(id);
+        let entry = self.by_id.remove(&id).expect("entry exists");
+        self.by_basis.remove(&entry.basis);
+        entry.basis
+    }
+
+    fn touch(&mut self, id: u64, now: u64) {
+        if let Some(e) = self.by_id.get_mut(&id) {
+            e.last_used = now;
+        }
+        self.unlink(id);
+        self.link_front(id);
+    }
+
+    fn oldest_inserted(&self) -> Option<u64> {
+        self.by_id
+            .iter()
+            .min_by_key(|(id, e)| (e.inserted_at, **id))
+            .map(|(id, _)| *id)
+    }
+
+    fn unlink(&mut self, id: u64) {
+        let (prev, next) = {
+            let e = &self.by_id[&id];
+            (e.prev, e.next)
+        };
+        match prev {
+            Some(p) => self.by_id.get_mut(&p).expect("prev exists").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(nx) => self.by_id.get_mut(&nx).expect("next exists").prev = prev,
+            None => self.tail = prev,
+        }
+        let e = self.by_id.get_mut(&id).expect("entry exists");
+        e.prev = None;
+        e.next = None;
+    }
+
+    fn link_front(&mut self, id: u64) {
+        let old_head = self.head;
+        {
+            let e = self.by_id.get_mut(&id).expect("entry exists");
+            e.prev = None;
+            e.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.by_id.get_mut(&h).expect("head exists").prev = Some(id);
+        }
+        self.head = Some(id);
+        if self.tail.is_none() {
+            self.tail = Some(id);
+        }
+    }
+
+    /// Internal consistency check used by tests and debug assertions.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert_eq!(self.by_basis.len(), self.by_id.len());
+        assert!(self.by_id.len() <= self.capacity);
+        // The LRU list must contain exactly the stored ids.
+        let mut seen = 0usize;
+        let mut cursor = self.head;
+        let mut prev = None;
+        while let Some(id) = cursor {
+            let e = &self.by_id[&id];
+            assert_eq!(e.prev, prev, "prev link of {id}");
+            prev = Some(id);
+            cursor = e.next;
+            seen += 1;
+            assert!(seen <= self.by_id.len(), "cycle in LRU list");
+        }
+        assert_eq!(seen, self.by_id.len(), "LRU list length");
+        assert_eq!(self.tail, prev, "tail pointer");
+        // Identifier pools and live ids never overlap.
+        for id in self.by_id.keys() {
+            assert!(!self.never_used.contains(id));
+            assert!(!self.released.contains(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(v: u64) -> BitVec {
+        BitVec::from_u64(v, 16)
+    }
+
+    #[test]
+    fn insert_and_lookup_roundtrip() {
+        let mut d = BasisDictionary::new(8);
+        let out = d.insert(basis(1), 10).unwrap();
+        assert!(!out.already_known);
+        assert!(out.evicted.is_none());
+        let id = out.id;
+        assert_eq!(d.lookup_basis(&basis(1), 11, true), Some(id));
+        assert_eq!(d.lookup_id(id, 12, false), Some(basis(1)));
+        assert_eq!(d.peek_id(id), Some(&basis(1)));
+        assert_eq!(d.peek_basis(&basis(1)), Some(id));
+        assert_eq!(d.len(), 1);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn reinserting_known_basis_keeps_id() {
+        let mut d = BasisDictionary::new(4);
+        let first = d.insert(basis(7), 1).unwrap();
+        let second = d.insert(basis(7), 2).unwrap();
+        assert!(second.already_known);
+        assert_eq!(first.id, second.id);
+        assert_eq!(d.len(), 1);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn identifiers_are_assigned_from_never_used_pool_first() {
+        let mut d = BasisDictionary::new(4);
+        let ids: Vec<u64> = (0..4).map(|i| d.insert(basis(i), i).unwrap().id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(d.is_full());
+        d.check_invariants();
+    }
+
+    #[test]
+    fn lru_eviction_removes_least_recently_used() {
+        let mut d = BasisDictionary::new(3);
+        let id_a = d.insert(basis(0xA), 1).unwrap().id;
+        let _id_b = d.insert(basis(0xB), 2).unwrap().id;
+        let _id_c = d.insert(basis(0xC), 3).unwrap().id;
+        // Touch A so that B becomes the LRU.
+        assert!(d.lookup_basis(&basis(0xA), 4, true).is_some());
+        let out = d.insert(basis(0xD), 5).unwrap();
+        let (evicted_id, evicted_basis) = out.evicted.expect("eviction expected");
+        assert_eq!(evicted_basis, basis(0xB));
+        // The recycled identifier is handed to the new basis.
+        assert_eq!(out.id, evicted_id);
+        assert_eq!(d.lookup_basis(&basis(0xB), 6, false), None);
+        assert_eq!(d.lookup_basis(&basis(0xA), 6, false), Some(id_a));
+        assert_eq!(d.evictions(), 1);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn fifo_eviction_removes_oldest_insert() {
+        let mut d = BasisDictionary::with_policy(3, EvictionPolicy::Fifo, None);
+        d.insert(basis(1), 1).unwrap();
+        d.insert(basis(2), 2).unwrap();
+        d.insert(basis(3), 3).unwrap();
+        // Touching the oldest entry does not save it under FIFO.
+        d.lookup_basis(&basis(1), 10, true);
+        let out = d.insert(basis(4), 11).unwrap();
+        assert_eq!(out.evicted.unwrap().1, basis(1));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn lookup_without_touch_does_not_change_recency() {
+        let mut d = BasisDictionary::new(2);
+        d.insert(basis(1), 1).unwrap();
+        d.insert(basis(2), 2).unwrap();
+        // Peek at basis 1 without touching; it must remain the LRU victim.
+        assert!(d.lookup_basis(&basis(1), 3, false).is_some());
+        let out = d.insert(basis(3), 4).unwrap();
+        assert_eq!(out.evicted.unwrap().1, basis(1));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn lookup_id_touch_changes_recency() {
+        let mut d = BasisDictionary::new(2);
+        let id1 = d.insert(basis(1), 1).unwrap().id;
+        d.insert(basis(2), 2).unwrap();
+        // Touch id1 via id lookup: basis 2 becomes the victim.
+        assert_eq!(d.lookup_id(id1, 3, true), Some(basis(1)));
+        let out = d.insert(basis(3), 4).unwrap();
+        assert_eq!(out.evicted.unwrap().1, basis(2));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn remove_id_releases_identifier_for_reuse() {
+        let mut d = BasisDictionary::new(2);
+        let id1 = d.insert(basis(1), 1).unwrap().id;
+        let _id2 = d.insert(basis(2), 2).unwrap().id;
+        assert_eq!(d.remove_id(id1), Some(basis(1)));
+        assert_eq!(d.remove_id(id1), None);
+        assert_eq!(d.len(), 1);
+        // The freed identifier is reused for the next insert.
+        let id3 = d.insert(basis(3), 3).unwrap().id;
+        assert_eq!(id3, id1);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn expire_idle_drops_stale_entries_only() {
+        let mut d = BasisDictionary::with_policy(8, EvictionPolicy::Lru, Some(100));
+        d.insert(basis(1), 0).unwrap();
+        d.insert(basis(2), 50).unwrap();
+        d.insert(basis(3), 90).unwrap();
+        let expired = d.expire_idle(160);
+        // Entries idle for more than 100 units at t=160: basis 1 (idle 160),
+        // basis 2 (idle 110). Basis 3 is idle 70 and survives.
+        assert_eq!(expired.len(), 2);
+        assert_eq!(d.len(), 1);
+        assert!(d.peek_basis(&basis(3)).is_some());
+        assert_eq!(d.expirations(), 2);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn expire_idle_without_ttl_is_noop() {
+        let mut d = BasisDictionary::new(4);
+        d.insert(basis(1), 0).unwrap();
+        assert!(d.expire_idle(u64::MAX).is_empty());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn expired_identifiers_are_recycled_least_recently_released_first() {
+        let mut d = BasisDictionary::with_policy(4, EvictionPolicy::Lru, Some(10));
+        let id_a = d.insert(basis(0xA), 0).unwrap().id;
+        let id_b = d.insert(basis(0xB), 1).unwrap().id;
+        d.expire_idle(100);
+        assert_eq!(d.len(), 0);
+        // Never-used ids 2 and 3 are preferred before recycling a and b.
+        let id_c = d.insert(basis(0xC), 101).unwrap().id;
+        let id_d = d.insert(basis(0xD), 102).unwrap().id;
+        assert_eq!(id_c, 2);
+        assert_eq!(id_d, 3);
+        // Then the released ids come back in release order (a before b).
+        let id_e = d.insert(basis(0xE), 103).unwrap().id;
+        let id_f = d.insert(basis(0xF), 104).unwrap().id;
+        assert_eq!(id_e, id_a);
+        assert_eq!(id_f, id_b);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn mru_and_lru_tracking() {
+        let mut d = BasisDictionary::new(4);
+        let id1 = d.insert(basis(1), 1).unwrap().id;
+        let id2 = d.insert(basis(2), 2).unwrap().id;
+        assert_eq!(d.mru_id(), Some(id2));
+        assert_eq!(d.lru_id(), Some(id1));
+        d.lookup_basis(&basis(1), 3, true);
+        assert_eq!(d.mru_id(), Some(id1));
+        assert_eq!(d.lru_id(), Some(id2));
+    }
+
+    #[test]
+    fn clear_resets_pools() {
+        let mut d = BasisDictionary::new(2);
+        d.insert(basis(1), 1).unwrap();
+        d.insert(basis(2), 2).unwrap();
+        d.clear();
+        assert!(d.is_empty());
+        let id = d.insert(basis(3), 3).unwrap().id;
+        assert_eq!(id, 0);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded_under_churn() {
+        let mut d = BasisDictionary::new(16);
+        for i in 0..1000u64 {
+            d.insert(basis(i % 97), i).unwrap();
+            assert!(d.len() <= 16);
+            if i % 3 == 0 {
+                d.lookup_basis(&basis(i % 31), i, true);
+            }
+            if i % 7 == 0 {
+                d.check_invariants();
+            }
+        }
+        d.check_invariants();
+        assert!(d.is_full());
+    }
+
+    #[test]
+    fn with_id_bits_matches_capacity() {
+        let d = BasisDictionary::with_id_bits(15);
+        assert_eq!(d.capacity(), 32_768);
+        let d = BasisDictionary::with_id_bits(3);
+        assert_eq!(d.capacity(), 8);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut d = BasisDictionary::new(8);
+        for i in 0..5u64 {
+            d.insert(basis(i), i).unwrap();
+        }
+        let mut ids: Vec<u64> = d.iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BasisDictionary::new(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by all GD components.
+
+use std::fmt;
+
+/// Errors produced by the Generalized Deduplication core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GdError {
+    /// A buffer or chunk did not have the length required by the operation.
+    ///
+    /// `expected` and `actual` are in bits unless stated otherwise by the
+    /// calling API.
+    LengthMismatch { expected: usize, actual: usize },
+    /// The requested Hamming parameter `m` is outside the supported range.
+    UnsupportedHammingParameter(u32),
+    /// A generator polynomial is invalid for the requested code
+    /// (wrong degree, not primitive, or produces colliding syndromes).
+    InvalidGeneratorPolynomial(String),
+    /// Configuration values are inconsistent (e.g. chunk smaller than the
+    /// Hamming block length).
+    InvalidConfig(String),
+    /// An identifier was not present in the dictionary.
+    UnknownIdentifier(u64),
+    /// A basis was not present in the dictionary.
+    UnknownBasis,
+    /// The dictionary is full and eviction was disallowed by the caller.
+    DictionaryFull,
+    /// A serialized packet or stream could not be parsed.
+    Malformed(String),
+    /// An identifier does not fit in the configured identifier width.
+    IdentifierOverflow { id: u64, bits: u32 },
+}
+
+impl fmt::Display for GdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            GdError::UnsupportedHammingParameter(m) => {
+                write!(f, "unsupported Hamming parameter m = {m} (supported: 3..=15)")
+            }
+            GdError::InvalidGeneratorPolynomial(msg) => {
+                write!(f, "invalid generator polynomial: {msg}")
+            }
+            GdError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GdError::UnknownIdentifier(id) => write!(f, "unknown identifier {id}"),
+            GdError::UnknownBasis => write!(f, "unknown basis"),
+            GdError::DictionaryFull => write!(f, "dictionary is full"),
+            GdError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+            GdError::IdentifierOverflow { id, bits } => {
+                write!(f, "identifier {id} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GdError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, GdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GdError::LengthMismatch { expected: 255, actual: 256 };
+        assert!(e.to_string().contains("255"));
+        assert!(e.to_string().contains("256"));
+
+        let e = GdError::UnsupportedHammingParameter(2);
+        assert!(e.to_string().contains("m = 2"));
+
+        let e = GdError::IdentifierOverflow { id: 70000, bits: 15 };
+        assert!(e.to_string().contains("70000"));
+        assert!(e.to_string().contains("15"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GdError>();
+    }
+
+    #[test]
+    fn errors_compare_equal_by_value() {
+        assert_eq!(GdError::UnknownBasis, GdError::UnknownBasis);
+        assert_ne!(
+            GdError::UnknownIdentifier(1),
+            GdError::UnknownIdentifier(2)
+        );
+    }
+}

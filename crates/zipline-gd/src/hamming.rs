@@ -1,0 +1,471 @@
+//! Hamming codes and their CRC equivalence (Section 2, Tables 1 and 2).
+//!
+//! A Hamming code with parameter `m` maps `k = 2^m - m - 1` message bits to
+//! `n = 2^m - 1` codeword bits by adding `m` parity bits. ZipLine uses the
+//! code in *shifted* systematic form `Gs = [P | I_k]`: the parity bits occupy
+//! the most-significant `m` bit positions of the codeword and the message the
+//! least-significant `k` positions, because that arrangement "matches the
+//! output of CRC functions" (the syndrome of a received word equals its CRC
+//! under the same generator polynomial — Table 2).
+//!
+//! Bit/polynomial convention (same as [`crate::bits`]): position 0 of a
+//! [`BitVec`] is the first bit, the coefficient of the highest power of `x`.
+
+use crate::bits::BitVec;
+use crate::crc::{table1, CrcEngine, CrcSpec};
+use crate::error::{GdError, Result};
+use crate::poly::Gf2Poly;
+
+/// A binary Hamming code `(n, k) = (2^m - 1, 2^m - m - 1)` defined by a
+/// primitive generator polynomial of degree `m`, with syndrome computation
+/// mapped onto a CRC-m engine.
+#[derive(Debug, Clone)]
+pub struct HammingCode {
+    m: u32,
+    n: usize,
+    k: usize,
+    generator: Gf2Poly,
+    crc: CrcEngine,
+    /// `syndrome_to_position[s]` is the codeword bit position (counted from
+    /// the *first* bit, i.e. index into a `BitVec` of length `n`) whose
+    /// single-bit error produces syndrome `s`. Entry 0 is unused (syndrome 0
+    /// means "no error").
+    syndrome_to_position: Vec<usize>,
+}
+
+impl HammingCode {
+    /// Builds the code for parameter `m` using the primary generator
+    /// polynomial listed in Table 1 of the paper.
+    ///
+    /// Supported range: `3 <= m <= 15`.
+    pub fn new(m: u32) -> Result<Self> {
+        let row = table1::primary_row(m).ok_or(GdError::UnsupportedHammingParameter(m))?;
+        Self::with_generator(m, row.generator())
+    }
+
+    /// Builds the code for parameter `m` with an explicit generator
+    /// polynomial. The polynomial must have degree `m` and be primitive.
+    pub fn with_generator(m: u32, generator: Gf2Poly) -> Result<Self> {
+        if !(3..=15).contains(&m) {
+            return Err(GdError::UnsupportedHammingParameter(m));
+        }
+        if generator.degree() != m {
+            return Err(GdError::InvalidGeneratorPolynomial(format!(
+                "generator {generator} has degree {} but m = {m}",
+                generator.degree()
+            )));
+        }
+        if !generator.is_primitive() {
+            return Err(GdError::InvalidGeneratorPolynomial(format!(
+                "generator {generator} is not primitive; syndromes would not identify \
+                 single-bit errors uniquely"
+            )));
+        }
+        let n = (1usize << m) - 1;
+        let k = n - m as usize;
+        let crc = CrcEngine::new(CrcSpec::from_full_poly(generator)?);
+
+        // Build the syndrome -> error-position lookup table. An error in the
+        // coefficient of x^i produces syndrome x^i mod g; the corresponding
+        // BitVec position is n - 1 - i (position 0 = highest power).
+        let mut syndrome_to_position = vec![usize::MAX; n + 1];
+        for i in 0..n as u64 {
+            let s = crc.crc_of_monomial(i) as usize;
+            debug_assert_ne!(s, 0, "primitive generator cannot give zero syndrome");
+            debug_assert_eq!(
+                syndrome_to_position[s],
+                usize::MAX,
+                "syndrome collision — generator not primitive?"
+            );
+            syndrome_to_position[s] = n - 1 - i as usize;
+        }
+
+        Ok(Self { m, n, k, generator, crc, syndrome_to_position })
+    }
+
+    /// Hamming parameter `m` (number of parity bits / syndrome width).
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Codeword length `n = 2^m - 1` in bits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message length `k = n - m` in bits.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The generator polynomial.
+    pub fn generator(&self) -> Gf2Poly {
+        self.generator
+    }
+
+    /// The CRC engine equivalent to this code's syndrome computation.
+    pub fn crc(&self) -> &CrcEngine {
+        &self.crc
+    }
+
+    /// Computes the syndrome of an `n`-bit word: `s = B · Hᵀ = CRC(B)`.
+    pub fn syndrome(&self, word: &BitVec) -> Result<u64> {
+        if word.len() != self.n {
+            return Err(GdError::LengthMismatch { expected: self.n, actual: word.len() });
+        }
+        Ok(self.crc.compute_bits(word))
+    }
+
+    /// Maps a syndrome to the position (index into the `n`-bit word, position
+    /// 0 = first bit) of the single-bit error that produces it.
+    ///
+    /// Returns `None` for syndrome 0 (no error) and an error for syndromes
+    /// outside `0..2^m` (impossible for a well-formed CRC result).
+    pub fn error_position(&self, syndrome: u64) -> Result<Option<usize>> {
+        if syndrome == 0 {
+            return Ok(None);
+        }
+        let idx = usize::try_from(syndrome)
+            .ok()
+            .filter(|&s| s <= self.n)
+            .ok_or_else(|| GdError::Malformed(format!("syndrome {syndrome} out of range")))?;
+        let pos = self.syndrome_to_position[idx];
+        debug_assert_ne!(pos, usize::MAX);
+        Ok(Some(pos))
+    }
+
+    /// Returns the `n`-bit error mask (single set bit, or all zeros for
+    /// syndrome 0) associated with a syndrome — the value ZipLine stores in
+    /// its "syndrome look-up table" and XORs onto the data (step ➌/➍ of
+    /// Figure 1).
+    pub fn error_mask(&self, syndrome: u64) -> Result<BitVec> {
+        let mut mask = BitVec::zeros(self.n);
+        if let Some(pos) = self.error_position(syndrome)? {
+            mask.set(pos, true);
+        }
+        Ok(mask)
+    }
+
+    /// Encodes a `k`-bit message into an `n`-bit codeword
+    /// `c = [parity (m bits) | message (k bits)]` with
+    /// `parity = (message(x) · x^m) mod g`.
+    ///
+    /// The resulting codeword always has syndrome 0.
+    pub fn encode(&self, message: &BitVec) -> Result<BitVec> {
+        if message.len() != self.k {
+            return Err(GdError::LengthMismatch { expected: self.k, actual: message.len() });
+        }
+        let parity = self.parity_of_message(message);
+        let mut codeword = BitVec::with_capacity(self.n);
+        codeword.push_bits(parity, self.m as usize);
+        codeword.extend_from_bitvec(message);
+        Ok(codeword)
+    }
+
+    /// Computes the parity bits for a message: the CRC of the message
+    /// zero-padded with `m` trailing bits, i.e. `(message(x) · x^m) mod g`.
+    ///
+    /// This is exactly what the ZipLine decoder does on the switch (step ➍ of
+    /// Figure 2): it feeds the zero-padded basis to the same CRC unit as the
+    /// encoder to regenerate the parity bits that the encoder truncated away.
+    pub fn parity_of_message(&self, message: &BitVec) -> u64 {
+        let mut padded = message.clone();
+        padded.push_bits(0, self.m as usize);
+        self.crc.compute_bits(&padded)
+    }
+
+    /// Decodes a received `n`-bit word: computes the syndrome, flips the
+    /// indicated bit (if any) and returns `(corrected codeword, error
+    /// position)`.
+    pub fn decode(&self, received: &BitVec) -> Result<(BitVec, Option<usize>)> {
+        let s = self.syndrome(received)?;
+        let pos = self.error_position(s)?;
+        let mut corrected = received.clone();
+        if let Some(p) = pos {
+            corrected.flip(p);
+        }
+        Ok((corrected, pos))
+    }
+
+    /// Extracts the `k` message bits (the rightmost `k` bits) of a codeword.
+    pub fn extract_message(&self, codeword: &BitVec) -> Result<BitVec> {
+        if codeword.len() != self.n {
+            return Err(GdError::LengthMismatch { expected: self.n, actual: codeword.len() });
+        }
+        Ok(codeword.slice(self.m as usize..self.n))
+    }
+
+    /// Returns the parity-check matrix `H` as `m` rows of `n` bits.
+    ///
+    /// Column `j` of `H` (for codeword bit position `j`, i.e. the coefficient
+    /// of `x^{n-1-j}`) is `x^{n-1-j} mod g` written as an `m`-bit column.
+    /// Only used by tests and documentation; the data path always goes
+    /// through the CRC engine.
+    pub fn parity_check_matrix(&self) -> Vec<BitVec> {
+        let mut rows = vec![BitVec::zeros(self.n); self.m as usize];
+        for j in 0..self.n {
+            let col = self.crc.crc_of_monomial((self.n - 1 - j) as u64);
+            for (r, row) in rows.iter_mut().enumerate() {
+                // Row r corresponds to syndrome bit m-1-r (first row = MSB).
+                let bit = (col >> (self.m as usize - 1 - r)) & 1 == 1;
+                if bit {
+                    row.set(j, true);
+                }
+            }
+        }
+        rows
+    }
+
+    /// Returns the shifted systematic generator matrix `Gs = [P | I_k]` as
+    /// `k` rows of `n` bits. Row `i` is the codeword of the message with a
+    /// single one in message position `i`.
+    pub fn generator_matrix(&self) -> Vec<BitVec> {
+        let mut rows = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let mut msg = BitVec::zeros(self.k);
+            msg.set(i, true);
+            rows.push(self.encode(&msg).expect("message has length k"));
+        }
+        rows
+    }
+}
+
+/// Convenience: all Hamming parameters supported by this crate (Table 1).
+pub fn supported_parameters() -> impl Iterator<Item = u32> {
+    3..=15u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_match_table1() {
+        let expected = [
+            (3u32, 7usize, 4usize),
+            (4, 15, 11),
+            (5, 31, 26),
+            (6, 63, 57),
+            (7, 127, 120),
+            (8, 255, 247),
+            (9, 511, 502),
+            (10, 1023, 1013),
+            (11, 2047, 2036),
+            (12, 4095, 4083),
+            (13, 8191, 8178),
+            (14, 16383, 16369),
+            (15, 32767, 32752),
+        ];
+        for (m, n, k) in expected {
+            let code = HammingCode::new(m).unwrap();
+            assert_eq!(code.n(), n, "m = {m}");
+            assert_eq!(code.k(), k, "m = {m}");
+            assert_eq!(code.m(), m);
+        }
+    }
+
+    #[test]
+    fn unsupported_parameters_are_rejected() {
+        assert!(matches!(HammingCode::new(2), Err(GdError::UnsupportedHammingParameter(2))));
+        assert!(matches!(HammingCode::new(16), Err(GdError::UnsupportedHammingParameter(16))));
+    }
+
+    #[test]
+    fn non_primitive_generator_is_rejected() {
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but not primitive.
+        let g = Gf2Poly::from_exponents(&[4, 3, 2, 1, 0]);
+        assert!(matches!(
+            HammingCode::with_generator(4, g),
+            Err(GdError::InvalidGeneratorPolynomial(_))
+        ));
+        // Wrong degree.
+        let g = Gf2Poly::from_exponents(&[3, 1, 0]);
+        assert!(HammingCode::with_generator(4, g).is_err());
+    }
+
+    /// Table 2 (a) of the paper: syndromes of every single-bit error pattern
+    /// of the (7, 4) code.
+    #[test]
+    fn table2a_hamming_7_4_syndromes() {
+        let code = HammingCode::new(3).unwrap();
+        // (error index i = coefficient x^i, bit sequence, syndrome)
+        let expected = [
+            (0u64, 0b0000001u64, 0b001u64),
+            (1, 0b0000010, 0b010),
+            (2, 0b0000100, 0b100),
+            (3, 0b0001000, 0b011),
+            (4, 0b0010000, 0b110),
+            (5, 0b0100000, 0b111),
+            (6, 0b1000000, 0b101),
+        ];
+        for (i, seq, syndrome) in expected {
+            let word = BitVec::from_u64(seq, 7);
+            assert_eq!(code.syndrome(&word).unwrap(), syndrome, "error at x^{i}");
+            // And the reverse mapping points back at the same bit.
+            let pos = code.error_position(syndrome).unwrap().unwrap();
+            assert_eq!(pos, 6 - i as usize, "syndrome {syndrome:03b}");
+        }
+    }
+
+    #[test]
+    fn syndrome_zero_means_no_error() {
+        let code = HammingCode::new(3).unwrap();
+        assert_eq!(code.error_position(0).unwrap(), None);
+        let mask = code.error_mask(0).unwrap();
+        assert!(mask.is_zero());
+        assert_eq!(mask.len(), 7);
+    }
+
+    #[test]
+    fn error_mask_has_exactly_one_bit_for_nonzero_syndrome() {
+        for m in [3u32, 4, 5, 8] {
+            let code = HammingCode::new(m).unwrap();
+            for s in 1..=(code.n() as u64) {
+                let mask = code.error_mask(s).unwrap();
+                assert_eq!(mask.count_ones(), 1, "m = {m}, syndrome = {s}");
+                assert_eq!(code.syndrome(&mask).unwrap(), s, "mask must reproduce syndrome");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_syndrome_is_rejected() {
+        let code = HammingCode::new(3).unwrap();
+        assert!(code.error_position(8).is_err());
+        assert!(code.error_position(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn encode_produces_zero_syndrome_codewords() {
+        for m in [3u32, 4, 5, 6, 8] {
+            let code = HammingCode::new(m).unwrap();
+            // Try a handful of structured messages.
+            for seed in 0..16u64 {
+                let mut msg = BitVec::zeros(code.k());
+                for i in 0..code.k() {
+                    if (seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32)) & 1 == 1 {
+                        msg.set(i, true);
+                    }
+                }
+                let cw = code.encode(&msg).unwrap();
+                assert_eq!(cw.len(), code.n());
+                assert_eq!(code.syndrome(&cw).unwrap(), 0, "m = {m}, seed = {seed}");
+                assert_eq!(code.extract_message(&cw).unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_corrects_every_single_bit_error() {
+        let code = HammingCode::new(4).unwrap();
+        let msg = BitVec::from_bit_str("10110100101").unwrap();
+        assert_eq!(msg.len(), code.k());
+        let cw = code.encode(&msg).unwrap();
+        for flip in 0..code.n() {
+            let mut corrupted = cw.clone();
+            corrupted.flip(flip);
+            let (corrected, pos) = code.decode(&corrupted).unwrap();
+            assert_eq!(corrected, cw, "flip at {flip}");
+            assert_eq!(pos, Some(flip));
+        }
+        // No error case.
+        let (corrected, pos) = code.decode(&cw).unwrap();
+        assert_eq!(corrected, cw);
+        assert_eq!(pos, None);
+    }
+
+    #[test]
+    fn length_mismatches_are_rejected() {
+        let code = HammingCode::new(3).unwrap();
+        assert!(code.syndrome(&BitVec::zeros(8)).is_err());
+        assert!(code.encode(&BitVec::zeros(5)).is_err());
+        assert!(code.extract_message(&BitVec::zeros(6)).is_err());
+        assert!(code.decode(&BitVec::zeros(6)).is_err());
+    }
+
+    #[test]
+    fn parity_check_matrix_columns_are_distinct_and_nonzero() {
+        let code = HammingCode::new(3).unwrap();
+        let h = code.parity_check_matrix();
+        assert_eq!(h.len(), 3);
+        let mut columns = Vec::new();
+        for j in 0..code.n() {
+            let mut col = 0u64;
+            for row in &h {
+                col = (col << 1) | (row.get(j) as u64);
+            }
+            assert_ne!(col, 0, "column {j} must be non-zero");
+            columns.push(col);
+        }
+        columns.sort_unstable();
+        columns.dedup();
+        assert_eq!(columns.len(), code.n(), "columns must be distinct (Hamming property)");
+    }
+
+    #[test]
+    fn generator_and_parity_check_are_orthogonal() {
+        // Gs · Hᵀ = 0: every generator row has syndrome zero.
+        for m in [3u32, 4, 5] {
+            let code = HammingCode::new(m).unwrap();
+            for (i, row) in code.generator_matrix().iter().enumerate() {
+                assert_eq!(code.syndrome(row).unwrap(), 0, "m = {m}, row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_matrix_is_shifted_systematic() {
+        // Gs = [P | I_k]: the rightmost k bits of row i form the i-th unit
+        // vector.
+        let code = HammingCode::new(3).unwrap();
+        let g = code.generator_matrix();
+        assert_eq!(g.len(), code.k());
+        for (i, row) in g.iter().enumerate() {
+            let msg_part = code.extract_message(row).unwrap();
+            assert_eq!(msg_part.count_ones(), 1);
+            assert!(msg_part.get(i));
+        }
+    }
+
+    #[test]
+    fn syndrome_equals_crc_for_random_words() {
+        // The central equivalence the paper exploits: the Hamming syndrome of
+        // a word equals its CRC under the same generator.
+        let code = HammingCode::new(8).unwrap();
+        let crc = code.crc();
+        for seed in 0..32u64 {
+            let mut word = BitVec::zeros(code.n());
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+            for i in 0..code.n() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (state >> 62) & 1 == 1 {
+                    word.set(i, true);
+                }
+            }
+            assert_eq!(code.syndrome(&word).unwrap(), crc.compute_bits(&word));
+        }
+    }
+
+    #[test]
+    fn alternate_generators_from_table1_work() {
+        // m = 5 has two listed generators; both must give working codes.
+        let alt = Gf2Poly::from_exponents(&[5, 4, 2, 1, 0]);
+        let code = HammingCode::with_generator(5, alt).unwrap();
+        let msg = BitVec::ones(code.k());
+        let cw = code.encode(&msg).unwrap();
+        assert_eq!(code.syndrome(&cw).unwrap(), 0);
+        let mut corrupted = cw.clone();
+        corrupted.flip(17);
+        let (fixed, pos) = code.decode(&corrupted).unwrap();
+        assert_eq!(fixed, cw);
+        assert_eq!(pos, Some(17));
+    }
+
+    #[test]
+    fn supported_parameters_iterates_3_to_15() {
+        let params: Vec<u32> = supported_parameters().collect();
+        assert_eq!(params.first(), Some(&3));
+        assert_eq!(params.last(), Some(&15));
+        assert_eq!(params.len(), 13);
+    }
+}

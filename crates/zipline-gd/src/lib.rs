@@ -1,0 +1,57 @@
+//! Generalized Deduplication (GD) core for the ZipLine reproduction.
+//!
+//! This crate implements the compression algorithm at the heart of
+//! *ZipLine: In-Network Compression at Line Speed* (CoNEXT 2020):
+//!
+//! * bit-exact buffers ([`bits`]) — Hamming block lengths are never byte
+//!   aligned, so all processing is done at bit granularity;
+//! * polynomial arithmetic over GF(2) ([`poly`]) and a generic CRC engine
+//!   ([`crc`]) matching the paper's `CRC(B) = B(x) mod g(x)` convention;
+//! * Hamming codes and their CRC equivalence ([`hamming`], Tables 1 and 2 of
+//!   the paper);
+//! * the GD transformation function mapping a chunk to a *basis* plus a
+//!   *deviation* ([`transform`], Figures 1 and 2);
+//! * a chunk/stream codec ([`codec`]), the basis dictionary with LRU + TTL
+//!   semantics ([`dictionary`]), the ZipLine wire formats ([`packet`]) and
+//!   compression statistics ([`stats`]).
+//!
+//! The crate is hardware independent: the in-switch deployment of the same
+//! workflow lives in the `zipline` and `zipline-switch` crates.
+//!
+//! # Quick example
+//!
+//! ```
+//! use zipline_gd::{GdConfig, codec::ChunkCodec};
+//!
+//! // Paper parameters: Hamming(255, 247), 15-bit identifiers, 32-byte chunks.
+//! let config = GdConfig::paper_default();
+//! let codec = ChunkCodec::new(&config).unwrap();
+//!
+//! let chunk = [0xAB_u8; 32];
+//! let encoded = codec.encode_chunk(&chunk).unwrap();
+//! let decoded = codec.decode_chunk(&encoded).unwrap();
+//! assert_eq!(decoded, chunk);
+//! ```
+
+pub mod bits;
+pub mod codec;
+pub mod config;
+pub mod crc;
+pub mod dictionary;
+pub mod error;
+pub mod hamming;
+pub mod packet;
+pub mod poly;
+pub mod stats;
+pub mod transform;
+
+pub use bits::BitVec;
+pub use codec::{ChunkCodec, GdCompressor, GdDecompressor};
+pub use config::GdConfig;
+pub use crc::{CrcEngine, CrcSpec};
+pub use dictionary::BasisDictionary;
+pub use error::GdError;
+pub use hamming::HammingCode;
+pub use packet::{PacketType, ZipLinePayload};
+pub use stats::CompressionStats;
+pub use transform::HammingTransform;

@@ -1,0 +1,383 @@
+//! Polynomials over GF(2) with degree below 64.
+//!
+//! Generator polynomials for the Hamming codes of Table 1 have degree at most
+//! 15, so a single `u64` of coefficient bits is plenty. Bit `i` of the
+//! representation is the coefficient of `x^i`.
+//!
+//! These polynomials are used to describe CRC generators, to verify
+//! primitivity (a Hamming generator must be primitive so that every non-zero
+//! syndrome maps to exactly one single-bit error pattern), and in tests that
+//! check the algebra the paper relies on (e.g. `x^n ≡ 1 (mod g)`).
+
+use std::fmt;
+
+/// A polynomial over GF(2), stored as coefficient bits in a `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf2Poly(pub u64);
+
+impl Gf2Poly {
+    /// The zero polynomial.
+    pub const ZERO: Gf2Poly = Gf2Poly(0);
+    /// The constant polynomial `1`.
+    pub const ONE: Gf2Poly = Gf2Poly(1);
+    /// The polynomial `x`.
+    pub const X: Gf2Poly = Gf2Poly(2);
+
+    /// Builds a polynomial from a list of exponents with non-zero
+    /// coefficients, e.g. `from_exponents(&[8, 4, 3, 2, 0])` for
+    /// `x^8 + x^4 + x^3 + x^2 + 1`.
+    ///
+    /// # Panics
+    /// Panics if any exponent is 64 or larger.
+    pub fn from_exponents(exponents: &[u32]) -> Self {
+        let mut bits = 0u64;
+        for &e in exponents {
+            assert!(e < 64, "exponent {e} too large");
+            bits |= 1 << e;
+        }
+        Gf2Poly(bits)
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Degree of the polynomial; the zero polynomial reports degree 0.
+    pub fn degree(&self) -> u32 {
+        if self.0 == 0 {
+            0
+        } else {
+            63 - self.0.leading_zeros()
+        }
+    }
+
+    /// Coefficient of `x^i`.
+    pub fn coefficient(&self, i: u32) -> bool {
+        i < 64 && (self.0 >> i) & 1 == 1
+    }
+
+    /// Addition over GF(2) (same as subtraction): XOR of coefficients.
+    pub fn add(&self, other: Gf2Poly) -> Gf2Poly {
+        Gf2Poly(self.0 ^ other.0)
+    }
+
+    /// Carry-less multiplication.
+    ///
+    /// # Panics
+    /// Panics if the product would overflow 64 coefficient bits.
+    pub fn mul(&self, other: Gf2Poly) -> Gf2Poly {
+        if self.is_zero() || other.is_zero() {
+            return Gf2Poly::ZERO;
+        }
+        assert!(
+            self.degree() + other.degree() < 64,
+            "product degree would overflow u64 representation"
+        );
+        let mut acc = 0u64;
+        let mut a = self.0;
+        let mut shift = 0;
+        while a != 0 {
+            if a & 1 == 1 {
+                acc ^= other.0 << shift;
+            }
+            a >>= 1;
+            shift += 1;
+        }
+        Gf2Poly(acc)
+    }
+
+    /// Polynomial long division: returns `(quotient, remainder)` with
+    /// `self = quotient * divisor + remainder` and
+    /// `deg(remainder) < deg(divisor)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn divmod(&self, divisor: Gf2Poly) -> (Gf2Poly, Gf2Poly) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        let mut rem = self.0;
+        let mut quot = 0u64;
+        let ddeg = divisor.degree();
+        while rem != 0 && Gf2Poly(rem).degree() >= ddeg {
+            let shift = Gf2Poly(rem).degree() - ddeg;
+            rem ^= divisor.0 << shift;
+            quot |= 1 << shift;
+            if Gf2Poly(rem).is_zero() {
+                break;
+            }
+        }
+        (Gf2Poly(quot), Gf2Poly(rem))
+    }
+
+    /// Remainder of `self` modulo `modulus`.
+    pub fn rem(&self, modulus: Gf2Poly) -> Gf2Poly {
+        self.divmod(modulus).1
+    }
+
+    /// Computes `x^e mod modulus` by square-and-multiply, without ever
+    /// materialising `x^e` (so `e` may exceed 63).
+    pub fn x_pow_mod(e: u64, modulus: Gf2Poly) -> Gf2Poly {
+        assert!(!modulus.is_zero(), "modulus must be non-zero");
+        assert!(modulus.degree() >= 1, "modulus must have degree >= 1");
+        let mut result = Gf2Poly::ONE;
+        let mut base = Gf2Poly::X.rem(modulus);
+        let mut exp = e;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result.mul_mod(base, modulus);
+            }
+            base = base.mul_mod(base, modulus);
+            exp >>= 1;
+        }
+        result
+    }
+
+    /// Modular carry-less multiplication; operands are reduced first so the
+    /// intermediate product never overflows for moduli of degree <= 31.
+    pub fn mul_mod(&self, other: Gf2Poly, modulus: Gf2Poly) -> Gf2Poly {
+        let a = self.rem(modulus);
+        let b = other.rem(modulus);
+        a.mul(b).rem(modulus)
+    }
+
+    /// True when the polynomial is irreducible over GF(2).
+    ///
+    /// Uses trial division by all polynomials of degree up to `deg/2`.
+    /// Intended for the small degrees used by Hamming generators.
+    pub fn is_irreducible(&self) -> bool {
+        let deg = self.degree();
+        if deg == 0 {
+            return false;
+        }
+        if deg == 1 {
+            return true;
+        }
+        // A polynomial with a zero constant term is divisible by x.
+        if !self.coefficient(0) {
+            return false;
+        }
+        for candidate in 2..(1u64 << (deg / 2 + 1)) {
+            let c = Gf2Poly(candidate);
+            if c.degree() >= 1 && c.degree() <= deg / 2 && self.rem(c).is_zero() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when the polynomial is primitive over GF(2), i.e. irreducible and
+    /// with `x` generating the full multiplicative group of
+    /// `GF(2)[x]/(self)`: the order of `x` is `2^deg - 1`.
+    ///
+    /// Primitivity is exactly the property the GD decoder relies on: it
+    /// guarantees `x^n ≡ 1 (mod g)` with `n = 2^m - 1`, which is what lets the
+    /// decoder regenerate the truncated parity bits from the zero-padded
+    /// basis (section 4 of the paper).
+    pub fn is_primitive(&self) -> bool {
+        if !self.is_irreducible() {
+            return false;
+        }
+        let deg = self.degree();
+        if deg == 0 {
+            return false;
+        }
+        let order = (1u64 << deg) - 1;
+        // x^order must be 1 ...
+        if Gf2Poly::x_pow_mod(order, *self) != Gf2Poly::ONE {
+            return false;
+        }
+        // ... and x^(order / p) must not be 1 for any prime divisor p.
+        for p in prime_factors(order) {
+            if Gf2Poly::x_pow_mod(order / p, *self) == Gf2Poly::ONE {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Returns the distinct prime factors of `n`.
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            factors.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+impl fmt::Debug for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Poly({self})")
+    }
+}
+
+impl fmt::Display for Gf2Poly {
+    /// Writes the polynomial in the paper's notation,
+    /// e.g. `x^8 + x^4 + x^3 + x^2 + 1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for i in (0..=self.degree()).rev() {
+            if self.coefficient(i) {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                match i {
+                    0 => write!(f, "1")?,
+                    1 => write!(f, "x")?,
+                    _ => write!(f, "x^{i}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_coefficients() {
+        let p = Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]);
+        assert_eq!(p.degree(), 8);
+        assert!(p.coefficient(0));
+        assert!(p.coefficient(4));
+        assert!(!p.coefficient(1));
+        assert!(!p.coefficient(63));
+        assert_eq!(Gf2Poly::ZERO.degree(), 0);
+        assert_eq!(Gf2Poly::ONE.degree(), 0);
+        assert_eq!(Gf2Poly::X.degree(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]);
+        assert_eq!(p.to_string(), "x^8 + x^4 + x^3 + x^2 + 1");
+        assert_eq!(Gf2Poly::from_exponents(&[3, 1, 0]).to_string(), "x^3 + x + 1");
+        assert_eq!(Gf2Poly::ZERO.to_string(), "0");
+        assert_eq!(Gf2Poly::ONE.to_string(), "1");
+        assert_eq!(Gf2Poly::X.to_string(), "x");
+    }
+
+    #[test]
+    fn addition_is_xor() {
+        let a = Gf2Poly(0b1011);
+        let b = Gf2Poly(0b0110);
+        assert_eq!(a.add(b), Gf2Poly(0b1101));
+        assert_eq!(a.add(a), Gf2Poly::ZERO);
+    }
+
+    #[test]
+    fn multiplication_small_cases() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        let x_plus_1 = Gf2Poly(0b11);
+        assert_eq!(x_plus_1.mul(x_plus_1), Gf2Poly(0b101));
+        // (x^2 + x + 1)(x + 1) = x^3 + 1
+        let a = Gf2Poly(0b111);
+        assert_eq!(a.mul(x_plus_1), Gf2Poly(0b1001));
+        assert_eq!(a.mul(Gf2Poly::ZERO), Gf2Poly::ZERO);
+        assert_eq!(a.mul(Gf2Poly::ONE), a);
+    }
+
+    #[test]
+    fn divmod_reconstructs_dividend() {
+        let g = Gf2Poly::from_exponents(&[3, 1, 0]);
+        for value in 0u64..512 {
+            let p = Gf2Poly(value);
+            let (q, r) = p.divmod(g);
+            assert!(r.is_zero() || r.degree() < g.degree());
+            assert_eq!(q.mul(g).add(r), p, "value {value}");
+        }
+    }
+
+    #[test]
+    fn rem_of_codeword_multiples_is_zero() {
+        let g = Gf2Poly::from_exponents(&[3, 1, 0]);
+        for mult in 0u64..16 {
+            let m = Gf2Poly(mult);
+            assert!(m.mul(g).rem(g).is_zero());
+        }
+    }
+
+    #[test]
+    fn x_pow_mod_matches_naive() {
+        let g = Gf2Poly::from_exponents(&[4, 1, 0]);
+        let mut acc = Gf2Poly::ONE;
+        for e in 0..40u64 {
+            assert_eq!(Gf2Poly::x_pow_mod(e, g), acc, "exponent {e}");
+            acc = acc.mul(Gf2Poly::X).rem(g);
+        }
+    }
+
+    #[test]
+    fn x_pow_n_is_one_for_primitive_hamming_generators() {
+        // The property the GD decoder relies on: x^(2^m - 1) = 1 mod g.
+        let cases = [
+            (3u32, Gf2Poly::from_exponents(&[3, 1, 0])),
+            (4, Gf2Poly::from_exponents(&[4, 1, 0])),
+            (5, Gf2Poly::from_exponents(&[5, 2, 0])),
+            (8, Gf2Poly::from_exponents(&[8, 4, 3, 2, 0])),
+        ];
+        for (m, g) in cases {
+            let n = (1u64 << m) - 1;
+            assert_eq!(Gf2Poly::x_pow_mod(n, g), Gf2Poly::ONE, "m = {m}");
+            // And not 1 for any smaller exponent (primitivity).
+            for e in 1..n {
+                assert_ne!(Gf2Poly::x_pow_mod(e, g), Gf2Poly::ONE, "m = {m}, e = {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn irreducibility() {
+        assert!(Gf2Poly::from_exponents(&[3, 1, 0]).is_irreducible());
+        assert!(Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]).is_irreducible());
+        // x^2 + 1 = (x+1)^2 is reducible.
+        assert!(!Gf2Poly::from_exponents(&[2, 0]).is_irreducible());
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive.
+        assert!(Gf2Poly::from_exponents(&[4, 3, 2, 1, 0]).is_irreducible());
+        // Zero constant term => divisible by x.
+        assert!(!Gf2Poly::from_exponents(&[4, 1]).is_irreducible());
+        assert!(!Gf2Poly::ZERO.is_irreducible());
+        assert!(!Gf2Poly::ONE.is_irreducible());
+    }
+
+    #[test]
+    fn primitivity() {
+        assert!(Gf2Poly::from_exponents(&[3, 1, 0]).is_primitive());
+        assert!(Gf2Poly::from_exponents(&[4, 1, 0]).is_primitive());
+        assert!(Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]).is_primitive());
+        // Irreducible but order of x is 5, not 15.
+        assert!(!Gf2Poly::from_exponents(&[4, 3, 2, 1, 0]).is_primitive());
+        assert!(!Gf2Poly::from_exponents(&[2, 0]).is_primitive());
+    }
+
+    #[test]
+    fn prime_factors_works() {
+        assert_eq!(prime_factors(1), Vec::<u64>::new());
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(12), vec![2, 3]);
+        assert_eq!(prime_factors(255), vec![3, 5, 17]);
+        assert_eq!(prime_factors(32767), vec![7, 31, 151]);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by the zero polynomial")]
+    fn divide_by_zero_panics() {
+        let _ = Gf2Poly(0b101).divmod(Gf2Poly::ZERO);
+    }
+}

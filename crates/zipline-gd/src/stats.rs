@@ -1,0 +1,166 @@
+//! Compression statistics.
+//!
+//! ZipLine "adds counters to provide easily-accessible statistics of the
+//! inner-workings" (section 5): packets are classified according to how they
+//! are transformed. This module provides the same accounting for both the
+//! offline codec and the in-switch deployment, and is what the Figure 3
+//! experiment reads out.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how a stream of chunks/packets was processed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Chunks that entered the encoder as raw (type 1) payloads.
+    pub chunks_in: u64,
+    /// Chunks emitted as *processed but uncompressed* (type 2) payloads
+    /// (syndrome + basis) because their basis was not in the table.
+    pub emitted_uncompressed: u64,
+    /// Chunks emitted as *processed and compressed* (type 3) payloads
+    /// (syndrome + identifier).
+    pub emitted_compressed: u64,
+    /// Chunks forwarded untouched (encoder bypass / non-matching packets).
+    pub emitted_raw: u64,
+    /// Digests sent to the control plane for unknown bases.
+    pub digests_sent: u64,
+    /// Basis → identifier mappings learned (installed in the encoder table).
+    pub bases_learned: u64,
+    /// Mappings evicted to make room for new ones.
+    pub evictions: u64,
+    /// Total payload bytes that entered the encoder.
+    pub bytes_in: u64,
+    /// Total payload bytes emitted after processing.
+    pub bytes_out: u64,
+    /// Chunks reconstructed by the decoder.
+    pub chunks_decoded: u64,
+    /// Decoder failures (unknown identifier, malformed payload).
+    pub decode_failures: u64,
+}
+
+impl CompressionStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compression ratio: output bytes divided by input bytes
+    /// (lower is better; 1.0 means no change). Returns `None` before any
+    /// input has been processed.
+    pub fn compression_ratio(&self) -> Option<f64> {
+        if self.bytes_in == 0 {
+            None
+        } else {
+            Some(self.bytes_out as f64 / self.bytes_in as f64)
+        }
+    }
+
+    /// Space savings: `1 - compression_ratio`, e.g. `0.89` for the paper's
+    /// synthetic dataset under dynamic learning.
+    pub fn savings(&self) -> Option<f64> {
+        self.compression_ratio().map(|r| 1.0 - r)
+    }
+
+    /// Total chunks emitted in any processed or raw form.
+    pub fn chunks_out(&self) -> u64 {
+        self.emitted_uncompressed + self.emitted_compressed + self.emitted_raw
+    }
+
+    /// Fraction of chunks that left the encoder in compressed (type 3) form.
+    pub fn compressed_fraction(&self) -> Option<f64> {
+        let out = self.chunks_out();
+        if out == 0 {
+            None
+        } else {
+            Some(self.emitted_compressed as f64 / out as f64)
+        }
+    }
+
+    /// Adds another statistics block into this one (e.g. to combine per-port
+    /// counters).
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.chunks_in += other.chunks_in;
+        self.emitted_uncompressed += other.emitted_uncompressed;
+        self.emitted_compressed += other.emitted_compressed;
+        self.emitted_raw += other.emitted_raw;
+        self.digests_sent += other.digests_sent;
+        self.bases_learned += other.bases_learned;
+        self.evictions += other.evictions;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.chunks_decoded += other.chunks_decoded;
+        self.decode_failures += other.decode_failures;
+    }
+
+    /// Consistency check: every chunk that came in must have left in exactly
+    /// one of the three forms.
+    pub fn is_consistent(&self) -> bool {
+        self.chunks_in == self.chunks_out()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_savings() {
+        let mut s = CompressionStats::new();
+        assert_eq!(s.compression_ratio(), None);
+        assert_eq!(s.savings(), None);
+        s.bytes_in = 100;
+        s.bytes_out = 9;
+        assert!((s.compression_ratio().unwrap() - 0.09).abs() < 1e-12);
+        assert!((s.savings().unwrap() - 0.91).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let mut s = CompressionStats::new();
+        s.chunks_in = 10;
+        s.emitted_compressed = 6;
+        s.emitted_uncompressed = 3;
+        assert!(!s.is_consistent());
+        s.emitted_raw = 1;
+        assert!(s.is_consistent());
+        assert_eq!(s.chunks_out(), 10);
+    }
+
+    #[test]
+    fn compressed_fraction() {
+        let mut s = CompressionStats::new();
+        assert_eq!(s.compressed_fraction(), None);
+        s.emitted_compressed = 3;
+        s.emitted_uncompressed = 1;
+        assert!((s.compressed_fraction().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = CompressionStats {
+            chunks_in: 1,
+            emitted_uncompressed: 2,
+            emitted_compressed: 3,
+            emitted_raw: 4,
+            digests_sent: 5,
+            bases_learned: 6,
+            evictions: 7,
+            bytes_in: 8,
+            bytes_out: 9,
+            chunks_decoded: 10,
+            decode_failures: 11,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.chunks_in, 2);
+        assert_eq!(a.emitted_uncompressed, 4);
+        assert_eq!(a.emitted_compressed, 6);
+        assert_eq!(a.emitted_raw, 8);
+        assert_eq!(a.digests_sent, 10);
+        assert_eq!(a.bases_learned, 12);
+        assert_eq!(a.evictions, 14);
+        assert_eq!(a.bytes_in, 16);
+        assert_eq!(a.bytes_out, 18);
+        assert_eq!(a.chunks_decoded, 20);
+        assert_eq!(a.decode_failures, 22);
+    }
+}

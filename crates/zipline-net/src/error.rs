@@ -1,0 +1,68 @@
+//! Error type for the network substrate.
+
+use std::fmt;
+
+/// Errors produced by the network substrate.
+#[derive(Debug)]
+pub enum NetError {
+    /// A frame or packet could not be parsed.
+    Malformed(String),
+    /// An I/O error occurred while reading or writing a trace file.
+    Io(std::io::Error),
+    /// A topology operation referenced a node or port that does not exist.
+    UnknownEndpoint(String),
+    /// The operation is inconsistent with the current topology
+    /// (e.g. connecting a port twice).
+    Topology(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Malformed(msg) => write!(f, "malformed packet: {msg}"),
+            NetError::Io(e) => write!(f, "I/O error: {e}"),
+            NetError::UnknownEndpoint(msg) => write!(f, "unknown endpoint: {msg}"),
+            NetError::Topology(msg) => write!(f, "topology error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::Malformed("short".into()).to_string().contains("short"));
+        assert!(NetError::UnknownEndpoint("node 7".into()).to_string().contains("node 7"));
+        assert!(NetError::Topology("port in use".into()).to_string().contains("port in use"));
+        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        use std::error::Error;
+        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "inner"));
+        assert!(io.source().is_some());
+        assert!(NetError::Malformed("x".into()).source().is_none());
+    }
+}

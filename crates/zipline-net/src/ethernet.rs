@@ -1,0 +1,193 @@
+//! Ethernet II framing.
+//!
+//! ZipLine "settled on Ethernet-based framing to provide compatibility with
+//! regular Ethernet network cards" and operates at layer 2 (section 5). The
+//! evaluation transfers frames of 64 B (minimum), 1500 B (standard MTU
+//! payload) and 9 kB (jumbo) — Figure 4.
+//!
+//! Sizing conventions in this crate: [`EthernetFrame::wire_len`] counts the
+//! 14-byte header, the payload, padding up to the 64-byte minimum frame size
+//! and the 4-byte frame check sequence, matching how test equipment (and the
+//! paper's `raw_ethernet_*` utilities) report frame sizes.
+
+use crate::error::{NetError, Result};
+use crate::mac::MacAddress;
+use serde::{Deserialize, Serialize};
+
+/// Length of the Ethernet II header (destination + source + EtherType).
+pub const HEADER_LEN: usize = 14;
+/// Length of the frame check sequence appended to every frame.
+pub const FCS_LEN: usize = 4;
+/// Minimum frame size on the wire (header + payload + FCS), per IEEE 802.3.
+pub const MIN_FRAME_LEN: usize = 64;
+/// Standard maximum payload (MTU) of an Ethernet frame.
+pub const MTU: usize = 1500;
+/// Jumbo-frame payload size used by the paper's evaluation.
+pub const JUMBO_PAYLOAD: usize = 9000;
+/// EtherType for IPv4, used as a default for raw test traffic.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// An Ethernet II frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetFrame {
+    /// Destination MAC address.
+    pub dst: MacAddress,
+    /// Source MAC address.
+    pub src: MacAddress,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+    /// Frame payload (not padded; padding is accounted by [`wire_len`](Self::wire_len)).
+    pub payload: Vec<u8>,
+}
+
+impl EthernetFrame {
+    /// Builds a frame.
+    pub fn new(dst: MacAddress, src: MacAddress, ethertype: u16, payload: Vec<u8>) -> Self {
+        Self { dst, src, ethertype, payload }
+    }
+
+    /// Size of the frame on the wire: header + payload + FCS, padded up to
+    /// the 64-byte minimum.
+    pub fn wire_len(&self) -> usize {
+        (HEADER_LEN + self.payload.len() + FCS_LEN).max(MIN_FRAME_LEN)
+    }
+
+    /// Header + payload length, without FCS or minimum-size padding
+    /// (the length `serialize` produces).
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Serializes the frame (header + payload, no FCS) into bytes.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.buffer_len());
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a frame from bytes (header + payload, FCS already stripped).
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < HEADER_LEN {
+            return Err(NetError::Malformed(format!(
+                "frame of {} bytes is shorter than the {HEADER_LEN}-byte Ethernet header",
+                bytes.len()
+            )));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&bytes[0..6]);
+        src.copy_from_slice(&bytes[6..12]);
+        let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
+        Ok(Self {
+            dst: MacAddress::new(dst),
+            src: MacAddress::new(src),
+            ethertype,
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Builds a test frame with the given *wire* size (as used in Figure 4:
+    /// 64 B, 1500 B payload, 9000 B payload). For `wire_size >= 64` the
+    /// payload is sized so that header + payload + FCS equals `wire_size`.
+    ///
+    /// # Panics
+    /// Panics if `wire_size < MIN_FRAME_LEN`.
+    pub fn test_frame(dst: MacAddress, src: MacAddress, wire_size: usize, fill: u8) -> Self {
+        assert!(wire_size >= MIN_FRAME_LEN, "wire size below Ethernet minimum");
+        let payload_len = wire_size - HEADER_LEN - FCS_LEN;
+        Self::new(dst, src, ETHERTYPE_IPV4, vec![fill; payload_len])
+    }
+
+    /// Returns a copy with a different payload and EtherType, keeping the
+    /// addressing. Used by the switch programs when rewriting packets.
+    pub fn with_payload(&self, ethertype: u16, payload: Vec<u8>) -> Self {
+        Self { dst: self.dst, src: self.src, ethertype, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            ETHERTYPE_IPV4,
+            vec![1, 2, 3, 4, 5],
+        )
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let f = frame();
+        let bytes = f.serialize();
+        assert_eq!(bytes.len(), HEADER_LEN + 5);
+        let parsed = EthernetFrame::parse(&bytes).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn parse_rejects_short_frames() {
+        assert!(EthernetFrame::parse(&[0u8; 13]).is_err());
+        assert!(EthernetFrame::parse(&[]).is_err());
+        // Exactly a header with empty payload parses fine.
+        let parsed = EthernetFrame::parse(&[0u8; 14]).unwrap();
+        assert!(parsed.payload.is_empty());
+    }
+
+    #[test]
+    fn wire_len_applies_minimum_padding() {
+        let f = frame();
+        // 14 + 5 + 4 = 23 -> padded to 64.
+        assert_eq!(f.wire_len(), 64);
+        assert_eq!(f.buffer_len(), 19);
+
+        let big = EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            ETHERTYPE_IPV4,
+            vec![0; 1500],
+        );
+        assert_eq!(big.wire_len(), 1518);
+    }
+
+    #[test]
+    fn test_frame_sizes_match_figure4() {
+        let dst = MacAddress::local(1);
+        let src = MacAddress::local(2);
+        for size in [64usize, 1500, 9000] {
+            let f = EthernetFrame::test_frame(dst, src, size, 0xAA);
+            assert_eq!(f.wire_len(), size, "wire size {size}");
+        }
+        let min = EthernetFrame::test_frame(dst, src, 64, 0);
+        assert_eq!(min.payload.len(), 46);
+    }
+
+    #[test]
+    #[should_panic(expected = "below Ethernet minimum")]
+    fn test_frame_rejects_tiny_sizes() {
+        let _ = EthernetFrame::test_frame(MacAddress::local(1), MacAddress::local(2), 32, 0);
+    }
+
+    #[test]
+    fn with_payload_preserves_addresses() {
+        let f = frame();
+        let g = f.with_payload(0x88B5, vec![9, 9]);
+        assert_eq!(g.dst, f.dst);
+        assert_eq!(g.src, f.src);
+        assert_eq!(g.ethertype, 0x88B5);
+        assert_eq!(g.payload, vec![9, 9]);
+    }
+
+    #[test]
+    fn ethertype_is_big_endian_on_the_wire() {
+        let f = frame();
+        let bytes = f.serialize();
+        assert_eq!(bytes[12], 0x08);
+        assert_eq!(bytes[13], 0x00);
+    }
+}

@@ -1,0 +1,575 @@
+//! End-host nodes: traffic generators, capture sinks and echo responders.
+//!
+//! These model the two Dell servers of the paper's testbed and the Mellanox
+//! `raw_ethernet_*` utilities used in section 7:
+//!
+//! * [`TrafficGenerator`] replays a list of Ethernet frames at a configurable
+//!   rate (the paper's generator is bottlenecked around 7 Mpkt/s for small
+//!   frames — modelled by `max_packets_per_second`);
+//! * [`CaptureSink`] counts arrivals and computes achieved throughput, like
+//!   the receiving server's capture;
+//! * [`EchoHost`] reflects every frame back to its sender, which is how the
+//!   RTT measurement of Figure 5 is set up ("one server sending packets to
+//!   itself via the programmable switch").
+
+use crate::ethernet::EthernetFrame;
+use crate::sim::{Node, NodeCtx, PortId};
+use crate::time::{DataRate, SimDuration, SimTime};
+use std::any::Any;
+
+/// Configuration of a [`TrafficGenerator`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Frames to send; the generator cycles through this list.
+    pub frames: Vec<EthernetFrame>,
+    /// Total number of frames to send (may exceed `frames.len()`, in which
+    /// case the list is replayed from the start).
+    pub count: u64,
+    /// NIC line rate: consecutive sends are separated by at least the
+    /// serialization time of the previous frame at this rate.
+    pub nic_rate: DataRate,
+    /// Optional packet-rate cap modelling the software generator bottleneck
+    /// (about 7 Mpkt/s in the paper's setup).
+    pub max_packets_per_second: Option<f64>,
+    /// Port to transmit on.
+    pub port: PortId,
+    /// Time of the first transmission.
+    pub start: SimTime,
+}
+
+impl GeneratorConfig {
+    /// A generator that sends `count` copies of a single frame back-to-back
+    /// at `nic_rate`, starting at time zero on port 0.
+    pub fn repeat_frame(frame: EthernetFrame, count: u64, nic_rate: DataRate) -> Self {
+        Self {
+            frames: vec![frame],
+            count,
+            nic_rate,
+            max_packets_per_second: None,
+            port: 0,
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// A generator that replays a frame list once, back-to-back at `nic_rate`.
+    pub fn replay(frames: Vec<EthernetFrame>, nic_rate: DataRate) -> Self {
+        let count = frames.len() as u64;
+        Self {
+            frames,
+            count,
+            nic_rate,
+            max_packets_per_second: None,
+            port: 0,
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Interval between consecutive transmissions of a frame of `wire_len`
+    /// bytes.
+    fn departure_interval(&self, wire_len: usize) -> SimDuration {
+        let serialization = self.nic_rate.serialization_delay(wire_len);
+        match self.max_packets_per_second {
+            Some(pps) if pps > 0.0 => {
+                let pacing = SimDuration::from_secs_f64(1.0 / pps);
+                if pacing > serialization {
+                    pacing
+                } else {
+                    serialization
+                }
+            }
+            _ => serialization,
+        }
+    }
+}
+
+/// Counters exposed by a [`TrafficGenerator`] after (or during) a run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorStats {
+    /// Frames handed to the network.
+    pub frames_sent: u64,
+    /// Total wire bytes of those frames.
+    pub bytes_sent: u64,
+    /// Time of the first transmission.
+    pub first_send: Option<SimTime>,
+    /// Time of the last transmission.
+    pub last_send: Option<SimTime>,
+}
+
+/// Replays Ethernet frames into the network at a configurable rate.
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    config: GeneratorConfig,
+    next_index: usize,
+    sent: u64,
+    stats: GeneratorStats,
+}
+
+/// Timer token used internally by the generator.
+const GENERATOR_TICK: u64 = 0;
+
+impl TrafficGenerator {
+    /// Creates a generator. Call [`Self::start`] (or schedule a timer with
+    /// token 0 at the configured start time) after adding it to the network.
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self { config, next_index: 0, sent: 0, stats: GeneratorStats::default() }
+    }
+
+    /// Convenience to schedule the first transmission; equivalent to
+    /// `network.schedule_timer(config.start, node_id, 0)`.
+    pub fn start_time(&self) -> SimTime {
+        self.config.start
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> GeneratorStats {
+        self.stats
+    }
+
+    /// True once every requested frame has been sent.
+    pub fn finished(&self) -> bool {
+        self.sent >= self.config.count
+    }
+
+    fn send_next(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.finished() || self.config.frames.is_empty() {
+            return;
+        }
+        let frame = self.config.frames[self.next_index].clone();
+        self.next_index = (self.next_index + 1) % self.config.frames.len();
+        let wire_len = frame.wire_len();
+
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += wire_len as u64;
+        if self.stats.first_send.is_none() {
+            self.stats.first_send = Some(ctx.now());
+        }
+        self.stats.last_send = Some(ctx.now());
+
+        ctx.send(self.config.port, frame);
+        self.sent += 1;
+
+        if !self.finished() {
+            let next = ctx.now() + self.config.departure_interval(wire_len);
+            ctx.schedule_at(next, GENERATOR_TICK);
+        }
+    }
+}
+
+impl Node for TrafficGenerator {
+    fn name(&self) -> String {
+        "traffic-generator".to_string()
+    }
+
+    fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId, _frame: EthernetFrame) {
+        // Generators ignore incoming traffic (the capture runs elsewhere).
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token == GENERATOR_TICK {
+            self.send_next(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counters exposed by a [`CaptureSink`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Frames received.
+    pub frames_received: u64,
+    /// Total wire bytes received.
+    pub bytes_received: u64,
+    /// Timestamp of the first arrival.
+    pub first_arrival: Option<SimTime>,
+    /// Timestamp of the last arrival.
+    pub last_arrival: Option<SimTime>,
+}
+
+impl CaptureStats {
+    /// Achieved goodput between the first and last arrival.
+    pub fn throughput(&self) -> DataRate {
+        match (self.first_arrival, self.last_arrival) {
+            (Some(first), Some(last)) if last > first => {
+                DataRate::from_transfer(self.bytes_received, last - first)
+            }
+            _ => DataRate::from_bps(0),
+        }
+    }
+
+    /// Achieved packet rate between the first and last arrival.
+    pub fn packet_rate(&self) -> f64 {
+        match (self.first_arrival, self.last_arrival) {
+            (Some(first), Some(last)) if last > first => {
+                DataRate::packets_per_second(self.frames_received, last - first)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Records every arriving frame's metadata (and optionally the frames
+/// themselves).
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    stats: CaptureStats,
+    /// Arrival timestamps paired with the EtherType of each frame; kept when
+    /// `record_arrivals` is set.
+    arrivals: Vec<(SimTime, u16)>,
+    /// Full frames, kept when `keep_frames` is set (bounded by
+    /// `max_kept_frames`).
+    frames: Vec<(SimTime, EthernetFrame)>,
+    record_arrivals: bool,
+    keep_frames: bool,
+    max_kept_frames: usize,
+}
+
+impl CaptureSink {
+    /// A sink that only keeps counters.
+    pub fn counting() -> Self {
+        Self { record_arrivals: false, keep_frames: false, max_kept_frames: 0, ..Self::default() }
+    }
+
+    /// A sink that additionally records arrival timestamps and EtherTypes
+    /// (used by the dynamic-learning experiment to find the first type 2 and
+    /// type 3 packets).
+    pub fn recording_arrivals() -> Self {
+        Self { record_arrivals: true, keep_frames: false, max_kept_frames: 0, ..Self::default() }
+    }
+
+    /// A sink that keeps up to `max` whole frames (used by round-trip tests).
+    pub fn keeping_frames(max: usize) -> Self {
+        Self {
+            record_arrivals: true,
+            keep_frames: true,
+            max_kept_frames: max,
+            ..Self::default()
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+
+    /// Recorded `(arrival time, EtherType)` pairs.
+    pub fn arrivals(&self) -> &[(SimTime, u16)] {
+        &self.arrivals
+    }
+
+    /// Recorded frames.
+    pub fn frames(&self) -> &[(SimTime, EthernetFrame)] {
+        &self.frames
+    }
+
+    /// First arrival whose EtherType matches `ethertype`.
+    pub fn first_arrival_with_ethertype(&self, ethertype: u16) -> Option<SimTime> {
+        self.arrivals.iter().find(|(_, et)| *et == ethertype).map(|(t, _)| *t)
+    }
+}
+
+impl Node for CaptureSink {
+    fn name(&self) -> String {
+        "capture-sink".to_string()
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, frame: EthernetFrame) {
+        let now = ctx.now();
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += frame.wire_len() as u64;
+        if self.stats.first_arrival.is_none() {
+            self.stats.first_arrival = Some(now);
+        }
+        self.stats.last_arrival = Some(now);
+        if self.record_arrivals {
+            self.arrivals.push((now, frame.ethertype));
+        }
+        if self.keep_frames && self.frames.len() < self.max_kept_frames {
+            self.frames.push((now, frame));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Reflects every arriving frame back out of the port it came in on, with
+/// source and destination MAC addresses swapped. Records per-frame
+/// turnaround for RTT accounting.
+#[derive(Debug, Default)]
+pub struct EchoHost {
+    /// Number of frames echoed.
+    pub echoed: u64,
+}
+
+impl Node for EchoHost {
+    fn name(&self) -> String {
+        "echo-host".to_string()
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, frame: EthernetFrame) {
+        self.echoed += 1;
+        let reply = EthernetFrame::new(frame.src, frame.dst, frame.ethertype, frame.payload);
+        ctx.send(port, reply);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A host that sends one probe frame and records when the echo returns —
+/// the RTT measurement of Figure 5. Send repeated probes by scheduling timer
+/// token `n` for probe `n`.
+#[derive(Debug)]
+pub struct RttProbe {
+    /// Frame used as the probe.
+    pub probe: EthernetFrame,
+    /// Port to send probes on.
+    pub port: PortId,
+    /// Times at which each probe was sent.
+    pub sent_at: Vec<SimTime>,
+    /// Round-trip time of each completed probe, in send order.
+    pub rtts: Vec<SimDuration>,
+    outstanding: Vec<SimTime>,
+}
+
+impl RttProbe {
+    /// Creates a probe host.
+    pub fn new(probe: EthernetFrame, port: PortId) -> Self {
+        Self { probe, port, sent_at: Vec::new(), rtts: Vec::new(), outstanding: Vec::new() }
+    }
+
+    /// Mean RTT over all completed probes.
+    pub fn mean_rtt(&self) -> Option<SimDuration> {
+        if self.rtts.is_empty() {
+            return None;
+        }
+        let total: u64 = self.rtts.iter().map(|d| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total / self.rtts.len() as u64))
+    }
+}
+
+impl Node for RttProbe {
+    fn name(&self) -> String {
+        "rtt-probe".to_string()
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, _frame: EthernetFrame) {
+        if let Some(sent) = self.outstanding.pop() {
+            self.rtts.push(ctx.now() - sent);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+        self.sent_at.push(ctx.now());
+        self.outstanding.push(ctx.now());
+        ctx.send(self.port, self.probe.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::ETHERTYPE_IPV4;
+    use crate::link::LinkParams;
+    use crate::mac::MacAddress;
+    use crate::sim::Network;
+
+    fn test_frame(size: usize) -> EthernetFrame {
+        EthernetFrame::test_frame(MacAddress::local(1), MacAddress::local(2), size, 0x55)
+    }
+
+    #[test]
+    fn generator_sends_requested_count_at_line_rate() {
+        let mut net = Network::new();
+        let frame = test_frame(1500);
+        let config = GeneratorConfig::repeat_frame(frame, 100, DataRate::LINE_RATE_100G);
+        let generator = TrafficGenerator::new(config);
+        let start = generator.start_time();
+        let gen_id = net.add_node(Box::new(generator));
+        let sink_id = net.add_node(Box::new(CaptureSink::counting()));
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::line_rate_100g()).unwrap();
+        net.schedule_timer(start, gen_id, 0);
+        net.run(10_000);
+
+        let gen = net.node_as::<TrafficGenerator>(gen_id).unwrap();
+        assert!(gen.finished());
+        assert_eq!(gen.stats().frames_sent, 100);
+        assert_eq!(gen.stats().bytes_sent, 100 * 1500);
+
+        let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
+        assert_eq!(sink.stats().frames_received, 100);
+        // Back-to-back 1500 B frames at 100 Gbit/s: 120 ns apart.
+        let elapsed = sink.stats().last_arrival.unwrap() - sink.stats().first_arrival.unwrap();
+        assert_eq!(elapsed.as_nanos(), 99 * 120);
+        // Measured throughput is close to line rate (within rounding).
+        assert!(sink.stats().throughput().as_gbps() > 95.0);
+    }
+
+    #[test]
+    fn generator_respects_packet_rate_cap() {
+        let mut net = Network::new();
+        let frame = test_frame(64);
+        let mut config = GeneratorConfig::repeat_frame(frame, 50, DataRate::LINE_RATE_100G);
+        config.max_packets_per_second = Some(1_000_000.0); // 1 Mpkt/s -> 1 µs spacing
+        let generator = TrafficGenerator::new(config);
+        let gen_id = net.add_node(Box::new(generator));
+        let sink_id = net.add_node(Box::new(CaptureSink::counting()));
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::line_rate_100g()).unwrap();
+        net.schedule_timer(SimTime::ZERO, gen_id, 0);
+        net.run(10_000);
+
+        let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
+        // 50 frames spaced exactly 1 µs apart -> 49 µs between first and last.
+        let elapsed = sink.stats().last_arrival.unwrap() - sink.stats().first_arrival.unwrap();
+        assert_eq!(elapsed.as_nanos(), 49_000);
+        let rate = sink.stats().packet_rate();
+        assert!((rate - 1_000_000.0).abs() / 1_000_000.0 < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn generator_replays_frame_list_in_order() {
+        let mut net = Network::new();
+        let frames: Vec<EthernetFrame> = (0..3u8)
+            .map(|i| {
+                EthernetFrame::new(
+                    MacAddress::local(1),
+                    MacAddress::local(2),
+                    ETHERTYPE_IPV4,
+                    vec![i; 100],
+                )
+            })
+            .collect();
+        let config = GeneratorConfig::replay(frames.clone(), DataRate::from_gbps(10.0));
+        let gen_id = net.add_node(Box::new(TrafficGenerator::new(config)));
+        let sink_id = net.add_node(Box::new(CaptureSink::keeping_frames(10)));
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::ideal()).unwrap();
+        net.schedule_timer(SimTime::ZERO, gen_id, 0);
+        net.run(1_000);
+        let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
+        let received: Vec<u8> = sink.frames().iter().map(|(_, f)| f.payload[0]).collect();
+        assert_eq!(received, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn generator_cycles_when_count_exceeds_list() {
+        let frames: Vec<EthernetFrame> = (0..2u8)
+            .map(|i| {
+                EthernetFrame::new(
+                    MacAddress::local(1),
+                    MacAddress::local(2),
+                    ETHERTYPE_IPV4,
+                    vec![i; 50],
+                )
+            })
+            .collect();
+        let mut config = GeneratorConfig::replay(frames, DataRate::from_gbps(10.0));
+        config.count = 5;
+        let mut net = Network::new();
+        let gen_id = net.add_node(Box::new(TrafficGenerator::new(config)));
+        let sink_id = net.add_node(Box::new(CaptureSink::keeping_frames(10)));
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::ideal()).unwrap();
+        net.schedule_timer(SimTime::ZERO, gen_id, 0);
+        net.run(1_000);
+        let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
+        let received: Vec<u8> = sink.frames().iter().map(|(_, f)| f.payload[0]).collect();
+        assert_eq!(received, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn capture_sink_records_ethertypes() {
+        let mut net = Network::new();
+        let sink_id = net.add_node(Box::new(CaptureSink::recording_arrivals()));
+        let f1 = EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), 0x88B5, vec![0; 33]);
+        let f2 = EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), 0x88B6, vec![0; 3]);
+        net.inject_frame(SimTime::from_micros(1), sink_id, 0, f1);
+        net.inject_frame(SimTime::from_micros(2), sink_id, 0, f2);
+        net.run(10);
+        let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
+        assert_eq!(sink.arrivals().len(), 2);
+        assert_eq!(
+            sink.first_arrival_with_ethertype(0x88B6),
+            Some(SimTime::from_micros(2))
+        );
+        assert_eq!(sink.first_arrival_with_ethertype(0x1234), None);
+    }
+
+    #[test]
+    fn capture_stats_with_no_traffic_are_zero() {
+        let sink = CaptureSink::counting();
+        assert_eq!(sink.stats().throughput().bps(), 0);
+        assert_eq!(sink.stats().packet_rate(), 0.0);
+    }
+
+    #[test]
+    fn echo_host_swaps_addresses() {
+        let mut net = Network::new();
+        let echo_id = net.add_node(Box::new(EchoHost::default()));
+        let sink_id = net.add_node(Box::new(CaptureSink::keeping_frames(4)));
+        // Echo's port 0 leads to the sink so we can see the reply.
+        net.connect((echo_id, 0), (sink_id, 0), LinkParams::ideal()).unwrap();
+        let frame = EthernetFrame::new(
+            MacAddress::local(9),
+            MacAddress::local(8),
+            ETHERTYPE_IPV4,
+            vec![1, 2, 3],
+        );
+        net.inject_frame(SimTime::ZERO, echo_id, 0, frame);
+        net.run(10);
+        let echo = net.node_as::<EchoHost>(echo_id).unwrap();
+        assert_eq!(echo.echoed, 1);
+        let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
+        let (_, reply) = &sink.frames()[0];
+        assert_eq!(reply.dst, MacAddress::local(8));
+        assert_eq!(reply.src, MacAddress::local(9));
+    }
+
+    #[test]
+    fn rtt_probe_measures_round_trip() {
+        let mut net = Network::new();
+        let probe_frame = test_frame(64);
+        let probe_id = net.add_node(Box::new(RttProbe::new(probe_frame, 0)));
+        let echo_id = net.add_node(Box::new(EchoHost::default()));
+        let link = LinkParams::new(DataRate::from_gbps(100.0), SimDuration::from_nanos(500));
+        net.connect((probe_id, 0), (echo_id, 0), link).unwrap();
+        // Three probes, 10 µs apart.
+        for i in 0..3u64 {
+            net.schedule_timer(SimTime::from_micros(i * 10), probe_id, i);
+        }
+        net.run(1_000);
+        let probe = net.node_as::<RttProbe>(probe_id).unwrap();
+        assert_eq!(probe.rtts.len(), 3);
+        // Each direction: 6 ns serialization (64 B @ 100 G) + 500 ns propagation.
+        let expected = 2 * (6 + 500);
+        for rtt in &probe.rtts {
+            assert_eq!(rtt.as_nanos(), expected);
+        }
+        assert_eq!(probe.mean_rtt().unwrap().as_nanos(), expected);
+    }
+
+    #[test]
+    fn rtt_probe_without_replies_reports_none() {
+        let probe = RttProbe::new(test_frame(64), 0);
+        assert_eq!(probe.mean_rtt(), None);
+    }
+}

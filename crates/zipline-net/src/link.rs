@@ -1,0 +1,118 @@
+//! Point-to-point link model.
+//!
+//! The testbed of the paper connects two servers to the programmable switch
+//! at 100 Gbit/s. A [`LinkParams`] describes one direction of such a cable:
+//! a line rate (used to compute per-frame serialization delay and to model
+//! output queueing) and a fixed propagation delay.
+
+use crate::time::{DataRate, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one direction of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Line rate; frames occupy the link for `wire_len * 8 / rate`.
+    pub rate: DataRate,
+    /// Fixed propagation delay added after serialization.
+    pub propagation: SimDuration,
+}
+
+impl LinkParams {
+    /// A 100 Gbit/s link with a short (cable + PHY) propagation delay,
+    /// approximating the direct-attach copper cables of the testbed.
+    pub fn line_rate_100g() -> Self {
+        Self { rate: DataRate::LINE_RATE_100G, propagation: SimDuration::from_nanos(350) }
+    }
+
+    /// An ideal link: no serialization or propagation delay. Useful in unit
+    /// tests and for isolating processing latency.
+    pub fn ideal() -> Self {
+        Self { rate: DataRate::from_bps(0), propagation: SimDuration::ZERO }
+    }
+
+    /// Builds a link with an explicit rate and propagation delay.
+    pub fn new(rate: DataRate, propagation: SimDuration) -> Self {
+        Self { rate, propagation }
+    }
+
+    /// Time the link is busy transmitting a frame of `wire_len` bytes.
+    pub fn serialization_delay(&self, wire_len: usize) -> SimDuration {
+        self.rate.serialization_delay(wire_len)
+    }
+}
+
+/// Transmission bookkeeping for one link direction: tracks when the link
+/// becomes free so that back-to-back frames queue behind each other.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkOccupancy {
+    next_free: SimTime,
+    /// Total bytes serialized onto the link.
+    pub bytes_sent: u64,
+    /// Total frames serialized onto the link.
+    pub frames_sent: u64,
+}
+
+impl LinkOccupancy {
+    /// Schedules a frame of `wire_len` bytes for transmission at `now` (or as
+    /// soon as the link frees up) and returns the arrival time at the far
+    /// end.
+    pub fn transmit(&mut self, params: &LinkParams, now: SimTime, wire_len: usize) -> SimTime {
+        let start = if self.next_free > now { self.next_free } else { now };
+        let done = start + params.serialization_delay(wire_len);
+        self.next_free = done;
+        self.bytes_sent += wire_len as u64;
+        self.frames_sent += 1;
+        done + params.propagation
+    }
+
+    /// Time at which the link becomes idle again.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_delay_scales_with_frame_size() {
+        let link = LinkParams::line_rate_100g();
+        assert_eq!(link.serialization_delay(1500).as_nanos(), 120);
+        assert!(link.serialization_delay(9000) > link.serialization_delay(1500));
+        assert_eq!(LinkParams::ideal().serialization_delay(9000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transmit_accounts_for_queueing() {
+        let params = LinkParams::new(DataRate::from_gbps(1.0), SimDuration::from_nanos(100));
+        let mut occ = LinkOccupancy::default();
+        // 1500 bytes at 1 Gbit/s = 12 µs serialization.
+        let a1 = occ.transmit(&params, SimTime::ZERO, 1500);
+        assert_eq!(a1.as_nanos(), 12_000 + 100);
+        // Second frame sent "at the same time" must wait for the first.
+        let a2 = occ.transmit(&params, SimTime::ZERO, 1500);
+        assert_eq!(a2.as_nanos(), 24_000 + 100);
+        assert_eq!(occ.frames_sent, 2);
+        assert_eq!(occ.bytes_sent, 3000);
+        assert_eq!(occ.next_free().as_nanos(), 24_000);
+    }
+
+    #[test]
+    fn transmit_after_idle_period_does_not_queue() {
+        let params = LinkParams::new(DataRate::from_gbps(1.0), SimDuration::ZERO);
+        let mut occ = LinkOccupancy::default();
+        occ.transmit(&params, SimTime::ZERO, 1500);
+        // Much later, the link is free; no queueing delay.
+        let arrival = occ.transmit(&params, SimTime::from_millis(1), 1500);
+        assert_eq!(arrival.as_nanos(), 1_000_000 + 12_000);
+    }
+
+    #[test]
+    fn ideal_link_is_instantaneous() {
+        let params = LinkParams::ideal();
+        let mut occ = LinkOccupancy::default();
+        let arrival = occ.transmit(&params, SimTime::from_micros(5), 9000);
+        assert_eq!(arrival, SimTime::from_micros(5));
+    }
+}

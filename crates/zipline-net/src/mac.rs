@@ -1,0 +1,141 @@
+//! MAC addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddress(pub [u8; 6]);
+
+impl MacAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddress = MacAddress([0xFF; 6]);
+    /// The all-zero address (invalid as a source, useful as a placeholder).
+    pub const ZERO: MacAddress = MacAddress([0x00; 6]);
+
+    /// Builds an address from its six octets.
+    pub fn new(octets: [u8; 6]) -> Self {
+        MacAddress(octets)
+    }
+
+    /// Builds a locally administered unicast address from a small integer,
+    /// in the style the smoltcp examples use (`02-00-00-00-00-xx`).
+    pub fn local(index: u8) -> Self {
+        MacAddress([0x02, 0, 0, 0, 0, index])
+    }
+
+    /// The raw octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for multicast addresses (I/G bit set), including broadcast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for unicast addresses.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// True when the locally-administered bit is set.
+    pub fn is_locally_administered(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+}
+
+impl fmt::Display for MacAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Error returned when parsing a MAC address from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError(pub String);
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddress {
+    type Err = ParseMacError;
+
+    /// Parses `aa:bb:cc:dd:ee:ff` or `aa-bb-cc-dd-ee-ff`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> =
+            if s.contains(':') { s.split(':').collect() } else { s.split('-').collect() };
+        if parts.len() != 6 {
+            return Err(ParseMacError(s.to_string()));
+        }
+        let mut octets = [0u8; 6];
+        for (i, part) in parts.iter().enumerate() {
+            octets[i] = u8::from_str_radix(part, 16).map_err(|_| ParseMacError(s.to_string()))?;
+        }
+        Ok(MacAddress(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let mac = MacAddress::new([0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]);
+        assert_eq!(mac.to_string(), "de:ad:be:ef:00:01");
+        assert_eq!("de:ad:be:ef:00:01".parse::<MacAddress>().unwrap(), mac);
+        assert_eq!("de-ad-be-ef-00-01".parse::<MacAddress>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("de:ad:be:ef:00".parse::<MacAddress>().is_err());
+        assert!("de:ad:be:ef:00:zz".parse::<MacAddress>().is_err());
+        assert!("".parse::<MacAddress>().is_err());
+        let err = "nope".parse::<MacAddress>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn classification_bits() {
+        assert!(MacAddress::BROADCAST.is_broadcast());
+        assert!(MacAddress::BROADCAST.is_multicast());
+        assert!(!MacAddress::BROADCAST.is_unicast());
+
+        let unicast = MacAddress::new([0x00, 0x11, 0x22, 0x33, 0x44, 0x55]);
+        assert!(unicast.is_unicast());
+        assert!(!unicast.is_broadcast());
+        assert!(!unicast.is_locally_administered());
+
+        let local = MacAddress::local(2);
+        assert!(local.is_unicast());
+        assert!(local.is_locally_administered());
+        assert_eq!(local.octets(), [0x02, 0, 0, 0, 0, 2]);
+
+        let multicast = MacAddress::new([0x01, 0x00, 0x5E, 0, 0, 1]);
+        assert!(multicast.is_multicast());
+        assert!(!multicast.is_broadcast());
+    }
+
+    #[test]
+    fn zero_address() {
+        assert_eq!(MacAddress::ZERO.octets(), [0; 6]);
+        assert!(MacAddress::ZERO.is_unicast());
+    }
+}

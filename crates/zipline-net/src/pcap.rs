@@ -1,0 +1,317 @@
+//! Classic libpcap trace files.
+//!
+//! The paper converts its datasets "to a pcap trace of Ethernet packets
+//! containing the chunks as payload" and replays them at the switch. This
+//! module reads and writes the classic libpcap format (magic `0xa1b2c3d4`,
+//! microsecond timestamps, LINKTYPE_ETHERNET), which is enough to exchange
+//! traces with tcpreplay/Wireshark.
+
+use crate::error::{NetError, Result};
+use crate::ethernet::EthernetFrame;
+use crate::time::SimTime;
+use std::io::{Read, Write};
+
+/// Magic number of a classic little-endian pcap file with microsecond
+/// timestamps.
+const MAGIC_USEC_LE: u32 = 0xa1b2c3d4;
+/// Magic read back when the file was written by a big-endian producer.
+const MAGIC_USEC_BE: u32 = 0xd4c3b2a1;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u32 = 1;
+/// Snap length we record (jumbo frames fit comfortably).
+const SNAPLEN: u32 = 65_535;
+
+/// One captured packet: capture timestamp plus raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Capture timestamp.
+    pub timestamp: SimTime,
+    /// Raw packet bytes (Ethernet header + payload, no FCS).
+    pub data: Vec<u8>,
+}
+
+impl PcapPacket {
+    /// Builds a packet record from an Ethernet frame.
+    pub fn from_frame(timestamp: SimTime, frame: &EthernetFrame) -> Self {
+        Self { timestamp, data: frame.serialize() }
+    }
+
+    /// Parses the record back into an Ethernet frame.
+    pub fn to_frame(&self) -> Result<EthernetFrame> {
+        EthernetFrame::parse(&self.data)
+    }
+}
+
+/// Streaming pcap writer.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    inner: W,
+    packets_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global pcap header.
+    pub fn new(mut inner: W) -> Result<Self> {
+        inner.write_all(&MAGIC_USEC_LE.to_le_bytes())?;
+        inner.write_all(&2u16.to_le_bytes())?; // version major
+        inner.write_all(&4u16.to_le_bytes())?; // version minor
+        inner.write_all(&0i32.to_le_bytes())?; // thiszone
+        inner.write_all(&0u32.to_le_bytes())?; // sigfigs
+        inner.write_all(&SNAPLEN.to_le_bytes())?;
+        inner.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(Self { inner, packets_written: 0 })
+    }
+
+    /// Appends one packet record.
+    pub fn write_packet(&mut self, packet: &PcapPacket) -> Result<()> {
+        let nanos = packet.timestamp.as_nanos();
+        let ts_sec = (nanos / 1_000_000_000) as u32;
+        let ts_usec = ((nanos % 1_000_000_000) / 1_000) as u32;
+        let incl_len = packet.data.len().min(SNAPLEN as usize) as u32;
+        let orig_len = packet.data.len() as u32;
+        self.inner.write_all(&ts_sec.to_le_bytes())?;
+        self.inner.write_all(&ts_usec.to_le_bytes())?;
+        self.inner.write_all(&incl_len.to_le_bytes())?;
+        self.inner.write_all(&orig_len.to_le_bytes())?;
+        self.inner.write_all(&packet.data[..incl_len as usize])?;
+        self.packets_written += 1;
+        Ok(())
+    }
+
+    /// Convenience: appends an Ethernet frame with a timestamp.
+    pub fn write_frame(&mut self, timestamp: SimTime, frame: &EthernetFrame) -> Result<()> {
+        self.write_packet(&PcapPacket::from_frame(timestamp, frame))
+    }
+
+    /// Number of packets written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets_written
+    }
+
+    /// Finishes writing and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Streaming pcap reader.
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    inner: R,
+    /// True when the trace was produced on a big-endian machine and every
+    /// header field must be byte-swapped.
+    swapped: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Creates a reader, validating the global header.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut header = [0u8; 24];
+        inner.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let swapped = match magic {
+            MAGIC_USEC_LE => false,
+            MAGIC_USEC_BE => true,
+            other => {
+                return Err(NetError::Malformed(format!("unsupported pcap magic {other:#x}")))
+            }
+        };
+        let linktype_bytes = [header[20], header[21], header[22], header[23]];
+        let linktype = if swapped {
+            u32::from_be_bytes(linktype_bytes)
+        } else {
+            u32::from_le_bytes(linktype_bytes)
+        };
+        if linktype != LINKTYPE_ETHERNET {
+            return Err(NetError::Malformed(format!(
+                "unsupported link type {linktype}, expected Ethernet"
+            )));
+        }
+        Ok(Self { inner, swapped })
+    }
+
+    fn read_u32(&self, bytes: [u8; 4]) -> u32 {
+        if self.swapped {
+            u32::from_be_bytes(bytes)
+        } else {
+            u32::from_le_bytes(bytes)
+        }
+    }
+
+    /// Reads the next packet record; `Ok(None)` at end of file.
+    pub fn read_packet(&mut self) -> Result<Option<PcapPacket>> {
+        let mut header = [0u8; 16];
+        match self.inner.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let ts_sec = self.read_u32([header[0], header[1], header[2], header[3]]) as u64;
+        let ts_usec = self.read_u32([header[4], header[5], header[6], header[7]]) as u64;
+        let incl_len = self.read_u32([header[8], header[9], header[10], header[11]]) as usize;
+        if incl_len > SNAPLEN as usize {
+            return Err(NetError::Malformed(format!(
+                "packet record claims {incl_len} bytes, above the {SNAPLEN} snap length"
+            )));
+        }
+        let mut data = vec![0u8; incl_len];
+        self.inner.read_exact(&mut data)?;
+        let timestamp = SimTime(ts_sec * 1_000_000_000 + ts_usec * 1_000);
+        Ok(Some(PcapPacket { timestamp, data }))
+    }
+
+    /// Reads every remaining packet.
+    pub fn read_all(&mut self) -> Result<Vec<PcapPacket>> {
+        let mut out = Vec::new();
+        while let Some(p) = self.read_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+/// Writes a whole trace to a byte buffer (useful for tests and in-memory
+/// round trips).
+pub fn write_trace(packets: &[PcapPacket]) -> Result<Vec<u8>> {
+    let mut writer = PcapWriter::new(Vec::new())?;
+    for p in packets {
+        writer.write_packet(p)?;
+    }
+    Ok(writer.into_inner())
+}
+
+/// Reads a whole trace from a byte buffer.
+pub fn read_trace(bytes: &[u8]) -> Result<Vec<PcapPacket>> {
+    PcapReader::new(bytes)?.read_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::ETHERTYPE_IPV4;
+    use crate::mac::MacAddress;
+
+    fn sample_packets() -> Vec<PcapPacket> {
+        (0..5u8)
+            .map(|i| {
+                let frame = EthernetFrame::new(
+                    MacAddress::local(1),
+                    MacAddress::local(2),
+                    ETHERTYPE_IPV4,
+                    vec![i; 10 + i as usize],
+                );
+                PcapPacket::from_frame(SimTime::from_micros(i as u64 * 100), &frame)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let packets = sample_packets();
+        let bytes = write_trace(&packets).unwrap();
+        // Global header (24) + 5 * (16 + data).
+        let expected_len = 24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>();
+        assert_eq!(bytes.len(), expected_len);
+        let parsed = read_trace(&bytes).unwrap();
+        assert_eq!(parsed, packets);
+    }
+
+    #[test]
+    fn timestamps_survive_microsecond_rounding() {
+        let frame = EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            ETHERTYPE_IPV4,
+            vec![0; 20],
+        );
+        // 1.5 s + 250 µs; nanosecond remainder is truncated by the format.
+        let t = SimTime(1_500_250_123);
+        let bytes = write_trace(&[PcapPacket::from_frame(t, &frame)]).unwrap();
+        let parsed = read_trace(&bytes).unwrap();
+        assert_eq!(parsed[0].timestamp.as_nanos(), 1_500_250_000);
+    }
+
+    #[test]
+    fn frames_roundtrip_through_records() {
+        let frame = EthernetFrame::new(
+            MacAddress::local(3),
+            MacAddress::local(4),
+            0x88B5,
+            vec![7; 33],
+        );
+        let record = PcapPacket::from_frame(SimTime::ZERO, &frame);
+        assert_eq!(record.to_frame().unwrap(), frame);
+    }
+
+    #[test]
+    fn reader_rejects_bad_magic() {
+        let mut bytes = write_trace(&sample_packets()).unwrap();
+        bytes[0] = 0x00;
+        assert!(read_trace(&bytes).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_wrong_linktype() {
+        let mut bytes = write_trace(&sample_packets()).unwrap();
+        bytes[20] = 101; // LINKTYPE_RAW
+        assert!(read_trace(&bytes).is_err());
+    }
+
+    #[test]
+    fn reader_handles_truncated_file() {
+        let bytes = write_trace(&sample_packets()).unwrap();
+        // Cut in the middle of the last packet's data.
+        let truncated = &bytes[..bytes.len() - 3];
+        let mut reader = PcapReader::new(truncated).unwrap();
+        let mut ok = 0;
+        loop {
+            match reader.read_packet() {
+                Ok(Some(_)) => ok += 1,
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+        assert_eq!(ok, 4, "four packets are intact, the fifth is truncated");
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let bytes = write_trace(&[]).unwrap();
+        assert_eq!(bytes.len(), 24);
+        assert!(read_trace(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn writer_counts_packets() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        assert_eq!(w.packets_written(), 0);
+        for p in sample_packets() {
+            w.write_packet(&p).unwrap();
+        }
+        assert_eq!(w.packets_written(), 5);
+    }
+
+    #[test]
+    fn big_endian_traces_are_read() {
+        // Hand-craft a big-endian global header + one record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_USEC_LE.to_be_bytes()); // reads back as swapped
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0i32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&SNAPLEN.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        let data = vec![0xABu8; 20];
+        bytes.extend_from_slice(&1u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&data);
+
+        let packets = read_trace(&bytes).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].timestamp.as_nanos(), 1_000_002_000);
+        assert_eq!(packets[0].data, data);
+    }
+}

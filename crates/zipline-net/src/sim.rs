@@ -1,0 +1,520 @@
+//! Discrete-event network simulator.
+//!
+//! The simulator connects [`Node`]s (hosts, switches) with point-to-point
+//! links and delivers Ethernet frames between them in virtual time. It is
+//! deliberately small: a binary-heap event queue, per-link occupancy to model
+//! serialization and queueing, and node-local timers. Determinism is a design
+//! goal — given the same inputs the same schedule is produced on every run,
+//! which the latency/throughput experiments rely on.
+
+use crate::error::{NetError, Result};
+use crate::ethernet::EthernetFrame;
+use crate::link::{LinkOccupancy, LinkParams};
+use crate::time::SimTime;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifier of a node within a [`Network`].
+pub type NodeId = usize;
+/// Identifier of a port on a node.
+pub type PortId = usize;
+
+/// Behaviour of a simulated device.
+pub trait Node: Any {
+    /// Human-readable name used in diagnostics.
+    fn name(&self) -> String {
+        "node".to_string()
+    }
+
+    /// Called when a frame arrives on `port`.
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, frame: EthernetFrame);
+
+    /// Called when a timer scheduled via [`NodeCtx::schedule_at`] fires.
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+
+    /// Downcasting support so experiments can read node-specific state after
+    /// a run.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Interface handed to a node while it processes an event.
+pub struct NodeCtx<'a> {
+    now: SimTime,
+    outputs: &'a mut Vec<(PortId, EthernetFrame)>,
+    timers: &'a mut Vec<(SimTime, u64)>,
+}
+
+impl NodeCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends a frame out of `port`. Delivery time is determined by the link
+    /// attached to that port; frames sent on unconnected ports are counted as
+    /// dropped by the network.
+    pub fn send(&mut self, port: PortId, frame: EthernetFrame) {
+        self.outputs.push((port, frame));
+    }
+
+    /// Schedules `on_timer(token)` for this node at absolute time `at`
+    /// (clamped to the present if it lies in the past).
+    pub fn schedule_at(&mut self, at: SimTime, token: u64) {
+        let at = if at < self.now { self.now } else { at };
+        self.timers.push((at, token));
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { node: NodeId, port: PortId, frame: EthernetFrame },
+    Timer { node: NodeId, token: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct LinkState {
+    to_node: NodeId,
+    to_port: PortId,
+    params: LinkParams,
+    occupancy: LinkOccupancy,
+}
+
+/// Counters describing a finished (or in-progress) simulation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Frames delivered to a node.
+    pub frames_delivered: u64,
+    /// Frames sent on ports with no link attached.
+    pub frames_dropped_unconnected: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+/// The discrete-event network.
+pub struct Network {
+    nodes: Vec<Box<dyn Node>>,
+    links: HashMap<(NodeId, PortId), LinkState>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    stats: NetworkStats,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network at time zero.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulation counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Connects `a` and `b` with a full-duplex link (both directions use the
+    /// same parameters).
+    pub fn connect(
+        &mut self,
+        a: (NodeId, PortId),
+        b: (NodeId, PortId),
+        params: LinkParams,
+    ) -> Result<()> {
+        self.connect_simplex(a, b, params)?;
+        self.connect_simplex(b, a, params)
+    }
+
+    /// Connects a single direction from `from` to `to`.
+    pub fn connect_simplex(
+        &mut self,
+        from: (NodeId, PortId),
+        to: (NodeId, PortId),
+        params: LinkParams,
+    ) -> Result<()> {
+        for (node, _port) in [from, to] {
+            if node >= self.nodes.len() {
+                return Err(NetError::UnknownEndpoint(format!("node {node} does not exist")));
+            }
+        }
+        if self.links.contains_key(&from) {
+            return Err(NetError::Topology(format!(
+                "port {}.{} already has a link attached",
+                from.0, from.1
+            )));
+        }
+        self.links.insert(
+            from,
+            LinkState { to_node: to.0, to_port: to.1, params, occupancy: LinkOccupancy::default() },
+        );
+        Ok(())
+    }
+
+    /// Schedules a timer for `node` at absolute time `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        let at = if at < self.now { self.now } else { at };
+        self.push_event(at, EventKind::Timer { node, token });
+    }
+
+    /// Injects a frame to be delivered to `node` on `port` at time `at`,
+    /// as if it arrived from outside the simulated topology.
+    pub fn inject_frame(&mut self, at: SimTime, node: NodeId, port: PortId, frame: EthernetFrame) {
+        let at = if at < self.now { self.now } else { at };
+        self.push_event(at, EventKind::Deliver { node, port, frame });
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id].as_ref()
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id].as_mut()
+    }
+
+    /// Downcasts a node to a concrete type.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id].as_any().downcast_ref::<T>()
+    }
+
+    /// Downcasts a node to a concrete type, mutably.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id].as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Bytes and frames transmitted over the link attached to `(node, port)`,
+    /// if that port is connected.
+    pub fn link_occupancy(&self, endpoint: (NodeId, PortId)) -> Option<LinkOccupancy> {
+        self.links.get(&endpoint).map(|l| l.occupancy)
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else { return false };
+        debug_assert!(event.time >= self.now, "time must not go backwards");
+        self.now = event.time;
+        self.stats.events_processed += 1;
+
+        let mut outputs: Vec<(PortId, EthernetFrame)> = Vec::new();
+        let mut timers: Vec<(SimTime, u64)> = Vec::new();
+        let node_id = match event.kind {
+            EventKind::Deliver { node, port, frame } => {
+                self.stats.frames_delivered += 1;
+                let mut ctx = NodeCtx { now: self.now, outputs: &mut outputs, timers: &mut timers };
+                self.nodes[node].on_frame(&mut ctx, port, frame);
+                node
+            }
+            EventKind::Timer { node, token } => {
+                self.stats.timers_fired += 1;
+                let mut ctx = NodeCtx { now: self.now, outputs: &mut outputs, timers: &mut timers };
+                self.nodes[node].on_timer(&mut ctx, token);
+                node
+            }
+        };
+
+        for (at, token) in timers {
+            self.push_event(at, EventKind::Timer { node: node_id, token });
+        }
+        for (port, frame) in outputs {
+            self.transmit(node_id, port, frame);
+        }
+        true
+    }
+
+    fn transmit(&mut self, node: NodeId, port: PortId, frame: EthernetFrame) {
+        let wire_len = frame.wire_len();
+        match self.links.get_mut(&(node, port)) {
+            Some(link) => {
+                let arrival = link.occupancy.transmit(&link.params, self.now, wire_len);
+                let (to_node, to_port) = (link.to_node, link.to_port);
+                self.push_event(arrival, EventKind::Deliver { node: to_node, port: to_port, frame });
+            }
+            None => {
+                self.stats.frames_dropped_unconnected += 1;
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty or `max_events` is reached.
+    /// Returns the number of events processed.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events && self.step() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs until simulation time reaches `deadline` (events at or beyond the
+    /// deadline are left in the queue) or the queue empties.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.time >= deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::ETHERTYPE_IPV4;
+    use crate::mac::MacAddress;
+    use crate::time::{DataRate, SimDuration};
+
+    /// Test node that records arrivals and can optionally forward frames to a
+    /// port or echo them back.
+    struct Recorder {
+        arrivals: Vec<(SimTime, PortId, EthernetFrame)>,
+        forward_to: Option<PortId>,
+        timer_log: Vec<(SimTime, u64)>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Self { arrivals: Vec::new(), forward_to: None, timer_log: Vec::new() }
+        }
+        fn forwarding(port: PortId) -> Self {
+            Self { arrivals: Vec::new(), forward_to: Some(port), timer_log: Vec::new() }
+        }
+    }
+
+    impl Node for Recorder {
+        fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, frame: EthernetFrame) {
+            self.arrivals.push((ctx.now(), port, frame.clone()));
+            if let Some(out) = self.forward_to {
+                ctx.send(out, frame);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            self.timer_log.push((ctx.now(), token));
+            if token < 3 {
+                ctx.schedule_at(ctx.now() + SimDuration::from_micros(10), token + 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn frame(len: usize) -> EthernetFrame {
+        EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), ETHERTYPE_IPV4, vec![0; len])
+    }
+
+    #[test]
+    fn inject_and_deliver() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::new()));
+        net.inject_frame(SimTime::from_micros(3), a, 0, frame(100));
+        net.run(100);
+        let rec = net.node_as::<Recorder>(a).unwrap();
+        assert_eq!(rec.arrivals.len(), 1);
+        assert_eq!(rec.arrivals[0].0, SimTime::from_micros(3));
+        assert_eq!(net.stats().frames_delivered, 1);
+    }
+
+    #[test]
+    fn forwarding_across_a_link_accounts_for_delays() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::forwarding(0)));
+        let b = net.add_node(Box::new(Recorder::new()));
+        let params = LinkParams::new(DataRate::from_gbps(1.0), SimDuration::from_nanos(500));
+        net.connect((a, 0), (b, 0), params).unwrap();
+
+        net.inject_frame(SimTime::ZERO, a, 5, frame(1486)); // wire_len = 1504
+        net.run(100);
+
+        let rec_b = net.node_as::<Recorder>(b).unwrap();
+        assert_eq!(rec_b.arrivals.len(), 1);
+        // 1504 bytes at 1 Gbit/s = 12.032 µs + 500 ns propagation.
+        assert_eq!(rec_b.arrivals[0].0.as_nanos(), 12_032 + 500);
+        assert_eq!(net.link_occupancy((a, 0)).unwrap().frames_sent, 1);
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_the_link() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::forwarding(0)));
+        let b = net.add_node(Box::new(Recorder::new()));
+        net.connect((a, 0), (b, 0), LinkParams::new(DataRate::from_gbps(1.0), SimDuration::ZERO))
+            .unwrap();
+        // Two frames injected at the same instant; the second must wait for
+        // the first to serialize.
+        net.inject_frame(SimTime::ZERO, a, 0, frame(1486));
+        net.inject_frame(SimTime::ZERO, a, 0, frame(1486));
+        net.run(100);
+        let rec_b = net.node_as::<Recorder>(b).unwrap();
+        assert_eq!(rec_b.arrivals.len(), 2);
+        assert_eq!(rec_b.arrivals[0].0.as_nanos(), 12_032);
+        assert_eq!(rec_b.arrivals[1].0.as_nanos(), 24_064);
+    }
+
+    #[test]
+    fn frames_on_unconnected_ports_are_dropped() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::forwarding(7)));
+        net.inject_frame(SimTime::ZERO, a, 0, frame(64));
+        net.run(10);
+        assert_eq!(net.stats().frames_dropped_unconnected, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_can_reschedule() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::new()));
+        net.schedule_timer(SimTime::from_micros(5), a, 0);
+        net.run(100);
+        let rec = net.node_as::<Recorder>(a).unwrap();
+        // Token 0 at 5 µs, then 1, 2, 3 every 10 µs.
+        assert_eq!(rec.timer_log.len(), 4);
+        assert_eq!(rec.timer_log[0], (SimTime::from_micros(5), 0));
+        assert_eq!(rec.timer_log[3], (SimTime::from_micros(35), 3));
+        assert_eq!(net.stats().timers_fired, 4);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::new()));
+        net.schedule_timer(SimTime::from_micros(5), a, 10);
+        net.schedule_timer(SimTime::from_micros(50), a, 11);
+        net.run_until(SimTime::from_micros(20));
+        let rec = net.node_as::<Recorder>(a).unwrap();
+        assert_eq!(rec.timer_log.len(), 1);
+        assert_eq!(net.now(), SimTime::from_micros(20));
+        // The remaining event still fires later.
+        net.run(10);
+        let rec = net.node_as::<Recorder>(a).unwrap();
+        assert_eq!(rec.timer_log.len(), 2);
+    }
+
+    #[test]
+    fn events_at_same_time_preserve_insertion_order() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::new()));
+        for i in 0..5usize {
+            net.inject_frame(SimTime::from_micros(1), a, i, frame(64));
+        }
+        net.run(10);
+        let rec = net.node_as::<Recorder>(a).unwrap();
+        let ports: Vec<PortId> = rec.arrivals.iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(ports, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn connect_validation() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::new()));
+        let b = net.add_node(Box::new(Recorder::new()));
+        net.connect((a, 0), (b, 0), LinkParams::ideal()).unwrap();
+        // Same port cannot be connected twice.
+        assert!(net.connect((a, 0), (b, 1), LinkParams::ideal()).is_err());
+        // Unknown node.
+        assert!(net.connect((a, 1), (99, 0), LinkParams::ideal()).is_err());
+        assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::new()));
+        net.schedule_timer(SimTime::from_micros(10), a, 0);
+        net.run(1);
+        assert_eq!(net.now(), SimTime::from_micros(10));
+        // Scheduling in the past clamps to now rather than panicking.
+        net.inject_frame(SimTime::from_micros(1), a, 0, frame(64));
+        net.run(10);
+        let rec = net.node_as::<Recorder>(a).unwrap();
+        assert_eq!(rec.arrivals[0].0, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn node_as_wrong_type_returns_none() {
+        struct Other;
+        impl Node for Other {
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: EthernetFrame) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Recorder::new()));
+        assert!(net.node_as::<Other>(a).is_none());
+        assert!(net.node_as_mut::<Recorder>(a).is_some());
+        assert_eq!(net.node(a).name(), "node");
+        let _ = net.node_mut(a);
+    }
+}

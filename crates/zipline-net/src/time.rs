@@ -1,0 +1,331 @@
+//! Simulation time and data-rate arithmetic.
+//!
+//! All simulation time is kept in integer nanoseconds to stay deterministic
+//! across platforms. [`DataRate`] provides the conversions the experiments
+//! need: serialization delay of a frame at a line rate, and achieved
+//! throughput from byte/packet counts over an interval.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, in nanoseconds since the start of the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Builds a time from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds a time from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run, as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since an earlier instant (saturating).
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Builds a duration from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Builds a duration from fractional seconds (rounded to nanoseconds).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// The duration in nanoseconds.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// The duration in microseconds, as a float.
+    pub fn as_micros_f64(&self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The duration in milliseconds, as a float.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration in seconds, as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{} ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3} µs", self.as_micros_f64())
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3} ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        }
+    }
+}
+
+/// A data rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataRate {
+    bits_per_second: u64,
+}
+
+impl DataRate {
+    /// The 100 Gbit/s line rate of the paper's switch ports.
+    pub const LINE_RATE_100G: DataRate = DataRate { bits_per_second: 100_000_000_000 };
+
+    /// Builds a rate from bits per second.
+    pub fn from_bps(bits_per_second: u64) -> Self {
+        Self { bits_per_second }
+    }
+
+    /// Builds a rate from gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self { bits_per_second: (gbps * 1e9).round() as u64 }
+    }
+
+    /// Builds a rate from megabits per second.
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self { bits_per_second: (mbps * 1e6).round() as u64 }
+    }
+
+    /// The rate in bits per second.
+    pub fn bps(&self) -> u64 {
+        self.bits_per_second
+    }
+
+    /// The rate in gigabits per second.
+    pub fn as_gbps(&self) -> f64 {
+        self.bits_per_second as f64 / 1e9
+    }
+
+    /// Time needed to serialize `bytes` bytes at this rate
+    /// (rounded up to the next nanosecond; zero-rate links serialize
+    /// instantaneously, which is useful for ideal-link tests).
+    pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        if self.bits_per_second == 0 {
+            return SimDuration::ZERO;
+        }
+        let bits = bytes as u128 * 8;
+        let nanos = (bits * 1_000_000_000).div_ceil(self.bits_per_second as u128);
+        SimDuration(nanos as u64)
+    }
+
+    /// Throughput achieved by transferring `bytes` bytes in `elapsed` time.
+    pub fn from_transfer(bytes: u64, elapsed: SimDuration) -> Self {
+        if elapsed.as_nanos() == 0 {
+            return DataRate::from_bps(0);
+        }
+        let bits = bytes as u128 * 8;
+        let bps = bits * 1_000_000_000 / elapsed.as_nanos() as u128;
+        DataRate::from_bps(bps as u64)
+    }
+
+    /// Packet rate (packets per second) for `packets` packets in `elapsed`.
+    pub fn packets_per_second(packets: u64, elapsed: SimDuration) -> f64 {
+        if elapsed.as_nanos() == 0 {
+            return 0.0;
+        }
+        packets as f64 / elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits_per_second >= 1_000_000_000 {
+            write!(f, "{:.2} Gbit/s", self.as_gbps())
+        } else if self.bits_per_second >= 1_000_000 {
+            write!(f, "{:.2} Mbit/s", self.bits_per_second as f64 / 1e6)
+        } else {
+            write!(f, "{} bit/s", self.bits_per_second)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert!((SimTime::from_secs(1).as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_nanos(9).as_nanos(), 9);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+        assert!((SimDuration::from_millis(1).as_millis_f64() - 1.0).abs() < 1e-12);
+        assert!((SimDuration::from_micros(1).as_micros_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        let d = t - SimTime::from_secs(1);
+        assert_eq!(d, SimDuration::from_millis(500));
+        // Saturating subtraction.
+        assert_eq!(SimTime::ZERO - SimTime::from_secs(1), SimDuration::ZERO);
+        assert_eq!(SimTime::from_secs(2).since(SimTime::from_secs(1)), SimDuration::from_secs(1));
+
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_nanos(5);
+        assert_eq!(t.as_nanos(), 5);
+
+        let mut d = SimDuration::from_nanos(1);
+        d += SimDuration::from_nanos(2);
+        assert_eq!((d + SimDuration::from_nanos(3)).as_nanos(), 6);
+    }
+
+    #[test]
+    fn serialization_delay_at_line_rate() {
+        // 1500 bytes at 100 Gbit/s = 120 ns.
+        let d = DataRate::LINE_RATE_100G.serialization_delay(1500);
+        assert_eq!(d.as_nanos(), 120);
+        // 64 bytes at 100 Gbit/s = 5.12 ns -> rounded up to 6 ns.
+        let d = DataRate::LINE_RATE_100G.serialization_delay(64);
+        assert_eq!(d.as_nanos(), 6);
+        // 9000 bytes at 10 Gbit/s = 7.2 µs.
+        let d = DataRate::from_gbps(10.0).serialization_delay(9000);
+        assert_eq!(d.as_nanos(), 7200);
+        // Zero rate = ideal link.
+        assert_eq!(DataRate::from_bps(0).serialization_delay(1500), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn throughput_from_transfer() {
+        // 125 MB in one second = 1 Gbit/s.
+        let r = DataRate::from_transfer(125_000_000, SimDuration::from_secs(1));
+        assert_eq!(r.bps(), 1_000_000_000);
+        assert!((r.as_gbps() - 1.0).abs() < 1e-9);
+        assert_eq!(DataRate::from_transfer(100, SimDuration::ZERO).bps(), 0);
+    }
+
+    #[test]
+    fn packet_rate() {
+        let pps = DataRate::packets_per_second(7_000_000, SimDuration::from_secs(1));
+        assert!((pps - 7e6).abs() < 1.0);
+        assert_eq!(DataRate::packets_per_second(10, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn rate_constructors() {
+        assert_eq!(DataRate::from_gbps(100.0), DataRate::LINE_RATE_100G);
+        assert_eq!(DataRate::from_mbps(1.0).bps(), 1_000_000);
+        assert_eq!(DataRate::from_bps(42).bps(), 42);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", DataRate::LINE_RATE_100G), "100.00 Gbit/s");
+        assert_eq!(format!("{}", DataRate::from_mbps(5.0)), "5.00 Mbit/s");
+        assert_eq!(format!("{}", DataRate::from_bps(10)), "10 bit/s");
+        assert_eq!(format!("{}", SimDuration::from_nanos(10)), "10 ns");
+        assert!(format!("{}", SimDuration::from_micros(3)).contains("µs"));
+        assert!(format!("{}", SimDuration::from_millis(3)).contains("ms"));
+        assert!(format!("{}", SimDuration::from_secs(3)).ends_with(" s"));
+        assert!(format!("{}", SimTime::from_secs(1)).contains("1.000000 s"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Packet/byte counters.
+//!
+//! ZipLine "adds counters to provide easily-accessible statistics of the
+//! inner-workings": packets are classified according to how they are
+//! transformed (section 5). [`CounterArray`] models an indexed counter as P4
+//! exposes it — the data plane bumps an index, the control plane reads the
+//! whole array.
+
+use crate::error::{Result, SwitchError};
+
+/// Value of one counter cell: packet and byte counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CounterValue {
+    /// Number of packets counted.
+    pub packets: u64,
+    /// Number of bytes counted.
+    pub bytes: u64,
+}
+
+/// An indexed packets-and-bytes counter array.
+#[derive(Debug, Clone)]
+pub struct CounterArray {
+    name: String,
+    cells: Vec<CounterValue>,
+}
+
+impl CounterArray {
+    /// Creates a counter array with `size` cells.
+    pub fn new(name: impl Into<String>, size: usize) -> Result<Self> {
+        if size == 0 {
+            return Err(SwitchError::InvalidConfig("counter array of size 0".into()));
+        }
+        Ok(Self { name: name.into(), cells: vec![CounterValue::default(); size] })
+    }
+
+    /// Name of the array.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Counts one packet of `bytes` bytes at `index`.
+    pub fn count(&mut self, index: usize, bytes: usize) -> Result<()> {
+        let size = self.cells.len();
+        let cell = self
+            .cells
+            .get_mut(index)
+            .ok_or(SwitchError::IndexOutOfRange { index, size })?;
+        cell.packets += 1;
+        cell.bytes += bytes as u64;
+        Ok(())
+    }
+
+    /// Control-plane read of one cell.
+    pub fn read(&self, index: usize) -> Result<CounterValue> {
+        self.cells
+            .get(index)
+            .copied()
+            .ok_or(SwitchError::IndexOutOfRange { index, size: self.cells.len() })
+    }
+
+    /// Control-plane read of the whole array.
+    pub fn snapshot(&self) -> &[CounterValue] {
+        &self.cells
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> CounterValue {
+        let mut total = CounterValue::default();
+        for c in &self.cells {
+            total.packets += c.packets;
+            total.bytes += c.bytes;
+        }
+        total
+    }
+
+    /// Control-plane reset.
+    pub fn clear(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = CounterValue::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_accumulates_packets_and_bytes() {
+        let mut c = CounterArray::new("per-type", 3).unwrap();
+        c.count(0, 64).unwrap();
+        c.count(0, 64).unwrap();
+        c.count(2, 1500).unwrap();
+        assert_eq!(c.read(0).unwrap(), CounterValue { packets: 2, bytes: 128 });
+        assert_eq!(c.read(1).unwrap(), CounterValue::default());
+        assert_eq!(c.read(2).unwrap(), CounterValue { packets: 1, bytes: 1500 });
+        assert_eq!(c.total(), CounterValue { packets: 3, bytes: 1628 });
+        assert_eq!(c.name(), "per-type");
+        assert_eq!(c.size(), 3);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut c = CounterArray::new("x", 1).unwrap();
+        assert!(c.count(1, 10).is_err());
+        assert!(c.read(5).is_err());
+    }
+
+    #[test]
+    fn clear_resets_all_cells() {
+        let mut c = CounterArray::new("x", 2).unwrap();
+        c.count(1, 9).unwrap();
+        c.clear();
+        assert_eq!(c.total(), CounterValue::default());
+        assert_eq!(c.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        assert!(CounterArray::new("empty", 0).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Digests from the data plane to the control plane.
+//!
+//! "Unknown bases are sent up by means of digests, as provided by P4₁₆/TNA"
+//! (section 5). A digest is a small message the data plane emits without
+//! stalling the packet; the control plane drains them asynchronously. The
+//! hardware queue is finite — under a burst of unknown bases, digests are
+//! dropped and the corresponding packets simply stay uncompressed until a
+//! later packet's digest gets through, which is faithful to the real system
+//! and exercised by the failure-injection tests.
+
+use crate::error::{Result, SwitchError};
+use std::collections::VecDeque;
+
+/// A bounded queue of digest messages.
+#[derive(Debug, Clone)]
+pub struct DigestQueue<T> {
+    name: String,
+    capacity: usize,
+    queue: VecDeque<T>,
+    /// Digests dropped because the queue was full.
+    dropped: u64,
+    /// Digests successfully enqueued.
+    enqueued: u64,
+}
+
+impl<T> DigestQueue<T> {
+    /// Creates a queue holding at most `capacity` pending digests.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(SwitchError::InvalidConfig("digest queue of capacity 0".into()));
+        }
+        Ok(Self { name: name.into(), capacity, queue: VecDeque::new(), dropped: 0, enqueued: 0 })
+    }
+
+    /// Queue name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of pending digests.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of digests currently pending.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no digest is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of digests dropped due to a full queue.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of digests accepted so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Data-plane push. Returns `true` when the digest was queued, `false`
+    /// when it was dropped because the queue is full.
+    pub fn push(&mut self, digest: T) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.queue.push_back(digest);
+            self.enqueued += 1;
+            true
+        }
+    }
+
+    /// Control-plane pop (oldest first).
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Control-plane drain of every pending digest.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.queue.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut q: DigestQueue<u32> = DigestQueue::new("bases", 4).unwrap();
+        assert!(q.is_empty());
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.enqueued(), 2);
+        assert_eq!(q.name(), "bases");
+        assert_eq!(q.capacity(), 4);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut q: DigestQueue<u32> = DigestQueue::new("bases", 2).unwrap();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(!q.push(3));
+        assert!(!q.push(4));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.len(), 2);
+        // Draining makes room again.
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert!(q.push(5));
+        assert_eq!(q.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(DigestQueue::<u32>::new("bad", 0).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the switch substrate.
+
+use std::fmt;
+
+/// Errors produced by switch resources and programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// A table has reached its maximum number of entries.
+    TableFull { table: String, max_entries: usize },
+    /// A table key was not found when it was required.
+    EntryNotFound(String),
+    /// A register or counter index is out of range.
+    IndexOutOfRange { index: usize, size: usize },
+    /// The program attempted something the hardware target disallows
+    /// (e.g. recirculation when configured for single-pass operation).
+    TargetConstraint(String),
+    /// Resource configuration is invalid (zero-sized table, port out of
+    /// range, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::TableFull { table, max_entries } => {
+                write!(f, "table {table} is full ({max_entries} entries)")
+            }
+            SwitchError::EntryNotFound(key) => write!(f, "entry not found: {key}"),
+            SwitchError::IndexOutOfRange { index, size } => {
+                write!(f, "index {index} out of range (size {size})")
+            }
+            SwitchError::TargetConstraint(msg) => write!(f, "target constraint violated: {msg}"),
+            SwitchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SwitchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = SwitchError::TableFull { table: "bases".into(), max_entries: 32768 };
+        assert!(e.to_string().contains("bases"));
+        assert!(e.to_string().contains("32768"));
+        assert!(SwitchError::EntryNotFound("k".into()).to_string().contains('k'));
+        assert!(SwitchError::IndexOutOfRange { index: 9, size: 4 }.to_string().contains('9'));
+        assert!(SwitchError::TargetConstraint("recirculation".into())
+            .to_string()
+            .contains("recirculation"));
+        assert!(SwitchError::InvalidConfig("zero ports".into()).to_string().contains("zero"));
+    }
+}

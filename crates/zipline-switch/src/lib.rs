@@ -1,0 +1,39 @@
+//! Programmable-switch substrate modelled on the Barefoot Tofino / TNA
+//! target used by ZipLine.
+//!
+//! The paper's contribution is a mapping of Generalized Deduplication onto
+//! the primitives a Tofino data plane actually offers: CRC externs,
+//! match-action tables with constant or runtime entries, per-entry idle
+//! timeouts, digests to the control plane, registers and counters — all under
+//! the constraint that per-packet work is constant-time and packets are never
+//! recirculated. This crate provides those primitives, plus a switch node
+//! ([`node::SwitchNode`]) that plugs a [`program::PipelineProgram`] into the
+//! discrete-event network of `zipline-net` and models the data-plane /
+//! control-plane split (digests are only acted upon after a configurable
+//! control-plane latency — the effect measured by the paper's
+//! dynamic-learning experiment).
+//!
+//! The ZipLine encode/decode programs themselves live in the `zipline`
+//! crate; this crate only knows about switches in general. A plain L2
+//! forwarding program ([`program::L2ForwardingProgram`]) is included as the
+//! "No op" baseline of Figure 4.
+
+pub mod counter;
+pub mod crc_extern;
+pub mod digest;
+pub mod error;
+pub mod node;
+pub mod packet_ctx;
+pub mod program;
+pub mod register;
+pub mod table;
+
+pub use counter::{CounterArray, CounterValue};
+pub use crc_extern::CrcExtern;
+pub use digest::DigestQueue;
+pub use error::SwitchError;
+pub use node::{SwitchConfig, SwitchNode, SwitchStats};
+pub use packet_ctx::{Digest, PacketContext};
+pub use program::{L2ForwardingProgram, PipelineProgram};
+pub use register::RegisterArray;
+pub use table::{ExactMatchTable, TableEntry};

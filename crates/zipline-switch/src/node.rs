@@ -1,0 +1,490 @@
+//! The switch node: plugs a [`PipelineProgram`] into the discrete-event
+//! network.
+//!
+//! The node models the properties of the hardware target that matter for the
+//! paper's claims:
+//!
+//! * **line-rate forwarding** — per-packet data-plane work never delays other
+//!   packets; every forwarded frame incurs only a fixed pipeline latency,
+//!   independent of the program (the vendor's guarantee quoted in section 7:
+//!   any program that compiles runs at line speed as long as it avoids
+//!   recirculation);
+//! * **slow control plane** — digests and control packets are acted upon only
+//!   after a configurable control-plane latency, which is what the
+//!   dynamic-learning experiment measures (≈1.77 ms from unknown basis to
+//!   effective table entry);
+//! * **per-port counters** and digest-queue accounting for the statistics the
+//!   evaluation reads out.
+
+use crate::digest::DigestQueue;
+use crate::error::{Result, SwitchError};
+use crate::packet_ctx::{Digest, PacketContext};
+use crate::program::PipelineProgram;
+use std::any::Any;
+use std::collections::VecDeque;
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::sim::{Node, NodeCtx, PortId};
+use zipline_net::time::SimDuration;
+
+/// Static configuration of a switch.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Number of front-panel ports.
+    pub ports: usize,
+    /// Fixed ingress-to-egress pipeline latency applied to every forwarded
+    /// frame. A Tofino pipeline traversal is well under a microsecond; the
+    /// default of 600 ns keeps the Figure 5 RTTs in the few-microsecond
+    /// range the paper reports.
+    pub pipeline_latency: SimDuration,
+    /// Delay between the data plane emitting a digest (or a control packet
+    /// arriving on a CPU port) and the control plane acting on it.
+    pub control_plane_latency: SimDuration,
+    /// Ports that lead to the controller; frames arriving there are treated
+    /// as control traffic rather than data traffic.
+    pub cpu_ports: Vec<PortId>,
+    /// Capacity of the digest queue between data and control plane.
+    pub digest_queue_capacity: usize,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        Self {
+            ports: 32,
+            pipeline_latency: SimDuration::from_nanos(600),
+            control_plane_latency: SimDuration::from_micros(850),
+            cpu_ports: Vec::new(),
+            digest_queue_capacity: 1024,
+        }
+    }
+}
+
+impl SwitchConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.ports == 0 {
+            return Err(SwitchError::InvalidConfig("switch with 0 ports".into()));
+        }
+        for &p in &self.cpu_ports {
+            if p >= self.ports {
+                return Err(SwitchError::InvalidConfig(format!(
+                    "CPU port {p} outside 0..{}",
+                    self.ports
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-port packet/byte counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Frames received on the port.
+    pub rx_frames: u64,
+    /// Wire bytes received on the port.
+    pub rx_bytes: u64,
+    /// Frames transmitted on the port.
+    pub tx_frames: u64,
+    /// Wire bytes transmitted on the port.
+    pub tx_bytes: u64,
+}
+
+/// Switch-level counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Data frames processed by the pipeline.
+    pub frames_in: u64,
+    /// Frames forwarded out of a port.
+    pub frames_out: u64,
+    /// Frames dropped by the program (or left without a verdict).
+    pub frames_dropped: u64,
+    /// Digests accepted into the digest queue.
+    pub digests_emitted: u64,
+    /// Digests dropped because the queue was full.
+    pub digests_dropped: u64,
+    /// Control packets received on CPU ports.
+    pub control_packets_in: u64,
+    /// Packets emitted by the control plane (packet-out).
+    pub control_packets_out: u64,
+}
+
+/// Timer tokens used by the switch node.
+const TOKEN_EGRESS: u64 = 1;
+const TOKEN_DIGEST: u64 = 2;
+const TOKEN_CONTROL: u64 = 3;
+
+/// A programmable switch in the simulated network.
+pub struct SwitchNode<P: PipelineProgram> {
+    config: SwitchConfig,
+    program: P,
+    stats: SwitchStats,
+    port_counters: Vec<PortCounters>,
+    pending_egress: VecDeque<(PortId, EthernetFrame)>,
+    digest_queue: DigestQueue<Digest>,
+    pending_control: VecDeque<EthernetFrame>,
+}
+
+impl<P: PipelineProgram> SwitchNode<P> {
+    /// Creates a switch running `program`.
+    pub fn new(config: SwitchConfig, program: P) -> Result<Self> {
+        config.validate()?;
+        let digest_queue = DigestQueue::new("digests", config.digest_queue_capacity)?;
+        let ports = config.ports;
+        Ok(Self {
+            config,
+            program,
+            stats: SwitchStats::default(),
+            port_counters: vec![PortCounters::default(); ports],
+            pending_egress: VecDeque::new(),
+            digest_queue,
+            pending_control: VecDeque::new(),
+        })
+    }
+
+    /// Creates a switch with the default configuration.
+    pub fn with_default_config(program: P) -> Self {
+        Self::new(SwitchConfig::default(), program).expect("default config is valid")
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Mutable access to the loaded program (control-plane style
+    /// configuration from outside the simulation).
+    pub fn program_mut(&mut self) -> &mut P {
+        &mut self.program
+    }
+
+    /// Switch-level counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Per-port counters.
+    pub fn port_counters(&self) -> &[PortCounters] {
+        &self.port_counters
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    fn send_now(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, frame: EthernetFrame) {
+        if let Some(counters) = self.port_counters.get_mut(port) {
+            counters.tx_frames += 1;
+            counters.tx_bytes += frame.wire_len() as u64;
+        }
+        ctx.send(port, frame);
+    }
+}
+
+impl<P: PipelineProgram> Node for SwitchNode<P> {
+    fn name(&self) -> String {
+        format!("switch[{}]", self.program.name())
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, frame: EthernetFrame) {
+        if let Some(counters) = self.port_counters.get_mut(port) {
+            counters.rx_frames += 1;
+            counters.rx_bytes += frame.wire_len() as u64;
+        }
+
+        if self.config.cpu_ports.contains(&port) {
+            // Control traffic: defer to the control plane after its latency.
+            self.stats.control_packets_in += 1;
+            self.pending_control.push_back(frame);
+            ctx.schedule_at(ctx.now() + self.config.control_plane_latency, TOKEN_CONTROL);
+            return;
+        }
+
+        self.stats.frames_in += 1;
+        let mut pkt = PacketContext::new(port, frame);
+        self.program.ingress(&mut pkt, ctx.now());
+
+        for digest in pkt.digests.drain(..) {
+            if self.digest_queue.push(digest) {
+                self.stats.digests_emitted += 1;
+                ctx.schedule_at(ctx.now() + self.config.control_plane_latency, TOKEN_DIGEST);
+            } else {
+                self.stats.digests_dropped += 1;
+            }
+        }
+
+        match (pkt.dropped, pkt.egress_port) {
+            (false, Some(egress)) => {
+                self.pending_egress.push_back((egress, pkt.frame));
+                ctx.schedule_at(ctx.now() + self.config.pipeline_latency, TOKEN_EGRESS);
+            }
+            _ => {
+                self.stats.frames_dropped += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        match token {
+            TOKEN_EGRESS => {
+                if let Some((port, frame)) = self.pending_egress.pop_front() {
+                    self.stats.frames_out += 1;
+                    self.send_now(ctx, port, frame);
+                }
+            }
+            TOKEN_DIGEST => {
+                if let Some(digest) = self.digest_queue.pop() {
+                    let outputs = self.program.handle_digest(digest, ctx.now());
+                    for (port, frame) in outputs {
+                        self.stats.control_packets_out += 1;
+                        self.send_now(ctx, port, frame);
+                    }
+                }
+            }
+            TOKEN_CONTROL => {
+                if let Some(frame) = self.pending_control.pop_front() {
+                    let outputs = self.program.handle_control_packet(frame, ctx.now());
+                    for (port, frame) in outputs {
+                        self.stats.control_packets_out += 1;
+                        self.send_now(ctx, port, frame);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::L2ForwardingProgram;
+    use zipline_net::ethernet::ETHERTYPE_IPV4;
+    use zipline_net::host::CaptureSink;
+    use zipline_net::link::LinkParams;
+    use zipline_net::mac::MacAddress;
+    use zipline_net::sim::Network;
+    use zipline_net::time::{DataRate, SimTime};
+
+    fn frame(payload_len: usize) -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            ETHERTYPE_IPV4,
+            vec![0xEE; payload_len],
+        )
+    }
+
+    /// Program used to test the digest and control-packet paths.
+    struct DigestingProgram {
+        digests_handled: Vec<(SimTime, Digest)>,
+        control_handled: Vec<(SimTime, EthernetFrame)>,
+    }
+
+    impl DigestingProgram {
+        fn new() -> Self {
+            Self { digests_handled: Vec::new(), control_handled: Vec::new() }
+        }
+    }
+
+    impl PipelineProgram for DigestingProgram {
+        fn name(&self) -> String {
+            "digesting".to_string()
+        }
+        fn ingress(&mut self, ctx: &mut PacketContext, _now: SimTime) {
+            ctx.emit_digest(Digest::new(1, ctx.frame.payload.clone()));
+            ctx.forward_to(1);
+        }
+        fn handle_digest(&mut self, digest: Digest, now: SimTime) -> Vec<(PortId, EthernetFrame)> {
+            self.digests_handled.push((now, digest));
+            Vec::new()
+        }
+        fn handle_control_packet(
+            &mut self,
+            frame: EthernetFrame,
+            now: SimTime,
+        ) -> Vec<(PortId, EthernetFrame)> {
+            self.control_handled.push((now, frame.clone()));
+            // Reply out of port 0 (packet-out).
+            vec![(0, frame)]
+        }
+    }
+
+    #[test]
+    fn forwards_with_pipeline_latency() {
+        let mut net = Network::new();
+        let config = SwitchConfig {
+            ports: 2,
+            pipeline_latency: SimDuration::from_nanos(600),
+            ..SwitchConfig::default()
+        };
+        let switch =
+            SwitchNode::new(config, L2ForwardingProgram::two_port_wire()).unwrap();
+        let sw = net.add_node(Box::new(switch));
+        let sink = net.add_node(Box::new(CaptureSink::counting()));
+        net.connect((sw, 1), (sink, 0), LinkParams::ideal()).unwrap();
+
+        net.inject_frame(SimTime::from_micros(10), sw, 0, frame(100));
+        net.run(100);
+
+        let sink_node = net.node_as::<CaptureSink>(sink).unwrap();
+        assert_eq!(sink_node.stats().frames_received, 1);
+        assert_eq!(
+            sink_node.stats().first_arrival.unwrap(),
+            SimTime::from_micros(10) + SimDuration::from_nanos(600)
+        );
+
+        let sw_node = net.node_as::<SwitchNode<L2ForwardingProgram>>(sw).unwrap();
+        assert_eq!(sw_node.stats().frames_in, 1);
+        assert_eq!(sw_node.stats().frames_out, 1);
+        assert_eq!(sw_node.stats().frames_dropped, 0);
+        assert_eq!(sw_node.port_counters()[0].rx_frames, 1);
+        assert_eq!(sw_node.port_counters()[1].tx_frames, 1);
+        assert!(format!("{}", Node::name(sw_node)).contains("l2-forwarding"));
+    }
+
+    #[test]
+    fn dropped_frames_are_counted() {
+        let mut net = Network::new();
+        let switch = SwitchNode::with_default_config(L2ForwardingProgram::new(vec![None]));
+        let sw = net.add_node(Box::new(switch));
+        net.inject_frame(SimTime::ZERO, sw, 0, frame(64));
+        net.run(10);
+        let sw_node = net.node_as::<SwitchNode<L2ForwardingProgram>>(sw).unwrap();
+        assert_eq!(sw_node.stats().frames_dropped, 1);
+        assert_eq!(sw_node.stats().frames_out, 0);
+    }
+
+    #[test]
+    fn digests_reach_the_control_plane_after_latency() {
+        let mut net = Network::new();
+        let config = SwitchConfig {
+            ports: 2,
+            control_plane_latency: SimDuration::from_millis(1),
+            ..SwitchConfig::default()
+        };
+        let switch = SwitchNode::new(config, DigestingProgram::new()).unwrap();
+        let sw = net.add_node(Box::new(switch));
+        net.inject_frame(SimTime::from_micros(5), sw, 0, frame(10));
+        net.run(100);
+
+        let sw_node = net.node_as::<SwitchNode<DigestingProgram>>(sw).unwrap();
+        assert_eq!(sw_node.stats().digests_emitted, 1);
+        assert_eq!(sw_node.program().digests_handled.len(), 1);
+        let (handled_at, digest) = &sw_node.program().digests_handled[0];
+        assert_eq!(*handled_at, SimTime::from_micros(5) + SimDuration::from_millis(1));
+        assert_eq!(digest.data, vec![0xEE; 10]);
+    }
+
+    #[test]
+    fn digest_queue_overflow_drops_digests() {
+        let mut net = Network::new();
+        let config = SwitchConfig {
+            ports: 2,
+            digest_queue_capacity: 2,
+            control_plane_latency: SimDuration::from_millis(10),
+            ..SwitchConfig::default()
+        };
+        let switch = SwitchNode::new(config, DigestingProgram::new()).unwrap();
+        let sw = net.add_node(Box::new(switch));
+        for i in 0..5u64 {
+            net.inject_frame(SimTime(i), sw, 0, frame(10));
+        }
+        net.run(100);
+        let sw_node = net.node_as::<SwitchNode<DigestingProgram>>(sw).unwrap();
+        assert_eq!(sw_node.stats().digests_emitted, 2);
+        assert_eq!(sw_node.stats().digests_dropped, 3);
+        assert_eq!(sw_node.program().digests_handled.len(), 2);
+    }
+
+    #[test]
+    fn cpu_port_frames_go_to_the_control_plane() {
+        let mut net = Network::new();
+        let config = SwitchConfig {
+            ports: 4,
+            cpu_ports: vec![3],
+            control_plane_latency: SimDuration::from_micros(500),
+            ..SwitchConfig::default()
+        };
+        let switch = SwitchNode::new(config, DigestingProgram::new()).unwrap();
+        let sw = net.add_node(Box::new(switch));
+        let sink = net.add_node(Box::new(CaptureSink::counting()));
+        net.connect((sw, 0), (sink, 0), LinkParams::ideal()).unwrap();
+
+        net.inject_frame(SimTime::ZERO, sw, 3, frame(20));
+        net.run(100);
+
+        let sw_node = net.node_as::<SwitchNode<DigestingProgram>>(sw).unwrap();
+        assert_eq!(sw_node.stats().control_packets_in, 1);
+        assert_eq!(sw_node.stats().frames_in, 0, "control traffic bypasses the pipeline");
+        assert_eq!(sw_node.program().control_handled.len(), 1);
+        assert_eq!(sw_node.program().control_handled[0].0, SimTime::from_micros(500));
+        // The packet-out reply reached the sink.
+        assert_eq!(sw_node.stats().control_packets_out, 1);
+        let sink_node = net.node_as::<CaptureSink>(sink).unwrap();
+        assert_eq!(sink_node.stats().frames_received, 1);
+    }
+
+    #[test]
+    fn throughput_is_not_degraded_by_processing() {
+        // The key line-rate property: forwarding delay is a constant latency,
+        // so back-to-back frames keep their spacing (no per-packet slowdown).
+        let mut net = Network::new();
+        let config = SwitchConfig { ports: 2, ..SwitchConfig::default() };
+        let switch = SwitchNode::new(config, L2ForwardingProgram::two_port_wire()).unwrap();
+        let sw = net.add_node(Box::new(switch));
+        let sink = net.add_node(Box::new(CaptureSink::counting()));
+        net.connect((sw, 1), (sink, 0), LinkParams::line_rate_100g()).unwrap();
+
+        // Inject 1000 frames spaced at exactly the 1518-byte line-rate
+        // interval (121.44 ns -> use 122 ns).
+        let spacing = DataRate::LINE_RATE_100G.serialization_delay(1518);
+        for i in 0..1000u64 {
+            net.inject_frame(SimTime(i * spacing.as_nanos()), sw, 0, frame(1500));
+        }
+        net.run(100_000);
+        let sink_node = net.node_as::<CaptureSink>(sink).unwrap();
+        assert_eq!(sink_node.stats().frames_received, 1000);
+        let rate = sink_node.stats().throughput();
+        assert!(rate.as_gbps() > 95.0, "achieved {rate}");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SwitchConfig { ports: 0, ..SwitchConfig::default() }.validate().is_err());
+        assert!(SwitchConfig { ports: 4, cpu_ports: vec![4], ..SwitchConfig::default() }
+            .validate()
+            .is_err());
+        assert!(SwitchConfig::default().validate().is_ok());
+        assert!(SwitchNode::new(
+            SwitchConfig { ports: 0, ..SwitchConfig::default() },
+            L2ForwardingProgram::two_port_wire()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn program_mut_allows_external_configuration() {
+        let mut switch = SwitchNode::with_default_config(LearningProgramStub::default());
+        switch.program_mut().value = 42;
+        assert_eq!(switch.program().value, 42);
+        assert_eq!(switch.config().ports, 32);
+    }
+
+    #[derive(Default)]
+    struct LearningProgramStub {
+        value: u32,
+    }
+    impl PipelineProgram for LearningProgramStub {
+        fn ingress(&mut self, ctx: &mut PacketContext, _now: SimTime) {
+            ctx.drop_packet();
+        }
+    }
+}

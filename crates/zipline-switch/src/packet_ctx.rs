@@ -1,0 +1,114 @@
+//! Per-packet context handed to a pipeline program.
+//!
+//! A [`PacketContext`] plays the role of the parsed headers plus intrinsic
+//! metadata of a P4 program: the program inspects and rewrites the frame,
+//! chooses an egress port (or drop), and may emit digests towards the
+//! control plane. The one thing it can *not* do is recirculate the packet —
+//! ZipLine is explicitly a single-pass design ("ZipLine does not need packet
+//! recirculation as GD can be implemented in a single round", section 3) and
+//! the node enforces it.
+
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::sim::PortId;
+
+/// A digest message queued by the data plane for the control plane.
+///
+/// On the real target a digest carries a few header/metadata fields chosen by
+/// the P4 program; here it is an opaque byte payload (the ZipLine encoder
+/// puts the basis bytes in it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digest {
+    /// Identifier of the digest type (a program may define several).
+    pub kind: u16,
+    /// Digest payload.
+    pub data: Vec<u8>,
+}
+
+impl Digest {
+    /// Builds a digest.
+    pub fn new(kind: u16, data: Vec<u8>) -> Self {
+        Self { kind, data }
+    }
+}
+
+/// The mutable per-packet state a program operates on.
+#[derive(Debug, Clone)]
+pub struct PacketContext {
+    /// Port the frame arrived on.
+    pub ingress_port: PortId,
+    /// The frame itself; programs rewrite the payload / EtherType in place.
+    pub frame: EthernetFrame,
+    /// Port the frame should leave on; `None` until the program decides.
+    pub egress_port: Option<PortId>,
+    /// True when the program decided to drop the frame.
+    pub dropped: bool,
+    /// Digests to hand to the control plane.
+    pub digests: Vec<Digest>,
+}
+
+impl PacketContext {
+    /// Builds the context for a frame arriving on `ingress_port`.
+    pub fn new(ingress_port: PortId, frame: EthernetFrame) -> Self {
+        Self { ingress_port, frame, egress_port: None, dropped: false, digests: Vec::new() }
+    }
+
+    /// Sends the frame out of `port` (the normal unicast action).
+    pub fn forward_to(&mut self, port: PortId) {
+        self.egress_port = Some(port);
+        self.dropped = false;
+    }
+
+    /// Drops the frame.
+    pub fn drop_packet(&mut self) {
+        self.dropped = true;
+        self.egress_port = None;
+    }
+
+    /// Queues a digest for the control plane.
+    pub fn emit_digest(&mut self, digest: Digest) {
+        self.digests.push(digest);
+    }
+
+    /// True when the program produced a deliverable verdict
+    /// (either forward or drop).
+    pub fn has_verdict(&self) -> bool {
+        self.dropped || self.egress_port.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipline_net::ethernet::ETHERTYPE_IPV4;
+    use zipline_net::mac::MacAddress;
+
+    fn frame() -> EthernetFrame {
+        EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), ETHERTYPE_IPV4, vec![0; 8])
+    }
+
+    #[test]
+    fn forward_and_drop_verdicts() {
+        let mut ctx = PacketContext::new(3, frame());
+        assert_eq!(ctx.ingress_port, 3);
+        assert!(!ctx.has_verdict());
+        ctx.forward_to(5);
+        assert_eq!(ctx.egress_port, Some(5));
+        assert!(ctx.has_verdict());
+        ctx.drop_packet();
+        assert!(ctx.dropped);
+        assert_eq!(ctx.egress_port, None);
+        assert!(ctx.has_verdict());
+        // Forwarding again cancels the drop.
+        ctx.forward_to(1);
+        assert!(!ctx.dropped);
+    }
+
+    #[test]
+    fn digests_accumulate() {
+        let mut ctx = PacketContext::new(0, frame());
+        ctx.emit_digest(Digest::new(1, vec![0xAA]));
+        ctx.emit_digest(Digest::new(2, vec![0xBB, 0xCC]));
+        assert_eq!(ctx.digests.len(), 2);
+        assert_eq!(ctx.digests[1], Digest::new(2, vec![0xBB, 0xCC]));
+    }
+}

@@ -1,0 +1,219 @@
+//! The pipeline-program abstraction and basic forwarding programs.
+//!
+//! A [`PipelineProgram`] is the Rust stand-in for a compiled P4 program
+//! loaded onto the switch: it gets one [`PacketContext`] per packet
+//! (data-plane work, conceptually constant-time) and is also the target of
+//! the two control-plane entry points — digest handling and control packets
+//! from an external controller — which the hosting [`crate::node::SwitchNode`]
+//! invokes only after the configured control-plane latency.
+
+use crate::packet_ctx::{Digest, PacketContext};
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::sim::PortId;
+use zipline_net::time::SimTime;
+
+/// A program loaded on a switch.
+pub trait PipelineProgram: 'static {
+    /// Program name (diagnostics).
+    fn name(&self) -> String {
+        "p4-program".to_string()
+    }
+
+    /// Data-plane processing of one packet.
+    fn ingress(&mut self, ctx: &mut PacketContext, now: SimTime);
+
+    /// Control-plane handling of a digest emitted by `ingress`. Invoked after
+    /// the switch's control-plane latency. May emit packets (packet-out) as
+    /// `(port, frame)` pairs — e.g. notifications to a central controller.
+    fn handle_digest(&mut self, _digest: Digest, _now: SimTime) -> Vec<(PortId, EthernetFrame)> {
+        Vec::new()
+    }
+
+    /// Control-plane handling of a packet that arrived on one of the
+    /// switch's CPU ports (e.g. a table-update command from a central
+    /// controller). Also latency-deferred. May emit packets.
+    fn handle_control_packet(
+        &mut self,
+        _frame: EthernetFrame,
+        _now: SimTime,
+    ) -> Vec<(PortId, EthernetFrame)> {
+        Vec::new()
+    }
+}
+
+/// A plain L2 forwarding program with a static port map — the switch acting
+/// "as a regular Ethernet switch", which is the "No op" baseline of
+/// Figure 4.
+#[derive(Debug, Clone)]
+pub struct L2ForwardingProgram {
+    /// `port_map[ingress_port]` = egress port. Frames arriving on ports not
+    /// covered by the map are dropped.
+    port_map: Vec<Option<PortId>>,
+}
+
+impl L2ForwardingProgram {
+    /// Builds a program from an explicit ingress → egress port map.
+    pub fn new(port_map: Vec<Option<PortId>>) -> Self {
+        Self { port_map }
+    }
+
+    /// Convenience: a two-port wire, forwarding port 0 → port 1 and
+    /// port 1 → port 0 (how the paper's throughput baseline is cabled).
+    pub fn two_port_wire() -> Self {
+        Self { port_map: vec![Some(1), Some(0)] }
+    }
+
+    /// Convenience: a "hairpin" that sends every frame back out of port 0,
+    /// used by the latency experiment where one server sends packets to
+    /// itself via the switch.
+    pub fn hairpin(port: PortId) -> Self {
+        let mut port_map = vec![None; port + 1];
+        port_map[port] = Some(port);
+        Self { port_map }
+    }
+}
+
+impl PipelineProgram for L2ForwardingProgram {
+    fn name(&self) -> String {
+        "l2-forwarding".to_string()
+    }
+
+    fn ingress(&mut self, ctx: &mut PacketContext, _now: SimTime) {
+        match self.port_map.get(ctx.ingress_port).copied().flatten() {
+            Some(egress) => ctx.forward_to(egress),
+            None => ctx.drop_packet(),
+        }
+    }
+}
+
+/// A learning L2 switch: floods unknown destinations and learns source MAC
+/// addresses, like a standard Ethernet bridge. Used in tests and examples
+/// where static port maps are inconvenient.
+#[derive(Debug, Clone)]
+pub struct LearningSwitchProgram {
+    ports: usize,
+    mac_table: std::collections::HashMap<zipline_net::mac::MacAddress, PortId>,
+}
+
+impl LearningSwitchProgram {
+    /// Builds a learning switch with `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        Self { ports, mac_table: std::collections::HashMap::new() }
+    }
+
+    /// Number of learned MAC addresses.
+    pub fn learned(&self) -> usize {
+        self.mac_table.len()
+    }
+}
+
+impl PipelineProgram for LearningSwitchProgram {
+    fn name(&self) -> String {
+        "learning-switch".to_string()
+    }
+
+    fn ingress(&mut self, ctx: &mut PacketContext, _now: SimTime) {
+        if ctx.ingress_port >= self.ports {
+            ctx.drop_packet();
+            return;
+        }
+        self.mac_table.insert(ctx.frame.src, ctx.ingress_port);
+        match self.mac_table.get(&ctx.frame.dst) {
+            Some(&port) if port != ctx.ingress_port => ctx.forward_to(port),
+            Some(_) => ctx.drop_packet(), // destination is behind the ingress port
+            None => {
+                // Flood: the SwitchNode interprets `egress_port == None` with
+                // `dropped == false` as "no verdict", so express flooding as
+                // a drop here; tests that need flooding use static maps.
+                // A full flooding implementation would need multicast support
+                // in the node, which ZipLine itself never uses.
+                ctx.drop_packet();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipline_net::ethernet::ETHERTYPE_IPV4;
+    use zipline_net::mac::MacAddress;
+
+    fn frame(src: u8, dst: u8) -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddress::local(dst),
+            MacAddress::local(src),
+            ETHERTYPE_IPV4,
+            vec![0; 16],
+        )
+    }
+
+    #[test]
+    fn two_port_wire_forwards_both_directions() {
+        let mut prog = L2ForwardingProgram::two_port_wire();
+        assert_eq!(prog.name(), "l2-forwarding");
+
+        let mut ctx = PacketContext::new(0, frame(1, 2));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.egress_port, Some(1));
+
+        let mut ctx = PacketContext::new(1, frame(2, 1));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.egress_port, Some(0));
+    }
+
+    #[test]
+    fn unmapped_ports_drop() {
+        let mut prog = L2ForwardingProgram::new(vec![Some(1), None]);
+        let mut ctx = PacketContext::new(1, frame(1, 2));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert!(ctx.dropped);
+        let mut ctx = PacketContext::new(7, frame(1, 2));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert!(ctx.dropped);
+    }
+
+    #[test]
+    fn hairpin_reflects_on_same_port() {
+        let mut prog = L2ForwardingProgram::hairpin(2);
+        let mut ctx = PacketContext::new(2, frame(1, 1));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.egress_port, Some(2));
+        let mut ctx = PacketContext::new(0, frame(1, 1));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert!(ctx.dropped);
+    }
+
+    #[test]
+    fn default_control_plane_hooks_do_nothing() {
+        let mut prog = L2ForwardingProgram::two_port_wire();
+        assert!(prog.handle_digest(Digest::new(0, vec![]), SimTime::ZERO).is_empty());
+        assert!(prog
+            .handle_control_packet(frame(1, 2), SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn learning_switch_learns_sources() {
+        let mut prog = LearningSwitchProgram::new(4);
+        assert_eq!(prog.name(), "learning-switch");
+        // Host 1 on port 0 talks to (unknown) host 2: dropped, but learned.
+        let mut ctx = PacketContext::new(0, frame(1, 2));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert!(ctx.dropped);
+        assert_eq!(prog.learned(), 1);
+        // Host 2 on port 3 replies to host 1: forwarded to port 0.
+        let mut ctx = PacketContext::new(3, frame(2, 1));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.egress_port, Some(0));
+        assert_eq!(prog.learned(), 2);
+        // Host 1 to host 2 now goes to port 3.
+        let mut ctx = PacketContext::new(0, frame(1, 2));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.egress_port, Some(3));
+        // A destination that maps back to the ingress port is dropped.
+        let mut ctx = PacketContext::new(0, frame(3, 1));
+        prog.ingress(&mut ctx, SimTime::ZERO);
+        assert!(ctx.dropped);
+    }
+}

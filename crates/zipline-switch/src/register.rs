@@ -1,0 +1,146 @@
+//! Stateful register arrays.
+//!
+//! Tofino registers are fixed-size arrays of small cells that the data plane
+//! can read-modify-write — once per packet, at a single index, in constant
+//! time. The paper's original design kept the basis-ID mappings in registers
+//! for instantaneous learning before moving them to match-action tables
+//! managed by the control plane (section 6); registers remain useful for
+//! counters, sequence numbers and the ablation that re-creates that original
+//! design.
+
+use crate::error::{Result, SwitchError};
+
+/// A register array of `u64` cells.
+///
+/// The update closure passed to [`RegisterArray::read_modify_write`] mirrors
+/// a Tofino stateful ALU program: it sees the old value and produces the new
+/// value plus an output forwarded to the packet.
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    name: String,
+    cells: Vec<u64>,
+    /// Number of data-plane accesses, for diagnostics.
+    accesses: u64,
+}
+
+impl RegisterArray {
+    /// Creates an array of `size` zero-initialized cells.
+    pub fn new(name: impl Into<String>, size: usize) -> Result<Self> {
+        if size == 0 {
+            return Err(SwitchError::InvalidConfig("register array of size 0".into()));
+        }
+        Ok(Self { name: name.into(), cells: vec![0; size], accesses: 0 })
+    }
+
+    /// Name of the array.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of data-plane accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Reads one cell.
+    pub fn read(&mut self, index: usize) -> Result<u64> {
+        self.check(index)?;
+        self.accesses += 1;
+        Ok(self.cells[index])
+    }
+
+    /// Writes one cell.
+    pub fn write(&mut self, index: usize, value: u64) -> Result<()> {
+        self.check(index)?;
+        self.accesses += 1;
+        self.cells[index] = value;
+        Ok(())
+    }
+
+    /// Atomically (from the pipeline's point of view) updates one cell and
+    /// returns a value to the packet, like a stateful ALU.
+    pub fn read_modify_write<F>(&mut self, index: usize, f: F) -> Result<u64>
+    where
+        F: FnOnce(u64) -> (u64, u64),
+    {
+        self.check(index)?;
+        self.accesses += 1;
+        let (new_value, output) = f(self.cells[index]);
+        self.cells[index] = new_value;
+        Ok(output)
+    }
+
+    /// Control-plane bulk read (not counted as data-plane access).
+    pub fn snapshot(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// Control-plane reset of every cell.
+    pub fn clear(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn check(&self, index: usize) -> Result<()> {
+        if index >= self.cells.len() {
+            Err(SwitchError::IndexOutOfRange { index, size: self.cells.len() })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut r = RegisterArray::new("seq", 8).unwrap();
+        assert_eq!(r.size(), 8);
+        assert_eq!(r.read(3).unwrap(), 0);
+        r.write(3, 42).unwrap();
+        assert_eq!(r.read(3).unwrap(), 42);
+        assert_eq!(r.name(), "seq");
+        assert_eq!(r.accesses(), 3);
+    }
+
+    #[test]
+    fn read_modify_write_returns_alu_output() {
+        let mut r = RegisterArray::new("counter", 4).unwrap();
+        // Increment and return the previous value.
+        let out = r.read_modify_write(0, |old| (old + 1, old)).unwrap();
+        assert_eq!(out, 0);
+        let out = r.read_modify_write(0, |old| (old + 1, old)).unwrap();
+        assert_eq!(out, 1);
+        assert_eq!(r.read(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_range_indices_error() {
+        let mut r = RegisterArray::new("x", 2).unwrap();
+        assert!(matches!(r.read(2), Err(SwitchError::IndexOutOfRange { .. })));
+        assert!(r.write(5, 1).is_err());
+        assert!(r.read_modify_write(9, |v| (v, v)).is_err());
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        assert!(RegisterArray::new("empty", 0).is_err());
+    }
+
+    #[test]
+    fn snapshot_and_clear_are_control_plane_operations() {
+        let mut r = RegisterArray::new("x", 3).unwrap();
+        r.write(1, 7).unwrap();
+        assert_eq!(r.snapshot(), &[0, 7, 0]);
+        let accesses_before = r.accesses();
+        r.clear();
+        assert_eq!(r.snapshot(), &[0, 0, 0]);
+        assert_eq!(r.accesses(), accesses_before, "control-plane ops are not counted");
+    }
+}

@@ -1,0 +1,331 @@
+//! Exact-match match-action tables.
+//!
+//! ZipLine stores its basis ↔ identifier mappings "in regular match-action
+//! tables and manage[s] them with the control plane", relying on two TNA
+//! features in particular (sections 5 and 6):
+//!
+//! * **digests** notify the control plane of unknown bases (modelled by
+//!   [`crate::digest::DigestQueue`]);
+//! * **per-table-entry TTLs** ("idle timeouts") let the control plane
+//!   implement an LRU policy over identifiers.
+//!
+//! [`ExactMatchTable`] models the data-plane view: lookups are exact-match on
+//! a fixed-width key, hits refresh the entry's idle timer and bump a direct
+//! counter, and the number of entries is bounded by what was allocated at
+//! compile time. All mutations (insert/remove/expire) are control-plane
+//! operations.
+
+use crate::error::{Result, SwitchError};
+use std::collections::HashMap;
+use std::hash::Hash;
+use zipline_net::time::{SimDuration, SimTime};
+
+/// One installed table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry<A> {
+    /// Action data returned on a hit.
+    pub action: A,
+    /// Time the entry was installed by the control plane.
+    pub installed_at: SimTime,
+    /// Time of the most recent data-plane hit (or installation).
+    pub last_hit: SimTime,
+    /// Number of data-plane hits.
+    pub hit_count: u64,
+}
+
+/// An exact-match table with bounded capacity, per-entry idle tracking and
+/// direct counters.
+#[derive(Debug, Clone)]
+pub struct ExactMatchTable<K, A> {
+    name: String,
+    max_entries: usize,
+    entries: HashMap<K, TableEntry<A>>,
+    /// Idle timeout after which `expired` reports an entry; `None` disables
+    /// ageing.
+    idle_timeout: Option<SimDuration>,
+    /// Data-plane lookups that found no entry.
+    misses: u64,
+    /// Data-plane lookups that found an entry.
+    hits: u64,
+}
+
+impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
+    /// Creates a table with the given capacity.
+    pub fn new(name: impl Into<String>, max_entries: usize) -> Result<Self> {
+        if max_entries == 0 {
+            return Err(SwitchError::InvalidConfig("table with 0 entries".into()));
+        }
+        Ok(Self {
+            name: name.into(),
+            max_entries,
+            entries: HashMap::new(),
+            idle_timeout: None,
+            misses: 0,
+            hits: 0,
+        })
+    }
+
+    /// Creates a table with per-entry idle timeout enabled (TNA's entry
+    /// ageing feature).
+    pub fn with_idle_timeout(
+        name: impl Into<String>,
+        max_entries: usize,
+        idle_timeout: SimDuration,
+    ) -> Result<Self> {
+        let mut t = Self::new(name, max_entries)?;
+        t.idle_timeout = Some(idle_timeout);
+        Ok(t)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of entries.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further entry can be installed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.max_entries
+    }
+
+    /// Number of data-plane lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of data-plane lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Data-plane lookup: on a hit, refreshes the entry's idle timer, bumps
+    /// its direct counter and returns a copy of the action data.
+    pub fn lookup(&mut self, key: &K, now: SimTime) -> Option<A> {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_hit = now;
+                entry.hit_count += 1;
+                self.hits += 1;
+                Some(entry.action.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Data-plane lookup without touching idle state or counters (used by
+    /// tests and diagnostics; real lookups should use [`lookup`](Self::lookup)).
+    pub fn peek(&self, key: &K) -> Option<&A> {
+        self.entries.get(key).map(|e| &e.action)
+    }
+
+    /// Control-plane insert. Fails when the table is full (the control plane
+    /// must free an entry first, which is exactly the LRU management the
+    /// paper describes) or when the key is already present.
+    pub fn insert(&mut self, key: K, action: A, now: SimTime) -> Result<()> {
+        if self.entries.contains_key(&key) {
+            return Err(SwitchError::InvalidConfig(format!(
+                "duplicate key in table {}",
+                self.name
+            )));
+        }
+        if self.is_full() {
+            return Err(SwitchError::TableFull {
+                table: self.name.clone(),
+                max_entries: self.max_entries,
+            });
+        }
+        self.entries.insert(
+            key,
+            TableEntry { action, installed_at: now, last_hit: now, hit_count: 0 },
+        );
+        Ok(())
+    }
+
+    /// Control-plane update of an existing entry's action data.
+    pub fn modify(&mut self, key: &K, action: A) -> Result<()> {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.action = action;
+                Ok(())
+            }
+            None => Err(SwitchError::EntryNotFound(self.name.clone())),
+        }
+    }
+
+    /// Control-plane removal.
+    pub fn remove(&mut self, key: &K) -> Result<A> {
+        self.entries
+            .remove(key)
+            .map(|e| e.action)
+            .ok_or(SwitchError::EntryNotFound(self.name.clone()))
+    }
+
+    /// Control-plane read of a whole entry (action + metadata).
+    pub fn entry(&self, key: &K) -> Option<&TableEntry<A>> {
+        self.entries.get(key)
+    }
+
+    /// Keys whose idle time exceeds the configured timeout — what TNA
+    /// delivers to the control plane as ageing notifications. Empty when no
+    /// idle timeout is configured.
+    pub fn expired(&self, now: SimTime) -> Vec<K> {
+        let Some(timeout) = self.idle_timeout else { return Vec::new() };
+        self.entries
+            .iter()
+            .filter(|(_, e)| now.since(e.last_hit) > timeout)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// The key that has gone longest without a data-plane hit, if any —
+    /// the victim the control plane's LRU policy picks when the identifier
+    /// pool is exhausted.
+    pub fn least_recently_hit(&self) -> Option<&K> {
+        self.entries.iter().min_by_key(|(_, e)| e.last_hit).map(|(k, _)| k)
+    }
+
+    /// Iterates over `(key, entry)` pairs in unspecified order
+    /// (control-plane bulk read).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &TableEntry<A>)> {
+        self.entries.iter()
+    }
+
+    /// Control-plane clear.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut table: ExactMatchTable<u32, String> = ExactMatchTable::new("map", 4).unwrap();
+        table.insert(7, "seven".into(), t(0)).unwrap();
+        assert_eq!(table.lookup(&7, t(1)), Some("seven".into()));
+        assert_eq!(table.lookup(&8, t(1)), None);
+        assert_eq!(table.hits(), 1);
+        assert_eq!(table.misses(), 1);
+        assert_eq!(table.remove(&7).unwrap(), "seven");
+        assert!(table.remove(&7).is_err());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut table: ExactMatchTable<u32, u32> = ExactMatchTable::new("small", 2).unwrap();
+        table.insert(1, 10, t(0)).unwrap();
+        table.insert(2, 20, t(0)).unwrap();
+        assert!(table.is_full());
+        let err = table.insert(3, 30, t(0)).unwrap_err();
+        assert!(matches!(err, SwitchError::TableFull { .. }));
+        // Freeing one entry allows the insert.
+        table.remove(&1).unwrap();
+        table.insert(3, 30, t(1)).unwrap();
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_but_modify_works() {
+        let mut table: ExactMatchTable<u32, u32> = ExactMatchTable::new("map", 4).unwrap();
+        table.insert(1, 10, t(0)).unwrap();
+        assert!(table.insert(1, 11, t(0)).is_err());
+        table.modify(&1, 11).unwrap();
+        assert_eq!(table.peek(&1), Some(&11));
+        assert!(table.modify(&2, 20).is_err());
+    }
+
+    #[test]
+    fn hit_counters_and_last_hit_update_only_on_lookup() {
+        let mut table: ExactMatchTable<u32, u32> = ExactMatchTable::new("map", 4).unwrap();
+        table.insert(1, 10, t(0)).unwrap();
+        table.lookup(&1, t(5));
+        table.lookup(&1, t(9));
+        table.peek(&1);
+        let entry = table.entry(&1).unwrap();
+        assert_eq!(entry.hit_count, 2);
+        assert_eq!(entry.last_hit, t(9));
+        assert_eq!(entry.installed_at, t(0));
+    }
+
+    #[test]
+    fn idle_timeout_reports_stale_entries() {
+        let mut table: ExactMatchTable<u32, u32> =
+            ExactMatchTable::with_idle_timeout("aged", 8, SimDuration::from_micros(100)).unwrap();
+        table.insert(1, 10, t(0)).unwrap();
+        table.insert(2, 20, t(0)).unwrap();
+        // Keep entry 2 fresh.
+        table.lookup(&2, t(90));
+        let mut expired = table.expired(t(150));
+        expired.sort_unstable();
+        assert_eq!(expired, vec![1]);
+        // Without ageing configured, nothing expires.
+        let plain: ExactMatchTable<u32, u32> = ExactMatchTable::new("plain", 8).unwrap();
+        assert!(plain.expired(t(1_000_000)).is_empty());
+    }
+
+    #[test]
+    fn least_recently_hit_tracks_lru_victim() {
+        let mut table: ExactMatchTable<u32, u32> = ExactMatchTable::new("map", 8).unwrap();
+        assert!(table.least_recently_hit().is_none());
+        table.insert(1, 10, t(0)).unwrap();
+        table.insert(2, 20, t(1)).unwrap();
+        table.insert(3, 30, t(2)).unwrap();
+        table.lookup(&1, t(10));
+        assert_eq!(table.least_recently_hit(), Some(&2));
+        table.lookup(&2, t(11));
+        assert_eq!(table.least_recently_hit(), Some(&3));
+    }
+
+    #[test]
+    fn iter_and_clear() {
+        let mut table: ExactMatchTable<u32, u32> = ExactMatchTable::new("map", 8).unwrap();
+        for i in 0..5 {
+            table.insert(i, i * 10, t(0)).unwrap();
+        }
+        assert_eq!(table.iter().count(), 5);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.max_entries(), 8);
+        assert_eq!(table.name(), "map");
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(ExactMatchTable::<u32, u32>::new("bad", 0).is_err());
+    }
+
+    #[test]
+    fn byte_vector_keys_work() {
+        // The ZipLine basis table keys on the 247-bit basis serialized to
+        // bytes; exercise the same key type here.
+        let mut table: ExactMatchTable<Vec<u8>, u16> = ExactMatchTable::new("bases", 16).unwrap();
+        let basis = vec![0xAB; 31];
+        table.insert(basis.clone(), 7, t(0)).unwrap();
+        assert_eq!(table.lookup(&basis, t(1)), Some(7));
+        assert_eq!(table.lookup(&vec![0xCD; 31], t(1)), None);
+    }
+}

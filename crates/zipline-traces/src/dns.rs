@@ -1,0 +1,251 @@
+//! Synthetic campus-DNS workload (substitute for the paper's real trace).
+//!
+//! The paper replays "a day of DNS queries at a 4000 users university
+//! campus", filtered to 34-byte queries to the main resolver and excluding
+//! the DNS transaction identifier, which is a random number (section 7).
+//! A 34-byte DNS query minus its 2-byte transaction ID is exactly 32 bytes =
+//! one 256-bit chunk with the paper's parameters — which is why the dataset
+//! fits ZipLine so well.
+//!
+//! We do not redistribute the original trace; this generator produces
+//! queries with the same redundancy structure: a pool of distinct query
+//! names sized like a campus working set, queried under a Zipf popularity
+//! distribution, each wire-format query being exactly 34 bytes.
+
+use crate::zipf::Zipf;
+use crate::ChunkWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic DNS workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnsWorkloadConfig {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Number of distinct query names in the campus working set.
+    pub distinct_names: usize,
+    /// Zipf exponent of the name popularity distribution.
+    pub zipf_exponent: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl DnsWorkloadConfig {
+    /// A full-day campus trace: the paper's filtered trace is ≈25 MB of
+    /// 34-byte queries, i.e. ≈735 000 queries; a 4 000-user campus resolves
+    /// a working set of a few thousand distinct names.
+    pub fn paper_scale() -> Self {
+        Self { queries: 735_000, distinct_names: 8_000, zipf_exponent: 1.0, seed: 0xD45_0001 }
+    }
+
+    /// A reduced workload for tests and quick runs.
+    pub fn small() -> Self {
+        Self { queries: 10_000, distinct_names: 400, zipf_exponent: 1.0, seed: 0xD45_0001 }
+    }
+}
+
+impl Default for DnsWorkloadConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// Total size of each generated query message in bytes (the paper's filter).
+pub const QUERY_LEN: usize = 34;
+/// Size of the chunk ZipLine processes: the query minus the random 2-byte
+/// transaction identifier.
+pub const CHUNK_LEN: usize = QUERY_LEN - 2;
+
+/// The synthetic DNS workload.
+#[derive(Debug, Clone)]
+pub struct DnsWorkload {
+    config: DnsWorkloadConfig,
+    names: Vec<String>,
+    popularity: Zipf,
+}
+
+impl DnsWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration (zero queries or names).
+    pub fn new(config: DnsWorkloadConfig) -> Self {
+        assert!(config.queries > 0 && config.distinct_names > 0);
+        let names = (0..config.distinct_names).map(campus_name).collect();
+        let popularity = Zipf::new(config.distinct_names, config.zipf_exponent);
+        Self { config, names, popularity }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DnsWorkloadConfig {
+        &self.config
+    }
+
+    /// The distinct query names in the working set.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Builds the 34-byte wire-format query for the name at `rank`, with the
+    /// given transaction id.
+    pub fn query_message(&self, rank: usize, transaction_id: u16) -> Vec<u8> {
+        build_query(&self.names[rank], transaction_id)
+    }
+
+    /// Iterator over full 34-byte query messages (with random transaction
+    /// ids), in arrival order.
+    pub fn queries(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut produced = 0usize;
+        std::iter::from_fn(move || {
+            if produced >= self.config.queries {
+                return None;
+            }
+            produced += 1;
+            let rank = self.popularity.sample(&mut rng);
+            let txid: u16 = rng.gen();
+            Some(self.query_message(rank, txid))
+        })
+    }
+}
+
+impl ChunkWorkload for DnsWorkload {
+    fn chunk_len(&self) -> usize {
+        CHUNK_LEN
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.config.queries
+    }
+
+    fn chunks(&self) -> Box<dyn Iterator<Item = Vec<u8>> + '_> {
+        // The chunk is the query with the 2-byte transaction id stripped —
+        // the same filter the paper applies to the campus trace.
+        Box::new(self.queries().map(|q| q[2..].to_vec()))
+    }
+}
+
+/// Builds a campus-style name whose wire-format query is exactly 34 bytes.
+///
+/// QNAME must encode to 18 bytes: two labels whose lengths sum to 15, plus
+/// two length bytes and the root terminator.
+fn campus_name(rank: usize) -> String {
+    // "hostNNNNN" (9) + "campus" (6) = 15 label characters, so the QNAME
+    // encodes to 1 + 9 + 1 + 6 + 1 = 18 bytes and the query to 34 bytes.
+    format!("host{:05}.campus", rank % 100_000)
+}
+
+/// Builds a 34-byte DNS query (header + one A/IN question) for `name`.
+pub fn build_query(name: &str, transaction_id: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(QUERY_LEN);
+    out.extend_from_slice(&transaction_id.to_be_bytes());
+    out.extend_from_slice(&0x0100u16.to_be_bytes()); // flags: RD
+    out.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+    out.extend_from_slice(&0u16.to_be_bytes()); // ANCOUNT
+    out.extend_from_slice(&0u16.to_be_bytes()); // NSCOUNT
+    out.extend_from_slice(&0u16.to_be_bytes()); // ARCOUNT
+    for label in name.split('.') {
+        out.push(label.len() as u8);
+        out.extend_from_slice(label.as_bytes());
+    }
+    out.push(0); // root label
+    out.extend_from_slice(&1u16.to_be_bytes()); // QTYPE = A
+    out.extend_from_slice(&1u16.to_be_bytes()); // QCLASS = IN
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn queries_are_exactly_34_bytes() {
+        let workload = DnsWorkload::new(DnsWorkloadConfig::small());
+        for q in workload.queries().take(200) {
+            assert_eq!(q.len(), QUERY_LEN);
+        }
+        // And across the whole name pool, not just popular ones.
+        for rank in 0..workload.names().len() {
+            assert_eq!(workload.query_message(rank, 0).len(), QUERY_LEN, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn chunks_strip_the_transaction_id() {
+        let workload = DnsWorkload::new(DnsWorkloadConfig::small());
+        assert_eq!(workload.chunk_len(), 32);
+        let chunk = workload.chunks().next().unwrap();
+        assert_eq!(chunk.len(), CHUNK_LEN);
+        // The flags field (0x0100) is now at offset 0.
+        assert_eq!(&chunk[0..2], &[0x01, 0x00]);
+    }
+
+    #[test]
+    fn same_name_different_txid_yields_identical_chunks() {
+        let workload = DnsWorkload::new(DnsWorkloadConfig::small());
+        let a = workload.query_message(3, 0x1111);
+        let b = workload.query_message(3, 0xFFFF);
+        assert_ne!(a, b, "transaction ids differ");
+        assert_eq!(a[2..], b[2..], "payload after txid is identical");
+    }
+
+    #[test]
+    fn distinct_chunks_bounded_by_name_pool() {
+        let config = DnsWorkloadConfig { queries: 5_000, distinct_names: 100, ..DnsWorkloadConfig::small() };
+        let workload = DnsWorkload::new(config);
+        let distinct: HashSet<Vec<u8>> = workload.chunks().collect();
+        assert!(distinct.len() <= 100);
+        assert!(distinct.len() > 10, "Zipf should still touch many names");
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let workload = DnsWorkload::new(DnsWorkloadConfig {
+            queries: 50_000,
+            distinct_names: 500,
+            ..DnsWorkloadConfig::small()
+        });
+        let mut counts = std::collections::HashMap::new();
+        for chunk in workload.chunks() {
+            *counts.entry(chunk).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The most popular name accounts for far more than its uniform share.
+        assert!(freqs[0] as f64 > 50_000.0 / 500.0 * 10.0);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let w1 = DnsWorkload::new(DnsWorkloadConfig::small());
+        let w2 = DnsWorkload::new(DnsWorkloadConfig::small());
+        let a: Vec<Vec<u8>> = w1.queries().take(100).collect();
+        let b: Vec<Vec<u8>> = w2.queries().take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_wire_format_is_parseable() {
+        let q = build_query("host00042.campus", 0xABCD);
+        assert_eq!(q.len(), 34);
+        assert_eq!(&q[0..2], &[0xAB, 0xCD]);
+        assert_eq!(u16::from_be_bytes([q[4], q[5]]), 1, "QDCOUNT");
+        // QNAME starts at offset 12: label "host00042" then "campus".
+        assert_eq!(q[12], 9);
+        assert_eq!(&q[13..22], b"host00042");
+        assert_eq!(q[22], 6);
+        assert_eq!(&q[23..29], b"campus");
+        assert_eq!(q[29], 0);
+        assert_eq!(u16::from_be_bytes([q[30], q[31]]), 1, "QTYPE A");
+        assert_eq!(u16::from_be_bytes([q[32], q[33]]), 1, "QCLASS IN");
+    }
+
+    #[test]
+    fn paper_scale_totals() {
+        let config = DnsWorkloadConfig::paper_scale();
+        // ≈ 25 MB of 34-byte queries, as in the paper's Figure 3 x-axis.
+        let total_bytes = config.queries * QUERY_LEN;
+        assert!((24_000_000..26_000_000).contains(&total_bytes));
+    }
+}

@@ -1,0 +1,389 @@
+//! Synthetic sensor-readout workload (the paper's synthetic dataset).
+//!
+//! Section 7: "We engineered the synthetic dataset to be behaviorally close
+//! to typical readouts from a sensor. We generate 3,124,000 chunks of
+//! 256 bit (matching the parameters we chose)."
+//!
+//! The generator models a fleet of sensors, each cycling through a small set
+//! of quantized readings (temperature-style values that dwell on a plateau
+//! and occasionally step). Two properties matter for GD — both part of what
+//! "engineered [...] matching the parameters we chose" means in the paper:
+//!
+//! * each plateau value is canonicalized onto a **GD codeword** (its
+//!   deviation is zero), so the number of distinct 247-bit bases is exactly
+//!   `sensors × readings_per_sensor` — small enough to fit the 2¹⁵-entry
+//!   dictionary and a static table compresses every chunk (Figure 3's 0.09
+//!   bar);
+//! * individual chunks may still differ from their plateau value by one
+//!   **noise bit** anywhere in the chunk — GD absorbs that into the
+//!   deviation for free (the same basis is found), which is precisely the
+//!   paper's pitch.
+
+use crate::ChunkWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zipline_gd::codec::{ChunkCodec, EncodedChunk};
+use zipline_gd::config::GdConfig;
+
+/// Configuration of the synthetic sensor workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorWorkloadConfig {
+    /// Total number of chunks to generate (paper: 3 124 000).
+    pub chunks: usize,
+    /// Chunk size in bytes (paper: 32, i.e. 256 bit).
+    pub chunk_len: usize,
+    /// Number of simulated sensors.
+    pub sensors: usize,
+    /// Number of distinct quantized readings each sensor cycles through.
+    pub readings_per_sensor: usize,
+    /// Number of consecutive chunks a sensor dwells on one reading before
+    /// stepping to the next.
+    pub dwell: usize,
+    /// Probability that a chunk carries a single-bit noise flip somewhere in
+    /// its payload.
+    pub noise_probability: f64,
+    /// When set, plateau values are canonicalized onto GD codewords for this
+    /// Hamming parameter (the paper's dataset is engineered to match its
+    /// chosen parameters, m = 8). `None` produces arbitrary plateaus whose
+    /// noisy variants map to distinct bases — useful as a GD-unfriendly
+    /// ablation workload.
+    pub canonical_m: Option<u32>,
+    /// PRNG seed; the workload is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl SensorWorkloadConfig {
+    /// The full-size dataset used by the paper (3 124 000 chunks of 32
+    /// bytes). About 100 MB of payload, ~26 000 distinct bases.
+    pub fn paper_scale() -> Self {
+        Self {
+            chunks: 3_124_000,
+            chunk_len: 32,
+            sensors: 512,
+            readings_per_sensor: 50,
+            dwell: 24,
+            noise_probability: 0.2,
+            canonical_m: Some(8),
+            seed: 0x5EED_0001,
+        }
+    }
+
+    /// A reduced dataset with the same statistical structure, sized for unit
+    /// tests and quick runs (same sensors-to-chunks ratio, ~1/100 scale).
+    pub fn small() -> Self {
+        Self {
+            chunks: 31_240,
+            chunk_len: 32,
+            sensors: 64,
+            readings_per_sensor: 20,
+            dwell: 24,
+            noise_probability: 0.2,
+            canonical_m: Some(8),
+            seed: 0x5EED_0001,
+        }
+    }
+
+    /// Number of distinct plateau chunks (and therefore distinct bases,
+    /// noise aside) this configuration can produce.
+    pub fn distinct_patterns(&self) -> usize {
+        self.sensors * self.readings_per_sensor
+    }
+}
+
+impl Default for SensorWorkloadConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// The synthetic sensor workload.
+#[derive(Debug, Clone)]
+pub struct SensorWorkload {
+    config: SensorWorkloadConfig,
+    /// Pre-computed plateau chunks, indexed by
+    /// `sensor * readings_per_sensor + reading`.
+    plateaus: Vec<Vec<u8>>,
+}
+
+impl SensorWorkload {
+    /// Creates the workload for a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (zero chunks, zero sensors,
+    /// chunk shorter than the 8-byte reading header).
+    pub fn new(config: SensorWorkloadConfig) -> Self {
+        assert!(config.chunk_len >= 12, "chunk too short for the reading layout");
+        assert!(config.sensors > 0 && config.readings_per_sensor > 0 && config.dwell > 0);
+        assert!((0.0..=1.0).contains(&config.noise_probability));
+        let canonicalizer = config.canonical_m.map(|m| {
+            let gd = GdConfig { m, id_bits: 15, chunk_bytes: config.chunk_len, tofino_padding_bits: 0 };
+            gd.validate().expect("chunk large enough for the canonical Hamming parameter");
+            ChunkCodec::new(&gd).expect("valid GD configuration")
+        });
+        let mut plateaus =
+            Vec::with_capacity(config.sensors * config.readings_per_sensor);
+        for sensor in 0..config.sensors {
+            for reading in 0..config.readings_per_sensor {
+                let raw = raw_plateau(&config, sensor, reading);
+                let chunk = match &canonicalizer {
+                    Some(codec) => {
+                        // Snap the plateau onto its GD codeword (deviation 0)
+                        // so single-bit noise never creates a new basis.
+                        let encoded = codec.encode_chunk(&raw).expect("chunk size matches");
+                        codec
+                            .decode_chunk(&EncodedChunk {
+                                extra: encoded.extra,
+                                deviation: 0,
+                                basis: encoded.basis,
+                            })
+                            .expect("canonical chunk reconstructs")
+                    }
+                    None => raw,
+                };
+                plateaus.push(chunk);
+            }
+        }
+        Self { config, plateaus }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SensorWorkloadConfig {
+        &self.config
+    }
+
+    /// The plateau chunk for a given sensor and reading index — the value the
+    /// sensor reports while dwelling, before per-chunk noise. When the
+    /// configuration requests canonicalization, this is the GD codeword the
+    /// raw plateau maps to.
+    pub fn plateau_chunk(&self, sensor: usize, reading_idx: usize) -> Vec<u8> {
+        self.plateaus[sensor * self.config.readings_per_sensor + reading_idx].clone()
+    }
+}
+
+/// Raw (un-canonicalized) plateau layout.
+///
+/// Layout (for the default 32-byte chunk): bytes 0..2 sensor id, 2..4
+/// firmware/constant tag, 4..8 quantized reading, 8..12 unit/status flags,
+/// remaining bytes a per-sensor constant calibration block.
+fn raw_plateau(config: &SensorWorkloadConfig, sensor: usize, reading_idx: usize) -> Vec<u8> {
+    let mut chunk = vec![0u8; config.chunk_len];
+    chunk[0..2].copy_from_slice(&(sensor as u16).to_be_bytes());
+    chunk[2..4].copy_from_slice(&0xC0DEu16.to_be_bytes());
+    // Quantized reading: a value in tenths of a degree around 20 °C,
+    // stepping by 0.5 °C per reading index.
+    let reading = 200u32 + (reading_idx as u32) * 5;
+    chunk[4..8].copy_from_slice(&reading.to_be_bytes());
+    chunk[8..12].copy_from_slice(&0x0001_0000u32.to_be_bytes());
+    // Per-sensor calibration block: constant bytes derived from the
+    // sensor id so different sensors have different bases.
+    let mut state = (sensor as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for byte in chunk.iter_mut().skip(12) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *byte = (state >> 56) as u8;
+    }
+    chunk
+}
+
+impl ChunkWorkload for SensorWorkload {
+    fn chunk_len(&self) -> usize {
+        self.config.chunk_len
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.config.chunks
+    }
+
+    fn chunks(&self) -> Box<dyn Iterator<Item = Vec<u8>> + '_> {
+        let config = self.config.clone();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sensors = config.sensors;
+        let mut reading_idx = vec![0usize; sensors];
+        let mut produced = 0usize;
+        let workload = self.clone();
+
+        Box::new(std::iter::from_fn(move || {
+            if produced >= config.chunks {
+                return None;
+            }
+            // Round-robin over sensors, like a polling gateway.
+            let sensor = produced % sensors;
+            // Each sensor steps to its next quantized reading every
+            // `dwell` of *its own* samples.
+            let own_sample = produced / sensors;
+            if own_sample > 0 && own_sample.is_multiple_of(config.dwell) && sensor == 0 {
+                // Advance all sensors at the dwell boundary (they are polled
+                // in lockstep), wrapping around the reading set.
+                for idx in reading_idx.iter_mut() {
+                    *idx = (*idx + 1) % config.readings_per_sensor;
+                }
+            }
+            let mut chunk = workload.plateau_chunk(sensor, reading_idx[sensor]);
+            // Single-bit measurement noise, absorbed by the GD deviation.
+            if rng.gen_bool(config.noise_probability) {
+                let bit = rng.gen_range(0..config.chunk_len * 8);
+                chunk[bit / 8] ^= 1 << (7 - (bit % 8));
+            }
+            produced += 1;
+            Some(chunk)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_scale_matches_section7_numbers() {
+        let config = SensorWorkloadConfig::paper_scale();
+        assert_eq!(config.chunks, 3_124_000);
+        assert_eq!(config.chunk_len * 8, 256);
+        // Distinct bases must fit the 2^15-entry dictionary.
+        assert!(config.distinct_patterns() <= 32_768);
+    }
+
+    #[test]
+    fn produces_requested_number_of_chunks_of_right_size() {
+        let workload = SensorWorkload::new(SensorWorkloadConfig {
+            chunks: 1000,
+            ..SensorWorkloadConfig::small()
+        });
+        let chunks: Vec<Vec<u8>> = workload.chunks().collect();
+        assert_eq!(chunks.len(), 1000);
+        assert!(chunks.iter().all(|c| c.len() == 32));
+        assert_eq!(workload.total_chunks(), 1000);
+        assert_eq!(workload.chunk_len(), 32);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let workload = SensorWorkload::new(SensorWorkloadConfig::small());
+        let a: Vec<Vec<u8>> = workload.chunks().take(500).collect();
+        let b: Vec<Vec<u8>> = workload.chunks().take(500).collect();
+        assert_eq!(a, b);
+        let different_seed = SensorWorkload::new(SensorWorkloadConfig {
+            seed: 999,
+            ..SensorWorkloadConfig::small()
+        });
+        let c: Vec<Vec<u8>> = different_seed.chunks().take(500).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chunk_diversity_is_bounded_by_distinct_patterns() {
+        let config = SensorWorkloadConfig {
+            chunks: 20_000,
+            sensors: 16,
+            readings_per_sensor: 10,
+            noise_probability: 0.0,
+            ..SensorWorkloadConfig::small()
+        };
+        let workload = SensorWorkload::new(config.clone());
+        let distinct: HashSet<Vec<u8>> = workload.chunks().collect();
+        assert!(
+            distinct.len() <= config.distinct_patterns(),
+            "{} distinct chunks > {} patterns",
+            distinct.len(),
+            config.distinct_patterns()
+        );
+        // And the workload is not trivially constant either.
+        assert!(distinct.len() > config.sensors);
+    }
+
+    #[test]
+    fn noise_flips_at_most_one_bit_from_the_plateau() {
+        let config = SensorWorkloadConfig {
+            chunks: 2_000,
+            sensors: 4,
+            readings_per_sensor: 3,
+            noise_probability: 1.0,
+            ..SensorWorkloadConfig::small()
+        };
+        let workload = SensorWorkload::new(config);
+        // Re-derive each chunk's plateau by clearing the noise: the chunk
+        // must differ from *some* plateau chunk in at most one bit.
+        let plateaus: Vec<Vec<u8>> = (0..4)
+            .flat_map(|s| (0..3).map(move |r| (s, r)))
+            .map(|(s, r)| workload.plateau_chunk(s, r))
+            .collect();
+        for chunk in workload.chunks().take(500) {
+            let min_distance = plateaus
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .zip(chunk.iter())
+                        .map(|(a, b)| (a ^ b).count_ones() as usize)
+                        .sum::<usize>()
+                })
+                .min()
+                .unwrap();
+            assert!(min_distance <= 1, "chunk deviates by {min_distance} bits");
+        }
+    }
+
+    #[test]
+    fn noisy_chunks_share_their_plateau_basis() {
+        // The property the canonicalization buys: even with a noise flip on
+        // every chunk, the number of distinct GD bases stays bounded by the
+        // number of plateau patterns, so the dictionary (and the paper's
+        // static table) covers the whole workload.
+        let config = SensorWorkloadConfig {
+            chunks: 5_000,
+            sensors: 8,
+            readings_per_sensor: 4,
+            noise_probability: 1.0,
+            ..SensorWorkloadConfig::small()
+        };
+        let workload = SensorWorkload::new(config.clone());
+        let codec = ChunkCodec::new(&GdConfig::paper_default()).unwrap();
+        let mut bases = HashSet::new();
+        for chunk in workload.chunks() {
+            bases.insert(codec.encode_chunk(&chunk).unwrap().basis);
+        }
+        assert!(
+            bases.len() <= config.distinct_patterns(),
+            "{} bases > {} patterns",
+            bases.len(),
+            config.distinct_patterns()
+        );
+    }
+
+    #[test]
+    fn uncanonicalized_plateaus_are_available_as_an_ablation() {
+        let config = SensorWorkloadConfig {
+            chunks: 100,
+            sensors: 4,
+            readings_per_sensor: 2,
+            canonical_m: None,
+            noise_probability: 0.0,
+            ..SensorWorkloadConfig::small()
+        };
+        let workload = SensorWorkload::new(config);
+        // Without canonicalization the plateau still round-trips through GD
+        // (GD is lossless regardless), it just does not sit on a codeword.
+        let codec = ChunkCodec::new(&GdConfig::paper_default()).unwrap();
+        let chunk = workload.plateau_chunk(0, 0);
+        let encoded = codec.encode_chunk(&chunk).unwrap();
+        assert_eq!(codec.decode_chunk(&encoded).unwrap(), chunk);
+    }
+
+    #[test]
+    fn different_sensors_have_different_plateaus() {
+        let workload = SensorWorkload::new(SensorWorkloadConfig::small());
+        let a = workload.plateau_chunk(0, 0);
+        let b = workload.plateau_chunk(1, 0);
+        let c = workload.plateau_chunk(0, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk too short")]
+    fn tiny_chunks_are_rejected() {
+        let _ = SensorWorkload::new(SensorWorkloadConfig {
+            chunk_len: 4,
+            ..SensorWorkloadConfig::small()
+        });
+    }
+}

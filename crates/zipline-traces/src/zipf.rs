@@ -1,0 +1,141 @@
+//! Zipf-distributed sampling.
+//!
+//! Campus DNS traffic (like most name-resolution traffic) is dominated by a
+//! small set of very popular names with a long tail — a classic Zipf shape.
+//! This sampler draws ranks `0..n` with probability proportional to
+//! `1 / (rank + 1)^s` using a precomputed inverse CDF, which keeps sampling
+//! `O(log n)` and exactly reproducible from a seed.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[i]` = P(rank <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `s` is negative / non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero elements");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut weights: Vec<f64> = (0..n).map(|rank| 1.0 / ((rank + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point drift on the last entry.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf: weights }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of drawing `rank`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        let lower = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lower
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = Zipf::new(100, 1.0);
+        assert_eq!(z.len(), 100);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(z.probability(r) <= z.probability(r - 1) + 1e-12, "rank {r}");
+        }
+        assert_eq!(z.probability(100), 0.0);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empirical_frequencies_follow_the_distribution() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 20];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be roughly 1/H(20) ≈ 0.278 of draws.
+        let p0 = counts[0] as f64 / draws as f64;
+        assert!((p0 - z.probability(0)).abs() < 0.01, "p0 = {p0}");
+        // Monotone non-increasing counts (allowing sampling noise at the tail).
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[19]);
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf over zero elements")]
+    fn zero_elements_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Out-of-band control-channel messages between ZipLine instances.
+//!
+//! Section 5: recording a new basis-ID mapping is done in two phases — "the
+//! control plane first sets the reverse mapping (ID-basis) in the destination
+//! switch to make sure that compressed packets can always be uncompressed.
+//! The control plane can finally add a corresponding entry in the source
+//! switch." Section 6 adds that updates regarding ID-basis pairs are sent "to
+//! other ZipLine instances out-of-band".
+//!
+//! This module defines the wire format of those out-of-band messages: Ethernet
+//! frames with a dedicated EtherType whose payload carries an install /
+//! remove request for an `identifier → basis` mapping, or the matching
+//! acknowledgement that lets the encoder-side control plane activate its own
+//! `basis → identifier` entry.
+
+use crate::error::{Result, ZipLineError};
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::mac::MacAddress;
+
+/// EtherType of ZipLine control-channel frames (IEEE local experimental
+/// space, next to the two data EtherTypes).
+pub const ETHERTYPE_ZIPLINE_CONTROL: u16 = 0x88B7;
+
+/// A control-channel message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// Install `id → basis` in the decoder before the encoder starts using
+    /// `id` (phase one of the two-phase update).
+    InstallMapping {
+        /// Identifier being (re)assigned.
+        id: u64,
+        /// Monotonic install sequence number; echoed back in the
+        /// acknowledgement so the encoder can discard stale acks when an
+        /// identifier is recycled while an install is still in flight.
+        nonce: u32,
+        /// Serialized basis bytes (`ceil(k / 8)` bytes).
+        basis: Vec<u8>,
+    },
+    /// Acknowledgement from the decoder: the mapping for `id` is active and
+    /// the encoder may now emit compressed packets using it (phase two).
+    MappingInstalled {
+        /// Identifier whose reverse mapping is now in place.
+        id: u64,
+        /// Echo of the install sequence number.
+        nonce: u32,
+    },
+    /// Remove the mapping for `id` (sent when the encoder recycles an
+    /// identifier whose old basis should no longer be decodable).
+    RemoveMapping {
+        /// Identifier being retired.
+        id: u64,
+    },
+}
+
+const OPCODE_INSTALL: u8 = 1;
+const OPCODE_INSTALLED: u8 = 2;
+const OPCODE_REMOVE: u8 = 3;
+
+impl ControlMessage {
+    /// Serializes the message payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            ControlMessage::InstallMapping { id, nonce, basis } => {
+                let mut out = Vec::with_capacity(1 + 4 + 4 + 2 + basis.len());
+                out.push(OPCODE_INSTALL);
+                out.extend_from_slice(&(*id as u32).to_be_bytes());
+                out.extend_from_slice(&nonce.to_be_bytes());
+                out.extend_from_slice(&(basis.len() as u16).to_be_bytes());
+                out.extend_from_slice(basis);
+                out
+            }
+            ControlMessage::MappingInstalled { id, nonce } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OPCODE_INSTALLED);
+                out.extend_from_slice(&(*id as u32).to_be_bytes());
+                out.extend_from_slice(&nonce.to_be_bytes());
+                out
+            }
+            ControlMessage::RemoveMapping { id } => {
+                let mut out = Vec::with_capacity(5);
+                out.push(OPCODE_REMOVE);
+                out.extend_from_slice(&(*id as u32).to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a message payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.is_empty() {
+            return Err(ZipLineError::MalformedControlMessage("empty payload".into()));
+        }
+        let opcode = bytes[0];
+        let read_id = |bytes: &[u8]| -> Result<u64> {
+            if bytes.len() < 5 {
+                return Err(ZipLineError::MalformedControlMessage("truncated id".into()));
+            }
+            Ok(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as u64)
+        };
+        let read_nonce = |bytes: &[u8]| -> Result<u32> {
+            if bytes.len() < 9 {
+                return Err(ZipLineError::MalformedControlMessage("truncated nonce".into()));
+            }
+            Ok(u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]))
+        };
+        match opcode {
+            OPCODE_INSTALL => {
+                let id = read_id(bytes)?;
+                let nonce = read_nonce(bytes)?;
+                if bytes.len() < 11 {
+                    return Err(ZipLineError::MalformedControlMessage(
+                        "truncated basis length".into(),
+                    ));
+                }
+                let len = u16::from_be_bytes([bytes[9], bytes[10]]) as usize;
+                if bytes.len() < 11 + len {
+                    return Err(ZipLineError::MalformedControlMessage(format!(
+                        "basis truncated: want {len} bytes, have {}",
+                        bytes.len() - 11
+                    )));
+                }
+                Ok(ControlMessage::InstallMapping { id, nonce, basis: bytes[11..11 + len].to_vec() })
+            }
+            OPCODE_INSTALLED => Ok(ControlMessage::MappingInstalled {
+                id: read_id(bytes)?,
+                nonce: read_nonce(bytes)?,
+            }),
+            OPCODE_REMOVE => Ok(ControlMessage::RemoveMapping { id: read_id(bytes)? }),
+            other => Err(ZipLineError::MalformedControlMessage(format!("unknown opcode {other}"))),
+        }
+    }
+
+    /// Wraps the message into an Ethernet frame for the out-of-band channel.
+    pub fn to_frame(&self, src: MacAddress, dst: MacAddress) -> EthernetFrame {
+        EthernetFrame::new(dst, src, ETHERTYPE_ZIPLINE_CONTROL, self.to_bytes())
+    }
+
+    /// Extracts a control message from a frame, if it is a control frame.
+    pub fn from_frame(frame: &EthernetFrame) -> Result<Self> {
+        if frame.ethertype != ETHERTYPE_ZIPLINE_CONTROL {
+            return Err(ZipLineError::MalformedControlMessage(format!(
+                "not a control frame (EtherType {:#06x})",
+                frame.ethertype
+            )));
+        }
+        Self::from_bytes(&frame.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_roundtrip() {
+        let msg =
+            ControlMessage::InstallMapping { id: 12345, nonce: 77, basis: vec![0xAB; 31] };
+        let bytes = msg.to_bytes();
+        assert_eq!(ControlMessage::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn installed_and_remove_roundtrip() {
+        for msg in [
+            ControlMessage::MappingInstalled { id: 0, nonce: 0 },
+            ControlMessage::MappingInstalled { id: 32767, nonce: u32::MAX },
+            ControlMessage::RemoveMapping { id: 7 },
+        ] {
+            let bytes = msg.to_bytes();
+            assert_eq!(ControlMessage::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = ControlMessage::InstallMapping { id: 42, nonce: 1, basis: vec![1, 2, 3] };
+        let frame = msg.to_frame(MacAddress::local(10), MacAddress::local(11));
+        assert_eq!(frame.ethertype, ETHERTYPE_ZIPLINE_CONTROL);
+        assert_eq!(ControlMessage::from_frame(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn non_control_frames_are_rejected() {
+        let frame = EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            0x0800,
+            vec![1, 2, 3],
+        );
+        assert!(ControlMessage::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(ControlMessage::from_bytes(&[]).is_err());
+        assert!(ControlMessage::from_bytes(&[OPCODE_INSTALL]).is_err());
+        assert!(ControlMessage::from_bytes(&[OPCODE_INSTALL, 0, 0, 0, 1]).is_err());
+        assert!(ControlMessage::from_bytes(&[OPCODE_INSTALL, 0, 0, 0, 1, 0, 0, 0, 2]).is_err());
+        assert!(ControlMessage::from_bytes(&[
+            OPCODE_INSTALL, 0, 0, 0, 1, 0, 0, 0, 2, 0, 10, 1, 2
+        ])
+        .is_err());
+        assert!(ControlMessage::from_bytes(&[OPCODE_INSTALLED, 0]).is_err());
+        assert!(ControlMessage::from_bytes(&[OPCODE_INSTALLED, 0, 0, 0, 1]).is_err());
+        assert!(ControlMessage::from_bytes(&[99, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! The encoder-side control plane.
+//!
+//! The paper implements this part in Python on top of Barefoot Runtime: it
+//! receives digests for unknown bases, manages the pool of identifiers
+//! ("when there are unused identifiers, the control plane selects the least
+//! recently used one; should all identifiers be in use, an LRU policy is
+//! applied to evict and recycle an identifier"), and performs the two-phase
+//! install — reverse mapping in the destination switch first, then the
+//! forward mapping in the source switch (section 5).
+//!
+//! [`EncoderControlPlane`] is that agent. It owns the authoritative
+//! basis ↔ identifier state (a [`BasisDictionary`]); the data-plane
+//! match-action table in the encoder program only ever contains *activated*
+//! mappings (those whose reverse mapping has been acknowledged by the
+//! decoder), so a compressed packet can always be decompressed.
+
+use std::collections::HashMap;
+use zipline_gd::bits::BitVec;
+use zipline_gd::dictionary::{BasisDictionary, EvictionPolicy};
+
+/// What the control plane wants done after processing a digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnAction {
+    /// Identifier assigned to the new basis.
+    pub id: u64,
+    /// Install sequence number to carry in the install request; the decoder
+    /// echoes it so stale acknowledgements can be discarded.
+    pub nonce: u32,
+    /// The basis (serialized) to install at the decoder.
+    pub basis_bytes: Vec<u8>,
+    /// Basis whose data-plane entry must be removed from the *encoder* table
+    /// right away, because its identifier is being recycled.
+    pub evicted_basis_bytes: Option<Vec<u8>>,
+}
+
+/// Counters exposed by the control plane.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ControlPlaneStats {
+    /// Digests processed (including duplicates).
+    pub digests_processed: u64,
+    /// Digests ignored because the basis was already known or pending.
+    pub duplicate_digests: u64,
+    /// Install requests sent to the decoder.
+    pub installs_sent: u64,
+    /// Acknowledgements received from the decoder.
+    pub acks_received: u64,
+    /// Mappings activated in the encoder data plane.
+    pub mappings_activated: u64,
+    /// Identifiers recycled by the LRU policy.
+    pub evictions: u64,
+}
+
+/// The encoder-side control plane agent.
+#[derive(Debug, Clone)]
+pub struct EncoderControlPlane {
+    dictionary: BasisDictionary,
+    /// Mappings assigned but not yet acknowledged by the decoder:
+    /// `id → (install nonce, basis)` awaiting activation in the encoder
+    /// table.
+    pending: HashMap<u64, (u32, BitVec)>,
+    /// Monotonic install counter.
+    next_nonce: u32,
+    stats: ControlPlaneStats,
+}
+
+impl EncoderControlPlane {
+    /// Creates a control plane managing `2^id_bits` identifiers with LRU
+    /// recycling and no TTL (the deployment drives ageing through table
+    /// idle timeouts if desired).
+    pub fn new(id_bits: u32) -> Self {
+        Self {
+            dictionary: BasisDictionary::with_policy(
+                1usize << id_bits,
+                EvictionPolicy::Lru,
+                None,
+            ),
+            pending: HashMap::new(),
+            next_nonce: 0,
+            stats: ControlPlaneStats::default(),
+        }
+    }
+
+    /// Creates a control plane with an explicit eviction policy (used by the
+    /// eviction-policy ablation).
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
+        Self {
+            dictionary: BasisDictionary::with_policy(capacity, policy, None),
+            pending: HashMap::new(),
+            next_nonce: 0,
+            stats: ControlPlaneStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ControlPlaneStats {
+        self.stats
+    }
+
+    /// Authoritative dictionary (read-only).
+    pub fn dictionary(&self) -> &BasisDictionary {
+        &self.dictionary
+    }
+
+    /// Number of mappings awaiting decoder acknowledgement.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Processes a digest carrying an unknown basis. Returns the install
+    /// action to perform, or `None` when the digest is a duplicate.
+    pub fn handle_unknown_basis(&mut self, basis: BitVec, now: u64) -> Option<LearnAction> {
+        self.stats.digests_processed += 1;
+        if self.dictionary.peek_basis(&basis).is_some() {
+            // Already assigned (either active or pending) — duplicate digest
+            // caused by packets that raced the control plane.
+            self.stats.duplicate_digests += 1;
+            return None;
+        }
+        let outcome = self
+            .dictionary
+            .insert(basis.clone(), now)
+            .expect("dictionary insert cannot fail below capacity with eviction enabled");
+        let evicted_basis_bytes = outcome.evicted.as_ref().map(|(_, b)| b.to_bytes());
+        if outcome.evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        // If the recycled identifier still had a pending (un-acked) install,
+        // the new install supersedes it (and its stale ack will be rejected
+        // by the nonce check).
+        let nonce = self.next_nonce;
+        self.next_nonce = self.next_nonce.wrapping_add(1);
+        self.pending.insert(outcome.id, (nonce, basis.clone()));
+        self.stats.installs_sent += 1;
+        Some(LearnAction { id: outcome.id, nonce, basis_bytes: basis.to_bytes(), evicted_basis_bytes })
+    }
+
+    /// Processes a decoder acknowledgement. Returns the `(basis bytes, id)`
+    /// pair to activate in the encoder data-plane table, or `None` when the
+    /// acknowledgement is stale (the identifier has since been recycled and
+    /// re-installed with a newer nonce).
+    pub fn handle_ack(&mut self, id: u64, nonce: u32, _now: u64) -> Option<(Vec<u8>, u64)> {
+        self.stats.acks_received += 1;
+        let (pending_nonce, basis) = self.pending.get(&id)?.clone();
+        if pending_nonce != nonce {
+            return None;
+        }
+        self.pending.remove(&id);
+        // The identifier may have been recycled to a different basis while
+        // the acknowledgement was in flight; only activate if it still maps
+        // to the same basis.
+        if self.dictionary.peek_id(id) != Some(&basis) {
+            return None;
+        }
+        self.stats.mappings_activated += 1;
+        Some((basis.to_bytes(), id))
+    }
+
+    /// Marks a basis as recently used (called when the data plane reports a
+    /// hit, so the LRU order tracks data-plane activity).
+    pub fn touch(&mut self, basis: &BitVec, now: u64) {
+        self.dictionary.lookup_basis(basis, now, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(v: u64) -> BitVec {
+        BitVec::from_u64(v, 32)
+    }
+
+    #[test]
+    fn learning_a_new_basis_assigns_an_id_and_waits_for_ack() {
+        let mut cp = EncoderControlPlane::new(4);
+        let action = cp.handle_unknown_basis(basis(1), 0).expect("new basis");
+        assert_eq!(action.evicted_basis_bytes, None);
+        assert_eq!(cp.pending(), 1);
+        assert_eq!(cp.stats().installs_sent, 1);
+
+        let activated = cp.handle_ack(action.id, action.nonce, 1).expect("ack activates");
+        assert_eq!(activated.1, action.id);
+        assert_eq!(activated.0, basis(1).to_bytes());
+        assert_eq!(cp.pending(), 0);
+        assert_eq!(cp.stats().mappings_activated, 1);
+    }
+
+    #[test]
+    fn duplicate_digests_are_ignored() {
+        let mut cp = EncoderControlPlane::new(4);
+        let first = cp.handle_unknown_basis(basis(7), 0);
+        assert!(first.is_some());
+        // The same basis arrives again before (and after) the ack.
+        assert!(cp.handle_unknown_basis(basis(7), 1).is_none());
+        let first = first.unwrap();
+        cp.handle_ack(first.id, first.nonce, 2);
+        assert!(cp.handle_unknown_basis(basis(7), 3).is_none());
+        assert_eq!(cp.stats().duplicate_digests, 2);
+        assert_eq!(cp.stats().installs_sent, 1);
+    }
+
+    #[test]
+    fn ack_for_unknown_or_stale_id_is_ignored() {
+        let mut cp = EncoderControlPlane::new(2);
+        assert!(cp.handle_ack(3, 0, 0).is_none());
+        assert_eq!(cp.stats().acks_received, 1);
+        assert_eq!(cp.stats().mappings_activated, 0);
+    }
+
+    #[test]
+    fn eviction_recycles_identifiers_and_reports_the_victim() {
+        let mut cp = EncoderControlPlane::new(1); // capacity 2
+        let a = cp.handle_unknown_basis(basis(0xA), 0).unwrap();
+        let b = cp.handle_unknown_basis(basis(0xB), 1).unwrap();
+        cp.handle_ack(a.id, a.nonce, 2);
+        cp.handle_ack(b.id, b.nonce, 3);
+        // Touch A so B becomes the LRU victim.
+        cp.touch(&basis(0xA), 4);
+        let c = cp.handle_unknown_basis(basis(0xC), 5).unwrap();
+        assert_eq!(c.evicted_basis_bytes, Some(basis(0xB).to_bytes()));
+        assert_eq!(c.id, b.id, "the victim's identifier is recycled");
+        assert_eq!(cp.stats().evictions, 1);
+        // The ack for the recycled id activates the new basis.
+        let activated = cp.handle_ack(c.id, c.nonce, 6).unwrap();
+        assert_eq!(activated.0, basis(0xC).to_bytes());
+    }
+
+    #[test]
+    fn stale_ack_after_recycling_does_not_activate_old_basis() {
+        let mut cp = EncoderControlPlane::new(1); // capacity 2
+        let a = cp.handle_unknown_basis(basis(0xA), 0).unwrap();
+        let b = cp.handle_unknown_basis(basis(0xB), 1).unwrap();
+        // Before either ack arrives, both identifiers get recycled to new
+        // bases (A and B were never used by the data plane).
+        let c = cp.handle_unknown_basis(basis(0xC), 2).unwrap();
+        let d = cp.handle_unknown_basis(basis(0xD), 3).unwrap();
+        assert_eq!(cp.stats().evictions, 2);
+        assert_eq!(c.id, a.id);
+        assert_eq!(d.id, b.id);
+        // The late acks carrying the old nonces must not activate anything:
+        // those identifiers now belong to C and D.
+        assert!(cp.handle_ack(a.id, a.nonce, 4).is_none());
+        assert!(cp.handle_ack(b.id, b.nonce, 5).is_none());
+        // Acks for the new installs do activate the new bases.
+        assert_eq!(cp.handle_ack(c.id, c.nonce, 6).unwrap().0, basis(0xC).to_bytes());
+        assert_eq!(cp.handle_ack(d.id, d.nonce, 7).unwrap().0, basis(0xD).to_bytes());
+    }
+
+    #[test]
+    fn with_policy_constructor_respects_capacity() {
+        let mut cp = EncoderControlPlane::with_policy(2, EvictionPolicy::Fifo);
+        cp.handle_unknown_basis(basis(1), 0);
+        cp.handle_unknown_basis(basis(2), 1);
+        let action = cp.handle_unknown_basis(basis(3), 2).unwrap();
+        assert!(action.evicted_basis_bytes.is_some());
+    }
+}

@@ -1,0 +1,504 @@
+//! The ZipLine *encode* switch program (Figure 1).
+//!
+//! Data-plane steps, expressed against the Tofino-like primitives of
+//! `zipline-switch`:
+//!
+//! 1. the payload chunk `B` arrives (➊);
+//! 2. the CRC extern computes the syndrome `s` (➋);
+//! 3. a constant-entries table maps `s` to the single-bit mask `f` (➌) which
+//!    is XORed onto `B` (➍);
+//! 4. the result is truncated to its rightmost `k` bits to form the basis
+//!    (➎);
+//! 5. the basis is looked up in the known-IDs match-action table (➏,➐): a hit
+//!    emits a *compressed* (type 3) packet carrying `s` + identifier, a miss
+//!    emits a *processed but uncompressed* (type 2) packet carrying `s` +
+//!    basis and a digest for the control plane (➑).
+//!
+//! The control-plane half (digest handling, two-phase install with the
+//! decoder) lives in [`crate::controller`]; this module wires it to the
+//! switch node's digest/control-packet entry points.
+
+use crate::control::ControlMessage;
+use crate::controller::EncoderControlPlane;
+use crate::error::Result;
+use crate::mask_table::SyndromeMaskTable;
+use zipline_gd::bits::BitVec;
+use zipline_gd::config::GdConfig;
+use zipline_gd::hamming::HammingCode;
+use zipline_gd::packet::{
+    ZipLinePayload, ETHERTYPE_ZIPLINE_COMPRESSED, ETHERTYPE_ZIPLINE_UNCOMPRESSED,
+};
+use zipline_gd::stats::CompressionStats;
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::mac::MacAddress;
+use zipline_net::sim::PortId;
+use zipline_net::time::SimTime;
+use zipline_switch::crc_extern::CrcExtern;
+use zipline_switch::packet_ctx::{Digest, PacketContext};
+use zipline_switch::program::PipelineProgram;
+use zipline_switch::table::ExactMatchTable;
+
+/// Digest kind used for unknown bases.
+pub const DIGEST_UNKNOWN_BASIS: u16 = 1;
+
+/// Configuration of the encode program.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// GD parameters (Hamming `m`, identifier width, chunk size).
+    pub gd: GdConfig,
+    /// Number of payload bytes preceding the chunk that are carried verbatim
+    /// (e.g. 2 to skip a DNS transaction identifier).
+    pub chunk_offset: usize,
+    /// Port on which processed data packets leave towards the decoder.
+    pub data_egress_port: PortId,
+    /// Port of the out-of-band control channel towards the decoder's control
+    /// plane.
+    pub control_port: PortId,
+    /// Source MAC used on control frames.
+    pub control_src: MacAddress,
+    /// Destination MAC used on control frames.
+    pub control_dst: MacAddress,
+    /// When false, the program forwards every packet untouched (the "No op"
+    /// baseline of Figure 4) while still counting it.
+    pub compression_enabled: bool,
+}
+
+impl EncoderConfig {
+    /// A two-port encoder with the paper's GD parameters: data ingress on
+    /// port 0, data egress on port 1, control channel on port 2.
+    pub fn paper_default() -> Self {
+        Self {
+            gd: GdConfig::paper_default(),
+            chunk_offset: 0,
+            data_egress_port: 1,
+            control_port: 2,
+            control_src: MacAddress::local(0xE0),
+            control_dst: MacAddress::local(0xD0),
+            compression_enabled: true,
+        }
+    }
+}
+
+/// Per-packet-type counter indices (paper's "packets are classified according
+/// to how they are transformed").
+pub mod counter_index {
+    /// Packets forwarded unprocessed.
+    pub const RAW: usize = 0;
+    /// Packets emitted as type 2 (syndrome + basis).
+    pub const UNCOMPRESSED: usize = 1;
+    /// Packets emitted as type 3 (syndrome + identifier).
+    pub const COMPRESSED: usize = 2;
+}
+
+/// The ZipLine encode program.
+pub struct ZipLineEncodeProgram {
+    config: EncoderConfig,
+    code: HammingCode,
+    crc: CrcExtern,
+    mask_table: SyndromeMaskTable,
+    /// Known-IDs table: serialized basis → identifier.
+    basis_table: ExactMatchTable<Vec<u8>, u64>,
+    control_plane: EncoderControlPlane,
+    counters: zipline_switch::counter::CounterArray,
+    stats: CompressionStats,
+}
+
+impl ZipLineEncodeProgram {
+    /// Builds the program (the equivalent of compiling and loading the P4
+    /// program plus its constant table entries).
+    pub fn new(config: EncoderConfig) -> Result<Self> {
+        config.gd.validate()?;
+        let code = HammingCode::new(config.gd.m)?;
+        let crc_param = code.crc().spec().poly_low;
+        let crc = CrcExtern::new("syndrome", config.gd.m, crc_param)?;
+        let mask_table = SyndromeMaskTable::precompute(&code)?;
+        let basis_table = ExactMatchTable::new("known-bases", config.gd.dictionary_capacity())?;
+        let control_plane = EncoderControlPlane::new(config.gd.id_bits);
+        let counters = zipline_switch::counter::CounterArray::new("packet-types", 3)?;
+        Ok(Self { config, code, crc, mask_table, basis_table, control_plane, counters, stats: CompressionStats::new() })
+    }
+
+    /// The program configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Compression statistics accumulated so far.
+    pub fn stats(&self) -> &CompressionStats {
+        &self.stats
+    }
+
+    /// Per-packet-type counters (see [`counter_index`]).
+    pub fn counters(&self) -> &zipline_switch::counter::CounterArray {
+        &self.counters
+    }
+
+    /// The control-plane agent (for statistics and tests).
+    pub fn control_plane(&self) -> &EncoderControlPlane {
+        &self.control_plane
+    }
+
+    /// Number of activated basis → identifier mappings in the data plane.
+    pub fn active_mappings(&self) -> usize {
+        self.basis_table.len()
+    }
+
+    /// Pre-loads the basis table (and the decoder-agnostic control-plane
+    /// dictionary) with the bases of the given chunks — the "static table"
+    /// scenario of Figure 3. Returns the identifiers assigned, in the same
+    /// order as the distinct bases encountered.
+    pub fn preload_static_table(&mut self, chunks: impl Iterator<Item = Vec<u8>>) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut installed = Vec::new();
+        for chunk in chunks {
+            if chunk.len() < self.config.chunk_offset + self.config.gd.chunk_bytes {
+                continue;
+            }
+            let (_, _, basis) = self.deconstruct(&chunk)?;
+            let key = basis.to_bytes();
+            if self.basis_table.peek(&key).is_some() {
+                continue;
+            }
+            if let Some(action) = self.control_plane.handle_unknown_basis(basis, 0) {
+                if let Some(evicted) = &action.evicted_basis_bytes {
+                    let _ = self.basis_table.remove(evicted);
+                }
+                // Static preload bypasses the two-phase handshake.
+                let _ = self.control_plane.handle_ack(action.id, action.nonce, 0);
+                self.basis_table.insert(key.clone(), action.id, SimTime::ZERO)?;
+                installed.push((action.id, action.basis_bytes));
+            }
+        }
+        Ok(installed)
+    }
+
+    /// Runs the data-plane GD deconstruction on one payload, returning
+    /// `(carried bits, syndrome, basis)`.
+    fn deconstruct(&mut self, payload: &[u8]) -> Result<(BitVec, u64, BitVec)> {
+        let offset = self.config.chunk_offset;
+        let chunk = &payload[offset..offset + self.config.gd.chunk_bytes];
+        let bits = BitVec::from_bytes(chunk);
+        let extra_bits = self.config.gd.extra_bits();
+        let extra = bits.slice(0..extra_bits);
+        let body = bits.slice(extra_bits..bits.len());
+        // ➋ syndrome via the CRC extern
+        let syndrome = self.crc.hash_bits(&body);
+        // ➌/➍ constant-entries mask lookup + XOR
+        let mask = self
+            .mask_table
+            .lookup(syndrome)
+            .cloned()
+            .ok_or(zipline_gd::GdError::Malformed(format!("syndrome {syndrome} out of range")))?;
+        let codeword = body.xor(&mask)?;
+        // ➎ rightmost k bits
+        let basis = codeword.slice(self.code.m() as usize..codeword.len());
+        Ok((extra, syndrome, basis))
+    }
+
+    fn forward_raw(&mut self, ctx: &mut PacketContext) {
+        self.counters
+            .count(counter_index::RAW, ctx.frame.payload.len())
+            .expect("counter index in range");
+        self.stats.chunks_in += 1;
+        self.stats.emitted_raw += 1;
+        self.stats.bytes_in += ctx.frame.payload.len() as u64;
+        self.stats.bytes_out += ctx.frame.payload.len() as u64;
+        ctx.forward_to(self.config.data_egress_port);
+    }
+}
+
+impl PipelineProgram for ZipLineEncodeProgram {
+    fn name(&self) -> String {
+        "zipline-encode".to_string()
+    }
+
+    fn ingress(&mut self, ctx: &mut PacketContext, now: SimTime) {
+        let payload_len = ctx.frame.payload.len();
+        let processable = self.config.compression_enabled
+            && ctx.frame.ethertype != ETHERTYPE_ZIPLINE_COMPRESSED
+            && ctx.frame.ethertype != ETHERTYPE_ZIPLINE_UNCOMPRESSED
+            && ctx.frame.ethertype != crate::control::ETHERTYPE_ZIPLINE_CONTROL
+            && payload_len >= self.config.chunk_offset + self.config.gd.chunk_bytes;
+        if !processable {
+            self.forward_raw(ctx);
+            return;
+        }
+
+        let payload = ctx.frame.payload.clone();
+        let (extra, syndrome, basis) = match self.deconstruct(&payload) {
+            Ok(parts) => parts,
+            Err(_) => {
+                self.forward_raw(ctx);
+                return;
+            }
+        };
+        let basis_key = basis.to_bytes();
+        let prefix = &payload[..self.config.chunk_offset];
+        let suffix = &payload[self.config.chunk_offset + self.config.gd.chunk_bytes..];
+
+        self.stats.chunks_in += 1;
+        self.stats.bytes_in += payload_len as u64;
+
+        match self.basis_table.lookup(&basis_key, now) {
+            Some(id) => {
+                // ➏ hit: emit a compressed (type 3) packet.
+                self.control_plane.touch(&basis, now.as_nanos());
+                let zl = ZipLinePayload::Compressed { deviation: syndrome, extra, id };
+                let mut new_payload = zl.encode(&self.config.gd).expect("well-formed payload");
+                new_payload.extend_from_slice(prefix);
+                new_payload.extend_from_slice(suffix);
+                self.counters
+                    .count(counter_index::COMPRESSED, new_payload.len())
+                    .expect("counter index in range");
+                self.stats.emitted_compressed += 1;
+                self.stats.bytes_out += new_payload.len() as u64;
+                ctx.frame = ctx.frame.with_payload(ETHERTYPE_ZIPLINE_COMPRESSED, new_payload);
+            }
+            None => {
+                // ➐ miss: emit a processed-but-uncompressed (type 2) packet
+                // and notify the control plane via a digest (➑).
+                let zl = ZipLinePayload::Uncompressed {
+                    deviation: syndrome,
+                    extra,
+                    basis: basis.clone(),
+                };
+                let mut new_payload = zl.encode(&self.config.gd).expect("well-formed payload");
+                new_payload.extend_from_slice(prefix);
+                new_payload.extend_from_slice(suffix);
+                self.counters
+                    .count(counter_index::UNCOMPRESSED, new_payload.len())
+                    .expect("counter index in range");
+                self.stats.emitted_uncompressed += 1;
+                self.stats.digests_sent += 1;
+                self.stats.bytes_out += new_payload.len() as u64;
+                ctx.frame = ctx.frame.with_payload(ETHERTYPE_ZIPLINE_UNCOMPRESSED, new_payload);
+                ctx.emit_digest(Digest::new(DIGEST_UNKNOWN_BASIS, basis_key));
+            }
+        }
+        ctx.forward_to(self.config.data_egress_port);
+    }
+
+    fn handle_digest(&mut self, digest: Digest, now: SimTime) -> Vec<(PortId, EthernetFrame)> {
+        if digest.kind != DIGEST_UNKNOWN_BASIS {
+            return Vec::new();
+        }
+        let mut basis = BitVec::from_bytes(&digest.data);
+        basis.truncate(self.config.gd.k());
+        match self.control_plane.handle_unknown_basis(basis, now.as_nanos()) {
+            Some(action) => {
+                // An identifier being recycled must stop matching its old
+                // basis in the data plane immediately.
+                if let Some(evicted) = &action.evicted_basis_bytes {
+                    let _ = self.basis_table.remove(evicted);
+                }
+                self.stats.bases_learned += 1;
+                if action.evicted_basis_bytes.is_some() {
+                    self.stats.evictions += 1;
+                }
+                let msg = ControlMessage::InstallMapping {
+                    id: action.id,
+                    nonce: action.nonce,
+                    basis: action.basis_bytes,
+                };
+                vec![(
+                    self.config.control_port,
+                    msg.to_frame(self.config.control_src, self.config.control_dst),
+                )]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn handle_control_packet(
+        &mut self,
+        frame: EthernetFrame,
+        now: SimTime,
+    ) -> Vec<(PortId, EthernetFrame)> {
+        let Ok(message) = ControlMessage::from_frame(&frame) else {
+            return Vec::new();
+        };
+        if let ControlMessage::MappingInstalled { id, nonce } = message {
+            if let Some((basis_key, id)) = self.control_plane.handle_ack(id, nonce, now.as_nanos())
+            {
+                // Activate the forward mapping only now that the decoder is
+                // guaranteed to hold the reverse mapping.
+                if self.basis_table.peek(&basis_key).is_none() && !self.basis_table.is_full() {
+                    let _ = self.basis_table.insert(basis_key, id, now);
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipline_gd::codec::ChunkCodec;
+    use zipline_net::ethernet::ETHERTYPE_IPV4;
+
+    fn frame_with_payload(payload: Vec<u8>) -> EthernetFrame {
+        EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload)
+    }
+
+    fn small_config() -> EncoderConfig {
+        EncoderConfig { gd: GdConfig::for_parameters(3, 4).unwrap(), ..EncoderConfig::paper_default() }
+    }
+
+    #[test]
+    fn data_plane_deconstruction_matches_the_reference_codec() {
+        // The switch-primitive implementation (CRC extern + constant mask
+        // table + bit slicing) must agree with the host-side ChunkCodec.
+        let mut program = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+        let codec = ChunkCodec::new(&GdConfig::paper_default()).unwrap();
+        for seed in 0..50u8 {
+            let chunk: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(seed).wrapping_add(seed)).collect();
+            let (extra, syndrome, basis) = program.deconstruct(&chunk).unwrap();
+            let reference = codec.encode_chunk(&chunk).unwrap();
+            assert_eq!(extra, reference.extra, "seed {seed}");
+            assert_eq!(syndrome, reference.deviation, "seed {seed}");
+            assert_eq!(basis, reference.basis, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unknown_basis_emits_type2_and_a_digest() {
+        let mut program = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+        let mut ctx = PacketContext::new(0, frame_with_payload(vec![0x42; 32]));
+        program.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_UNCOMPRESSED);
+        assert_eq!(ctx.frame.payload.len(), 33, "type 2 payload incl. padding");
+        assert_eq!(ctx.egress_port, Some(1));
+        assert_eq!(ctx.digests.len(), 1);
+        assert_eq!(program.stats().emitted_uncompressed, 1);
+        assert_eq!(program.counters().read(counter_index::UNCOMPRESSED).unwrap().packets, 1);
+    }
+
+    #[test]
+    fn learning_flow_activates_mapping_and_compresses_subsequent_packets() {
+        let mut program = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+        let payload = vec![0x42u8; 32];
+
+        // First packet: miss + digest.
+        let mut ctx = PacketContext::new(0, frame_with_payload(payload.clone()));
+        program.ingress(&mut ctx, SimTime::ZERO);
+        let digest = ctx.digests.pop().unwrap();
+
+        // Control plane handles the digest and produces an install request.
+        let out = program.handle_digest(digest, SimTime::from_micros(900));
+        assert_eq!(out.len(), 1);
+        let (port, frame) = &out[0];
+        assert_eq!(*port, 2);
+        let msg = ControlMessage::from_frame(frame).unwrap();
+        let (id, nonce) = match msg {
+            ControlMessage::InstallMapping { id, nonce, .. } => (id, nonce),
+            other => panic!("unexpected message {other:?}"),
+        };
+
+        // Before the ack, packets still go out uncompressed.
+        let mut ctx = PacketContext::new(0, frame_with_payload(payload.clone()));
+        program.ingress(&mut ctx, SimTime::from_micros(950));
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_UNCOMPRESSED);
+
+        // The decoder's acknowledgement activates the mapping.
+        let ack = ControlMessage::MappingInstalled { id, nonce }
+            .to_frame(MacAddress::local(0xD0), MacAddress::local(0xE0));
+        program.handle_control_packet(ack, SimTime::from_millis(2));
+        assert_eq!(program.active_mappings(), 1);
+
+        // Subsequent packets are compressed to 3 bytes.
+        let mut ctx = PacketContext::new(0, frame_with_payload(payload));
+        program.ingress(&mut ctx, SimTime::from_millis(3));
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_COMPRESSED);
+        assert_eq!(ctx.frame.payload.len(), 3);
+        assert_eq!(program.stats().emitted_compressed, 1);
+    }
+
+    #[test]
+    fn short_payloads_and_control_frames_pass_through_untouched() {
+        let mut program = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+        // Too short for a chunk.
+        let mut ctx = PacketContext::new(0, frame_with_payload(vec![1, 2, 3]));
+        program.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_IPV4);
+        assert_eq!(ctx.frame.payload, vec![1, 2, 3]);
+        assert_eq!(program.stats().emitted_raw, 1);
+
+        // Already-processed packets are not re-processed.
+        let mut frame = frame_with_payload(vec![0; 33]);
+        frame.ethertype = ETHERTYPE_ZIPLINE_UNCOMPRESSED;
+        let mut ctx = PacketContext::new(0, frame);
+        program.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_UNCOMPRESSED);
+        assert_eq!(program.stats().emitted_raw, 2);
+    }
+
+    #[test]
+    fn disabled_compression_acts_as_a_wire() {
+        let config = EncoderConfig { compression_enabled: false, ..EncoderConfig::paper_default() };
+        let mut program = ZipLineEncodeProgram::new(config).unwrap();
+        let mut ctx = PacketContext::new(0, frame_with_payload(vec![0x55; 32]));
+        program.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_IPV4);
+        assert_eq!(ctx.frame.payload.len(), 32);
+        assert!(ctx.digests.is_empty());
+    }
+
+    #[test]
+    fn chunk_offset_carries_prefix_bytes_verbatim() {
+        let config = EncoderConfig { chunk_offset: 2, ..EncoderConfig::paper_default() };
+        let mut program = ZipLineEncodeProgram::new(config).unwrap();
+        // 2 bytes of "transaction id" + 32-byte chunk + 3 bytes of suffix.
+        let mut payload = vec![0xAA, 0xBB];
+        payload.extend_from_slice(&[0x11; 32]);
+        payload.extend_from_slice(&[0xC0, 0xC1, 0xC2]);
+        let mut ctx = PacketContext::new(0, frame_with_payload(payload));
+        program.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_UNCOMPRESSED);
+        // 33 bytes of type-2 header + 2 prefix + 3 suffix.
+        assert_eq!(ctx.frame.payload.len(), 33 + 2 + 3);
+        assert_eq!(&ctx.frame.payload[33..35], &[0xAA, 0xBB]);
+        assert_eq!(&ctx.frame.payload[35..], &[0xC0, 0xC1, 0xC2]);
+    }
+
+    #[test]
+    fn static_preload_compresses_from_the_first_packet() {
+        let mut program = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+        let chunk = vec![0x99u8; 32];
+        let installed = program.preload_static_table(std::iter::once(chunk.clone())).unwrap();
+        assert_eq!(installed.len(), 1);
+        assert_eq!(program.active_mappings(), 1);
+
+        let mut ctx = PacketContext::new(0, frame_with_payload(chunk));
+        program.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_COMPRESSED);
+        assert!(ctx.digests.is_empty());
+    }
+
+    #[test]
+    fn duplicate_digests_produce_a_single_install() {
+        let mut program = ZipLineEncodeProgram::new(small_config()).unwrap();
+        let payload = vec![0b1010_1010u8];
+        let mut digests = Vec::new();
+        for _ in 0..3 {
+            let mut ctx = PacketContext::new(0, frame_with_payload(payload.clone()));
+            program.ingress(&mut ctx, SimTime::ZERO);
+            digests.extend(ctx.digests);
+        }
+        assert_eq!(digests.len(), 3);
+        let mut installs = 0;
+        for digest in digests {
+            installs += program.handle_digest(digest, SimTime::from_micros(10)).len();
+        }
+        assert_eq!(installs, 1, "duplicate digests must not produce extra installs");
+    }
+
+    #[test]
+    fn small_parameter_roundtrip_through_encoder() {
+        let mut program = ZipLineEncodeProgram::new(small_config()).unwrap();
+        let mut ctx = PacketContext::new(0, frame_with_payload(vec![0xF0]));
+        program.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_UNCOMPRESSED);
+        // m=3 / id 4 bits: type 2 = 3 + 1 + 4 bits = 1 byte (no padding).
+        assert_eq!(ctx.frame.payload.len(), 1);
+    }
+}

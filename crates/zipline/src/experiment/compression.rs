@@ -1,0 +1,333 @@
+//! The compression experiment (Figure 3).
+//!
+//! "The goal of this experiment is to assess the compression ratio that can
+//! be obtained by using ZipLine. [...] We replay these traces to our switch
+//! and monitor which action ZipLine undertakes with the payload of each
+//! packet. We then deduce the payload size, as each action produces a packet
+//! type of a fixed size. The sum of all original chunks represents the
+//! baseline."
+//!
+//! Five measurements per dataset:
+//!
+//! * **Original** — the baseline: the sum of all original chunk sizes;
+//! * **No table** — the compression table stays empty, every chunk leaves as
+//!   a type 2 packet (the ~3 % padding overhead of the hardware format);
+//! * **Static table** — every basis is pre-installed, chunks leave as type 3
+//!   packets;
+//! * **Dynamic learning** — the full two-switch deployment with an initially
+//!   empty table, run through the discrete-event simulation so the
+//!   control-plane learning delay is charged faithfully;
+//! * **Gzip** — all payloads concatenated into one file and compressed with
+//!   the DEFLATE/gzip baseline.
+
+use crate::deployment::{DeploymentConfig, ZipLineDeployment};
+use crate::error::Result;
+use zipline_gd::codec::ChunkCodec;
+use zipline_gd::config::GdConfig;
+use zipline_gd::dictionary::BasisDictionary;
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::mac::MacAddress;
+use zipline_traces::ChunkWorkload;
+
+/// The scenarios of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressionMode {
+    /// Sum of the original chunk sizes (the baseline the ratios are against).
+    Original,
+    /// Empty compression table: every chunk becomes a type 2 packet.
+    NoTable,
+    /// All bases pre-installed: every chunk becomes a type 3 packet
+    /// (bases beyond the dictionary capacity stay uncompressed).
+    StaticTable,
+    /// Empty table filled by the control plane while the trace replays.
+    DynamicLearning,
+    /// The gzip baseline on the concatenated payloads.
+    Gzip,
+}
+
+impl CompressionMode {
+    /// Label used by the paper's Figure 3.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompressionMode::Original => "Original data",
+            CompressionMode::NoTable => "No table",
+            CompressionMode::StaticTable => "Static table",
+            CompressionMode::DynamicLearning => "Dynamic learning",
+            CompressionMode::Gzip => "Gzip",
+        }
+    }
+
+    /// All five modes, in the order Figure 3 lists them.
+    pub fn all() -> [CompressionMode; 5] {
+        [
+            CompressionMode::Original,
+            CompressionMode::NoTable,
+            CompressionMode::StaticTable,
+            CompressionMode::DynamicLearning,
+            CompressionMode::Gzip,
+        ]
+    }
+}
+
+/// Configuration of the compression experiment.
+#[derive(Debug, Clone)]
+pub struct CompressionExperimentConfig {
+    /// GD parameters.
+    pub gd: GdConfig,
+    /// Bytes preceding the chunk in each payload, carried verbatim.
+    pub chunk_offset: usize,
+    /// Deployment used for the dynamic-learning scenario.
+    pub deployment: DeploymentConfig,
+    /// gzip compression level for the baseline.
+    pub gzip_level: zipline_deflate::Level,
+}
+
+impl CompressionExperimentConfig {
+    /// Paper parameters with a 1 Mpkt/s replay rate for the dynamic run
+    /// (the replay rate determines how many packets race each learning
+    /// round trip; see EXPERIMENTS.md).
+    pub fn paper_default() -> Self {
+        let mut deployment = DeploymentConfig::paper_default();
+        deployment.max_packets_per_second = Some(1_000_000.0);
+        deployment.record_received_payloads = false;
+        Self {
+            gd: GdConfig::paper_default(),
+            chunk_offset: 0,
+            deployment,
+            gzip_level: zipline_deflate::Level::Default,
+        }
+    }
+
+    /// Fast configuration for tests: ideal links, short control latency.
+    pub fn fast_test() -> Self {
+        let mut deployment = DeploymentConfig::fast_test();
+        deployment.record_received_payloads = false;
+        Self {
+            gd: GdConfig::paper_default(),
+            chunk_offset: 0,
+            deployment,
+            gzip_level: zipline_deflate::Level::Fast,
+        }
+    }
+}
+
+/// Result of one (dataset, mode) cell of Figure 3.
+#[derive(Debug, Clone)]
+pub struct CompressionResult {
+    /// Scenario measured.
+    pub mode: CompressionMode,
+    /// Total payload bytes after processing.
+    pub resulting_bytes: u64,
+    /// Ratio to the original size (1.0 for the baseline itself).
+    pub ratio: f64,
+    /// Packets / chunks that left compressed (type 3), when applicable.
+    pub compressed_chunks: u64,
+    /// Packets / chunks that left uncompressed or processed-uncompressed.
+    pub uncompressed_chunks: u64,
+}
+
+/// Runs the requested scenarios over a workload.
+pub fn run_compression_experiment(
+    workload: &dyn ChunkWorkload,
+    modes: &[CompressionMode],
+    config: &CompressionExperimentConfig,
+) -> Result<Vec<CompressionResult>> {
+    let original_bytes: u64 = (workload.total_chunks() * workload.chunk_len()) as u64;
+    let mut results = Vec::with_capacity(modes.len());
+    for &mode in modes {
+        let result = match mode {
+            CompressionMode::Original => CompressionResult {
+                mode,
+                resulting_bytes: original_bytes,
+                ratio: 1.0,
+                compressed_chunks: 0,
+                uncompressed_chunks: workload.total_chunks() as u64,
+            },
+            CompressionMode::NoTable => no_table(workload, config, original_bytes),
+            CompressionMode::StaticTable => static_table(workload, config, original_bytes)?,
+            CompressionMode::DynamicLearning => dynamic_learning(workload, config, original_bytes)?,
+            CompressionMode::Gzip => gzip(workload, config, original_bytes),
+        };
+        results.push(result);
+    }
+    Ok(results)
+}
+
+fn no_table(
+    workload: &dyn ChunkWorkload,
+    config: &CompressionExperimentConfig,
+    original_bytes: u64,
+) -> CompressionResult {
+    // Every chunk leaves as a type 2 packet of fixed size; bytes outside the
+    // chunk (prefix/suffix) are carried verbatim.
+    let per_chunk_overhead =
+        (workload.chunk_len() - config.chunk_offset - config.gd.chunk_bytes) as u64;
+    let type2 = config.gd.uncompressed_payload_bytes() as u64 + config.chunk_offset as u64;
+    let total = (type2 + per_chunk_overhead) * workload.total_chunks() as u64;
+    CompressionResult {
+        mode: CompressionMode::NoTable,
+        resulting_bytes: total,
+        ratio: total as f64 / original_bytes as f64,
+        compressed_chunks: 0,
+        uncompressed_chunks: workload.total_chunks() as u64,
+    }
+}
+
+fn static_table(
+    workload: &dyn ChunkWorkload,
+    config: &CompressionExperimentConfig,
+    original_bytes: u64,
+) -> Result<CompressionResult> {
+    let codec = ChunkCodec::new(&config.gd)?;
+    let mut dictionary = BasisDictionary::new(config.gd.dictionary_capacity());
+    // Pass 1: pre-compute the basis of each payload and fill the table
+    // (first-come order, as a one-shot provisioning pass would).
+    for chunk in workload.chunks() {
+        let body = &chunk[config.chunk_offset..config.chunk_offset + config.gd.chunk_bytes];
+        let encoded = codec.encode_chunk(body)?;
+        if dictionary.peek_basis(&encoded.basis).is_none() && !dictionary.is_full() {
+            dictionary.insert(encoded.basis, 0)?;
+        }
+    }
+    // Pass 2: account each chunk by the packet type it would produce.
+    let per_chunk_extra =
+        (workload.chunk_len() - config.chunk_offset - config.gd.chunk_bytes) as u64;
+    let type2 = config.gd.uncompressed_payload_bytes() as u64 + config.chunk_offset as u64 + per_chunk_extra;
+    let type3 = config.gd.compressed_payload_bytes() as u64 + config.chunk_offset as u64 + per_chunk_extra;
+    let mut total = 0u64;
+    let mut compressed = 0u64;
+    let mut uncompressed = 0u64;
+    for chunk in workload.chunks() {
+        let body = &chunk[config.chunk_offset..config.chunk_offset + config.gd.chunk_bytes];
+        let encoded = codec.encode_chunk(body)?;
+        if dictionary.peek_basis(&encoded.basis).is_some() {
+            total += type3;
+            compressed += 1;
+        } else {
+            total += type2;
+            uncompressed += 1;
+        }
+    }
+    Ok(CompressionResult {
+        mode: CompressionMode::StaticTable,
+        resulting_bytes: total,
+        ratio: total as f64 / original_bytes as f64,
+        compressed_chunks: compressed,
+        uncompressed_chunks: uncompressed,
+    })
+}
+
+fn dynamic_learning(
+    workload: &dyn ChunkWorkload,
+    config: &CompressionExperimentConfig,
+    original_bytes: u64,
+) -> Result<CompressionResult> {
+    let mut deployment_config = config.deployment.clone();
+    deployment_config.gd = config.gd;
+    deployment_config.chunk_offset = config.chunk_offset;
+    deployment_config.record_received_payloads = false;
+    let mut deployment = ZipLineDeployment::new(deployment_config)?;
+    let frames: Vec<EthernetFrame> = workload
+        .chunks()
+        .map(|chunk| {
+            EthernetFrame::new(
+                MacAddress::local(2),
+                MacAddress::local(1),
+                zipline_net::ethernet::ETHERTYPE_IPV4,
+                chunk,
+            )
+        })
+        .collect();
+    let outcome = deployment.run_frames(frames)?;
+    Ok(CompressionResult {
+        mode: CompressionMode::DynamicLearning,
+        resulting_bytes: outcome.payload_bytes_between_switches,
+        ratio: outcome.payload_bytes_between_switches as f64 / original_bytes as f64,
+        compressed_chunks: outcome.encoder_stats.emitted_compressed,
+        uncompressed_chunks: outcome.encoder_stats.emitted_uncompressed
+            + outcome.encoder_stats.emitted_raw,
+    })
+}
+
+fn gzip(
+    workload: &dyn ChunkWorkload,
+    config: &CompressionExperimentConfig,
+    original_bytes: u64,
+) -> CompressionResult {
+    // "We extract all payloads in a regular file that we compress with the
+    // gzip compression tool."
+    let mut file = Vec::with_capacity(original_bytes as usize);
+    for chunk in workload.chunks() {
+        file.extend_from_slice(&chunk);
+    }
+    let compressed = zipline_deflate::gzip_compress(&file, config.gzip_level);
+    CompressionResult {
+        mode: CompressionMode::Gzip,
+        resulting_bytes: compressed.len() as u64,
+        ratio: compressed.len() as f64 / original_bytes as f64,
+        compressed_chunks: 0,
+        uncompressed_chunks: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipline_traces::sensor::{SensorWorkload, SensorWorkloadConfig};
+
+    fn small_workload() -> SensorWorkload {
+        SensorWorkload::new(SensorWorkloadConfig {
+            chunks: 4_000,
+            sensors: 16,
+            readings_per_sensor: 8,
+            ..SensorWorkloadConfig::small()
+        })
+    }
+
+    #[test]
+    fn figure3_shape_on_a_small_sensor_workload() {
+        let workload = small_workload();
+        let config = CompressionExperimentConfig::fast_test();
+        let results =
+            run_compression_experiment(&workload, &CompressionMode::all(), &config).unwrap();
+        let ratio = |mode: CompressionMode| {
+            results.iter().find(|r| r.mode == mode).unwrap().ratio
+        };
+
+        // Original is exactly 1.
+        assert_eq!(ratio(CompressionMode::Original), 1.0);
+        // No table: the 33/32 = 1.03 padding overhead of the hardware format.
+        assert!((ratio(CompressionMode::NoTable) - 33.0 / 32.0).abs() < 1e-9);
+        // Static table: every basis fits, so every chunk becomes 3 bytes.
+        assert!((ratio(CompressionMode::StaticTable) - 3.0 / 32.0).abs() < 0.001);
+        // Dynamic learning sits between static table and no table, much
+        // closer to static (the paper's 0.11 vs 0.09).
+        let dynamic = ratio(CompressionMode::DynamicLearning);
+        assert!(dynamic > ratio(CompressionMode::StaticTable));
+        assert!(dynamic < 0.5 * ratio(CompressionMode::NoTable));
+        // Gzip compresses this highly redundant data well too.
+        assert!(ratio(CompressionMode::Gzip) < 0.2);
+    }
+
+    #[test]
+    fn static_table_reports_chunk_classification() {
+        let workload = small_workload();
+        let config = CompressionExperimentConfig::fast_test();
+        let results =
+            run_compression_experiment(&workload, &[CompressionMode::StaticTable], &config)
+                .unwrap();
+        let r = &results[0];
+        assert_eq!(r.compressed_chunks + r.uncompressed_chunks, 4_000);
+        assert_eq!(r.uncompressed_chunks, 0, "all bases fit the table");
+    }
+
+    #[test]
+    fn mode_labels_match_figure3() {
+        assert_eq!(CompressionMode::Original.label(), "Original data");
+        assert_eq!(CompressionMode::NoTable.label(), "No table");
+        assert_eq!(CompressionMode::StaticTable.label(), "Static table");
+        assert_eq!(CompressionMode::DynamicLearning.label(), "Dynamic learning");
+        assert_eq!(CompressionMode::Gzip.label(), "Gzip");
+        assert_eq!(CompressionMode::all().len(), 5);
+    }
+}

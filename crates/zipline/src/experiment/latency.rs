@@ -1,0 +1,211 @@
+//! The end-to-end latency experiment (Figure 5).
+//!
+//! "We evaluate the latency by having one server sending packets to itself
+//! via the programmable switch. We then measure the round-trip time."
+//!
+//! The topology is a single host with an RTT probe connected to one switch
+//! port; the switch hairpins every frame back out of the same port, running
+//! either the plain forwarding program, the ZipLine encoder or the ZipLine
+//! decoder. The paper's point — reproduced here — is that the three
+//! operations are indistinguishable: the pipeline latency is constant and
+//! independent of the program.
+//!
+//! Absolute values differ from the paper's ~10 µs because the simulation does
+//! not model the host kernel/NIC stack, only the wire and the switch; an
+//! optional `host_overhead` can be added to make the absolute numbers
+//! comparable (see EXPERIMENTS.md).
+
+use crate::decoder::{DecoderConfig, ZipLineDecodeProgram};
+use crate::encoder::{EncoderConfig, ZipLineEncodeProgram};
+use crate::error::Result;
+use crate::experiment::throughput::SwitchOperation;
+use zipline_gd::config::GdConfig;
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::host::RttProbe;
+use zipline_net::link::LinkParams;
+use zipline_net::mac::MacAddress;
+use zipline_net::sim::Network;
+use zipline_net::time::{SimDuration, SimTime};
+use zipline_switch::node::{SwitchConfig, SwitchNode};
+use zipline_switch::packet_ctx::PacketContext;
+use zipline_switch::program::{L2ForwardingProgram, PipelineProgram};
+
+/// Configuration of the latency experiment.
+#[derive(Debug, Clone)]
+pub struct LatencyExperimentConfig {
+    /// GD parameters used by the encode/decode programs.
+    pub gd: GdConfig,
+    /// Wire size of the probe frames.
+    pub frame_size: usize,
+    /// Number of probes per operation (the paper repeats measurements 10
+    /// times and reports the average).
+    pub probes: usize,
+    /// Interval between probes.
+    pub probe_interval: SimDuration,
+    /// Link parameters.
+    pub link: LinkParams,
+    /// Switch pipeline latency.
+    pub pipeline_latency: SimDuration,
+    /// Fixed per-direction host overhead (NIC + kernel stack) added to the
+    /// reported RTT so absolute values are comparable with the testbed.
+    pub host_overhead: SimDuration,
+}
+
+impl LatencyExperimentConfig {
+    /// Paper-like defaults: 64-byte probes, 10 repetitions, a ~5 µs
+    /// per-direction host overhead matching the testbed's kernel stack.
+    pub fn paper_default() -> Self {
+        Self {
+            gd: GdConfig::paper_default(),
+            frame_size: 64,
+            probes: 10,
+            probe_interval: SimDuration::from_millis(1),
+            link: LinkParams::line_rate_100g(),
+            pipeline_latency: SimDuration::from_nanos(600),
+            host_overhead: SimDuration::from_micros(5),
+        }
+    }
+
+    /// Fast test configuration.
+    pub fn fast_test() -> Self {
+        Self { probes: 5, probe_interval: SimDuration::from_micros(50), ..Self::paper_default() }
+    }
+}
+
+/// RTT statistics for one switch operation.
+#[derive(Debug, Clone)]
+pub struct LatencyResult {
+    /// Switch operation measured.
+    pub operation: SwitchOperation,
+    /// Mean round-trip time (including the configured host overhead).
+    pub mean_rtt: SimDuration,
+    /// Minimum observed RTT.
+    pub min_rtt: SimDuration,
+    /// Maximum observed RTT.
+    pub max_rtt: SimDuration,
+    /// Individual samples.
+    pub samples: Vec<SimDuration>,
+}
+
+/// Runs the latency experiment for every switch operation.
+pub fn run_latency_experiment(config: &LatencyExperimentConfig) -> Result<Vec<LatencyResult>> {
+    SwitchOperation::all()
+        .iter()
+        .map(|&operation| run_one(config, operation))
+        .collect()
+}
+
+/// Runs the latency experiment for a single operation.
+pub fn run_one(
+    config: &LatencyExperimentConfig,
+    operation: SwitchOperation,
+) -> Result<LatencyResult> {
+    let src = MacAddress::local(1);
+    let dst = MacAddress::local(2);
+    let raw_frame = EthernetFrame::test_frame(dst, src, config.frame_size, 0x5A);
+
+    let switch_config = SwitchConfig {
+        ports: 3,
+        pipeline_latency: config.pipeline_latency,
+        control_plane_latency: SimDuration::from_micros(590),
+        cpu_ports: vec![2],
+        digest_queue_capacity: 1024,
+    };
+
+    let mut net = Network::new();
+    let (probe_frame, switch_id) = match operation {
+        SwitchOperation::NoOp => {
+            let node = SwitchNode::new(switch_config, L2ForwardingProgram::hairpin(0))?;
+            (raw_frame.clone(), net.add_node(Box::new(node)))
+        }
+        SwitchOperation::Encode => {
+            // Hairpin variant of the encoder: data egress = ingress port.
+            let program = ZipLineEncodeProgram::new(EncoderConfig {
+                gd: config.gd,
+                data_egress_port: 0,
+                ..EncoderConfig::paper_default()
+            })?;
+            let node = SwitchNode::new(switch_config, program)?;
+            (raw_frame.clone(), net.add_node(Box::new(node)))
+        }
+        SwitchOperation::Decode => {
+            // Offer a pre-encoded type 2 frame so the decoder reconstructs it
+            // on every pass.
+            let mut encoder = ZipLineEncodeProgram::new(EncoderConfig {
+                gd: config.gd,
+                ..EncoderConfig::paper_default()
+            })?;
+            let mut ctx = PacketContext::new(0, raw_frame.clone());
+            encoder.ingress(&mut ctx, SimTime::ZERO);
+            let encoded_frame = ctx.frame.clone();
+            let program = ZipLineDecodeProgram::new(DecoderConfig {
+                gd: config.gd,
+                data_egress_port: 0,
+                ..DecoderConfig::paper_default()
+            })?;
+            let node = SwitchNode::new(switch_config, program)?;
+            (encoded_frame, net.add_node(Box::new(node)))
+        }
+    };
+
+    let probe = RttProbe::new(probe_frame, 0);
+    let probe_id = net.add_node(Box::new(probe));
+    net.connect((probe_id, 0), (switch_id, 0), config.link)?;
+    for i in 0..config.probes {
+        net.schedule_timer(SimTime(i as u64 * config.probe_interval.as_nanos()), probe_id, i as u64);
+    }
+    net.run(100_000);
+
+    let probe = net.node_as::<RttProbe>(probe_id).expect("probe node");
+    let overhead = SimDuration::from_nanos(2 * config.host_overhead.as_nanos());
+    let samples: Vec<SimDuration> =
+        probe.rtts.iter().map(|rtt| *rtt + overhead).collect();
+    assert!(!samples.is_empty(), "no probe completed — topology error");
+    let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
+    let mean_rtt = SimDuration::from_nanos(total / samples.len() as u64);
+    let min_rtt = *samples.iter().min().expect("non-empty");
+    let max_rtt = *samples.iter().max().expect("non-empty");
+    Ok(LatencyResult { operation, mean_rtt, min_rtt, max_rtt, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_probes_complete_for_every_operation() {
+        let config = LatencyExperimentConfig::fast_test();
+        let results = run_latency_experiment(&config).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.samples.len(), config.probes, "{:?}", r.operation);
+            assert!(r.min_rtt <= r.mean_rtt && r.mean_rtt <= r.max_rtt);
+        }
+    }
+
+    #[test]
+    fn figure5_shape_operations_are_indistinguishable() {
+        let config = LatencyExperimentConfig::fast_test();
+        let results = run_latency_experiment(&config).unwrap();
+        let rtt = |op: SwitchOperation| {
+            results.iter().find(|r| r.operation == op).unwrap().mean_rtt.as_nanos() as f64
+        };
+        let noop = rtt(SwitchOperation::NoOp);
+        for op in [SwitchOperation::Encode, SwitchOperation::Decode] {
+            let delta = (rtt(op) - noop).abs() / noop;
+            assert!(delta < 0.02, "{op:?} deviates by {delta}");
+        }
+        // RTTs land in the paper's order of magnitude (microseconds).
+        assert!(noop > 1_000.0 && noop < 50_000.0, "noop RTT = {noop} ns");
+    }
+
+    #[test]
+    fn host_overhead_is_added_to_the_report() {
+        let mut config = LatencyExperimentConfig::fast_test();
+        config.host_overhead = SimDuration::ZERO;
+        let without = run_one(&config, SwitchOperation::NoOp).unwrap().mean_rtt;
+        config.host_overhead = SimDuration::from_micros(5);
+        let with = run_one(&config, SwitchOperation::NoOp).unwrap().mean_rtt;
+        assert_eq!(with.as_nanos() - without.as_nanos(), 10_000);
+    }
+}

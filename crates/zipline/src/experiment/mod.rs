@@ -1,0 +1,32 @@
+//! Experiment drivers reproducing the paper's evaluation (section 7).
+//!
+//! Each submodule corresponds to one result of the paper:
+//!
+//! * [`compression`] — Figure 3: resulting payload size for the synthetic
+//!   sensor dataset and the campus-DNS dataset, under no table / static
+//!   table / dynamic learning / gzip;
+//! * [`throughput`] — Figure 4: forwarding throughput in Gbit/s and Mpkt/s
+//!   for No-op / Encode / Decode at 64 B, 1500 B and 9000 B frames;
+//! * [`latency`] — Figure 5: end-to-end RTT with the switch performing
+//!   No-op / Encode / Decode;
+//! * [`learning`] — the dynamic-learning measurement: time between the first
+//!   type 2 packet and the first type 3 packet for a previously unknown
+//!   basis (the paper reports 1.77 ± 0.08 ms).
+//!
+//! The drivers return plain data structures; pretty-printing lives in the
+//! `zipline-bench` harness binaries so the same code paths are exercised by
+//! unit tests, examples and benchmarks.
+
+pub mod compression;
+pub mod latency;
+pub mod learning;
+pub mod throughput;
+
+pub use compression::{
+    run_compression_experiment, CompressionExperimentConfig, CompressionMode, CompressionResult,
+};
+pub use latency::{run_latency_experiment, LatencyExperimentConfig, LatencyResult};
+pub use learning::{run_learning_experiment, LearningExperimentConfig, LearningResult};
+pub use throughput::{
+    run_throughput_experiment, SwitchOperation, ThroughputExperimentConfig, ThroughputResult,
+};

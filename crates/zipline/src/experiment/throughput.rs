@@ -1,0 +1,324 @@
+//! The raw-performance throughput experiment (Figure 4).
+//!
+//! "We start by measuring the raw Ethernet throughput between 2 machines
+//! through the programmable switch. We transfer Ethernet frames of 3 common
+//! sizes for 10 seconds: the minimum frame size of 64 B, the standard 1500 B,
+//! as well as jumbo frames of 9 kB. The first scenario ('no op') acts as the
+//! baseline, with the switch acting as a regular Ethernet switch. We then
+//! repeat the same measurements with the switch performing either the
+//! encoding or the decoding phase of ZipLine."
+//!
+//! Our reproduction keeps the same structure: a traffic generator (optionally
+//! capped at the ~7 Mpkt/s the paper's software generator could sustain), a
+//! single switch running either a plain forwarding program, the ZipLine
+//! encoder or the ZipLine decoder, and a capture host measuring the achieved
+//! rate. The switch model forwards at line rate regardless of the program —
+//! the paper's central claim — so any difference between operations would
+//! indicate a modelling bug; the interesting outputs are the absolute rates,
+//! which are bottlenecked by the generator exactly as in the paper.
+
+use crate::decoder::{DecoderConfig, ZipLineDecodeProgram};
+use crate::encoder::{EncoderConfig, ZipLineEncodeProgram};
+use crate::error::Result;
+use zipline_gd::config::GdConfig;
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::host::{CaptureSink, GeneratorConfig, TrafficGenerator};
+use zipline_net::link::LinkParams;
+use zipline_net::mac::MacAddress;
+use zipline_net::sim::Network;
+use zipline_net::time::{DataRate, SimDuration, SimTime};
+use zipline_switch::node::{SwitchConfig, SwitchNode};
+use zipline_switch::packet_ctx::PacketContext;
+use zipline_switch::program::{L2ForwardingProgram, PipelineProgram};
+
+/// The three switch operations of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchOperation {
+    /// Plain Ethernet forwarding.
+    NoOp,
+    /// The ZipLine encoding phase.
+    Encode,
+    /// The ZipLine decoding phase.
+    Decode,
+}
+
+impl SwitchOperation {
+    /// Label used in the figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwitchOperation::NoOp => "No op",
+            SwitchOperation::Encode => "Encode",
+            SwitchOperation::Decode => "Decode",
+        }
+    }
+
+    /// All operations in figure order.
+    pub fn all() -> [SwitchOperation; 3] {
+        [SwitchOperation::NoOp, SwitchOperation::Encode, SwitchOperation::Decode]
+    }
+}
+
+/// Configuration of the throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ThroughputExperimentConfig {
+    /// GD parameters used by the encode/decode programs.
+    pub gd: GdConfig,
+    /// Wire frame sizes to sweep (the paper uses 64, 1500 and 9000 bytes).
+    pub frame_sizes: Vec<usize>,
+    /// How many frames to send per measurement.
+    pub frames_per_run: u64,
+    /// Link parameters (100 Gbit/s in the paper).
+    pub link: LinkParams,
+    /// Generator NIC rate.
+    pub nic_rate: DataRate,
+    /// Software generator cap (the paper's servers top out around 7 Mpkt/s).
+    pub max_packets_per_second: Option<f64>,
+    /// Switch pipeline latency.
+    pub pipeline_latency: SimDuration,
+}
+
+impl ThroughputExperimentConfig {
+    /// The paper's sweep at a size that runs in seconds on a laptop.
+    pub fn paper_default() -> Self {
+        Self {
+            gd: GdConfig::paper_default(),
+            frame_sizes: vec![64, 1500, 9000],
+            frames_per_run: 200_000,
+            link: LinkParams::line_rate_100g(),
+            nic_rate: DataRate::LINE_RATE_100G,
+            max_packets_per_second: Some(7_000_000.0),
+            pipeline_latency: SimDuration::from_nanos(600),
+        }
+    }
+
+    /// A quick configuration for tests.
+    pub fn fast_test() -> Self {
+        Self { frames_per_run: 2_000, ..Self::paper_default() }
+    }
+}
+
+/// One bar of Figure 4.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Switch operation measured.
+    pub operation: SwitchOperation,
+    /// Wire frame size of the offered traffic.
+    pub frame_size: usize,
+    /// Achieved throughput at the receiver, in Gbit/s (of offered wire
+    /// bytes, i.e. goodput of the original traffic).
+    pub gbps: f64,
+    /// Achieved packet rate at the receiver, in Mpkt/s.
+    pub mpps: f64,
+    /// Frames received.
+    pub frames_received: u64,
+    /// Frames dropped inside the switch (must be zero).
+    pub frames_dropped: u64,
+}
+
+/// Runs the full sweep: every operation at every frame size.
+pub fn run_throughput_experiment(
+    config: &ThroughputExperimentConfig,
+) -> Result<Vec<ThroughputResult>> {
+    let mut results = Vec::new();
+    for &operation in &SwitchOperation::all() {
+        for &frame_size in &config.frame_sizes {
+            results.push(run_one(config, operation, frame_size)?);
+        }
+    }
+    Ok(results)
+}
+
+/// Runs a single (operation, frame size) measurement.
+pub fn run_one(
+    config: &ThroughputExperimentConfig,
+    operation: SwitchOperation,
+    frame_size: usize,
+) -> Result<ThroughputResult> {
+    let src = MacAddress::local(1);
+    let dst = MacAddress::local(2);
+    let raw_frame = EthernetFrame::test_frame(dst, src, frame_size, 0xA5);
+
+    // The frames offered to the switch and the program it runs.
+    let mut net = Network::new();
+    let switch_config = SwitchConfig {
+        ports: 3,
+        pipeline_latency: config.pipeline_latency,
+        control_plane_latency: SimDuration::from_micros(590),
+        cpu_ports: vec![2],
+        digest_queue_capacity: 4096,
+    };
+
+    let (offered_frame, switch_id) = match operation {
+        SwitchOperation::NoOp => {
+            let program = L2ForwardingProgram::two_port_wire();
+            let node = SwitchNode::new(switch_config, program)?;
+            (raw_frame.clone(), net.add_node(Box::new(node)))
+        }
+        SwitchOperation::Encode => {
+            let program = ZipLineEncodeProgram::new(EncoderConfig {
+                gd: config.gd,
+                ..EncoderConfig::paper_default()
+            })?;
+            let node = SwitchNode::new(switch_config, program)?;
+            (raw_frame.clone(), net.add_node(Box::new(node)))
+        }
+        SwitchOperation::Decode => {
+            // Offer pre-encoded (type 3) frames so the decoder exercises its
+            // full reconstruction path, including the identifier lookup.
+            let mut encoder = ZipLineEncodeProgram::new(EncoderConfig {
+                gd: config.gd,
+                ..EncoderConfig::paper_default()
+            })?;
+            encoder.preload_static_table(std::iter::once(raw_frame.payload.clone()))?;
+            let mut ctx = PacketContext::new(0, raw_frame.clone());
+            encoder.ingress(&mut ctx, SimTime::ZERO);
+            let encoded_frame = ctx.frame.clone();
+
+            let mut decoder = ZipLineDecodeProgram::new(DecoderConfig {
+                gd: config.gd,
+                ..DecoderConfig::paper_default()
+            })?;
+            // Mirror the mapping into the decoder so every packet decodes.
+            let installed = encoder.active_mappings();
+            debug_assert_eq!(installed, 1);
+            for (key, entry) in collect_encoder_mappings(&encoder) {
+                decoder.install_mapping(entry, key, SimTime::ZERO)?;
+            }
+            let node = SwitchNode::new(switch_config, decoder)?;
+            (encoded_frame, net.add_node(Box::new(node)))
+        }
+    };
+
+    let generator = TrafficGenerator::new(GeneratorConfig {
+        frames: vec![offered_frame],
+        count: config.frames_per_run,
+        nic_rate: config.nic_rate,
+        max_packets_per_second: config.max_packets_per_second,
+        port: 0,
+        start: SimTime::ZERO,
+    });
+    let sender = net.add_node(Box::new(generator));
+    let receiver = net.add_node(Box::new(CaptureSink::counting()));
+
+    net.connect((sender, 0), (switch_id, 0), config.link)?;
+    net.connect((switch_id, 1), (receiver, 0), config.link)?;
+    net.schedule_timer(SimTime::ZERO, sender, 0);
+    net.run(config.frames_per_run.saturating_mul(12).max(10_000));
+
+    let sink = net.node_as::<CaptureSink>(receiver).expect("receiver is a capture sink");
+    let stats = sink.stats();
+    let elapsed = match (stats.first_arrival, stats.last_arrival) {
+        (Some(first), Some(last)) if last > first => last - first,
+        _ => SimDuration::from_nanos(1),
+    };
+    // Report the *offered* traffic volume (raw frame size), so encode runs
+    // are comparable with the paper's figure, which measures the raw
+    // Ethernet transfer rate achieved end to end.
+    let offered_bytes = stats.frames_received * frame_size as u64;
+    let gbps = DataRate::from_transfer(offered_bytes, elapsed).as_gbps();
+    let mpps = DataRate::packets_per_second(stats.frames_received, elapsed) / 1e6;
+
+    // Dropped frames would invalidate the line-rate claim.
+    let frames_dropped = frames_dropped_in_switch(&net, switch_id, operation);
+
+    Ok(ThroughputResult {
+        operation,
+        frame_size,
+        gbps,
+        mpps,
+        frames_received: stats.frames_received,
+        frames_dropped,
+    })
+}
+
+fn collect_encoder_mappings(encoder: &ZipLineEncodeProgram) -> Vec<(Vec<u8>, u64)> {
+    encoder
+        .control_plane()
+        .dictionary()
+        .iter()
+        .map(|(id, basis)| (basis.to_bytes(), id))
+        .collect()
+}
+
+fn frames_dropped_in_switch(
+    net: &Network,
+    switch_id: usize,
+    operation: SwitchOperation,
+) -> u64 {
+    match operation {
+        SwitchOperation::NoOp => net
+            .node_as::<SwitchNode<L2ForwardingProgram>>(switch_id)
+            .map(|n| n.stats().frames_dropped)
+            .unwrap_or(0),
+        SwitchOperation::Encode => net
+            .node_as::<SwitchNode<ZipLineEncodeProgram>>(switch_id)
+            .map(|n| n.stats().frames_dropped)
+            .unwrap_or(0),
+        SwitchOperation::Decode => net
+            .node_as::<SwitchNode<ZipLineDecodeProgram>>(switch_id)
+            .map(|n| n.stats().frames_dropped)
+            .unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_operations_forward_without_loss_at_every_size() {
+        let config = ThroughputExperimentConfig {
+            frames_per_run: 500,
+            ..ThroughputExperimentConfig::fast_test()
+        };
+        let results = run_throughput_experiment(&config).unwrap();
+        assert_eq!(results.len(), 9);
+        for r in &results {
+            assert_eq!(r.frames_received, 500, "{:?} at {}", r.operation, r.frame_size);
+            assert_eq!(r.frames_dropped, 0);
+            assert!(r.gbps > 0.0);
+            assert!(r.mpps > 0.0);
+        }
+    }
+
+    #[test]
+    fn figure4_shape_generator_limits_small_frames_line_rate_limits_jumbo() {
+        let config = ThroughputExperimentConfig {
+            frames_per_run: 5_000,
+            ..ThroughputExperimentConfig::fast_test()
+        };
+        let results = run_throughput_experiment(&config).unwrap();
+        let find = |op: SwitchOperation, size: usize| {
+            results
+                .iter()
+                .find(|r| r.operation == op && r.frame_size == size)
+                .unwrap()
+        };
+        // 64 B frames: capped by the 7 Mpkt/s generator -> roughly 3.6 Gbit/s.
+        let small = find(SwitchOperation::NoOp, 64);
+        assert!(small.mpps > 6.0 && small.mpps < 7.5, "mpps = {}", small.mpps);
+        assert!(small.gbps < 5.0);
+        // 9000 B frames: line-rate bound, close to 100 Gbit/s.
+        let jumbo = find(SwitchOperation::NoOp, 9000);
+        assert!(jumbo.gbps > 90.0, "gbps = {}", jumbo.gbps);
+        // Encode and decode do not reduce throughput relative to no-op.
+        for size in [64usize, 1500, 9000] {
+            let base = find(SwitchOperation::NoOp, size).gbps;
+            for op in [SwitchOperation::Encode, SwitchOperation::Decode] {
+                let measured = find(op, size).gbps;
+                assert!(
+                    (measured - base).abs() / base < 0.02,
+                    "{op:?} at {size}: {measured} vs {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_all() {
+        assert_eq!(SwitchOperation::NoOp.label(), "No op");
+        assert_eq!(SwitchOperation::Encode.label(), "Encode");
+        assert_eq!(SwitchOperation::Decode.label(), "Decode");
+        assert_eq!(SwitchOperation::all().len(), 3);
+    }
+}

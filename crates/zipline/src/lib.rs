@@ -1,0 +1,56 @@
+//! ZipLine: in-network compression at line speed — reproduction of the
+//! CoNEXT 2020 paper.
+//!
+//! This crate assembles the pieces provided by the substrate crates into the
+//! system the paper describes:
+//!
+//! * [`encoder`] / [`decoder`] — the ZipLine encode and decode switch
+//!   programs (Figures 1 and 2), expressed against the Tofino-like
+//!   primitives of `zipline-switch` (CRC extern, constant syndrome-mask
+//!   table, match-action basis tables, digests, counters);
+//! * [`controller`] — the encoder-side control plane: identifier pool with
+//!   LRU recycling, pending installs, and the two-phase
+//!   reverse-mapping-first protocol of section 5;
+//! * [`control`] — the out-of-band control-channel message format used
+//!   between the two ZipLine instances;
+//! * [`deployment`] — ready-made simulated topologies (sender → encoder
+//!   switch → decoder switch → receiver, plus the out-of-band control link);
+//! * [`experiment`] — the drivers that reproduce every figure of the paper's
+//!   evaluation (compression ratios, throughput, latency, dynamic-learning
+//!   delay), shared by the examples and the benchmark harness.
+//!
+//! # Quick start
+//!
+//! ```
+//! use zipline::deployment::{ZipLineDeployment, DeploymentConfig};
+//! use zipline_gd::GdConfig;
+//!
+//! // Two switches with the paper's parameters, ideal links.
+//! let mut deployment = ZipLineDeployment::new(DeploymentConfig {
+//!     gd: GdConfig::paper_default(),
+//!     ..DeploymentConfig::fast_test()
+//! }).unwrap();
+//!
+//! // Send the same 32-byte payload five times; after the control plane has
+//! // learned the basis, packets travel compressed and are restored
+//! // byte-exactly at the receiver.
+//! let payload = vec![0xAB; 32];
+//! let received = deployment.run_payloads(&vec![payload.clone(); 5]).unwrap();
+//! assert_eq!(received.len(), 5);
+//! assert!(received.iter().all(|p| p == &payload));
+//! ```
+
+pub mod control;
+pub mod controller;
+pub mod decoder;
+pub mod deployment;
+pub mod encoder;
+pub mod error;
+pub mod experiment;
+pub mod mask_table;
+
+pub use controller::EncoderControlPlane;
+pub use decoder::ZipLineDecodeProgram;
+pub use deployment::{DeploymentConfig, ZipLineDeployment};
+pub use encoder::ZipLineEncodeProgram;
+pub use error::ZipLineError;

@@ -1,0 +1,97 @@
+//! The constant syndrome → bit-flip-mask table.
+//!
+//! Section 5: "We use a P4 table with constant entries that are pre-computed
+//! using a short C++ program making use of Boost CRC library. The entry that
+//! matches the syndrome is XORed to the data, hence flipping the appropriate
+//! bit of the sequence."
+//!
+//! [`SyndromeMaskTable`] plays the role of that constant-entries table: it is
+//! built once at program-load time (our equivalent of the offline C++
+//! precomputation) from the same generator polynomial as the CRC extern, and
+//! the data plane only ever performs an exact-match lookup on the syndrome
+//! value.
+
+use crate::error::Result;
+use zipline_gd::bits::BitVec;
+use zipline_gd::hamming::HammingCode;
+
+/// Constant-entries table mapping each syndrome value to the `n`-bit mask
+/// whose XOR undoes the corresponding single-bit deviation.
+#[derive(Debug, Clone)]
+pub struct SyndromeMaskTable {
+    masks: Vec<BitVec>,
+    /// Data-plane lookups performed (diagnostics).
+    lookups: std::cell::Cell<u64>,
+}
+
+impl SyndromeMaskTable {
+    /// Precomputes the table for the Hamming code with parameter `m`
+    /// (the offline step the paper performs with Boost.CRC).
+    pub fn precompute(code: &HammingCode) -> Result<Self> {
+        let n = code.n();
+        let mut masks = Vec::with_capacity(n + 1);
+        for syndrome in 0..=(n as u64) {
+            masks.push(code.error_mask(syndrome)?);
+        }
+        Ok(Self { masks, lookups: std::cell::Cell::new(0) })
+    }
+
+    /// Number of entries (always `n + 1`: the zero syndrome plus one entry
+    /// per bit position).
+    pub fn entries(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Number of lookups performed so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Exact-match lookup: returns the mask for a syndrome, or `None` for a
+    /// syndrome value outside the table (cannot happen for a well-formed
+    /// CRC result, but the data plane must not panic on anything).
+    pub fn lookup(&self, syndrome: u64) -> Option<&BitVec> {
+        self.lookups.set(self.lookups.get() + 1);
+        usize::try_from(syndrome).ok().and_then(|s| self.masks.get(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_n_plus_one_entries() {
+        let code = HammingCode::new(3).unwrap();
+        let table = SyndromeMaskTable::precompute(&code).unwrap();
+        assert_eq!(table.entries(), 8);
+        let code = HammingCode::new(8).unwrap();
+        let table = SyndromeMaskTable::precompute(&code).unwrap();
+        assert_eq!(table.entries(), 256);
+    }
+
+    #[test]
+    fn masks_invert_their_own_syndrome() {
+        let code = HammingCode::new(8).unwrap();
+        let table = SyndromeMaskTable::precompute(&code).unwrap();
+        for syndrome in 0..=255u64 {
+            let mask = table.lookup(syndrome).unwrap();
+            assert_eq!(mask.len(), code.n());
+            if syndrome == 0 {
+                assert!(mask.is_zero());
+            } else {
+                assert_eq!(mask.count_ones(), 1);
+                assert_eq!(code.syndrome(mask).unwrap(), syndrome);
+            }
+        }
+        assert_eq!(table.lookups(), 256);
+    }
+
+    #[test]
+    fn out_of_range_syndromes_return_none() {
+        let code = HammingCode::new(3).unwrap();
+        let table = SyndromeMaskTable::precompute(&code).unwrap();
+        assert!(table.lookup(8).is_none());
+        assert!(table.lookup(u64::MAX).is_none());
+    }
+}

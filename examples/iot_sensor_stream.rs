@@ -1,0 +1,70 @@
+//! IoT sensor-stream scenario: the paper's synthetic dataset (scaled down by
+//! default) replayed through the full ZipLine deployment with dynamic
+//! learning, compared against the static-table ideal and gzip.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example iot_sensor_stream            # scaled-down
+//! cargo run --release --example iot_sensor_stream -- --full  # 3 124 000 chunks
+//! ```
+
+use zipline_repro::zipline::experiment::compression::{
+    run_compression_experiment, CompressionExperimentConfig, CompressionMode,
+};
+use zipline_repro::zipline_traces::sensor::{SensorWorkload, SensorWorkloadConfig};
+use zipline_repro::zipline_traces::ChunkWorkload;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let workload_config = if full {
+        SensorWorkloadConfig::paper_scale()
+    } else {
+        SensorWorkloadConfig {
+            chunks: 100_000,
+            sensors: 128,
+            readings_per_sensor: 32,
+            ..SensorWorkloadConfig::paper_scale()
+        }
+    };
+    let workload = SensorWorkload::new(workload_config.clone());
+    println!(
+        "synthetic sensor workload: {} chunks of {} B ({} sensors x {} readings = {} distinct bases)",
+        workload.total_chunks(),
+        workload.chunk_len(),
+        workload_config.sensors,
+        workload_config.readings_per_sensor,
+        workload_config.distinct_patterns(),
+    );
+
+    let experiment_config = if full {
+        CompressionExperimentConfig::paper_default()
+    } else {
+        CompressionExperimentConfig::fast_test()
+    };
+    let results = run_compression_experiment(&workload, &CompressionMode::all(), &experiment_config)
+        .expect("experiment runs");
+
+    let original = results
+        .iter()
+        .find(|r| r.mode == CompressionMode::Original)
+        .expect("original measured");
+    println!("\n{:<18} {:>14} {:>8}", "scenario", "payload bytes", "ratio");
+    for result in &results {
+        println!(
+            "{:<18} {:>14} {:>8.2}",
+            result.mode.label(),
+            result.resulting_bytes,
+            result.ratio
+        );
+    }
+    println!(
+        "\nsavings with dynamic learning: {:.0} % of {} MB never crosses the inter-switch link",
+        (1.0 - results
+            .iter()
+            .find(|r| r.mode == CompressionMode::DynamicLearning)
+            .unwrap()
+            .ratio)
+            * 100.0,
+        original.resulting_bytes / 1_000_000
+    );
+}

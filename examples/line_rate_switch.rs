@@ -1,0 +1,63 @@
+//! Raw-performance scenario: the Figure 4 / Figure 5 measurements — switch
+//! throughput and end-to-end latency with the switch doing nothing, encoding
+//! or decoding.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example line_rate_switch
+//! ```
+
+use zipline_repro::zipline::experiment::latency::{run_latency_experiment, LatencyExperimentConfig};
+use zipline_repro::zipline::experiment::learning::{
+    run_learning_experiment, LearningExperimentConfig,
+};
+use zipline_repro::zipline::experiment::throughput::{
+    run_throughput_experiment, ThroughputExperimentConfig,
+};
+
+fn main() {
+    // ---------------------------------------------------------------- Fig 4
+    let throughput_config = ThroughputExperimentConfig {
+        frames_per_run: 20_000,
+        ..ThroughputExperimentConfig::paper_default()
+    };
+    println!("Figure 4 — observed network throughput (generator capped at 7 Mpkt/s):");
+    println!("{:<8} {:>10} {:>12} {:>12}", "op", "frame [B]", "Gbit/s", "Mpkt/s");
+    let results = run_throughput_experiment(&throughput_config).expect("throughput experiment");
+    for r in &results {
+        println!("{:<8} {:>10} {:>12.1} {:>12.2}", r.operation.label(), r.frame_size, r.gbps, r.mpps);
+        assert_eq!(r.frames_dropped, 0, "the switch must never drop at line rate");
+    }
+
+    // ---------------------------------------------------------------- Fig 5
+    let latency_config = LatencyExperimentConfig::paper_default();
+    println!("\nFigure 5 — end-to-end RTT via the switch:");
+    println!("{:<8} {:>12} {:>12} {:>12}", "op", "mean [µs]", "min [µs]", "max [µs]");
+    let results = run_latency_experiment(&latency_config).expect("latency experiment");
+    for r in &results {
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>12.2}",
+            r.operation.label(),
+            r.mean_rtt.as_micros_f64(),
+            r.min_rtt.as_micros_f64(),
+            r.max_rtt.as_micros_f64()
+        );
+    }
+
+    // ------------------------------------------------- dynamic learning
+    let learning_config = LearningExperimentConfig {
+        repetitions: 5,
+        ..LearningExperimentConfig::paper_default()
+    };
+    let result = run_learning_experiment(&learning_config).expect("learning experiment");
+    println!(
+        "\nDynamic learning: a new basis-ID pair becomes effective after {:.2} ± {:.2} ms \
+         (paper: 1.77 ± 0.08 ms)",
+        result.mean_delay.as_millis_f64(),
+        result.stddev.as_millis_f64(),
+    );
+    println!(
+        "packets of the same basis that stayed uncompressed while learning: {:?}",
+        result.uncompressed_during_learning
+    );
+}

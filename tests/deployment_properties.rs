@@ -1,0 +1,63 @@
+//! Property test over the whole system: whatever mix of payloads is offered,
+//! the two-switch ZipLine deployment delivers every packet byte-exactly and
+//! its statistics remain consistent.
+
+use proptest::prelude::*;
+use zipline_repro::zipline::deployment::{DeploymentConfig, ZipLineDeployment};
+
+/// Payload strategies: chunk-sized (compressible), short (passed through),
+/// and oversized (first chunk compressed, tail carried).
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Chunk-sized payloads drawn from a small alphabet: high redundancy.
+        proptest::collection::vec(0u8..4, 32..=32),
+        // Chunk-sized payloads of arbitrary bytes.
+        proptest::collection::vec(any::<u8>(), 32..=32),
+        // Short payloads (below the chunk size).
+        proptest::collection::vec(any::<u8>(), 0..31),
+        // Payloads with a tail beyond the first chunk.
+        proptest::collection::vec(any::<u8>(), 33..90),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_payload_mix_is_delivered_byte_exactly(
+        payloads in proptest::collection::vec(payload_strategy(), 1..120)
+    ) {
+        let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+        let received = deployment.run_payloads(&payloads).unwrap();
+        prop_assert_eq!(received, payloads);
+    }
+
+    #[test]
+    fn encoder_statistics_always_balance(
+        payloads in proptest::collection::vec(payload_strategy(), 1..80)
+    ) {
+        let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+        let frames = payloads
+            .iter()
+            .map(|p| {
+                zipline_repro::zipline_net::EthernetFrame::new(
+                    zipline_repro::zipline_net::MacAddress::local(2),
+                    zipline_repro::zipline_net::MacAddress::local(1),
+                    zipline_repro::zipline_net::ethernet::ETHERTYPE_IPV4,
+                    p.clone(),
+                )
+            })
+            .collect();
+        let outcome = deployment.run_frames(frames).unwrap();
+        // Every chunk that entered left in exactly one of the three forms.
+        prop_assert!(outcome.encoder_stats.is_consistent());
+        prop_assert_eq!(outcome.frames_received, payloads.len() as u64);
+        prop_assert_eq!(outcome.decoder_stats.decode_failures, 0);
+        // Compression never inflates a payload by more than the type-2
+        // overhead (1 byte of padding per chunk, for the paper parameters).
+        prop_assert!(
+            outcome.payload_bytes_between_switches
+                <= outcome.payload_bytes_in + outcome.encoder_stats.chunks_in
+        );
+    }
+}

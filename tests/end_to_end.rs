@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: workloads → switch pipeline → byte-exact
+//! recovery, plus consistency of the statistics the experiments rely on.
+
+use zipline_repro::zipline::deployment::{DeploymentConfig, ZipLineDeployment};
+use zipline_repro::zipline_gd::GdConfig;
+use zipline_repro::zipline_net::ethernet::ETHERTYPE_IPV4;
+use zipline_repro::zipline_net::{EthernetFrame, MacAddress};
+use zipline_repro::zipline_traces::dns::{DnsWorkload, DnsWorkloadConfig};
+use zipline_repro::zipline_traces::sensor::{SensorWorkload, SensorWorkloadConfig};
+use zipline_repro::zipline_traces::ChunkWorkload;
+
+fn frames_from_workload(workload: &dyn ChunkWorkload, limit: usize) -> Vec<EthernetFrame> {
+    workload
+        .chunks()
+        .take(limit)
+        .map(|chunk| {
+            EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, chunk)
+        })
+        .collect()
+}
+
+#[test]
+fn sensor_workload_roundtrips_through_the_deployment() {
+    let workload = SensorWorkload::new(SensorWorkloadConfig {
+        chunks: 3_000,
+        sensors: 32,
+        readings_per_sensor: 10,
+        ..SensorWorkloadConfig::small()
+    });
+    let frames = frames_from_workload(&workload, 3_000);
+    let expected: Vec<Vec<u8>> = frames.iter().map(|f| f.payload.clone()).collect();
+
+    let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+    let outcome = deployment.run_frames(frames).unwrap();
+
+    assert_eq!(outcome.frames_received, 3_000);
+    assert_eq!(outcome.received_payloads, expected, "payloads restored byte-exactly");
+    assert_eq!(outcome.decoder_stats.decode_failures, 0);
+    // The workload is highly redundant: most packets leave compressed.
+    assert!(
+        outcome.encoder_stats.emitted_compressed > 2_000,
+        "compressed: {}",
+        outcome.encoder_stats.emitted_compressed
+    );
+    // Statistics are internally consistent.
+    assert!(outcome.encoder_stats.is_consistent());
+    assert_eq!(
+        outcome.encoder_stats.emitted_compressed
+            + outcome.encoder_stats.emitted_uncompressed
+            + outcome.encoder_stats.emitted_raw,
+        3_000
+    );
+    assert!(outcome.compression_ratio().unwrap() < 0.3);
+}
+
+#[test]
+fn dns_workload_roundtrips_through_the_deployment() {
+    let workload = DnsWorkload::new(DnsWorkloadConfig {
+        queries: 2_000,
+        distinct_names: 100,
+        ..DnsWorkloadConfig::small()
+    });
+    let frames = frames_from_workload(&workload, 2_000);
+    let expected: Vec<Vec<u8>> = frames.iter().map(|f| f.payload.clone()).collect();
+
+    let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+    let outcome = deployment.run_frames(frames).unwrap();
+
+    assert_eq!(outcome.received_payloads, expected);
+    assert_eq!(outcome.decoder_stats.decode_failures, 0);
+    assert!(outcome.compression_ratio().unwrap() < 0.5);
+}
+
+#[test]
+fn static_table_matches_the_paper_ratio_on_a_small_run() {
+    // With every basis pre-installed, each 32-byte chunk travels as 3 bytes:
+    // ratio 0.094, Figure 3's "static table" bar.
+    let workload = SensorWorkload::new(SensorWorkloadConfig {
+        chunks: 1_000,
+        sensors: 8,
+        readings_per_sensor: 4,
+        noise_probability: 0.0,
+        ..SensorWorkloadConfig::small()
+    });
+    let chunks: Vec<Vec<u8>> = workload.chunks().collect();
+    let frames = frames_from_workload(&workload, 1_000);
+
+    let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+    deployment.preload_static_table(chunks);
+    let outcome = deployment.run_frames(frames).unwrap();
+
+    assert_eq!(outcome.encoder_stats.emitted_uncompressed, 0);
+    assert_eq!(outcome.encoder_stats.emitted_compressed, 1_000);
+    let ratio = outcome.compression_ratio().unwrap();
+    assert!((ratio - 3.0 / 32.0).abs() < 0.001, "ratio = {ratio}");
+}
+
+#[test]
+fn large_frames_with_trailing_bytes_survive_compression() {
+    // Frames bigger than one chunk: the first 32 bytes are compressed, the
+    // rest is carried verbatim (how the Figure 4 encode runs treat 1500 B
+    // frames).
+    let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+    let payloads: Vec<Vec<u8>> = (0..200u8)
+        .map(|i| {
+            let mut p = vec![0x44u8; 32];
+            p.extend((0..100).map(|j| (j as u8).wrapping_add(i)));
+            p
+        })
+        .collect();
+    let received = deployment.run_payloads(&payloads).unwrap();
+    assert_eq!(received, payloads);
+}
+
+#[test]
+fn different_hamming_parameters_work_end_to_end() {
+    for m in [4u32, 6, 10] {
+        let gd = GdConfig::for_parameters(m, 12).unwrap();
+        let chunk_bytes = gd.chunk_bytes;
+        let config = DeploymentConfig { gd, ..DeploymentConfig::fast_test() };
+        let mut deployment = ZipLineDeployment::new(config).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..100u8)
+            .map(|i| (0..chunk_bytes).map(|j| (j as u8) ^ (i % 3)).collect())
+            .collect();
+        let received = deployment.run_payloads(&payloads).unwrap();
+        assert_eq!(received, payloads, "m = {m}");
+    }
+}
+
+#[test]
+fn corrupted_compressed_traffic_does_not_crash_the_decoder() {
+    // Inject a compressed frame with an identifier the decoder never learned;
+    // the deployment must keep running and count the failure.
+    use zipline_repro::zipline_gd::packet::ETHERTYPE_ZIPLINE_COMPRESSED;
+
+    let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+    let mut frames = vec![EthernetFrame::new(
+        MacAddress::local(2),
+        MacAddress::local(1),
+        ETHERTYPE_ZIPLINE_COMPRESSED,
+        vec![0x12, 0x80, 0x03], // syndrome 0x12, id never installed
+    )];
+    frames.extend(frames_from_workload(
+        &SensorWorkload::new(SensorWorkloadConfig { chunks: 50, ..SensorWorkloadConfig::small() }),
+        50,
+    ));
+    let outcome = deployment.run_frames(frames).unwrap();
+    assert_eq!(outcome.frames_received, 51);
+    assert_eq!(outcome.decoder_stats.decode_failures, 1);
+}

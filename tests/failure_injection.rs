@@ -1,0 +1,245 @@
+//! Failure-injection tests: the deployment must stay lossless (or fail
+//! loudly) when the control plane misbehaves, queues overflow, or traffic is
+//! corrupted — situations the paper's two-phase install protocol is designed
+//! to survive.
+
+use std::any::Any;
+use zipline_repro::zipline::control::{ControlMessage, ETHERTYPE_ZIPLINE_CONTROL};
+use zipline_repro::zipline::decoder::{DecoderConfig, UnknownIdPolicy, ZipLineDecodeProgram};
+use zipline_repro::zipline::encoder::{EncoderConfig, ZipLineEncodeProgram};
+use zipline_repro::zipline_gd::packet::ETHERTYPE_ZIPLINE_COMPRESSED;
+use zipline_repro::zipline_net::ethernet::ETHERTYPE_IPV4;
+use zipline_repro::zipline_net::host::{CaptureSink, GeneratorConfig, TrafficGenerator};
+use zipline_repro::zipline_net::link::LinkParams;
+use zipline_repro::zipline_net::sim::{Network, Node, NodeCtx, PortId};
+use zipline_repro::zipline_net::time::{DataRate, SimDuration, SimTime};
+use zipline_repro::zipline_net::{EthernetFrame, MacAddress};
+use zipline_repro::zipline_switch::node::{SwitchConfig, SwitchNode};
+
+/// A node that sits on the control channel and drops every Nth control frame
+/// (or all of them), otherwise forwarding between its two ports.
+struct LossyControlChannel {
+    drop_every: u64,
+    seen: u64,
+    dropped: u64,
+}
+
+impl LossyControlChannel {
+    fn new(drop_every: u64) -> Self {
+        Self { drop_every, seen: 0, dropped: 0 }
+    }
+}
+
+impl Node for LossyControlChannel {
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, frame: EthernetFrame) {
+        self.seen += 1;
+        if self.drop_every > 0 && self.seen % self.drop_every == 0 {
+            self.dropped += 1;
+            return;
+        }
+        // Two-port wire: 0 <-> 1.
+        ctx.send(1 - port, frame);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Builds the usual sender → encoder → decoder → receiver chain but routes
+/// the control channel through a lossy middlebox.
+fn run_with_lossy_control(drop_every: u64, packets: u64) -> (u64, u64, u64, u64) {
+    let mut net = Network::new();
+    let payload = vec![0x42u8; 32];
+    let frame =
+        EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload);
+    let sender = net.add_node(Box::new(TrafficGenerator::new(GeneratorConfig {
+        frames: vec![frame],
+        count: packets,
+        nic_rate: DataRate::LINE_RATE_100G,
+        max_packets_per_second: Some(100_000.0),
+        port: 0,
+        start: SimTime::ZERO,
+    })));
+
+    let switch_config = SwitchConfig {
+        ports: 3,
+        pipeline_latency: SimDuration::from_nanos(100),
+        control_plane_latency: SimDuration::from_micros(10),
+        cpu_ports: vec![2],
+        digest_queue_capacity: 64,
+    };
+    let encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+    let encoder_switch =
+        net.add_node(Box::new(SwitchNode::new(switch_config.clone(), encoder).unwrap()));
+    let decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+    let decoder_switch =
+        net.add_node(Box::new(SwitchNode::new(switch_config, decoder).unwrap()));
+    let receiver = net.add_node(Box::new(CaptureSink::counting()));
+    let lossy = net.add_node(Box::new(LossyControlChannel::new(drop_every)));
+
+    net.connect((sender, 0), (encoder_switch, 0), LinkParams::ideal()).unwrap();
+    net.connect((encoder_switch, 1), (decoder_switch, 0), LinkParams::ideal()).unwrap();
+    net.connect((decoder_switch, 1), (receiver, 0), LinkParams::ideal()).unwrap();
+    // Control channel through the lossy middlebox.
+    net.connect((encoder_switch, 2), (lossy, 0), LinkParams::ideal()).unwrap();
+    net.connect((lossy, 1), (decoder_switch, 2), LinkParams::ideal()).unwrap();
+
+    net.schedule_timer(SimTime::ZERO, sender, 0);
+    net.run(packets * 20 + 10_000);
+
+    let received = net.node_as::<CaptureSink>(receiver).unwrap().stats().frames_received;
+    let encoder_node = net.node_as::<SwitchNode<ZipLineEncodeProgram>>(encoder_switch).unwrap();
+    let decoder_node = net.node_as::<SwitchNode<ZipLineDecodeProgram>>(decoder_switch).unwrap();
+    let compressed = encoder_node.program().stats().emitted_compressed;
+    let failures = decoder_node.program().stats().decode_failures;
+    let dropped_control = net.node_as::<LossyControlChannel>(lossy).unwrap().dropped;
+    (received, compressed, failures, dropped_control)
+}
+
+#[test]
+fn control_channel_loss_delays_but_never_corrupts() {
+    // Dropping every second control frame delays activation (install or ack
+    // may be lost) but the two-phase protocol guarantees that whatever *is*
+    // compressed can be decompressed: zero decode failures, every packet
+    // delivered.
+    let (received, compressed, failures, dropped) = run_with_lossy_control(2, 500);
+    assert_eq!(received, 500);
+    assert_eq!(failures, 0, "a compressed packet must never be undecodable");
+    assert!(dropped > 0, "the middlebox did drop control traffic");
+    // Depending on which frame was dropped (install vs ack) compression may
+    // or may not have become active; either is acceptable, corruption is not.
+    let _ = compressed;
+}
+
+#[test]
+fn total_control_channel_loss_disables_compression_but_not_delivery() {
+    let (received, compressed, failures, dropped) = run_with_lossy_control(1, 300);
+    assert_eq!(received, 300);
+    assert_eq!(compressed, 0, "without acks the encoder must never compress");
+    assert_eq!(failures, 0);
+    assert!(dropped > 0);
+}
+
+#[test]
+fn digest_queue_overflow_is_counted_and_harmless() {
+    // A burst of distinct bases larger than the digest queue: some digests
+    // are dropped (as on the real ASIC), those bases simply stay
+    // uncompressed until a later packet's digest gets through.
+    let mut net = Network::new();
+    let frames: Vec<EthernetFrame> = (0..200u32)
+        .map(|i| {
+            let mut payload = vec![0u8; 32];
+            payload[0..4].copy_from_slice(&i.to_be_bytes());
+            EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload)
+        })
+        .collect();
+    let sender = net.add_node(Box::new(TrafficGenerator::new(GeneratorConfig {
+        count: frames.len() as u64,
+        frames,
+        nic_rate: DataRate::LINE_RATE_100G,
+        max_packets_per_second: None, // burst as fast as possible
+        port: 0,
+        start: SimTime::ZERO,
+    })));
+    let switch_config = SwitchConfig {
+        ports: 3,
+        pipeline_latency: SimDuration::from_nanos(100),
+        control_plane_latency: SimDuration::from_millis(1),
+        cpu_ports: vec![2],
+        digest_queue_capacity: 16,
+    };
+    let encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+    let encoder_switch =
+        net.add_node(Box::new(SwitchNode::new(switch_config, encoder).unwrap()));
+    let receiver = net.add_node(Box::new(CaptureSink::counting()));
+    net.connect((sender, 0), (encoder_switch, 0), LinkParams::ideal()).unwrap();
+    net.connect((encoder_switch, 1), (receiver, 0), LinkParams::ideal()).unwrap();
+    net.schedule_timer(SimTime::ZERO, sender, 0);
+    net.run(50_000);
+
+    let node = net.node_as::<SwitchNode<ZipLineEncodeProgram>>(encoder_switch).unwrap();
+    assert!(node.stats().digests_dropped > 0, "the 16-entry queue must overflow");
+    assert_eq!(
+        net.node_as::<CaptureSink>(receiver).unwrap().stats().frames_received,
+        200,
+        "every packet is still forwarded"
+    );
+}
+
+#[test]
+fn decoder_drop_policy_discards_undecodable_packets() {
+    // With the Drop policy, a compressed packet with an unknown identifier is
+    // dropped rather than forwarded in undecodable form.
+    let mut decoder = ZipLineDecodeProgram::new(DecoderConfig {
+        unknown_id_policy: UnknownIdPolicy::Drop,
+        ..DecoderConfig::paper_default()
+    })
+    .unwrap();
+    let frame = EthernetFrame::new(
+        MacAddress::local(2),
+        MacAddress::local(1),
+        ETHERTYPE_ZIPLINE_COMPRESSED,
+        vec![0x00, 0x00, 0x09],
+    );
+    let mut ctx = zipline_repro::zipline_switch::packet_ctx::PacketContext::new(0, frame);
+    use zipline_repro::zipline_switch::program::PipelineProgram;
+    decoder.ingress(&mut ctx, SimTime::ZERO);
+    assert!(ctx.dropped);
+    assert_eq!(decoder.stats().decode_failures, 1);
+}
+
+#[test]
+fn malformed_control_frames_are_ignored_by_both_sides() {
+    use zipline_repro::zipline_switch::program::PipelineProgram;
+    let mut encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+    let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+    for payload in [vec![], vec![0xFF], vec![1, 2], vec![9; 64]] {
+        let frame = EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            ETHERTYPE_ZIPLINE_CONTROL,
+            payload,
+        );
+        assert!(encoder.handle_control_packet(frame.clone(), SimTime::ZERO).is_empty());
+        assert!(decoder.handle_control_packet(frame, SimTime::ZERO).is_empty());
+    }
+}
+
+#[test]
+fn replayed_stale_install_cannot_corrupt_an_active_mapping() {
+    use zipline_repro::zipline_switch::program::PipelineProgram;
+    // Learn basis A normally.
+    let mut encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+    let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+    let payload_a = vec![0xAAu8; 32];
+
+    let mut ctx = zipline_repro::zipline_switch::packet_ctx::PacketContext::new(
+        0,
+        EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload_a.clone()),
+    );
+    encoder.ingress(&mut ctx, SimTime::ZERO);
+    let digest = ctx.digests.pop().unwrap();
+    let installs = encoder.handle_digest(digest, SimTime::from_micros(10));
+    let install_frame = installs[0].1.clone();
+    let acks = decoder.handle_control_packet(install_frame.clone(), SimTime::from_micros(20));
+    encoder.handle_control_packet(acks[0].1.clone(), SimTime::from_micros(30));
+    assert_eq!(encoder.active_mappings(), 1);
+
+    // An attacker (or a confused controller) replays the same install with a
+    // mangled basis but the *old* nonce after the mapping is already active;
+    // the decoder installs whatever it is told (it has no way to know), but a
+    // replay of the matching ack must not cause the encoder to activate a
+    // second, inconsistent mapping.
+    let ControlMessage::InstallMapping { id, nonce, .. } =
+        ControlMessage::from_frame(&install_frame).unwrap()
+    else {
+        panic!("expected install");
+    };
+    let stale_ack = ControlMessage::MappingInstalled { id, nonce }
+        .to_frame(MacAddress::local(0xD0), MacAddress::local(0xE0));
+    encoder.handle_control_packet(stale_ack, SimTime::from_micros(40));
+    assert_eq!(encoder.active_mappings(), 1, "no duplicate/ghost mapping appears");
+}

@@ -1,0 +1,74 @@
+//! Cross-crate property tests: the GD invariants that make ZipLine lossless,
+//! checked through the public APIs of the workspace crates together.
+
+use proptest::prelude::*;
+use zipline_repro::zipline_gd::codec::{compress, decompress, ChunkCodec};
+use zipline_repro::zipline_gd::{BitVec, GdConfig, HammingCode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GD itself is lossless for every supported Hamming parameter.
+    #[test]
+    fn chunk_roundtrip_for_every_parameter(
+        m in 3u32..=10,
+        seed in any::<u64>(),
+    ) {
+        let config = GdConfig::for_parameters(m, 8).unwrap();
+        let codec = ChunkCodec::new(&config).unwrap();
+        let mut state = seed;
+        let chunk: Vec<u8> = (0..config.chunk_bytes)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let encoded = codec.encode_chunk(&chunk).unwrap();
+        prop_assert_eq!(codec.decode_chunk(&encoded).unwrap(), chunk);
+    }
+
+    /// Stream compression round-trips arbitrary buffers, and its size never
+    /// exceeds one uncompressed record per chunk plus the raw tail.
+    #[test]
+    fn stream_roundtrip_and_size_bound(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let config = GdConfig::paper_default();
+        let stream = compress(&config, &data).unwrap();
+        prop_assert_eq!(decompress(&stream).unwrap(), data.clone());
+        let worst_case = (data.len() / 32 + 1) * 33 + data.len() % 32 + 64;
+        prop_assert!(stream.serialized_len() <= worst_case);
+    }
+
+    /// The deviation (syndrome) always identifies the single flipped bit:
+    /// flipping any one bit of a codeword and deconstructing gives back the
+    /// basis of the codeword.
+    #[test]
+    fn single_bit_errors_never_change_the_basis(flip in 0usize..255, seed in any::<u64>()) {
+        let code = HammingCode::new(8).unwrap();
+        let mut state = seed;
+        let mut message = BitVec::zeros(code.k());
+        for i in 0..code.k() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if state >> 63 == 1 {
+                message.set(i, true);
+            }
+        }
+        let codeword = code.encode(&message).unwrap();
+        let mut corrupted = codeword.clone();
+        corrupted.flip(flip);
+        let (recovered, position) = code.decode(&corrupted).unwrap();
+        prop_assert_eq!(recovered, codeword);
+        prop_assert_eq!(position, Some(flip));
+    }
+}
+
+#[test]
+fn every_table1_parameter_produces_a_working_codec() {
+    for m in 3u32..=13 {
+        let config = GdConfig::for_parameters(m, 10).unwrap();
+        let codec = ChunkCodec::new(&config).unwrap();
+        let chunk: Vec<u8> = (0..config.chunk_bytes).map(|i| (i * 37 % 251) as u8).collect();
+        let encoded = codec.encode_chunk(&chunk).unwrap();
+        assert_eq!(codec.decode_chunk(&encoded).unwrap(), chunk, "m = {m}");
+        assert_eq!(encoded.basis.len(), config.k(), "m = {m}");
+    }
+}
