@@ -22,8 +22,9 @@ fn bench_hamming_parameter_sweep(c: &mut Criterion) {
     for m in [3u32, 5, 8, 10, 12] {
         let config = GdConfig::for_parameters(m, 15).unwrap();
         let codec = ChunkCodec::new(&config).unwrap();
-        let chunk: Vec<u8> =
-            (0..config.chunk_bytes).map(|i| (i as u8).wrapping_mul(73).wrapping_add(5)).collect();
+        let chunk: Vec<u8> = (0..config.chunk_bytes)
+            .map(|i| (i as u8).wrapping_mul(73).wrapping_add(5))
+            .collect();
         group.throughput(Throughput::Bytes(config.chunk_bytes as u64));
         group.bench_with_input(BenchmarkId::new("encode_chunk_m", m), &m, |b, _| {
             b.iter(|| black_box(codec.encode_chunk(black_box(&chunk)).unwrap()))
@@ -48,13 +49,17 @@ fn bench_dictionary_capacity_sweep(c: &mut Criterion) {
                 black_box(dictionary.lookup_basis(black_box(&present), now, true))
             })
         });
-        group.bench_with_input(BenchmarkId::new("insert_with_eviction", id_bits), &id_bits, |b, _| {
-            let mut now = u64::MAX / 2;
-            b.iter(|| {
-                now += 1;
-                black_box(dictionary.insert(BitVec::from_u64(now, 40), now).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_with_eviction", id_bits),
+            &id_bits,
+            |b, _| {
+                let mut now = u64::MAX / 2;
+                b.iter(|| {
+                    now += 1;
+                    black_box(dictionary.insert(BitVec::from_u64(now, 40), now).unwrap())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -8,14 +8,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use zipline_gd::bits::BitVec;
-use zipline_gd::codec::ChunkCodec;
+use zipline_gd::codec::{ChunkCodec, EncodeScratch};
 use zipline_gd::crc::{CrcEngine, CrcSpec};
 use zipline_gd::hamming::HammingCode;
 use zipline_gd::transform::HammingTransform;
 use zipline_gd::GdConfig;
 
 fn chunk_bytes(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(7))
+        .collect()
 }
 
 fn bench_crc(c: &mut Criterion) {
@@ -31,6 +33,33 @@ fn bench_crc(c: &mut Criterion) {
     group.bench_function("table_driven", |b| {
         b.iter(|| black_box(engine.compute_bytes(black_box(&bytes))))
     });
+    group.bench_function("word_parallel", |b| {
+        b.iter(|| black_box(engine.checksum_words(black_box(bits.words()), bits.len())))
+    });
+    group.finish();
+}
+
+/// The PR-1 comparison group: table-driven word-path syndromes vs the
+/// bit-serial reference, over the exact `n`-bit Hamming blocks the GD data
+/// path hashes. Acceptance: `word_parallel` >= 5x faster than `bit_serial`.
+fn bench_syndrome_word_vs_bit_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syndrome_word_vs_bit_serial");
+    for m in [3u32, 8, 11] {
+        let code = HammingCode::new(m).unwrap();
+        let n = code.n();
+        let word: BitVec = (0..n).map(|i| i % 5 < 2).collect();
+        group.bench_with_input(BenchmarkId::new("bit_serial", m), &m, |b, _| {
+            b.iter(|| black_box(code.crc().compute_bits_serial(black_box(&word))))
+        });
+        group.bench_with_input(BenchmarkId::new("word_parallel", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    code.crc()
+                        .checksum_words(black_box(word.words()), word.len()),
+                )
+            })
+        });
+    }
     group.finish();
 }
 
@@ -90,5 +119,48 @@ fn bench_chunk_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crc, bench_hamming, bench_transform, bench_chunk_codec);
+/// The PR-1 batch-encode comparison: `encode_chunks` with a reused scratch
+/// vs the per-chunk `encode_chunk` loop, over a 64-chunk (2 KiB) buffer.
+/// Acceptance: `batch_scratch` >= 2x faster than `per_chunk_loop`.
+fn bench_batch_encode(c: &mut Criterion) {
+    const CHUNKS: usize = 64;
+    let config = GdConfig::paper_default();
+    let codec = ChunkCodec::new(&config).unwrap();
+    let data = chunk_bytes(config.chunk_bytes * CHUNKS);
+
+    let mut group = c.benchmark_group("batch_encode_64_chunks");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("per_chunk_loop", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(CHUNKS);
+            for chunk in data.chunks_exact(config.chunk_bytes) {
+                out.push(codec.encode_chunk(black_box(chunk)).unwrap());
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("batch_scratch", |b| {
+        // Steady state: scratch and output entries recycled across batches,
+        // so the encode itself performs no heap allocation.
+        let mut scratch = EncodeScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            let tail = codec
+                .encode_chunks_into(black_box(&data), &mut scratch, &mut out)
+                .unwrap();
+            black_box((&out, tail));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_syndrome_word_vs_bit_serial,
+    bench_hamming,
+    bench_transform,
+    bench_chunk_codec,
+    bench_batch_encode,
+);
 criterion_main!(benches);

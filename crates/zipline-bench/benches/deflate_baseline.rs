@@ -38,7 +38,9 @@ fn bench_gzip_levels(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("compress", format!("{level:?}")),
                 &level,
-                |b, &level| b.iter(|| black_box(zipline_deflate::gzip_compress(black_box(data), level))),
+                |b, &level| {
+                    b.iter(|| black_box(zipline_deflate::gzip_compress(black_box(data), level)))
+                },
             );
         }
         let compressed = zipline_deflate::gzip_compress(data, Level::Default);

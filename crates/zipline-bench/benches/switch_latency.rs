@@ -39,5 +39,9 @@ fn bench_reported_rtts_are_equal(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_latency_experiment, bench_reported_rtts_are_equal);
+criterion_group!(
+    benches,
+    bench_latency_experiment,
+    bench_reported_rtts_are_equal
+);
 criterion_main!(benches);

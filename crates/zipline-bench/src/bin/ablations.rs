@@ -8,10 +8,10 @@
 //! cargo run --release -p zipline-bench --bin ablations
 //! ```
 
-use zipline_bench::print_header;
 use zipline::experiment::compression::{
     run_compression_experiment, CompressionExperimentConfig, CompressionMode,
 };
+use zipline_bench::print_header;
 use zipline_gd::codec::ChunkCodec;
 use zipline_gd::dictionary::{BasisDictionary, EvictionPolicy};
 use zipline_gd::GdConfig;
@@ -34,12 +34,22 @@ fn workload(canonical_m: u32) -> SensorWorkload {
 /// chunks per packet.
 fn ablation_m() {
     print_header("Ablation 1 — Hamming parameter m (static-table ratio, 32-byte payload chunks)");
-    println!("{:>4} {:>8} {:>8} {:>12} {:>16} {:>12}", "m", "n", "k", "chunk [B]", "type-3 size [B]", "ratio");
+    println!(
+        "{:>4} {:>8} {:>8} {:>12} {:>16} {:>12}",
+        "m", "n", "k", "chunk [B]", "type-3 size [B]", "ratio"
+    );
     for m in [4u32, 6, 8, 10, 12] {
         // Keep 32-byte payloads; chunks larger than the payload are skipped.
         let config = GdConfig::for_parameters(m, 15).unwrap();
         if config.chunk_bytes > 32 {
-            println!("{m:>4} {:>8} {:>8} {:>12} {:>16} {:>12}", config.n(), config.k(), config.chunk_bytes, "-", "payload too small");
+            println!(
+                "{m:>4} {:>8} {:>8} {:>12} {:>16} {:>12}",
+                config.n(),
+                config.k(),
+                config.chunk_bytes,
+                "-",
+                "payload too small"
+            );
             continue;
         }
         // With a static table the whole payload compresses to: one type-3
@@ -65,10 +75,20 @@ fn ablation_id_bits() {
     print_header("Ablation 2 — identifier width (dictionary capacity vs distinct bases)");
     let workload = workload(8);
     let distinct = workload.config().distinct_patterns();
-    println!("workload: {} chunks, {} distinct bases", workload.total_chunks(), distinct);
-    println!("{:>8} {:>10} {:>14} {:>10}", "id bits", "capacity", "evictions", "hit rate");
+    println!(
+        "workload: {} chunks, {} distinct bases",
+        workload.total_chunks(),
+        distinct
+    );
+    println!(
+        "{:>8} {:>10} {:>14} {:>10}",
+        "id bits", "capacity", "evictions", "hit rate"
+    );
     for id_bits in [7u32, 9, 11, 15] {
-        let config = GdConfig { id_bits, ..GdConfig::paper_default() };
+        let config = GdConfig {
+            id_bits,
+            ..GdConfig::paper_default()
+        };
         let codec = ChunkCodec::new(&config).unwrap();
         let mut dictionary = BasisDictionary::with_id_bits(id_bits);
         let mut hits = 0u64;
@@ -101,7 +121,10 @@ fn ablation_id_bits() {
 fn ablation_learning_latency() {
     print_header("Ablation 3 — control-plane learning latency (dynamic-learning ratio)");
     let workload = workload(8);
-    println!("{:>22} {:>12} {:>14}", "per-switch latency", "ratio", "uncompressed");
+    println!(
+        "{:>22} {:>12} {:>14}",
+        "per-switch latency", "ratio", "uncompressed"
+    );
     for latency_us in [0u64, 50, 590, 2_000] {
         let mut config = CompressionExperimentConfig::paper_default();
         config.deployment.control_plane_latency = SimDuration::from_micros(latency_us);
@@ -130,7 +153,10 @@ fn ablation_eviction_policy() {
     });
     let config = GdConfig::paper_default();
     let codec = ChunkCodec::new(&config).unwrap();
-    println!("workload: {} distinct bases, dictionary capacity 512", workload.config().distinct_patterns());
+    println!(
+        "workload: {} distinct bases, dictionary capacity 512",
+        workload.config().distinct_patterns()
+    );
     println!("{:>8} {:>14} {:>10}", "policy", "evictions", "hit rate");
     for (label, policy) in [("LRU", EvictionPolicy::Lru), ("FIFO", EvictionPolicy::Fifo)] {
         let mut dictionary = BasisDictionary::with_policy(512, policy, None);

@@ -6,8 +6,8 @@
 //! cargo run --release -p zipline-bench --bin dynamic_learning
 //! ```
 
-use zipline_bench::{print_comparison, print_header};
 use zipline::experiment::learning::{run_learning_experiment, LearningExperimentConfig};
+use zipline_bench::{print_comparison, print_header};
 
 fn main() {
     print_header("Dynamic learning — time to record and apply a new basis-ID pair");
@@ -19,14 +19,22 @@ fn main() {
     );
 
     let result = run_learning_experiment(&config).expect("learning experiment");
-    println!("{:<14} {:>14} {:>22}", "repetition", "delay [ms]", "uncompressed packets");
+    println!(
+        "{:<14} {:>14} {:>22}",
+        "repetition", "delay [ms]", "uncompressed packets"
+    );
     for (i, (delay, uncompressed)) in result
         .delays
         .iter()
         .zip(result.uncompressed_during_learning.iter())
         .enumerate()
     {
-        println!("{:<14} {:>14.3} {:>22}", i + 1, delay.as_millis_f64(), uncompressed);
+        println!(
+            "{:<14} {:>14.3} {:>22}",
+            i + 1,
+            delay.as_millis_f64(),
+            uncompressed
+        );
     }
     print_comparison(
         "\nlearning delay",

@@ -8,10 +8,10 @@
 //! cargo run --release -p zipline-bench --bin figure3 -- --full # paper-scale datasets
 //! ```
 
-use zipline_bench::{format_mb, full_scale_requested, print_comparison, print_header};
 use zipline::experiment::compression::{
     run_compression_experiment, CompressionExperimentConfig, CompressionMode,
 };
+use zipline_bench::{format_mb, full_scale_requested, print_comparison, print_header};
 use zipline_traces::dns::{DnsWorkload, DnsWorkloadConfig};
 use zipline_traces::sensor::{SensorWorkload, SensorWorkloadConfig};
 use zipline_traces::ChunkWorkload;
@@ -54,7 +54,11 @@ fn run_dataset(
             .map(|(_, r)| format!("{r:.2}"))
             .unwrap_or_else(|| "n/a".to_string());
         print_comparison(
-            &format!("{:<18} {:>12}", result.mode.label(), format_mb(result.resulting_bytes)),
+            &format!(
+                "{:<18} {:>12}",
+                result.mode.label(),
+                format_mb(result.resulting_bytes)
+            ),
             &paper_ratio,
             &format!("{:.2}", result.ratio),
         );
@@ -84,7 +88,11 @@ fn main() {
     let dns_config = if full {
         DnsWorkloadConfig::paper_scale()
     } else {
-        DnsWorkloadConfig { queries: 100_000, distinct_names: 1_000, ..DnsWorkloadConfig::paper_scale() }
+        DnsWorkloadConfig {
+            queries: 100_000,
+            distinct_names: 1_000,
+            ..DnsWorkloadConfig::paper_scale()
+        }
     };
 
     let experiment_config = if full {
@@ -117,7 +125,13 @@ fn main() {
         CompressionMode::Gzip,
     ];
     let dns_workload = DnsWorkload::new(dns_config);
-    run_dataset("DNS queries", &dns_workload, &dns_modes, PAPER_DNS, &experiment_config);
+    run_dataset(
+        "DNS queries",
+        &dns_workload,
+        &dns_modes,
+        PAPER_DNS,
+        &experiment_config,
+    );
 
     println!(
         "\nShape to check: no-table ≈ 1.03 (padding overhead), static ≈ 0.09, dynamic slightly \

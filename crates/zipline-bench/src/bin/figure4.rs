@@ -7,15 +7,19 @@
 //! cargo run --release -p zipline-bench --bin figure4 -- --full   # longer runs
 //! ```
 
-use zipline_bench::{full_scale_requested, print_header};
 use zipline::experiment::throughput::{
     run_throughput_experiment, SwitchOperation, ThroughputExperimentConfig,
 };
+use zipline_bench::{full_scale_requested, print_header};
 
 fn main() {
     print_header("Figure 4 — Observed network throughput (Gbit/s and Mpkt/s)");
     let config = ThroughputExperimentConfig {
-        frames_per_run: if full_scale_requested() { 2_000_000 } else { 100_000 },
+        frames_per_run: if full_scale_requested() {
+            2_000_000
+        } else {
+            100_000
+        },
         ..ThroughputExperimentConfig::paper_default()
     };
     println!(

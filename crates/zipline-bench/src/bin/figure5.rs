@@ -5,8 +5,8 @@
 //! cargo run --release -p zipline-bench --bin figure5
 //! ```
 
-use zipline_bench::{print_comparison, print_header};
 use zipline::experiment::latency::{run_latency_experiment, LatencyExperimentConfig};
+use zipline_bench::{print_comparison, print_header};
 
 fn main() {
     print_header("Figure 5 — Observed end-to-end latency (RTT via the switch)");
@@ -17,7 +17,10 @@ fn main() {
     );
 
     let results = run_latency_experiment(&config).expect("latency experiment");
-    println!("{:<8} {:>12} {:>12} {:>12}", "op", "mean [µs]", "min [µs]", "max [µs]");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "op", "mean [µs]", "min [µs]", "max [µs]"
+    );
     for r in &results {
         println!(
             "{:<8} {:>12.2} {:>12.2} {:>12.2}",

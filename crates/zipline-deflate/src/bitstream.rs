@@ -96,7 +96,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, bit_buffer: 0, bit_count: 0 }
+        Self {
+            data,
+            pos: 0,
+            bit_buffer: 0,
+            bit_count: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -114,7 +119,11 @@ impl<'a> BitReader<'a> {
         if self.bit_count < count {
             return Err(DeflateError::UnexpectedEof);
         }
-        let mask = if count == 32 { u32::MAX } else { (1u32 << count) - 1 };
+        let mask = if count == 32 {
+            u32::MAX
+        } else {
+            (1u32 << count) - 1
+        };
         let value = (self.bit_buffer as u32) & mask;
         self.bit_buffer >>= count;
         self.bit_count -= count;

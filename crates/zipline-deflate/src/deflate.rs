@@ -109,7 +109,10 @@ fn block_stats(tokens: &[Token]) -> BlockStats {
         }
     }
     litlen_freqs[END_OF_BLOCK as usize] += 1;
-    BlockStats { litlen_freqs, dist_freqs }
+    BlockStats {
+        litlen_freqs,
+        dist_freqs,
+    }
 }
 
 /// Cost in bits of encoding the tokens with the given code lengths
@@ -139,23 +142,30 @@ fn write_tokens(
     for token in tokens {
         match *token {
             Token::Literal(b) => {
-                litlen.write(writer, b as usize).expect("literal symbol has a code");
+                litlen
+                    .write(writer, b as usize)
+                    .expect("literal symbol has a code");
             }
             Token::Match { length, distance } => {
                 let (sym, extra_bits, extra) = length_to_symbol(length as usize);
-                litlen.write(writer, sym as usize).expect("length symbol has a code");
+                litlen
+                    .write(writer, sym as usize)
+                    .expect("length symbol has a code");
                 if extra_bits > 0 {
                     writer.write_bits(extra as u32, extra_bits as u32);
                 }
                 let (dsym, dextra_bits, dextra) = distance_to_symbol(distance as usize);
-                dist.write(writer, dsym as usize).expect("distance symbol has a code");
+                dist.write(writer, dsym as usize)
+                    .expect("distance symbol has a code");
                 if dextra_bits > 0 {
                     writer.write_bits(dextra as u32, dextra_bits as u32);
                 }
             }
         }
     }
-    litlen.write(writer, END_OF_BLOCK as usize).expect("end-of-block has a code");
+    litlen
+        .write(writer, END_OF_BLOCK as usize)
+        .expect("end-of-block has a code");
 }
 
 fn write_fixed_block(writer: &mut BitWriter, tokens: &[Token], last: bool) {
@@ -251,7 +261,14 @@ impl DynamicHeader {
             cost_bits += clc_lengths[s.symbol as usize] as u64 + s.extra_bits as u64;
         }
 
-        Self { hlit, hdist, hclen, clc_lengths, cl_symbols, cost_bits }
+        Self {
+            hlit,
+            hdist,
+            hclen,
+            clc_lengths,
+            cl_symbols,
+            cost_bits,
+        }
     }
 
     fn write(&self, writer: &mut BitWriter) {
@@ -263,7 +280,8 @@ impl DynamicHeader {
         }
         let clc = HuffmanEncoder::from_lengths(&self.clc_lengths).expect("clc lengths valid");
         for s in &self.cl_symbols {
-            clc.write(writer, s.symbol as usize).expect("cl symbol has a code");
+            clc.write(writer, s.symbol as usize)
+                .expect("cl symbol has a code");
             if s.extra_bits > 0 {
                 writer.write_bits(s.extra as u32, s.extra_bits as u32);
             }
@@ -288,28 +306,52 @@ fn rle_code_lengths(lengths: &[u8]) -> Vec<ClSymbol> {
             while remaining >= 3 {
                 if remaining >= 11 {
                     let take = remaining.min(138);
-                    out.push(ClSymbol { symbol: 18, extra_bits: 7, extra: (take - 11) as u16 });
+                    out.push(ClSymbol {
+                        symbol: 18,
+                        extra_bits: 7,
+                        extra: (take - 11) as u16,
+                    });
                     remaining -= take;
                 } else {
                     let take = remaining.min(10);
-                    out.push(ClSymbol { symbol: 17, extra_bits: 3, extra: (take - 3) as u16 });
+                    out.push(ClSymbol {
+                        symbol: 17,
+                        extra_bits: 3,
+                        extra: (take - 3) as u16,
+                    });
                     remaining -= take;
                 }
             }
             for _ in 0..remaining {
-                out.push(ClSymbol { symbol: 0, extra_bits: 0, extra: 0 });
+                out.push(ClSymbol {
+                    symbol: 0,
+                    extra_bits: 0,
+                    extra: 0,
+                });
             }
         } else {
             // The first occurrence is sent literally; repeats may use 16.
-            out.push(ClSymbol { symbol: value as u16, extra_bits: 0, extra: 0 });
+            out.push(ClSymbol {
+                symbol: value as u16,
+                extra_bits: 0,
+                extra: 0,
+            });
             let mut remaining = run - 1;
             while remaining >= 3 {
                 let take = remaining.min(6);
-                out.push(ClSymbol { symbol: 16, extra_bits: 2, extra: (take - 3) as u16 });
+                out.push(ClSymbol {
+                    symbol: 16,
+                    extra_bits: 2,
+                    extra: (take - 3) as u16,
+                });
                 remaining -= take;
             }
             for _ in 0..remaining {
-                out.push(ClSymbol { symbol: value as u16, extra_bits: 0, extra: 0 });
+                out.push(ClSymbol {
+                    symbol: value as u16,
+                    extra_bits: 0,
+                    extra: 0,
+                });
             }
         }
         i += run;
@@ -324,7 +366,11 @@ mod tests {
 
     fn roundtrip(data: &[u8], level: Level) -> Vec<u8> {
         let compressed = deflate_compress(data, level);
-        assert_eq!(inflate_decompress(&compressed).unwrap(), data, "level {level:?}");
+        assert_eq!(
+            inflate_decompress(&compressed).unwrap(),
+            data,
+            "level {level:?}"
+        );
         compressed
     }
 
@@ -404,14 +450,10 @@ mod tests {
                     }
                 }
                 17 => {
-                    for _ in 0..(s.extra + 3) {
-                        expanded.push(0);
-                    }
+                    expanded.extend(std::iter::repeat_n(0, (s.extra + 3) as usize));
                 }
                 18 => {
-                    for _ in 0..(s.extra + 11) {
-                        expanded.push(0);
-                    }
+                    expanded.extend(std::iter::repeat_n(0, (s.extra + 11) as usize));
                 }
                 v => {
                     expanded.push(v as u8);
@@ -427,11 +469,19 @@ mod tests {
         // Tiny input: fixed block header is cheaper.
         let tiny = deflate_compress(b"abc", Level::Default);
         // BTYPE lives in bits 1..3 of the first byte.
-        assert_eq!((tiny[0] >> 1) & 0b11, 0b01, "tiny input should use a fixed block");
+        assert_eq!(
+            (tiny[0] >> 1) & 0b11,
+            0b01,
+            "tiny input should use a fixed block"
+        );
         // Large skewed input: dynamic must win.
         let data = b"aaaaaaaaaaaaaaaabbbbcccc".repeat(2000);
         let big = deflate_compress(&data, Level::Default);
-        assert_eq!((big[0] >> 1) & 0b11, 0b10, "large input should use a dynamic block");
+        assert_eq!(
+            (big[0] >> 1) & 0b11,
+            0b10,
+            "large input should use a dynamic block"
+        );
     }
 
     #[test]

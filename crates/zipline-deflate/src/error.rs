@@ -22,7 +22,10 @@ impl fmt::Display for DeflateError {
             DeflateError::Corrupt(msg) => write!(f, "corrupt DEFLATE stream: {msg}"),
             DeflateError::BadGzipHeader(msg) => write!(f, "bad gzip header: {msg}"),
             DeflateError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
         }
     }
@@ -39,10 +42,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(DeflateError::UnexpectedEof.to_string(), "unexpected end of input");
-        assert!(DeflateError::Corrupt("bad code".into()).to_string().contains("bad code"));
-        assert!(DeflateError::BadGzipHeader("magic".into()).to_string().contains("magic"));
-        let e = DeflateError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert_eq!(
+            DeflateError::UnexpectedEof.to_string(),
+            "unexpected end of input"
+        );
+        assert!(DeflateError::Corrupt("bad code".into())
+            .to_string()
+            .contains("bad code"));
+        assert!(DeflateError::BadGzipHeader("magic".into())
+            .to_string()
+            .contains("magic"));
+        let e = DeflateError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
         assert!(e.to_string().contains("0x00000001"));
     }
 }

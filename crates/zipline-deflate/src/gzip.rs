@@ -64,7 +64,10 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
     ]);
     let actual_crc = crc32(&out);
     if actual_crc != expected_crc {
-        return Err(DeflateError::ChecksumMismatch { expected: expected_crc, actual: actual_crc });
+        return Err(DeflateError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
     }
     if expected_len != out.len() as u32 {
         return Err(DeflateError::Corrupt(format!(
@@ -84,11 +87,16 @@ fn parse_header(data: &[u8]) -> Result<usize> {
         return Err(DeflateError::BadGzipHeader("wrong magic bytes".into()));
     }
     if data[2] != CM_DEFLATE {
-        return Err(DeflateError::BadGzipHeader(format!("unsupported method {}", data[2])));
+        return Err(DeflateError::BadGzipHeader(format!(
+            "unsupported method {}",
+            data[2]
+        )));
     }
     let flags = data[3];
     if flags & !(FTEXT | FHCRC | FEXTRA | FNAME | FCOMMENT) != 0 {
-        return Err(DeflateError::BadGzipHeader(format!("reserved flag bits set: {flags:#x}")));
+        return Err(DeflateError::BadGzipHeader(format!(
+            "reserved flag bits set: {flags:#x}"
+        )));
     }
     let mut offset = 10usize;
     if flags & FEXTRA != 0 {
@@ -158,7 +166,10 @@ mod tests {
         assert!(gzip_decompress(&gz).is_err());
         let mut gz = gzip_compress(&data, Level::Default);
         gz[n - 8] ^= 0xFF; // CRC
-        assert!(matches!(gzip_decompress(&gz), Err(DeflateError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            gzip_decompress(&gz),
+            Err(DeflateError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -168,11 +179,17 @@ mod tests {
 
         let mut bad_magic = gz.clone();
         bad_magic[0] = 0x00;
-        assert!(matches!(gzip_decompress(&bad_magic), Err(DeflateError::BadGzipHeader(_))));
+        assert!(matches!(
+            gzip_decompress(&bad_magic),
+            Err(DeflateError::BadGzipHeader(_))
+        ));
 
         let mut bad_method = gz.clone();
         bad_method[2] = 7;
-        assert!(matches!(gzip_decompress(&bad_method), Err(DeflateError::BadGzipHeader(_))));
+        assert!(matches!(
+            gzip_decompress(&bad_method),
+            Err(DeflateError::BadGzipHeader(_))
+        ));
 
         let mut reserved_flag = gz.clone();
         reserved_flag[3] = 0x80;

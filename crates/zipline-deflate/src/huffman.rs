@@ -17,7 +17,12 @@ use crate::error::{DeflateError, Result};
 /// code). If only one symbol has a non-zero frequency it receives length 1,
 /// as DEFLATE cannot express a zero-bit code.
 pub fn build_code_lengths(freqs: &[u64], max_bits: u32) -> Vec<u8> {
-    let active: Vec<usize> = freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(i, _)| i).collect();
+    let active: Vec<usize> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, _)| i)
+        .collect();
     let mut lengths = vec![0u8; freqs.len()];
     match active.len() {
         0 => return lengths,
@@ -78,7 +83,10 @@ impl HuffmanEncoder {
     /// Builds the canonical codes for the given lengths.
     pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
         let codes = assign_canonical_codes(lengths)?;
-        Ok(Self { codes, lengths: lengths.to_vec() })
+        Ok(Self {
+            codes,
+            lengths: lengths.to_vec(),
+        })
     }
 
     /// Convenience: build lengths from frequencies, then the encoder.
@@ -176,13 +184,21 @@ impl HuffmanDecoder {
         symbols.sort_unstable();
         let symbols = symbols.into_iter().map(|(_, s)| s).collect();
 
-        Ok(Self { count, first_code, first_index, symbols, max_len })
+        Ok(Self {
+            count,
+            first_code,
+            first_index,
+            symbols,
+            max_len,
+        })
     }
 
     /// Decodes one symbol from the bit stream.
     pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16> {
         if self.max_len == 0 {
-            return Err(DeflateError::Corrupt("decoding with an empty Huffman code".into()));
+            return Err(DeflateError::Corrupt(
+                "decoding with an empty Huffman code".into(),
+            ));
         }
         let mut code = 0u32;
         for len in 1..=self.max_len {
@@ -193,7 +209,9 @@ impl HuffmanDecoder {
                 return Ok(self.symbols[idx as usize]);
             }
         }
-        Err(DeflateError::Corrupt("invalid Huffman code in stream".into()))
+        Err(DeflateError::Corrupt(
+            "invalid Huffman code in stream".into(),
+        ))
     }
 }
 
@@ -277,7 +295,11 @@ mod tests {
         // Classic skewed distribution.
         let lengths = build_code_lengths(&[45, 13, 12, 16, 9, 5], 15);
         // Kraft equality for a complete optimal code.
-        let kraft: f64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
         assert!((kraft - 1.0).abs() < 1e-9, "lengths {lengths:?}");
         // The most frequent symbol has the shortest code.
         assert!(lengths[0] <= lengths[4]);
@@ -288,13 +310,24 @@ mod tests {
     fn length_limit_is_respected() {
         // Fibonacci-like frequencies force long codes in unlimited Huffman;
         // the limited version must cap them.
-        let freqs: Vec<u64> = vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987];
+        let freqs: Vec<u64> = vec![
+            1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987,
+        ];
         for max_bits in [5u32, 7, 15] {
             let lengths = build_code_lengths(&freqs, max_bits);
-            assert!(lengths.iter().all(|&l| (l as u32) <= max_bits), "max_bits {max_bits}");
-            let kraft: f64 =
-                lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
-            assert!(kraft <= 1.0 + 1e-9, "Kraft violated for max_bits {max_bits}");
+            assert!(
+                lengths.iter().all(|&l| (l as u32) <= max_bits),
+                "max_bits {max_bits}"
+            );
+            let kraft: f64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-(l as i32)))
+                .sum();
+            assert!(
+                kraft <= 1.0 + 1e-9,
+                "Kraft violated for max_bits {max_bits}"
+            );
         }
     }
 

@@ -49,7 +49,9 @@ fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
     let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]);
     let nlen = u16::from_le_bytes([nlen_bytes[0], nlen_bytes[1]]);
     if len != !nlen {
-        return Err(DeflateError::Corrupt("stored block LEN/NLEN mismatch".into()));
+        return Err(DeflateError::Corrupt(
+            "stored block LEN/NLEN mismatch".into(),
+        ));
     }
     let data = reader.read_bytes(len as usize)?;
     out.extend_from_slice(&data);
@@ -61,7 +63,9 @@ fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(HuffmanDecoder, Hu
     let hdist = reader.read_bits(5)? as usize + 1;
     let hclen = reader.read_bits(4)? as usize + 4;
     if hlit > 286 || hdist > 30 {
-        return Err(DeflateError::Corrupt(format!("HLIT {hlit} / HDIST {hdist} out of range")));
+        return Err(DeflateError::Corrupt(format!(
+            "HLIT {hlit} / HDIST {hdist} out of range"
+        )));
     }
 
     let mut clc_lengths = [0u8; 19];
@@ -78,9 +82,9 @@ fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(HuffmanDecoder, Hu
         match symbol {
             0..=15 => lengths.push(symbol as u8),
             16 => {
-                let &prev = lengths
-                    .last()
-                    .ok_or_else(|| DeflateError::Corrupt("repeat with no previous length".into()))?;
+                let &prev = lengths.last().ok_or_else(|| {
+                    DeflateError::Corrupt("repeat with no previous length".into())
+                })?;
                 let count = reader.read_bits(2)? + 3;
                 for _ in 0..count {
                     lengths.push(prev);
@@ -95,15 +99,21 @@ fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(HuffmanDecoder, Hu
                 lengths.resize(lengths.len() + count, 0);
             }
             other => {
-                return Err(DeflateError::Corrupt(format!("invalid code-length symbol {other}")))
+                return Err(DeflateError::Corrupt(format!(
+                    "invalid code-length symbol {other}"
+                )))
             }
         }
     }
     if lengths.len() != total {
-        return Err(DeflateError::Corrupt("code length run overflows table".into()));
+        return Err(DeflateError::Corrupt(
+            "code length run overflows table".into(),
+        ));
     }
     if lengths[END_OF_BLOCK as usize] == 0 {
-        return Err(DeflateError::Corrupt("end-of-block symbol has no code".into()));
+        return Err(DeflateError::Corrupt(
+            "end-of-block symbol has no code".into(),
+        ));
     }
     let litlen = HuffmanDecoder::from_lengths(&lengths[..hlit])?;
     let dist = HuffmanDecoder::from_lengths(&lengths[hlit..])?;
@@ -178,7 +188,10 @@ mod tests {
     fn rejects_reserved_block_type() {
         // BFINAL=1, BTYPE=11.
         let stream = [0b0000_0111u8];
-        assert!(matches!(inflate_decompress(&stream), Err(DeflateError::Corrupt(_))));
+        assert!(matches!(
+            inflate_decompress(&stream),
+            Err(DeflateError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -233,9 +246,8 @@ mod tests {
         for i in (0..compressed.len()).step_by(7) {
             let mut corrupted = compressed.clone();
             corrupted[i] ^= 0x10;
-            match inflate_decompress(&corrupted) {
-                Ok(out) => assert_ne!(out.is_empty(), data.is_empty()),
-                Err(_) => {}
+            if let Ok(out) = inflate_decompress(&corrupted) {
+                assert_ne!(out.is_empty(), data.is_empty())
             }
         }
     }

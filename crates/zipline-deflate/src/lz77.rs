@@ -38,17 +38,29 @@ pub struct MatcherConfig {
 impl MatcherConfig {
     /// Fast preset: shallow chains, greedy.
     pub fn fast() -> Self {
-        Self { max_chain: 16, good_enough: 32, lazy: false }
+        Self {
+            max_chain: 16,
+            good_enough: 32,
+            lazy: false,
+        }
     }
 
     /// Default preset: a balance similar to zlib level 6.
     pub fn default_level() -> Self {
-        Self { max_chain: 128, good_enough: 128, lazy: true }
+        Self {
+            max_chain: 128,
+            good_enough: 128,
+            lazy: true,
+        }
     }
 
     /// Best preset: deep chains, lazy.
     pub fn best() -> Self {
-        Self { max_chain: 1024, good_enough: MAX_MATCH, lazy: true }
+        Self {
+            max_chain: 1024,
+            good_enough: MAX_MATCH,
+            lazy: true,
+        }
     }
 }
 
@@ -90,37 +102,38 @@ pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
         }
     };
 
-    let find_best = |head: &[usize], prev: &[usize], data: &[u8], pos: usize| -> Option<(usize, usize)> {
-        if pos + MIN_MATCH > data.len() {
-            return None;
-        }
-        let h = hash3(data, pos);
-        let mut candidate = head[h];
-        let mut best_len = MIN_MATCH - 1;
-        let mut best_dist = 0usize;
-        let mut chain = 0usize;
-        while candidate != usize::MAX && chain < config.max_chain {
-            let distance = pos - candidate;
-            if distance > WINDOW_SIZE {
-                break;
+    let find_best =
+        |head: &[usize], prev: &[usize], data: &[u8], pos: usize| -> Option<(usize, usize)> {
+            if pos + MIN_MATCH > data.len() {
+                return None;
             }
-            let len = match_length(data, candidate, pos);
-            if len > best_len {
-                best_len = len;
-                best_dist = distance;
-                if len >= config.good_enough || len == MAX_MATCH {
+            let h = hash3(data, pos);
+            let mut candidate = head[h];
+            let mut best_len = MIN_MATCH - 1;
+            let mut best_dist = 0usize;
+            let mut chain = 0usize;
+            while candidate != usize::MAX && chain < config.max_chain {
+                let distance = pos - candidate;
+                if distance > WINDOW_SIZE {
                     break;
                 }
+                let len = match_length(data, candidate, pos);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = distance;
+                    if len >= config.good_enough || len == MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                chain += 1;
             }
-            candidate = prev[candidate];
-            chain += 1;
-        }
-        if best_len >= MIN_MATCH {
-            Some((best_len, best_dist))
-        } else {
-            None
-        }
-    };
+            if best_len >= MIN_MATCH {
+                Some((best_len, best_dist))
+            } else {
+                None
+            }
+        };
 
     let mut pos = 0usize;
     while pos < data.len() {
@@ -145,7 +158,10 @@ pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
                         }
                     }
                     // Emit the (possibly deferred) match starting at `pos`.
-                    tokens.push(Token::Match { length: len as u16, distance: dist as u16 });
+                    tokens.push(Token::Match {
+                        length: len as u16,
+                        distance: dist as u16,
+                    });
                     let end = pos + len;
                     // `pos` itself may or may not have been inserted above
                     // (it was, when lazy); insert the remaining covered
@@ -157,7 +173,10 @@ pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
                     }
                     pos = end;
                 } else {
-                    tokens.push(Token::Match { length: len as u16, distance: dist as u16 });
+                    tokens.push(Token::Match {
+                        length: len as u16,
+                        distance: dist as u16,
+                    });
                     let end = pos + len;
                     let mut p = pos;
                     while p < end && p + MIN_MATCH <= data.len() {
@@ -262,7 +281,11 @@ mod tests {
         for i in 0..5_000u32 {
             data.extend_from_slice(format!("sensor-{} value={}\n", i % 50, i % 13).as_bytes());
         }
-        for config in [MatcherConfig::fast(), MatcherConfig::default_level(), MatcherConfig::best()] {
+        for config in [
+            MatcherConfig::fast(),
+            MatcherConfig::default_level(),
+            MatcherConfig::best(),
+        ] {
             roundtrip(&data, config);
         }
     }
@@ -270,8 +293,22 @@ mod tests {
     #[test]
     fn lazy_matching_never_hurts_correctness() {
         let data = b"abcdebcdefghibcdefghijklmnop".repeat(20);
-        roundtrip(&data, MatcherConfig { max_chain: 64, good_enough: 258, lazy: true });
-        roundtrip(&data, MatcherConfig { max_chain: 64, good_enough: 258, lazy: false });
+        roundtrip(
+            &data,
+            MatcherConfig {
+                max_chain: 64,
+                good_enough: 258,
+                lazy: true,
+            },
+        );
+        roundtrip(
+            &data,
+            MatcherConfig {
+                max_chain: 64,
+                good_enough: 258,
+                lazy: false,
+            },
+        );
     }
 
     proptest! {

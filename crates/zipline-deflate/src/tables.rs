@@ -21,8 +21,9 @@ pub const MAX_MATCH: usize = 258;
 pub const WINDOW_SIZE: usize = 32 * 1024;
 
 /// Order in which code-length-code lengths are transmitted (RFC 1951 §3.2.7).
-pub const CLC_ORDER: [usize; 19] =
-    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+pub const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 /// `(base length, extra bits)` for length codes 257..=285.
 pub const LENGTH_CODES: [(u16, u8); 29] = [
@@ -107,7 +108,11 @@ pub fn length_to_symbol(length: usize) -> (u16, u8, u16) {
         idx = LENGTH_CODES.len() - 1;
     }
     let (base, extra_bits) = LENGTH_CODES[idx];
-    (257 + idx as u16, extra_bits, (length - base as usize) as u16)
+    (
+        257 + idx as u16,
+        extra_bits,
+        (length - base as usize) as u16,
+    )
 }
 
 /// Maps a distance (1..=32768) to `(symbol, extra bits, extra value)`.
@@ -199,7 +204,11 @@ mod tests {
             let (symbol, extra_bits, extra) = distance_to_symbol(distance);
             let (base, eb) = symbol_to_distance(symbol).unwrap();
             assert_eq!(eb, extra_bits);
-            assert_eq!(base as usize + extra as usize, distance, "distance {distance}");
+            assert_eq!(
+                base as usize + extra as usize,
+                distance,
+                "distance {distance}"
+            );
         }
     }
 

@@ -22,7 +22,9 @@ fn gzip_available() -> bool {
 fn sample_data() -> Vec<u8> {
     let mut data = Vec::new();
     for i in 0..4000u32 {
-        data.extend_from_slice(format!("sensor-{:03} temperature={:04}\n", i % 37, i % 100).as_bytes());
+        data.extend_from_slice(
+            format!("sensor-{:03} temperature={:04}\n", i % 37, i % 100).as_bytes(),
+        );
     }
     data
 }
@@ -50,8 +52,14 @@ fn system_gunzip_accepts_our_output() {
             .expect("spawn gzip");
         child.stdin.as_mut().unwrap().write_all(&ours).unwrap();
         let output = child.wait_with_output().unwrap();
-        assert!(output.status.success(), "gzip -d rejected our output at {level:?}");
-        assert_eq!(output.stdout, data, "gzip -d produced different bytes at {level:?}");
+        assert!(
+            output.status.success(),
+            "gzip -d rejected our output at {level:?}"
+        );
+        assert_eq!(
+            output.stdout, data,
+            "gzip -d produced different bytes at {level:?}"
+        );
     }
 }
 

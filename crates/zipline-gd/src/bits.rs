@@ -16,6 +16,19 @@
 //!
 //! When converting to and from bytes, the first bit of the sequence maps to
 //! the most significant bit of the first byte (network bit order).
+//!
+//! # Word-parallel fast path
+//!
+//! Storage is packed into `u64` words, most significant bit first: bit `i`
+//! of the sequence lives in word `i / 64` at bit `63 - (i % 64)`, so a word
+//! read as an integer equals the corresponding 64-bit slice of the sequence,
+//! and byte `j` of the big-endian encoding of a word is byte `8·(i/64) + j`
+//! of the byte serialization. All bulk operations (`from_bytes`/`to_bytes`,
+//! `push_bits`, `extend_from_bitvec`, `slice`, `get_bits`, `xor_with`)
+//! operate on whole words; per-bit loops remain only in the trivially cheap
+//! single-bit accessors. Storage bits at positions `>= len()` are kept zero
+//! (the *masked-tail invariant*), which is what lets equality, hashing and
+//! the word-level CRC in [`crate::crc`] consume [`BitVec::words`] directly.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -36,34 +49,93 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an empty bit vector.
     pub fn new() -> Self {
-        Self { words: Vec::new(), len: 0 }
+        Self {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Creates an empty bit vector with room for at least `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
-        Self { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
     }
 
     /// Creates a bit vector of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates a bit vector of `len` one bits.
     pub fn ones(len: usize) -> Self {
-        let mut v = Self { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut v = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         v.mask_tail();
         v
     }
 
     /// Creates a bit vector from a byte slice; every byte contributes 8 bits,
     /// most significant bit first.
+    ///
+    /// Word-parallel: packs 8 bytes per storage word.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        let mut v = Self::with_capacity(bytes.len() * 8);
-        for &b in bytes {
-            v.push_bits(b as u64, 8);
-        }
+        let mut v = Self::new();
+        v.load_bytes(bytes);
         v
+    }
+
+    /// Replaces the contents with the bits of `bytes`, reusing the existing
+    /// storage allocation. The word-packing equivalent of
+    /// `*self = BitVec::from_bytes(bytes)` without the allocation.
+    pub fn load_bytes(&mut self, bytes: &[u8]) {
+        self.words.clear();
+        self.words.reserve(bytes.len().div_ceil(8));
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.words
+                .push(u64::from_be_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= (b as u64) << (56 - 8 * i);
+            }
+            self.words.push(word);
+        }
+        self.len = bytes.len() * 8;
+    }
+
+    /// Creates a bit vector of `len` bits directly from packed words
+    /// (MSB-first within each word, as documented on [`Self::words`]).
+    /// Storage bits beyond `len` are cleared.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `len.div_ceil(64)` words long.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word count must match bit length"
+        );
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// The packed storage words (MSB-first within each word; storage bits at
+    /// positions `>= len()` are zero). Word-level consumers such as the
+    /// table-driven CRC read the message through this accessor instead of a
+    /// per-bit iterator.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Creates a bit vector from the lowest `width` bits of `value`, most
@@ -117,7 +189,11 @@ impl BitVec {
     /// # Panics
     /// Panics if `index >= len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range (len {})",
+            self.len
+        );
         let word = self.words[index / 64];
         (word >> (63 - (index % 64))) & 1 == 1
     }
@@ -127,7 +203,11 @@ impl BitVec {
     /// # Panics
     /// Panics if `index >= len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (63 - (index % 64));
         if value {
             self.words[index / 64] |= mask;
@@ -138,7 +218,11 @@ impl BitVec {
 
     /// Flips bit `index`.
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range (len {})",
+            self.len
+        );
         self.words[index / 64] ^= 1u64 << (63 - (index % 64));
     }
 
@@ -156,53 +240,122 @@ impl BitVec {
 
     /// Appends the lowest `width` bits of `value`, most significant first.
     ///
+    /// Word-parallel: the bits are spliced into at most two storage words.
+    ///
     /// # Panics
     /// Panics if `width > 64`.
     pub fn push_bits(&mut self, value: u64, width: usize) {
         assert!(width <= 64, "width must be <= 64");
-        for i in (0..width).rev() {
-            self.push((value >> i) & 1 == 1);
+        if width == 0 {
+            return;
         }
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        // Left-align the field inside a word, then shift into place.
+        let aligned = value << (64 - width);
+        let offset = self.len % 64;
+        if offset == 0 {
+            self.words.push(aligned);
+        } else {
+            *self
+                .words
+                .last_mut()
+                .expect("offset != 0 implies a partial last word") |= aligned >> offset;
+            if offset + width > 64 {
+                self.words.push(aligned << (64 - offset));
+            }
+        }
+        self.len += width;
     }
 
     /// Appends all bits of `other`.
+    ///
+    /// Word-parallel: appends 64 bits per step via [`Self::push_bits`].
     pub fn extend_from_bitvec(&mut self, other: &BitVec) {
-        // Fast path would require word shifting; correctness first. The
-        // buffers involved in GD are a few hundred bits, so a per-bit loop is
-        // not a bottleneck in practice (the switch data path uses fixed-size
-        // operations anyway).
-        for i in 0..other.len {
-            self.push(other.get(i));
+        let mut remaining = other.len;
+        for &word in &other.words {
+            let take = remaining.min(64);
+            self.push_bits(word >> (64 - take), take);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
         }
     }
 
     /// Returns the bits in `range` as a new vector.
     ///
+    /// Word-parallel: copies 64-bit windows via [`Self::get_bits`].
+    ///
     /// # Panics
     /// Panics if the range is out of bounds or reversed.
     pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
         assert!(range.start <= range.end, "reversed range");
-        assert!(range.end <= self.len, "slice end {} out of range (len {})", range.end, self.len);
+        assert!(
+            range.end <= self.len,
+            "slice end {} out of range (len {})",
+            range.end,
+            self.len
+        );
         let mut out = BitVec::with_capacity(range.len());
-        for i in range {
-            out.push(self.get(i));
+        let mut pos = range.start;
+        while pos < range.end {
+            let take = (range.end - pos).min(64);
+            out.push_bits(self.get_bits(pos, take), take);
+            pos += take;
         }
         out
     }
 
+    /// Replaces the contents of `self` with the bits of `src` in `range`,
+    /// reusing the existing storage allocation — the in-place, word-parallel
+    /// equivalent of `*self = src.slice(range)`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    pub fn copy_range_from(&mut self, src: &BitVec, range: std::ops::Range<usize>) {
+        assert!(range.start <= range.end, "reversed range");
+        assert!(
+            range.end <= src.len,
+            "slice end {} out of range (len {})",
+            range.end,
+            src.len
+        );
+        self.words.clear();
+        self.words.reserve(range.len().div_ceil(64));
+        self.len = 0;
+        let mut pos = range.start;
+        while pos < range.end {
+            let take = (range.end - pos).min(64);
+            self.push_bits(src.get_bits(pos, take), take);
+            pos += take;
+        }
+    }
+
     /// Interprets bits `[pos, pos + width)` as an unsigned integer
     /// (first bit = most significant).
+    ///
+    /// Word-parallel: reads at most two storage words.
     ///
     /// # Panics
     /// Panics if `width > 64` or the range is out of bounds.
     pub fn get_bits(&self, pos: usize, width: usize) -> u64 {
         assert!(width <= 64, "width must be <= 64");
         assert!(pos + width <= self.len, "bit range out of bounds");
-        let mut value = 0u64;
-        for i in 0..width {
-            value = (value << 1) | (self.get(pos + i) as u64);
+        if width == 0 {
+            return 0;
         }
-        value
+        let offset = pos % 64;
+        let mut window = self.words[pos / 64] << offset;
+        if offset != 0 {
+            if let Some(&next) = self.words.get(pos / 64 + 1) {
+                window |= next >> (64 - offset);
+            }
+        }
+        window >> (64 - width)
     }
 
     /// Interprets the whole vector as an unsigned integer (first bit = MSB).
@@ -216,13 +369,16 @@ impl BitVec {
 
     /// Serializes to bytes, first bit = MSB of first byte. The final byte is
     /// zero-padded on the right when the length is not a multiple of 8.
+    ///
+    /// Word-parallel: emits 8 bytes per storage word (the masked-tail
+    /// invariant guarantees the padding bits are already zero).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = vec![0u8; self.len.div_ceil(8)];
-        for i in 0..self.len {
-            if self.get(i) {
-                out[i / 8] |= 1 << (7 - (i % 8));
-            }
+        let nbytes = self.len.div_ceil(8);
+        let mut out = Vec::with_capacity(self.words.len() * 8);
+        for &word in &self.words {
+            out.extend_from_slice(&word.to_be_bytes());
         }
+        out.truncate(nbytes);
         out
     }
 
@@ -349,7 +505,9 @@ pub struct BitWriter {
 impl BitWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Self { bits: BitVec::new() }
+        Self {
+            bits: BitVec::new(),
+        }
     }
 
     /// Appends the lowest `width` bits of `value`.
@@ -367,9 +525,16 @@ impl BitWriter {
         self.bits.extend_from_bitvec(bits);
     }
 
-    /// Appends whole bytes.
+    /// Appends whole bytes (word-parallel: 8 bytes per step).
     pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.bits.push_bits(
+                u64::from_be_bytes(chunk.try_into().expect("8-byte chunk")),
+                64,
+            );
+        }
+        for &b in chunks.remainder() {
             self.bits.push_bits(b as u64, 8);
         }
     }
@@ -433,7 +598,9 @@ impl<'a> BitReader<'a> {
     /// Reads a single bit.
     pub fn read_bit(&mut self) -> crate::error::Result<bool> {
         if self.pos >= self.total_bits() {
-            return Err(crate::error::GdError::Malformed("bit reader exhausted".into()));
+            return Err(crate::error::GdError::Malformed(
+                "bit reader exhausted".into(),
+            ));
         }
         let byte = self.bytes[self.pos / 8];
         let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
@@ -442,6 +609,8 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `width` bits as an unsigned integer (first bit = MSB).
+    ///
+    /// Byte-parallel: consumes up to 8 bits per step instead of one.
     pub fn read_bits(&mut self, width: usize) -> crate::error::Result<u64> {
         assert!(width <= 64, "width must be <= 64");
         if self.remaining_bits() < width {
@@ -451,13 +620,20 @@ impl<'a> BitReader<'a> {
             )));
         }
         let mut value = 0u64;
-        for _ in 0..width {
-            value = (value << 1) | (self.read_bit()? as u64);
+        let mut got = 0;
+        while got < width {
+            let byte = self.bytes[self.pos / 8] as u64;
+            let available = 8 - self.pos % 8;
+            let take = (width - got).min(available);
+            let bits = (byte >> (available - take)) & ((1u64 << take) - 1);
+            value = (value << take) | bits;
+            self.pos += take;
+            got += take;
         }
         Ok(value)
     }
 
-    /// Reads `count` bits into a new [`BitVec`].
+    /// Reads `count` bits into a new [`BitVec`] (word-parallel).
     pub fn read_bitvec(&mut self, count: usize) -> crate::error::Result<BitVec> {
         if self.remaining_bits() < count {
             return Err(crate::error::GdError::Malformed(format!(
@@ -466,8 +642,11 @@ impl<'a> BitReader<'a> {
             )));
         }
         let mut out = BitVec::with_capacity(count);
-        for _ in 0..count {
-            out.push(self.read_bit()?);
+        let mut remaining = count;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            out.push_bits(self.read_bits(take)?, take);
+            remaining -= take;
         }
         Ok(out)
     }
@@ -475,7 +654,9 @@ impl<'a> BitReader<'a> {
     /// Skips `count` bits.
     pub fn skip(&mut self, count: usize) -> crate::error::Result<()> {
         if self.remaining_bits() < count {
-            return Err(crate::error::GdError::Malformed("bit reader exhausted".into()));
+            return Err(crate::error::GdError::Malformed(
+                "bit reader exhausted".into(),
+            ));
         }
         self.pos += count;
         Ok(())
@@ -726,6 +907,122 @@ mod tests {
         r.read_bits(5).unwrap();
         assert_eq!(r.position(), 5);
         assert_eq!(r.remaining_bits(), 11);
+    }
+
+    #[test]
+    fn push_bits_matches_per_bit_reference_across_word_boundaries() {
+        // Exercise every alignment of a 64-bit field against a word boundary.
+        for lead in 0..130usize {
+            for width in [1usize, 7, 8, 31, 33, 63, 64] {
+                let value = 0xA5C3_19F0_7E24_8B6Du64;
+                let mut fast = BitVec::zeros(lead);
+                fast.push_bits(value, width);
+                let mut reference = BitVec::zeros(lead);
+                for i in (0..width).rev() {
+                    reference.push((value >> i) & 1 == 1);
+                }
+                assert_eq!(fast, reference, "lead {lead}, width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_and_get_bits_across_word_boundaries() {
+        let bytes: Vec<u8> = (0..40u8)
+            .map(|i| i.wrapping_mul(97).wrapping_add(13))
+            .collect();
+        let v = BitVec::from_bytes(&bytes);
+        for start in [0usize, 1, 7, 63, 64, 65, 127, 130] {
+            for len in [0usize, 1, 5, 64, 65, 150] {
+                if start + len > v.len() {
+                    continue;
+                }
+                let s = v.slice(start..start + len);
+                assert_eq!(s.len(), len);
+                for i in 0..len {
+                    assert_eq!(
+                        s.get(i),
+                        v.get(start + i),
+                        "start {start}, len {len}, bit {i}"
+                    );
+                }
+            }
+        }
+        // get_bits against the per-bit reference.
+        for pos in [0usize, 3, 62, 64, 100] {
+            for width in [1usize, 8, 33, 64] {
+                if pos + width > v.len() {
+                    continue;
+                }
+                let mut reference = 0u64;
+                for i in 0..width {
+                    reference = (reference << 1) | (v.get(pos + i) as u64);
+                }
+                assert_eq!(
+                    v.get_bits(pos, width),
+                    reference,
+                    "pos {pos}, width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_matches_push_reference_for_unaligned_lengths() {
+        for dst_len in [0usize, 1, 63, 64, 65] {
+            for src_len in [0usize, 1, 63, 64, 65, 200] {
+                let dst: BitVec = (0..dst_len).map(|i| i % 3 == 0).collect();
+                let src: BitVec = (0..src_len).map(|i| i % 5 < 2).collect();
+                let mut fast = dst.clone();
+                fast.extend_from_bitvec(&src);
+                let mut reference = dst.clone();
+                for i in 0..src.len() {
+                    reference.push(src.get(i));
+                }
+                assert_eq!(fast, reference, "dst {dst_len}, src {src_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn words_accessor_and_from_words_roundtrip() {
+        let v = BitVec::from_bytes(&[0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0xAB]);
+        assert_eq!(v.words().len(), 2);
+        assert_eq!(v.words()[0], 0x1234_5678_9ABC_DEF0);
+        assert_eq!(v.words()[1], 0xAB00_0000_0000_0000);
+        let rebuilt = BitVec::from_words(v.words().to_vec(), v.len());
+        assert_eq!(rebuilt, v);
+        // from_words masks stray tail bits.
+        let masked = BitVec::from_words(vec![u64::MAX], 4);
+        assert_eq!(masked.to_string(), "1111");
+        assert_eq!(masked.words()[0], 0xF000_0000_0000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count must match")]
+    fn from_words_rejects_wrong_word_count() {
+        let _ = BitVec::from_words(vec![0, 0], 64);
+    }
+
+    #[test]
+    fn copy_range_from_matches_slice() {
+        let src: BitVec = (0..300).map(|i| i % 7 < 3).collect();
+        let mut dst = BitVec::from_bytes(&[0xFF; 8]); // pre-existing contents
+        for (start, end) in [(0usize, 300usize), (1, 1), (3, 200), (64, 128), (65, 300)] {
+            dst.copy_range_from(&src, start..end);
+            assert_eq!(dst, src.slice(start..end), "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn load_bytes_reuses_storage_and_replaces_contents() {
+        let mut v = BitVec::from_bytes(&[0xFF; 16]);
+        v.load_bytes(&[0xAB, 0xCD, 0xEF]);
+        assert_eq!(v.len(), 24);
+        assert_eq!(v.to_bytes(), vec![0xAB, 0xCD, 0xEF]);
+        // The tail of the previous contents must not leak back in.
+        v.push_bits(0, 8);
+        assert_eq!(v.to_bytes(), vec![0xAB, 0xCD, 0xEF, 0x00]);
     }
 
     #[test]

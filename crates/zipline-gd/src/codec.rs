@@ -20,7 +20,7 @@ use crate::stats::CompressionStats;
 use crate::transform::HammingTransform;
 
 /// A chunk after the GD transformation, before any dictionary lookup.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
 pub struct EncodedChunk {
     /// Bits of the chunk not covered by the Hamming code, carried verbatim
     /// (the paper's "one additional bit to store the MSB").
@@ -29,6 +29,26 @@ pub struct EncodedChunk {
     pub deviation: u64,
     /// The `k`-bit basis.
     pub basis: BitVec,
+}
+
+/// Reusable scratch buffers for the allocation-free batch encode path
+/// ([`ChunkCodec::encode_chunks`] / [`ChunkCodec::encode_chunk_with`]).
+///
+/// Holding the scratch outside the codec keeps [`ChunkCodec`] shareable
+/// (`&self`) while letting each caller amortise its buffer allocations
+/// across an entire batch.
+#[derive(Debug, Default, Clone)]
+pub struct EncodeScratch {
+    /// Packed bits of the chunk currently being encoded.
+    bits: BitVec,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Stateless encoder/decoder for fixed-size chunks.
@@ -42,7 +62,10 @@ impl ChunkCodec {
     /// Builds a codec for the given configuration.
     pub fn new(config: &GdConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Self { config: *config, transform: HammingTransform::new(config.m)? })
+        Ok(Self {
+            config: *config,
+            transform: HammingTransform::new(config.m)?,
+        })
     }
 
     /// The configuration this codec was built for.
@@ -68,7 +91,107 @@ impl ChunkCodec {
         let extra = bits.slice(0..extra_bits);
         let body = bits.slice(extra_bits..bits.len());
         let d = self.transform.deconstruct(&body)?;
-        Ok(EncodedChunk { extra, deviation: d.deviation, basis: d.basis })
+        Ok(EncodedChunk {
+            extra,
+            deviation: d.deviation,
+            basis: d.basis,
+        })
+    }
+
+    /// Encodes one chunk through the word-parallel fast path, reusing
+    /// `scratch` across calls.
+    ///
+    /// Bit-exact with [`Self::encode_chunk`] (enforced by the property-test
+    /// suite) but performs no intermediate `BitVec` allocations: the chunk
+    /// bytes are packed into the reused scratch words, the syndrome is
+    /// computed over a bit range of that buffer, and the single-bit deviation
+    /// is flipped directly inside the extracted basis. Only the two output
+    /// buffers (`extra`, `basis`) are allocated.
+    pub fn encode_chunk_with(
+        &self,
+        chunk: &[u8],
+        scratch: &mut EncodeScratch,
+    ) -> Result<EncodedChunk> {
+        let mut out = EncodedChunk {
+            extra: BitVec::new(),
+            deviation: 0,
+            basis: BitVec::new(),
+        };
+        self.encode_chunk_into(chunk, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// The fully allocation-free form of [`Self::encode_chunk_with`]: writes
+    /// the result into `out`, reusing the storage of its `extra`/`basis`
+    /// buffers. In steady state (scratch and output recycled across chunks)
+    /// the encode performs no heap allocation at all.
+    pub fn encode_chunk_into(
+        &self,
+        chunk: &[u8],
+        scratch: &mut EncodeScratch,
+        out: &mut EncodedChunk,
+    ) -> Result<()> {
+        if chunk.len() != self.config.chunk_bytes {
+            return Err(GdError::LengthMismatch {
+                expected: self.config.chunk_bytes,
+                actual: chunk.len(),
+            });
+        }
+        let code = self.transform.code();
+        let extra_bits = self.config.extra_bits();
+        let m = code.m() as usize;
+        let n = code.n();
+
+        let bits = &mut scratch.bits;
+        bits.load_bytes(chunk);
+        // ➋ syndrome over the Hamming block, straight off the packed words.
+        let deviation = code
+            .crc()
+            .checksum_bit_range(bits, extra_bits, extra_bits + n);
+        // ➎ rightmost k bits, with the ➌/➍ error flip folded in.
+        out.basis
+            .copy_range_from(bits, extra_bits + m..extra_bits + n);
+        code.fold_error_into_basis(&mut out.basis, deviation)?;
+        out.extra.copy_range_from(bits, 0..extra_bits);
+        out.deviation = deviation;
+        Ok(())
+    }
+
+    /// Encodes every whole chunk of `data` through the fast path, reusing
+    /// `scratch` across chunks. Returns the encoded chunks in input order
+    /// plus the trailing bytes that did not fill a whole chunk.
+    pub fn encode_chunks<'d>(
+        &self,
+        data: &'d [u8],
+        scratch: &mut EncodeScratch,
+    ) -> Result<(Vec<EncodedChunk>, &'d [u8])> {
+        let mut encoded = Vec::with_capacity(data.len() / self.config.chunk_bytes);
+        let tail = self.encode_chunks_into(data, scratch, &mut encoded)?;
+        Ok((encoded, tail))
+    }
+
+    /// The recycling form of [`Self::encode_chunks`]: truncates `out` to the
+    /// batch size and overwrites its entries in place, reusing their
+    /// `extra`/`basis` storage. With `scratch` and `out` carried across
+    /// batches, steady-state encoding is allocation-free. Returns the
+    /// trailing bytes that did not fill a whole chunk.
+    pub fn encode_chunks_into<'d>(
+        &self,
+        data: &'d [u8],
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<EncodedChunk>,
+    ) -> Result<&'d [u8]> {
+        let chunk_bytes = self.config.chunk_bytes;
+        let mut chunks = data.chunks_exact(chunk_bytes);
+        out.truncate(data.len() / chunk_bytes);
+        for (i, chunk) in (&mut chunks).enumerate() {
+            if let Some(slot) = out.get_mut(i) {
+                self.encode_chunk_into(chunk, scratch, slot)?;
+            } else {
+                out.push(self.encode_chunk_with(chunk, scratch)?);
+            }
+        }
+        Ok(chunks.remainder())
     }
 
     /// Decodes one chunk back to its original bytes.
@@ -79,7 +202,9 @@ impl ChunkCodec {
                 actual: encoded.extra.len(),
             });
         }
-        let body = self.transform.reconstruct(&encoded.basis, encoded.deviation)?;
+        let body = self
+            .transform
+            .reconstruct(&encoded.basis, encoded.deviation)?;
         let mut bits = BitVec::with_capacity(self.config.raw_payload_bits());
         bits.extend_from_bitvec(&encoded.extra);
         bits.extend_from_bitvec(&body);
@@ -93,9 +218,17 @@ impl ChunkCodec {
 pub enum Record {
     /// First occurrence of a basis: carried bits, deviation and the basis
     /// itself (the receiver learns the next free identifier implicitly).
-    NewBasis { extra: BitVec, deviation: u64, basis: BitVec },
+    NewBasis {
+        extra: BitVec,
+        deviation: u64,
+        basis: BitVec,
+    },
     /// A chunk whose basis is already known, referenced by identifier.
-    Ref { extra: BitVec, deviation: u64, id: u64 },
+    Ref {
+        extra: BitVec,
+        deviation: u64,
+        id: u64,
+    },
     /// Trailing bytes that did not fill a whole chunk, stored verbatim.
     RawTail { bytes: Vec<u8> },
 }
@@ -154,13 +287,21 @@ impl CompressedStream {
         let t = self.config.id_bits as usize;
         for record in &self.records {
             match record {
-                Record::NewBasis { extra, deviation, basis } => {
+                Record::NewBasis {
+                    extra,
+                    deviation,
+                    basis,
+                } => {
                     w.write_bits(TAG_NEW_BASIS, 2);
                     w.write_bits(*deviation, m);
                     w.write_bitvec(extra);
                     w.write_bitvec(basis);
                 }
-                Record::Ref { extra, deviation, id } => {
+                Record::Ref {
+                    extra,
+                    deviation,
+                    id,
+                } => {
                     w.write_bits(TAG_REF, 2);
                     w.write_bits(*deviation, m);
                     w.write_bitvec(extra);
@@ -189,7 +330,12 @@ impl CompressedStream {
         let id_bits = data[4] as u32;
         let chunk_bytes = u16::from_be_bytes([data[5], data[6]]) as usize;
         let record_count = u32::from_be_bytes([data[7], data[8], data[9], data[10]]) as usize;
-        let config = GdConfig { m, id_bits, chunk_bytes, tofino_padding_bits: 0 };
+        let config = GdConfig {
+            m,
+            id_bits,
+            chunk_bytes,
+            tofino_padding_bits: 0,
+        };
         config.validate()?;
 
         let mut reader = BitReader::new(&data[11..]);
@@ -203,13 +349,21 @@ impl CompressedStream {
                     let deviation = reader.read_bits(m as usize)?;
                     let extra = reader.read_bitvec(e)?;
                     let basis = reader.read_bitvec(k)?;
-                    Record::NewBasis { extra, deviation, basis }
+                    Record::NewBasis {
+                        extra,
+                        deviation,
+                        basis,
+                    }
                 }
                 TAG_REF => {
                     let deviation = reader.read_bits(m as usize)?;
                     let extra = reader.read_bitvec(e)?;
                     let id = reader.read_bits(id_bits as usize)?;
-                    Record::Ref { extra, deviation, id }
+                    Record::Ref {
+                        extra,
+                        deviation,
+                        id,
+                    }
                 }
                 TAG_RAW_TAIL => {
                     let len = reader.read_bits(16)? as usize;
@@ -235,6 +389,12 @@ pub struct GdCompressor {
     dictionary: BasisDictionary,
     stats: CompressionStats,
     clock: u64,
+    /// Reused by [`Self::compress_batch`] so steady-state compression does
+    /// not allocate per chunk.
+    scratch: EncodeScratch,
+    /// Recycled single-chunk slot for [`Self::compress_batch`] (the batch
+    /// streams through it, so peak memory stays O(1) in the input size).
+    encoded_scratch: EncodedChunk,
 }
 
 impl GdCompressor {
@@ -246,13 +406,22 @@ impl GdCompressor {
             dictionary: BasisDictionary::new(config.dictionary_capacity()),
             stats: CompressionStats::new(),
             clock: 0,
+            scratch: EncodeScratch::new(),
+            encoded_scratch: EncodedChunk::default(),
         })
     }
 
     /// Builds a compressor with a pre-populated dictionary (the "static
     /// table" scenario of Figure 3).
     pub fn with_dictionary(config: &GdConfig, dictionary: BasisDictionary) -> Result<Self> {
-        Ok(Self { codec: ChunkCodec::new(config)?, dictionary, stats: CompressionStats::new(), clock: 0 })
+        Ok(Self {
+            codec: ChunkCodec::new(config)?,
+            dictionary,
+            stats: CompressionStats::new(),
+            clock: 0,
+            scratch: EncodeScratch::new(),
+            encoded_scratch: EncodedChunk::default(),
+        })
     }
 
     /// The chunk codec.
@@ -270,19 +439,34 @@ impl GdCompressor {
         &self.dictionary
     }
 
-    /// Compresses one chunk, updating the dictionary.
-    pub fn compress_chunk(&mut self, chunk: &[u8]) -> Result<Record> {
+    /// Runs the dictionary lookup/learn step on one encoded chunk and
+    /// produces its stream record (shared by the per-chunk and batch paths).
+    fn record_for(&mut self, mut encoded: EncodedChunk) -> Result<Record> {
+        self.record_for_mut(&mut encoded)
+    }
+
+    /// [`Self::record_for`] over a borrowed chunk: moves only the buffers
+    /// the record actually needs out of `encoded` (for the common `Ref` case
+    /// the basis storage stays behind and is recycled by the next batch).
+    fn record_for_mut(&mut self, encoded: &mut EncodedChunk) -> Result<Record> {
         self.clock += 1;
-        let encoded = self.codec.encode_chunk(chunk)?;
         self.stats.chunks_in += 1;
-        self.stats.bytes_in += chunk.len() as u64;
+        self.stats.bytes_in += self.codec.config().chunk_bytes as u64;
         let m = self.codec.config().m as usize;
         let e = self.codec.config().extra_bits();
-        match self.dictionary.lookup_basis(&encoded.basis, self.clock, true) {
+        match self
+            .dictionary
+            .lookup_basis(&encoded.basis, self.clock, true)
+        {
             Some(id) => {
                 self.stats.emitted_compressed += 1;
-                self.stats.bytes_out += ((m + e + self.codec.config().id_bits as usize) as u64).div_ceil(8);
-                Ok(Record::Ref { extra: encoded.extra, deviation: encoded.deviation, id })
+                self.stats.bytes_out +=
+                    ((m + e + self.codec.config().id_bits as usize) as u64).div_ceil(8);
+                Ok(Record::Ref {
+                    extra: std::mem::take(&mut encoded.extra),
+                    deviation: encoded.deviation,
+                    id,
+                })
             }
             None => {
                 let outcome = self.dictionary.insert(encoded.basis.clone(), self.clock)?;
@@ -291,37 +475,77 @@ impl GdCompressor {
                 }
                 self.stats.bases_learned += 1;
                 self.stats.emitted_uncompressed += 1;
-                self.stats.bytes_out +=
-                    ((m + e + self.codec.config().k()) as u64).div_ceil(8);
+                self.stats.bytes_out += ((m + e + self.codec.config().k()) as u64).div_ceil(8);
                 Ok(Record::NewBasis {
-                    extra: encoded.extra,
+                    extra: std::mem::take(&mut encoded.extra),
                     deviation: encoded.deviation,
-                    basis: encoded.basis,
+                    basis: std::mem::take(&mut encoded.basis),
                 })
             }
         }
     }
 
+    /// Accounts and stores the trailing partial chunk of a buffer.
+    fn raw_tail_record(&mut self, tail: &[u8]) -> Record {
+        self.stats.bytes_in += tail.len() as u64;
+        self.stats.bytes_out += tail.len() as u64;
+        self.stats.emitted_raw += 1;
+        self.stats.chunks_in += 1;
+        Record::RawTail {
+            bytes: tail.to_vec(),
+        }
+    }
+
+    /// Compresses one chunk, updating the dictionary.
+    ///
+    /// Reference path used by tests and single-chunk callers; bulk callers
+    /// should prefer [`Self::compress_batch`], which is equivalent but
+    /// reuses scratch buffers across chunks.
+    pub fn compress_chunk(&mut self, chunk: &[u8]) -> Result<Record> {
+        let encoded = self.codec.encode_chunk(chunk)?;
+        self.record_for(encoded)
+    }
+
     /// Compresses a whole buffer. The buffer is split into
     /// `config.chunk_bytes`-sized chunks; a trailing partial chunk is stored
     /// verbatim as a [`Record::RawTail`].
+    ///
+    /// Delegates to [`Self::compress_batch`].
     pub fn compress(&mut self, data: &[u8]) -> Result<CompressedStream> {
+        self.compress_batch(data)
+    }
+
+    /// Compresses a whole buffer through the word-parallel batch fast path:
+    /// each chunk streams through [`ChunkCodec::encode_chunk_into`] against
+    /// the compressor's reused scratch and single recycled output slot, then
+    /// runs the same dictionary logic as [`Self::compress_chunk`] — so peak
+    /// extra memory stays O(1) in the input size while steady-state encoding
+    /// remains allocation-free. Record-for-record and
+    /// statistics-for-statistics equivalent to the per-chunk loop (enforced
+    /// by the property-test suite).
+    pub fn compress_batch(&mut self, data: &[u8]) -> Result<CompressedStream> {
         let chunk_bytes = self.codec.config().chunk_bytes;
         let mut records = Vec::with_capacity(data.len() / chunk_bytes + 1);
-        let mut offset = 0;
-        while offset + chunk_bytes <= data.len() {
-            records.push(self.compress_chunk(&data[offset..offset + chunk_bytes])?);
-            offset += chunk_bytes;
+        let mut slot = std::mem::take(&mut self.encoded_scratch);
+        let mut chunks = data.chunks_exact(chunk_bytes);
+        for chunk in &mut chunks {
+            {
+                // Split borrow: the codec is read-only while the scratch
+                // mutates.
+                let Self { codec, scratch, .. } = self;
+                codec.encode_chunk_into(chunk, scratch, &mut slot)?;
+            }
+            records.push(self.record_for_mut(&mut slot)?);
         }
-        if offset < data.len() {
-            let tail = data[offset..].to_vec();
-            self.stats.bytes_in += tail.len() as u64;
-            self.stats.bytes_out += tail.len() as u64;
-            self.stats.emitted_raw += 1;
-            self.stats.chunks_in += 1;
-            records.push(Record::RawTail { bytes: tail });
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            records.push(self.raw_tail_record(tail));
         }
-        Ok(CompressedStream { config: *self.codec.config(), records })
+        self.encoded_scratch = slot;
+        Ok(CompressedStream {
+            config: *self.codec.config(),
+            records,
+        })
     }
 }
 
@@ -350,7 +574,12 @@ impl GdDecompressor {
 
     /// Builds a decompressor with a pre-populated dictionary (static table).
     pub fn with_dictionary(config: &GdConfig, dictionary: BasisDictionary) -> Result<Self> {
-        Ok(Self { codec: ChunkCodec::new(config)?, dictionary, stats: CompressionStats::new(), clock: 0 })
+        Ok(Self {
+            codec: ChunkCodec::new(config)?,
+            dictionary,
+            stats: CompressionStats::new(),
+            clock: 0,
+        })
     }
 
     /// Current statistics.
@@ -362,7 +591,11 @@ impl GdDecompressor {
     pub fn decompress_record(&mut self, record: &Record) -> Result<Vec<u8>> {
         self.clock += 1;
         match record {
-            Record::NewBasis { extra, deviation, basis } => {
+            Record::NewBasis {
+                extra,
+                deviation,
+                basis,
+            } => {
                 // Mirror the compressor's dictionary update so that later Ref
                 // records resolve to the same identifiers.
                 self.dictionary.insert(basis.clone(), self.clock)?;
@@ -374,7 +607,11 @@ impl GdDecompressor {
                 self.stats.chunks_decoded += 1;
                 Ok(bytes)
             }
-            Record::Ref { extra, deviation, id } => {
+            Record::Ref {
+                extra,
+                deviation,
+                id,
+            } => {
                 let basis = self
                     .dictionary
                     .lookup_id(*id, self.clock, true)
@@ -437,12 +674,123 @@ mod tests {
     fn chunk_codec_roundtrip_paper_params() {
         let config = GdConfig::paper_default();
         let codec = ChunkCodec::new(&config).unwrap();
-        let chunk: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(17).wrapping_add(3)).collect();
+        let chunk: Vec<u8> = (0..32u8)
+            .map(|i| i.wrapping_mul(17).wrapping_add(3))
+            .collect();
         let enc = codec.encode_chunk(&chunk).unwrap();
         assert_eq!(enc.extra.len(), 1);
         assert_eq!(enc.basis.len(), 247);
         assert!(enc.deviation < 256);
         assert_eq!(codec.decode_chunk(&enc).unwrap(), chunk);
+    }
+
+    #[test]
+    fn scratch_encode_matches_reference_encode() {
+        for config in [
+            GdConfig::paper_default(),
+            small_config(),
+            GdConfig::for_parameters(5, 6).unwrap(),
+        ] {
+            let codec = ChunkCodec::new(&config).unwrap();
+            let mut scratch = EncodeScratch::new();
+            for seed in 0..64u8 {
+                let chunk: Vec<u8> = (0..config.chunk_bytes)
+                    .map(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed ^ 0x5A))
+                    .collect();
+                let reference = codec.encode_chunk(&chunk).unwrap();
+                let fast = codec.encode_chunk_with(&chunk, &mut scratch).unwrap();
+                assert_eq!(fast, reference, "m = {}, seed = {seed}", config.m);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_chunks_splits_batches_and_returns_tail() {
+        let config = GdConfig::paper_default();
+        let codec = ChunkCodec::new(&config).unwrap();
+        let mut scratch = EncodeScratch::new();
+        let mut data = Vec::new();
+        for i in 0..10u8 {
+            data.extend_from_slice(&[i; 32]);
+        }
+        data.extend_from_slice(&[1, 2, 3]);
+        let (encoded, tail) = codec.encode_chunks(&data, &mut scratch).unwrap();
+        assert_eq!(encoded.len(), 10);
+        assert_eq!(tail, &[1, 2, 3]);
+        for (i, enc) in encoded.iter().enumerate() {
+            assert_eq!(
+                *enc,
+                codec.encode_chunk(&data[i * 32..(i + 1) * 32]).unwrap(),
+                "chunk {i}"
+            );
+        }
+        // An empty buffer yields no chunks and an empty tail.
+        let (encoded, tail) = codec.encode_chunks(&[], &mut scratch).unwrap();
+        assert!(encoded.is_empty());
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn encode_chunks_into_recycles_output_entries() {
+        let config = GdConfig::paper_default();
+        let codec = ChunkCodec::new(&config).unwrap();
+        let mut scratch = EncodeScratch::new();
+        let mut out = Vec::new();
+
+        let data_a: Vec<u8> = (0..32 * 7).map(|i| (i % 251) as u8).collect();
+        codec
+            .encode_chunks_into(&data_a, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 7);
+
+        // A smaller follow-up batch truncates and overwrites in place…
+        let data_b: Vec<u8> = (0..32 * 3).map(|i| (i % 7) as u8).collect();
+        let tail = codec
+            .encode_chunks_into(&data_b, &mut scratch, &mut out)
+            .unwrap();
+        assert!(tail.is_empty());
+        assert_eq!(out.len(), 3);
+        for (i, enc) in out.iter().enumerate() {
+            assert_eq!(
+                *enc,
+                codec.encode_chunk(&data_b[i * 32..(i + 1) * 32]).unwrap(),
+                "chunk {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn compress_batch_equals_per_chunk_loop() {
+        let config = GdConfig::paper_default();
+        let mut data = Vec::new();
+        for i in 0..200u32 {
+            let mut chunk = [0u8; 32];
+            chunk[0] = (i % 9) as u8;
+            chunk[5] = (i % 3) as u8;
+            data.extend_from_slice(&chunk);
+        }
+        data.extend_from_slice(b"odd tail");
+
+        let mut batch = GdCompressor::new(&config).unwrap();
+        let stream_batch = batch.compress_batch(&data).unwrap();
+
+        let mut reference = GdCompressor::new(&config).unwrap();
+        let chunk_bytes = config.chunk_bytes;
+        let mut records = Vec::new();
+        let mut offset = 0;
+        while offset + chunk_bytes <= data.len() {
+            records.push(
+                reference
+                    .compress_chunk(&data[offset..offset + chunk_bytes])
+                    .unwrap(),
+            );
+            offset += chunk_bytes;
+        }
+        records.push(reference.raw_tail_record(&data[offset..]));
+
+        assert_eq!(stream_batch.records, records);
+        assert_eq!(batch.stats(), reference.stats());
+        assert_eq!(decompress(&stream_batch).unwrap(), data);
     }
 
     #[test]
@@ -479,11 +827,19 @@ mod tests {
         // Canonicalize an arbitrary chunk onto its codeword (deviation 0).
         let seed = codec.encode_chunk(&[0x5Au8; 32]).unwrap();
         let codeword_chunk = codec
-            .decode_chunk(&EncodedChunk { extra: seed.extra.clone(), deviation: 0, basis: seed.basis.clone() })
+            .decode_chunk(&EncodedChunk {
+                extra: seed.extra.clone(),
+                deviation: 0,
+                basis: seed.basis.clone(),
+            })
             .unwrap();
         // A perturbed sibling: same basis, non-zero deviation.
         let perturbed_chunk = codec
-            .decode_chunk(&EncodedChunk { extra: seed.extra.clone(), deviation: 42, basis: seed.basis.clone() })
+            .decode_chunk(&EncodedChunk {
+                extra: seed.extra.clone(),
+                deviation: 42,
+                basis: seed.basis.clone(),
+            })
             .unwrap();
         assert_ne!(codeword_chunk, perturbed_chunk);
 
@@ -491,7 +847,10 @@ mod tests {
         let first = comp.compress_chunk(&codeword_chunk).unwrap();
         let second = comp.compress_chunk(&perturbed_chunk).unwrap();
         assert!(matches!(first, Record::NewBasis { .. }));
-        assert!(matches!(second, Record::Ref { .. }), "near-duplicate must be compressed");
+        assert!(
+            matches!(second, Record::Ref { .. }),
+            "near-duplicate must be compressed"
+        );
     }
 
     #[test]
@@ -506,7 +865,10 @@ mod tests {
         }
         data.extend_from_slice(b"tail-bytes"); // partial chunk
         let stream = compress(&config, &data).unwrap();
-        assert!(matches!(stream.records.last(), Some(Record::RawTail { .. })));
+        assert!(matches!(
+            stream.records.last(),
+            Some(Record::RawTail { .. })
+        ));
         let out = decompress(&stream).unwrap();
         assert_eq!(out, data);
     }
@@ -518,7 +880,10 @@ mod tests {
         let mut comp = GdCompressor::new(&config).unwrap();
         let stream = comp.compress(&data).unwrap();
         let ratio = stream.serialized_len() as f64 / data.len() as f64;
-        assert!(ratio < 0.15, "expected strong compression, got ratio {ratio}");
+        assert!(
+            ratio < 0.15,
+            "expected strong compression, got ratio {ratio}"
+        );
         assert!(comp.stats().compression_ratio().unwrap() < 0.15);
     }
 
@@ -564,7 +929,11 @@ mod tests {
     fn unknown_identifier_fails_cleanly() {
         let config = small_config();
         let mut dec = GdDecompressor::new(&config).unwrap();
-        let record = Record::Ref { extra: BitVec::zeros(1), deviation: 0, id: 3 };
+        let record = Record::Ref {
+            extra: BitVec::zeros(1),
+            deviation: 0,
+            id: 3,
+        };
         let err = dec.decompress_record(&record).unwrap_err();
         assert_eq!(err, GdError::UnknownIdentifier(3));
         assert_eq!(dec.stats().decode_failures, 1);

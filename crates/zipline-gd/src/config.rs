@@ -36,7 +36,12 @@ impl GdConfig {
     /// Hamming(255, 247) (`m = 8`), 15-bit identifiers, 32-byte chunks, and
     /// 8 alignment padding bits.
     pub fn paper_default() -> Self {
-        Self { m: 8, id_bits: 15, chunk_bytes: 32, tofino_padding_bits: 8 }
+        Self {
+            m: 8,
+            id_bits: 15,
+            chunk_bytes: 32,
+            tofino_padding_bits: 8,
+        }
     }
 
     /// A configuration with the given Hamming parameter and identifier
@@ -47,7 +52,12 @@ impl GdConfig {
             return Err(GdError::UnsupportedHammingParameter(m));
         }
         let n = (1usize << m) - 1;
-        let cfg = Self { m, id_bits, chunk_bytes: n.div_ceil(8), tofino_padding_bits: 0 };
+        let cfg = Self {
+            m,
+            id_bits,
+            chunk_bytes: n.div_ceil(8),
+            tofino_padding_bits: 0,
+        };
         cfg.validate()?;
         Ok(cfg)
     }

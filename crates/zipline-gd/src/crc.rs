@@ -13,11 +13,27 @@
 //! by `x^m`. Table 2 of the paper fixes this convention: with
 //! `g(x) = x^3 + x + 1`, `CRC-3(0000001) = 001` (i.e. `x^0 mod g = 1`).
 //!
-//! Two implementations are provided and cross-checked by property tests:
-//! a bit-serial reference (any message length, any `m <= 32`) and a
-//! table-driven byte-at-a-time variant (the ablation benchmarked by
-//! `zipline-bench`, mirroring the fact that the Tofino CRC extern consumes
-//! whole containers per clock).
+//! Three implementations are provided and cross-checked by property tests:
+//!
+//! * a bit-serial reference (any message length, any `m <= 32`) — the ground
+//!   truth every fast path is checked against;
+//! * a table-driven byte-at-a-time variant (the ablation benchmarked by
+//!   `zipline-bench`, mirroring the fact that the Tofino CRC extern consumes
+//!   whole containers per clock; requires `m >= 8`);
+//! * a slicing-by-8 **word-parallel** path ([`CrcEngine::checksum_words`])
+//!   that consumes the packed `u64` words of a [`BitVec`] directly — 64
+//!   message bits per step, valid for every `m <= 32` and any bit length.
+//!   This is what the GD data path ([`crate::hamming`], [`crate::codec`])
+//!   uses to compute Hamming syndromes.
+//!
+//! # Word-path conventions
+//!
+//! [`checksum_words`](CrcEngine::checksum_words) reads words in
+//! [`BitVec`](crate::bits::BitVec) order: word 0 holds the first 64 bits of
+//! the message with the first bit in the most significant position, i.e. a
+//! word *is* the corresponding 64-coefficient slice of the message
+//! polynomial. A trailing partial word must be left-aligned with its unused
+//! low bits zero (the `BitVec` masked-tail invariant).
 
 use crate::bits::BitVec;
 use crate::error::{GdError, Result};
@@ -91,19 +107,51 @@ pub struct CrcEngine {
     ///
     /// Used to advance the register by 8 input bits at a time when `m >= 8`.
     table: [u64; 256],
+    /// Slicing-by-8 tables: `slice_table[j][v] = (v(x) · x^{8j}) mod g(x)`.
+    ///
+    /// Entries `j < 8` reduce the eight bytes of one message word; entries
+    /// `j >= 8` fold the previous register (multiplied by `x^64`) into the
+    /// new word, one register byte each. `8 + ceil(m / 8)` tables cover every
+    /// supported width.
+    slice_table: Vec<[u64; 256]>,
+    /// `x_pow[t] = x^t mod g(x)` for `t < 64`, used to append a sub-word tail
+    /// (or a run of zero bits) to the register in O(1).
+    x_pow: [u64; 64],
 }
 
 impl CrcEngine {
     /// Builds an engine for `spec`.
     pub fn new(spec: CrcSpec) -> Self {
-        let mut table = [0u64; 256];
         let g = spec.full_poly();
+        let mut table = [0u64; 256];
         for (v, slot) in table.iter_mut().enumerate() {
             // (v * x^m) mod g, computed with plain polynomial arithmetic.
             let shifted = Gf2Poly(v as u64).mul(Gf2Poly(1u64 << spec.width));
             *slot = shifted.rem(g).0;
         }
-        Self { spec, table }
+
+        let register_bytes = spec.width.div_ceil(8) as usize;
+        let mut slice_table = Vec::with_capacity(8 + register_bytes);
+        for j in 0..8 + register_bytes {
+            let base = Gf2Poly::x_pow_mod(8 * j as u64, g);
+            let mut entries = [0u64; 256];
+            for (v, slot) in entries.iter_mut().enumerate() {
+                *slot = Gf2Poly(v as u64).mul(base).rem(g).0;
+            }
+            slice_table.push(entries);
+        }
+
+        let mut x_pow = [0u64; 64];
+        for (t, slot) in x_pow.iter_mut().enumerate() {
+            *slot = Gf2Poly::x_pow_mod(t as u64, g).0;
+        }
+
+        Self {
+            spec,
+            table,
+            slice_table,
+            x_pow,
+        }
     }
 
     /// Convenience constructor from a full generator polynomial.
@@ -136,14 +184,135 @@ impl CrcEngine {
         reg & self.spec.mask()
     }
 
-    /// Computes the CRC of a bit sequence. Uses the byte-oriented fast path
-    /// when possible and falls back to the bit-serial reference otherwise.
+    /// Computes the CRC of a bit sequence via the word-parallel slicing-by-8
+    /// path ([`Self::checksum_words`]) — the default for the whole GD data
+    /// path. Bit-exact with [`Self::compute_bits_serial`] for every width and
+    /// length (enforced by the property-test suite).
     pub fn compute_bits(&self, bits: &BitVec) -> u64 {
-        if self.spec.width >= 8 && bits.len().is_multiple_of(8) {
-            self.compute_bytes(&bits.to_bytes())
-        } else {
-            self.compute_bits_serial(bits)
+        self.checksum_words(bits.words(), bits.len())
+    }
+
+    /// Reduces a polynomial of degree <= 63 modulo `g` with byte-table
+    /// lookups.
+    #[inline]
+    fn reduce64(&self, mut poly: u64) -> u64 {
+        let mut acc = 0u64;
+        let mut j = 0;
+        while poly != 0 {
+            acc ^= self.slice_table[j][(poly & 0xFF) as usize];
+            poly >>= 8;
+            j += 1;
         }
+        acc
+    }
+
+    /// One slicing-by-8 step: `(reg · x^64 + word) mod g`, consuming 64
+    /// message bits (the word's MSB is the earliest bit).
+    #[inline]
+    fn advance_word(&self, reg: u64, word: u64) -> u64 {
+        let t = &self.slice_table;
+        // The eight message bytes: byte j of the word carries x^{8j}..x^{8j+7}.
+        let mut acc = t[0][(word & 0xFF) as usize]
+            ^ t[1][((word >> 8) & 0xFF) as usize]
+            ^ t[2][((word >> 16) & 0xFF) as usize]
+            ^ t[3][((word >> 24) & 0xFF) as usize]
+            ^ t[4][((word >> 32) & 0xFF) as usize]
+            ^ t[5][((word >> 40) & 0xFF) as usize]
+            ^ t[6][((word >> 48) & 0xFF) as usize]
+            ^ t[7][((word >> 56) & 0xFF) as usize];
+        // The previous register, promoted by x^64: register byte i maps to
+        // table 8 + i. For the Hamming widths (m <= 8) this is one lookup.
+        let mut r = reg;
+        let mut j = 8;
+        while r != 0 {
+            acc ^= self.slice_table[j][(r & 0xFF) as usize];
+            r >>= 8;
+            j += 1;
+        }
+        acc
+    }
+
+    /// Appends `count < 64` message bits held low-aligned in `tail`:
+    /// `(reg · x^count + tail) mod g`.
+    #[inline]
+    fn advance_tail(&self, reg: u64, tail: u64, count: usize) -> u64 {
+        debug_assert!(count < 64);
+        if count == 0 {
+            return reg;
+        }
+        // reg and x^count mod g both have degree < m <= 32, so the carry-less
+        // product fits in 63 coefficient bits and one table reduction folds
+        // it back under g.
+        let promoted = Gf2Poly(reg).mul(Gf2Poly(self.x_pow[count])).0;
+        self.reduce64(promoted) ^ self.reduce64(tail)
+    }
+
+    /// Computes the CRC of a `bit_len`-bit message stored as packed words in
+    /// [`BitVec`](crate::bits::BitVec) order (see the module docs for the
+    /// exact convention) using slicing-by-8: 64 message bits per step, 9–12
+    /// table lookups each. Works for every supported width `m <= 32`.
+    ///
+    /// This is the word-parallel fast path behind [`Self::compute_bits`];
+    /// [`Self::compute_bits_serial`] is the cross-checked reference.
+    ///
+    /// # Panics
+    /// Panics if `words` holds fewer than `bit_len` bits.
+    pub fn checksum_words(&self, words: &[u64], bit_len: usize) -> u64 {
+        assert!(
+            bit_len <= words.len() * 64,
+            "bit_len {bit_len} exceeds {} words",
+            words.len()
+        );
+        let full_words = bit_len / 64;
+        let mut reg = 0u64;
+        for &word in &words[..full_words] {
+            reg = self.advance_word(reg, word);
+        }
+        let tail_bits = bit_len % 64;
+        if tail_bits != 0 {
+            let tail = words[full_words] >> (64 - tail_bits);
+            reg = self.advance_tail(reg, tail, tail_bits);
+        }
+        reg & self.spec.mask()
+    }
+
+    /// Computes the CRC of the bit range `[start, end)` of `bits` without
+    /// materialising the sub-sequence — the allocation-free form of
+    /// `compute_bits(&bits.slice(start..end))` used by the batch encoder.
+    ///
+    /// # Panics
+    /// Panics if the range is reversed or out of bounds.
+    pub fn checksum_bit_range(&self, bits: &BitVec, start: usize, end: usize) -> u64 {
+        assert!(
+            start <= end && end <= bits.len(),
+            "bit range {start}..{end} out of bounds"
+        );
+        let mut reg = 0u64;
+        let mut pos = start;
+        while pos + 64 <= end {
+            reg = self.advance_word(reg, bits.get_bits(pos, 64));
+            pos += 64;
+        }
+        if pos < end {
+            let count = end - pos;
+            reg = self.advance_tail(reg, bits.get_bits(pos, count), count);
+        }
+        reg & self.spec.mask()
+    }
+
+    /// Appends `zeros` zero bits to a running CRC register:
+    /// `(reg · x^zeros) mod g`. Used to compute parities
+    /// (`CRC(message · x^m)`) without materialising a zero-padded copy of the
+    /// message.
+    pub fn checksum_append_zeros(&self, reg: u64, zeros: usize) -> u64 {
+        let mut reg = reg;
+        let mut remaining = zeros;
+        while remaining >= 63 {
+            reg = self.advance_tail(reg, 0, 63);
+            remaining -= 63;
+        }
+        reg = self.advance_tail(reg, 0, remaining);
+        reg & self.spec.mask()
     }
 
     /// Computes the CRC of a whole byte slice (message length = 8 × bytes)
@@ -223,21 +392,111 @@ pub mod table1 {
 
     /// All rows of Table 1, in the paper's order.
     pub const ROWS: &[Table1Row] = &[
-        Table1Row { m: 3, n: 7, k: 4, generator_exponents: &[3, 1, 0], paper_crc_parameter: 0x3 },
-        Table1Row { m: 4, n: 15, k: 11, generator_exponents: &[4, 1, 0], paper_crc_parameter: 0x3 },
-        Table1Row { m: 5, n: 31, k: 26, generator_exponents: &[5, 2, 0], paper_crc_parameter: 0x05 },
-        Table1Row { m: 5, n: 31, k: 26, generator_exponents: &[5, 4, 2, 1, 0], paper_crc_parameter: 0x17 },
-        Table1Row { m: 6, n: 63, k: 57, generator_exponents: &[6, 1, 0], paper_crc_parameter: 0x03 },
-        Table1Row { m: 7, n: 127, k: 120, generator_exponents: &[7, 3, 0], paper_crc_parameter: 0x09 },
-        Table1Row { m: 8, n: 255, k: 247, generator_exponents: &[8, 4, 3, 2, 0], paper_crc_parameter: 0x1D },
-        Table1Row { m: 9, n: 511, k: 502, generator_exponents: &[9, 4, 0], paper_crc_parameter: 0x00D },
-        Table1Row { m: 9, n: 511, k: 502, generator_exponents: &[9, 8, 7, 6, 5, 1, 0], paper_crc_parameter: 0x0F3 },
-        Table1Row { m: 10, n: 1023, k: 1013, generator_exponents: &[10, 3, 0], paper_crc_parameter: 0x009 },
-        Table1Row { m: 11, n: 2047, k: 2036, generator_exponents: &[11, 2, 0], paper_crc_parameter: 0x005 },
-        Table1Row { m: 12, n: 4095, k: 4083, generator_exponents: &[12, 6, 4, 1, 0], paper_crc_parameter: 0x053 },
-        Table1Row { m: 13, n: 8191, k: 8178, generator_exponents: &[13, 4, 3, 1, 0], paper_crc_parameter: 0x01B },
-        Table1Row { m: 14, n: 16383, k: 16369, generator_exponents: &[14, 8, 6, 1, 0], paper_crc_parameter: 0x143 },
-        Table1Row { m: 15, n: 32767, k: 32752, generator_exponents: &[15, 1, 0], paper_crc_parameter: 0x003 },
+        Table1Row {
+            m: 3,
+            n: 7,
+            k: 4,
+            generator_exponents: &[3, 1, 0],
+            paper_crc_parameter: 0x3,
+        },
+        Table1Row {
+            m: 4,
+            n: 15,
+            k: 11,
+            generator_exponents: &[4, 1, 0],
+            paper_crc_parameter: 0x3,
+        },
+        Table1Row {
+            m: 5,
+            n: 31,
+            k: 26,
+            generator_exponents: &[5, 2, 0],
+            paper_crc_parameter: 0x05,
+        },
+        Table1Row {
+            m: 5,
+            n: 31,
+            k: 26,
+            generator_exponents: &[5, 4, 2, 1, 0],
+            paper_crc_parameter: 0x17,
+        },
+        Table1Row {
+            m: 6,
+            n: 63,
+            k: 57,
+            generator_exponents: &[6, 1, 0],
+            paper_crc_parameter: 0x03,
+        },
+        Table1Row {
+            m: 7,
+            n: 127,
+            k: 120,
+            generator_exponents: &[7, 3, 0],
+            paper_crc_parameter: 0x09,
+        },
+        Table1Row {
+            m: 8,
+            n: 255,
+            k: 247,
+            generator_exponents: &[8, 4, 3, 2, 0],
+            paper_crc_parameter: 0x1D,
+        },
+        Table1Row {
+            m: 9,
+            n: 511,
+            k: 502,
+            generator_exponents: &[9, 4, 0],
+            paper_crc_parameter: 0x00D,
+        },
+        Table1Row {
+            m: 9,
+            n: 511,
+            k: 502,
+            generator_exponents: &[9, 8, 7, 6, 5, 1, 0],
+            paper_crc_parameter: 0x0F3,
+        },
+        Table1Row {
+            m: 10,
+            n: 1023,
+            k: 1013,
+            generator_exponents: &[10, 3, 0],
+            paper_crc_parameter: 0x009,
+        },
+        Table1Row {
+            m: 11,
+            n: 2047,
+            k: 2036,
+            generator_exponents: &[11, 2, 0],
+            paper_crc_parameter: 0x005,
+        },
+        Table1Row {
+            m: 12,
+            n: 4095,
+            k: 4083,
+            generator_exponents: &[12, 6, 4, 1, 0],
+            paper_crc_parameter: 0x053,
+        },
+        Table1Row {
+            m: 13,
+            n: 8191,
+            k: 8178,
+            generator_exponents: &[13, 4, 3, 1, 0],
+            paper_crc_parameter: 0x01B,
+        },
+        Table1Row {
+            m: 14,
+            n: 16383,
+            k: 16369,
+            generator_exponents: &[14, 8, 6, 1, 0],
+            paper_crc_parameter: 0x143,
+        },
+        Table1Row {
+            m: 15,
+            n: 32767,
+            k: 32752,
+            generator_exponents: &[15, 1, 0],
+            paper_crc_parameter: 0x003,
+        },
     ];
 
     /// Returns the first (primary) row for a given `m`, if the paper lists
@@ -326,7 +585,9 @@ mod tests {
     #[test]
     fn byte_table_matches_bit_serial_for_crc15() {
         let engine = CrcEngine::from_full_poly(Gf2Poly::from_exponents(&[15, 1, 0])).unwrap();
-        let bytes: Vec<u8> = (0..200u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let bytes: Vec<u8> = (0..200u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         assert_eq!(
             engine.compute_bits_serial(&BitVec::from_bytes(&bytes)),
             engine.compute_bytes(&bytes)
@@ -341,6 +602,73 @@ mod tests {
             engine.compute_bytes(&bytes),
             engine.compute_bits_serial(&BitVec::from_bytes(&bytes))
         );
+    }
+
+    #[test]
+    fn checksum_words_matches_bit_serial_for_all_widths_and_lengths() {
+        // Every Hamming width used by Table 1, plus sub-byte and 16/32-bit
+        // widths, across lengths straddling the word boundaries.
+        for m in [1u32, 3, 4, 5, 6, 7, 8, 9, 12, 15, 16, 24, 32] {
+            let g = match m {
+                1 => Gf2Poly::from_exponents(&[1, 0]),
+                _ => {
+                    // x^m + x + 1 is not always primitive but the CRC maths
+                    // do not require primitivity.
+                    Gf2Poly::from_exponents(&[m, 1, 0])
+                }
+            };
+            let engine = CrcEngine::from_full_poly(g).unwrap();
+            let mut state = 0x243F_6A88_85A3_08D3u64 ^ (m as u64);
+            for len in [0usize, 1, 7, 63, 64, 65, 127, 128, 200, 255, 511] {
+                let mut bits = BitVec::with_capacity(len);
+                for _ in 0..len {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    bits.push(state >> 63 == 1);
+                }
+                assert_eq!(
+                    engine.checksum_words(bits.words(), bits.len()),
+                    engine.compute_bits_serial(&bits),
+                    "m = {m}, len = {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_bit_range_matches_slice_then_checksum() {
+        let engine = CrcEngine::from_full_poly(Gf2Poly::from_exponents(&[8, 4, 3, 2, 0])).unwrap();
+        let bytes: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(41).wrapping_add(9))
+            .collect();
+        let bits = BitVec::from_bytes(&bytes);
+        for (start, end) in [(0, 512), (1, 256), (1, 1), (7, 263), (64, 511), (129, 200)] {
+            assert_eq!(
+                engine.checksum_bit_range(&bits, start, end),
+                engine.compute_bits_serial(&bits.slice(start..end)),
+                "range {start}..{end}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_append_zeros_matches_padded_message() {
+        let engine = crc3();
+        let bits = BitVec::from_bit_str("1011001").unwrap();
+        for zeros in [0usize, 1, 3, 8, 62, 63, 64, 127, 200] {
+            let mut padded = bits.clone();
+            padded.push_bits(0, zeros.min(64));
+            for _ in 64..zeros {
+                padded.push(false);
+            }
+            let reg = engine.compute_bits(&bits);
+            assert_eq!(
+                engine.checksum_append_zeros(reg, zeros),
+                engine.compute_bits_serial(&padded),
+                "zeros = {zeros}"
+            );
+        }
     }
 
     #[test]
@@ -363,7 +691,11 @@ mod tests {
             assert_eq!(row.k, row.n - row.m as u64, "m = {}", row.m);
             assert_eq!(row.generator().degree(), row.m, "m = {}", row.m);
             // Every generator in the table is primitive (required for GD).
-            assert!(row.generator().is_primitive(), "m = {} generator not primitive", row.m);
+            assert!(
+                row.generator().is_primitive(),
+                "m = {} generator not primitive",
+                row.m
+            );
         }
     }
 
@@ -392,6 +724,9 @@ mod tests {
         assert!(table1::primary_row(2).is_none());
         assert!(table1::primary_row(16).is_none());
         // m = 5 has two rows; primary_row returns the first.
-        assert_eq!(table1::primary_row(5).unwrap().generator_exponents, &[5, 2, 0]);
+        assert_eq!(
+            table1::primary_row(5).unwrap().generator_exponents,
+            &[5, 2, 0]
+        );
     }
 }

@@ -181,7 +181,11 @@ impl BasisDictionary {
     pub fn insert(&mut self, basis: BitVec, now: u64) -> Result<InsertOutcome> {
         if let Some(&id) = self.by_basis.get(&basis) {
             self.touch(id, now);
-            return Ok(InsertOutcome { id, already_known: true, evicted: None });
+            return Ok(InsertOutcome {
+                id,
+                already_known: true,
+                evicted: None,
+            });
         }
 
         let mut evicted = None;
@@ -197,12 +201,20 @@ impl BasisDictionary {
             // not queue it; reuse it directly.
             let id = victim;
             self.install(id, basis, now);
-            return Ok(InsertOutcome { id, already_known: false, evicted });
+            return Ok(InsertOutcome {
+                id,
+                already_known: false,
+                evicted,
+            });
         }
 
         let id = self.allocate_id().ok_or(GdError::DictionaryFull)?;
         self.install(id, basis, now);
-        Ok(InsertOutcome { id, already_known: false, evicted })
+        Ok(InsertOutcome {
+            id,
+            already_known: false,
+            evicted,
+        })
     }
 
     /// Removes the mapping for `id`, returning its basis.
@@ -219,7 +231,9 @@ impl BasisDictionary {
     /// TTL, mirroring TNA's per-table-entry ageing. Returns the identifiers
     /// expired. No-op when no TTL is configured.
     pub fn expire_idle(&mut self, now: u64) -> Vec<u64> {
-        let Some(ttl) = self.idle_ttl else { return Vec::new() };
+        let Some(ttl) = self.idle_ttl else {
+            return Vec::new();
+        };
         let mut expired = Vec::new();
         // Walk from the LRU end; stop at the first entry that is fresh.
         while let Some(tail) = self.tail {
@@ -263,14 +277,22 @@ impl BasisDictionary {
     fn allocate_id(&mut self) -> Option<u64> {
         // Prefer identifiers that have never been used; otherwise take the
         // identifier that has been unused the longest.
-        self.never_used.pop_front().or_else(|| self.released.pop_front())
+        self.never_used
+            .pop_front()
+            .or_else(|| self.released.pop_front())
     }
 
     fn install(&mut self, id: u64, basis: BitVec, now: u64) {
         self.by_basis.insert(basis.clone(), id);
         self.by_id.insert(
             id,
-            Entry { basis, last_used: now, inserted_at: now, prev: None, next: None },
+            Entry {
+                basis,
+                last_used: now,
+                inserted_at: now,
+                prev: None,
+                next: None,
+            },
         );
         self.link_front(id);
     }

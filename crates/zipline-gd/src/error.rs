@@ -37,7 +37,10 @@ impl fmt::Display for GdError {
                 write!(f, "length mismatch: expected {expected}, got {actual}")
             }
             GdError::UnsupportedHammingParameter(m) => {
-                write!(f, "unsupported Hamming parameter m = {m} (supported: 3..=15)")
+                write!(
+                    f,
+                    "unsupported Hamming parameter m = {m} (supported: 3..=15)"
+                )
             }
             GdError::InvalidGeneratorPolynomial(msg) => {
                 write!(f, "invalid generator polynomial: {msg}")
@@ -65,14 +68,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GdError::LengthMismatch { expected: 255, actual: 256 };
+        let e = GdError::LengthMismatch {
+            expected: 255,
+            actual: 256,
+        };
         assert!(e.to_string().contains("255"));
         assert!(e.to_string().contains("256"));
 
         let e = GdError::UnsupportedHammingParameter(2);
         assert!(e.to_string().contains("m = 2"));
 
-        let e = GdError::IdentifierOverflow { id: 70000, bits: 15 };
+        let e = GdError::IdentifierOverflow {
+            id: 70000,
+            bits: 15,
+        };
         assert!(e.to_string().contains("70000"));
         assert!(e.to_string().contains("15"));
     }
@@ -86,9 +95,6 @@ mod tests {
     #[test]
     fn errors_compare_equal_by_value() {
         assert_eq!(GdError::UnknownBasis, GdError::UnknownBasis);
-        assert_ne!(
-            GdError::UnknownIdentifier(1),
-            GdError::UnknownIdentifier(2)
-        );
+        assert_ne!(GdError::UnknownIdentifier(1), GdError::UnknownIdentifier(2));
     }
 }

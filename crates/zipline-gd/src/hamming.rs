@@ -80,7 +80,14 @@ impl HammingCode {
             syndrome_to_position[s] = n - 1 - i as usize;
         }
 
-        Ok(Self { m, n, k, generator, crc, syndrome_to_position })
+        Ok(Self {
+            m,
+            n,
+            k,
+            generator,
+            crc,
+            syndrome_to_position,
+        })
     }
 
     /// Hamming parameter `m` (number of parity bits / syndrome width).
@@ -111,7 +118,10 @@ impl HammingCode {
     /// Computes the syndrome of an `n`-bit word: `s = B · Hᵀ = CRC(B)`.
     pub fn syndrome(&self, word: &BitVec) -> Result<u64> {
         if word.len() != self.n {
-            return Err(GdError::LengthMismatch { expected: self.n, actual: word.len() });
+            return Err(GdError::LengthMismatch {
+                expected: self.n,
+                actual: word.len(),
+            });
         }
         Ok(self.crc.compute_bits(word))
     }
@@ -146,6 +156,31 @@ impl HammingCode {
         Ok(mask)
     }
 
+    /// Applies the single-bit error designated by `syndrome` to a `k`-bit
+    /// basis that was (or is about to be) truncated out of a codeword:
+    /// positions `>= m` flip inside the basis, positions `< m` land in the
+    /// truncated parity region and vanish with it.
+    ///
+    /// This is the one place the "fold the flip into the truncation" rule
+    /// lives; the codec, the transform and the switch encoder all call it.
+    pub fn fold_error_into_basis(&self, basis: &mut BitVec, syndrome: u64) -> Result<()> {
+        self.fold_position_into_basis(basis, self.error_position(syndrome)?);
+        Ok(())
+    }
+
+    /// The position form of [`Self::fold_error_into_basis`], for callers that
+    /// already resolved the syndrome through their own lookup table (the
+    /// switch encoder's constant-entries table): flips `position - m` in the
+    /// basis when the error survives the parity truncation.
+    pub fn fold_position_into_basis(&self, basis: &mut BitVec, position: Option<usize>) {
+        if let Some(position) = position {
+            let m = self.m as usize;
+            if position >= m {
+                basis.flip(position - m);
+            }
+        }
+    }
+
     /// Encodes a `k`-bit message into an `n`-bit codeword
     /// `c = [parity (m bits) | message (k bits)]` with
     /// `parity = (message(x) · x^m) mod g`.
@@ -153,7 +188,10 @@ impl HammingCode {
     /// The resulting codeword always has syndrome 0.
     pub fn encode(&self, message: &BitVec) -> Result<BitVec> {
         if message.len() != self.k {
-            return Err(GdError::LengthMismatch { expected: self.k, actual: message.len() });
+            return Err(GdError::LengthMismatch {
+                expected: self.k,
+                actual: message.len(),
+            });
         }
         let parity = self.parity_of_message(message);
         let mut codeword = BitVec::with_capacity(self.n);
@@ -168,10 +206,13 @@ impl HammingCode {
     /// This is exactly what the ZipLine decoder does on the switch (step ➍ of
     /// Figure 2): it feeds the zero-padded basis to the same CRC unit as the
     /// encoder to regenerate the parity bits that the encoder truncated away.
+    ///
+    /// Word-parallel: the message is consumed through the packed-word CRC and
+    /// the zero padding is applied algebraically (`reg · x^m mod g`), so no
+    /// padded copy of the message is ever built.
     pub fn parity_of_message(&self, message: &BitVec) -> u64 {
-        let mut padded = message.clone();
-        padded.push_bits(0, self.m as usize);
-        self.crc.compute_bits(&padded)
+        let reg = self.crc.checksum_words(message.words(), message.len());
+        self.crc.checksum_append_zeros(reg, self.m as usize)
     }
 
     /// Decodes a received `n`-bit word: computes the syndrome, flips the
@@ -190,7 +231,10 @@ impl HammingCode {
     /// Extracts the `k` message bits (the rightmost `k` bits) of a codeword.
     pub fn extract_message(&self, codeword: &BitVec) -> Result<BitVec> {
         if codeword.len() != self.n {
-            return Err(GdError::LengthMismatch { expected: self.n, actual: codeword.len() });
+            return Err(GdError::LengthMismatch {
+                expected: self.n,
+                actual: codeword.len(),
+            });
         }
         Ok(codeword.slice(self.m as usize..self.n))
     }
@@ -266,8 +310,14 @@ mod tests {
 
     #[test]
     fn unsupported_parameters_are_rejected() {
-        assert!(matches!(HammingCode::new(2), Err(GdError::UnsupportedHammingParameter(2))));
-        assert!(matches!(HammingCode::new(16), Err(GdError::UnsupportedHammingParameter(16))));
+        assert!(matches!(
+            HammingCode::new(2),
+            Err(GdError::UnsupportedHammingParameter(2))
+        ));
+        assert!(matches!(
+            HammingCode::new(16),
+            Err(GdError::UnsupportedHammingParameter(16))
+        ));
     }
 
     #[test]
@@ -323,7 +373,11 @@ mod tests {
             for s in 1..=(code.n() as u64) {
                 let mask = code.error_mask(s).unwrap();
                 assert_eq!(mask.count_ones(), 1, "m = {m}, syndrome = {s}");
-                assert_eq!(code.syndrome(&mask).unwrap(), s, "mask must reproduce syndrome");
+                assert_eq!(
+                    code.syndrome(&mask).unwrap(),
+                    s,
+                    "mask must reproduce syndrome"
+                );
             }
         }
     }
@@ -399,7 +453,11 @@ mod tests {
         }
         columns.sort_unstable();
         columns.dedup();
-        assert_eq!(columns.len(), code.n(), "columns must be distinct (Hamming property)");
+        assert_eq!(
+            columns.len(),
+            code.n(),
+            "columns must be distinct (Hamming property)"
+        );
     }
 
     #[test]
@@ -437,7 +495,9 @@ mod tests {
             let mut word = BitVec::zeros(code.n());
             let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
             for i in 0..code.n() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if (state >> 62) & 1 == 1 {
                     word.set(i, true);
                 }

@@ -18,6 +18,32 @@
 //! The crate is hardware independent: the in-switch deployment of the same
 //! workflow lives in the `zipline` and `zipline-switch` crates.
 //!
+//! # Word-parallel fast path (PR 1)
+//!
+//! The entire data path operates on **packed `u64` words** rather than
+//! per-bit loops. The conventions, shared by every fast-path API:
+//!
+//! * a [`BitVec`] stores bit `i` of the sequence in word `i / 64` at bit
+//!   `63 - (i % 64)` (MSB-first), so a storage word read as an integer *is*
+//!   the corresponding 64-bit slice of the sequence, and storage bits at
+//!   positions `>= len()` are always zero (the masked-tail invariant);
+//! * [`CrcEngine::checksum_words`](crc::CrcEngine::checksum_words) consumes
+//!   those words directly with slicing-by-8 tables (64 message bits per
+//!   step, any width `m <= 32`), with
+//!   [`compute_bits_serial`](crc::CrcEngine::compute_bits_serial) kept as
+//!   the cross-checked bit-serial reference;
+//! * [`HammingCode`] resolves syndromes through an O(1)
+//!   syndrome→error-position table, so applying a deviation is a single-word
+//!   bit flip rather than an `n`-bit mask XOR;
+//! * [`ChunkCodec::encode_chunks`](codec::ChunkCodec::encode_chunks) /
+//!   [`GdCompressor::compress_batch`](codec::GdCompressor::compress_batch)
+//!   batch-encode whole buffers against a reused
+//!   [`EncodeScratch`](codec::EncodeScratch), allocation-free in steady
+//!   state.
+//!
+//! Bit-exact equivalence of every fast path against its bit-serial
+//! reference is enforced by `tests/word_parallel_equivalence.rs`.
+//!
 //! # Quick example
 //!
 //! ```
@@ -46,7 +72,7 @@ pub mod stats;
 pub mod transform;
 
 pub use bits::BitVec;
-pub use codec::{ChunkCodec, GdCompressor, GdDecompressor};
+pub use codec::{ChunkCodec, EncodeScratch, GdCompressor, GdDecompressor};
 pub use config::GdConfig;
 pub use crc::{CrcEngine, CrcSpec};
 pub use dictionary::BasisDictionary;

@@ -115,7 +115,11 @@ impl ZipLinePayload {
 
     /// Builds a type 3 payload from an encoded chunk and its identifier.
     pub fn compressed_from_chunk(chunk: &EncodedChunk, id: u64) -> Self {
-        ZipLinePayload::Compressed { deviation: chunk.deviation, extra: chunk.extra.clone(), id }
+        ZipLinePayload::Compressed {
+            deviation: chunk.deviation,
+            extra: chunk.extra.clone(),
+            id,
+        }
     }
 
     /// Wire size in bits, including the hardware padding for type 2 payloads
@@ -142,7 +146,11 @@ impl ZipLinePayload {
     pub fn encode(&self, config: &GdConfig) -> Result<Vec<u8>> {
         match self {
             ZipLinePayload::Raw(bytes) => Ok(bytes.clone()),
-            ZipLinePayload::Uncompressed { deviation, extra, basis } => {
+            ZipLinePayload::Uncompressed {
+                deviation,
+                extra,
+                basis,
+            } => {
                 self.check_fields(config, extra, Some(basis), None)?;
                 let mut w = BitWriter::new();
                 w.write_bits(*deviation, config.m as usize);
@@ -153,7 +161,11 @@ impl ZipLinePayload {
                 }
                 Ok(w.into_bytes())
             }
-            ZipLinePayload::Compressed { deviation, extra, id } => {
+            ZipLinePayload::Compressed {
+                deviation,
+                extra,
+                id,
+            } => {
                 self.check_fields(config, extra, None, Some(*id))?;
                 let mut w = BitWriter::new();
                 w.write_bits(*deviation, config.m as usize);
@@ -180,7 +192,11 @@ impl ZipLinePayload {
                 let deviation = r.read_bits(config.m as usize)?;
                 let extra = r.read_bitvec(config.extra_bits())?;
                 let basis = r.read_bitvec(config.k())?;
-                Ok(ZipLinePayload::Uncompressed { deviation, extra, basis })
+                Ok(ZipLinePayload::Uncompressed {
+                    deviation,
+                    extra,
+                    basis,
+                })
             }
             PacketType::Compressed => {
                 let expected = config.compressed_payload_bytes();
@@ -194,7 +210,11 @@ impl ZipLinePayload {
                 let deviation = r.read_bits(config.m as usize)?;
                 let extra = r.read_bitvec(config.extra_bits())?;
                 let id = r.read_bits(config.id_bits as usize)?;
-                Ok(ZipLinePayload::Compressed { deviation, extra, id })
+                Ok(ZipLinePayload::Compressed {
+                    deviation,
+                    extra,
+                    id,
+                })
             }
         }
     }
@@ -214,12 +234,18 @@ impl ZipLinePayload {
         }
         if let Some(basis) = basis {
             if basis.len() != config.k() {
-                return Err(GdError::LengthMismatch { expected: config.k(), actual: basis.len() });
+                return Err(GdError::LengthMismatch {
+                    expected: config.k(),
+                    actual: basis.len(),
+                });
             }
         }
         if let Some(id) = id {
             if config.id_bits < 64 && id >> config.id_bits != 0 {
-                return Err(GdError::IdentifierOverflow { id, bits: config.id_bits });
+                return Err(GdError::IdentifierOverflow {
+                    id,
+                    bits: config.id_bits,
+                });
             }
         }
         Ok(())
@@ -285,9 +311,18 @@ mod tests {
         let parsed = ZipLinePayload::decode(&config, PacketType::Uncompressed, &bytes).unwrap();
         assert_eq!(parsed, payload);
         // And the parsed payload still decodes to the original chunk.
-        if let ZipLinePayload::Uncompressed { deviation, extra, basis } = parsed {
+        if let ZipLinePayload::Uncompressed {
+            deviation,
+            extra,
+            basis,
+        } = parsed
+        {
             let decoded = codec
-                .decode_chunk(&EncodedChunk { extra, deviation, basis })
+                .decode_chunk(&EncodedChunk {
+                    extra,
+                    deviation,
+                    basis,
+                })
                 .unwrap();
             assert_eq!(decoded, chunk);
         } else {
@@ -359,7 +394,9 @@ mod tests {
         let config = GdConfig::paper_default();
         let codec = ChunkCodec::new(&config).unwrap();
         let enc = codec.encode_chunk(&[0xFFu8; 32]).unwrap();
-        let bytes = ZipLinePayload::uncompressed_from_chunk(&enc).encode(&config).unwrap();
+        let bytes = ZipLinePayload::uncompressed_from_chunk(&enc)
+            .encode(&config)
+            .unwrap();
         // Total 264 bits; the last 8 are alignment padding and must be zero.
         assert_eq!(bytes.len(), 33);
         assert_eq!(bytes[32], 0);

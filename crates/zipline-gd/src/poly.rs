@@ -267,7 +267,10 @@ mod tests {
     fn display_matches_paper_notation() {
         let p = Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]);
         assert_eq!(p.to_string(), "x^8 + x^4 + x^3 + x^2 + 1");
-        assert_eq!(Gf2Poly::from_exponents(&[3, 1, 0]).to_string(), "x^3 + x + 1");
+        assert_eq!(
+            Gf2Poly::from_exponents(&[3, 1, 0]).to_string(),
+            "x^3 + x + 1"
+        );
         assert_eq!(Gf2Poly::ZERO.to_string(), "0");
         assert_eq!(Gf2Poly::ONE.to_string(), "1");
         assert_eq!(Gf2Poly::X.to_string(), "x");

@@ -40,7 +40,9 @@ impl HammingTransform {
     /// Builds the transform for the Hamming code with parameter `m`,
     /// using the paper's generator polynomial for that `m` (Table 1).
     pub fn new(m: u32) -> Result<Self> {
-        Ok(Self { code: HammingCode::new(m)? })
+        Ok(Self {
+            code: HammingCode::new(m)?,
+        })
     }
 
     /// Builds the transform from an existing Hamming code.
@@ -69,18 +71,27 @@ impl HammingTransform {
     }
 
     /// Splits an `n`-bit chunk into basis and deviation (Figure 1).
+    ///
+    /// Word-parallel: the syndrome comes from the slicing-by-8 CRC over the
+    /// chunk's packed words, the `n`-bit error mask of the original
+    /// formulation is reduced to a single-bit flip (one word XOR), and the
+    /// flip is applied directly inside the extracted basis — bits landing in
+    /// the truncated parity region need no correction at all.
     pub fn deconstruct(&self, chunk: &BitVec) -> Result<Deconstructed> {
         if chunk.len() != self.code.n() {
-            return Err(GdError::LengthMismatch { expected: self.code.n(), actual: chunk.len() });
+            return Err(GdError::LengthMismatch {
+                expected: self.code.n(),
+                actual: chunk.len(),
+            });
         }
         // ➋ syndrome via the CRC unit
         let deviation = self.code.syndrome(chunk)?;
-        // ➌/➍ XOR the mask designated by the syndrome
-        let mask = self.code.error_mask(deviation)?;
-        let codeword = chunk.xor(&mask)?;
-        debug_assert_eq!(self.code.syndrome(&codeword)?, 0, "masked chunk must be a codeword");
-        // ➎ keep the rightmost k bits
-        let basis = self.code.extract_message(&codeword)?;
+        // ➎ keep the rightmost k bits, with ➌/➍ folded in: flip the bit
+        // designated by the syndrome if (and only if) it survives the
+        // truncation to the message region.
+        let m = self.code.m() as usize;
+        let mut basis = chunk.slice(m..self.code.n());
+        self.code.fold_error_into_basis(&mut basis, deviation)?;
         Ok(Deconstructed { basis, deviation })
     }
 
@@ -88,7 +99,10 @@ impl HammingTransform {
     /// (Figure 2).
     pub fn reconstruct(&self, basis: &BitVec, deviation: u64) -> Result<BitVec> {
         if basis.len() != self.code.k() {
-            return Err(GdError::LengthMismatch { expected: self.code.k(), actual: basis.len() });
+            return Err(GdError::LengthMismatch {
+                expected: self.code.k(),
+                actual: basis.len(),
+            });
         }
         if deviation > self.code.n() as u64 {
             return Err(GdError::Malformed(format!(
@@ -97,15 +111,18 @@ impl HammingTransform {
             )));
         }
         // ➌/➍ zero-pad and regenerate the parity bits with the same CRC
+        // (word-parallel: no padded copy is materialised)
         let parity = self.code.parity_of_message(basis);
         // ➏ concatenate parity and basis back into the codeword
-        let mut codeword = BitVec::with_capacity(self.code.n());
-        codeword.push_bits(parity, self.code.m() as usize);
-        codeword.extend_from_bitvec(basis);
-        debug_assert_eq!(self.code.syndrome(&codeword)?, 0);
-        // ➎/➏ flip the bit designated by the deviation
-        let mask = self.code.error_mask(deviation)?;
-        let chunk = codeword.xor(&mask)?;
+        let mut chunk = BitVec::with_capacity(self.code.n());
+        chunk.push_bits(parity, self.code.m() as usize);
+        chunk.extend_from_bitvec(basis);
+        debug_assert_eq!(self.code.syndrome(&chunk)?, 0);
+        // ➎/➏ flip the bit designated by the deviation (single word XOR
+        // instead of an n-bit mask)
+        if let Some(position) = self.code.error_position(deviation)? {
+            chunk.flip(position);
+        }
         Ok(chunk)
     }
 
@@ -135,8 +152,9 @@ mod tests {
         // bit set map to basis 0000, chunks with at most one bit cleared map
         // to basis 1111.
         let t = HammingTransform::new(3).unwrap();
-        let zero_family =
-            ["0000000", "0000001", "0000010", "0000100", "0001000", "0010000", "0100000", "1000000"];
+        let zero_family = [
+            "0000000", "0000001", "0000010", "0000100", "0001000", "0010000", "0100000", "1000000",
+        ];
         for s in zero_family {
             let chunk = BitVec::from_bit_str(s).unwrap();
             let d = t.deconstruct(&chunk).unwrap();
@@ -145,8 +163,9 @@ mod tests {
             let back = t.reconstruct(&d.basis, d.deviation).unwrap();
             assert_eq!(back, chunk, "chunk {s}");
         }
-        let ones_family =
-            ["1111111", "1111110", "1111101", "1111011", "1110111", "1101111", "1011111", "0111111"];
+        let ones_family = [
+            "1111111", "1111110", "1111101", "1111011", "1110111", "1101111", "1011111", "0111111",
+        ];
         for s in ones_family {
             let chunk = BitVec::from_bit_str(s).unwrap();
             let d = t.deconstruct(&chunk).unwrap();
@@ -161,7 +180,9 @@ mod tests {
         // The 42-bit sequence of section 2 contains six 7-bit chunks but only
         // two distinct bases.
         let t = HammingTransform::new(3).unwrap();
-        let sequence = ["0000000", "1111111", "0100000", "1111011", "1000000", "1011111"];
+        let sequence = [
+            "0000000", "1111111", "0100000", "1111011", "1000000", "1011111",
+        ];
         let mut bases = std::collections::HashSet::new();
         for s in sequence {
             let chunk = BitVec::from_bit_str(s).unwrap();

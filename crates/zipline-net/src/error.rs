@@ -51,17 +51,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(NetError::Malformed("short".into()).to_string().contains("short"));
-        assert!(NetError::UnknownEndpoint("node 7".into()).to_string().contains("node 7"));
-        assert!(NetError::Topology("port in use".into()).to_string().contains("port in use"));
-        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(NetError::Malformed("short".into())
+            .to_string()
+            .contains("short"));
+        assert!(NetError::UnknownEndpoint("node 7".into())
+            .to_string()
+            .contains("node 7"));
+        assert!(NetError::Topology("port in use".into())
+            .to_string()
+            .contains("port in use"));
+        let io = NetError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
     }
 
     #[test]
     fn io_error_exposes_source() {
         use std::error::Error;
-        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "inner"));
+        let io = NetError::from(std::io::Error::other("inner"));
         assert!(io.source().is_some());
         assert!(NetError::Malformed("x".into()).source().is_none());
     }

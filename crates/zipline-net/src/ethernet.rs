@@ -43,7 +43,12 @@ pub struct EthernetFrame {
 impl EthernetFrame {
     /// Builds a frame.
     pub fn new(dst: MacAddress, src: MacAddress, ethertype: u16, payload: Vec<u8>) -> Self {
-        Self { dst, src, ethertype, payload }
+        Self {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
     }
 
     /// Size of the frame on the wire: header + payload + FCS, padded up to
@@ -96,7 +101,10 @@ impl EthernetFrame {
     /// # Panics
     /// Panics if `wire_size < MIN_FRAME_LEN`.
     pub fn test_frame(dst: MacAddress, src: MacAddress, wire_size: usize, fill: u8) -> Self {
-        assert!(wire_size >= MIN_FRAME_LEN, "wire size below Ethernet minimum");
+        assert!(
+            wire_size >= MIN_FRAME_LEN,
+            "wire size below Ethernet minimum"
+        );
         let payload_len = wire_size - HEADER_LEN - FCS_LEN;
         Self::new(dst, src, ETHERTYPE_IPV4, vec![fill; payload_len])
     }
@@ -104,7 +112,12 @@ impl EthernetFrame {
     /// Returns a copy with a different payload and EtherType, keeping the
     /// addressing. Used by the switch programs when rewriting packets.
     pub fn with_payload(&self, ethertype: u16, payload: Vec<u8>) -> Self {
-        Self { dst: self.dst, src: self.src, ethertype, payload }
+        Self {
+            dst: self.dst,
+            src: self.src,
+            ethertype,
+            payload,
+        }
     }
 }
 

@@ -111,7 +111,12 @@ impl TrafficGenerator {
     /// Creates a generator. Call [`Self::start`] (or schedule a timer with
     /// token 0 at the configured start time) after adding it to the network.
     pub fn new(config: GeneratorConfig) -> Self {
-        Self { config, next_index: 0, sent: 0, stats: GeneratorStats::default() }
+        Self {
+            config,
+            next_index: 0,
+            sent: 0,
+            stats: GeneratorStats::default(),
+        }
     }
 
     /// Convenience to schedule the first transmission; equivalent to
@@ -232,14 +237,24 @@ pub struct CaptureSink {
 impl CaptureSink {
     /// A sink that only keeps counters.
     pub fn counting() -> Self {
-        Self { record_arrivals: false, keep_frames: false, max_kept_frames: 0, ..Self::default() }
+        Self {
+            record_arrivals: false,
+            keep_frames: false,
+            max_kept_frames: 0,
+            ..Self::default()
+        }
     }
 
     /// A sink that additionally records arrival timestamps and EtherTypes
     /// (used by the dynamic-learning experiment to find the first type 2 and
     /// type 3 packets).
     pub fn recording_arrivals() -> Self {
-        Self { record_arrivals: true, keep_frames: false, max_kept_frames: 0, ..Self::default() }
+        Self {
+            record_arrivals: true,
+            keep_frames: false,
+            max_kept_frames: 0,
+            ..Self::default()
+        }
     }
 
     /// A sink that keeps up to `max` whole frames (used by round-trip tests).
@@ -269,7 +284,10 @@ impl CaptureSink {
 
     /// First arrival whose EtherType matches `ethertype`.
     pub fn first_arrival_with_ethertype(&self, ethertype: u16) -> Option<SimTime> {
-        self.arrivals.iter().find(|(_, et)| *et == ethertype).map(|(t, _)| *t)
+        self.arrivals
+            .iter()
+            .find(|(_, et)| *et == ethertype)
+            .map(|(t, _)| *t)
     }
 }
 
@@ -349,7 +367,13 @@ pub struct RttProbe {
 impl RttProbe {
     /// Creates a probe host.
     pub fn new(probe: EthernetFrame, port: PortId) -> Self {
-        Self { probe, port, sent_at: Vec::new(), rtts: Vec::new(), outstanding: Vec::new() }
+        Self {
+            probe,
+            port,
+            sent_at: Vec::new(),
+            rtts: Vec::new(),
+            outstanding: Vec::new(),
+        }
     }
 
     /// Mean RTT over all completed probes.
@@ -408,7 +432,8 @@ mod tests {
         let start = generator.start_time();
         let gen_id = net.add_node(Box::new(generator));
         let sink_id = net.add_node(Box::new(CaptureSink::counting()));
-        net.connect((gen_id, 0), (sink_id, 0), LinkParams::line_rate_100g()).unwrap();
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::line_rate_100g())
+            .unwrap();
         net.schedule_timer(start, gen_id, 0);
         net.run(10_000);
 
@@ -435,7 +460,8 @@ mod tests {
         let generator = TrafficGenerator::new(config);
         let gen_id = net.add_node(Box::new(generator));
         let sink_id = net.add_node(Box::new(CaptureSink::counting()));
-        net.connect((gen_id, 0), (sink_id, 0), LinkParams::line_rate_100g()).unwrap();
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::line_rate_100g())
+            .unwrap();
         net.schedule_timer(SimTime::ZERO, gen_id, 0);
         net.run(10_000);
 
@@ -444,7 +470,10 @@ mod tests {
         let elapsed = sink.stats().last_arrival.unwrap() - sink.stats().first_arrival.unwrap();
         assert_eq!(elapsed.as_nanos(), 49_000);
         let rate = sink.stats().packet_rate();
-        assert!((rate - 1_000_000.0).abs() / 1_000_000.0 < 0.03, "rate {rate}");
+        assert!(
+            (rate - 1_000_000.0).abs() / 1_000_000.0 < 0.03,
+            "rate {rate}"
+        );
     }
 
     #[test]
@@ -463,7 +492,8 @@ mod tests {
         let config = GeneratorConfig::replay(frames.clone(), DataRate::from_gbps(10.0));
         let gen_id = net.add_node(Box::new(TrafficGenerator::new(config)));
         let sink_id = net.add_node(Box::new(CaptureSink::keeping_frames(10)));
-        net.connect((gen_id, 0), (sink_id, 0), LinkParams::ideal()).unwrap();
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::ideal())
+            .unwrap();
         net.schedule_timer(SimTime::ZERO, gen_id, 0);
         net.run(1_000);
         let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
@@ -488,7 +518,8 @@ mod tests {
         let mut net = Network::new();
         let gen_id = net.add_node(Box::new(TrafficGenerator::new(config)));
         let sink_id = net.add_node(Box::new(CaptureSink::keeping_frames(10)));
-        net.connect((gen_id, 0), (sink_id, 0), LinkParams::ideal()).unwrap();
+        net.connect((gen_id, 0), (sink_id, 0), LinkParams::ideal())
+            .unwrap();
         net.schedule_timer(SimTime::ZERO, gen_id, 0);
         net.run(1_000);
         let sink = net.node_as::<CaptureSink>(sink_id).unwrap();
@@ -500,8 +531,18 @@ mod tests {
     fn capture_sink_records_ethertypes() {
         let mut net = Network::new();
         let sink_id = net.add_node(Box::new(CaptureSink::recording_arrivals()));
-        let f1 = EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), 0x88B5, vec![0; 33]);
-        let f2 = EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), 0x88B6, vec![0; 3]);
+        let f1 = EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            0x88B5,
+            vec![0; 33],
+        );
+        let f2 = EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            0x88B6,
+            vec![0; 3],
+        );
         net.inject_frame(SimTime::from_micros(1), sink_id, 0, f1);
         net.inject_frame(SimTime::from_micros(2), sink_id, 0, f2);
         net.run(10);
@@ -527,7 +568,8 @@ mod tests {
         let echo_id = net.add_node(Box::new(EchoHost::default()));
         let sink_id = net.add_node(Box::new(CaptureSink::keeping_frames(4)));
         // Echo's port 0 leads to the sink so we can see the reply.
-        net.connect((echo_id, 0), (sink_id, 0), LinkParams::ideal()).unwrap();
+        net.connect((echo_id, 0), (sink_id, 0), LinkParams::ideal())
+            .unwrap();
         let frame = EthernetFrame::new(
             MacAddress::local(9),
             MacAddress::local(8),

@@ -21,13 +21,19 @@ impl LinkParams {
     /// A 100 Gbit/s link with a short (cable + PHY) propagation delay,
     /// approximating the direct-attach copper cables of the testbed.
     pub fn line_rate_100g() -> Self {
-        Self { rate: DataRate::LINE_RATE_100G, propagation: SimDuration::from_nanos(350) }
+        Self {
+            rate: DataRate::LINE_RATE_100G,
+            propagation: SimDuration::from_nanos(350),
+        }
     }
 
     /// An ideal link: no serialization or propagation delay. Useful in unit
     /// tests and for isolating processing latency.
     pub fn ideal() -> Self {
-        Self { rate: DataRate::from_bps(0), propagation: SimDuration::ZERO }
+        Self {
+            rate: DataRate::from_bps(0),
+            propagation: SimDuration::ZERO,
+        }
     }
 
     /// Builds a link with an explicit rate and propagation delay.
@@ -57,7 +63,11 @@ impl LinkOccupancy {
     /// soon as the link frees up) and returns the arrival time at the far
     /// end.
     pub fn transmit(&mut self, params: &LinkParams, now: SimTime, wire_len: usize) -> SimTime {
-        let start = if self.next_free > now { self.next_free } else { now };
+        let start = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
         let done = start + params.serialization_delay(wire_len);
         self.next_free = done;
         self.bytes_sent += wire_len as u64;
@@ -80,7 +90,10 @@ mod tests {
         let link = LinkParams::line_rate_100g();
         assert_eq!(link.serialization_delay(1500).as_nanos(), 120);
         assert!(link.serialization_delay(9000) > link.serialization_delay(1500));
-        assert_eq!(LinkParams::ideal().serialization_delay(9000), SimDuration::ZERO);
+        assert_eq!(
+            LinkParams::ideal().serialization_delay(9000),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -78,8 +78,11 @@ impl FromStr for MacAddress {
 
     /// Parses `aa:bb:cc:dd:ee:ff` or `aa-bb-cc-dd-ee-ff`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let parts: Vec<&str> =
-            if s.contains(':') { s.split(':').collect() } else { s.split('-').collect() };
+        let parts: Vec<&str> = if s.contains(':') {
+            s.split(':').collect()
+        } else {
+            s.split('-').collect()
+        };
         if parts.len() != 6 {
             return Err(ParseMacError(s.to_string()));
         }

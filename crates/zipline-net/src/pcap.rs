@@ -33,7 +33,10 @@ pub struct PcapPacket {
 impl PcapPacket {
     /// Builds a packet record from an Ethernet frame.
     pub fn from_frame(timestamp: SimTime, frame: &EthernetFrame) -> Self {
-        Self { timestamp, data: frame.serialize() }
+        Self {
+            timestamp,
+            data: frame.serialize(),
+        }
     }
 
     /// Parses the record back into an Ethernet frame.
@@ -59,7 +62,10 @@ impl<W: Write> PcapWriter<W> {
         inner.write_all(&0u32.to_le_bytes())?; // sigfigs
         inner.write_all(&SNAPLEN.to_le_bytes())?;
         inner.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
-        Ok(Self { inner, packets_written: 0 })
+        Ok(Self {
+            inner,
+            packets_written: 0,
+        })
     }
 
     /// Appends one packet record.
@@ -113,7 +119,9 @@ impl<R: Read> PcapReader<R> {
             MAGIC_USEC_LE => false,
             MAGIC_USEC_BE => true,
             other => {
-                return Err(NetError::Malformed(format!("unsupported pcap magic {other:#x}")))
+                return Err(NetError::Malformed(format!(
+                    "unsupported pcap magic {other:#x}"
+                )))
             }
         };
         let linktype_bytes = [header[20], header[21], header[22], header[23]];

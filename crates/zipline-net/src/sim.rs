@@ -70,8 +70,15 @@ impl NodeCtx<'_> {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { node: NodeId, port: PortId, frame: EthernetFrame },
-    Timer { node: NodeId, token: u64 },
+    Deliver {
+        node: NodeId,
+        port: PortId,
+        frame: EthernetFrame,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -189,7 +196,9 @@ impl Network {
     ) -> Result<()> {
         for (node, _port) in [from, to] {
             if node >= self.nodes.len() {
-                return Err(NetError::UnknownEndpoint(format!("node {node} does not exist")));
+                return Err(NetError::UnknownEndpoint(format!(
+                    "node {node} does not exist"
+                )));
             }
         }
         if self.links.contains_key(&from) {
@@ -200,7 +209,12 @@ impl Network {
         }
         self.links.insert(
             from,
-            LinkState { to_node: to.0, to_port: to.1, params, occupancy: LinkOccupancy::default() },
+            LinkState {
+                to_node: to.0,
+                to_port: to.1,
+                params,
+                occupancy: LinkOccupancy::default(),
+            },
         );
         Ok(())
     }
@@ -252,7 +266,9 @@ impl Network {
 
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.queue.pop() else { return false };
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
         debug_assert!(event.time >= self.now, "time must not go backwards");
         self.now = event.time;
         self.stats.events_processed += 1;
@@ -262,20 +278,34 @@ impl Network {
         let node_id = match event.kind {
             EventKind::Deliver { node, port, frame } => {
                 self.stats.frames_delivered += 1;
-                let mut ctx = NodeCtx { now: self.now, outputs: &mut outputs, timers: &mut timers };
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    outputs: &mut outputs,
+                    timers: &mut timers,
+                };
                 self.nodes[node].on_frame(&mut ctx, port, frame);
                 node
             }
             EventKind::Timer { node, token } => {
                 self.stats.timers_fired += 1;
-                let mut ctx = NodeCtx { now: self.now, outputs: &mut outputs, timers: &mut timers };
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    outputs: &mut outputs,
+                    timers: &mut timers,
+                };
                 self.nodes[node].on_timer(&mut ctx, token);
                 node
             }
         };
 
         for (at, token) in timers {
-            self.push_event(at, EventKind::Timer { node: node_id, token });
+            self.push_event(
+                at,
+                EventKind::Timer {
+                    node: node_id,
+                    token,
+                },
+            );
         }
         for (port, frame) in outputs {
             self.transmit(node_id, port, frame);
@@ -289,7 +319,14 @@ impl Network {
             Some(link) => {
                 let arrival = link.occupancy.transmit(&link.params, self.now, wire_len);
                 let (to_node, to_port) = (link.to_node, link.to_port);
-                self.push_event(arrival, EventKind::Deliver { node: to_node, port: to_port, frame });
+                self.push_event(
+                    arrival,
+                    EventKind::Deliver {
+                        node: to_node,
+                        port: to_port,
+                        frame,
+                    },
+                );
             }
             None => {
                 self.stats.frames_dropped_unconnected += 1;
@@ -339,10 +376,18 @@ mod tests {
 
     impl Recorder {
         fn new() -> Self {
-            Self { arrivals: Vec::new(), forward_to: None, timer_log: Vec::new() }
+            Self {
+                arrivals: Vec::new(),
+                forward_to: None,
+                timer_log: Vec::new(),
+            }
         }
         fn forwarding(port: PortId) -> Self {
-            Self { arrivals: Vec::new(), forward_to: Some(port), timer_log: Vec::new() }
+            Self {
+                arrivals: Vec::new(),
+                forward_to: Some(port),
+                timer_log: Vec::new(),
+            }
         }
     }
 
@@ -368,7 +413,12 @@ mod tests {
     }
 
     fn frame(len: usize) -> EthernetFrame {
-        EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), ETHERTYPE_IPV4, vec![0; len])
+        EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            ETHERTYPE_IPV4,
+            vec![0; len],
+        )
     }
 
     #[test]
@@ -406,8 +456,12 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_node(Box::new(Recorder::forwarding(0)));
         let b = net.add_node(Box::new(Recorder::new()));
-        net.connect((a, 0), (b, 0), LinkParams::new(DataRate::from_gbps(1.0), SimDuration::ZERO))
-            .unwrap();
+        net.connect(
+            (a, 0),
+            (b, 0),
+            LinkParams::new(DataRate::from_gbps(1.0), SimDuration::ZERO),
+        )
+        .unwrap();
         // Two frames injected at the same instant; the second must wait for
         // the first to serialize.
         net.inject_frame(SimTime::ZERO, a, 0, frame(1486));

@@ -167,7 +167,9 @@ pub struct DataRate {
 
 impl DataRate {
     /// The 100 Gbit/s line rate of the paper's switch ports.
-    pub const LINE_RATE_100G: DataRate = DataRate { bits_per_second: 100_000_000_000 };
+    pub const LINE_RATE_100G: DataRate = DataRate {
+        bits_per_second: 100_000_000_000,
+    };
 
     /// Builds a rate from bits per second.
     pub fn from_bps(bits_per_second: u64) -> Self {
@@ -176,12 +178,16 @@ impl DataRate {
 
     /// Builds a rate from gigabits per second.
     pub fn from_gbps(gbps: f64) -> Self {
-        Self { bits_per_second: (gbps * 1e9).round() as u64 }
+        Self {
+            bits_per_second: (gbps * 1e9).round() as u64,
+        }
     }
 
     /// Builds a rate from megabits per second.
     pub fn from_mbps(mbps: f64) -> Self {
-        Self { bits_per_second: (mbps * 1e6).round() as u64 }
+        Self {
+            bits_per_second: (mbps * 1e6).round() as u64,
+        }
     }
 
     /// The rate in bits per second.
@@ -268,7 +274,10 @@ mod tests {
         assert_eq!(d, SimDuration::from_millis(500));
         // Saturating subtraction.
         assert_eq!(SimTime::ZERO - SimTime::from_secs(1), SimDuration::ZERO);
-        assert_eq!(SimTime::from_secs(2).since(SimTime::from_secs(1)), SimDuration::from_secs(1));
+        assert_eq!(
+            SimTime::from_secs(2).since(SimTime::from_secs(1)),
+            SimDuration::from_secs(1)
+        );
 
         let mut t = SimTime::ZERO;
         t += SimDuration::from_nanos(5);
@@ -291,7 +300,10 @@ mod tests {
         let d = DataRate::from_gbps(10.0).serialization_delay(9000);
         assert_eq!(d.as_nanos(), 7200);
         // Zero rate = ideal link.
-        assert_eq!(DataRate::from_bps(0).serialization_delay(1500), SimDuration::ZERO);
+        assert_eq!(
+            DataRate::from_bps(0).serialization_delay(1500),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl CounterArray {
         if size == 0 {
             return Err(SwitchError::InvalidConfig("counter array of size 0".into()));
         }
-        Ok(Self { name: name.into(), cells: vec![CounterValue::default(); size] })
+        Ok(Self {
+            name: name.into(),
+            cells: vec![CounterValue::default(); size],
+        })
     }
 
     /// Name of the array.
@@ -60,7 +63,10 @@ impl CounterArray {
         self.cells
             .get(index)
             .copied()
-            .ok_or(SwitchError::IndexOutOfRange { index, size: self.cells.len() })
+            .ok_or(SwitchError::IndexOutOfRange {
+                index,
+                size: self.cells.len(),
+            })
     }
 
     /// Control-plane read of the whole array.
@@ -80,7 +86,9 @@ impl CounterArray {
 
     /// Control-plane reset.
     pub fn clear(&mut self) {
-        self.cells.iter_mut().for_each(|c| *c = CounterValue::default());
+        self.cells
+            .iter_mut()
+            .for_each(|c| *c = CounterValue::default());
     }
 }
 
@@ -94,10 +102,28 @@ mod tests {
         c.count(0, 64).unwrap();
         c.count(0, 64).unwrap();
         c.count(2, 1500).unwrap();
-        assert_eq!(c.read(0).unwrap(), CounterValue { packets: 2, bytes: 128 });
+        assert_eq!(
+            c.read(0).unwrap(),
+            CounterValue {
+                packets: 2,
+                bytes: 128
+            }
+        );
         assert_eq!(c.read(1).unwrap(), CounterValue::default());
-        assert_eq!(c.read(2).unwrap(), CounterValue { packets: 1, bytes: 1500 });
-        assert_eq!(c.total(), CounterValue { packets: 3, bytes: 1628 });
+        assert_eq!(
+            c.read(2).unwrap(),
+            CounterValue {
+                packets: 1,
+                bytes: 1500
+            }
+        );
+        assert_eq!(
+            c.total(),
+            CounterValue {
+                packets: 3,
+                bytes: 1628
+            }
+        );
         assert_eq!(c.name(), "per-type");
         assert_eq!(c.size(), 3);
     }

@@ -32,14 +32,22 @@ impl CrcExtern {
     pub fn new(name: impl Into<String>, width: u32, poly_parameter: u64) -> Result<Self> {
         let spec = CrcSpec::new(width, poly_parameter)
             .map_err(|e| SwitchError::InvalidConfig(format!("CRC spec: {e}")))?;
-        Ok(Self { name: name.into(), engine: CrcEngine::new(spec), invocations: 0 })
+        Ok(Self {
+            name: name.into(),
+            engine: CrcEngine::new(spec),
+            invocations: 0,
+        })
     }
 
     /// Configures a CRC unit from a full generator polynomial.
     pub fn from_generator(name: impl Into<String>, generator: Gf2Poly) -> Result<Self> {
         let spec = CrcSpec::from_full_poly(generator)
             .map_err(|e| SwitchError::InvalidConfig(format!("CRC spec: {e}")))?;
-        Ok(Self { name: name.into(), engine: CrcEngine::new(spec), invocations: 0 })
+        Ok(Self {
+            name: name.into(),
+            engine: CrcEngine::new(spec),
+            invocations: 0,
+        })
     }
 
     /// Name of the unit (diagnostics).
@@ -65,10 +73,28 @@ impl CrcExtern {
     }
 
     /// Computes the CRC of an arbitrary bit string (used where the paper's
-    /// fields are not byte aligned).
+    /// fields are not byte aligned). Word-parallel via
+    /// [`CrcEngine::checksum_words`].
     pub fn hash_bits(&mut self, data: &BitVec) -> u64 {
         self.invocations += 1;
         self.engine.compute_bits(data)
+    }
+
+    /// Computes the CRC of the bit range `[start, end)` of `data` without
+    /// materialising the sub-sequence — how the encode program hashes the
+    /// Hamming block sitting inside a parsed payload. On the hardware target
+    /// this is just the hash unit consuming a field slice; here it maps to
+    /// [`CrcEngine::checksum_bit_range`].
+    pub fn hash_bit_range(&mut self, data: &BitVec, start: usize, end: usize) -> u64 {
+        self.invocations += 1;
+        self.engine.checksum_bit_range(data, start, end)
+    }
+
+    /// Computes the CRC of a message given as packed words (word-parallel
+    /// fast path; see [`CrcEngine::checksum_words`] for the word order).
+    pub fn hash_words(&mut self, words: &[u64], bit_len: usize) -> u64 {
+        self.invocations += 1;
+        self.engine.checksum_words(words, bit_len)
     }
 
     /// Access to the underlying engine (e.g. for building syndrome lookup
@@ -115,6 +141,23 @@ mod tests {
         assert!(h < 256);
         assert_eq!(unit.invocations(), 2);
         assert_eq!(unit.name(), "crc8");
+    }
+
+    #[test]
+    fn word_and_range_paths_match_the_bit_path() {
+        let mut unit = CrcExtern::new("syndrome", 8, 0x1D).unwrap();
+        let bytes: Vec<u8> = (0..33u8)
+            .map(|i| i.wrapping_mul(73).wrapping_add(5))
+            .collect();
+        let bits = BitVec::from_bytes(&bytes);
+        let reference = unit.hash_bits(&bits);
+        assert_eq!(unit.hash_words(bits.words(), bits.len()), reference);
+        assert_eq!(unit.hash_bit_range(&bits, 0, bits.len()), reference);
+        // A strict sub-range equals hashing the materialised slice.
+        let sliced = bits.slice(1..256);
+        let expected = unit.hash_bits(&sliced);
+        assert_eq!(unit.hash_bit_range(&bits, 1, 256), expected);
+        assert_eq!(unit.invocations(), 5);
     }
 
     #[test]

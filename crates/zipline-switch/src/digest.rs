@@ -27,9 +27,17 @@ impl<T> DigestQueue<T> {
     /// Creates a queue holding at most `capacity` pending digests.
     pub fn new(name: impl Into<String>, capacity: usize) -> Result<Self> {
         if capacity == 0 {
-            return Err(SwitchError::InvalidConfig("digest queue of capacity 0".into()));
+            return Err(SwitchError::InvalidConfig(
+                "digest queue of capacity 0".into(),
+            ));
         }
-        Ok(Self { name: name.into(), capacity, queue: VecDeque::new(), dropped: 0, enqueued: 0 })
+        Ok(Self {
+            name: name.into(),
+            capacity,
+            queue: VecDeque::new(),
+            dropped: 0,
+            enqueued: 0,
+        })
     }
 
     /// Queue name.

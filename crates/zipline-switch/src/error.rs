@@ -46,14 +46,23 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        let e = SwitchError::TableFull { table: "bases".into(), max_entries: 32768 };
+        let e = SwitchError::TableFull {
+            table: "bases".into(),
+            max_entries: 32768,
+        };
         assert!(e.to_string().contains("bases"));
         assert!(e.to_string().contains("32768"));
-        assert!(SwitchError::EntryNotFound("k".into()).to_string().contains('k'));
-        assert!(SwitchError::IndexOutOfRange { index: 9, size: 4 }.to_string().contains('9'));
+        assert!(SwitchError::EntryNotFound("k".into())
+            .to_string()
+            .contains('k'));
+        assert!(SwitchError::IndexOutOfRange { index: 9, size: 4 }
+            .to_string()
+            .contains('9'));
         assert!(SwitchError::TargetConstraint("recirculation".into())
             .to_string()
             .contains("recirculation"));
-        assert!(SwitchError::InvalidConfig("zero ports".into()).to_string().contains("zero"));
+        assert!(SwitchError::InvalidConfig("zero ports".into())
+            .to_string()
+            .contains("zero"));
     }
 }

@@ -122,6 +122,9 @@ pub struct SwitchNode<P: PipelineProgram> {
     pending_egress: VecDeque<(PortId, EthernetFrame)>,
     digest_queue: DigestQueue<Digest>,
     pending_control: VecDeque<EthernetFrame>,
+    /// Recycled per-packet context (keeps the digest buffer allocation warm
+    /// across packets instead of allocating per frame).
+    ctx_scratch: PacketContext,
 }
 
 impl<P: PipelineProgram> SwitchNode<P> {
@@ -138,6 +141,7 @@ impl<P: PipelineProgram> SwitchNode<P> {
             pending_egress: VecDeque::new(),
             digest_queue,
             pending_control: VecDeque::new(),
+            ctx_scratch: PacketContext::empty(),
         })
     }
 
@@ -201,10 +205,10 @@ impl<P: PipelineProgram> Node for SwitchNode<P> {
         }
 
         self.stats.frames_in += 1;
-        let mut pkt = PacketContext::new(port, frame);
-        self.program.ingress(&mut pkt, ctx.now());
+        self.ctx_scratch.reset(port, frame);
+        self.program.ingress(&mut self.ctx_scratch, ctx.now());
 
-        for digest in pkt.digests.drain(..) {
+        for digest in self.ctx_scratch.digests.drain(..) {
             if self.digest_queue.push(digest) {
                 self.stats.digests_emitted += 1;
                 ctx.schedule_at(ctx.now() + self.config.control_plane_latency, TOKEN_DIGEST);
@@ -213,9 +217,10 @@ impl<P: PipelineProgram> Node for SwitchNode<P> {
             }
         }
 
-        match (pkt.dropped, pkt.egress_port) {
+        match (self.ctx_scratch.dropped, self.ctx_scratch.egress_port) {
             (false, Some(egress)) => {
-                self.pending_egress.push_back((egress, pkt.frame));
+                self.pending_egress
+                    .push_back((egress, self.ctx_scratch.take_frame()));
                 ctx.schedule_at(ctx.now() + self.config.pipeline_latency, TOKEN_EGRESS);
             }
             _ => {
@@ -290,7 +295,10 @@ mod tests {
 
     impl DigestingProgram {
         fn new() -> Self {
-            Self { digests_handled: Vec::new(), control_handled: Vec::new() }
+            Self {
+                digests_handled: Vec::new(),
+                control_handled: Vec::new(),
+            }
         }
     }
 
@@ -325,11 +333,11 @@ mod tests {
             pipeline_latency: SimDuration::from_nanos(600),
             ..SwitchConfig::default()
         };
-        let switch =
-            SwitchNode::new(config, L2ForwardingProgram::two_port_wire()).unwrap();
+        let switch = SwitchNode::new(config, L2ForwardingProgram::two_port_wire()).unwrap();
         let sw = net.add_node(Box::new(switch));
         let sink = net.add_node(Box::new(CaptureSink::counting()));
-        net.connect((sw, 1), (sink, 0), LinkParams::ideal()).unwrap();
+        net.connect((sw, 1), (sink, 0), LinkParams::ideal())
+            .unwrap();
 
         net.inject_frame(SimTime::from_micros(10), sw, 0, frame(100));
         net.run(100);
@@ -347,7 +355,7 @@ mod tests {
         assert_eq!(sw_node.stats().frames_dropped, 0);
         assert_eq!(sw_node.port_counters()[0].rx_frames, 1);
         assert_eq!(sw_node.port_counters()[1].tx_frames, 1);
-        assert!(format!("{}", Node::name(sw_node)).contains("l2-forwarding"));
+        assert!(Node::name(sw_node).to_string().contains("l2-forwarding"));
     }
 
     #[test]
@@ -379,7 +387,10 @@ mod tests {
         assert_eq!(sw_node.stats().digests_emitted, 1);
         assert_eq!(sw_node.program().digests_handled.len(), 1);
         let (handled_at, digest) = &sw_node.program().digests_handled[0];
-        assert_eq!(*handled_at, SimTime::from_micros(5) + SimDuration::from_millis(1));
+        assert_eq!(
+            *handled_at,
+            SimTime::from_micros(5) + SimDuration::from_millis(1)
+        );
         assert_eq!(digest.data, vec![0xEE; 10]);
     }
 
@@ -416,16 +427,24 @@ mod tests {
         let switch = SwitchNode::new(config, DigestingProgram::new()).unwrap();
         let sw = net.add_node(Box::new(switch));
         let sink = net.add_node(Box::new(CaptureSink::counting()));
-        net.connect((sw, 0), (sink, 0), LinkParams::ideal()).unwrap();
+        net.connect((sw, 0), (sink, 0), LinkParams::ideal())
+            .unwrap();
 
         net.inject_frame(SimTime::ZERO, sw, 3, frame(20));
         net.run(100);
 
         let sw_node = net.node_as::<SwitchNode<DigestingProgram>>(sw).unwrap();
         assert_eq!(sw_node.stats().control_packets_in, 1);
-        assert_eq!(sw_node.stats().frames_in, 0, "control traffic bypasses the pipeline");
+        assert_eq!(
+            sw_node.stats().frames_in,
+            0,
+            "control traffic bypasses the pipeline"
+        );
         assert_eq!(sw_node.program().control_handled.len(), 1);
-        assert_eq!(sw_node.program().control_handled[0].0, SimTime::from_micros(500));
+        assert_eq!(
+            sw_node.program().control_handled[0].0,
+            SimTime::from_micros(500)
+        );
         // The packet-out reply reached the sink.
         assert_eq!(sw_node.stats().control_packets_out, 1);
         let sink_node = net.node_as::<CaptureSink>(sink).unwrap();
@@ -437,11 +456,15 @@ mod tests {
         // The key line-rate property: forwarding delay is a constant latency,
         // so back-to-back frames keep their spacing (no per-packet slowdown).
         let mut net = Network::new();
-        let config = SwitchConfig { ports: 2, ..SwitchConfig::default() };
+        let config = SwitchConfig {
+            ports: 2,
+            ..SwitchConfig::default()
+        };
         let switch = SwitchNode::new(config, L2ForwardingProgram::two_port_wire()).unwrap();
         let sw = net.add_node(Box::new(switch));
         let sink = net.add_node(Box::new(CaptureSink::counting()));
-        net.connect((sw, 1), (sink, 0), LinkParams::line_rate_100g()).unwrap();
+        net.connect((sw, 1), (sink, 0), LinkParams::line_rate_100g())
+            .unwrap();
 
         // Inject 1000 frames spaced at exactly the 1518-byte line-rate
         // interval (121.44 ns -> use 122 ns).
@@ -458,13 +481,25 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(SwitchConfig { ports: 0, ..SwitchConfig::default() }.validate().is_err());
-        assert!(SwitchConfig { ports: 4, cpu_ports: vec![4], ..SwitchConfig::default() }
-            .validate()
-            .is_err());
+        assert!(SwitchConfig {
+            ports: 0,
+            ..SwitchConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SwitchConfig {
+            ports: 4,
+            cpu_ports: vec![4],
+            ..SwitchConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(SwitchConfig::default().validate().is_ok());
         assert!(SwitchNode::new(
-            SwitchConfig { ports: 0, ..SwitchConfig::default() },
+            SwitchConfig {
+                ports: 0,
+                ..SwitchConfig::default()
+            },
             L2ForwardingProgram::two_port_wire()
         )
         .is_err());

@@ -49,7 +49,48 @@ pub struct PacketContext {
 impl PacketContext {
     /// Builds the context for a frame arriving on `ingress_port`.
     pub fn new(ingress_port: PortId, frame: EthernetFrame) -> Self {
-        Self { ingress_port, frame, egress_port: None, dropped: false, digests: Vec::new() }
+        Self {
+            ingress_port,
+            frame,
+            egress_port: None,
+            dropped: false,
+            digests: Vec::new(),
+        }
+    }
+
+    /// A context holding a zeroed placeholder frame — the recyclable initial
+    /// state for nodes that [`reset`](Self::reset) a scratch context per
+    /// packet.
+    pub fn empty() -> Self {
+        Self::new(0, Self::placeholder_frame())
+    }
+
+    /// The zeroed placeholder frame left behind by [`Self::take_frame`].
+    fn placeholder_frame() -> EthernetFrame {
+        EthernetFrame::new(
+            zipline_net::mac::MacAddress::new([0; 6]),
+            zipline_net::mac::MacAddress::new([0; 6]),
+            0,
+            Vec::new(),
+        )
+    }
+
+    /// Re-arms an existing context for a new frame, keeping the digest
+    /// buffer's allocation. Together with [`Self::take_frame`] this lets the
+    /// switch node recycle one context across all packets instead of
+    /// allocating per packet.
+    pub fn reset(&mut self, ingress_port: PortId, frame: EthernetFrame) {
+        self.ingress_port = ingress_port;
+        self.frame = frame;
+        self.egress_port = None;
+        self.dropped = false;
+        self.digests.clear();
+    }
+
+    /// Moves the (possibly rewritten) frame out of the context, leaving an
+    /// empty placeholder so the context can be recycled via [`Self::reset`].
+    pub fn take_frame(&mut self) -> EthernetFrame {
+        std::mem::replace(&mut self.frame, Self::placeholder_frame())
     }
 
     /// Sends the frame out of `port` (the normal unicast action).
@@ -83,7 +124,12 @@ mod tests {
     use zipline_net::mac::MacAddress;
 
     fn frame() -> EthernetFrame {
-        EthernetFrame::new(MacAddress::local(1), MacAddress::local(2), ETHERTYPE_IPV4, vec![0; 8])
+        EthernetFrame::new(
+            MacAddress::local(1),
+            MacAddress::local(2),
+            ETHERTYPE_IPV4,
+            vec![0; 8],
+        )
     }
 
     #[test]
@@ -101,6 +147,22 @@ mod tests {
         // Forwarding again cancels the drop.
         ctx.forward_to(1);
         assert!(!ctx.dropped);
+    }
+
+    #[test]
+    fn reset_and_take_frame_recycle_the_context() {
+        let mut ctx = PacketContext::new(0, frame());
+        ctx.forward_to(2);
+        ctx.emit_digest(Digest::new(1, vec![0x01]));
+        let taken = ctx.take_frame();
+        assert_eq!(taken.payload, vec![0; 8]);
+        assert!(ctx.frame.payload.is_empty());
+
+        ctx.reset(4, frame());
+        assert_eq!(ctx.ingress_port, 4);
+        assert!(!ctx.has_verdict());
+        assert!(ctx.digests.is_empty());
+        assert_eq!(ctx.frame.payload, vec![0; 8]);
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl L2ForwardingProgram {
     /// Convenience: a two-port wire, forwarding port 0 → port 1 and
     /// port 1 → port 0 (how the paper's throughput baseline is cabled).
     pub fn two_port_wire() -> Self {
-        Self { port_map: vec![Some(1), Some(0)] }
+        Self {
+            port_map: vec![Some(1), Some(0)],
+        }
     }
 
     /// Convenience: a "hairpin" that sends every frame back out of port 0,
@@ -98,7 +100,10 @@ pub struct LearningSwitchProgram {
 impl LearningSwitchProgram {
     /// Builds a learning switch with `ports` ports.
     pub fn new(ports: usize) -> Self {
-        Self { ports, mac_table: std::collections::HashMap::new() }
+        Self {
+            ports,
+            mac_table: std::collections::HashMap::new(),
+        }
     }
 
     /// Number of learned MAC addresses.
@@ -187,7 +192,9 @@ mod tests {
     #[test]
     fn default_control_plane_hooks_do_nothing() {
         let mut prog = L2ForwardingProgram::two_port_wire();
-        assert!(prog.handle_digest(Digest::new(0, vec![]), SimTime::ZERO).is_empty());
+        assert!(prog
+            .handle_digest(Digest::new(0, vec![]), SimTime::ZERO)
+            .is_empty());
         assert!(prog
             .handle_control_packet(frame(1, 2), SimTime::ZERO)
             .is_empty());

@@ -27,9 +27,15 @@ impl RegisterArray {
     /// Creates an array of `size` zero-initialized cells.
     pub fn new(name: impl Into<String>, size: usize) -> Result<Self> {
         if size == 0 {
-            return Err(SwitchError::InvalidConfig("register array of size 0".into()));
+            return Err(SwitchError::InvalidConfig(
+                "register array of size 0".into(),
+            ));
         }
-        Ok(Self { name: name.into(), cells: vec![0; size], accesses: 0 })
+        Ok(Self {
+            name: name.into(),
+            cells: vec![0; size],
+            accesses: 0,
+        })
     }
 
     /// Name of the array.
@@ -87,7 +93,10 @@ impl RegisterArray {
 
     fn check(&self, index: usize) -> Result<()> {
         if index >= self.cells.len() {
-            Err(SwitchError::IndexOutOfRange { index, size: self.cells.len() })
+            Err(SwitchError::IndexOutOfRange {
+                index,
+                size: self.cells.len(),
+            })
         } else {
             Ok(())
         }
@@ -123,7 +132,10 @@ mod tests {
     #[test]
     fn out_of_range_indices_error() {
         let mut r = RegisterArray::new("x", 2).unwrap();
-        assert!(matches!(r.read(2), Err(SwitchError::IndexOutOfRange { .. })));
+        assert!(matches!(
+            r.read(2),
+            Err(SwitchError::IndexOutOfRange { .. })
+        ));
         assert!(r.write(5, 1).is_err());
         assert!(r.read_modify_write(9, |v| (v, v)).is_err());
     }
@@ -141,6 +153,10 @@ mod tests {
         let accesses_before = r.accesses();
         r.clear();
         assert_eq!(r.snapshot(), &[0, 0, 0]);
-        assert_eq!(r.accesses(), accesses_before, "control-plane ops are not counted");
+        assert_eq!(
+            r.accesses(),
+            accesses_before,
+            "control-plane ops are not counted"
+        );
     }
 }

@@ -153,7 +153,12 @@ impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
         }
         self.entries.insert(
             key,
-            TableEntry { action, installed_at: now, last_hit: now, hit_count: 0 },
+            TableEntry {
+                action,
+                installed_at: now,
+                last_hit: now,
+                hit_count: 0,
+            },
         );
         Ok(())
     }
@@ -186,7 +191,9 @@ impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
     /// delivers to the control plane as ageing notifications. Empty when no
     /// idle timeout is configured.
     pub fn expired(&self, now: SimTime) -> Vec<K> {
-        let Some(timeout) = self.idle_timeout else { return Vec::new() };
+        let Some(timeout) = self.idle_timeout else {
+            return Vec::new();
+        };
         self.entries
             .iter()
             .filter(|(_, e)| now.since(e.last_hit) > timeout)
@@ -198,7 +205,10 @@ impl<K: Eq + Hash + Clone, A: Clone> ExactMatchTable<K, A> {
     /// the victim the control plane's LRU policy picks when the identifier
     /// pool is exhausted.
     pub fn least_recently_hit(&self) -> Option<&K> {
-        self.entries.iter().min_by_key(|(_, e)| e.last_hit).map(|(k, _)| k)
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_hit)
+            .map(|(k, _)| k)
     }
 
     /// Iterates over `(key, entry)` pairs in unspecified order

@@ -35,12 +35,22 @@ impl DnsWorkloadConfig {
     /// 34-byte queries, i.e. ≈735 000 queries; a 4 000-user campus resolves
     /// a working set of a few thousand distinct names.
     pub fn paper_scale() -> Self {
-        Self { queries: 735_000, distinct_names: 8_000, zipf_exponent: 1.0, seed: 0xD45_0001 }
+        Self {
+            queries: 735_000,
+            distinct_names: 8_000,
+            zipf_exponent: 1.0,
+            seed: 0xD45_0001,
+        }
     }
 
     /// A reduced workload for tests and quick runs.
     pub fn small() -> Self {
-        Self { queries: 10_000, distinct_names: 400, zipf_exponent: 1.0, seed: 0xD45_0001 }
+        Self {
+            queries: 10_000,
+            distinct_names: 400,
+            zipf_exponent: 1.0,
+            seed: 0xD45_0001,
+        }
     }
 }
 
@@ -73,7 +83,11 @@ impl DnsWorkload {
         assert!(config.queries > 0 && config.distinct_names > 0);
         let names = (0..config.distinct_names).map(campus_name).collect();
         let popularity = Zipf::new(config.distinct_names, config.zipf_exponent);
-        Self { config, names, popularity }
+        Self {
+            config,
+            names,
+            popularity,
+        }
     }
 
     /// The configuration.
@@ -167,7 +181,11 @@ mod tests {
         }
         // And across the whole name pool, not just popular ones.
         for rank in 0..workload.names().len() {
-            assert_eq!(workload.query_message(rank, 0).len(), QUERY_LEN, "rank {rank}");
+            assert_eq!(
+                workload.query_message(rank, 0).len(),
+                QUERY_LEN,
+                "rank {rank}"
+            );
         }
     }
 
@@ -192,7 +210,11 @@ mod tests {
 
     #[test]
     fn distinct_chunks_bounded_by_name_pool() {
-        let config = DnsWorkloadConfig { queries: 5_000, distinct_names: 100, ..DnsWorkloadConfig::small() };
+        let config = DnsWorkloadConfig {
+            queries: 5_000,
+            distinct_names: 100,
+            ..DnsWorkloadConfig::small()
+        };
         let workload = DnsWorkload::new(config);
         let distinct: HashSet<Vec<u8>> = workload.chunks().collect();
         assert!(distinct.len() <= 100);

@@ -112,16 +112,24 @@ impl SensorWorkload {
     /// Panics if the configuration is degenerate (zero chunks, zero sensors,
     /// chunk shorter than the 8-byte reading header).
     pub fn new(config: SensorWorkloadConfig) -> Self {
-        assert!(config.chunk_len >= 12, "chunk too short for the reading layout");
+        assert!(
+            config.chunk_len >= 12,
+            "chunk too short for the reading layout"
+        );
         assert!(config.sensors > 0 && config.readings_per_sensor > 0 && config.dwell > 0);
         assert!((0.0..=1.0).contains(&config.noise_probability));
         let canonicalizer = config.canonical_m.map(|m| {
-            let gd = GdConfig { m, id_bits: 15, chunk_bytes: config.chunk_len, tofino_padding_bits: 0 };
-            gd.validate().expect("chunk large enough for the canonical Hamming parameter");
+            let gd = GdConfig {
+                m,
+                id_bits: 15,
+                chunk_bytes: config.chunk_len,
+                tofino_padding_bits: 0,
+            };
+            gd.validate()
+                .expect("chunk large enough for the canonical Hamming parameter");
             ChunkCodec::new(&gd).expect("valid GD configuration")
         });
-        let mut plateaus =
-            Vec::with_capacity(config.sensors * config.readings_per_sensor);
+        let mut plateaus = Vec::with_capacity(config.sensors * config.readings_per_sensor);
         for sensor in 0..config.sensors {
             for reading in 0..config.readings_per_sensor {
                 let raw = raw_plateau(&config, sensor, reading);
@@ -176,9 +184,13 @@ fn raw_plateau(config: &SensorWorkloadConfig, sensor: usize, reading_idx: usize)
     chunk[8..12].copy_from_slice(&0x0001_0000u32.to_be_bytes());
     // Per-sensor calibration block: constant bytes derived from the
     // sensor id so different sensors have different bases.
-    let mut state = (sensor as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut state = (sensor as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(1);
     for byte in chunk.iter_mut().skip(12) {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *byte = (state >> 56) as u8;
     }
     chunk

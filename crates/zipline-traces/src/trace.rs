@@ -7,8 +7,8 @@
 //! bytes.
 
 use crate::ChunkWorkload;
-use zipline_net::ethernet::{EthernetFrame, ETHERTYPE_IPV4};
 use zipline_net::error::Result;
+use zipline_net::ethernet::{EthernetFrame, ETHERTYPE_IPV4};
 use zipline_net::mac::MacAddress;
 use zipline_net::pcap::{PcapPacket, PcapWriter};
 use zipline_net::time::{SimDuration, SimTime};
@@ -70,7 +70,10 @@ mod tests {
     use zipline_net::pcap::read_trace;
 
     fn small_workload() -> SensorWorkload {
-        SensorWorkload::new(SensorWorkloadConfig { chunks: 50, ..SensorWorkloadConfig::small() })
+        SensorWorkload::new(SensorWorkloadConfig {
+            chunks: 50,
+            ..SensorWorkloadConfig::small()
+        })
     }
 
     #[test]
@@ -91,7 +94,10 @@ mod tests {
     #[test]
     fn pcap_roundtrip_preserves_payloads_and_spacing() {
         let workload = small_workload();
-        let config = TraceConfig { spacing: SimDuration::from_micros(10), ..TraceConfig::default() };
+        let config = TraceConfig {
+            spacing: SimDuration::from_micros(10),
+            ..TraceConfig::default()
+        };
         let mut buffer = Vec::new();
         let written = chunks_to_pcap(&workload, &config, &mut buffer).unwrap();
         assert_eq!(written, 50);

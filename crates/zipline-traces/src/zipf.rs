@@ -22,8 +22,13 @@ impl Zipf {
     /// Panics if `n` is zero or `s` is negative / non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf over zero elements");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
-        let mut weights: Vec<f64> = (0..n).map(|rank| 1.0 / ((rank + 1) as f64).powf(s)).collect();
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut weights: Vec<f64> = (0..n)
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(s))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         for w in &mut weights {
@@ -59,7 +64,10 @@ impl Zipf {
     /// Draws one rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -111,7 +119,7 @@ mod tests {
     fn empirical_frequencies_follow_the_distribution() {
         let z = Zipf::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(7);
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         let draws = 200_000;
         for _ in 0..draws {
             counts[z.sample(&mut rng)] += 1;

@@ -88,7 +88,9 @@ impl ControlMessage {
     /// Parses a message payload.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.is_empty() {
-            return Err(ZipLineError::MalformedControlMessage("empty payload".into()));
+            return Err(ZipLineError::MalformedControlMessage(
+                "empty payload".into(),
+            ));
         }
         let opcode = bytes[0];
         let read_id = |bytes: &[u8]| -> Result<u64> {
@@ -99,7 +101,9 @@ impl ControlMessage {
         };
         let read_nonce = |bytes: &[u8]| -> Result<u32> {
             if bytes.len() < 9 {
-                return Err(ZipLineError::MalformedControlMessage("truncated nonce".into()));
+                return Err(ZipLineError::MalformedControlMessage(
+                    "truncated nonce".into(),
+                ));
             }
             Ok(u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]))
         };
@@ -119,14 +123,22 @@ impl ControlMessage {
                         bytes.len() - 11
                     )));
                 }
-                Ok(ControlMessage::InstallMapping { id, nonce, basis: bytes[11..11 + len].to_vec() })
+                Ok(ControlMessage::InstallMapping {
+                    id,
+                    nonce,
+                    basis: bytes[11..11 + len].to_vec(),
+                })
             }
             OPCODE_INSTALLED => Ok(ControlMessage::MappingInstalled {
                 id: read_id(bytes)?,
                 nonce: read_nonce(bytes)?,
             }),
-            OPCODE_REMOVE => Ok(ControlMessage::RemoveMapping { id: read_id(bytes)? }),
-            other => Err(ZipLineError::MalformedControlMessage(format!("unknown opcode {other}"))),
+            OPCODE_REMOVE => Ok(ControlMessage::RemoveMapping {
+                id: read_id(bytes)?,
+            }),
+            other => Err(ZipLineError::MalformedControlMessage(format!(
+                "unknown opcode {other}"
+            ))),
         }
     }
 
@@ -153,8 +165,11 @@ mod tests {
 
     #[test]
     fn install_roundtrip() {
-        let msg =
-            ControlMessage::InstallMapping { id: 12345, nonce: 77, basis: vec![0xAB; 31] };
+        let msg = ControlMessage::InstallMapping {
+            id: 12345,
+            nonce: 77,
+            basis: vec![0xAB; 31],
+        };
         let bytes = msg.to_bytes();
         assert_eq!(ControlMessage::from_bytes(&bytes).unwrap(), msg);
     }
@@ -163,7 +178,10 @@ mod tests {
     fn installed_and_remove_roundtrip() {
         for msg in [
             ControlMessage::MappingInstalled { id: 0, nonce: 0 },
-            ControlMessage::MappingInstalled { id: 32767, nonce: u32::MAX },
+            ControlMessage::MappingInstalled {
+                id: 32767,
+                nonce: u32::MAX,
+            },
             ControlMessage::RemoveMapping { id: 7 },
         ] {
             let bytes = msg.to_bytes();
@@ -173,7 +191,11 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        let msg = ControlMessage::InstallMapping { id: 42, nonce: 1, basis: vec![1, 2, 3] };
+        let msg = ControlMessage::InstallMapping {
+            id: 42,
+            nonce: 1,
+            basis: vec![1, 2, 3],
+        };
         let frame = msg.to_frame(MacAddress::local(10), MacAddress::local(11));
         assert_eq!(frame.ethertype, ETHERTYPE_ZIPLINE_CONTROL);
         assert_eq!(ControlMessage::from_frame(&frame).unwrap(), msg);
@@ -196,10 +218,10 @@ mod tests {
         assert!(ControlMessage::from_bytes(&[OPCODE_INSTALL]).is_err());
         assert!(ControlMessage::from_bytes(&[OPCODE_INSTALL, 0, 0, 0, 1]).is_err());
         assert!(ControlMessage::from_bytes(&[OPCODE_INSTALL, 0, 0, 0, 1, 0, 0, 0, 2]).is_err());
-        assert!(ControlMessage::from_bytes(&[
-            OPCODE_INSTALL, 0, 0, 0, 1, 0, 0, 0, 2, 0, 10, 1, 2
-        ])
-        .is_err());
+        assert!(
+            ControlMessage::from_bytes(&[OPCODE_INSTALL, 0, 0, 0, 1, 0, 0, 0, 2, 0, 10, 1, 2])
+                .is_err()
+        );
         assert!(ControlMessage::from_bytes(&[OPCODE_INSTALLED, 0]).is_err());
         assert!(ControlMessage::from_bytes(&[OPCODE_INSTALLED, 0, 0, 0, 1]).is_err());
         assert!(ControlMessage::from_bytes(&[99, 0, 0, 0, 0]).is_err());

@@ -69,11 +69,7 @@ impl EncoderControlPlane {
     /// idle timeouts if desired).
     pub fn new(id_bits: u32) -> Self {
         Self {
-            dictionary: BasisDictionary::with_policy(
-                1usize << id_bits,
-                EvictionPolicy::Lru,
-                None,
-            ),
+            dictionary: BasisDictionary::with_policy(1usize << id_bits, EvictionPolicy::Lru, None),
             pending: HashMap::new(),
             next_nonce: 0,
             stats: ControlPlaneStats::default(),
@@ -131,7 +127,12 @@ impl EncoderControlPlane {
         self.next_nonce = self.next_nonce.wrapping_add(1);
         self.pending.insert(outcome.id, (nonce, basis.clone()));
         self.stats.installs_sent += 1;
-        Some(LearnAction { id: outcome.id, nonce, basis_bytes: basis.to_bytes(), evicted_basis_bytes })
+        Some(LearnAction {
+            id: outcome.id,
+            nonce,
+            basis_bytes: basis.to_bytes(),
+            evicted_basis_bytes,
+        })
     }
 
     /// Processes a decoder acknowledgement. Returns the `(basis bytes, id)`
@@ -178,7 +179,9 @@ mod tests {
         assert_eq!(cp.pending(), 1);
         assert_eq!(cp.stats().installs_sent, 1);
 
-        let activated = cp.handle_ack(action.id, action.nonce, 1).expect("ack activates");
+        let activated = cp
+            .handle_ack(action.id, action.nonce, 1)
+            .expect("ack activates");
         assert_eq!(activated.1, action.id);
         assert_eq!(activated.0, basis(1).to_bytes());
         assert_eq!(cp.pending(), 0);
@@ -242,8 +245,14 @@ mod tests {
         assert!(cp.handle_ack(a.id, a.nonce, 4).is_none());
         assert!(cp.handle_ack(b.id, b.nonce, 5).is_none());
         // Acks for the new installs do activate the new bases.
-        assert_eq!(cp.handle_ack(c.id, c.nonce, 6).unwrap().0, basis(0xC).to_bytes());
-        assert_eq!(cp.handle_ack(d.id, d.nonce, 7).unwrap().0, basis(0xD).to_bytes());
+        assert_eq!(
+            cp.handle_ack(c.id, c.nonce, 6).unwrap().0,
+            basis(0xC).to_bytes()
+        );
+        assert_eq!(
+            cp.handle_ack(d.id, d.nonce, 7).unwrap().0,
+            basis(0xD).to_bytes()
+        );
     }
 
     #[test]

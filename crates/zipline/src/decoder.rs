@@ -123,7 +123,15 @@ impl ZipLineDecodeProgram {
         let mask_table = SyndromeMaskTable::precompute(&code)?;
         let id_table = ExactMatchTable::new("id-to-basis", config.gd.dictionary_capacity())?;
         let counters = zipline_switch::counter::CounterArray::new("packet-types", 4)?;
-        Ok(Self { config, code, crc, mask_table, id_table, counters, stats: CompressionStats::new() })
+        Ok(Self {
+            config,
+            code,
+            crc,
+            mask_table,
+            id_table,
+            counters,
+            stats: CompressionStats::new(),
+        })
     }
 
     /// The program configuration.
@@ -160,26 +168,43 @@ impl ZipLineDecodeProgram {
 
     /// Rebuilds the original chunk from a basis and deviation using the
     /// data-plane primitives (CRC extern + constant mask table).
+    ///
+    /// Word-parallel: the parity regeneration hashes the basis words
+    /// directly and appends the `m` zero bits algebraically (no padded copy
+    /// of the basis), and the ➎/➏ mask XOR collapses to a single-word bit
+    /// flip via the table's position form.
     fn reconstruct(&mut self, basis: &BitVec, deviation: u64) -> Result<BitVec> {
-        // ➍ zero-pad the basis and regenerate the parity bits.
-        let mut padded = basis.clone();
-        padded.push_bits(0, self.code.m() as usize);
-        let parity = self.crc.hash_bits(&padded);
+        // ➍ regenerate the parity bits of the zero-padded basis.
+        let reg = self.crc.hash_words(basis.words(), basis.len());
+        let parity = self
+            .crc
+            .engine()
+            .checksum_append_zeros(reg, self.code.m() as usize);
         // ➏ reassemble the codeword.
         let mut codeword = BitVec::with_capacity(self.code.n());
         codeword.push_bits(parity, self.code.m() as usize);
         codeword.extend_from_bitvec(basis);
-        // ➎/➏ apply the mask selected by the deviation.
-        let mask = self
+        // ➎/➏ flip the bit selected by the deviation.
+        let flip = self
             .mask_table
-            .lookup(deviation)
-            .cloned()
-            .ok_or(zipline_gd::GdError::Malformed(format!("deviation {deviation} out of range")))?;
-        Ok(codeword.xor(&mask)?)
+            .lookup_flip(deviation)
+            .ok_or(zipline_gd::GdError::Malformed(format!(
+                "deviation {deviation} out of range"
+            )))?;
+        if let Some(position) = flip {
+            codeword.flip(position);
+        }
+        Ok(codeword)
     }
 
     /// Assembles the restored raw payload from its pieces.
-    fn restored_payload(&self, extra: &BitVec, body: &BitVec, zl_bytes: usize, payload: &[u8]) -> Vec<u8> {
+    fn restored_payload(
+        &self,
+        extra: &BitVec,
+        body: &BitVec,
+        zl_bytes: usize,
+        payload: &[u8],
+    ) -> Vec<u8> {
         let mut bits = BitVec::with_capacity(self.config.gd.raw_payload_bits());
         bits.extend_from_bitvec(extra);
         bits.extend_from_bitvec(body);
@@ -224,7 +249,12 @@ impl PipelineProgram for ZipLineDecodeProgram {
                 let payload = ctx.frame.payload.clone();
                 let zl_bytes = self.config.gd.uncompressed_payload_bytes();
                 let parsed = ZipLinePayload::decode(&self.config.gd, packet_type, &payload);
-                let Ok(ZipLinePayload::Uncompressed { deviation, extra, basis }) = parsed else {
+                let Ok(ZipLinePayload::Uncompressed {
+                    deviation,
+                    extra,
+                    basis,
+                }) = parsed
+                else {
                     self.stats.decode_failures += 1;
                     self.forward_raw(ctx);
                     return;
@@ -242,14 +272,21 @@ impl PipelineProgram for ZipLineDecodeProgram {
                 self.stats.chunks_decoded += 1;
                 self.stats.emitted_raw += 1;
                 self.stats.bytes_out += restored.len() as u64;
-                ctx.frame = ctx.frame.with_payload(self.config.restored_ethertype, restored);
+                ctx.frame = ctx
+                    .frame
+                    .with_payload(self.config.restored_ethertype, restored);
                 ctx.forward_to(self.config.data_egress_port);
             }
             PacketType::Compressed => {
                 let payload = ctx.frame.payload.clone();
                 let zl_bytes = self.config.gd.compressed_payload_bytes();
                 let parsed = ZipLinePayload::decode(&self.config.gd, packet_type, &payload);
-                let Ok(ZipLinePayload::Compressed { deviation, extra, id }) = parsed else {
+                let Ok(ZipLinePayload::Compressed {
+                    deviation,
+                    extra,
+                    id,
+                }) = parsed
+                else {
                     self.stats.decode_failures += 1;
                     self.forward_raw(ctx);
                     return;
@@ -284,7 +321,9 @@ impl PipelineProgram for ZipLineDecodeProgram {
                 self.stats.chunks_decoded += 1;
                 self.stats.emitted_raw += 1;
                 self.stats.bytes_out += restored.len() as u64;
-                ctx.frame = ctx.frame.with_payload(self.config.restored_ethertype, restored);
+                ctx.frame = ctx
+                    .frame
+                    .with_payload(self.config.restored_ethertype, restored);
                 ctx.forward_to(self.config.data_egress_port);
             }
         }
@@ -329,7 +368,12 @@ mod tests {
     use zipline_net::ethernet::ETHERTYPE_IPV4;
 
     fn frame_with(ethertype: u16, payload: Vec<u8>) -> EthernetFrame {
-        EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ethertype, payload)
+        EthernetFrame::new(
+            MacAddress::local(2),
+            MacAddress::local(1),
+            ethertype,
+            payload,
+        )
     }
 
     /// Runs a payload through the encoder program and returns the resulting
@@ -349,7 +393,9 @@ mod tests {
         let mut encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
         let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
         for seed in 0..20u8 {
-            let payload: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(7).wrapping_add(seed)).collect();
+            let payload: Vec<u8> = (0..32u8)
+                .map(|i| i.wrapping_mul(7).wrapping_add(seed))
+                .collect();
             let (encoded, _) = encode_one(&mut encoder, payload.clone(), SimTime::ZERO);
             assert_eq!(encoded.ethertype, ETHERTYPE_ZIPLINE_UNCOMPRESSED);
             let mut ctx = PacketContext::new(0, encoded);
@@ -385,7 +431,11 @@ mod tests {
         decoder.ingress(&mut ctx, SimTime::from_millis(3));
         assert_eq!(ctx.frame.payload, payload);
         assert_eq!(
-            decoder.counters().read(counter_index::RESTORED_FROM_COMPRESSED).unwrap().packets,
+            decoder
+                .counters()
+                .read(counter_index::RESTORED_FROM_COMPRESSED)
+                .unwrap()
+                .packets,
             1
         );
     }
@@ -397,7 +447,10 @@ mod tests {
         let bogus = frame_with(ETHERTYPE_ZIPLINE_COMPRESSED, vec![0x00, 0x00, 0x07]);
         let mut ctx = PacketContext::new(0, bogus.clone());
         decoder.ingress(&mut ctx, SimTime::ZERO);
-        assert_eq!(ctx.frame.ethertype, ETHERTYPE_ZIPLINE_COMPRESSED, "forwarded unchanged");
+        assert_eq!(
+            ctx.frame.ethertype, ETHERTYPE_ZIPLINE_COMPRESSED,
+            "forwarded unchanged"
+        );
         assert_eq!(decoder.stats().decode_failures, 1);
 
         // Drop policy.
@@ -409,7 +462,14 @@ mod tests {
         let mut ctx = PacketContext::new(0, bogus);
         decoder.ingress(&mut ctx, SimTime::ZERO);
         assert!(ctx.dropped);
-        assert_eq!(decoder.counters().read(counter_index::UNKNOWN_ID).unwrap().packets, 1);
+        assert_eq!(
+            decoder
+                .counters()
+                .read(counter_index::UNKNOWN_ID)
+                .unwrap()
+                .packets,
+            1
+        );
     }
 
     #[test]
@@ -430,7 +490,10 @@ mod tests {
         let mut ctx = PacketContext::new(0, frame.clone());
         decoder.ingress(&mut ctx, SimTime::ZERO);
         assert_eq!(ctx.frame, frame);
-        assert_eq!(decoder.counters().read(counter_index::RAW).unwrap().packets, 1);
+        assert_eq!(
+            decoder.counters().read(counter_index::RAW).unwrap().packets,
+            1
+        );
     }
 
     #[test]
@@ -448,8 +511,14 @@ mod tests {
 
     #[test]
     fn chunk_offset_round_trips_prefix_and_suffix() {
-        let enc_config = EncoderConfig { chunk_offset: 2, ..EncoderConfig::paper_default() };
-        let dec_config = DecoderConfig { chunk_offset: 2, ..DecoderConfig::paper_default() };
+        let enc_config = EncoderConfig {
+            chunk_offset: 2,
+            ..EncoderConfig::paper_default()
+        };
+        let dec_config = DecoderConfig {
+            chunk_offset: 2,
+            ..DecoderConfig::paper_default()
+        };
         let mut encoder = ZipLineEncodeProgram::new(enc_config).unwrap();
         let mut decoder = ZipLineDecodeProgram::new(dec_config).unwrap();
 
@@ -466,15 +535,21 @@ mod tests {
     #[test]
     fn remove_mapping_control_message_uninstalls() {
         let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
-        decoder.install_mapping(5, vec![0xAB; 31], SimTime::ZERO).unwrap();
+        decoder
+            .install_mapping(5, vec![0xAB; 31], SimTime::ZERO)
+            .unwrap();
         assert_eq!(decoder.installed_mappings(), 1);
         let remove = ControlMessage::RemoveMapping { id: 5 }
             .to_frame(MacAddress::local(1), MacAddress::local(2));
         decoder.handle_control_packet(remove, SimTime::ZERO);
         assert_eq!(decoder.installed_mappings(), 0);
         // Installing twice overwrites rather than erroring.
-        decoder.install_mapping(6, vec![1; 31], SimTime::ZERO).unwrap();
-        decoder.install_mapping(6, vec![2; 31], SimTime::ZERO).unwrap();
+        decoder
+            .install_mapping(6, vec![1; 31], SimTime::ZERO)
+            .unwrap();
+        decoder
+            .install_mapping(6, vec![2; 31], SimTime::ZERO)
+            .unwrap();
         assert_eq!(decoder.installed_mappings(), 1);
     }
 
@@ -482,6 +557,8 @@ mod tests {
     fn non_control_frames_on_control_path_are_ignored() {
         let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
         let frame = frame_with(ETHERTYPE_IPV4, vec![1, 2, 3]);
-        assert!(decoder.handle_control_packet(frame, SimTime::ZERO).is_empty());
+        assert!(decoder
+            .handle_control_packet(frame, SimTime::ZERO)
+            .is_empty());
     }
 }

@@ -149,7 +149,10 @@ impl ZipLineDeployment {
     /// afresh for every run so runs are independent.
     pub fn new(config: DeploymentConfig) -> Result<Self> {
         config.gd.validate()?;
-        Ok(Self { config, static_chunks: Vec::new() })
+        Ok(Self {
+            config,
+            static_chunks: Vec::new(),
+        })
     }
 
     /// Pre-installs the bases of the given chunks in both switches before
@@ -244,10 +247,8 @@ impl ZipLineDeployment {
             switch_config.clone(),
             encoder_program,
         )?));
-        let decoder_switch = net.add_node(Box::new(SwitchNode::new(
-            switch_config,
-            decoder_program,
-        )?));
+        let decoder_switch =
+            net.add_node(Box::new(SwitchNode::new(switch_config, decoder_program)?));
 
         let receiver = net.add_node(Box::new(if cfg.record_received_payloads {
             CaptureSink::keeping_frames(usize::MAX)
@@ -331,8 +332,15 @@ mod tests {
         assert_eq!(outcome.received_payloads.len(), 200);
         assert!(outcome.received_payloads.iter().all(|p| p == &payload));
         // Only one basis exists, so almost all packets travel compressed.
-        assert_eq!(outcome.encoder_stats.emitted_compressed + outcome.encoder_stats.emitted_uncompressed, 200);
-        assert!(outcome.encoder_stats.emitted_compressed > 150, "stats: {:?}", outcome.encoder_stats);
+        assert_eq!(
+            outcome.encoder_stats.emitted_compressed + outcome.encoder_stats.emitted_uncompressed,
+            200
+        );
+        assert!(
+            outcome.encoder_stats.emitted_compressed > 150,
+            "stats: {:?}",
+            outcome.encoder_stats
+        );
         assert_eq!(outcome.control_plane_stats.mappings_activated, 1);
         assert!(outcome.compression_ratio().unwrap() < 0.5);
         assert!(outcome.decoder_stats.decode_failures == 0);
@@ -342,7 +350,11 @@ mod tests {
     fn mixed_payloads_are_restored_byte_exactly() {
         let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
         let payloads: Vec<Vec<u8>> = (0..50u8)
-            .map(|i| (0..32u8).map(|j| i.wrapping_mul(3).wrapping_add(j % 4)).collect())
+            .map(|i| {
+                (0..32u8)
+                    .map(|j| i.wrapping_mul(3).wrapping_add(j % 4))
+                    .collect()
+            })
             .collect();
         let received = deployment.run_payloads(&payloads).unwrap();
         assert_eq!(received, payloads);
@@ -381,7 +393,10 @@ mod tests {
 
     #[test]
     fn disabled_compression_is_a_transparent_wire() {
-        let config = DeploymentConfig { compression_enabled: false, ..DeploymentConfig::fast_test() };
+        let config = DeploymentConfig {
+            compression_enabled: false,
+            ..DeploymentConfig::fast_test()
+        };
         let mut deployment = ZipLineDeployment::new(config).unwrap();
         let payloads = vec![vec![0x55u8; 32]; 20];
         let outcome = deployment

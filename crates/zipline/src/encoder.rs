@@ -101,6 +101,8 @@ pub struct ZipLineEncodeProgram {
     control_plane: EncoderControlPlane,
     counters: zipline_switch::counter::CounterArray,
     stats: CompressionStats,
+    /// Reused packed-word buffer for the chunk being deconstructed.
+    chunk_scratch: BitVec,
 }
 
 impl ZipLineEncodeProgram {
@@ -115,7 +117,17 @@ impl ZipLineEncodeProgram {
         let basis_table = ExactMatchTable::new("known-bases", config.gd.dictionary_capacity())?;
         let control_plane = EncoderControlPlane::new(config.gd.id_bits);
         let counters = zipline_switch::counter::CounterArray::new("packet-types", 3)?;
-        Ok(Self { config, code, crc, mask_table, basis_table, control_plane, counters, stats: CompressionStats::new() })
+        Ok(Self {
+            config,
+            code,
+            crc,
+            mask_table,
+            basis_table,
+            control_plane,
+            counters,
+            stats: CompressionStats::new(),
+            chunk_scratch: BitVec::new(),
+        })
     }
 
     /// The program configuration.
@@ -147,7 +159,10 @@ impl ZipLineEncodeProgram {
     /// dictionary) with the bases of the given chunks — the "static table"
     /// scenario of Figure 3. Returns the identifiers assigned, in the same
     /// order as the distinct bases encountered.
-    pub fn preload_static_table(&mut self, chunks: impl Iterator<Item = Vec<u8>>) -> Result<Vec<(u64, Vec<u8>)>> {
+    pub fn preload_static_table(
+        &mut self,
+        chunks: impl Iterator<Item = Vec<u8>>,
+    ) -> Result<Vec<(u64, Vec<u8>)>> {
         let mut installed = Vec::new();
         for chunk in chunks {
             if chunk.len() < self.config.chunk_offset + self.config.gd.chunk_bytes {
@@ -164,7 +179,8 @@ impl ZipLineEncodeProgram {
                 }
                 // Static preload bypasses the two-phase handshake.
                 let _ = self.control_plane.handle_ack(action.id, action.nonce, 0);
-                self.basis_table.insert(key.clone(), action.id, SimTime::ZERO)?;
+                self.basis_table
+                    .insert(key.clone(), action.id, SimTime::ZERO)?;
                 installed.push((action.id, action.basis_bytes));
             }
         }
@@ -173,24 +189,33 @@ impl ZipLineEncodeProgram {
 
     /// Runs the data-plane GD deconstruction on one payload, returning
     /// `(carried bits, syndrome, basis)`.
+    ///
+    /// Word-parallel: the chunk is packed into `u64` words once (reusing the
+    /// program's scratch buffer), the CRC extern hashes the Hamming block as
+    /// a bit range of that buffer, and the constant-entries table yields a
+    /// flip *position* so the ➌/➍ mask-XOR collapses to a single-word bit
+    /// flip applied inside the extracted basis.
     fn deconstruct(&mut self, payload: &[u8]) -> Result<(BitVec, u64, BitVec)> {
         let offset = self.config.chunk_offset;
         let chunk = &payload[offset..offset + self.config.gd.chunk_bytes];
-        let bits = BitVec::from_bytes(chunk);
         let extra_bits = self.config.gd.extra_bits();
-        let extra = bits.slice(0..extra_bits);
-        let body = bits.slice(extra_bits..bits.len());
+        let m = self.code.m() as usize;
+        let n = self.code.n();
+        self.chunk_scratch.load_bytes(chunk);
         // ➋ syndrome via the CRC extern
-        let syndrome = self.crc.hash_bits(&body);
-        // ➌/➍ constant-entries mask lookup + XOR
-        let mask = self
+        let syndrome = self
+            .crc
+            .hash_bit_range(&self.chunk_scratch, extra_bits, extra_bits + n);
+        // ➌/➍ constant-entries flip lookup, ➎ rightmost k bits
+        let flip = self
             .mask_table
-            .lookup(syndrome)
-            .cloned()
-            .ok_or(zipline_gd::GdError::Malformed(format!("syndrome {syndrome} out of range")))?;
-        let codeword = body.xor(&mask)?;
-        // ➎ rightmost k bits
-        let basis = codeword.slice(self.code.m() as usize..codeword.len());
+            .lookup_flip(syndrome)
+            .ok_or(zipline_gd::GdError::Malformed(format!(
+                "syndrome {syndrome} out of range"
+            )))?;
+        let mut basis = self.chunk_scratch.slice(extra_bits + m..extra_bits + n);
+        self.code.fold_position_into_basis(&mut basis, flip);
+        let extra = self.chunk_scratch.slice(0..extra_bits);
         Ok((extra, syndrome, basis))
     }
 
@@ -223,8 +248,10 @@ impl PipelineProgram for ZipLineEncodeProgram {
             return;
         }
 
-        let payload = ctx.frame.payload.clone();
-        let (extra, syndrome, basis) = match self.deconstruct(&payload) {
+        // No payload clone: deconstruct borrows the frame's payload in place
+        // (the scratch buffer holds the packed chunk) and the rewritten
+        // payload is fully assembled before the frame is replaced.
+        let (extra, syndrome, basis) = match self.deconstruct(&ctx.frame.payload) {
             Ok(parts) => parts,
             Err(_) => {
                 self.forward_raw(ctx);
@@ -232,26 +259,32 @@ impl PipelineProgram for ZipLineEncodeProgram {
             }
         };
         let basis_key = basis.to_bytes();
-        let prefix = &payload[..self.config.chunk_offset];
-        let suffix = &payload[self.config.chunk_offset + self.config.gd.chunk_bytes..];
 
         self.stats.chunks_in += 1;
         self.stats.bytes_in += payload_len as u64;
 
+        let prefix_end = self.config.chunk_offset;
+        let suffix_start = self.config.chunk_offset + self.config.gd.chunk_bytes;
         match self.basis_table.lookup(&basis_key, now) {
             Some(id) => {
                 // ➏ hit: emit a compressed (type 3) packet.
                 self.control_plane.touch(&basis, now.as_nanos());
-                let zl = ZipLinePayload::Compressed { deviation: syndrome, extra, id };
+                let zl = ZipLinePayload::Compressed {
+                    deviation: syndrome,
+                    extra,
+                    id,
+                };
                 let mut new_payload = zl.encode(&self.config.gd).expect("well-formed payload");
-                new_payload.extend_from_slice(prefix);
-                new_payload.extend_from_slice(suffix);
+                new_payload.extend_from_slice(&ctx.frame.payload[..prefix_end]);
+                new_payload.extend_from_slice(&ctx.frame.payload[suffix_start..]);
                 self.counters
                     .count(counter_index::COMPRESSED, new_payload.len())
                     .expect("counter index in range");
                 self.stats.emitted_compressed += 1;
                 self.stats.bytes_out += new_payload.len() as u64;
-                ctx.frame = ctx.frame.with_payload(ETHERTYPE_ZIPLINE_COMPRESSED, new_payload);
+                ctx.frame = ctx
+                    .frame
+                    .with_payload(ETHERTYPE_ZIPLINE_COMPRESSED, new_payload);
             }
             None => {
                 // ➐ miss: emit a processed-but-uncompressed (type 2) packet
@@ -262,15 +295,17 @@ impl PipelineProgram for ZipLineEncodeProgram {
                     basis: basis.clone(),
                 };
                 let mut new_payload = zl.encode(&self.config.gd).expect("well-formed payload");
-                new_payload.extend_from_slice(prefix);
-                new_payload.extend_from_slice(suffix);
+                new_payload.extend_from_slice(&ctx.frame.payload[..prefix_end]);
+                new_payload.extend_from_slice(&ctx.frame.payload[suffix_start..]);
                 self.counters
                     .count(counter_index::UNCOMPRESSED, new_payload.len())
                     .expect("counter index in range");
                 self.stats.emitted_uncompressed += 1;
                 self.stats.digests_sent += 1;
                 self.stats.bytes_out += new_payload.len() as u64;
-                ctx.frame = ctx.frame.with_payload(ETHERTYPE_ZIPLINE_UNCOMPRESSED, new_payload);
+                ctx.frame = ctx
+                    .frame
+                    .with_payload(ETHERTYPE_ZIPLINE_UNCOMPRESSED, new_payload);
                 ctx.emit_digest(Digest::new(DIGEST_UNKNOWN_BASIS, basis_key));
             }
         }
@@ -283,7 +318,10 @@ impl PipelineProgram for ZipLineEncodeProgram {
         }
         let mut basis = BitVec::from_bytes(&digest.data);
         basis.truncate(self.config.gd.k());
-        match self.control_plane.handle_unknown_basis(basis, now.as_nanos()) {
+        match self
+            .control_plane
+            .handle_unknown_basis(basis, now.as_nanos())
+        {
             Some(action) => {
                 // An identifier being recycled must stop matching its old
                 // basis in the data plane immediately.
@@ -337,11 +375,19 @@ mod tests {
     use zipline_net::ethernet::ETHERTYPE_IPV4;
 
     fn frame_with_payload(payload: Vec<u8>) -> EthernetFrame {
-        EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload)
+        EthernetFrame::new(
+            MacAddress::local(2),
+            MacAddress::local(1),
+            ETHERTYPE_IPV4,
+            payload,
+        )
     }
 
     fn small_config() -> EncoderConfig {
-        EncoderConfig { gd: GdConfig::for_parameters(3, 4).unwrap(), ..EncoderConfig::paper_default() }
+        EncoderConfig {
+            gd: GdConfig::for_parameters(3, 4).unwrap(),
+            ..EncoderConfig::paper_default()
+        }
     }
 
     #[test]
@@ -351,7 +397,9 @@ mod tests {
         let mut program = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
         let codec = ChunkCodec::new(&GdConfig::paper_default()).unwrap();
         for seed in 0..50u8 {
-            let chunk: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(seed).wrapping_add(seed)).collect();
+            let chunk: Vec<u8> = (0..32u8)
+                .map(|i| i.wrapping_mul(seed).wrapping_add(seed))
+                .collect();
             let (extra, syndrome, basis) = program.deconstruct(&chunk).unwrap();
             let reference = codec.encode_chunk(&chunk).unwrap();
             assert_eq!(extra, reference.extra, "seed {seed}");
@@ -370,7 +418,14 @@ mod tests {
         assert_eq!(ctx.egress_port, Some(1));
         assert_eq!(ctx.digests.len(), 1);
         assert_eq!(program.stats().emitted_uncompressed, 1);
-        assert_eq!(program.counters().read(counter_index::UNCOMPRESSED).unwrap().packets, 1);
+        assert_eq!(
+            program
+                .counters()
+                .read(counter_index::UNCOMPRESSED)
+                .unwrap()
+                .packets,
+            1
+        );
     }
 
     #[test]
@@ -434,7 +489,10 @@ mod tests {
 
     #[test]
     fn disabled_compression_acts_as_a_wire() {
-        let config = EncoderConfig { compression_enabled: false, ..EncoderConfig::paper_default() };
+        let config = EncoderConfig {
+            compression_enabled: false,
+            ..EncoderConfig::paper_default()
+        };
         let mut program = ZipLineEncodeProgram::new(config).unwrap();
         let mut ctx = PacketContext::new(0, frame_with_payload(vec![0x55; 32]));
         program.ingress(&mut ctx, SimTime::ZERO);
@@ -445,7 +503,10 @@ mod tests {
 
     #[test]
     fn chunk_offset_carries_prefix_bytes_verbatim() {
-        let config = EncoderConfig { chunk_offset: 2, ..EncoderConfig::paper_default() };
+        let config = EncoderConfig {
+            chunk_offset: 2,
+            ..EncoderConfig::paper_default()
+        };
         let mut program = ZipLineEncodeProgram::new(config).unwrap();
         // 2 bytes of "transaction id" + 32-byte chunk + 3 bytes of suffix.
         let mut payload = vec![0xAA, 0xBB];
@@ -464,7 +525,9 @@ mod tests {
     fn static_preload_compresses_from_the_first_packet() {
         let mut program = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
         let chunk = vec![0x99u8; 32];
-        let installed = program.preload_static_table(std::iter::once(chunk.clone())).unwrap();
+        let installed = program
+            .preload_static_table(std::iter::once(chunk.clone()))
+            .unwrap();
         assert_eq!(installed.len(), 1);
         assert_eq!(program.active_mappings(), 1);
 
@@ -487,9 +550,14 @@ mod tests {
         assert_eq!(digests.len(), 3);
         let mut installs = 0;
         for digest in digests {
-            installs += program.handle_digest(digest, SimTime::from_micros(10)).len();
+            installs += program
+                .handle_digest(digest, SimTime::from_micros(10))
+                .len();
         }
-        assert_eq!(installs, 1, "duplicate digests must not produce extra installs");
+        assert_eq!(
+            installs, 1,
+            "duplicate digests must not produce extra installs"
+        );
     }
 
     #[test]

@@ -74,8 +74,7 @@ mod tests {
         assert!(e.to_string().contains("GD error"));
         assert!(e.source().is_some());
 
-        let e: ZipLineError =
-            zipline_switch::SwitchError::EntryNotFound("x".into()).into();
+        let e: ZipLineError = zipline_switch::SwitchError::EntryNotFound("x".into()).into();
         assert!(e.to_string().contains("switch error"));
 
         let e: ZipLineError = zipline_net::NetError::Malformed("y".into()).into();

@@ -192,8 +192,11 @@ fn static_table(
     // Pass 2: account each chunk by the packet type it would produce.
     let per_chunk_extra =
         (workload.chunk_len() - config.chunk_offset - config.gd.chunk_bytes) as u64;
-    let type2 = config.gd.uncompressed_payload_bytes() as u64 + config.chunk_offset as u64 + per_chunk_extra;
-    let type3 = config.gd.compressed_payload_bytes() as u64 + config.chunk_offset as u64 + per_chunk_extra;
+    let type2 = config.gd.uncompressed_payload_bytes() as u64
+        + config.chunk_offset as u64
+        + per_chunk_extra;
+    let type3 =
+        config.gd.compressed_payload_bytes() as u64 + config.chunk_offset as u64 + per_chunk_extra;
     let mut total = 0u64;
     let mut compressed = 0u64;
     let mut uncompressed = 0u64;
@@ -290,9 +293,7 @@ mod tests {
         let config = CompressionExperimentConfig::fast_test();
         let results =
             run_compression_experiment(&workload, &CompressionMode::all(), &config).unwrap();
-        let ratio = |mode: CompressionMode| {
-            results.iter().find(|r| r.mode == mode).unwrap().ratio
-        };
+        let ratio = |mode: CompressionMode| results.iter().find(|r| r.mode == mode).unwrap().ratio;
 
         // Original is exactly 1.
         assert_eq!(ratio(CompressionMode::Original), 1.0);

@@ -68,7 +68,11 @@ impl LatencyExperimentConfig {
 
     /// Fast test configuration.
     pub fn fast_test() -> Self {
-        Self { probes: 5, probe_interval: SimDuration::from_micros(50), ..Self::paper_default() }
+        Self {
+            probes: 5,
+            probe_interval: SimDuration::from_micros(50),
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -152,20 +156,29 @@ pub fn run_one(
     let probe_id = net.add_node(Box::new(probe));
     net.connect((probe_id, 0), (switch_id, 0), config.link)?;
     for i in 0..config.probes {
-        net.schedule_timer(SimTime(i as u64 * config.probe_interval.as_nanos()), probe_id, i as u64);
+        net.schedule_timer(
+            SimTime(i as u64 * config.probe_interval.as_nanos()),
+            probe_id,
+            i as u64,
+        );
     }
     net.run(100_000);
 
     let probe = net.node_as::<RttProbe>(probe_id).expect("probe node");
     let overhead = SimDuration::from_nanos(2 * config.host_overhead.as_nanos());
-    let samples: Vec<SimDuration> =
-        probe.rtts.iter().map(|rtt| *rtt + overhead).collect();
+    let samples: Vec<SimDuration> = probe.rtts.iter().map(|rtt| *rtt + overhead).collect();
     assert!(!samples.is_empty(), "no probe completed — topology error");
     let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
     let mean_rtt = SimDuration::from_nanos(total / samples.len() as u64);
     let min_rtt = *samples.iter().min().expect("non-empty");
     let max_rtt = *samples.iter().max().expect("non-empty");
-    Ok(LatencyResult { operation, mean_rtt, min_rtt, max_rtt, samples })
+    Ok(LatencyResult {
+        operation,
+        mean_rtt,
+        min_rtt,
+        max_rtt,
+        samples,
+    })
 }
 
 #[cfg(test)]
@@ -188,7 +201,12 @@ mod tests {
         let config = LatencyExperimentConfig::fast_test();
         let results = run_latency_experiment(&config).unwrap();
         let rtt = |op: SwitchOperation| {
-            results.iter().find(|r| r.operation == op).unwrap().mean_rtt.as_nanos() as f64
+            results
+                .iter()
+                .find(|r| r.operation == op)
+                .unwrap()
+                .mean_rtt
+                .as_nanos() as f64
         };
         let noop = rtt(SwitchOperation::NoOp);
         for op in [SwitchOperation::Encode, SwitchOperation::Decode] {

@@ -132,7 +132,11 @@ fn run_once(
 
     // A payload that has never been seen before this repetition.
     let payload: Vec<u8> = (0..config.gd.chunk_bytes)
-        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(repetition.wrapping_mul(97)))
+        .map(|i| {
+            (i as u8)
+                .wrapping_mul(31)
+                .wrapping_add(repetition.wrapping_mul(97))
+        })
         .collect();
     let frame = EthernetFrame::new(
         MacAddress::local(2),
@@ -182,21 +186,29 @@ fn run_once(
     let sink = net.node_as::<CaptureSink>(capture).expect("capture node");
     let first_type2 = sink
         .first_arrival_with_ethertype(ETHERTYPE_ZIPLINE_UNCOMPRESSED)
-        .ok_or_else(|| crate::error::ZipLineError::InvalidConfig(
-            "no type 2 packet observed — trace too short".into(),
-        ))?;
+        .ok_or_else(|| {
+            crate::error::ZipLineError::InvalidConfig(
+                "no type 2 packet observed — trace too short".into(),
+            )
+        })?;
     let first_type3 = sink
         .first_arrival_with_ethertype(ETHERTYPE_ZIPLINE_COMPRESSED)
-        .ok_or_else(|| crate::error::ZipLineError::InvalidConfig(
-            "no type 3 packet observed — increase packets_per_repetition".into(),
-        ))?;
+        .ok_or_else(|| {
+            crate::error::ZipLineError::InvalidConfig(
+                "no type 3 packet observed — increase packets_per_repetition".into(),
+            )
+        })?;
     let delay = first_type3 - first_type2;
 
     let encoder_node = net
         .node_as::<SwitchNode<ZipLineEncodeProgram>>(encoder_switch)
         .expect("encoder node");
     let uncompressed = encoder_node.program().stats().emitted_uncompressed;
-    Ok((delay, uncompressed, encoder_node.program().control_plane().stats()))
+    Ok((
+        delay,
+        uncompressed,
+        encoder_node.program().control_plane().stats(),
+    ))
 }
 
 #[cfg(test)]

@@ -54,7 +54,11 @@ impl SwitchOperation {
 
     /// All operations in figure order.
     pub fn all() -> [SwitchOperation; 3] {
-        [SwitchOperation::NoOp, SwitchOperation::Encode, SwitchOperation::Decode]
+        [
+            SwitchOperation::NoOp,
+            SwitchOperation::Encode,
+            SwitchOperation::Decode,
+        ]
     }
 }
 
@@ -93,7 +97,10 @@ impl ThroughputExperimentConfig {
 
     /// A quick configuration for tests.
     pub fn fast_test() -> Self {
-        Self { frames_per_run: 2_000, ..Self::paper_default() }
+        Self {
+            frames_per_run: 2_000,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -205,7 +212,9 @@ pub fn run_one(
     net.schedule_timer(SimTime::ZERO, sender, 0);
     net.run(config.frames_per_run.saturating_mul(12).max(10_000));
 
-    let sink = net.node_as::<CaptureSink>(receiver).expect("receiver is a capture sink");
+    let sink = net
+        .node_as::<CaptureSink>(receiver)
+        .expect("receiver is a capture sink");
     let stats = sink.stats();
     let elapsed = match (stats.first_arrival, stats.last_arrival) {
         (Some(first), Some(last)) if last > first => last - first,
@@ -240,11 +249,7 @@ fn collect_encoder_mappings(encoder: &ZipLineEncodeProgram) -> Vec<(Vec<u8>, u64
         .collect()
 }
 
-fn frames_dropped_in_switch(
-    net: &Network,
-    switch_id: usize,
-    operation: SwitchOperation,
-) -> u64 {
+fn frames_dropped_in_switch(net: &Network, switch_id: usize, operation: SwitchOperation) -> u64 {
     match operation {
         SwitchOperation::NoOp => net
             .node_as::<SwitchNode<L2ForwardingProgram>>(switch_id)
@@ -274,7 +279,11 @@ mod tests {
         let results = run_throughput_experiment(&config).unwrap();
         assert_eq!(results.len(), 9);
         for r in &results {
-            assert_eq!(r.frames_received, 500, "{:?} at {}", r.operation, r.frame_size);
+            assert_eq!(
+                r.frames_received, 500,
+                "{:?} at {}",
+                r.operation, r.frame_size
+            );
             assert_eq!(r.frames_dropped, 0);
             assert!(r.gbps > 0.0);
             assert!(r.mpps > 0.0);
@@ -296,7 +305,11 @@ mod tests {
         };
         // 64 B frames: capped by the 7 Mpkt/s generator -> roughly 3.6 Gbit/s.
         let small = find(SwitchOperation::NoOp, 64);
-        assert!(small.mpps > 6.0 && small.mpps < 7.5, "mpps = {}", small.mpps);
+        assert!(
+            small.mpps > 6.0 && small.mpps < 7.5,
+            "mpps = {}",
+            small.mpps
+        );
         assert!(small.gbps < 5.0);
         // 9000 B frames: line-rate bound, close to 100 Gbit/s.
         let jumbo = find(SwitchOperation::NoOp, 9000);

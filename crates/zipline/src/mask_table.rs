@@ -17,9 +17,18 @@ use zipline_gd::hamming::HammingCode;
 
 /// Constant-entries table mapping each syndrome value to the `n`-bit mask
 /// whose XOR undoes the corresponding single-bit deviation.
+///
+/// Because every non-zero entry has exactly one set bit, the data path does
+/// not need to materialise the mask: [`Self::lookup_flip`] returns the bit
+/// *position* instead, and the XOR of the mask degenerates to a single-word
+/// bit flip. [`Self::lookup`] still serves the full masks for diagnostics
+/// and the resource-inventory view of the table.
 #[derive(Debug, Clone)]
 pub struct SyndromeMaskTable {
     masks: Vec<BitVec>,
+    /// `positions[s]` is the bit position flipped by syndrome `s`
+    /// (`None` for the zero syndrome).
+    positions: Vec<Option<usize>>,
     /// Data-plane lookups performed (diagnostics).
     lookups: std::cell::Cell<u64>,
 }
@@ -30,10 +39,16 @@ impl SyndromeMaskTable {
     pub fn precompute(code: &HammingCode) -> Result<Self> {
         let n = code.n();
         let mut masks = Vec::with_capacity(n + 1);
+        let mut positions = Vec::with_capacity(n + 1);
         for syndrome in 0..=(n as u64) {
             masks.push(code.error_mask(syndrome)?);
+            positions.push(code.error_position(syndrome)?);
         }
-        Ok(Self { masks, lookups: std::cell::Cell::new(0) })
+        Ok(Self {
+            masks,
+            positions,
+            lookups: std::cell::Cell::new(0),
+        })
     }
 
     /// Number of entries (always `n + 1`: the zero syndrome plus one entry
@@ -52,7 +67,21 @@ impl SyndromeMaskTable {
     /// CRC result, but the data plane must not panic on anything).
     pub fn lookup(&self, syndrome: u64) -> Option<&BitVec> {
         self.lookups.set(self.lookups.get() + 1);
-        usize::try_from(syndrome).ok().and_then(|s| self.masks.get(s))
+        usize::try_from(syndrome)
+            .ok()
+            .and_then(|s| self.masks.get(s))
+    }
+
+    /// Exact-match lookup returning the flip *position* instead of the mask:
+    /// `Some(None)` for the zero syndrome (no flip), `Some(Some(p))` for a
+    /// single-bit deviation at position `p`, `None` for out-of-range
+    /// syndromes. Applying the entry is a single-word bit flip.
+    pub fn lookup_flip(&self, syndrome: u64) -> Option<Option<usize>> {
+        self.lookups.set(self.lookups.get() + 1);
+        usize::try_from(syndrome)
+            .ok()
+            .and_then(|s| self.positions.get(s))
+            .copied()
     }
 }
 
@@ -93,5 +122,23 @@ mod tests {
         let table = SyndromeMaskTable::precompute(&code).unwrap();
         assert!(table.lookup(8).is_none());
         assert!(table.lookup(u64::MAX).is_none());
+        assert!(table.lookup_flip(8).is_none());
+        assert!(table.lookup_flip(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn flip_positions_agree_with_masks() {
+        let code = HammingCode::new(8).unwrap();
+        let table = SyndromeMaskTable::precompute(&code).unwrap();
+        for syndrome in 0..=255u64 {
+            let mask = table.lookup(syndrome).unwrap().clone();
+            match table.lookup_flip(syndrome).unwrap() {
+                None => assert!(mask.is_zero(), "syndrome {syndrome}"),
+                Some(position) => {
+                    assert!(mask.get(position), "syndrome {syndrome}");
+                    assert_eq!(mask.count_ones(), 1, "syndrome {syndrome}");
+                }
+            }
+        }
     }
 }

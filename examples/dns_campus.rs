@@ -21,7 +21,11 @@ fn main() {
     let workload_config = if full {
         DnsWorkloadConfig::paper_scale()
     } else {
-        DnsWorkloadConfig { queries: 50_000, distinct_names: 2_000, ..DnsWorkloadConfig::paper_scale() }
+        DnsWorkloadConfig {
+            queries: 50_000,
+            distinct_names: 2_000,
+            ..DnsWorkloadConfig::paper_scale()
+        }
     };
     let workload = DnsWorkload::new(workload_config.clone());
     println!(
@@ -53,7 +57,10 @@ fn main() {
     let results =
         run_compression_experiment(&workload, &modes, &experiment_config).expect("experiment runs");
 
-    println!("\n{:<18} {:>14} {:>8}", "scenario", "payload bytes", "ratio");
+    println!(
+        "\n{:<18} {:>14} {:>8}",
+        "scenario", "payload bytes", "ratio"
+    );
     for result in &results {
         println!(
             "{:<18} {:>14} {:>8.2}",
@@ -62,7 +69,10 @@ fn main() {
             result.ratio
         );
     }
-    let dynamic = results.iter().find(|r| r.mode == CompressionMode::DynamicLearning).unwrap();
+    let dynamic = results
+        .iter()
+        .find(|r| r.mode == CompressionMode::DynamicLearning)
+        .unwrap();
     println!(
         "\n{} of {} queries left the encoder compressed ({} stayed uncompressed while bases were learned)",
         dynamic.compressed_chunks,

@@ -40,7 +40,9 @@ fn decompress_file(input: &str, output: &str) -> Result<(), String> {
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let stream = CompressedStream::from_bytes(&bytes).map_err(|e| e.to_string())?;
     let mut decompressor = GdDecompressor::new(&stream.config).map_err(|e| e.to_string())?;
-    let data = decompressor.decompress(&stream).map_err(|e| e.to_string())?;
+    let data = decompressor
+        .decompress(&stream)
+        .map_err(|e| e.to_string())?;
     std::fs::write(output, &data).map_err(|e| format!("writing {output}: {e}"))?;
     println!("{input}: restored {} B into {output}", data.len());
     Ok(())
@@ -53,7 +55,9 @@ fn stats(data: &[u8], label: &str) -> Result<(), String> {
     let gd_bytes = stream.to_bytes();
     // Verify losslessness before reporting anything.
     let mut decompressor = GdDecompressor::new(&config).map_err(|e| e.to_string())?;
-    let restored = decompressor.decompress(&stream).map_err(|e| e.to_string())?;
+    let restored = decompressor
+        .decompress(&stream)
+        .map_err(|e| e.to_string())?;
     if restored != data {
         return Err("internal error: GD round trip mismatch".into());
     }

@@ -41,14 +41,18 @@ fn main() {
     } else {
         CompressionExperimentConfig::fast_test()
     };
-    let results = run_compression_experiment(&workload, &CompressionMode::all(), &experiment_config)
-        .expect("experiment runs");
+    let results =
+        run_compression_experiment(&workload, &CompressionMode::all(), &experiment_config)
+            .expect("experiment runs");
 
     let original = results
         .iter()
         .find(|r| r.mode == CompressionMode::Original)
         .expect("original measured");
-    println!("\n{:<18} {:>14} {:>8}", "scenario", "payload bytes", "ratio");
+    println!(
+        "\n{:<18} {:>14} {:>8}",
+        "scenario", "payload bytes", "ratio"
+    );
     for result in &results {
         println!(
             "{:<18} {:>14} {:>8.2}",

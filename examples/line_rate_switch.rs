@@ -7,7 +7,9 @@
 //! cargo run --release --example line_rate_switch
 //! ```
 
-use zipline_repro::zipline::experiment::latency::{run_latency_experiment, LatencyExperimentConfig};
+use zipline_repro::zipline::experiment::latency::{
+    run_latency_experiment, LatencyExperimentConfig,
+};
 use zipline_repro::zipline::experiment::learning::{
     run_learning_experiment, LearningExperimentConfig,
 };
@@ -22,17 +24,32 @@ fn main() {
         ..ThroughputExperimentConfig::paper_default()
     };
     println!("Figure 4 — observed network throughput (generator capped at 7 Mpkt/s):");
-    println!("{:<8} {:>10} {:>12} {:>12}", "op", "frame [B]", "Gbit/s", "Mpkt/s");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "op", "frame [B]", "Gbit/s", "Mpkt/s"
+    );
     let results = run_throughput_experiment(&throughput_config).expect("throughput experiment");
     for r in &results {
-        println!("{:<8} {:>10} {:>12.1} {:>12.2}", r.operation.label(), r.frame_size, r.gbps, r.mpps);
-        assert_eq!(r.frames_dropped, 0, "the switch must never drop at line rate");
+        println!(
+            "{:<8} {:>10} {:>12.1} {:>12.2}",
+            r.operation.label(),
+            r.frame_size,
+            r.gbps,
+            r.mpps
+        );
+        assert_eq!(
+            r.frames_dropped, 0,
+            "the switch must never drop at line rate"
+        );
     }
 
     // ---------------------------------------------------------------- Fig 5
     let latency_config = LatencyExperimentConfig::paper_default();
     println!("\nFigure 5 — end-to-end RTT via the switch:");
-    println!("{:<8} {:>12} {:>12} {:>12}", "op", "mean [µs]", "min [µs]", "max [µs]");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "op", "mean [µs]", "min [µs]", "max [µs]"
+    );
     let results = run_latency_experiment(&latency_config).expect("latency experiment");
     for r in &results {
         println!(

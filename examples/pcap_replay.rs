@@ -38,7 +38,10 @@ fn write_trace_file(path: &str, chunks: usize) -> Result<(), String> {
 fn replay_trace_file(path: &str) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let packets = read_trace(&bytes).map_err(|e| format!("parsing pcap: {e}"))?;
-    println!("replaying {} packets from {path} through the ZipLine deployment…", packets.len());
+    println!(
+        "replaying {} packets from {path} through the ZipLine deployment…",
+        packets.len()
+    );
 
     let frames = packets
         .iter()
@@ -48,7 +51,9 @@ fn replay_trace_file(path: &str) -> Result<(), String> {
 
     let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test())
         .map_err(|e| format!("deployment: {e}"))?;
-    let outcome = deployment.run_frames(frames).map_err(|e| format!("simulation: {e}"))?;
+    let outcome = deployment
+        .run_frames(frames)
+        .map_err(|e| format!("simulation: {e}"))?;
 
     if outcome.received_payloads != sent_payloads {
         return Err("payloads were not restored byte-exactly".into());

@@ -16,7 +16,13 @@ fn main() {
     // 1. Host-side GD compression: the algorithm alone, no switches.
     // ------------------------------------------------------------------
     let config = GdConfig::paper_default();
-    println!("GD parameters: Hamming({}, {}), m = {}, {}-bit identifiers", config.n(), config.k(), config.m, config.id_bits);
+    println!(
+        "GD parameters: Hamming({}, {}), m = {}, {}-bit identifiers",
+        config.n(),
+        config.k(),
+        config.m,
+        config.id_bits
+    );
 
     // A stream of sensor-style readings: many chunks share a few bases.
     let mut data = Vec::new();
@@ -62,7 +68,10 @@ fn main() {
         .collect();
     let outcome = deployment.run_frames(frames).expect("simulation runs");
 
-    assert_eq!(outcome.received_payloads, payloads, "in-network round trip is lossless");
+    assert_eq!(
+        outcome.received_payloads, payloads,
+        "in-network round trip is lossless"
+    );
     println!(
         "in-network GD:  {} B -> {} B between the switches (ratio {:.3})",
         outcome.payload_bytes_in,

@@ -14,7 +14,12 @@ fn frames_from_workload(workload: &dyn ChunkWorkload, limit: usize) -> Vec<Ether
         .chunks()
         .take(limit)
         .map(|chunk| {
-            EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, chunk)
+            EthernetFrame::new(
+                MacAddress::local(2),
+                MacAddress::local(1),
+                ETHERTYPE_IPV4,
+                chunk,
+            )
         })
         .collect()
 }
@@ -34,7 +39,10 @@ fn sensor_workload_roundtrips_through_the_deployment() {
     let outcome = deployment.run_frames(frames).unwrap();
 
     assert_eq!(outcome.frames_received, 3_000);
-    assert_eq!(outcome.received_payloads, expected, "payloads restored byte-exactly");
+    assert_eq!(
+        outcome.received_payloads, expected,
+        "payloads restored byte-exactly"
+    );
     assert_eq!(outcome.decoder_stats.decode_failures, 0);
     // The workload is highly redundant: most packets leave compressed.
     assert!(
@@ -117,7 +125,10 @@ fn different_hamming_parameters_work_end_to_end() {
     for m in [4u32, 6, 10] {
         let gd = GdConfig::for_parameters(m, 12).unwrap();
         let chunk_bytes = gd.chunk_bytes;
-        let config = DeploymentConfig { gd, ..DeploymentConfig::fast_test() };
+        let config = DeploymentConfig {
+            gd,
+            ..DeploymentConfig::fast_test()
+        };
         let mut deployment = ZipLineDeployment::new(config).unwrap();
         let payloads: Vec<Vec<u8>> = (0..100u8)
             .map(|i| (0..chunk_bytes).map(|j| (j as u8) ^ (i % 3)).collect())
@@ -141,7 +152,10 @@ fn corrupted_compressed_traffic_does_not_crash_the_decoder() {
         vec![0x12, 0x80, 0x03], // syndrome 0x12, id never installed
     )];
     frames.extend(frames_from_workload(
-        &SensorWorkload::new(SensorWorkloadConfig { chunks: 50, ..SensorWorkloadConfig::small() }),
+        &SensorWorkload::new(SensorWorkloadConfig {
+            chunks: 50,
+            ..SensorWorkloadConfig::small()
+        }),
         50,
     ));
     let outcome = deployment.run_frames(frames).unwrap();

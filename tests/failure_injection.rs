@@ -26,14 +26,18 @@ struct LossyControlChannel {
 
 impl LossyControlChannel {
     fn new(drop_every: u64) -> Self {
-        Self { drop_every, seen: 0, dropped: 0 }
+        Self {
+            drop_every,
+            seen: 0,
+            dropped: 0,
+        }
     }
 }
 
 impl Node for LossyControlChannel {
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, frame: EthernetFrame) {
         self.seen += 1;
-        if self.drop_every > 0 && self.seen % self.drop_every == 0 {
+        if self.drop_every > 0 && self.seen.is_multiple_of(self.drop_every) {
             self.dropped += 1;
             return;
         }
@@ -53,8 +57,12 @@ impl Node for LossyControlChannel {
 fn run_with_lossy_control(drop_every: u64, packets: u64) -> (u64, u64, u64, u64) {
     let mut net = Network::new();
     let payload = vec![0x42u8; 32];
-    let frame =
-        EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload);
+    let frame = EthernetFrame::new(
+        MacAddress::local(2),
+        MacAddress::local(1),
+        ETHERTYPE_IPV4,
+        payload,
+    );
     let sender = net.add_node(Box::new(TrafficGenerator::new(GeneratorConfig {
         frames: vec![frame],
         count: packets,
@@ -72,27 +80,44 @@ fn run_with_lossy_control(drop_every: u64, packets: u64) -> (u64, u64, u64, u64)
         digest_queue_capacity: 64,
     };
     let encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
-    let encoder_switch =
-        net.add_node(Box::new(SwitchNode::new(switch_config.clone(), encoder).unwrap()));
+    let encoder_switch = net.add_node(Box::new(
+        SwitchNode::new(switch_config.clone(), encoder).unwrap(),
+    ));
     let decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
-    let decoder_switch =
-        net.add_node(Box::new(SwitchNode::new(switch_config, decoder).unwrap()));
+    let decoder_switch = net.add_node(Box::new(SwitchNode::new(switch_config, decoder).unwrap()));
     let receiver = net.add_node(Box::new(CaptureSink::counting()));
     let lossy = net.add_node(Box::new(LossyControlChannel::new(drop_every)));
 
-    net.connect((sender, 0), (encoder_switch, 0), LinkParams::ideal()).unwrap();
-    net.connect((encoder_switch, 1), (decoder_switch, 0), LinkParams::ideal()).unwrap();
-    net.connect((decoder_switch, 1), (receiver, 0), LinkParams::ideal()).unwrap();
+    net.connect((sender, 0), (encoder_switch, 0), LinkParams::ideal())
+        .unwrap();
+    net.connect(
+        (encoder_switch, 1),
+        (decoder_switch, 0),
+        LinkParams::ideal(),
+    )
+    .unwrap();
+    net.connect((decoder_switch, 1), (receiver, 0), LinkParams::ideal())
+        .unwrap();
     // Control channel through the lossy middlebox.
-    net.connect((encoder_switch, 2), (lossy, 0), LinkParams::ideal()).unwrap();
-    net.connect((lossy, 1), (decoder_switch, 2), LinkParams::ideal()).unwrap();
+    net.connect((encoder_switch, 2), (lossy, 0), LinkParams::ideal())
+        .unwrap();
+    net.connect((lossy, 1), (decoder_switch, 2), LinkParams::ideal())
+        .unwrap();
 
     net.schedule_timer(SimTime::ZERO, sender, 0);
     net.run(packets * 20 + 10_000);
 
-    let received = net.node_as::<CaptureSink>(receiver).unwrap().stats().frames_received;
-    let encoder_node = net.node_as::<SwitchNode<ZipLineEncodeProgram>>(encoder_switch).unwrap();
-    let decoder_node = net.node_as::<SwitchNode<ZipLineDecodeProgram>>(decoder_switch).unwrap();
+    let received = net
+        .node_as::<CaptureSink>(receiver)
+        .unwrap()
+        .stats()
+        .frames_received;
+    let encoder_node = net
+        .node_as::<SwitchNode<ZipLineEncodeProgram>>(encoder_switch)
+        .unwrap();
+    let decoder_node = net
+        .node_as::<SwitchNode<ZipLineDecodeProgram>>(decoder_switch)
+        .unwrap();
     let compressed = encoder_node.program().stats().emitted_compressed;
     let failures = decoder_node.program().stats().decode_failures;
     let dropped_control = net.node_as::<LossyControlChannel>(lossy).unwrap().dropped;
@@ -118,7 +143,10 @@ fn control_channel_loss_delays_but_never_corrupts() {
 fn total_control_channel_loss_disables_compression_but_not_delivery() {
     let (received, compressed, failures, dropped) = run_with_lossy_control(1, 300);
     assert_eq!(received, 300);
-    assert_eq!(compressed, 0, "without acks the encoder must never compress");
+    assert_eq!(
+        compressed, 0,
+        "without acks the encoder must never compress"
+    );
     assert_eq!(failures, 0);
     assert!(dropped > 0);
 }
@@ -133,7 +161,12 @@ fn digest_queue_overflow_is_counted_and_harmless() {
         .map(|i| {
             let mut payload = vec![0u8; 32];
             payload[0..4].copy_from_slice(&i.to_be_bytes());
-            EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload)
+            EthernetFrame::new(
+                MacAddress::local(2),
+                MacAddress::local(1),
+                ETHERTYPE_IPV4,
+                payload,
+            )
         })
         .collect();
     let sender = net.add_node(Box::new(TrafficGenerator::new(GeneratorConfig {
@@ -152,18 +185,27 @@ fn digest_queue_overflow_is_counted_and_harmless() {
         digest_queue_capacity: 16,
     };
     let encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
-    let encoder_switch =
-        net.add_node(Box::new(SwitchNode::new(switch_config, encoder).unwrap()));
+    let encoder_switch = net.add_node(Box::new(SwitchNode::new(switch_config, encoder).unwrap()));
     let receiver = net.add_node(Box::new(CaptureSink::counting()));
-    net.connect((sender, 0), (encoder_switch, 0), LinkParams::ideal()).unwrap();
-    net.connect((encoder_switch, 1), (receiver, 0), LinkParams::ideal()).unwrap();
+    net.connect((sender, 0), (encoder_switch, 0), LinkParams::ideal())
+        .unwrap();
+    net.connect((encoder_switch, 1), (receiver, 0), LinkParams::ideal())
+        .unwrap();
     net.schedule_timer(SimTime::ZERO, sender, 0);
     net.run(50_000);
 
-    let node = net.node_as::<SwitchNode<ZipLineEncodeProgram>>(encoder_switch).unwrap();
-    assert!(node.stats().digests_dropped > 0, "the 16-entry queue must overflow");
+    let node = net
+        .node_as::<SwitchNode<ZipLineEncodeProgram>>(encoder_switch)
+        .unwrap();
+    assert!(
+        node.stats().digests_dropped > 0,
+        "the 16-entry queue must overflow"
+    );
     assert_eq!(
-        net.node_as::<CaptureSink>(receiver).unwrap().stats().frames_received,
+        net.node_as::<CaptureSink>(receiver)
+            .unwrap()
+            .stats()
+            .frames_received,
         200,
         "every packet is still forwarded"
     );
@@ -203,8 +245,12 @@ fn malformed_control_frames_are_ignored_by_both_sides() {
             ETHERTYPE_ZIPLINE_CONTROL,
             payload,
         );
-        assert!(encoder.handle_control_packet(frame.clone(), SimTime::ZERO).is_empty());
-        assert!(decoder.handle_control_packet(frame, SimTime::ZERO).is_empty());
+        assert!(encoder
+            .handle_control_packet(frame.clone(), SimTime::ZERO)
+            .is_empty());
+        assert!(decoder
+            .handle_control_packet(frame, SimTime::ZERO)
+            .is_empty());
     }
 }
 
@@ -218,7 +264,12 @@ fn replayed_stale_install_cannot_corrupt_an_active_mapping() {
 
     let mut ctx = zipline_repro::zipline_switch::packet_ctx::PacketContext::new(
         0,
-        EthernetFrame::new(MacAddress::local(2), MacAddress::local(1), ETHERTYPE_IPV4, payload_a.clone()),
+        EthernetFrame::new(
+            MacAddress::local(2),
+            MacAddress::local(1),
+            ETHERTYPE_IPV4,
+            payload_a.clone(),
+        ),
     );
     encoder.ingress(&mut ctx, SimTime::ZERO);
     let digest = ctx.digests.pop().unwrap();
@@ -241,5 +292,9 @@ fn replayed_stale_install_cannot_corrupt_an_active_mapping() {
     let stale_ack = ControlMessage::MappingInstalled { id, nonce }
         .to_frame(MacAddress::local(0xD0), MacAddress::local(0xE0));
     encoder.handle_control_packet(stale_ack, SimTime::from_micros(40));
-    assert_eq!(encoder.active_mappings(), 1, "no duplicate/ghost mapping appears");
+    assert_eq!(
+        encoder.active_mappings(),
+        1,
+        "no duplicate/ghost mapping appears"
+    );
 }

@@ -66,7 +66,9 @@ fn every_table1_parameter_produces_a_working_codec() {
     for m in 3u32..=13 {
         let config = GdConfig::for_parameters(m, 10).unwrap();
         let codec = ChunkCodec::new(&config).unwrap();
-        let chunk: Vec<u8> = (0..config.chunk_bytes).map(|i| (i * 37 % 251) as u8).collect();
+        let chunk: Vec<u8> = (0..config.chunk_bytes)
+            .map(|i| (i * 37 % 251) as u8)
+            .collect();
         let encoded = codec.encode_chunk(&chunk).unwrap();
         assert_eq!(codec.decode_chunk(&encoded).unwrap(), chunk, "m = {m}");
         assert_eq!(encoded.basis.len(), config.k(), "m = {m}");

@@ -1,0 +1,44 @@
+//! Smoke test mirroring `examples/quickstart.rs` at a reduced scale, so the
+//! quickstart flow (host-side GD + simulated two-switch deployment) is
+//! exercised by `cargo test` on every change; CI additionally runs the real
+//! example binary.
+
+use zipline_repro::zipline::deployment::{DeploymentConfig, ZipLineDeployment};
+use zipline_repro::zipline_gd::codec::{compress, decompress};
+use zipline_repro::zipline_gd::GdConfig;
+
+fn sensor_style_data(chunks: u32) -> Vec<u8> {
+    let mut data = Vec::new();
+    for i in 0..chunks {
+        let mut chunk = [0u8; 32];
+        chunk[0] = (i % 5) as u8;
+        chunk[31] = 0xEE;
+        if i % 7 == 0 {
+            chunk[16] ^= 0x01;
+        }
+        data.extend_from_slice(&chunk);
+    }
+    data
+}
+
+#[test]
+fn quickstart_flow_compresses_and_round_trips() {
+    let config = GdConfig::paper_default();
+    let data = sensor_style_data(200);
+
+    // Host-side GD: lossless and strongly compressing on redundant data.
+    let stream = compress(&config, &data).expect("compression succeeds");
+    assert_eq!(decompress(&stream).expect("decompression succeeds"), data);
+    let ratio = stream.serialized_len() as f64 / data.len() as f64;
+    assert!(
+        ratio < 0.2,
+        "expected strong compression, got ratio {ratio}"
+    );
+
+    // The same payloads through the simulated two-switch deployment.
+    let mut deployment =
+        ZipLineDeployment::new(DeploymentConfig::fast_test()).expect("valid deployment");
+    let payloads: Vec<Vec<u8>> = data.chunks(32).map(|c| c.to_vec()).collect();
+    let received = deployment.run_payloads(&payloads).expect("simulation runs");
+    assert_eq!(received, payloads, "in-network round trip is lossless");
+}

@@ -1,0 +1,286 @@
+//! Offline shim of the `criterion` benchmarking API used by this workspace.
+//!
+//! Implements the group/bench-function subset the `zipline-bench` targets
+//! use, with a real (if simpler) measurement procedure: per benchmark it
+//! calibrates an iteration count, collects `sample_size` timed samples and
+//! reports the median time per iteration plus throughput.
+//!
+//! Output goes to stdout; when the `BENCH_JSON` environment variable names a
+//! file, one JSON line per benchmark is appended to it (used to snapshot
+//! baselines such as `BENCH_PR1.json`).
+//!
+//! Behavioural notes compared to the real crate: no statistical analysis, no
+//! `target/criterion` reports, and when a bench binary is invoked with
+//! `--test` (as `cargo test --benches` does) every benchmark runs exactly one
+//! iteration as a smoke test.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.full_name(), None, 10, self.test_mode, f);
+        self
+    }
+}
+
+/// Work-per-iteration annotation used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier of one benchmark (`name` or `name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        self.full.clone()
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            full: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full: String) -> Self {
+        Self { full }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        run_benchmark(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        run_benchmark(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; `iter` times the supplied routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F>(
+    full_name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        time_once(&mut f, 1);
+        println!("test-mode {full_name}: ok (1 iteration)");
+        return;
+    }
+
+    // Calibrate: find an iteration count whose runtime is ~5 ms, capped so a
+    // single sample never takes more than ~100 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let elapsed = time_once(&mut f, iters);
+        if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+            break;
+        }
+        iters *= if elapsed < Duration::from_micros(100) {
+            8
+        } else {
+            2
+        };
+    }
+
+    let mut samples_ns: Vec<f64> = (0..sample_size)
+        .map(|_| time_once(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let best = samples_ns[0];
+
+    let throughput_text = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            format!(
+                "  {:>10.1} MiB/s",
+                bytes as f64 / (median * 1e-9) / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(elems)) => {
+            format!("  {:>10.3} Melem/s", elems as f64 / (median * 1e-9) / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("bench {full_name:<55} {median:>12.1} ns/iter (best {best:.1}){throughput_text}");
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let line = format!(
+            "{{\"id\":\"{full_name}\",\"median_ns_per_iter\":{median:.2},\"best_ns_per_iter\":{best:.2},\"iters_per_sample\":{iters},\"samples\":{sample_size}}}\n"
+        );
+        let written = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut file| file.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("warning: could not append to BENCH_JSON file {path}: {e}");
+        }
+    }
+}
+
+/// Expands to a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose_names() {
+        assert_eq!(BenchmarkId::new("encode", 32).full_name(), "encode/32");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+
+    #[test]
+    fn bencher_times_the_routine() {
+        let mut bencher = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 100);
+    }
+}

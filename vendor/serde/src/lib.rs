@@ -1,0 +1,16 @@
+//! Offline shim of the serde facade.
+//!
+//! The container this workspace builds in has no route to crates.io, so the
+//! real serde cannot be fetched. Workspace crates only use serde to *tag*
+//! public config/stats types as serializable (no serialization is performed
+//! anywhere in-tree yet); these marker traits plus the no-op derives in
+//! `serde_derive` keep the annotations compiling. Replacing this shim with
+//! the real crates is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

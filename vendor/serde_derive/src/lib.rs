@@ -1,0 +1,45 @@
+//! Derive macros for the vendored [`serde`](../serde) shim.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a minimal serde facade (see `vendor/serde`). These derives emit
+//! empty marker-trait impls; swapping in the real serde + serde_derive later
+//! requires no source changes in the workspace crates.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` / `enum` keyword.
+///
+/// The workspace only derives on plain non-generic items, so no generics or
+/// where-clause handling is needed.
+fn derive_target(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                for next in iter.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("#[derive(Serialize/Deserialize)] applied to unsupported item");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = derive_target(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = derive_target(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
