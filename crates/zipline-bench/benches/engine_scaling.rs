@@ -1,0 +1,120 @@
+//! PR-2 scaling bench: the sharded `zipline-engine` against the
+//! single-threaded `GdCompressor::compress_batch` baseline on the 9000 B
+//! stream workload (one jumbo frame's worth of sensor-style chunks — the
+//! same workload as `stream_compressor_9000B` in `switch_throughput.rs`).
+//!
+//! Grid: 1/2/4/8 workers × 1/4/16 dictionary shards, plus the batch-decode
+//! group for the symmetric `decompress_batch` path. The engine runs under
+//! [`SpawnPolicy::Auto`], so on a multi-core host the worker axis adds real
+//! threads while on a single-core host (such as the CI container) it
+//! measures the partitioned inline path — either way the sharded dictionary
+//! and cached basis hash carry the chunk throughput. Snapshots are committed
+//! as `BENCH_PR2.json` (regenerate with
+//! `BENCH_JSON=bench.jsonl cargo bench -p zipline-bench --bench engine_scaling`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use zipline_engine::{CompressionEngine, EngineConfig, EngineDecompressor, SpawnPolicy};
+use zipline_gd::{GdCompressor, GdConfig, GdDecompressor};
+
+/// One jumbo frame's worth of sensor-style chunks (matches the
+/// `stream_compressor_9000B` workload of the PR-1 bench).
+fn stream_9000b(config: &GdConfig) -> Vec<u8> {
+    let mut data = Vec::new();
+    for i in 0..(9000 / config.chunk_bytes) as u32 {
+        let mut chunk = vec![0u8; config.chunk_bytes];
+        chunk[0] = (i % 6) as u8;
+        chunk[8] = 0xA5;
+        if i % 5 == 0 {
+            chunk[20] ^= 0x10; // near-duplicate noise
+        }
+        data.extend_from_slice(&chunk);
+    }
+    data
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let gd = GdConfig::paper_default();
+    let data = stream_9000b(&gd);
+
+    let mut group = c.benchmark_group("engine_scaling");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    // Baseline: the single-threaded stream compressor. The compressor lives
+    // outside the measurement so after the first iteration every basis is
+    // known and the loop measures steady-state (all-Ref) compression.
+    let mut baseline = GdCompressor::new(&gd).unwrap();
+    group.bench_function("compress_batch_baseline", |b| {
+        b.iter(|| black_box(baseline.compress_batch(black_box(&data)).unwrap()))
+    });
+
+    for &workers in &[1usize, 2, 4, 8] {
+        for &shards in &[1usize, 4, 16] {
+            let config = EngineConfig {
+                gd,
+                shards,
+                workers,
+                spawn: SpawnPolicy::Auto,
+            };
+            let mut engine = CompressionEngine::new(config).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine_w{workers}"), format!("s{shards}")),
+                &config,
+                |b, _| b.iter(|| black_box(engine.compress_batch(black_box(&data)).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_decode(c: &mut Criterion) {
+    let gd = GdConfig::paper_default();
+    let data = stream_9000b(&gd);
+    let stream = GdCompressor::new(&gd)
+        .unwrap()
+        .compress_batch(&data)
+        .unwrap();
+
+    let mut group = c.benchmark_group("batch_decode_9000B");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    group.bench_function("per_record_loop", |b| {
+        b.iter(|| {
+            let mut dec = GdDecompressor::new(&gd).unwrap();
+            let mut out = Vec::new();
+            for record in &stream.records {
+                out.extend_from_slice(&dec.decompress_record(record).unwrap());
+            }
+            black_box(out)
+        })
+    });
+
+    group.bench_function("batch_scratch", |b| {
+        b.iter(|| {
+            let mut dec = GdDecompressor::new(&gd).unwrap();
+            black_box(dec.decompress_batch(black_box(&stream)).unwrap())
+        })
+    });
+
+    // The sharded engine decoder on an engine stream (8 shards).
+    let config = EngineConfig {
+        gd,
+        shards: 8,
+        workers: 4,
+        spawn: SpawnPolicy::Auto,
+    };
+    let engine_stream = CompressionEngine::new(config)
+        .unwrap()
+        .compress_batch(&data)
+        .unwrap();
+    group.bench_function("engine_batch_s8", |b| {
+        b.iter(|| {
+            let mut dec = EngineDecompressor::new(&config).unwrap();
+            black_box(dec.decompress_batch(black_box(&engine_stream)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling, bench_batch_decode);
+criterion_main!(benches);

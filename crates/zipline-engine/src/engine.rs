@@ -1,0 +1,711 @@
+//! The multi-core batch compression engine and its decoder mirror.
+//!
+//! [`CompressionEngine`] turns the one-shot [`zipline_gd::GdCompressor`]
+//! into a production-shaped host-side engine. A batch compresses in two
+//! phases:
+//!
+//! 1. **Encode** (embarrassingly parallel): the batch is split into
+//!    contiguous chunk ranges, one per worker; each worker runs the
+//!    word-parallel [`ChunkCodec::encode_chunk_into`] against its own
+//!    [`EncodeScratch`], producing `(extra, deviation, basis, basis_hash)`
+//!    per chunk and the chunk's shard assignment.
+//! 2. **Classify** (parallel per shard): every chunk is routed to shard
+//!    `basis_hash mod S` of the [`ShardedDictionary`]; each shard is owned
+//!    by exactly one worker, which walks the batch in input order and turns
+//!    its shards' chunks into `Ref`/`NewBasis` records. Records are then
+//!    reassembled in input order.
+//!
+//! Because shard state only ever depends on the input order of the chunks
+//! routed to it, the compressed stream is a pure function of `(data, shard
+//! count)` — worker count and spawn policy affect wall-clock time, never
+//! bytes. The 1-shard configuration reproduces `GdCompressor::compress_batch`
+//! bit for bit (both properties are enforced by `tests/engine_equivalence.rs`).
+//!
+//! Threads come from a fixed pool of `std::thread` scoped workers (the build
+//! environment has no crates.io access, so no rayon); each worker owns its
+//! scratch buffers across batches. With [`SpawnPolicy::Auto`] the engine
+//! falls back to inline execution when the host has a single core or the
+//! batch is too small to amortize thread handoff — worker count then only
+//! controls partitioning, keeping output deterministic while never
+//! oversubscribing the machine.
+
+use crate::shard::{DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary};
+use zipline_gd::codec::{
+    ChunkCodec, CompressedStream, DecodeScratch, EncodeScratch, EncodedChunk, Record,
+};
+use zipline_gd::config::GdConfig;
+use zipline_gd::error::{GdError, Result};
+use zipline_gd::packet::{PacketType, ZipLinePayload};
+use zipline_gd::stats::CompressionStats;
+
+/// How the engine maps logical workers onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpawnPolicy {
+    /// Spawn threads only when the host has more than one core and the
+    /// batch is large enough to amortize the handoff; otherwise run the
+    /// partitions inline on the calling thread. The default.
+    #[default]
+    Auto,
+    /// Never spawn; all partitions run inline. Worker count still controls
+    /// partitioning, so output is unchanged.
+    Inline,
+    /// Always spawn one thread per worker (used by tests to exercise the
+    /// threaded path regardless of host parallelism).
+    Threads,
+}
+
+/// Configuration of a [`CompressionEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// GD parameters (chunk size, Hamming `m`, identifier width).
+    pub gd: GdConfig,
+    /// Dictionary shard count: a power of two dividing `2^id_bits`.
+    pub shards: usize,
+    /// Logical worker count (also the partition count of a batch).
+    pub workers: usize,
+    /// Thread spawn policy.
+    pub spawn: SpawnPolicy,
+}
+
+impl EngineConfig {
+    /// Engine with the paper's GD parameters, 8 dictionary shards and 4
+    /// workers under the auto spawn policy.
+    pub fn paper_default() -> Self {
+        Self {
+            gd: GdConfig::paper_default(),
+            shards: 8,
+            workers: 4,
+            spawn: SpawnPolicy::Auto,
+        }
+    }
+
+    /// The configuration that reproduces `GdCompressor::compress_batch`
+    /// bit for bit: one shard, one worker, inline execution.
+    pub fn single_threaded(gd: GdConfig) -> Self {
+        Self {
+            gd,
+            shards: 1,
+            workers: 1,
+            spawn: SpawnPolicy::Inline,
+        }
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        self.gd.validate()?;
+        if self.workers == 0 {
+            return Err(GdError::InvalidConfig(
+                "worker count must be positive".into(),
+            ));
+        }
+        // Shard constraints are validated by the dictionary constructor.
+        ShardedDictionary::for_config(&self.gd, self.shards).map(|_| ())
+    }
+}
+
+/// Fixed per-worker state, reused across batches.
+#[derive(Debug, Default, Clone)]
+struct WorkerScratch {
+    encode: EncodeScratch,
+}
+
+/// Sharded, multi-core batch compressor with the same stream semantics as
+/// [`zipline_gd::GdCompressor`]. See the module docs for the pipeline.
+#[derive(Debug)]
+pub struct CompressionEngine {
+    codec: ChunkCodec,
+    config: EngineConfig,
+    dict: ShardedDictionary,
+    /// Per-shard compression accounting (merged view via [`Self::stats`]).
+    shard_compression_stats: Vec<CompressionStats>,
+    /// Accounting for raw tails, which bypass the shards.
+    tail_stats: CompressionStats,
+    /// The fixed worker pool: per-worker scratch buffers.
+    workers: Vec<WorkerScratch>,
+    /// Reused batch buffer of encoded chunks (threaded path).
+    encoded: Vec<EncodedChunk>,
+    /// Reused shard assignment per chunk of the current batch.
+    shard_of: Vec<u32>,
+    /// Reused per-shard chunk index lists (threaded path).
+    per_shard_idx: Vec<Vec<u32>>,
+    /// Reused per-shard record queues (threaded path).
+    per_shard_records: Vec<Vec<Record>>,
+    /// Recycled single-chunk slot for the fused inline path.
+    inline_slot: EncodedChunk,
+    /// Host parallelism, queried once at construction —
+    /// `std::thread::available_parallelism` reads cgroup files on Linux and
+    /// is far too slow to call per batch.
+    cores: usize,
+}
+
+impl CompressionEngine {
+    /// Builds an engine with a fresh sharded dictionary.
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            codec: ChunkCodec::new(&config.gd)?,
+            dict: ShardedDictionary::for_config(&config.gd, config.shards)?,
+            shard_compression_stats: vec![CompressionStats::new(); config.shards],
+            tail_stats: CompressionStats::new(),
+            workers: vec![WorkerScratch::default(); config.workers],
+            encoded: Vec::new(),
+            shard_of: Vec::new(),
+            per_shard_idx: vec![Vec::new(); config.shards],
+            per_shard_records: vec![Vec::new(); config.shards],
+            inline_slot: EncodedChunk::default(),
+            cores: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            config,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The chunk codec.
+    pub fn codec(&self) -> &ChunkCodec {
+        &self.codec
+    }
+
+    /// The sharded dictionary (e.g. to inspect learned bases).
+    pub fn dictionary(&self) -> &ShardedDictionary {
+        &self.dict
+    }
+
+    /// Merged compression statistics across all shards and tails.
+    pub fn stats(&self) -> CompressionStats {
+        let mut merged = self.tail_stats;
+        for s in &self.shard_compression_stats {
+            merged.merge(s);
+        }
+        merged
+    }
+
+    /// Per-shard dictionary counters.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.dict.shard_stats()
+    }
+
+    /// Merged dictionary snapshot, for syncing a decoder's deviation table.
+    pub fn snapshot(&self) -> DictionarySnapshot {
+        self.dict.snapshot()
+    }
+
+    /// Number of OS threads a batch of `n_chunks` will use.
+    fn threads_for(&self, n_chunks: usize) -> usize {
+        /// Below this many chunks per thread, handoff dominates the work.
+        const MIN_CHUNKS_PER_THREAD: usize = 32;
+        let workers = self.config.workers;
+        let threads = match self.config.spawn {
+            SpawnPolicy::Inline => 1,
+            SpawnPolicy::Threads => workers,
+            SpawnPolicy::Auto => {
+                if self.cores <= 1 {
+                    1
+                } else {
+                    workers
+                        .min(self.cores)
+                        .min(n_chunks / MIN_CHUNKS_PER_THREAD)
+                }
+            }
+        };
+        threads.clamp(1, n_chunks.max(1))
+    }
+
+    /// Compresses a whole buffer, equivalent to
+    /// [`zipline_gd::GdCompressor::compress_batch`] modulo identifier
+    /// assignment (identical for 1 shard): chunks fan out across the worker
+    /// pool and the sharded dictionary, and records are reassembled in input
+    /// order. A trailing partial chunk is stored verbatim.
+    pub fn compress_batch(&mut self, data: &[u8]) -> Result<CompressedStream> {
+        let chunk_bytes = self.config.gd.chunk_bytes;
+        let n_chunks = data.len() / chunk_bytes;
+        let threads = self.threads_for(n_chunks);
+
+        let mut records = Vec::with_capacity(n_chunks + 1);
+        if threads <= 1 {
+            // Fused single pass (no intermediate batch buffer), exactly the
+            // shape of `GdCompressor::compress_batch` plus shard routing.
+            self.compress_inline(data, &mut records)?;
+        } else {
+            self.encode_phase(data, n_chunks, threads)?;
+            self.classify_parallel(n_chunks, threads, &mut records)?;
+        }
+
+        let tail = &data[n_chunks * chunk_bytes..];
+        if !tail.is_empty() {
+            self.tail_stats.bytes_in += tail.len() as u64;
+            self.tail_stats.bytes_out += tail.len() as u64;
+            self.tail_stats.emitted_raw += 1;
+            self.tail_stats.chunks_in += 1;
+            records.push(Record::RawTail {
+                bytes: tail.to_vec(),
+            });
+        }
+
+        Ok(CompressedStream {
+            config: self.config.gd,
+            records,
+        })
+    }
+
+    /// Phase 1: encode every whole chunk into `self.encoded` and its shard
+    /// assignment into `self.shard_of`, fanning contiguous ranges across the
+    /// worker pool.
+    fn encode_phase(&mut self, data: &[u8], n_chunks: usize, threads: usize) -> Result<()> {
+        let chunk_bytes = self.config.gd.chunk_bytes;
+        let num_shards = self.dict.num_shards() as u64;
+        if self.encoded.len() > n_chunks {
+            self.encoded.truncate(n_chunks);
+        } else {
+            let grow = n_chunks - self.encoded.len();
+            self.encoded.reserve(grow);
+            self.encoded
+                .extend(std::iter::repeat_with(EncodedChunk::default).take(grow));
+        }
+        self.shard_of.resize(n_chunks, 0);
+
+        let codec = &self.codec;
+        // Contiguous partition: the first `n_chunks % threads` ranges get one
+        // extra chunk.
+        let base = n_chunks / threads;
+        let extra = n_chunks % threads;
+        let mut enc_rest: &mut [EncodedChunk] = &mut self.encoded;
+        let mut shard_rest: &mut [u32] = &mut self.shard_of;
+        let mut offset = 0usize;
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(threads);
+            for (t, worker) in self.workers.iter_mut().take(threads).enumerate() {
+                let count = base + usize::from(t < extra);
+                let (enc_part, enc_tail) = enc_rest.split_at_mut(count);
+                enc_rest = enc_tail;
+                let (shard_part, shard_tail) = shard_rest.split_at_mut(count);
+                shard_rest = shard_tail;
+                let data_part = &data[offset * chunk_bytes..(offset + count) * chunk_bytes];
+                offset += count;
+                let scratch = &mut worker.encode;
+                joins.push(scope.spawn(move || -> Result<()> {
+                    for ((chunk, slot), shard) in data_part
+                        .chunks_exact(chunk_bytes)
+                        .zip(enc_part.iter_mut())
+                        .zip(shard_part.iter_mut())
+                    {
+                        codec.encode_chunk_into(chunk, scratch, slot)?;
+                        *shard = (slot.basis_hash % num_shards) as u32;
+                    }
+                    Ok(())
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("encode worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Single-threaded fast path: encode and classify fused into one pass
+    /// over the input, streaming every chunk through one recycled slot.
+    fn compress_inline(&mut self, data: &[u8], records: &mut Vec<Record>) -> Result<()> {
+        let gd = self.config.gd;
+        let num_shards = self.dict.num_shards() as u64;
+        let Self {
+            codec,
+            dict,
+            shard_compression_stats,
+            workers,
+            inline_slot,
+            ..
+        } = self;
+        let scratch = &mut workers[0].encode;
+        for chunk in data.chunks_exact(gd.chunk_bytes) {
+            codec.encode_chunk_into(chunk, scratch, inline_slot)?;
+            let shard = (inline_slot.basis_hash % num_shards) as usize;
+            let outcome = dict.classify(shard, &inline_slot.basis, inline_slot.basis_hash)?;
+            records.push(record_for_outcome(
+                &gd,
+                inline_slot,
+                outcome,
+                &mut shard_compression_stats[shard],
+            ));
+        }
+        Ok(())
+    }
+
+    /// Phase 2, threaded: shards are distributed round-robin over the worker
+    /// threads; each thread classifies the chunks routed to its shards (in
+    /// input order, via the per-shard index lists built by
+    /// [`Self::encode_phase`]'s caller), and the per-shard record queues are
+    /// merged back into input order. All the batch-sized buffers
+    /// (`per_shard_idx`, `per_shard_records`) are engine fields recycled
+    /// across batches.
+    fn classify_parallel(
+        &mut self,
+        n_chunks: usize,
+        threads: usize,
+        records: &mut Vec<Record>,
+    ) -> Result<()> {
+        let gd = self.config.gd;
+        let encoded = &self.encoded[..n_chunks];
+        let shard_of = &self.shard_of[..n_chunks];
+
+        // Route chunks to shards once, in input order.
+        for list in &mut self.per_shard_idx {
+            list.clear();
+        }
+        for (i, &shard) in shard_of.iter().enumerate() {
+            self.per_shard_idx[shard as usize].push(i as u32);
+        }
+
+        // Thread `t` owns shards `t, t + threads, t + 2*threads, …`.
+        let mut groups: Vec<Vec<_>> = (0..threads).map(|_| Vec::new()).collect();
+        for (((handle, stats), idx), out) in self
+            .dict
+            .shard_handles()
+            .into_iter()
+            .zip(self.shard_compression_stats.iter_mut())
+            .zip(self.per_shard_idx.iter())
+            .zip(self.per_shard_records.iter_mut())
+        {
+            out.clear();
+            groups[handle.index() % threads].push((handle, stats, idx, out));
+        }
+
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || -> Result<()> {
+                        for (mut handle, stats, idx, out) in group {
+                            for &i in idx.iter() {
+                                let enc = &encoded[i as usize];
+                                let outcome = handle.classify(&enc.basis, enc.basis_hash)?;
+                                out.push(record_for_outcome(&gd, enc, outcome, stats));
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("classify worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect::<Result<()>>()?;
+
+        // Stable merge back into input order: each shard queue is already in
+        // input order, so walking the shard assignments replays the batch.
+        let mut queues: Vec<std::vec::Drain<'_, Record>> = self
+            .per_shard_records
+            .iter_mut()
+            .map(|v| v.drain(..))
+            .collect();
+        for &shard in shard_of {
+            records.push(
+                queues[shard as usize]
+                    .next()
+                    .expect("every chunk classified exactly once"),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Builds the stream record for one classified chunk, with the same
+/// statistics accounting as `GdCompressor::record_for_mut`.
+fn record_for_outcome(
+    gd: &GdConfig,
+    enc: &EncodedChunk,
+    outcome: ShardOutcome,
+    stats: &mut CompressionStats,
+) -> Record {
+    let m = gd.m as usize;
+    let e = gd.extra_bits();
+    stats.chunks_in += 1;
+    stats.bytes_in += gd.chunk_bytes as u64;
+    match outcome {
+        ShardOutcome::Known { id } => {
+            stats.emitted_compressed += 1;
+            stats.bytes_out += ((m + e + gd.id_bits as usize) as u64).div_ceil(8);
+            Record::Ref {
+                extra: enc.extra.clone(),
+                deviation: enc.deviation,
+                id,
+            }
+        }
+        ShardOutcome::Learned { evicted, .. } => {
+            if evicted {
+                stats.evictions += 1;
+            }
+            stats.bases_learned += 1;
+            stats.emitted_uncompressed += 1;
+            stats.bytes_out += ((m + e + gd.k()) as u64).div_ceil(8);
+            Record::NewBasis {
+                extra: enc.extra.clone(),
+                deviation: enc.deviation,
+                basis: enc.basis.clone(),
+            }
+        }
+    }
+}
+
+/// Decoder mirror of [`CompressionEngine`]: rebuilds the sharded dictionary
+/// from `NewBasis` records (routing by the same basis hash) so engine
+/// streams decode without out-of-band state — provided it is configured with
+/// the *same shard count* the compressor used, just as [`GdConfig`] must
+/// match.
+#[derive(Debug)]
+pub struct EngineDecompressor {
+    codec: ChunkCodec,
+    dict: ShardedDictionary,
+    stats: CompressionStats,
+    scratch: DecodeScratch,
+    gd: GdConfig,
+}
+
+impl EngineDecompressor {
+    /// Builds a decompressor mirroring `config` (worker count and spawn
+    /// policy are irrelevant to decoding; only `gd` and `shards` matter).
+    pub fn new(config: &EngineConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            codec: ChunkCodec::new(&config.gd)?,
+            dict: ShardedDictionary::for_config(&config.gd, config.shards)?,
+            stats: CompressionStats::new(),
+            scratch: DecodeScratch::new(),
+            gd: config.gd,
+        })
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &CompressionStats {
+        &self.stats
+    }
+
+    /// The sharded dictionary rebuilt so far.
+    pub fn dictionary(&self) -> &ShardedDictionary {
+        &self.dict
+    }
+
+    /// Decompresses a whole engine stream with recycled scratch buffers,
+    /// symmetric to [`CompressionEngine::compress_batch`].
+    pub fn decompress_batch(&mut self, stream: &CompressedStream) -> Result<Vec<u8>> {
+        if stream.config.m != self.gd.m
+            || stream.config.chunk_bytes != self.gd.chunk_bytes
+            || stream.config.id_bits != self.gd.id_bits
+        {
+            return Err(GdError::InvalidConfig(
+                "stream was compressed with a different configuration".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(stream.records.len() * self.gd.chunk_bytes);
+        for record in &stream.records {
+            self.decompress_record_into(record, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Decompresses one record, appending the restored bytes to `out`.
+    pub fn decompress_record_into(&mut self, record: &Record, out: &mut Vec<u8>) -> Result<()> {
+        match record {
+            Record::NewBasis {
+                extra,
+                deviation,
+                basis,
+            } => self.restore_new_basis(extra, *deviation, basis, out),
+            Record::Ref {
+                extra,
+                deviation,
+                id,
+            } => self.restore_ref(extra, *deviation, *id, out),
+            Record::RawTail { bytes } => {
+                out.extend_from_slice(bytes);
+                self.stats.chunks_decoded += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Decodes one wire payload produced by the engine stream (see
+    /// `EngineStream`), appending the restored bytes to `out`. Type 2
+    /// payloads teach the dictionary exactly like `NewBasis` records.
+    pub fn restore_payload_into(
+        &mut self,
+        packet_type: PacketType,
+        bytes: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        match ZipLinePayload::decode(&self.gd, packet_type, bytes)? {
+            ZipLinePayload::Raw(raw) => {
+                out.extend_from_slice(&raw);
+                self.stats.chunks_decoded += 1;
+                Ok(())
+            }
+            ZipLinePayload::Uncompressed {
+                deviation,
+                extra,
+                basis,
+            } => self.restore_new_basis(&extra, deviation, &basis, out),
+            ZipLinePayload::Compressed {
+                deviation,
+                extra,
+                id,
+            } => self.restore_ref(&extra, deviation, id, out),
+        }
+    }
+
+    fn restore_new_basis(
+        &mut self,
+        extra: &zipline_gd::BitVec,
+        deviation: u64,
+        basis: &zipline_gd::BitVec,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        // Mirror the compressor's dictionary update: same hash, same shard,
+        // same clock tick, so later Ref records resolve to the same
+        // identifiers.
+        let hash = basis.hash_words();
+        let shard = self.dict.shard_of_hash(hash);
+        self.dict.learn(shard, basis.clone(), hash)?;
+        let Self { codec, scratch, .. } = self;
+        codec.decode_parts_into(extra, deviation, basis, scratch, out)?;
+        self.stats.chunks_decoded += 1;
+        Ok(())
+    }
+
+    fn restore_ref(
+        &mut self,
+        extra: &zipline_gd::BitVec,
+        deviation: u64,
+        id: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let Self {
+            codec,
+            dict,
+            stats,
+            scratch,
+            ..
+        } = self;
+        let Some(basis) = dict.lookup_id_ref(id, true) else {
+            stats.decode_failures += 1;
+            return Err(GdError::UnknownIdentifier(id));
+        };
+        codec.decode_parts_into(extra, deviation, basis, scratch, out)?;
+        self.stats.chunks_decoded += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_style_data(chunks: u32, chunk_bytes: usize) -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..chunks {
+            let mut chunk = vec![0u8; chunk_bytes];
+            chunk[0] = (i % 6) as u8;
+            if chunk_bytes > 8 {
+                chunk[8] = 0xA5;
+            }
+            data.extend_from_slice(&chunk);
+        }
+        data
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_shapes() {
+        let mut c = EngineConfig::paper_default();
+        c.validate().unwrap();
+        c.workers = 0;
+        assert!(c.validate().is_err());
+        c.workers = 2;
+        c.shards = 3;
+        assert!(c.validate().is_err());
+        c.shards = 1 << 16; // more shards than identifiers
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn engine_roundtrip_with_tail() {
+        let config = EngineConfig {
+            gd: GdConfig::paper_default(),
+            shards: 8,
+            workers: 4,
+            spawn: SpawnPolicy::Threads,
+        };
+        let mut engine = CompressionEngine::new(config).unwrap();
+        let mut data = sensor_style_data(300, 32);
+        data.extend_from_slice(b"odd tail");
+        let stream = engine.compress_batch(&data).unwrap();
+        assert!(matches!(
+            stream.records.last(),
+            Some(Record::RawTail { .. })
+        ));
+        let mut dec = EngineDecompressor::new(&config).unwrap();
+        assert_eq!(dec.decompress_batch(&stream).unwrap(), data);
+        assert!(engine.stats().is_consistent());
+        assert_eq!(engine.stats().chunks_in, 301);
+    }
+
+    #[test]
+    fn stream_depends_only_on_shard_count() {
+        let data = sensor_style_data(257, 32);
+        let mut reference: Option<CompressedStream> = None;
+        for workers in [1usize, 2, 3, 4, 7] {
+            for spawn in [SpawnPolicy::Inline, SpawnPolicy::Threads] {
+                let config = EngineConfig {
+                    gd: GdConfig::paper_default(),
+                    shards: 4,
+                    workers,
+                    spawn,
+                };
+                let mut engine = CompressionEngine::new(config).unwrap();
+                let stream = engine.compress_batch(&data).unwrap();
+                match &reference {
+                    None => reference = Some(stream),
+                    Some(r) => assert_eq!(
+                        &stream, r,
+                        "workers = {workers}, spawn = {spawn:?} changed the stream"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_single_worker_matches_gd_compressor() {
+        let gd = GdConfig::paper_default();
+        let mut data = sensor_style_data(200, 32);
+        data.extend_from_slice(b"tail!");
+        let mut engine = CompressionEngine::new(EngineConfig::single_threaded(gd)).unwrap();
+        let engine_stream = engine.compress_batch(&data).unwrap();
+        let mut reference = zipline_gd::GdCompressor::new(&gd).unwrap();
+        let reference_stream = reference.compress_batch(&data).unwrap();
+        assert_eq!(engine_stream, reference_stream);
+        assert_eq!(engine.stats(), *reference.stats());
+    }
+
+    #[test]
+    fn snapshot_reflects_learned_bases() {
+        let config = EngineConfig {
+            gd: GdConfig::for_parameters(3, 6).unwrap(),
+            shards: 4,
+            workers: 2,
+            spawn: SpawnPolicy::Inline,
+        };
+        let mut engine = CompressionEngine::new(config).unwrap();
+        let data: Vec<u8> = (0..64u8).collect(); // 64 one-byte chunks
+        engine.compress_batch(&data).unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.len(), engine.stats().bases_learned as usize);
+        assert_eq!(snap.shard_count, 4);
+        let total_lookups: u64 = engine.shard_stats().iter().map(|s| s.lookups).sum();
+        assert_eq!(total_lookups, 64);
+    }
+}

@@ -1,0 +1,48 @@
+//! # `zipline-engine` — sharded multi-core GD compression engine
+//!
+//! The ZipLine paper offloads Generalized Deduplication to the switch, but
+//! its end hosts still run the full GD codec. This crate is the host side
+//! grown into a production-shaped engine:
+//!
+//! * [`ShardedDictionary`] — the basis dictionary split into `N` independent
+//!   [`zipline_gd::BasisDictionary`] shards selected by the word-parallel
+//!   basis hash ([`zipline_gd::BitVec::hash_words`]), with per-shard
+//!   statistics and a merged [`DictionarySnapshot`] for syncing a decoder's
+//!   deviation table;
+//! * [`CompressionEngine`] — a fixed pool of `std::thread` workers, each
+//!   owning its encode scratch, that fans a batch of chunks across the
+//!   shards and reassembles the records in input order. Output is a pure
+//!   function of `(data, shard count)`: worker count and spawn policy only
+//!   change wall-clock time, and the 1-shard configuration is bit-identical
+//!   to [`zipline_gd::GdCompressor::compress_batch`];
+//! * [`EngineDecompressor`] — the symmetric batch decoder with recycled
+//!   codeword/output scratch, rebuilding the sharded dictionary from the
+//!   stream itself;
+//! * [`EngineStream`] — the streaming pipeline API: push records (e.g. from
+//!   `zipline-traces` workload iterators), get wire-ready
+//!   [`zipline_gd::ZipLinePayload`] bytes out through one reused scratch
+//!   buffer per worker.
+//!
+//! # Quick example
+//!
+//! ```
+//! use zipline_engine::{CompressionEngine, EngineConfig, EngineDecompressor};
+//!
+//! let config = EngineConfig::paper_default();
+//! let mut engine = CompressionEngine::new(config).unwrap();
+//!
+//! // Sensor-style data: many chunks share a few bases.
+//! let data: Vec<u8> = (0..64 * 32).map(|i| (i / 320) as u8).collect();
+//! let stream = engine.compress_batch(&data).unwrap();
+//!
+//! let mut decoder = EngineDecompressor::new(&config).unwrap();
+//! assert_eq!(decoder.decompress_batch(&stream).unwrap(), data);
+//! ```
+
+pub mod engine;
+pub mod shard;
+pub mod stream;
+
+pub use engine::{CompressionEngine, EngineConfig, EngineDecompressor, SpawnPolicy};
+pub use shard::{DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary};
+pub use stream::{EngineStream, StreamSummary};

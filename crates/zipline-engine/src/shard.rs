@@ -1,0 +1,429 @@
+//! The hash-sharded basis dictionary.
+//!
+//! Chunks are independent until the dictionary step, so the dictionary is
+//! the only serialization point of batch compression. [`ShardedDictionary`]
+//! removes it: the identifier space (`2^id_bits`) is split into `S` equal
+//! slices, each backed by an independent [`BasisDictionary`], and a basis is
+//! routed to shard `hash_words(basis) mod S`. Because a basis always lands
+//! in the same shard, per-shard state evolves deterministically in input
+//! order — the compressed output depends only on the shard count, never on
+//! how many worker threads processed the batch (the property-test suite
+//! enforces this).
+//!
+//! Identifier layout: shard `s` owns the *global* identifiers
+//! `[s * shard_capacity, (s + 1) * shard_capacity)`; within the shard the
+//! backing dictionary allocates *local* identifiers from `0`. A decoder can
+//! therefore route a `Ref` record to its shard with one division, and a
+//! `NewBasis` record with the same basis hash the compressor used. With
+//! `S = 1` the layout degenerates to the unsharded dictionary, which is what
+//! makes the 1-shard engine bit-identical to [`zipline_gd::GdCompressor`].
+//!
+//! [`DictionarySnapshot`] is the merged, shard-transparent view: global
+//! `(identifier, basis)` pairs plus per-shard occupancy and counters. The
+//! control plane uses it to sync a decoder's deviation table (see
+//! `ZipLineDecodeProgram::install_snapshot` in the `zipline` crate).
+
+use zipline_gd::bits::BitVec;
+use zipline_gd::config::GdConfig;
+use zipline_gd::dictionary::BasisDictionary;
+use zipline_gd::error::{GdError, Result};
+
+/// Per-shard dictionary counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Basis lookups routed to this shard.
+    pub lookups: u64,
+    /// Lookups that found their basis (emitted as `Ref` records).
+    pub hits: u64,
+    /// Bases learned (emitted as `NewBasis` records).
+    pub learned: u64,
+    /// Mappings evicted by the shard's LRU policy.
+    pub evictions: u64,
+}
+
+/// One shard: an independent dictionary slice with its own logical clock.
+#[derive(Debug, Clone)]
+struct Shard {
+    dict: BasisDictionary,
+    /// Logical clock, ticked once per record routed to this shard. Keeping
+    /// the clock per shard (rather than global) is what makes shard state
+    /// independent of how records interleave across shards.
+    clock: u64,
+    stats: ShardStats,
+    /// First global identifier owned by this shard.
+    base: u64,
+}
+
+/// Outcome of routing one encoded chunk through its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// The basis was already known; emit a `Ref` to this global identifier.
+    Known {
+        /// Global identifier of the basis.
+        id: u64,
+    },
+    /// The basis was learned; emit a `NewBasis` record.
+    Learned {
+        /// Global identifier assigned (implicit on the wire).
+        id: u64,
+        /// True when learning evicted an older mapping.
+        evicted: bool,
+    },
+}
+
+/// Shared per-shard classification logic (single-threaded and handle forms).
+fn classify_in(shard: &mut Shard, basis: &BitVec, hash: u64) -> Result<ShardOutcome> {
+    shard.clock += 1;
+    shard.stats.lookups += 1;
+    if let Some(local) = shard
+        .dict
+        .lookup_basis_hashed(basis, hash, shard.clock, true)
+    {
+        shard.stats.hits += 1;
+        return Ok(ShardOutcome::Known {
+            id: shard.base + local,
+        });
+    }
+    let outcome = shard.dict.insert_hashed(basis.clone(), hash, shard.clock)?;
+    shard.stats.learned += 1;
+    let evicted = outcome.evicted.is_some();
+    if evicted {
+        shard.stats.evictions += 1;
+    }
+    Ok(ShardOutcome::Learned {
+        id: shard.base + outcome.id,
+        evicted,
+    })
+}
+
+/// `N` independent [`BasisDictionary`] shards selected by basis hash.
+#[derive(Debug, Clone)]
+pub struct ShardedDictionary {
+    shards: Vec<Shard>,
+    shard_capacity: usize,
+}
+
+impl ShardedDictionary {
+    /// Creates a dictionary of `capacity` total identifiers split across
+    /// `shards` shards. The shard count must be a power of two that divides
+    /// the capacity (so every shard owns an equal identifier slice).
+    pub fn new(capacity: usize, shards: usize) -> Result<Self> {
+        if shards == 0 || !shards.is_power_of_two() {
+            return Err(GdError::InvalidConfig(format!(
+                "shard count {shards} must be a non-zero power of two"
+            )));
+        }
+        if shards > capacity || !capacity.is_multiple_of(shards) {
+            return Err(GdError::InvalidConfig(format!(
+                "cannot split {capacity} identifiers across {shards} shards evenly"
+            )));
+        }
+        let shard_capacity = capacity / shards;
+        Ok(Self {
+            shards: (0..shards)
+                .map(|s| Shard {
+                    dict: BasisDictionary::new(shard_capacity),
+                    clock: 0,
+                    stats: ShardStats::default(),
+                    base: (s * shard_capacity) as u64,
+                })
+                .collect(),
+            shard_capacity,
+        })
+    }
+
+    /// Creates a dictionary sized for a GD configuration
+    /// (`2^id_bits` identifiers).
+    pub fn for_config(config: &GdConfig, shards: usize) -> Result<Self> {
+        Self::new(config.dictionary_capacity(), shards)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Identifiers owned by each shard.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Total identifier capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Total number of mappings across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.dict.len()).sum()
+    }
+
+    /// True when no shard holds a mapping.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.dict.is_empty())
+    }
+
+    /// Shard that a basis with the given [`BitVec::hash_words`] value is
+    /// routed to.
+    pub fn shard_of_hash(&self, hash: u64) -> usize {
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Shard that owns a global identifier.
+    pub fn shard_of_id(&self, id: u64) -> usize {
+        (id / self.shard_capacity as u64) as usize
+    }
+
+    /// Per-shard counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Per-shard occupancy, indexed by shard.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.dict.len()).collect()
+    }
+
+    /// Routes one encoded chunk through its shard: ticks the shard clock,
+    /// looks the basis up (touching recency) and learns it on a miss —
+    /// exactly the dictionary step of [`zipline_gd::GdCompressor`], per
+    /// shard.
+    pub fn classify(&mut self, shard: usize, basis: &BitVec, hash: u64) -> Result<ShardOutcome> {
+        classify_in(&mut self.shards[shard], basis, hash)
+    }
+
+    /// Decode-side mirror of the learning half of [`Self::classify`]: ticks
+    /// the shard clock and inserts the basis, returning its global
+    /// identifier. Used when replaying `NewBasis` records.
+    pub fn learn(&mut self, shard: usize, basis: BitVec, hash: u64) -> Result<u64> {
+        let s = &mut self.shards[shard];
+        s.clock += 1;
+        s.stats.lookups += 1;
+        let outcome = s.dict.insert_hashed(basis, hash, s.clock)?;
+        if outcome.already_known {
+            s.stats.hits += 1;
+        } else {
+            s.stats.learned += 1;
+            if outcome.evicted.is_some() {
+                s.stats.evictions += 1;
+            }
+        }
+        Ok(s.base + outcome.id)
+    }
+
+    /// Decode-side lookup of a global identifier: ticks the owning shard's
+    /// clock, touches the entry and returns a reference to its basis.
+    pub fn lookup_id_ref(&mut self, id: u64, touch: bool) -> Option<&BitVec> {
+        let shard = self.shard_of_id(id);
+        let s = self.shards.get_mut(shard)?;
+        s.clock += 1;
+        let local = id - s.base;
+        s.dict.lookup_id_ref(local, s.clock, touch)
+    }
+
+    /// Disjoint mutable handles to every shard, for fan-out across worker
+    /// threads. Handle `i` operates on shard `i`; distributing handles
+    /// round-robin over threads keeps each shard owned by exactly one
+    /// thread, which is all the synchronization the engine needs.
+    pub fn shard_handles(&mut self) -> Vec<ShardHandle<'_>> {
+        self.shards
+            .iter_mut()
+            .enumerate()
+            .map(|(index, shard)| ShardHandle { shard, index })
+            .collect()
+    }
+
+    /// Merged, shard-transparent view of the dictionary.
+    pub fn snapshot(&self) -> DictionarySnapshot {
+        let mut entries: Vec<(u64, BitVec)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.dict
+                    .iter()
+                    .map(move |(local, basis)| (s.base + local, basis.clone()))
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        DictionarySnapshot {
+            shard_count: self.shards.len(),
+            shard_capacity: self.shard_capacity,
+            entries,
+            shard_stats: self.shard_stats(),
+            shard_lens: self.shard_lens(),
+        }
+    }
+}
+
+/// Exclusive access to one shard, handed to a worker thread.
+#[derive(Debug)]
+pub struct ShardHandle<'a> {
+    shard: &'a mut Shard,
+    index: usize,
+}
+
+impl ShardHandle<'_> {
+    /// Index of the shard this handle owns.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// See [`ShardedDictionary::classify`].
+    pub fn classify(&mut self, basis: &BitVec, hash: u64) -> Result<ShardOutcome> {
+        classify_in(self.shard, basis, hash)
+    }
+}
+
+/// Merged view of a [`ShardedDictionary`] at a point in time: every
+/// `(global identifier, basis)` mapping plus per-shard statistics. This is
+/// what the control plane ships to a decoder to sync its deviation table
+/// (identifier → basis) with an engine-compressed stream.
+#[derive(Debug, Clone)]
+pub struct DictionarySnapshot {
+    /// Number of shards the dictionary was split into.
+    pub shard_count: usize,
+    /// Identifiers owned by each shard.
+    pub shard_capacity: usize,
+    /// All mappings, sorted by global identifier.
+    pub entries: Vec<(u64, BitVec)>,
+    /// Per-shard counters, indexed by shard.
+    pub shard_stats: Vec<ShardStats>,
+    /// Per-shard occupancy, indexed by shard.
+    pub shard_lens: Vec<usize>,
+}
+
+impl DictionarySnapshot {
+    /// Number of mappings in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot holds no mapping.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(v: u64) -> BitVec {
+        BitVec::from_u64(v, 16)
+    }
+
+    #[test]
+    fn shard_counts_must_divide_capacity() {
+        assert!(ShardedDictionary::new(16, 1).is_ok());
+        assert!(ShardedDictionary::new(16, 4).is_ok());
+        assert!(ShardedDictionary::new(16, 16).is_ok());
+        assert!(ShardedDictionary::new(16, 0).is_err());
+        assert!(ShardedDictionary::new(16, 3).is_err());
+        assert!(ShardedDictionary::new(16, 32).is_err());
+    }
+
+    #[test]
+    fn global_identifiers_partition_by_shard() {
+        let mut d = ShardedDictionary::new(64, 4).unwrap();
+        assert_eq!(d.shard_capacity(), 16);
+        for v in 0..12u64 {
+            let b = basis(v);
+            let h = b.hash_words();
+            let shard = d.shard_of_hash(h);
+            match d.classify(shard, &b, h).unwrap() {
+                ShardOutcome::Learned { id, .. } => {
+                    assert_eq!(d.shard_of_id(id), shard, "id {id} maps back to its shard");
+                }
+                ShardOutcome::Known { .. } => panic!("fresh basis cannot be known"),
+            }
+        }
+        assert_eq!(d.len(), 12);
+    }
+
+    #[test]
+    fn known_bases_resolve_to_the_same_identifier() {
+        let mut d = ShardedDictionary::new(8, 2).unwrap();
+        let b = basis(7);
+        let h = b.hash_words();
+        let shard = d.shard_of_hash(h);
+        let first = d.classify(shard, &b, h).unwrap();
+        let second = d.classify(shard, &b, h).unwrap();
+        let ShardOutcome::Learned { id: learned, .. } = first else {
+            panic!("first sighting learns");
+        };
+        assert_eq!(second, ShardOutcome::Known { id: learned });
+        let stats = d.shard_stats()[shard];
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.learned, 1);
+    }
+
+    #[test]
+    fn one_shard_matches_plain_dictionary_ids() {
+        let mut sharded = ShardedDictionary::new(8, 1).unwrap();
+        let mut plain = BasisDictionary::new(8);
+        let mut clock = 0u64;
+        for v in [3u64, 9, 3, 12, 9, 20, 3] {
+            let b = basis(v);
+            let h = b.hash_words();
+            clock += 1;
+            let plain_id = match plain.lookup_basis_hashed(&b, h, clock, true) {
+                Some(id) => id,
+                None => plain.insert_hashed(b.clone(), h, clock).unwrap().id,
+            };
+            let sharded_id = match sharded.classify(0, &b, h).unwrap() {
+                ShardOutcome::Known { id } | ShardOutcome::Learned { id, .. } => id,
+            };
+            assert_eq!(plain_id, sharded_id, "value {v}");
+        }
+    }
+
+    #[test]
+    fn learn_and_lookup_mirror_classify() {
+        // Compressor side.
+        let mut comp = ShardedDictionary::new(8, 2).unwrap();
+        // Decoder side, driven only by what the records would carry.
+        let mut dec = ShardedDictionary::new(8, 2).unwrap();
+        for v in [1u64, 2, 1, 3, 2, 1, 4, 4, 1] {
+            let b = basis(v);
+            let h = b.hash_words();
+            let shard = comp.shard_of_hash(h);
+            match comp.classify(shard, &b, h).unwrap() {
+                ShardOutcome::Learned { id, .. } => {
+                    let learned = dec.learn(dec.shard_of_hash(h), b.clone(), h).unwrap();
+                    assert_eq!(learned, id, "decoder assigns the same id");
+                }
+                ShardOutcome::Known { id } => {
+                    assert_eq!(
+                        dec.lookup_id_ref(id, true),
+                        Some(&b),
+                        "decoder resolves id {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_merges_all_shards_sorted() {
+        let mut d = ShardedDictionary::new(16, 4).unwrap();
+        for v in 0..10u64 {
+            let b = basis(v);
+            let h = b.hash_words();
+            let shard = d.shard_of_hash(h);
+            d.classify(shard, &b, h).unwrap();
+        }
+        let snap = d.snapshot();
+        assert_eq!(snap.len(), 10);
+        assert_eq!(snap.shard_count, 4);
+        assert_eq!(snap.shard_lens.iter().sum::<usize>(), 10);
+        assert!(snap.entries.windows(2).all(|w| w[0].0 < w[1].0));
+        for (id, basis) in &snap.entries {
+            assert_eq!(
+                d.lookup_id_ref(*id, false),
+                Some(basis),
+                "snapshot id {id} resolves"
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-test suite for the sharded engine (ISSUE 2 acceptance):
+//!
+//! * engine output decompresses byte-identically to the input for **any**
+//!   shard count, worker count and spawn policy;
+//! * the compressed stream is a pure function of `(data, shard count)` —
+//!   worker count and spawn policy never change a byte;
+//! * the 1-shard/1-worker configuration is byte-identical to
+//!   [`GdCompressor::compress_batch`], records and statistics included;
+//! * [`GdDecompressor::decompress_batch`] (the recycled-scratch batch decode)
+//!   equals the per-record reference loop.
+
+use proptest::prelude::*;
+use zipline_engine::{CompressionEngine, EngineConfig, EngineDecompressor, SpawnPolicy};
+use zipline_gd::codec::{CompressedStream, GdCompressor, GdDecompressor};
+use zipline_gd::config::GdConfig;
+
+/// Small parameters so shards see churn and evictions: m = 3 (1-byte
+/// chunks), 6-bit identifiers (64 total, 16 per shard at 4 shards).
+fn small_gd() -> GdConfig {
+    GdConfig::for_parameters(3, 6).unwrap()
+}
+
+fn engine_config(gd: GdConfig, shards: usize, workers: usize, spawn: SpawnPolicy) -> EngineConfig {
+    EngineConfig {
+        gd,
+        shards,
+        workers,
+        spawn,
+    }
+}
+
+fn compress_with(config: EngineConfig, data: &[u8]) -> CompressedStream {
+    let mut engine = CompressionEngine::new(config).expect("valid engine config");
+    engine.compress_batch(data).expect("compression succeeds")
+}
+
+fn spawn_of(selector: u8) -> SpawnPolicy {
+    match selector % 3 {
+        0 => SpawnPolicy::Auto,
+        1 => SpawnPolicy::Inline,
+        _ => SpawnPolicy::Threads,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any (shards, workers, spawn) roundtrips byte-identically through the
+    /// mirrored decompressor.
+    #[test]
+    fn engine_roundtrips_for_any_shape(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        shard_exp in 0u32..4,
+        workers in 1usize..6,
+        spawn_selector in any::<u8>(),
+    ) {
+        let config = engine_config(
+            small_gd(),
+            1usize << shard_exp,
+            workers,
+            spawn_of(spawn_selector),
+        );
+        let stream = compress_with(config, &data);
+        let mut dec = EngineDecompressor::new(&config).expect("valid decoder config");
+        prop_assert_eq!(dec.decompress_batch(&stream).expect("decode succeeds"), data);
+    }
+
+    /// The stream depends on the shard count only: sweeping workers and
+    /// spawn policies at a fixed shard count yields identical bytes.
+    #[test]
+    fn stream_is_independent_of_worker_count(
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+        shard_exp in 0u32..4,
+    ) {
+        let shards = 1usize << shard_exp;
+        let reference = compress_with(
+            engine_config(small_gd(), shards, 1, SpawnPolicy::Inline),
+            &data,
+        );
+        for workers in [2usize, 3, 5, 8] {
+            for spawn in [SpawnPolicy::Threads, SpawnPolicy::Auto] {
+                let stream = compress_with(engine_config(small_gd(), shards, workers, spawn), &data);
+                prop_assert_eq!(
+                    &stream, &reference,
+                    "shards = {}, workers = {}, spawn = {:?}", shards, workers, spawn
+                );
+            }
+        }
+    }
+
+    /// 1 shard / 1 worker reproduces the single-threaded compressor exactly:
+    /// same records, same serialized bytes, same statistics.
+    #[test]
+    fn one_shard_one_worker_matches_compress_batch(
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let gd = small_gd();
+        let engine_stream = compress_with(EngineConfig::single_threaded(gd), &data);
+        let mut reference = GdCompressor::new(&gd).expect("valid config");
+        let reference_stream = reference.compress_batch(&data).expect("compression succeeds");
+        prop_assert_eq!(&engine_stream, &reference_stream);
+        prop_assert_eq!(engine_stream.to_bytes(), reference_stream.to_bytes());
+
+        let mut engine = CompressionEngine::new(EngineConfig::single_threaded(gd)).unwrap();
+        engine.compress_batch(&data).unwrap();
+        prop_assert_eq!(engine.stats(), *reference.stats());
+    }
+
+    /// Engine streams with one shard also decode through the plain
+    /// (unsharded) decompressor, and vice versa via the serialized format.
+    #[test]
+    fn one_shard_streams_decode_with_plain_decompressor(
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+        workers in 1usize..5,
+    ) {
+        let gd = small_gd();
+        let config = engine_config(gd, 1, workers, SpawnPolicy::Auto);
+        let stream = compress_with(config, &data);
+        let parsed = CompressedStream::from_bytes(&stream.to_bytes()).expect("parses");
+        let mut dec = GdDecompressor::new(&gd).expect("valid config");
+        prop_assert_eq!(dec.decompress_batch(&parsed).expect("decodes"), data);
+    }
+
+    /// The recycled-scratch batch decode equals the per-record reference
+    /// loop, statistics included.
+    #[test]
+    fn batch_decode_matches_record_loop(
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let gd = small_gd();
+        let mut comp = GdCompressor::new(&gd).expect("valid config");
+        let stream = comp.compress_batch(&data).expect("compression succeeds");
+
+        let mut batch = GdDecompressor::new(&gd).expect("valid config");
+        let batch_out = batch.decompress_batch(&stream).expect("batch decode");
+
+        let mut reference = GdDecompressor::new(&gd).expect("valid config");
+        let mut reference_out = Vec::new();
+        for record in &stream.records {
+            reference_out.extend_from_slice(
+                &reference.decompress_record(record).expect("record decode"),
+            );
+        }
+
+        prop_assert_eq!(&batch_out, &reference_out);
+        prop_assert_eq!(batch_out, data);
+        prop_assert_eq!(batch.stats(), reference.stats());
+    }
+
+    /// Paper-parameter smoke property: the threaded engine at realistic
+    /// scale roundtrips and stays self-consistent.
+    #[test]
+    fn paper_params_threaded_roundtrip(
+        seed in any::<u8>(),
+        chunks in 1usize..80,
+    ) {
+        let gd = GdConfig::paper_default();
+        let config = engine_config(gd, 8, 4, SpawnPolicy::Threads);
+        let mut data = Vec::with_capacity(chunks * 32);
+        for i in 0..chunks {
+            let mut chunk = [0u8; 32];
+            chunk[0] = seed.wrapping_add((i % 7) as u8);
+            chunk[9] = (i % 3) as u8;
+            data.extend_from_slice(&chunk);
+        }
+        let mut engine = CompressionEngine::new(config).expect("valid config");
+        let stream = engine.compress_batch(&data).expect("compression succeeds");
+        let mut dec = EngineDecompressor::new(&config).expect("valid config");
+        prop_assert_eq!(dec.decompress_batch(&stream).expect("decodes"), data);
+        prop_assert!(engine.stats().is_consistent());
+    }
+}

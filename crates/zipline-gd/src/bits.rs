@@ -33,15 +33,190 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+/// Number of words a [`BitVec`] stores inline before spilling to the heap.
+/// One word covers every vector of at most 64 bits — carried-bit fields,
+/// deviations, identifiers — which are exactly the vectors the hot paths
+/// create and clone per record.
+const INLINE_WORDS: usize = 1;
+
+/// Small-buffer word storage behind [`BitVec`]: vectors of up to
+/// `INLINE_WORDS * 64` bits live entirely inline (construction, cloning and
+/// dropping never touch the heap); longer vectors spill to a `Vec<u64>`.
+/// The variant is an implementation detail — equality, hashing and the
+/// public [`BitVec::words`] accessor all go through the slice view.
+#[derive(Clone)]
+enum Words {
+    /// Up to `INLINE_WORDS` words stored in place (`len` = live word count).
+    Inline { len: u8, buf: [u64; INLINE_WORDS] },
+    /// Heap storage for longer vectors.
+    Heap(Vec<u64>),
+}
+
+impl Words {
+    #[inline]
+    fn new() -> Self {
+        Words::Inline {
+            len: 0,
+            buf: [0; INLINE_WORDS],
+        }
+    }
+
+    #[inline]
+    fn with_capacity(words: usize) -> Self {
+        if words <= INLINE_WORDS {
+            Self::new()
+        } else {
+            Words::Heap(Vec::with_capacity(words))
+        }
+    }
+
+    /// `count` words, each set to `fill`.
+    #[inline]
+    fn filled(fill: u64, count: usize) -> Self {
+        if count <= INLINE_WORDS {
+            Words::Inline {
+                len: count as u8,
+                buf: [fill; INLINE_WORDS],
+            }
+        } else {
+            Words::Heap(vec![fill; count])
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            Words::Inline { len, buf } => &buf[..*len as usize],
+            Words::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            Words::Inline { len, buf } => &mut buf[..*len as usize],
+            Words::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Words::Inline { len, .. } => *len as usize,
+            Words::Heap(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, word: u64) {
+        match self {
+            Words::Inline { len, buf } => {
+                if (*len as usize) < INLINE_WORDS {
+                    buf[*len as usize] = word;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_WORDS * 4);
+                    v.extend_from_slice(&buf[..*len as usize]);
+                    v.push(word);
+                    *self = Words::Heap(v);
+                }
+            }
+            Words::Heap(v) => v.push(word),
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        // Heap storage stays heap so its capacity is retained for reuse.
+        match self {
+            Words::Inline { len, .. } => *len = 0,
+            Words::Heap(v) => v.clear(),
+        }
+    }
+
+    #[inline]
+    fn truncate(&mut self, count: usize) {
+        match self {
+            // Compare in usize: counts >= 256 must be a no-op (matching
+            // Vec::truncate), not wrap through the u8 length.
+            Words::Inline { len, .. } => *len = (*len as usize).min(count) as u8,
+            Words::Heap(v) => v.truncate(count),
+        }
+    }
+
+    #[inline]
+    fn last_mut(&mut self) -> Option<&mut u64> {
+        self.as_mut_slice().last_mut()
+    }
+
+    /// Sets the word count to exactly `count`, with unspecified contents —
+    /// the caller overwrites every word. Reuses heap capacity when present.
+    #[inline]
+    fn resize_for_overwrite(&mut self, count: usize) {
+        match self {
+            Words::Inline { len, .. } if count <= INLINE_WORDS => *len = count as u8,
+            Words::Heap(v) => {
+                v.clear();
+                v.resize(count, 0);
+            }
+            Words::Inline { .. } => *self = Words::Heap(vec![0; count]),
+        }
+    }
+}
+
+impl Default for Words {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for Words {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for Words {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for Words {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Words {}
+
+impl Hash for Words {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Words {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 /// A growable, bit-addressed vector.
 ///
-/// Bits are stored packed into 64-bit words. Position 0 is the first /
-/// most-significant bit (see the module documentation for conventions).
+/// Bits are stored packed into 64-bit words, with a one-word inline
+/// small-buffer: vectors of at most 64 bits never allocate. Position 0 is
+/// the first / most-significant bit (see the module documentation for
+/// conventions).
 #[derive(Clone, Default, Eq)]
 pub struct BitVec {
     /// Packed storage; bit `i` lives in `words[i / 64]` at bit position
     /// `63 - (i % 64)` (MSB-first within each word).
-    words: Vec<u64>,
+    words: Words,
     /// Number of valid bits.
     len: usize,
 }
@@ -50,7 +225,7 @@ impl BitVec {
     /// Creates an empty bit vector.
     pub fn new() -> Self {
         Self {
-            words: Vec::new(),
+            words: Words::new(),
             len: 0,
         }
     }
@@ -58,7 +233,7 @@ impl BitVec {
     /// Creates an empty bit vector with room for at least `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
         Self {
-            words: Vec::with_capacity(bits.div_ceil(64)),
+            words: Words::with_capacity(bits.div_ceil(64)),
             len: 0,
         }
     }
@@ -66,7 +241,7 @@ impl BitVec {
     /// Creates a bit vector of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
         Self {
-            words: vec![0; len.div_ceil(64)],
+            words: Words::filled(0, len.div_ceil(64)),
             len,
         }
     }
@@ -74,7 +249,7 @@ impl BitVec {
     /// Creates a bit vector of `len` one bits.
     pub fn ones(len: usize) -> Self {
         let mut v = Self {
-            words: vec![u64::MAX; len.div_ceil(64)],
+            words: Words::filled(u64::MAX, len.div_ceil(64)),
             len,
         };
         v.mask_tail();
@@ -95,12 +270,11 @@ impl BitVec {
     /// storage allocation. The word-packing equivalent of
     /// `*self = BitVec::from_bytes(bytes)` without the allocation.
     pub fn load_bytes(&mut self, bytes: &[u8]) {
-        self.words.clear();
-        self.words.reserve(bytes.len().div_ceil(8));
+        self.words.resize_for_overwrite(bytes.len().div_ceil(8));
+        let dst = self.words.as_mut_slice();
         let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.words
-                .push(u64::from_be_bytes(chunk.try_into().expect("8-byte chunk")));
+        for (j, chunk) in (&mut chunks).enumerate() {
+            dst[j] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
         }
         let tail = chunks.remainder();
         if !tail.is_empty() {
@@ -108,7 +282,7 @@ impl BitVec {
             for (i, &b) in tail.iter().enumerate() {
                 word |= (b as u64) << (56 - 8 * i);
             }
-            self.words.push(word);
+            dst[bytes.len() / 8] = word;
         }
         self.len = bytes.len() * 8;
     }
@@ -125,7 +299,10 @@ impl BitVec {
             len.div_ceil(64),
             "word count must match bit length"
         );
-        let mut v = Self { words, len };
+        let mut v = Self {
+            words: Words::Heap(words),
+            len,
+        };
         v.mask_tail();
         v
     }
@@ -135,7 +312,7 @@ impl BitVec {
     /// table-driven CRC read the message through this accessor instead of a
     /// per-bit iterator.
     pub fn words(&self) -> &[u64] {
-        &self.words
+        self.words.as_slice()
     }
 
     /// Creates a bit vector from the lowest `width` bits of `value`, most
@@ -194,7 +371,7 @@ impl BitVec {
             "bit index {index} out of range (len {})",
             self.len
         );
-        let word = self.words[index / 64];
+        let word = self.words.as_slice()[index / 64];
         (word >> (63 - (index % 64))) & 1 == 1
     }
 
@@ -209,10 +386,11 @@ impl BitVec {
             self.len
         );
         let mask = 1u64 << (63 - (index % 64));
+        let word = &mut self.words.as_mut_slice()[index / 64];
         if value {
-            self.words[index / 64] |= mask;
+            *word |= mask;
         } else {
-            self.words[index / 64] &= !mask;
+            *word &= !mask;
         }
     }
 
@@ -223,7 +401,7 @@ impl BitVec {
             "bit index {index} out of range (len {})",
             self.len
         );
-        self.words[index / 64] ^= 1u64 << (63 - (index % 64));
+        self.words.as_mut_slice()[index / 64] ^= 1u64 << (63 - (index % 64));
     }
 
     /// Appends a single bit.
@@ -234,7 +412,7 @@ impl BitVec {
         }
         self.len += 1;
         if bit {
-            self.words[index / 64] |= 1u64 << (63 - (index % 64));
+            self.words.as_mut_slice()[index / 64] |= 1u64 << (63 - (index % 64));
         }
     }
 
@@ -276,7 +454,7 @@ impl BitVec {
     /// Word-parallel: appends 64 bits per step via [`Self::push_bits`].
     pub fn extend_from_bitvec(&mut self, other: &BitVec) {
         let mut remaining = other.len;
-        for &word in &other.words {
+        for &word in other.words.iter() {
             let take = remaining.min(64);
             self.push_bits(word >> (64 - take), take);
             remaining -= take;
@@ -324,15 +502,29 @@ impl BitVec {
             range.end,
             src.len
         );
-        self.words.clear();
-        self.words.reserve(range.len().div_ceil(64));
-        self.len = 0;
-        let mut pos = range.start;
-        while pos < range.end {
-            let take = (range.end - pos).min(64);
-            self.push_bits(src.get_bits(pos, take), take);
-            pos += take;
+        let len = range.len();
+        let n_words = len.div_ceil(64);
+        self.words.resize_for_overwrite(n_words);
+        self.len = len;
+        // Each destination word is a shifted 64-bit window of the source —
+        // one or two word reads, no per-field call overhead.
+        let src_words = src.words.as_slice();
+        let dst = self.words.as_mut_slice();
+        let first = range.start / 64;
+        let offset = range.start % 64;
+        if offset == 0 {
+            dst.copy_from_slice(&src_words[first..first + n_words]);
+        } else {
+            for (j, out) in dst.iter_mut().enumerate() {
+                let i = first + j;
+                let mut word = src_words[i] << offset;
+                if let Some(&next) = src_words.get(i + 1) {
+                    word |= next >> (64 - offset);
+                }
+                *out = word;
+            }
         }
+        self.mask_tail();
     }
 
     /// Interprets bits `[pos, pos + width)` as an unsigned integer
@@ -348,10 +540,11 @@ impl BitVec {
         if width == 0 {
             return 0;
         }
+        let words = self.words.as_slice();
         let offset = pos % 64;
-        let mut window = self.words[pos / 64] << offset;
+        let mut window = words[pos / 64] << offset;
         if offset != 0 {
-            if let Some(&next) = self.words.get(pos / 64 + 1) {
+            if let Some(&next) = words.get(pos / 64 + 1) {
                 window |= next >> (64 - offset);
             }
         }
@@ -373,12 +566,8 @@ impl BitVec {
     /// Word-parallel: emits 8 bytes per storage word (the masked-tail
     /// invariant guarantees the padding bits are already zero).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let nbytes = self.len.div_ceil(8);
-        let mut out = Vec::with_capacity(self.words.len() * 8);
-        for &word in &self.words {
-            out.extend_from_slice(&word.to_be_bytes());
-        }
-        out.truncate(nbytes);
+        let mut out = Vec::with_capacity(self.len.div_ceil(8));
+        self.append_bytes_to(&mut out);
         out
     }
 
@@ -402,6 +591,48 @@ impl BitVec {
         let mut out = self.clone();
         out.xor_with(other)?;
         Ok(out)
+    }
+
+    /// Hashes the packed words (and the bit length) into a well-mixed 64-bit
+    /// value with a multiply–rotate fold plus a SplitMix64-style finisher.
+    ///
+    /// This is the word-parallel basis hash used by the dictionary hot path:
+    /// the encoder computes it once per chunk (caching it on
+    /// `EncodedChunk::basis_hash`) and every dictionary probe then works from
+    /// the cached value instead of re-hashing the 247-bit basis. Thanks to
+    /// the masked-tail invariant, equal vectors always hash equally. The
+    /// function is deterministic across runs, which lets the sharded engine
+    /// derive shard placement from it on both the compress and decompress
+    /// sides.
+    pub fn hash_words(&self) -> u64 {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        let mut h = self.len as u64;
+        for &w in self.words.iter() {
+            h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+        }
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    /// Appends the byte serialization of the vector to `out` without any
+    /// intermediate allocation — the recycling form of
+    /// [`Self::to_bytes`]`()` + `extend_from_slice`. The final byte is
+    /// zero-padded on the right when the length is not a multiple of 8.
+    pub fn append_bytes_to(&self, out: &mut Vec<u8>) {
+        let mut remaining = self.len.div_ceil(8);
+        out.reserve(remaining);
+        for &word in self.words.iter() {
+            let bytes = word.to_be_bytes();
+            let take = remaining.min(8);
+            out.extend_from_slice(&bytes[..take]);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
     }
 
     /// Number of bits set to one.
@@ -1023,6 +1254,35 @@ mod tests {
         // The tail of the previous contents must not leak back in.
         v.push_bits(0, 8);
         assert_eq!(v.to_bytes(), vec![0xAB, 0xCD, 0xEF, 0x00]);
+    }
+
+    #[test]
+    fn hash_words_is_deterministic_and_tail_independent() {
+        let a = BitVec::from_bit_str("1111").unwrap();
+        // Same logical value, different history (stale tail bits masked away).
+        let mut b = BitVec::from_bit_str("1111").unwrap();
+        b.push(true);
+        b.truncate(4);
+        assert_eq!(a.hash_words(), b.hash_words());
+        // Length participates: a zero-extended vector hashes differently.
+        assert_ne!(BitVec::zeros(4).hash_words(), BitVec::zeros(5).hash_words());
+        // Single-bit differences change the hash (overwhelmingly likely for
+        // any decent mixer; these fixed cases guard against regressions to a
+        // degenerate fold).
+        let mut c = a.clone();
+        c.flip(2);
+        assert_ne!(a.hash_words(), c.hash_words());
+    }
+
+    #[test]
+    fn append_bytes_to_matches_to_bytes() {
+        for len in [0usize, 1, 5, 8, 63, 64, 65, 200] {
+            let v: BitVec = (0..len).map(|i| i % 3 == 0).collect();
+            let mut out = vec![0xEE];
+            v.append_bytes_to(&mut out);
+            assert_eq!(out[0], 0xEE);
+            assert_eq!(&out[1..], v.to_bytes().as_slice(), "len {len}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::stats::CompressionStats;
 use crate::transform::HammingTransform;
 
 /// A chunk after the GD transformation, before any dictionary lookup.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, Clone)]
 pub struct EncodedChunk {
     /// Bits of the chunk not covered by the Hamming code, carried verbatim
     /// (the paper's "one additional bit to store the MSB").
@@ -29,6 +29,27 @@ pub struct EncodedChunk {
     pub deviation: u64,
     /// The `k`-bit basis.
     pub basis: BitVec,
+    /// Cached [`BitVec::hash_words`] of `basis`, computed once by the encode
+    /// paths so dictionary probes (and engine shard selection) never re-hash
+    /// the basis. Purely derived data: equality and hashing ignore it, and
+    /// decode-side constructors may leave it at 0.
+    pub basis_hash: u64,
+}
+
+impl PartialEq for EncodedChunk {
+    fn eq(&self, other: &Self) -> bool {
+        self.extra == other.extra && self.deviation == other.deviation && self.basis == other.basis
+    }
+}
+
+impl Eq for EncodedChunk {}
+
+impl std::hash::Hash for EncodedChunk {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.extra.hash(state);
+        self.deviation.hash(state);
+        self.basis.hash(state);
+    }
 }
 
 /// Reusable scratch buffers for the allocation-free batch encode path
@@ -91,10 +112,12 @@ impl ChunkCodec {
         let extra = bits.slice(0..extra_bits);
         let body = bits.slice(extra_bits..bits.len());
         let d = self.transform.deconstruct(&body)?;
+        let basis_hash = d.basis.hash_words();
         Ok(EncodedChunk {
             extra,
             deviation: d.deviation,
             basis: d.basis,
+            basis_hash,
         })
     }
 
@@ -112,11 +135,7 @@ impl ChunkCodec {
         chunk: &[u8],
         scratch: &mut EncodeScratch,
     ) -> Result<EncodedChunk> {
-        let mut out = EncodedChunk {
-            extra: BitVec::new(),
-            deviation: 0,
-            basis: BitVec::new(),
-        };
+        let mut out = EncodedChunk::default();
         self.encode_chunk_into(chunk, scratch, &mut out)?;
         Ok(out)
     }
@@ -154,6 +173,7 @@ impl ChunkCodec {
         code.fold_error_into_basis(&mut out.basis, deviation)?;
         out.extra.copy_range_from(bits, 0..extra_bits);
         out.deviation = deviation;
+        out.basis_hash = out.basis.hash_words();
         Ok(())
     }
 
@@ -196,20 +216,66 @@ impl ChunkCodec {
 
     /// Decodes one chunk back to its original bytes.
     pub fn decode_chunk(&self, encoded: &EncodedChunk) -> Result<Vec<u8>> {
-        if encoded.extra.len() != self.config.extra_bits() {
+        let mut scratch = DecodeScratch::new();
+        let mut out = Vec::with_capacity(self.config.chunk_bytes);
+        self.decode_parts_into(
+            &encoded.extra,
+            encoded.deviation,
+            &encoded.basis,
+            &mut scratch,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// The recycling decode primitive, symmetric to
+    /// [`Self::encode_chunk_into`]: reconstructs the chunk described by
+    /// `(extra, deviation, basis)` and *appends* its bytes to `out`, reusing
+    /// `scratch` for the intermediate bit buffers. With `scratch` and `out`
+    /// carried across records (as [`GdDecompressor::decompress_batch`] does),
+    /// steady-state decoding performs no heap allocation.
+    pub fn decode_parts_into(
+        &self,
+        extra: &BitVec,
+        deviation: u64,
+        basis: &BitVec,
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        if extra.len() != self.config.extra_bits() {
             return Err(GdError::LengthMismatch {
                 expected: self.config.extra_bits(),
-                actual: encoded.extra.len(),
+                actual: extra.len(),
             });
         }
-        let body = self
-            .transform
-            .reconstruct(&encoded.basis, encoded.deviation)?;
-        let mut bits = BitVec::with_capacity(self.config.raw_payload_bits());
-        bits.extend_from_bitvec(&encoded.extra);
-        bits.extend_from_bitvec(&body);
-        debug_assert_eq!(bits.len(), self.config.raw_payload_bits());
-        Ok(bits.to_bytes())
+        let DecodeScratch { body, assembled } = scratch;
+        self.transform.reconstruct_into(basis, deviation, body)?;
+        assembled.clear();
+        assembled.extend_from_bitvec(extra);
+        assembled.extend_from_bitvec(body);
+        debug_assert_eq!(assembled.len(), self.config.raw_payload_bits());
+        assembled.append_bytes_to(out);
+        Ok(())
+    }
+}
+
+/// Reusable scratch buffers for the allocation-free batch decode path
+/// ([`ChunkCodec::decode_parts_into`] /
+/// [`GdDecompressor::decompress_batch`]), mirroring [`EncodeScratch`] on the
+/// encode side.
+#[derive(Debug, Default, Clone)]
+pub struct DecodeScratch {
+    /// Reconstructed `n`-bit codeword of the record being decoded.
+    body: BitVec,
+    /// Carried bits + codeword, assembled before byte serialization.
+    assembled: BitVec,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -454,10 +520,17 @@ impl GdCompressor {
         self.stats.bytes_in += self.codec.config().chunk_bytes as u64;
         let m = self.codec.config().m as usize;
         let e = self.codec.config().extra_bits();
-        match self
-            .dictionary
-            .lookup_basis(&encoded.basis, self.clock, true)
-        {
+        debug_assert_eq!(
+            encoded.basis_hash,
+            encoded.basis.hash_words(),
+            "encode paths keep the cached basis hash fresh"
+        );
+        match self.dictionary.lookup_basis_hashed(
+            &encoded.basis,
+            encoded.basis_hash,
+            self.clock,
+            true,
+        ) {
             Some(id) => {
                 self.stats.emitted_compressed += 1;
                 self.stats.bytes_out +=
@@ -469,7 +542,11 @@ impl GdCompressor {
                 })
             }
             None => {
-                let outcome = self.dictionary.insert(encoded.basis.clone(), self.clock)?;
+                let outcome = self.dictionary.insert_hashed(
+                    encoded.basis.clone(),
+                    encoded.basis_hash,
+                    self.clock,
+                )?;
                 if outcome.evicted.is_some() {
                     self.stats.evictions += 1;
                 }
@@ -558,6 +635,10 @@ pub struct GdDecompressor {
     dictionary: BasisDictionary,
     stats: CompressionStats,
     clock: u64,
+    /// Reused by [`Self::decompress_batch`] so steady-state decompression
+    /// does not allocate per record (mirrors the compressor's
+    /// [`EncodeScratch`]).
+    scratch: DecodeScratch,
 }
 
 impl GdDecompressor {
@@ -569,6 +650,7 @@ impl GdDecompressor {
             dictionary: BasisDictionary::new(config.dictionary_capacity()),
             stats: CompressionStats::new(),
             clock: 0,
+            scratch: DecodeScratch::new(),
         })
     }
 
@@ -579,6 +661,7 @@ impl GdDecompressor {
             dictionary,
             stats: CompressionStats::new(),
             clock: 0,
+            scratch: DecodeScratch::new(),
         })
     }
 
@@ -589,6 +672,15 @@ impl GdDecompressor {
 
     /// Decompresses one record into original bytes.
     pub fn decompress_record(&mut self, record: &Record) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.decompress_record_into(record, &mut out)?;
+        Ok(out)
+    }
+
+    /// The recycling form of [`Self::decompress_record`]: *appends* the
+    /// restored bytes to `out`, reusing the decompressor's scratch buffers.
+    /// This is the per-record primitive behind [`Self::decompress_batch`].
+    pub fn decompress_record_into(&mut self, record: &Record, out: &mut Vec<u8>) -> Result<()> {
         self.clock += 1;
         match record {
             Record::NewBasis {
@@ -599,41 +691,52 @@ impl GdDecompressor {
                 // Mirror the compressor's dictionary update so that later Ref
                 // records resolve to the same identifiers.
                 self.dictionary.insert(basis.clone(), self.clock)?;
-                let bytes = self.codec.decode_chunk(&EncodedChunk {
-                    extra: extra.clone(),
-                    deviation: *deviation,
-                    basis: basis.clone(),
-                })?;
+                let Self { codec, scratch, .. } = self;
+                codec.decode_parts_into(extra, *deviation, basis, scratch, out)?;
                 self.stats.chunks_decoded += 1;
-                Ok(bytes)
             }
             Record::Ref {
                 extra,
                 deviation,
                 id,
             } => {
-                let basis = self
-                    .dictionary
-                    .lookup_id(*id, self.clock, true)
-                    .ok_or(GdError::UnknownIdentifier(*id))
-                    .inspect_err(|_| self.stats.decode_failures += 1)?;
-                let bytes = self.codec.decode_chunk(&EncodedChunk {
-                    extra: extra.clone(),
-                    deviation: *deviation,
-                    basis,
-                })?;
+                let Self {
+                    codec,
+                    dictionary,
+                    stats,
+                    clock,
+                    scratch,
+                } = self;
+                let Some(basis) = dictionary.lookup_id_ref(*id, *clock, true) else {
+                    stats.decode_failures += 1;
+                    return Err(GdError::UnknownIdentifier(*id));
+                };
+                codec.decode_parts_into(extra, *deviation, basis, scratch, out)?;
                 self.stats.chunks_decoded += 1;
-                Ok(bytes)
             }
             Record::RawTail { bytes } => {
+                out.extend_from_slice(bytes);
                 self.stats.chunks_decoded += 1;
-                Ok(bytes.clone())
             }
         }
+        Ok(())
     }
 
     /// Decompresses a whole stream.
+    ///
+    /// Delegates to [`Self::decompress_batch`].
     pub fn decompress(&mut self, stream: &CompressedStream) -> Result<Vec<u8>> {
+        self.decompress_batch(stream)
+    }
+
+    /// Decompresses a whole stream through the recycling batch fast path,
+    /// symmetric to [`GdCompressor::compress_batch`]: every record streams
+    /// through [`ChunkCodec::decode_parts_into`] against the decompressor's
+    /// reused codeword/output scratch, so steady-state decoding is
+    /// allocation-free apart from the single output buffer. Byte-for-byte
+    /// and statistics-for-statistics equivalent to the per-record loop
+    /// (enforced by the property-test suite).
+    pub fn decompress_batch(&mut self, stream: &CompressedStream) -> Result<Vec<u8>> {
         if stream.config.m != self.codec.config().m
             || stream.config.chunk_bytes != self.codec.config().chunk_bytes
             || stream.config.id_bits != self.codec.config().id_bits
@@ -644,7 +747,7 @@ impl GdDecompressor {
         }
         let mut out = Vec::with_capacity(stream.records.len() * self.codec.config().chunk_bytes);
         for record in &stream.records {
-            out.extend_from_slice(&self.decompress_record(record)?);
+            self.decompress_record_into(record, &mut out)?;
         }
         Ok(out)
     }
@@ -831,6 +934,7 @@ mod tests {
                 extra: seed.extra.clone(),
                 deviation: 0,
                 basis: seed.basis.clone(),
+                basis_hash: 0,
             })
             .unwrap();
         // A perturbed sibling: same basis, non-zero deviation.
@@ -839,6 +943,7 @@ mod tests {
                 extra: seed.extra.clone(),
                 deviation: 42,
                 basis: seed.basis.clone(),
+                basis_hash: 0,
             })
             .unwrap();
         assert_ne!(codeword_chunk, perturbed_chunk);

@@ -287,11 +287,21 @@ impl CrcEngine {
             start <= end && end <= bits.len(),
             "bit range {start}..{end} out of bounds"
         );
+        let words = bits.words();
+        let offset = start % 64;
         let mut reg = 0u64;
         let mut pos = start;
+        let mut i = start / 64;
+        // Hoisted window loop: each 64-bit step is one or two word reads
+        // (no per-step accessor call), sharing the fixed shift amount.
         while pos + 64 <= end {
-            reg = self.advance_word(reg, bits.get_bits(pos, 64));
+            let mut window = words[i] << offset;
+            if offset != 0 {
+                window |= words[i + 1] >> (64 - offset);
+            }
+            reg = self.advance_word(reg, window);
             pos += 64;
+            i += 1;
         }
         if pos < end {
             let count = end - pos;

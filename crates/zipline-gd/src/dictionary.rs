@@ -18,6 +18,38 @@
 use crate::bits::BitVec;
 use crate::error::{GdError, Result};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Pass-through hasher for keys that are already well-mixed 64-bit hashes
+/// (the output of [`BitVec::hash_words`]). Avoids running SipHash over a
+/// value that has been through a full avalanche mixer already.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassthroughHasher(u64);
+
+impl Hasher for PassthroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 keys; fold bytes in so the hasher stays
+        // correct if ever used generically.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+type PassthroughState = BuildHasherDefault<PassthroughHasher>;
+
+/// Bucket of identifiers whose bases share a 64-bit [`BitVec::hash_words`]
+/// value. Collisions are vanishingly rare, so the bucket is almost always a
+/// single element; a `Vec` keeps the structure correct when they do happen.
+type IdBucket = Vec<u64>;
 
 /// Outcome of inserting a basis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +77,9 @@ pub enum EvictionPolicy {
 #[derive(Debug, Clone)]
 struct Entry {
     basis: BitVec,
+    /// Cached `basis.hash_words()`, so removal can find the hash bucket
+    /// without re-hashing.
+    basis_hash: u64,
     /// Logical time of last use (lookup or insert).
     last_used: u64,
     /// Logical time of insertion (for FIFO ablation and statistics).
@@ -64,14 +99,26 @@ pub struct BasisDictionary {
     /// Idle TTL in logical time units; entries idle longer than this are
     /// dropped by [`expire_idle`](Self::expire_idle). `None` disables TTL.
     idle_ttl: Option<u64>,
-    by_basis: HashMap<BitVec, u64>,
-    by_id: HashMap<u64, Entry>,
+    /// Basis → identifier index, bucketed by the word-parallel basis hash.
+    /// The 64-bit key has already been through a full mixer
+    /// ([`BitVec::hash_words`]), so the map uses a pass-through hasher and a
+    /// probe costs a word comparison instead of SipHash over the whole basis.
+    by_basis: HashMap<u64, IdBucket, PassthroughState>,
+    /// Entry slab indexed by identifier. Identifiers are dense in
+    /// `0..capacity`, so id → entry resolution (and every hop of the LRU
+    /// list) is a vector index instead of a hash probe. Grown lazily as
+    /// fresh identifiers are handed out.
+    slots: Vec<Option<Entry>>,
+    /// Number of live mappings.
+    len: usize,
     /// Most recently used entry.
     head: Option<u64>,
     /// Least recently used entry.
     tail: Option<u64>,
-    /// Identifiers that have never been assigned yet, in ascending order.
-    never_used: VecDeque<u64>,
+    /// Lowest identifier that has never been assigned; fresh identifiers are
+    /// handed out in ascending order (`next_fresh..capacity` is the
+    /// never-used pool).
+    next_fresh: u64,
     /// Identifiers released by eviction or expiry, oldest release first
     /// ("the control plane selects the least recently used one" among the
     /// unused identifiers).
@@ -102,11 +149,12 @@ impl BasisDictionary {
             capacity,
             policy,
             idle_ttl,
-            by_basis: HashMap::new(),
-            by_id: HashMap::new(),
+            by_basis: HashMap::default(),
+            slots: Vec::new(),
+            len: 0,
             head: None,
             tail: None,
-            never_used: (0..capacity as u64).collect(),
+            next_fresh: 0,
             released: VecDeque::new(),
             evictions: 0,
             expirations: 0,
@@ -120,12 +168,27 @@ impl BasisDictionary {
 
     /// Current number of mappings.
     pub fn len(&self) -> usize {
-        self.by_id.len()
+        self.len
     }
 
     /// True when no mapping is stored.
     pub fn is_empty(&self) -> bool {
-        self.by_id.is_empty()
+        self.len == 0
+    }
+
+    /// Live entry for an identifier, if any.
+    fn entry(&self, id: u64) -> Option<&Entry> {
+        self.slots.get(id as usize)?.as_ref()
+    }
+
+    /// Live entry for an identifier that is known to exist.
+    fn entry_ref(&self, id: u64) -> &Entry {
+        self.slots[id as usize].as_ref().expect("live entry")
+    }
+
+    /// Mutable live entry for an identifier that is known to exist.
+    fn entry_mut(&mut self, id: u64) -> &mut Entry {
+        self.slots[id as usize].as_mut().expect("live entry")
     }
 
     /// True when every identifier is in use.
@@ -146,7 +209,20 @@ impl BasisDictionary {
     /// Looks up the identifier of a basis. When `touch` is set, the entry is
     /// marked as used at time `now` (moving it to the front of the LRU list).
     pub fn lookup_basis(&mut self, basis: &BitVec, now: u64, touch: bool) -> Option<u64> {
-        let id = *self.by_basis.get(basis)?;
+        self.lookup_basis_hashed(basis, basis.hash_words(), now, touch)
+    }
+
+    /// [`Self::lookup_basis`] with a caller-supplied, precomputed
+    /// [`BitVec::hash_words`] value, so hot paths that already carry the
+    /// hash (e.g. `EncodedChunk::basis_hash`) skip re-hashing the basis.
+    pub fn lookup_basis_hashed(
+        &mut self,
+        basis: &BitVec,
+        hash: u64,
+        now: u64,
+        touch: bool,
+    ) -> Option<u64> {
+        let id = self.find_id(basis, hash)?;
         if touch {
             self.touch(id, now);
         }
@@ -155,31 +231,53 @@ impl BasisDictionary {
 
     /// Looks up the identifier of a basis without updating recency.
     pub fn peek_basis(&self, basis: &BitVec) -> Option<u64> {
-        self.by_basis.get(basis).copied()
+        self.find_id(basis, basis.hash_words())
+    }
+
+    /// Resolves a basis to its identifier through the hash buckets.
+    fn find_id(&self, basis: &BitVec, hash: u64) -> Option<u64> {
+        self.by_basis
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| self.entry_ref(id).basis == *basis)
     }
 
     /// Looks up the basis mapped to an identifier. When `touch` is set, the
     /// entry is marked as used at time `now`.
     pub fn lookup_id(&mut self, id: u64, now: u64, touch: bool) -> Option<BitVec> {
-        if !self.by_id.contains_key(&id) {
-            return None;
-        }
+        self.lookup_id_ref(id, now, touch).cloned()
+    }
+
+    /// Borrowing form of [`Self::lookup_id`]: touches the entry (when asked)
+    /// and returns a reference to the stored basis instead of cloning it.
+    /// The batch decode path uses this to stay allocation-free per record.
+    pub fn lookup_id_ref(&mut self, id: u64, now: u64, touch: bool) -> Option<&BitVec> {
+        self.entry(id)?;
         if touch {
             self.touch(id, now);
         }
-        Some(self.by_id[&id].basis.clone())
+        Some(&self.entry_ref(id).basis)
     }
 
     /// Looks up the basis for an identifier without updating recency.
     pub fn peek_id(&self, id: u64) -> Option<&BitVec> {
-        self.by_id.get(&id).map(|e| &e.basis)
+        self.entry(id).map(|e| &e.basis)
     }
 
     /// Inserts a basis, assigning it an identifier. If the basis is already
     /// present its existing identifier is refreshed. If the dictionary is
     /// full, a mapping is evicted according to the configured policy.
     pub fn insert(&mut self, basis: BitVec, now: u64) -> Result<InsertOutcome> {
-        if let Some(&id) = self.by_basis.get(&basis) {
+        let hash = basis.hash_words();
+        self.insert_hashed(basis, hash, now)
+    }
+
+    /// [`Self::insert`] with a caller-supplied, precomputed
+    /// [`BitVec::hash_words`] value.
+    pub fn insert_hashed(&mut self, basis: BitVec, hash: u64, now: u64) -> Result<InsertOutcome> {
+        debug_assert_eq!(hash, basis.hash_words(), "stale basis hash");
+        if let Some(id) = self.find_id(&basis, hash) {
             self.touch(id, now);
             return Ok(InsertOutcome {
                 id,
@@ -200,7 +298,7 @@ impl BasisDictionary {
             // The released identifier is the one we hand right back out, so do
             // not queue it; reuse it directly.
             let id = victim;
-            self.install(id, basis, now);
+            self.install(id, basis, hash, now);
             return Ok(InsertOutcome {
                 id,
                 already_known: false,
@@ -209,7 +307,7 @@ impl BasisDictionary {
         }
 
         let id = self.allocate_id().ok_or(GdError::DictionaryFull)?;
-        self.install(id, basis, now);
+        self.install(id, basis, hash, now);
         Ok(InsertOutcome {
             id,
             already_known: false,
@@ -219,9 +317,7 @@ impl BasisDictionary {
 
     /// Removes the mapping for `id`, returning its basis.
     pub fn remove_id(&mut self, id: u64) -> Option<BitVec> {
-        if !self.by_id.contains_key(&id) {
-            return None;
-        }
+        self.entry(id)?;
         let basis = self.remove_entry(id);
         self.released.push_back(id);
         Some(basis)
@@ -237,7 +333,7 @@ impl BasisDictionary {
         let mut expired = Vec::new();
         // Walk from the LRU end; stop at the first entry that is fresh.
         while let Some(tail) = self.tail {
-            let idle = now.saturating_sub(self.by_id[&tail].last_used);
+            let idle = now.saturating_sub(self.entry_ref(tail).last_used);
             if idle <= ttl {
                 break;
             }
@@ -261,78 +357,99 @@ impl BasisDictionary {
 
     /// Iterates over `(id, basis)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &BitVec)> {
-        self.by_id.iter().map(|(id, e)| (*id, &e.basis))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|e| (id as u64, &e.basis)))
     }
 
     /// Clears all mappings, returning identifiers to the never-used pool.
     pub fn clear(&mut self) {
         self.by_basis.clear();
-        self.by_id.clear();
+        self.slots.clear();
+        self.len = 0;
         self.head = None;
         self.tail = None;
-        self.never_used = (0..self.capacity as u64).collect();
+        self.next_fresh = 0;
         self.released.clear();
     }
 
     fn allocate_id(&mut self) -> Option<u64> {
         // Prefer identifiers that have never been used; otherwise take the
         // identifier that has been unused the longest.
-        self.never_used
-            .pop_front()
-            .or_else(|| self.released.pop_front())
+        if self.next_fresh < self.capacity as u64 {
+            let id = self.next_fresh;
+            self.next_fresh += 1;
+            Some(id)
+        } else {
+            self.released.pop_front()
+        }
     }
 
-    fn install(&mut self, id: u64, basis: BitVec, now: u64) {
-        self.by_basis.insert(basis.clone(), id);
-        self.by_id.insert(
-            id,
-            Entry {
-                basis,
-                last_used: now,
-                inserted_at: now,
-                prev: None,
-                next: None,
-            },
-        );
+    fn install(&mut self, id: u64, basis: BitVec, hash: u64, now: u64) {
+        self.by_basis.entry(hash).or_default().push(id);
+        let idx = id as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        self.slots[idx] = Some(Entry {
+            basis,
+            basis_hash: hash,
+            last_used: now,
+            inserted_at: now,
+            prev: None,
+            next: None,
+        });
+        self.len += 1;
         self.link_front(id);
     }
 
     fn remove_entry(&mut self, id: u64) -> BitVec {
         self.unlink(id);
-        let entry = self.by_id.remove(&id).expect("entry exists");
-        self.by_basis.remove(&entry.basis);
+        let entry = self.slots[id as usize].take().expect("entry exists");
+        self.len -= 1;
+        let bucket = self
+            .by_basis
+            .get_mut(&entry.basis_hash)
+            .expect("hash bucket exists");
+        bucket.retain(|&bucket_id| bucket_id != id);
+        if bucket.is_empty() {
+            self.by_basis.remove(&entry.basis_hash);
+        }
         entry.basis
     }
 
     fn touch(&mut self, id: u64, now: u64) {
-        if let Some(e) = self.by_id.get_mut(&id) {
-            e.last_used = now;
+        let e = self.entry_mut(id);
+        e.last_used = now;
+        // Fast path: already the most recently used entry.
+        if self.head == Some(id) {
+            return;
         }
         self.unlink(id);
         self.link_front(id);
     }
 
     fn oldest_inserted(&self) -> Option<u64> {
-        self.by_id
-            .iter()
-            .min_by_key(|(id, e)| (e.inserted_at, **id))
-            .map(|(id, _)| *id)
+        self.iter()
+            .map(|(id, _)| id)
+            .min_by_key(|&id| (self.entry_ref(id).inserted_at, id))
     }
 
     fn unlink(&mut self, id: u64) {
         let (prev, next) = {
-            let e = &self.by_id[&id];
+            let e = self.entry_ref(id);
             (e.prev, e.next)
         };
         match prev {
-            Some(p) => self.by_id.get_mut(&p).expect("prev exists").next = next,
+            Some(p) => self.entry_mut(p).next = next,
             None => self.head = next,
         }
         match next {
-            Some(nx) => self.by_id.get_mut(&nx).expect("next exists").prev = prev,
+            Some(nx) => self.entry_mut(nx).prev = prev,
             None => self.tail = prev,
         }
-        let e = self.by_id.get_mut(&id).expect("entry exists");
+        let e = self.entry_mut(id);
         e.prev = None;
         e.next = None;
     }
@@ -340,12 +457,12 @@ impl BasisDictionary {
     fn link_front(&mut self, id: u64) {
         let old_head = self.head;
         {
-            let e = self.by_id.get_mut(&id).expect("entry exists");
+            let e = self.entry_mut(id);
             e.prev = None;
             e.next = old_head;
         }
         if let Some(h) = old_head {
-            self.by_id.get_mut(&h).expect("head exists").prev = Some(id);
+            self.entry_mut(h).prev = Some(id);
         }
         self.head = Some(id);
         if self.tail.is_none() {
@@ -356,26 +473,37 @@ impl BasisDictionary {
     /// Internal consistency check used by tests and debug assertions.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        assert_eq!(self.by_basis.len(), self.by_id.len());
-        assert!(self.by_id.len() <= self.capacity);
+        let live: usize = self.slots.iter().filter(|s| s.is_some()).count();
+        assert_eq!(live, self.len, "len counter matches live slots");
+        let bucketed: usize = self.by_basis.values().map(|b| b.len()).sum();
+        assert_eq!(bucketed, self.len, "hash buckets cover every id");
+        for (hash, bucket) in &self.by_basis {
+            assert!(!bucket.is_empty(), "empty bucket left behind");
+            for &id in bucket {
+                let entry = self.entry(id).expect("bucketed id exists");
+                assert_eq!(entry.basis_hash, *hash, "entry hash matches bucket");
+                assert_eq!(entry.basis.hash_words(), *hash, "cached hash is fresh");
+            }
+        }
+        assert!(self.len <= self.capacity);
         // The LRU list must contain exactly the stored ids.
         let mut seen = 0usize;
         let mut cursor = self.head;
         let mut prev = None;
         while let Some(id) = cursor {
-            let e = &self.by_id[&id];
+            let e = self.entry_ref(id);
             assert_eq!(e.prev, prev, "prev link of {id}");
             prev = Some(id);
             cursor = e.next;
             seen += 1;
-            assert!(seen <= self.by_id.len(), "cycle in LRU list");
+            assert!(seen <= self.len, "cycle in LRU list");
         }
-        assert_eq!(seen, self.by_id.len(), "LRU list length");
+        assert_eq!(seen, self.len, "LRU list length");
         assert_eq!(self.tail, prev, "tail pointer");
         // Identifier pools and live ids never overlap.
-        for id in self.by_id.keys() {
-            assert!(!self.never_used.contains(id));
-            assert!(!self.released.contains(id));
+        for (id, _) in self.iter() {
+            assert!(id < self.next_fresh, "live id was handed out");
+            assert!(!self.released.contains(&id));
         }
     }
 }
@@ -601,5 +729,38 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = BasisDictionary::new(0);
+    }
+
+    #[test]
+    fn hashed_lookups_and_inserts_match_unhashed() {
+        let mut plain = BasisDictionary::new(8);
+        let mut hashed = BasisDictionary::new(8);
+        for i in 0..40u64 {
+            let b = basis(i % 13);
+            let h = b.hash_words();
+            let a = plain.insert(b.clone(), i).unwrap();
+            let c = hashed.insert_hashed(b.clone(), h, i).unwrap();
+            assert_eq!(a, c, "insert {i}");
+            assert_eq!(
+                plain.lookup_basis(&b, i, true),
+                hashed.lookup_basis_hashed(&b, h, i, true),
+                "lookup {i}"
+            );
+        }
+        plain.check_invariants();
+        hashed.check_invariants();
+    }
+
+    #[test]
+    fn lookup_id_ref_touches_like_lookup_id() {
+        let mut d = BasisDictionary::new(2);
+        let id1 = d.insert(basis(1), 1).unwrap().id;
+        d.insert(basis(2), 2).unwrap();
+        // Touch id1 via the borrowing lookup: basis 2 becomes the victim.
+        assert_eq!(d.lookup_id_ref(id1, 3, true), Some(&basis(1)));
+        assert_eq!(d.lookup_id_ref(99, 3, true), None);
+        let out = d.insert(basis(3), 4).unwrap();
+        assert_eq!(out.evicted.unwrap().1, basis(2));
+        d.check_invariants();
     }
 }

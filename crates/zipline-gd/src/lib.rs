@@ -44,6 +44,29 @@
 //! Bit-exact equivalence of every fast path against its bit-serial
 //! reference is enforced by `tests/word_parallel_equivalence.rs`.
 //!
+//! # Dictionary hot path and batch decode (PR 2)
+//!
+//! The stream codec's remaining hot spots were rebuilt for the
+//! `zipline-engine` subsystem, which stacks a sharded, multi-core engine on
+//! top of this crate:
+//!
+//! * [`BitVec`] stores up to 64 bits inline (no heap traffic for carried
+//!   bits, deviations or identifiers) and exposes
+//!   [`hash_words`](BitVec::hash_words), a word-parallel basis hash computed
+//!   once per chunk and cached on
+//!   [`EncodedChunk::basis_hash`](codec::EncodedChunk::basis_hash);
+//! * [`BasisDictionary`] resolves identifiers through a dense entry slab
+//!   (ids are `0..capacity`, so every LRU hop is a vector index) and probes
+//!   bases through hash buckets keyed by the cached hash — no SipHash over
+//!   247-bit keys anywhere on the hot path;
+//! * [`GdDecompressor::decompress_batch`](codec::GdDecompressor::decompress_batch)
+//!   is the decode twin of `compress_batch`: records stream through a
+//!   recycled [`DecodeScratch`](codec::DecodeScratch) via
+//!   [`ChunkCodec::decode_parts_into`](codec::ChunkCodec::decode_parts_into);
+//! * [`ZipLinePayload::encode_into`](packet::ZipLinePayload::encode_into)
+//!   serializes wire payloads into a caller-owned scratch buffer, making the
+//!   switch programs' per-packet rewrite allocation-free.
+//!
 //! # Quick example
 //!
 //! ```
@@ -72,7 +95,7 @@ pub mod stats;
 pub mod transform;
 
 pub use bits::BitVec;
-pub use codec::{ChunkCodec, EncodeScratch, GdCompressor, GdDecompressor};
+pub use codec::{ChunkCodec, DecodeScratch, EncodeScratch, GdCompressor, GdDecompressor};
 pub use config::GdConfig;
 pub use crc::{CrcEngine, CrcSpec};
 pub use dictionary::BasisDictionary;

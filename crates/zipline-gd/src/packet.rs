@@ -15,7 +15,7 @@
 //! accounting that reproduces the padding overhead discussed in the paper
 //! (the 3 % "no table" overhead of Figure 3).
 
-use crate::bits::{BitReader, BitVec, BitWriter};
+use crate::bits::{BitReader, BitVec};
 use crate::codec::EncodedChunk;
 use crate::config::GdConfig;
 use crate::error::{GdError, Result};
@@ -143,23 +143,46 @@ impl ZipLinePayload {
     /// The layout mirrors the paper's header structure: the deviation comes
     /// first, then the carried bits, then the basis or identifier, then any
     /// alignment padding (zero bits). Raw payloads are passed through.
+    ///
+    /// Delegates to [`Self::encode_into`]; bulk callers (switch programs,
+    /// the engine stream) should call that form directly with a reused
+    /// scratch buffer.
     pub fn encode(&self, config: &GdConfig) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.wire_bytes(config));
+        self.encode_into(config, &mut out)?;
+        Ok(out)
+    }
+
+    /// The zero-copy form of [`Self::encode`]: clears `out` and writes the
+    /// wire bytes into it, reusing its allocation. The bit fields are packed
+    /// through a small byte-granular accumulator, so apart from `out` itself
+    /// no buffer is ever allocated — one scratch `Vec` per worker makes the
+    /// per-packet payload rewrite allocation-free.
+    pub fn encode_into(&self, config: &GdConfig, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
         match self {
-            ZipLinePayload::Raw(bytes) => Ok(bytes.clone()),
+            ZipLinePayload::Raw(bytes) => {
+                out.extend_from_slice(bytes);
+                Ok(())
+            }
             ZipLinePayload::Uncompressed {
                 deviation,
                 extra,
                 basis,
             } => {
                 self.check_fields(config, extra, Some(basis), None)?;
-                let mut w = BitWriter::new();
-                w.write_bits(*deviation, config.m as usize);
-                w.write_bitvec(extra);
-                w.write_bitvec(basis);
-                for _ in 0..config.tofino_padding_bits {
-                    w.write_bit(false);
+                let mut packer = BytePacker::new(out);
+                packer.write_bits(*deviation, config.m as usize);
+                packer.write_bitvec(extra);
+                packer.write_bitvec(basis);
+                let mut padding = config.tofino_padding_bits as usize;
+                while padding > 0 {
+                    let take = padding.min(64);
+                    packer.write_bits(0, take);
+                    padding -= take;
                 }
-                Ok(w.into_bytes())
+                packer.finish();
+                Ok(())
             }
             ZipLinePayload::Compressed {
                 deviation,
@@ -167,11 +190,12 @@ impl ZipLinePayload {
                 id,
             } => {
                 self.check_fields(config, extra, None, Some(*id))?;
-                let mut w = BitWriter::new();
-                w.write_bits(*deviation, config.m as usize);
-                w.write_bitvec(extra);
-                w.write_bits(*id, config.id_bits as usize);
-                Ok(w.into_bytes())
+                let mut packer = BytePacker::new(out);
+                packer.write_bits(*deviation, config.m as usize);
+                packer.write_bitvec(extra);
+                packer.write_bits(*id, config.id_bits as usize);
+                packer.finish();
+                Ok(())
             }
         }
     }
@@ -252,6 +276,65 @@ impl ZipLinePayload {
     }
 }
 
+/// Byte-granular bit accumulator behind [`ZipLinePayload::encode_into`]:
+/// fields are shifted into a small accumulator and whole bytes are pushed to
+/// the output as they fill, so serialization needs no intermediate bit
+/// buffer. MSB-first, matching [`crate::bits::BitWriter`] bit-for-bit.
+struct BytePacker<'a> {
+    out: &'a mut Vec<u8>,
+    /// Pending bits, right-aligned; always fewer than 8 after a write.
+    acc: u128,
+    nbits: usize,
+}
+
+impl<'a> BytePacker<'a> {
+    fn new(out: &'a mut Vec<u8>) -> Self {
+        Self {
+            out,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Appends the lowest `width` bits of `value`, most significant first.
+    fn write_bits(&mut self, value: u64, width: usize) {
+        debug_assert!(width <= 64);
+        if width == 0 {
+            return;
+        }
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        // At most 7 pending bits + 64 new ones: fits comfortably in u128.
+        self.acc = (self.acc << width) | u128::from(value);
+        self.nbits += width;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push((self.acc >> self.nbits) as u8);
+        }
+        self.acc &= (1u128 << self.nbits) - 1;
+    }
+
+    /// Appends all bits of `bits`, 64 at a time.
+    fn write_bitvec(&mut self, bits: &BitVec) {
+        let mut pos = 0;
+        while pos < bits.len() {
+            let take = (bits.len() - pos).min(64);
+            self.write_bits(bits.get_bits(pos, take), take);
+            pos += take;
+        }
+    }
+
+    /// Flushes the trailing partial byte, zero-padded on the right.
+    fn finish(self) {
+        if self.nbits > 0 {
+            self.out.push((self.acc << (8 - self.nbits)) as u8);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +405,7 @@ mod tests {
                     extra,
                     deviation,
                     basis,
+                    basis_hash: 0,
                 })
                 .unwrap();
             assert_eq!(decoded, chunk);
@@ -349,6 +433,52 @@ mod tests {
         let parsed = ZipLinePayload::decode(&config, PacketType::Raw, &[1, 2, 3, 4]).unwrap();
         assert_eq!(parsed, payload);
         assert_eq!(payload.packet_type(), PacketType::Raw);
+    }
+
+    #[test]
+    fn encode_into_matches_bitwriter_reference_and_reuses_buffer() {
+        use crate::bits::BitWriter;
+        for config in [
+            GdConfig::paper_default(),
+            GdConfig::for_parameters(3, 4).unwrap(),
+            GdConfig::for_parameters(5, 6).unwrap(),
+        ] {
+            let codec = ChunkCodec::new(&config).unwrap();
+            let chunk: Vec<u8> = (0..config.chunk_bytes)
+                .map(|i| (i * 37 + 11) as u8)
+                .collect();
+            let enc = codec.encode_chunk(&chunk).unwrap();
+
+            // Type 2 reference via the general-purpose BitWriter.
+            let unc = ZipLinePayload::uncompressed_from_chunk(&enc);
+            let mut w = BitWriter::new();
+            w.write_bits(enc.deviation, config.m as usize);
+            w.write_bitvec(&enc.extra);
+            w.write_bitvec(&enc.basis);
+            for _ in 0..config.tofino_padding_bits {
+                w.write_bit(false);
+            }
+            let reference = w.into_bytes();
+            let mut scratch = vec![0xFFu8; 64]; // stale contents must be cleared
+            unc.encode_into(&config, &mut scratch).unwrap();
+            assert_eq!(scratch, reference, "type 2, m = {}", config.m);
+            assert_eq!(scratch, unc.encode(&config).unwrap());
+
+            // Type 3 reference.
+            let comp = ZipLinePayload::compressed_from_chunk(&enc, 3);
+            let mut w = BitWriter::new();
+            w.write_bits(enc.deviation, config.m as usize);
+            w.write_bitvec(&enc.extra);
+            w.write_bits(3, config.id_bits as usize);
+            let reference = w.into_bytes();
+            comp.encode_into(&config, &mut scratch).unwrap();
+            assert_eq!(scratch, reference, "type 3, m = {}", config.m);
+
+            // Raw passthrough into the same reused buffer.
+            let raw = ZipLinePayload::Raw(vec![9, 8, 7]);
+            raw.encode_into(&config, &mut scratch).unwrap();
+            assert_eq!(scratch, vec![9, 8, 7]);
+        }
     }
 
     #[test]

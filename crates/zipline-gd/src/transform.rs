@@ -98,6 +98,16 @@ impl HammingTransform {
     /// Rebuilds the original `n`-bit chunk from a basis and deviation
     /// (Figure 2).
     pub fn reconstruct(&self, basis: &BitVec, deviation: u64) -> Result<BitVec> {
+        let mut chunk = BitVec::with_capacity(self.code.n());
+        self.reconstruct_into(basis, deviation, &mut chunk)?;
+        Ok(chunk)
+    }
+
+    /// The recycling form of [`Self::reconstruct`]: writes the chunk into
+    /// `out`, reusing its storage allocation. With `out` carried across
+    /// records (see `DecodeScratch` in the codec), steady-state
+    /// reconstruction performs no heap allocation.
+    pub fn reconstruct_into(&self, basis: &BitVec, deviation: u64, out: &mut BitVec) -> Result<()> {
         if basis.len() != self.code.k() {
             return Err(GdError::LengthMismatch {
                 expected: self.code.k(),
@@ -114,16 +124,16 @@ impl HammingTransform {
         // (word-parallel: no padded copy is materialised)
         let parity = self.code.parity_of_message(basis);
         // ➏ concatenate parity and basis back into the codeword
-        let mut chunk = BitVec::with_capacity(self.code.n());
-        chunk.push_bits(parity, self.code.m() as usize);
-        chunk.extend_from_bitvec(basis);
-        debug_assert_eq!(self.code.syndrome(&chunk)?, 0);
+        out.clear();
+        out.push_bits(parity, self.code.m() as usize);
+        out.extend_from_bitvec(basis);
+        debug_assert_eq!(self.code.syndrome(out)?, 0);
         // ➎/➏ flip the bit designated by the deviation (single word XOR
         // instead of an n-bit mask)
         if let Some(position) = self.code.error_position(deviation)? {
-            chunk.flip(position);
+            out.flip(position);
         }
-        Ok(chunk)
+        Ok(())
     }
 
     /// Number of distinct `n`-bit chunks that map to each basis: `n + 1`

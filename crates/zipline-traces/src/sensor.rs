@@ -143,6 +143,7 @@ impl SensorWorkload {
                                 extra: encoded.extra,
                                 deviation: 0,
                                 basis: encoded.basis,
+                                basis_hash: 0,
                             })
                             .expect("canonical chunk reconstructs")
                     }

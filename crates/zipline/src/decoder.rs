@@ -99,6 +99,14 @@ pub struct ZipLineDecodeProgram {
     id_table: ExactMatchTable<u64, Vec<u8>>,
     counters: zipline_switch::counter::CounterArray,
     stats: CompressionStats,
+    /// Recycled restored-payload buffer: each rewritten packet hands its new
+    /// payload to the frame and takes the old frame's allocation back as the
+    /// next scratch, so the output side of restoration allocates nothing in
+    /// steady state. (The parse and codeword-reconstruction steps still
+    /// build small owned `BitVec`s per packet.)
+    payload_scratch: Vec<u8>,
+    /// Reused bit buffer for reassembling `extra + body`.
+    bits_scratch: BitVec,
 }
 
 /// Per-packet-type counter indices for the decoder.
@@ -131,6 +139,8 @@ impl ZipLineDecodeProgram {
             id_table,
             counters,
             stats: CompressionStats::new(),
+            payload_scratch: Vec::new(),
+            bits_scratch: BitVec::new(),
         })
     }
 
@@ -166,6 +176,22 @@ impl ZipLineDecodeProgram {
         Ok(())
     }
 
+    /// Installs every mapping of an engine dictionary snapshot — the
+    /// deviation-table sync a controller performs so that streams compressed
+    /// host-side by `zipline_engine::CompressionEngine` decode in-network.
+    /// Identifiers already use the engine's global layout, so the shard
+    /// count is transparent here.
+    pub fn install_snapshot(
+        &mut self,
+        snapshot: &zipline_engine::DictionarySnapshot,
+        now: SimTime,
+    ) -> Result<()> {
+        for (id, basis) in &snapshot.entries {
+            self.install_mapping(*id, basis.to_bytes(), now)?;
+        }
+        Ok(())
+    }
+
     /// Rebuilds the original chunk from a basis and deviation using the
     /// data-plane primitives (CRC extern + constant mask table).
     ///
@@ -197,26 +223,29 @@ impl ZipLineDecodeProgram {
         Ok(codeword)
     }
 
-    /// Assembles the restored raw payload from its pieces.
-    fn restored_payload(
-        &self,
+    /// Assembles the restored raw payload from its pieces into `out`,
+    /// reusing the program's bit scratch — the decode-side sibling of
+    /// [`zipline_gd::ZipLinePayload::encode_into`]. `out` is cleared first.
+    fn restored_payload_into(
+        &mut self,
         extra: &BitVec,
         body: &BitVec,
         zl_bytes: usize,
         payload: &[u8],
-    ) -> Vec<u8> {
-        let mut bits = BitVec::with_capacity(self.config.gd.raw_payload_bits());
+        out: &mut Vec<u8>,
+    ) {
+        let bits = &mut self.bits_scratch;
+        bits.clear();
         bits.extend_from_bitvec(extra);
         bits.extend_from_bitvec(body);
-        let chunk = bits.to_bytes();
         let rest = &payload[zl_bytes..];
         let prefix = &rest[..self.config.chunk_offset.min(rest.len())];
         let suffix = &rest[self.config.chunk_offset.min(rest.len())..];
-        let mut out = Vec::with_capacity(prefix.len() + chunk.len() + suffix.len());
+        out.clear();
+        out.reserve(prefix.len() + bits.len().div_ceil(8) + suffix.len());
         out.extend_from_slice(prefix);
-        out.extend_from_slice(&chunk);
+        bits.append_bytes_to(out);
         out.extend_from_slice(suffix);
-        out
     }
 
     fn forward_raw(&mut self, ctx: &mut PacketContext) {
@@ -246,9 +275,12 @@ impl PipelineProgram for ZipLineDecodeProgram {
                 self.forward_raw(ctx);
             }
             PacketType::Uncompressed => {
-                let payload = ctx.frame.payload.clone();
+                // No payload clone: the parse borrows the frame's payload and
+                // produces owned fields, so the frame is only replaced after
+                // all borrows end.
                 let zl_bytes = self.config.gd.uncompressed_payload_bytes();
-                let parsed = ZipLinePayload::decode(&self.config.gd, packet_type, &payload);
+                let parsed =
+                    ZipLinePayload::decode(&self.config.gd, packet_type, &ctx.frame.payload);
                 let Ok(ZipLinePayload::Uncompressed {
                     deviation,
                     extra,
@@ -259,28 +291,37 @@ impl PipelineProgram for ZipLineDecodeProgram {
                     self.forward_raw(ctx);
                     return;
                 };
-                self.stats.bytes_in += payload.len() as u64;
+                self.stats.bytes_in += ctx.frame.payload.len() as u64;
                 let Ok(body) = self.reconstruct(&basis, deviation) else {
                     self.stats.decode_failures += 1;
                     self.forward_raw(ctx);
                     return;
                 };
-                let restored = self.restored_payload(&extra, &body, zl_bytes, &payload);
+                let mut restored = std::mem::take(&mut self.payload_scratch);
+                self.restored_payload_into(
+                    &extra,
+                    &body,
+                    zl_bytes,
+                    &ctx.frame.payload,
+                    &mut restored,
+                );
                 self.counters
                     .count(counter_index::RESTORED_FROM_UNCOMPRESSED, restored.len())
                     .expect("counter index in range");
                 self.stats.chunks_decoded += 1;
                 self.stats.emitted_raw += 1;
                 self.stats.bytes_out += restored.len() as u64;
-                ctx.frame = ctx
+                // Recycle the replaced frame's payload as the next scratch.
+                let new_frame = ctx
                     .frame
                     .with_payload(self.config.restored_ethertype, restored);
+                self.payload_scratch = std::mem::replace(&mut ctx.frame, new_frame).payload;
                 ctx.forward_to(self.config.data_egress_port);
             }
             PacketType::Compressed => {
-                let payload = ctx.frame.payload.clone();
                 let zl_bytes = self.config.gd.compressed_payload_bytes();
-                let parsed = ZipLinePayload::decode(&self.config.gd, packet_type, &payload);
+                let parsed =
+                    ZipLinePayload::decode(&self.config.gd, packet_type, &ctx.frame.payload);
                 let Ok(ZipLinePayload::Compressed {
                     deviation,
                     extra,
@@ -291,16 +332,16 @@ impl PipelineProgram for ZipLineDecodeProgram {
                     self.forward_raw(ctx);
                     return;
                 };
-                self.stats.bytes_in += payload.len() as u64;
+                self.stats.bytes_in += ctx.frame.payload.len() as u64;
                 // ➋ identifier → basis lookup.
                 let Some(basis_bytes) = self.id_table.lookup(&id, now) else {
                     self.stats.decode_failures += 1;
                     self.counters
-                        .count(counter_index::UNKNOWN_ID, payload.len())
+                        .count(counter_index::UNKNOWN_ID, ctx.frame.payload.len())
                         .expect("counter index in range");
                     match self.config.unknown_id_policy {
                         UnknownIdPolicy::Forward => {
-                            self.stats.bytes_out += payload.len() as u64;
+                            self.stats.bytes_out += ctx.frame.payload.len() as u64;
                             ctx.forward_to(self.config.data_egress_port);
                         }
                         UnknownIdPolicy::Drop => ctx.drop_packet(),
@@ -314,16 +355,24 @@ impl PipelineProgram for ZipLineDecodeProgram {
                     self.forward_raw(ctx);
                     return;
                 };
-                let restored = self.restored_payload(&extra, &body, zl_bytes, &payload);
+                let mut restored = std::mem::take(&mut self.payload_scratch);
+                self.restored_payload_into(
+                    &extra,
+                    &body,
+                    zl_bytes,
+                    &ctx.frame.payload,
+                    &mut restored,
+                );
                 self.counters
                     .count(counter_index::RESTORED_FROM_COMPRESSED, restored.len())
                     .expect("counter index in range");
                 self.stats.chunks_decoded += 1;
                 self.stats.emitted_raw += 1;
                 self.stats.bytes_out += restored.len() as u64;
-                ctx.frame = ctx
+                let new_frame = ctx
                     .frame
                     .with_payload(self.config.restored_ethertype, restored);
+                self.payload_scratch = std::mem::replace(&mut ctx.frame, new_frame).payload;
                 ctx.forward_to(self.config.data_egress_port);
             }
         }

@@ -142,6 +142,10 @@ pub struct ZipLineDeployment {
     config: DeploymentConfig,
     /// Bases to pre-install before the run (static-table scenario).
     static_chunks: Vec<Vec<u8>>,
+    /// Engine dictionary snapshot to sync into the decoder before the run
+    /// (the engine-backed host path: end hosts compress with
+    /// `zipline_engine::CompressionEngine`, the decoder switch restores).
+    decoder_snapshot: Option<zipline_engine::DictionarySnapshot>,
 }
 
 impl ZipLineDeployment {
@@ -152,6 +156,7 @@ impl ZipLineDeployment {
         Ok(Self {
             config,
             static_chunks: Vec::new(),
+            decoder_snapshot: None,
         })
     }
 
@@ -159,6 +164,15 @@ impl ZipLineDeployment {
     /// the next run (the "static table" scenario of Figure 3).
     pub fn preload_static_table(&mut self, chunks: Vec<Vec<u8>>) {
         self.static_chunks = chunks;
+    }
+
+    /// Syncs an engine dictionary snapshot into the decoder switch before
+    /// the next run, so frames compressed host-side by
+    /// `zipline_engine::CompressionEngine` (see `crate::host`) are restored
+    /// in-network. Take the snapshot *after* compressing, so it contains
+    /// every identifier the stream references.
+    pub fn preload_decoder_snapshot(&mut self, snapshot: zipline_engine::DictionarySnapshot) {
+        self.decoder_snapshot = Some(snapshot);
     }
 
     /// The deployment configuration.
@@ -234,6 +248,12 @@ impl ZipLineDeployment {
             for (id, basis_bytes) in installed {
                 decoder_program.install_mapping(id, basis_bytes, SimTime::ZERO)?;
             }
+        }
+
+        // Engine-backed host path: sync the engine's dictionary into the
+        // decoder so pre-compressed (type 3) frames resolve their ids.
+        if let Some(snapshot) = &self.decoder_snapshot {
+            decoder_program.install_snapshot(snapshot, SimTime::ZERO)?;
         }
 
         let switch_config = SwitchConfig {

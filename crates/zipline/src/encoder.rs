@@ -103,6 +103,11 @@ pub struct ZipLineEncodeProgram {
     stats: CompressionStats,
     /// Reused packed-word buffer for the chunk being deconstructed.
     chunk_scratch: BitVec,
+    /// Recycled wire-payload buffer: each rewritten packet hands its new
+    /// payload to the frame and takes the old frame's allocation back as the
+    /// next scratch (see [`ZipLinePayload::encode_into`]), so steady-state
+    /// rewriting allocates nothing.
+    payload_scratch: Vec<u8>,
 }
 
 impl ZipLineEncodeProgram {
@@ -127,6 +132,7 @@ impl ZipLineEncodeProgram {
             counters,
             stats: CompressionStats::new(),
             chunk_scratch: BitVec::new(),
+            payload_scratch: Vec::new(),
         })
     }
 
@@ -274,7 +280,9 @@ impl PipelineProgram for ZipLineEncodeProgram {
                     extra,
                     id,
                 };
-                let mut new_payload = zl.encode(&self.config.gd).expect("well-formed payload");
+                let mut new_payload = std::mem::take(&mut self.payload_scratch);
+                zl.encode_into(&self.config.gd, &mut new_payload)
+                    .expect("well-formed payload");
                 new_payload.extend_from_slice(&ctx.frame.payload[..prefix_end]);
                 new_payload.extend_from_slice(&ctx.frame.payload[suffix_start..]);
                 self.counters
@@ -282,9 +290,11 @@ impl PipelineProgram for ZipLineEncodeProgram {
                     .expect("counter index in range");
                 self.stats.emitted_compressed += 1;
                 self.stats.bytes_out += new_payload.len() as u64;
-                ctx.frame = ctx
+                // Recycle the replaced frame's payload as the next scratch.
+                let new_frame = ctx
                     .frame
                     .with_payload(ETHERTYPE_ZIPLINE_COMPRESSED, new_payload);
+                self.payload_scratch = std::mem::replace(&mut ctx.frame, new_frame).payload;
             }
             None => {
                 // ➐ miss: emit a processed-but-uncompressed (type 2) packet
@@ -294,7 +304,9 @@ impl PipelineProgram for ZipLineEncodeProgram {
                     extra,
                     basis: basis.clone(),
                 };
-                let mut new_payload = zl.encode(&self.config.gd).expect("well-formed payload");
+                let mut new_payload = std::mem::take(&mut self.payload_scratch);
+                zl.encode_into(&self.config.gd, &mut new_payload)
+                    .expect("well-formed payload");
                 new_payload.extend_from_slice(&ctx.frame.payload[..prefix_end]);
                 new_payload.extend_from_slice(&ctx.frame.payload[suffix_start..]);
                 self.counters
@@ -303,9 +315,10 @@ impl PipelineProgram for ZipLineEncodeProgram {
                 self.stats.emitted_uncompressed += 1;
                 self.stats.digests_sent += 1;
                 self.stats.bytes_out += new_payload.len() as u64;
-                ctx.frame = ctx
+                let new_frame = ctx
                     .frame
                     .with_payload(ETHERTYPE_ZIPLINE_UNCOMPRESSED, new_payload);
+                self.payload_scratch = std::mem::replace(&mut ctx.frame, new_frame).payload;
                 ctx.emit_digest(Digest::new(DIGEST_UNKNOWN_BASIS, basis_key));
             }
         }

@@ -1,0 +1,188 @@
+//! The engine-backed host-side path.
+//!
+//! The paper's deployment compresses *in the encoder switch*; this module is
+//! the complementary arrangement the `zipline-engine` crate enables: end
+//! hosts run the sharded [`CompressionEngine`] themselves and put wire-ready
+//! ZipLine frames (types 2 and 3) straight onto the network, so the encoder
+//! switch only forwards and the decoder switch restores. The controller's
+//! role collapses to a deviation-table sync — shipping the engine's merged
+//! [`DictionarySnapshot`] to the decoder
+//! ([`ZipLineDecodeProgram::install_snapshot`] /
+//! [`ZipLineDeployment::preload_decoder_snapshot`]).
+//!
+//! Take the snapshot *after* compressing: it then contains every identifier
+//! the emitted stream references. (If the engine's dictionary churned past
+//! its capacity, recycled identifiers would alias earlier frames — live
+//! installs over the control channel are the follow-up for that regime.)
+//!
+//! [`CompressionEngine`]: zipline_engine::CompressionEngine
+//! [`DictionarySnapshot`]: zipline_engine::DictionarySnapshot
+//! [`ZipLineDecodeProgram::install_snapshot`]: crate::decoder::ZipLineDecodeProgram::install_snapshot
+//! [`ZipLineDeployment::preload_decoder_snapshot`]: crate::deployment::ZipLineDeployment::preload_decoder_snapshot
+
+use crate::error::Result;
+use zipline_engine::{
+    CompressionEngine, DictionarySnapshot, EngineConfig, EngineStream, StreamSummary,
+};
+use zipline_gd::packet::PacketType;
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::mac::MacAddress;
+use zipline_traces::ChunkWorkload;
+
+/// Boxed payload sink used by the shared stream harness.
+type FrameSink<'a> = Box<dyn FnMut(PacketType, &[u8]) + 'a>;
+
+/// Configuration of an [`EngineHostPath`].
+#[derive(Debug, Clone)]
+pub struct HostPathConfig {
+    /// Engine parameters (GD config, shard and worker counts).
+    pub engine: EngineConfig,
+    /// Chunks per engine batch fed by the stream front-end.
+    pub batch_chunks: usize,
+    /// Source MAC stamped on emitted frames.
+    pub src: MacAddress,
+    /// Destination MAC stamped on emitted frames.
+    pub dst: MacAddress,
+    /// EtherType for raw (type 1) frames; processed frames carry the
+    /// ZipLine EtherTypes.
+    pub raw_ethertype: u16,
+}
+
+impl HostPathConfig {
+    /// Paper GD parameters, 8 shards, 4 workers, 256-chunk batches.
+    pub fn paper_default() -> Self {
+        Self {
+            engine: EngineConfig::paper_default(),
+            batch_chunks: 256,
+            src: MacAddress::local(2),
+            dst: MacAddress::local(1),
+            raw_ethertype: zipline_net::ethernet::ETHERTYPE_IPV4,
+        }
+    }
+}
+
+/// A host NIC-side compression pipeline: data in, ZipLine frames out.
+pub struct EngineHostPath {
+    engine: CompressionEngine,
+    config: HostPathConfig,
+}
+
+impl EngineHostPath {
+    /// Builds the host path.
+    pub fn new(config: HostPathConfig) -> Result<Self> {
+        Ok(Self {
+            engine: CompressionEngine::new(config.engine)?,
+            config,
+        })
+    }
+
+    /// The underlying engine (statistics, snapshot, dictionary).
+    pub fn engine(&self) -> &CompressionEngine {
+        &self.engine
+    }
+
+    /// Merged dictionary snapshot for the decoder sync.
+    pub fn snapshot(&self) -> DictionarySnapshot {
+        self.engine.snapshot()
+    }
+
+    /// Compresses a buffer into wire-ready Ethernet frames (one frame per
+    /// stream record) plus the stream totals.
+    pub fn compress_to_frames(
+        &mut self,
+        data: &[u8],
+    ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
+        self.compress_via(|stream| stream.push_record(data))
+    }
+
+    /// Compresses every chunk of a workload generator into frames, feeding
+    /// the engine through the streaming API.
+    pub fn compress_workload_to_frames(
+        &mut self,
+        workload: &dyn ChunkWorkload,
+    ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
+        self.compress_via(|stream| stream.consume_workload(workload))
+    }
+
+    /// Shared frame-building stream harness: sets up the engine stream with
+    /// a sink that wraps every payload in an Ethernet frame, runs `feed`,
+    /// and collects the summary.
+    fn compress_via(
+        &mut self,
+        feed: impl FnOnce(&mut EngineStream<'_, FrameSink<'_>>) -> zipline_gd::error::Result<()>,
+    ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
+        let mut frames = Vec::new();
+        let (src, dst, raw_ethertype) =
+            (self.config.src, self.config.dst, self.config.raw_ethertype);
+        let sink: FrameSink<'_> = Box::new(|pt, bytes| {
+            let ethertype = pt.ethertype().unwrap_or(raw_ethertype);
+            frames.push(EthernetFrame::new(dst, src, ethertype, bytes.to_vec()));
+        });
+        let mut stream = EngineStream::new(&mut self.engine, self.config.batch_chunks, sink);
+        feed(&mut stream)?;
+        let summary = stream.finish()?;
+        Ok((frames, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{DecoderConfig, ZipLineDecodeProgram};
+    use crate::deployment::{DeploymentConfig, ZipLineDeployment};
+    use zipline_net::time::SimTime;
+    use zipline_switch::packet_ctx::PacketContext;
+    use zipline_switch::program::PipelineProgram;
+
+    fn sensor_style_data(chunks: u32) -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..chunks {
+            let mut chunk = [0u8; 32];
+            chunk[0] = (i % 5) as u8;
+            chunk[31] = 0xEE;
+            data.extend_from_slice(&chunk);
+        }
+        data
+    }
+
+    #[test]
+    fn host_compressed_frames_restore_through_decoder_program() {
+        let mut host = EngineHostPath::new(HostPathConfig::paper_default()).unwrap();
+        let mut data = sensor_style_data(120);
+        data.extend_from_slice(b"raw-tail");
+        let (frames, summary) = host.compress_to_frames(&data).unwrap();
+        assert_eq!(summary.payloads_emitted as usize, frames.len());
+        assert!(summary.compressed_payloads > 100, "most chunks deduplicate");
+        assert!(
+            (summary.wire_bytes as usize) < data.len() / 2,
+            "wire bytes shrink"
+        );
+
+        // Decoder switch program, synced via the snapshot.
+        let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+        decoder
+            .install_snapshot(&host.snapshot(), SimTime::ZERO)
+            .unwrap();
+        let mut restored = Vec::new();
+        for frame in frames {
+            let mut ctx = PacketContext::new(0, frame);
+            decoder.ingress(&mut ctx, SimTime::ZERO);
+            restored.extend_from_slice(&ctx.frame.payload);
+        }
+        assert_eq!(restored, data);
+        assert_eq!(decoder.stats().decode_failures, 0);
+    }
+
+    #[test]
+    fn host_path_through_full_deployment_roundtrips() {
+        let mut host = EngineHostPath::new(HostPathConfig::paper_default()).unwrap();
+        let data = sensor_style_data(80);
+        let (frames, _) = host.compress_to_frames(&data).unwrap();
+
+        let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+        deployment.preload_decoder_snapshot(host.snapshot());
+        let outcome = deployment.run_frames(frames).unwrap();
+        let received: Vec<u8> = outcome.received_payloads.concat();
+        assert_eq!(received, data, "in-network restoration is lossless");
+    }
+}

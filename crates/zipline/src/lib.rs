@@ -47,6 +47,7 @@ pub mod deployment;
 pub mod encoder;
 pub mod error;
 pub mod experiment;
+pub mod host;
 pub mod mask_table;
 
 pub use controller::EncoderControlPlane;

@@ -7,6 +7,7 @@
 
 pub use zipline;
 pub use zipline_deflate;
+pub use zipline_engine;
 pub use zipline_gd;
 pub use zipline_net;
 pub use zipline_switch;

@@ -1,9 +1,13 @@
-//! Smoke test mirroring `examples/quickstart.rs` at a reduced scale, so the
-//! quickstart flow (host-side GD + simulated two-switch deployment) is
-//! exercised by `cargo test` on every change; CI additionally runs the real
-//! example binary.
+//! Smoke tests mirroring `examples/quickstart.rs` and
+//! `examples/engine_stream.rs` at a reduced scale, so the quickstart flows
+//! (host-side GD, the sharded engine stream, and the simulated two-switch
+//! deployment) are exercised by `cargo test` on every change; CI
+//! additionally runs the real example binaries.
 
 use zipline_repro::zipline::deployment::{DeploymentConfig, ZipLineDeployment};
+use zipline_repro::zipline_engine::{
+    CompressionEngine, EngineConfig, EngineDecompressor, EngineStream, SpawnPolicy,
+};
 use zipline_repro::zipline_gd::codec::{compress, decompress};
 use zipline_repro::zipline_gd::GdConfig;
 
@@ -41,4 +45,42 @@ fn quickstart_flow_compresses_and_round_trips() {
     let payloads: Vec<Vec<u8>> = data.chunks(32).map(|c| c.to_vec()).collect();
     let received = deployment.run_payloads(&payloads).expect("simulation runs");
     assert_eq!(received, payloads, "in-network round trip is lossless");
+}
+
+#[test]
+fn engine_stream_flow_compresses_and_round_trips() {
+    // The engine_stream example flow at reduced scale: records stream
+    // through the sharded engine into wire payloads, and the mirrored
+    // decompressor restores them byte-exactly.
+    let config = EngineConfig {
+        shards: 8,
+        workers: 4,
+        spawn: SpawnPolicy::Threads, // exercise the threaded path in CI
+        ..EngineConfig::paper_default()
+    };
+    let mut engine = CompressionEngine::new(config).expect("valid engine config");
+    let data = sensor_style_data(300);
+
+    let mut wire = Vec::new();
+    let mut stream = EngineStream::new(&mut engine, 64, |packet_type, bytes| {
+        wire.push((packet_type, bytes.to_vec()));
+    });
+    for chunk in data.chunks(32) {
+        stream.push_record(chunk).expect("record streams");
+    }
+    let summary = stream.finish().expect("stream flushes");
+    assert_eq!(summary.bytes_in, data.len() as u64);
+    assert!(
+        summary.wire_bytes < data.len() as u64 / 2,
+        "engine stream compresses the redundant workload"
+    );
+
+    let mut decoder = EngineDecompressor::new(&config).expect("valid decoder config");
+    let mut restored = Vec::new();
+    for (packet_type, bytes) in &wire {
+        decoder
+            .restore_payload_into(*packet_type, bytes, &mut restored)
+            .expect("payload decodes");
+    }
+    assert_eq!(restored, data, "engine round trip is lossless");
 }
