@@ -29,7 +29,9 @@
 //! controls partitioning, keeping output deterministic while never
 //! oversubscribing the machine.
 
-use crate::shard::{DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary};
+use crate::shard::{
+    DictionaryDelta, DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary,
+};
 use zipline_gd::codec::{
     ChunkCodec, CompressedStream, DecodeScratch, EncodeScratch, EncodedChunk, Record,
 };
@@ -189,9 +191,40 @@ impl CompressionEngine {
         self.dict.shard_stats()
     }
 
-    /// Merged dictionary snapshot, for syncing a decoder's deviation table.
+    /// Merged dictionary snapshot, for *cold* decoder sync. Under churn a
+    /// post-hoc snapshot aliases recycled identifiers; use live sync
+    /// ([`Self::enable_live_sync`] + [`Self::take_delta`]) for streams that
+    /// may learn more distinct bases than the dictionary holds.
     pub fn snapshot(&self) -> DictionarySnapshot {
         self.dict.snapshot()
+    }
+
+    /// Turns on dictionary update journaling: every batch records its
+    /// install/evict events for [`Self::take_delta`] to drain. Must be
+    /// enabled before compressing; events are journaled from the next batch
+    /// on.
+    pub fn enable_live_sync(&mut self) {
+        self.dict.enable_journal();
+    }
+
+    /// True when dictionary update journaling is enabled.
+    pub fn live_sync_enabled(&self) -> bool {
+        self.dict.journal_enabled()
+    }
+
+    /// Turns journaling back off (discarding undrained events), so batches
+    /// compressed without a live-synced consumer pay no journaling cost.
+    pub fn disable_live_sync(&mut self) {
+        self.dict.disable_journal();
+    }
+
+    /// Drains the update journal accumulated since the last call into an
+    /// ordered [`DictionaryDelta`]. Call once per batch: each update's `at`
+    /// is the input-order record index *within that batch*, so a decoder
+    /// applying every update with `at <= i` before record `i` stays exactly
+    /// in sync (see the [`DictionaryDelta`] ordering guarantees).
+    pub fn take_delta(&mut self) -> DictionaryDelta {
+        self.dict.take_delta()
     }
 
     /// Number of OS threads a batch of `n_chunks` will use.
@@ -321,10 +354,11 @@ impl CompressionEngine {
             ..
         } = self;
         let scratch = &mut workers[0].encode;
-        for chunk in data.chunks_exact(gd.chunk_bytes) {
+        for (at, chunk) in data.chunks_exact(gd.chunk_bytes).enumerate() {
             codec.encode_chunk_into(chunk, scratch, inline_slot)?;
             let shard = (inline_slot.basis_hash % num_shards) as usize;
-            let outcome = dict.classify(shard, &inline_slot.basis, inline_slot.basis_hash)?;
+            let outcome =
+                dict.classify_at(shard, &inline_slot.basis, inline_slot.basis_hash, at as u64)?;
             records.push(record_for_outcome(
                 &gd,
                 inline_slot,
@@ -382,7 +416,8 @@ impl CompressionEngine {
                         for (mut handle, stats, idx, out) in group {
                             for &i in idx.iter() {
                                 let enc = &encoded[i as usize];
-                                let outcome = handle.classify(&enc.basis, enc.basis_hash)?;
+                                let outcome =
+                                    handle.classify_at(&enc.basis, enc.basis_hash, i as u64)?;
                                 out.push(record_for_outcome(&gd, enc, outcome, stats));
                             }
                         }

@@ -7,8 +7,9 @@
 //! * [`ShardedDictionary`] — the basis dictionary split into `N` independent
 //!   [`zipline_gd::BasisDictionary`] shards selected by the word-parallel
 //!   basis hash ([`zipline_gd::BitVec::hash_words`]), with per-shard
-//!   statistics and a merged [`DictionarySnapshot`] for syncing a decoder's
-//!   deviation table;
+//!   statistics, a merged [`DictionarySnapshot`] for *cold* decoder sync and
+//!   a per-shard update journal for *live* sync: install/evict events merge
+//!   into an ordered [`DictionaryDelta`] per batch;
 //! * [`CompressionEngine`] — a fixed pool of `std::thread` workers, each
 //!   owning its encode scratch, that fans a batch of chunks across the
 //!   shards and reassembles the records in input order. Output is a pure
@@ -21,7 +22,27 @@
 //! * [`EngineStream`] — the streaming pipeline API: push records (e.g. from
 //!   `zipline-traces` workload iterators), get wire-ready
 //!   [`zipline_gd::ZipLinePayload`] bytes out through one reused scratch
-//!   buffer per worker.
+//!   buffer per worker. With a control sink attached
+//!   ([`EngineStream::with_control_sink`]) the stream also emits every
+//!   [`DictionaryUpdate`] interleaved with the payloads, which is what keeps
+//!   a remote decoder's table live under identifier churn.
+//!
+//! # `DictionaryDelta` ordering guarantees
+//!
+//! The delta a batch produces is the contract between the engine and any
+//! decoder-sync control plane:
+//!
+//! 1. updates are ordered by record position `at` (input-order index within
+//!    the batch), ties broken by shard index then per-shard journal order;
+//!    `seq` is strictly increasing in that order and across batches;
+//! 2. an eviction's [`UpdateOp::Remove`] immediately precedes the
+//!    [`UpdateOp::Install`] that recycles the identifier (same `at`);
+//! 3. applying every update with `at <= i` before decoding record `i`
+//!    resolves every `Ref` against exactly the basis the compressor
+//!    referenced — the property the interleaved [`EngineStream`] emission
+//!    and the `zipline` crate's `EngineControlPlane` rely on;
+//! 4. the delta is a pure function of `(data, shard count)`: worker count
+//!    and spawn policy never change it.
 //!
 //! # Quick example
 //!
@@ -44,5 +65,8 @@ pub mod shard;
 pub mod stream;
 
 pub use engine::{CompressionEngine, EngineConfig, EngineDecompressor, SpawnPolicy};
-pub use shard::{DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary};
+pub use shard::{
+    DictionaryDelta, DictionarySnapshot, DictionaryUpdate, ShardOutcome, ShardStats,
+    ShardedDictionary, UpdateOp,
+};
 pub use stream::{EngineStream, StreamSummary};

@@ -20,8 +20,20 @@
 //!
 //! [`DictionarySnapshot`] is the merged, shard-transparent view: global
 //! `(identifier, basis)` pairs plus per-shard occupancy and counters. The
-//! control plane uses it to sync a decoder's deviation table (see
+//! control plane uses it to sync a decoder's deviation table *cold* (see
 //! `ZipLineDecodeProgram::install_snapshot` in the `zipline` crate).
+//!
+//! For *live* decoder sync — required once the dictionary churns past its
+//! capacity and identifiers are recycled — every shard additionally keeps an
+//! **update journal**: [`enable_journal`](ShardedDictionary::enable_journal)
+//! makes [`classify_at`](ShardedDictionary::classify_at) record an
+//! [`UpdateOp::Remove`] for each evicted mapping and an [`UpdateOp::Install`]
+//! for each learned basis, tagged with the caller's record position and a
+//! per-shard monotonic sequence number.
+//! [`take_delta`](ShardedDictionary::take_delta) drains the journals into a
+//! [`DictionaryDelta`] whose ordering is deterministic for a given
+//! `(data, shard count)` — see the [`DictionaryDelta`] docs for the exact
+//! guarantees.
 
 use zipline_gd::bits::BitVec;
 use zipline_gd::config::GdConfig;
@@ -41,6 +53,89 @@ pub struct ShardStats {
     pub evictions: u64,
 }
 
+/// One dictionary mutation, as recorded by a shard's update journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `id → basis` was (re)assigned; a decoder must install the mapping
+    /// before the first `Ref` record that uses it.
+    Install {
+        /// Global identifier assigned.
+        id: u64,
+        /// The basis now living at `id`.
+        basis: BitVec,
+    },
+    /// The mapping at `id` was evicted to make room; the retired basis must
+    /// stop being decodable under this identifier.
+    Remove {
+        /// Global identifier being recycled.
+        id: u64,
+    },
+}
+
+impl UpdateOp {
+    /// Global identifier the operation applies to.
+    pub fn id(&self) -> u64 {
+        match self {
+            UpdateOp::Install { id, .. } | UpdateOp::Remove { id } => *id,
+        }
+    }
+}
+
+/// One journaled dictionary mutation with its ordering metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictionaryUpdate {
+    /// Globally monotonic sequence number, assigned when journals are merged
+    /// into a [`DictionaryDelta`]; strictly increasing across the lifetime of
+    /// the dictionary (and therefore across batches).
+    pub seq: u64,
+    /// Caller-supplied record position (input-order index within the batch)
+    /// at which the mutation happened. A decoder that applies every update
+    /// with `at <= i` before decoding record `i` always resolves `Ref`
+    /// records against the basis the compressor referenced.
+    pub at: u64,
+    /// The mutation itself.
+    pub op: UpdateOp,
+}
+
+/// Ordered batch of dictionary mutations, merged from every shard's journal.
+///
+/// # Ordering guarantees
+///
+/// * Updates are sorted by `(at, shard, per-shard order)` and `seq` is
+///   strictly increasing in that order, so per-identifier causality is
+///   preserved (identifiers are partitioned by shard and each shard journals
+///   in input order).
+/// * An eviction always journals its `Remove` immediately before the
+///   `Install` that recycles the identifier, at the same `at`.
+/// * The delta is a pure function of `(data, shard count)`: worker count and
+///   spawn policy never change it (enforced by the engine property tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DictionaryDelta {
+    /// The mutations, in the order a decoder must apply them.
+    pub updates: Vec<DictionaryUpdate>,
+}
+
+impl DictionaryDelta {
+    /// Number of updates in the delta.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True when the delta carries no update.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+/// One journal entry before merging: per-shard sequence, record position and
+/// the operation.
+#[derive(Debug, Clone)]
+struct JournalEntry {
+    seq: u64,
+    at: u64,
+    op: UpdateOp,
+}
+
 /// One shard: an independent dictionary slice with its own logical clock.
 #[derive(Debug, Clone)]
 struct Shard {
@@ -52,6 +147,12 @@ struct Shard {
     stats: ShardStats,
     /// First global identifier owned by this shard.
     base: u64,
+    /// Update journal (empty unless journaling is enabled).
+    journal: Vec<JournalEntry>,
+    /// Per-shard monotonic journal sequence.
+    journal_seq: u64,
+    /// Whether classify records install/evict events.
+    journal_enabled: bool,
 }
 
 /// Outcome of routing one encoded chunk through its shard.
@@ -72,7 +173,9 @@ pub enum ShardOutcome {
 }
 
 /// Shared per-shard classification logic (single-threaded and handle forms).
-fn classify_in(shard: &mut Shard, basis: &BitVec, hash: u64) -> Result<ShardOutcome> {
+/// `at` is the caller's record position, recorded in the journal when
+/// journaling is enabled.
+fn classify_in(shard: &mut Shard, basis: &BitVec, hash: u64, at: u64) -> Result<ShardOutcome> {
     shard.clock += 1;
     shard.stats.lookups += 1;
     if let Some(local) = shard
@@ -90,6 +193,31 @@ fn classify_in(shard: &mut Shard, basis: &BitVec, hash: u64) -> Result<ShardOutc
     if evicted {
         shard.stats.evictions += 1;
     }
+    if shard.journal_enabled {
+        // Retire the victim first, then install the new mapping — the same
+        // order the control plane must replay them in.
+        if let Some((victim, _)) = &outcome.evicted {
+            let seq = shard.journal_seq;
+            shard.journal_seq += 1;
+            shard.journal.push(JournalEntry {
+                seq,
+                at,
+                op: UpdateOp::Remove {
+                    id: shard.base + victim,
+                },
+            });
+        }
+        let seq = shard.journal_seq;
+        shard.journal_seq += 1;
+        shard.journal.push(JournalEntry {
+            seq,
+            at,
+            op: UpdateOp::Install {
+                id: shard.base + outcome.id,
+                basis: basis.clone(),
+            },
+        });
+    }
     Ok(ShardOutcome::Learned {
         id: shard.base + outcome.id,
         evicted,
@@ -101,6 +229,8 @@ fn classify_in(shard: &mut Shard, basis: &BitVec, hash: u64) -> Result<ShardOutc
 pub struct ShardedDictionary {
     shards: Vec<Shard>,
     shard_capacity: usize,
+    /// Global sequence counter for merged deltas (see [`Self::take_delta`]).
+    delta_seq: u64,
 }
 
 impl ShardedDictionary {
@@ -126,9 +256,13 @@ impl ShardedDictionary {
                     clock: 0,
                     stats: ShardStats::default(),
                     base: (s * shard_capacity) as u64,
+                    journal: Vec::new(),
+                    journal_seq: 0,
+                    journal_enabled: false,
                 })
                 .collect(),
             shard_capacity,
+            delta_seq: 0,
         })
     }
 
@@ -187,9 +321,79 @@ impl ShardedDictionary {
     /// Routes one encoded chunk through its shard: ticks the shard clock,
     /// looks the basis up (touching recency) and learns it on a miss —
     /// exactly the dictionary step of [`zipline_gd::GdCompressor`], per
-    /// shard.
+    /// shard. On a journaling dictionary use [`Self::classify_at`] instead:
+    /// events journaled without a real record position would sort before the
+    /// whole batch and re-introduce the aliasing this machinery exists to
+    /// prevent (debug-asserted).
     pub fn classify(&mut self, shard: usize, basis: &BitVec, hash: u64) -> Result<ShardOutcome> {
-        classify_in(&mut self.shards[shard], basis, hash)
+        debug_assert!(
+            !self.shards[shard].journal_enabled,
+            "journaling dictionaries must classify with an explicit position (classify_at)"
+        );
+        self.classify_at(shard, basis, hash, 0)
+    }
+
+    /// [`Self::classify`] with an explicit record position `at`, recorded on
+    /// any install/evict event the classification journals.
+    pub fn classify_at(
+        &mut self,
+        shard: usize,
+        basis: &BitVec,
+        hash: u64,
+        at: u64,
+    ) -> Result<ShardOutcome> {
+        classify_in(&mut self.shards[shard], basis, hash, at)
+    }
+
+    /// Turns on update journaling: from now on every learned basis records
+    /// an [`UpdateOp::Install`] (preceded by an [`UpdateOp::Remove`] when it
+    /// evicts) for [`Self::take_delta`] to collect. Off by default — a
+    /// decode-side dictionary must not accumulate a journal nobody drains.
+    pub fn enable_journal(&mut self) {
+        for shard in &mut self.shards {
+            shard.journal_enabled = true;
+        }
+    }
+
+    /// True when update journaling is enabled.
+    pub fn journal_enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.journal_enabled)
+    }
+
+    /// Turns update journaling back off and discards any undrained events,
+    /// restoring the zero-cost default for callers that no longer stream a
+    /// delta (the global sequence counter is preserved, so re-enabling
+    /// continues monotonically).
+    pub fn disable_journal(&mut self) {
+        for shard in &mut self.shards {
+            shard.journal_enabled = false;
+            shard.journal.clear();
+        }
+    }
+
+    /// Drains every shard's journal into one ordered [`DictionaryDelta`]:
+    /// entries are merged by `(at, shard, per-shard sequence)` and stamped
+    /// with globally monotonic sequence numbers. Deterministic for a given
+    /// `(data, shard count)` regardless of worker threading.
+    pub fn take_delta(&mut self) -> DictionaryDelta {
+        let mut entries: Vec<(usize, JournalEntry)> = Vec::new();
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            entries.extend(shard.journal.drain(..).map(|e| (index, e)));
+        }
+        entries.sort_unstable_by_key(|(shard, e)| (e.at, *shard, e.seq));
+        let updates = entries
+            .into_iter()
+            .map(|(_, e)| {
+                let seq = self.delta_seq;
+                self.delta_seq += 1;
+                DictionaryUpdate {
+                    seq,
+                    at: e.at,
+                    op: e.op,
+                }
+            })
+            .collect();
+        DictionaryDelta { updates }
     }
 
     /// Decode-side mirror of the learning half of [`Self::classify`]: ticks
@@ -268,9 +472,19 @@ impl ShardHandle<'_> {
         self.index
     }
 
-    /// See [`ShardedDictionary::classify`].
+    /// See [`ShardedDictionary::classify`] (same journaling caveat: use
+    /// [`Self::classify_at`] on a journaling dictionary).
     pub fn classify(&mut self, basis: &BitVec, hash: u64) -> Result<ShardOutcome> {
-        classify_in(self.shard, basis, hash)
+        debug_assert!(
+            !self.shard.journal_enabled,
+            "journaling dictionaries must classify with an explicit position (classify_at)"
+        );
+        classify_in(self.shard, basis, hash, 0)
+    }
+
+    /// See [`ShardedDictionary::classify_at`].
+    pub fn classify_at(&mut self, basis: &BitVec, hash: u64, at: u64) -> Result<ShardOutcome> {
+        classify_in(self.shard, basis, hash, at)
     }
 }
 
@@ -402,6 +616,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn journaling_is_off_by_default_and_records_when_enabled() {
+        let mut d = ShardedDictionary::new(4, 2).unwrap();
+        assert!(!d.journal_enabled());
+        let b = basis(1);
+        let h = b.hash_words();
+        d.classify_at(d.shard_of_hash(h), &b, h, 0).unwrap();
+        assert!(d.take_delta().is_empty(), "nothing journaled while off");
+
+        d.enable_journal();
+        assert!(d.journal_enabled());
+        // Fill one shard past its 2-identifier slice to force an eviction.
+        let mut at = 0u64;
+        let mut learned = Vec::new();
+        for v in 0..64u64 {
+            let b = basis(v);
+            let h = b.hash_words();
+            let shard = d.shard_of_hash(h);
+            at += 1;
+            if let ShardOutcome::Learned { id, .. } = d.classify_at(shard, &b, h, at).unwrap() {
+                learned.push((at, id));
+            }
+        }
+        let delta = d.take_delta();
+        assert!(!delta.is_empty());
+        // Sorted by position, seq strictly increasing from zero.
+        assert!(delta
+            .updates
+            .windows(2)
+            .all(|w| w[0].at <= w[1].at && w[0].seq < w[1].seq));
+        assert_eq!(delta.updates[0].seq, 0);
+        // Every learned basis has its install at the position it happened.
+        let installs: Vec<(u64, u64)> = delta
+            .updates
+            .iter()
+            .filter_map(|u| match &u.op {
+                UpdateOp::Install { id, .. } => Some((u.at, *id)),
+                UpdateOp::Remove { .. } => None,
+            })
+            .collect();
+        assert_eq!(installs, learned);
+        // A second drain yields nothing, but keeps the global sequence.
+        assert!(d.take_delta().is_empty());
+        let b = basis(1000);
+        let h = b.hash_words();
+        d.classify_at(d.shard_of_hash(h), &b, h, 0).unwrap();
+        let next = d.take_delta();
+        assert_eq!(next.updates[0].seq, delta.updates.last().unwrap().seq + 1);
+
+        // Disabling restores the zero-cost default (and positionless
+        // classify becomes legal again).
+        d.disable_journal();
+        assert!(!d.journal_enabled());
+        let b = basis(2000);
+        let h = b.hash_words();
+        d.classify(d.shard_of_hash(h), &b, h).unwrap();
+        assert!(d.take_delta().is_empty());
     }
 
     #[test]

@@ -14,8 +14,23 @@
 //! The emitted payload sequence decodes through
 //! [`EngineDecompressor::restore_payload_into`] (configured with the same
 //! shard count) back to the exact input bytes.
+//!
+//! # Live decoder sync
+//!
+//! [`EngineStream::with_control_sink`] additionally streams the engine's
+//! [`DictionaryUpdate`] events, *interleaved* with the data payloads: at
+//! every batch boundary the engine's journal is drained into a
+//! [`DictionaryDelta`](crate::DictionaryDelta) and each update is handed to
+//! the control sink immediately before the record at whose position it
+//! happened. A control plane that serializes each update onto the same
+//! in-order channel as the payloads therefore guarantees that every
+//! compressed payload is preceded on the wire by the install traffic that
+//! makes it decodable — even when the dictionary churns past capacity and
+//! recycles identifiers (the regime a one-shot post-hoc snapshot cannot
+//! express).
 
 use crate::engine::CompressionEngine;
+use crate::shard::DictionaryUpdate;
 use zipline_gd::codec::Record;
 use zipline_gd::error::Result;
 use zipline_gd::packet::{PacketType, ZipLinePayload};
@@ -33,12 +48,19 @@ pub struct StreamSummary {
     pub wire_bytes: u64,
     /// Payloads emitted in compressed (type 3) form.
     pub compressed_payloads: u64,
+    /// Dictionary updates handed to the control sink (0 without live sync).
+    pub control_updates: u64,
 }
 
 /// Streaming front-end over a [`CompressionEngine`]; see the module docs.
-pub struct EngineStream<'e, F: FnMut(PacketType, &[u8])> {
+pub struct EngineStream<'e, F: FnMut(PacketType, &[u8]), G = fn(&DictionaryUpdate)>
+where
+    G: FnMut(&DictionaryUpdate),
+{
     engine: &'e mut CompressionEngine,
     sink: F,
+    /// Live-sync control sink, fed each dictionary update in wire order.
+    control_sink: Option<G>,
     /// Bytes pushed but not yet compressed (always shorter than a batch).
     buffer: Vec<u8>,
     /// Flush threshold in bytes (a whole number of chunks).
@@ -54,10 +76,30 @@ impl<'e, F: FnMut(PacketType, &[u8])> EngineStream<'e, F> {
     /// chunks, emitting each wire payload to `sink` as
     /// `(packet type, payload bytes)`.
     pub fn new(engine: &'e mut CompressionEngine, batch_chunks: usize, sink: F) -> Self {
+        Self::with_control_sink(engine, batch_chunks, sink, None)
+    }
+}
+
+impl<'e, F: FnMut(PacketType, &[u8]), G: FnMut(&DictionaryUpdate)> EngineStream<'e, F, G> {
+    /// Creates a stream with an optional live-sync control sink. When
+    /// `control_sink` is `Some`, dictionary journaling is enabled on the
+    /// engine and every install/evict event is handed to the sink interleaved
+    /// with the payloads, in the order a decoder must apply them (each update
+    /// strictly before the payload at whose position it happened).
+    pub fn with_control_sink(
+        engine: &'e mut CompressionEngine,
+        batch_chunks: usize,
+        sink: F,
+        control_sink: Option<G>,
+    ) -> Self {
         let chunk_bytes = engine.config().gd.chunk_bytes;
+        if control_sink.is_some() {
+            engine.enable_live_sync();
+        }
         Self {
             engine,
             sink,
+            control_sink,
             buffer: Vec::new(),
             batch_bytes: batch_chunks.max(1) * chunk_bytes,
             wire_scratch: Vec::new(),
@@ -103,45 +145,78 @@ impl<'e, F: FnMut(PacketType, &[u8])> EngineStream<'e, F> {
             return Ok(());
         }
         let batch = self.engine.compress_batch(&self.buffer[..whole])?;
-        self.emit_records(batch.records)?;
+        self.emit_batch(batch.records)?;
         self.buffer.drain(..whole);
         Ok(())
     }
 
-    /// Serializes records as wire payloads through the reused scratch.
-    fn emit_records(&mut self, records: Vec<Record>) -> Result<()> {
-        let gd = self.engine.config().gd;
-        for record in records {
-            let payload = match record {
-                Record::NewBasis {
-                    extra,
-                    deviation,
-                    basis,
-                } => ZipLinePayload::Uncompressed {
-                    deviation,
-                    extra,
-                    basis,
-                },
-                Record::Ref {
-                    extra,
-                    deviation,
-                    id,
-                } => ZipLinePayload::Compressed {
-                    deviation,
-                    extra,
-                    id,
-                },
-                Record::RawTail { bytes } => ZipLinePayload::Raw(bytes),
-            };
-            payload.encode_into(&gd, &mut self.wire_scratch)?;
-            let packet_type = payload.packet_type();
-            if packet_type == PacketType::Compressed {
-                self.summary.compressed_payloads += 1;
+    /// Emits one compressed batch: drains the engine's dictionary delta (when
+    /// live sync is on) and interleaves its updates with the serialized
+    /// records, each update strictly before the record at whose position it
+    /// happened.
+    fn emit_batch(&mut self, records: Vec<Record>) -> Result<()> {
+        // Drain the journal even when no sink consumes it, so a stream
+        // without live sync on a journaling engine cannot leak stale events
+        // into a later batch's delta.
+        let updates = if self.engine.live_sync_enabled() {
+            self.engine.take_delta().updates
+        } else {
+            Vec::new()
+        };
+        let mut next_update = updates.into_iter().peekable();
+        for (at, record) in records.into_iter().enumerate() {
+            if let Some(control_sink) = &mut self.control_sink {
+                while next_update.peek().is_some_and(|u| u.at <= at as u64) {
+                    let update = next_update.next().expect("peeked");
+                    self.summary.control_updates += 1;
+                    control_sink(&update);
+                }
             }
-            self.summary.payloads_emitted += 1;
-            self.summary.wire_bytes += self.wire_scratch.len() as u64;
-            (self.sink)(packet_type, &self.wire_scratch);
+            self.emit_record(record)?;
         }
+        // Every update's position lies within the batch, so this drain is
+        // normally empty; it keeps the delta fully flushed regardless.
+        if let Some(control_sink) = &mut self.control_sink {
+            for update in next_update {
+                self.summary.control_updates += 1;
+                control_sink(&update);
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes one record as a wire payload through the reused scratch.
+    fn emit_record(&mut self, record: Record) -> Result<()> {
+        let gd = self.engine.config().gd;
+        let payload = match record {
+            Record::NewBasis {
+                extra,
+                deviation,
+                basis,
+            } => ZipLinePayload::Uncompressed {
+                deviation,
+                extra,
+                basis,
+            },
+            Record::Ref {
+                extra,
+                deviation,
+                id,
+            } => ZipLinePayload::Compressed {
+                deviation,
+                extra,
+                id,
+            },
+            Record::RawTail { bytes } => ZipLinePayload::Raw(bytes),
+        };
+        payload.encode_into(&gd, &mut self.wire_scratch)?;
+        let packet_type = payload.packet_type();
+        if packet_type == PacketType::Compressed {
+            self.summary.compressed_payloads += 1;
+        }
+        self.summary.payloads_emitted += 1;
+        self.summary.wire_bytes += self.wire_scratch.len() as u64;
+        (self.sink)(packet_type, &self.wire_scratch);
         Ok(())
     }
 
@@ -152,7 +227,7 @@ impl<'e, F: FnMut(PacketType, &[u8])> EngineStream<'e, F> {
             let batch = self
                 .engine
                 .compress_batch(&std::mem::take(&mut self.buffer))?;
-            self.emit_records(batch.records)?;
+            self.emit_batch(batch.records)?;
         }
         Ok(self.summary)
     }
@@ -209,6 +284,35 @@ mod tests {
             dec.restore_payload_into(*pt, bytes, &mut restored).unwrap();
         }
         assert_eq!(restored, input);
+    }
+
+    #[test]
+    fn plain_stream_on_a_journaling_engine_drains_stale_updates() {
+        let config = test_config();
+        let mut engine = CompressionEngine::new(config).unwrap();
+        engine.enable_live_sync();
+        // A stream without a control sink must not leave the journal to leak
+        // into a later live-synced stream's delta.
+        {
+            let mut stream = EngineStream::new(&mut engine, 4, |_, _| {});
+            stream.push_record(&[7u8; 32 * 6]).unwrap();
+            let summary = stream.finish().unwrap();
+            assert_eq!(summary.control_updates, 0);
+        }
+        let mut updates = Vec::new();
+        {
+            let mut stream = EngineStream::with_control_sink(
+                &mut engine,
+                4,
+                |_, _| {},
+                Some(|u: &super::DictionaryUpdate| updates.push(u.clone())),
+            );
+            // The same basis again: known, so the live stream journals
+            // nothing new — stale events from the first stream must be gone.
+            stream.push_record(&[7u8; 32 * 2]).unwrap();
+            stream.finish().unwrap();
+        }
+        assert!(updates.is_empty(), "no stale updates leak across streams");
     }
 
     #[test]

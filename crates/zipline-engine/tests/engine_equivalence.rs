@@ -7,12 +7,26 @@
 //! * the 1-shard/1-worker configuration is byte-identical to
 //!   [`GdCompressor::compress_batch`], records and statistics included;
 //! * [`GdDecompressor::decompress_batch`] (the recycled-scratch batch decode)
-//!   equals the per-record reference loop.
+//!   equals the per-record reference loop;
+//! * (ISSUE 3) the live-sync interleaved control+data stream roundtrips
+//!   bit-exactly for any shard/worker/spawn shape, including workloads that
+//!   churn the dictionary far past capacity — a decoder driven only by the
+//!   in-order event stream never sees an identifier it cannot restore.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 use proptest::prelude::*;
-use zipline_engine::{CompressionEngine, EngineConfig, EngineDecompressor, SpawnPolicy};
-use zipline_gd::codec::{CompressedStream, GdCompressor, GdDecompressor};
+use zipline_engine::{
+    CompressionEngine, DictionaryUpdate, EngineConfig, EngineDecompressor, EngineStream,
+    SpawnPolicy, UpdateOp,
+};
+use zipline_gd::bits::BitVec;
+use zipline_gd::codec::{
+    ChunkCodec, CompressedStream, DecodeScratch, GdCompressor, GdDecompressor,
+};
 use zipline_gd::config::GdConfig;
+use zipline_gd::packet::{PacketType, ZipLinePayload};
 
 /// Small parameters so shards see churn and evictions: m = 3 (1-byte
 /// chunks), 6-bit identifiers (64 total, 16 per shard at 4 shards).
@@ -40,6 +54,82 @@ fn spawn_of(selector: u8) -> SpawnPolicy {
         1 => SpawnPolicy::Inline,
         _ => SpawnPolicy::Threads,
     }
+}
+
+/// One element of the live-sync wire: a dictionary update or a payload, in
+/// emission order.
+#[derive(Debug, Clone)]
+enum WireEvent {
+    Update(DictionaryUpdate),
+    Payload(PacketType, Vec<u8>),
+}
+
+/// Runs `data` through a live-sync [`EngineStream`], capturing control
+/// updates and payloads into one interleaved event sequence.
+fn live_sync_events(config: EngineConfig, batch_chunks: usize, data: &[u8]) -> Vec<WireEvent> {
+    let mut engine = CompressionEngine::new(config).expect("valid engine config");
+    let events: RefCell<Vec<WireEvent>> = RefCell::new(Vec::new());
+    let sink = |pt: PacketType, bytes: &[u8]| {
+        events
+            .borrow_mut()
+            .push(WireEvent::Payload(pt, bytes.to_vec()));
+    };
+    let control_sink = |update: &DictionaryUpdate| {
+        events.borrow_mut().push(WireEvent::Update(update.clone()));
+    };
+    let mut stream =
+        EngineStream::with_control_sink(&mut engine, batch_chunks, sink, Some(control_sink));
+    stream.push_record(data).expect("push succeeds");
+    stream.finish().expect("finish succeeds");
+    events.into_inner()
+}
+
+/// Replays an interleaved event sequence the way a live-synced decoder
+/// would: updates maintain the `id → basis` table, payloads decode against
+/// it. Panics when a compressed payload references an identifier the
+/// preceding control traffic has not installed.
+fn replay_events(gd: &GdConfig, events: &[WireEvent]) -> Vec<u8> {
+    let codec = ChunkCodec::new(gd).expect("valid codec");
+    let mut table: HashMap<u64, BitVec> = HashMap::new();
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    for event in events {
+        match event {
+            WireEvent::Update(update) => match &update.op {
+                UpdateOp::Install { id, basis } => {
+                    table.insert(*id, basis.clone());
+                }
+                UpdateOp::Remove { id } => {
+                    table.remove(id);
+                }
+            },
+            WireEvent::Payload(pt, bytes) => {
+                match ZipLinePayload::decode(gd, *pt, bytes).expect("well-formed payload") {
+                    ZipLinePayload::Raw(raw) => out.extend_from_slice(&raw),
+                    ZipLinePayload::Uncompressed {
+                        deviation,
+                        extra,
+                        basis,
+                    } => codec
+                        .decode_parts_into(&extra, deviation, &basis, &mut scratch, &mut out)
+                        .expect("decode succeeds"),
+                    ZipLinePayload::Compressed {
+                        deviation,
+                        extra,
+                        id,
+                    } => {
+                        let basis = table.get(&id).unwrap_or_else(|| {
+                            panic!("Ref id {id} not installed before its first use")
+                        });
+                        codec
+                            .decode_parts_into(&extra, deviation, basis, &mut scratch, &mut out)
+                            .expect("decode succeeds")
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 proptest! {
@@ -145,6 +235,60 @@ proptest! {
         prop_assert_eq!(&batch_out, &reference_out);
         prop_assert_eq!(batch_out, data);
         prop_assert_eq!(batch.stats(), reference.stats());
+    }
+
+    /// (ISSUE 3) Live sync: the interleaved control+data stream roundtrips
+    /// bit-exactly for any shard/worker/spawn shape and batch size, on a
+    /// configuration whose dictionary (4 identifiers, 16 possible bases)
+    /// churns constantly — every `Ref` must be preceded by its install and
+    /// recycled identifiers must be retired in order.
+    #[test]
+    fn live_sync_interleaved_stream_roundtrips_under_churn(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        shard_exp in 0u32..3,
+        workers in 1usize..6,
+        spawn_selector in any::<u8>(),
+        batch_chunks in 1usize..48,
+    ) {
+        // Capacity 4 with m = 3 (1-byte chunks): random bytes exceed
+        // capacity several-fold, forcing evictions and identifier recycling.
+        let gd = GdConfig::for_parameters(3, 2).unwrap();
+        let config = engine_config(gd, 1usize << shard_exp, workers, spawn_of(spawn_selector));
+        let events = live_sync_events(config, batch_chunks, &data);
+        prop_assert_eq!(replay_events(&gd, &events), data);
+    }
+
+    /// The interleaved event stream is itself a pure function of
+    /// `(data, shard count, batch size)`: worker count and spawn policy
+    /// change neither payloads nor control updates.
+    #[test]
+    fn live_sync_events_independent_of_worker_count(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        shard_exp in 0u32..3,
+    ) {
+        let gd = GdConfig::for_parameters(3, 2).unwrap();
+        let shards = 1usize << shard_exp;
+        let reference = live_sync_events(
+            engine_config(gd, shards, 1, SpawnPolicy::Inline),
+            16,
+            &data,
+        );
+        for workers in [2usize, 4] {
+            for spawn in [SpawnPolicy::Threads, SpawnPolicy::Auto] {
+                let events = live_sync_events(engine_config(gd, shards, workers, spawn), 16, &data);
+                prop_assert_eq!(events.len(), reference.len());
+                for (a, b) in events.iter().zip(reference.iter()) {
+                    match (a, b) {
+                        (WireEvent::Update(x), WireEvent::Update(y)) => prop_assert_eq!(x, y),
+                        (WireEvent::Payload(tx, bx), WireEvent::Payload(ty, by)) => {
+                            prop_assert_eq!(tx, ty);
+                            prop_assert_eq!(bx, by);
+                        }
+                        _ => prop_assert!(false, "event kinds diverge"),
+                    }
+                }
+            }
+        }
     }
 
     /// Paper-parameter smoke property: the threaded engine at realistic

@@ -1,0 +1,142 @@
+//! A dictionary-churn workload: more distinct bases than the dictionary can
+//! hold.
+//!
+//! The PR-3 live decoder sync makes capacity-exceeding streams a first-class
+//! scenario; this generator is the shared fixture its regression tests and
+//! benches run on. It produces `distinct` distinct chunk patterns, each
+//! repeated `repeats` times in a row — the repeats compress to `Ref` records
+//! whose identifiers are evicted and recycled soon after, which is exactly
+//! the regime where a post-hoc snapshot sync aliases earlier frames.
+//!
+//! Every pair of patterns differs in at least 3 bits (the pattern index is
+//! written to three separate bytes), so no two chunks can fold to the same
+//! basis under GD's single-bit deviation correction: the stream is
+//! guaranteed to carry `distinct` distinct bases.
+
+use crate::ChunkWorkload;
+
+/// Configuration of a [`ChurnWorkload`].
+#[derive(Debug, Clone)]
+pub struct ChurnWorkloadConfig {
+    /// Number of distinct bases (choose ≥ 4× the dictionary capacity to
+    /// exercise identifier recycling). At most 65 536 are distinct.
+    pub distinct: u32,
+    /// Consecutive appearances of each basis (≥ 2 produces `Ref` records
+    /// that later alias under snapshot-only sync).
+    pub repeats: u32,
+    /// Chunk size in bytes (≥ 24 so the pattern bytes fit).
+    pub chunk_len: usize,
+}
+
+impl ChurnWorkloadConfig {
+    /// A workload with `factor`× more distinct bases than `capacity`, each
+    /// appearing twice, at the given chunk size.
+    pub fn exceeding_capacity(capacity: usize, factor: u32, chunk_len: usize) -> Self {
+        Self {
+            distinct: factor * capacity as u32,
+            repeats: 2,
+            chunk_len,
+        }
+    }
+}
+
+/// The churn workload; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    config: ChurnWorkloadConfig,
+}
+
+impl ChurnWorkload {
+    /// Creates the workload.
+    pub fn new(config: ChurnWorkloadConfig) -> Self {
+        assert!(config.chunk_len >= 24, "pattern needs 24 bytes");
+        // The pattern encodes 16 bits of the index; beyond that, "distinct"
+        // patterns would silently repeat and stop exercising churn.
+        assert!(
+            config.distinct <= 1 << 16,
+            "at most 65536 distinct patterns ({} requested)",
+            config.distinct
+        );
+        Self { config }
+    }
+
+    /// One pattern chunk: the index spread over three bytes per half so any
+    /// two distinct indices differ in ≥ 3 bits.
+    fn pattern(&self, i: u32) -> Vec<u8> {
+        let mut chunk = vec![0u8; self.config.chunk_len];
+        chunk[0] = i as u8;
+        chunk[4] = i as u8;
+        chunk[8] = i as u8;
+        chunk[12] = (i >> 8) as u8;
+        chunk[16] = (i >> 8) as u8;
+        chunk[20] = (i >> 8) as u8;
+        chunk
+    }
+
+    /// The whole workload as one contiguous buffer (chunks concatenated in
+    /// order) — convenient for batch-API tests and benches.
+    pub fn bytes(&self) -> Vec<u8> {
+        let mut data = Vec::with_capacity(self.total_chunks() * self.config.chunk_len);
+        for chunk in self.chunks() {
+            data.extend_from_slice(&chunk);
+        }
+        data
+    }
+}
+
+impl ChunkWorkload for ChurnWorkload {
+    fn chunk_len(&self) -> usize {
+        self.config.chunk_len
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.config.distinct as usize * self.config.repeats as usize
+    }
+
+    fn chunks(&self) -> Box<dyn Iterator<Item = Vec<u8>> + '_> {
+        Box::new((0..self.config.distinct).flat_map(move |i| {
+            let chunk = self.pattern(i);
+            (0..self.config.repeats).map(move |_| chunk.clone())
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_are_pairwise_three_bits_apart() {
+        let workload = ChurnWorkload::new(ChurnWorkloadConfig {
+            distinct: 300, // crosses the 8-bit boundary
+            repeats: 1,
+            chunk_len: 32,
+        });
+        let chunks: Vec<Vec<u8>> = workload.chunks().collect();
+        assert_eq!(chunks.len(), 300);
+        for (i, a) in chunks.iter().enumerate() {
+            for b in chunks.iter().skip(i + 1) {
+                let distance: u32 = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| (x ^ y).count_ones())
+                    .sum();
+                assert!(distance >= 3, "patterns too close: {distance} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn repeats_and_bytes_agree_with_the_iterator() {
+        let workload = ChurnWorkload::new(ChurnWorkloadConfig::exceeding_capacity(16, 4, 32));
+        assert_eq!(workload.total_chunks(), 128);
+        assert_eq!(workload.chunk_len(), 32);
+        let bytes = workload.bytes();
+        assert_eq!(bytes.len(), 128 * 32);
+        let from_iter: Vec<u8> = workload.chunks().flatten().collect();
+        assert_eq!(bytes, from_iter);
+        // Consecutive repeats are identical; distinct patterns differ.
+        assert_eq!(bytes[0..32], bytes[32..64]);
+        assert_ne!(bytes[0..32], bytes[64..96]);
+    }
+}

@@ -49,6 +49,12 @@ pub enum ControlMessage {
     RemoveMapping {
         /// Identifier being retired.
         id: u64,
+        /// Install sequence number of the mapping being retired. The decoder
+        /// only removes when this matches the nonce of its currently
+        /// installed mapping, so a delayed remove that arrives after the
+        /// identifier was re-installed (recycled) cannot retire the newer
+        /// mapping.
+        nonce: u32,
     },
 }
 
@@ -76,10 +82,11 @@ impl ControlMessage {
                 out.extend_from_slice(&nonce.to_be_bytes());
                 out
             }
-            ControlMessage::RemoveMapping { id } => {
-                let mut out = Vec::with_capacity(5);
+            ControlMessage::RemoveMapping { id, nonce } => {
+                let mut out = Vec::with_capacity(9);
                 out.push(OPCODE_REMOVE);
                 out.extend_from_slice(&(*id as u32).to_be_bytes());
+                out.extend_from_slice(&nonce.to_be_bytes());
                 out
             }
         }
@@ -135,6 +142,7 @@ impl ControlMessage {
             }),
             OPCODE_REMOVE => Ok(ControlMessage::RemoveMapping {
                 id: read_id(bytes)?,
+                nonce: read_nonce(bytes)?,
             }),
             other => Err(ZipLineError::MalformedControlMessage(format!(
                 "unknown opcode {other}"
@@ -182,7 +190,11 @@ mod tests {
                 id: 32767,
                 nonce: u32::MAX,
             },
-            ControlMessage::RemoveMapping { id: 7 },
+            ControlMessage::RemoveMapping { id: 7, nonce: 3 },
+            ControlMessage::RemoveMapping {
+                id: 90,
+                nonce: u32::MAX,
+            },
         ] {
             let bytes = msg.to_bytes();
             assert_eq!(ControlMessage::from_bytes(&bytes).unwrap(), msg);
@@ -224,6 +236,8 @@ mod tests {
         );
         assert!(ControlMessage::from_bytes(&[OPCODE_INSTALLED, 0]).is_err());
         assert!(ControlMessage::from_bytes(&[OPCODE_INSTALLED, 0, 0, 0, 1]).is_err());
+        // A remove without its install-sequence nonce is no longer valid.
+        assert!(ControlMessage::from_bytes(&[OPCODE_REMOVE, 0, 0, 0, 1]).is_err());
         assert!(ControlMessage::from_bytes(&[99, 0, 0, 0, 0]).is_err());
     }
 }

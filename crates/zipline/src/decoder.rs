@@ -17,9 +17,10 @@
 //! table *first* and only then acknowledges, which is what lets the encoder
 //! guarantee that every compressed packet is decompressible.
 
-use crate::control::ControlMessage;
+use crate::control::{ControlMessage, ETHERTYPE_ZIPLINE_CONTROL};
 use crate::error::Result;
 use crate::mask_table::SyndromeMaskTable;
+use std::collections::HashMap;
 use zipline_gd::bits::BitVec;
 use zipline_gd::config::GdConfig;
 use zipline_gd::hamming::HammingCode;
@@ -97,6 +98,13 @@ pub struct ZipLineDecodeProgram {
     mask_table: SyndromeMaskTable,
     /// Known-IDs table: identifier → serialized basis.
     id_table: ExactMatchTable<u64, Vec<u8>>,
+    /// Install sequence number of the live mapping per identifier, recorded
+    /// from [`ControlMessage::InstallMapping`]. A remove only takes effect
+    /// when it echoes this nonce, so a delayed remove for a recycled
+    /// identifier cannot retire the newer install (mappings installed
+    /// directly — snapshot or static preload — carry no nonce and accept any
+    /// remove).
+    install_nonces: HashMap<u64, u32>,
     counters: zipline_switch::counter::CounterArray,
     stats: CompressionStats,
     /// Recycled restored-payload buffer: each rewritten packet hands its new
@@ -119,6 +127,8 @@ pub mod counter_index {
     pub const RESTORED_FROM_COMPRESSED: usize = 2;
     /// Compressed packets whose identifier was unknown.
     pub const UNKNOWN_ID: usize = 3;
+    /// In-band control frames consumed by the data-plane ingress.
+    pub const CONTROL: usize = 4;
 }
 
 impl ZipLineDecodeProgram {
@@ -130,13 +140,14 @@ impl ZipLineDecodeProgram {
         let crc = CrcExtern::new("parity", config.gd.m, crc_param)?;
         let mask_table = SyndromeMaskTable::precompute(&code)?;
         let id_table = ExactMatchTable::new("id-to-basis", config.gd.dictionary_capacity())?;
-        let counters = zipline_switch::counter::CounterArray::new("packet-types", 4)?;
+        let counters = zipline_switch::counter::CounterArray::new("packet-types", 5)?;
         Ok(Self {
             config,
             code,
             crc,
             mask_table,
             id_table,
+            install_nonces: HashMap::new(),
             counters,
             stats: CompressionStats::new(),
             payload_scratch: Vec::new(),
@@ -173,7 +184,41 @@ impl ZipLineDecodeProgram {
         } else {
             self.id_table.insert(id, basis_bytes, now)?;
         }
+        // Direct installs are un-nonced; drop any stale sequence record.
+        self.install_nonces.remove(&id);
         Ok(())
+    }
+
+    /// Applies one control message to the data-plane state, returning the
+    /// acknowledgement to send back (if any). Shared by the out-of-band CPU
+    /// port ([`Self::handle_control_packet`]) and the in-band path
+    /// ([`Self::ingress`] on [`ETHERTYPE_ZIPLINE_CONTROL`] frames).
+    fn apply_control(&mut self, message: ControlMessage, now: SimTime) -> Option<ControlMessage> {
+        match message {
+            ControlMessage::InstallMapping { id, nonce, basis } => {
+                // Install first, acknowledge second: the encoder only starts
+                // using the identifier once the ack arrives (out-of-band
+                // two-phase), or — in-band — only emits the install ahead of
+                // the frames that use it, so compressed packets always find
+                // their mapping here.
+                self.install_mapping(id, basis, now).ok()?;
+                self.install_nonces.insert(id, nonce);
+                Some(ControlMessage::MappingInstalled { id, nonce })
+            }
+            ControlMessage::RemoveMapping { id, nonce } => {
+                // Install-sequence guard: a remove that does not echo the
+                // live install's nonce is a delayed remove for an older
+                // install of a since-recycled identifier — dropping it is
+                // what keeps the newer mapping alive.
+                let live = self.install_nonces.get(&id).copied();
+                if live.is_none_or(|n| n == nonce) {
+                    let _ = self.id_table.remove(&id);
+                    self.install_nonces.remove(&id);
+                }
+                None
+            }
+            ControlMessage::MappingInstalled { .. } => None,
+        }
     }
 
     /// Installs every mapping of an engine dictionary snapshot — the
@@ -265,6 +310,28 @@ impl PipelineProgram for ZipLineDecodeProgram {
     }
 
     fn ingress(&mut self, ctx: &mut PacketContext, now: SimTime) {
+        // In-band control frames (the engine host path's live sync travels on
+        // the data channel so installs stay ordered with the frames that need
+        // them): apply, then turn the frame into its ack towards the control
+        // port, or consume it. Handled even with decompression disabled — the
+        // control plane is not part of the "No op" data-plane baseline.
+        if ctx.frame.ethertype == ETHERTYPE_ZIPLINE_CONTROL {
+            self.counters
+                .count(counter_index::CONTROL, ctx.frame.payload.len())
+                .expect("counter index in range");
+            let Ok(message) = ControlMessage::from_frame(&ctx.frame) else {
+                ctx.drop_packet();
+                return;
+            };
+            match self.apply_control(message, now) {
+                Some(ack) => {
+                    ctx.frame = ack.to_frame(self.config.control_src, self.config.control_dst);
+                    ctx.forward_to(self.config.control_port);
+                }
+                None => ctx.drop_packet(),
+            }
+            return;
+        }
         if !self.config.decompression_enabled {
             self.forward_raw(ctx);
             return;
@@ -386,25 +453,12 @@ impl PipelineProgram for ZipLineDecodeProgram {
         let Ok(message) = ControlMessage::from_frame(&frame) else {
             return Vec::new();
         };
-        match message {
-            ControlMessage::InstallMapping { id, nonce, basis } => {
-                // Install first, acknowledge second: the encoder only starts
-                // using the identifier once the ack arrives, so compressed
-                // packets always find their mapping here.
-                if self.install_mapping(id, basis, now).is_err() {
-                    return Vec::new();
-                }
-                let ack = ControlMessage::MappingInstalled { id, nonce };
-                vec![(
-                    self.config.control_port,
-                    ack.to_frame(self.config.control_src, self.config.control_dst),
-                )]
-            }
-            ControlMessage::RemoveMapping { id } => {
-                let _ = self.id_table.remove(&id);
-                Vec::new()
-            }
-            ControlMessage::MappingInstalled { .. } => Vec::new(),
+        match self.apply_control(message, now) {
+            Some(ack) => vec![(
+                self.config.control_port,
+                ack.to_frame(self.config.control_src, self.config.control_dst),
+            )],
+            None => Vec::new(),
         }
     }
 }
@@ -588,7 +642,8 @@ mod tests {
             .install_mapping(5, vec![0xAB; 31], SimTime::ZERO)
             .unwrap();
         assert_eq!(decoder.installed_mappings(), 1);
-        let remove = ControlMessage::RemoveMapping { id: 5 }
+        // Direct installs carry no nonce, so any remove retires them.
+        let remove = ControlMessage::RemoveMapping { id: 5, nonce: 9 }
             .to_frame(MacAddress::local(1), MacAddress::local(2));
         decoder.handle_control_packet(remove, SimTime::ZERO);
         assert_eq!(decoder.installed_mappings(), 0);
@@ -600,6 +655,71 @@ mod tests {
             .install_mapping(6, vec![2; 31], SimTime::ZERO)
             .unwrap();
         assert_eq!(decoder.installed_mappings(), 1);
+    }
+
+    #[test]
+    fn delayed_remove_cannot_retire_a_recycled_identifier() {
+        // The stale-remove race: install(id, n0) … remove(id, n0) delayed …
+        // install(id, n1) recycles the identifier; the late remove must not
+        // take down the newer mapping.
+        let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+        let src = MacAddress::local(1);
+        let dst = MacAddress::local(2);
+        let install = |nonce: u32, fill: u8| {
+            ControlMessage::InstallMapping {
+                id: 5,
+                nonce,
+                basis: vec![fill; 31],
+            }
+            .to_frame(src, dst)
+        };
+        decoder.handle_control_packet(install(0, 0xAA), SimTime::ZERO);
+        decoder.handle_control_packet(install(1, 0xBB), SimTime::ZERO);
+        // The remove for the first install arrives reordered, after the
+        // recycling install — ignored.
+        let stale = ControlMessage::RemoveMapping { id: 5, nonce: 0 }.to_frame(src, dst);
+        decoder.handle_control_packet(stale, SimTime::ZERO);
+        assert_eq!(decoder.installed_mappings(), 1, "newer install survives");
+        // The remove echoing the live nonce does retire it.
+        let live = ControlMessage::RemoveMapping { id: 5, nonce: 1 }.to_frame(src, dst);
+        decoder.handle_control_packet(live, SimTime::ZERO);
+        assert_eq!(decoder.installed_mappings(), 0);
+    }
+
+    #[test]
+    fn in_band_control_frames_install_and_ack_through_ingress() {
+        let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+        let install = ControlMessage::InstallMapping {
+            id: 11,
+            nonce: 4,
+            basis: vec![0x5A; 31],
+        }
+        .to_frame(MacAddress::local(1), MacAddress::local(2));
+        let mut ctx = PacketContext::new(0, install);
+        decoder.ingress(&mut ctx, SimTime::ZERO);
+        assert_eq!(decoder.installed_mappings(), 1);
+        // The frame was turned into the ack and sent towards the control
+        // port, not the data egress.
+        assert_eq!(ctx.egress_port, Some(decoder.config().control_port));
+        assert_eq!(
+            ControlMessage::from_frame(&ctx.frame).unwrap(),
+            ControlMessage::MappingInstalled { id: 11, nonce: 4 }
+        );
+        // An in-band remove is consumed without output.
+        let remove = ControlMessage::RemoveMapping { id: 11, nonce: 4 }
+            .to_frame(MacAddress::local(1), MacAddress::local(2));
+        let mut ctx = PacketContext::new(0, remove);
+        decoder.ingress(&mut ctx, SimTime::ZERO);
+        assert!(ctx.dropped);
+        assert_eq!(decoder.installed_mappings(), 0);
+        assert_eq!(
+            decoder
+                .counters()
+                .read(counter_index::CONTROL)
+                .unwrap()
+                .packets,
+            2
+        );
     }
 
     #[test]

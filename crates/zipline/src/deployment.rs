@@ -167,10 +167,14 @@ impl ZipLineDeployment {
     }
 
     /// Syncs an engine dictionary snapshot into the decoder switch before
-    /// the next run, so frames compressed host-side by
-    /// `zipline_engine::CompressionEngine` (see `crate::host`) are restored
-    /// in-network. Take the snapshot *after* compressing, so it contains
-    /// every identifier the stream references.
+    /// the next run — the *cold-start* half of the engine host path
+    /// (`crate::host`). Streams whose dictionary may churn past capacity
+    /// must instead (or additionally) carry live in-band control frames:
+    /// the encoder switch forwards `ETHERTYPE_ZIPLINE_CONTROL` frames
+    /// unmodified along the data path, the decoder switch consumes them in
+    /// arrival order (installing/removing mappings before the data frames
+    /// that depend on them) and returns its acknowledgements over the
+    /// out-of-band control link.
     pub fn preload_decoder_snapshot(&mut self, snapshot: zipline_engine::DictionarySnapshot) {
         self.decoder_snapshot = Some(snapshot);
     }

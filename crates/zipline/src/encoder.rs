@@ -88,6 +88,9 @@ pub mod counter_index {
     pub const UNCOMPRESSED: usize = 1;
     /// Packets emitted as type 3 (syndrome + identifier).
     pub const COMPRESSED: usize = 2;
+    /// In-band control frames forwarded towards the decoder (engine host
+    /// path live sync); excluded from the compression statistics.
+    pub const CONTROL: usize = 3;
 }
 
 /// The ZipLine encode program.
@@ -121,7 +124,7 @@ impl ZipLineEncodeProgram {
         let mask_table = SyndromeMaskTable::precompute(&code)?;
         let basis_table = ExactMatchTable::new("known-bases", config.gd.dictionary_capacity())?;
         let control_plane = EncoderControlPlane::new(config.gd.id_bits);
-        let counters = zipline_switch::counter::CounterArray::new("packet-types", 3)?;
+        let counters = zipline_switch::counter::CounterArray::new("packet-types", 4)?;
         Ok(Self {
             config,
             code,
@@ -244,10 +247,20 @@ impl PipelineProgram for ZipLineEncodeProgram {
 
     fn ingress(&mut self, ctx: &mut PacketContext, now: SimTime) {
         let payload_len = ctx.frame.payload.len();
+        // In-band control frames (engine host path live sync) pass through
+        // towards the decoder untouched and *uncounted* — they are control
+        // traffic, not data, and must not distort the compression
+        // statistics.
+        if ctx.frame.ethertype == crate::control::ETHERTYPE_ZIPLINE_CONTROL {
+            self.counters
+                .count(counter_index::CONTROL, payload_len)
+                .expect("counter index in range");
+            ctx.forward_to(self.config.data_egress_port);
+            return;
+        }
         let processable = self.config.compression_enabled
             && ctx.frame.ethertype != ETHERTYPE_ZIPLINE_COMPRESSED
             && ctx.frame.ethertype != ETHERTYPE_ZIPLINE_UNCOMPRESSED
-            && ctx.frame.ethertype != crate::control::ETHERTYPE_ZIPLINE_CONTROL
             && payload_len >= self.config.chunk_offset + self.config.gd.chunk_bytes;
         if !processable {
             self.forward_raw(ctx);
@@ -401,6 +414,34 @@ mod tests {
             gd: GdConfig::for_parameters(3, 4).unwrap(),
             ..EncoderConfig::paper_default()
         }
+    }
+
+    #[test]
+    fn control_frames_pass_through_uncounted() {
+        let mut encoder = ZipLineEncodeProgram::new(EncoderConfig::paper_default()).unwrap();
+        let frame = ControlMessage::InstallMapping {
+            id: 3,
+            nonce: 0,
+            basis: vec![0xAB; 31],
+        }
+        .to_frame(MacAddress::local(2), MacAddress::local(1));
+        let mut ctx = PacketContext::new(0, frame.clone());
+        encoder.ingress(&mut ctx, SimTime::ZERO);
+        // Forwarded unmodified on the data path, not compressed.
+        assert_eq!(ctx.frame, frame);
+        assert_eq!(ctx.egress_port, Some(encoder.config().data_egress_port));
+        // Counted as control traffic, invisible to the compression stats.
+        assert_eq!(
+            encoder
+                .counters()
+                .read(counter_index::CONTROL)
+                .unwrap()
+                .packets,
+            1
+        );
+        assert_eq!(encoder.stats().chunks_in, 0);
+        assert_eq!(encoder.stats().emitted_raw, 0);
+        assert_eq!(encoder.stats().bytes_in, 0);
     }
 
     #[test]

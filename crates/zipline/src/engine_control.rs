@@ -1,0 +1,218 @@
+//! The engine-side control plane: live decoder sync for host-compressed
+//! streams.
+//!
+//! [`crate::controller::EncoderControlPlane`] implements the paper's
+//! two-phase install for the *switch* encoder, where the control plane also
+//! owns identifier assignment. The sharded
+//! [`zipline_engine::CompressionEngine`] assigns identifiers itself (the
+//! global shard layout), so its control plane has a narrower job: turn the
+//! engine's per-batch [`DictionaryDelta`] into the out-of-band
+//! [`ControlMessage`] traffic that keeps a remote decoder's
+//! `identifier → basis` table exactly in sync — **including under churn**,
+//! when identifiers are evicted and recycled and a one-shot post-hoc
+//! snapshot would alias earlier frames.
+//!
+//! The nonce machinery mirrors [`crate::controller`]: every install carries a
+//! monotonic sequence number that the decoder echoes in its acknowledgement
+//! (stale acks for recycled identifiers are discarded), and — closing the
+//! symmetric race — every [`ControlMessage::RemoveMapping`] carries the nonce
+//! of the install it retires, so a delayed remove cannot take down a newer
+//! mapping at the same recycled identifier.
+//!
+//! Frame ordering is the whole protocol: [`EngineHostPath`] serializes each
+//! update's control frames onto the *same in-order channel* as the data
+//! frames, immediately before the frame at whose position the update
+//! happened. The decoder therefore always holds the reverse mapping before
+//! the first compressed frame that needs it — the paper's two-phase
+//! guarantee, streamed.
+//!
+//! [`DictionaryDelta`]: zipline_engine::DictionaryDelta
+//! [`EngineHostPath`]: crate::host::EngineHostPath
+
+use std::collections::HashMap;
+
+use crate::control::ControlMessage;
+use zipline_engine::{DictionaryUpdate, UpdateOp};
+use zipline_net::ethernet::EthernetFrame;
+use zipline_net::mac::MacAddress;
+
+/// Counters exposed by the engine control plane.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineControlStats {
+    /// Install requests emitted.
+    pub installs_sent: u64,
+    /// Remove requests emitted.
+    pub removes_sent: u64,
+    /// Acknowledgements received from the decoder.
+    pub acks_received: u64,
+    /// Acknowledgements that matched a pending install.
+    pub acks_matched: u64,
+    /// Acknowledgements discarded as stale (identifier re-installed with a
+    /// newer nonce while the ack was in flight).
+    pub stale_acks: u64,
+}
+
+/// Turns [`DictionaryUpdate`]s into two-phase control traffic; see the
+/// module docs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineControlPlane {
+    /// Monotonic install counter.
+    next_nonce: u32,
+    /// Nonce of the live install per identifier (what a remove must echo).
+    installed: HashMap<u64, u32>,
+    /// Installs emitted but not yet acknowledged: `id → nonce`.
+    pending: HashMap<u64, u32>,
+    stats: EngineControlStats,
+}
+
+impl EngineControlPlane {
+    /// Creates an empty control plane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EngineControlStats {
+        self.stats
+    }
+
+    /// Number of installs awaiting decoder acknowledgement.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Builds the control message for one dictionary update, advancing the
+    /// nonce state: installs are stamped with a fresh nonce (and become
+    /// pending until acknowledged), removes echo the nonce of the install
+    /// they retire.
+    pub fn message_for(&mut self, update: &DictionaryUpdate) -> ControlMessage {
+        match &update.op {
+            UpdateOp::Install { id, basis } => {
+                let nonce = self.next_nonce;
+                self.next_nonce = self.next_nonce.wrapping_add(1);
+                // A still-pending install for a recycled identifier is
+                // superseded; its late ack will fail the nonce check.
+                self.pending.insert(*id, nonce);
+                self.installed.insert(*id, nonce);
+                self.stats.installs_sent += 1;
+                ControlMessage::InstallMapping {
+                    id: *id,
+                    nonce,
+                    basis: basis.to_bytes(),
+                }
+            }
+            UpdateOp::Remove { id } => {
+                let nonce = self.installed.remove(id).unwrap_or(0);
+                self.pending.remove(id);
+                self.stats.removes_sent += 1;
+                ControlMessage::RemoveMapping { id: *id, nonce }
+            }
+        }
+    }
+
+    /// Builds the control frame(s) for one dictionary update and appends
+    /// them to `out` (one frame per update with the current protocol).
+    pub fn push_frames_for(
+        &mut self,
+        update: &DictionaryUpdate,
+        src: MacAddress,
+        dst: MacAddress,
+        out: &mut Vec<EthernetFrame>,
+    ) {
+        out.push(self.message_for(update).to_frame(src, dst));
+    }
+
+    /// Processes a decoder acknowledgement; returns `true` when it matched
+    /// the pending install for `id` (and clears it), `false` when stale.
+    pub fn handle_ack(&mut self, id: u64, nonce: u32) -> bool {
+        self.stats.acks_received += 1;
+        match self.pending.get(&id) {
+            Some(pending) if *pending == nonce => {
+                self.pending.remove(&id);
+                self.stats.acks_matched += 1;
+                true
+            }
+            _ => {
+                self.stats.stale_acks += 1;
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipline_gd::bits::BitVec;
+
+    fn install(seq: u64, id: u64, v: u64) -> DictionaryUpdate {
+        DictionaryUpdate {
+            seq,
+            at: seq,
+            op: UpdateOp::Install {
+                id,
+                basis: BitVec::from_u64(v, 16),
+            },
+        }
+    }
+
+    fn remove(seq: u64, id: u64) -> DictionaryUpdate {
+        DictionaryUpdate {
+            seq,
+            at: seq,
+            op: UpdateOp::Remove { id },
+        }
+    }
+
+    #[test]
+    fn installs_get_monotonic_nonces_and_acks_clear_pending() {
+        let mut cp = EngineControlPlane::new();
+        let ControlMessage::InstallMapping { id, nonce, basis } = cp.message_for(&install(0, 7, 1))
+        else {
+            panic!("install update produces an install message");
+        };
+        assert_eq!((id, nonce), (7, 0));
+        assert_eq!(basis, BitVec::from_u64(1, 16).to_bytes());
+        let ControlMessage::InstallMapping { nonce: second, .. } =
+            cp.message_for(&install(1, 9, 2))
+        else {
+            panic!("install update produces an install message");
+        };
+        assert_eq!(second, 1);
+        assert_eq!(cp.pending(), 2);
+        assert!(cp.handle_ack(7, 0));
+        assert!(!cp.handle_ack(7, 0), "duplicate ack is stale");
+        assert_eq!(cp.pending(), 1);
+        assert_eq!(cp.stats().acks_matched, 1);
+        assert_eq!(cp.stats().stale_acks, 1);
+    }
+
+    #[test]
+    fn removes_echo_the_retired_installs_nonce() {
+        let mut cp = EngineControlPlane::new();
+        cp.message_for(&install(0, 4, 1));
+        let ControlMessage::RemoveMapping { id, nonce } = cp.message_for(&remove(1, 4)) else {
+            panic!("remove update produces a remove message");
+        };
+        assert_eq!((id, nonce), (4, 0));
+        // Recycling the identifier: the new install gets a fresh nonce and a
+        // second remove echoes *that* nonce.
+        cp.message_for(&install(2, 4, 2));
+        let ControlMessage::RemoveMapping { nonce: second, .. } = cp.message_for(&remove(3, 4))
+        else {
+            panic!("remove update produces a remove message");
+        };
+        assert_eq!(second, 1);
+        assert_eq!(cp.stats().removes_sent, 2);
+    }
+
+    #[test]
+    fn ack_for_recycled_identifier_with_old_nonce_is_stale() {
+        let mut cp = EngineControlPlane::new();
+        cp.message_for(&install(0, 3, 1)); // nonce 0, never acked
+        cp.message_for(&remove(1, 3));
+        cp.message_for(&install(2, 3, 2)); // nonce 1 recycles id 3
+        assert!(!cp.handle_ack(3, 0), "late ack for the old install");
+        assert!(cp.handle_ack(3, 1), "ack for the live install");
+    }
+}

@@ -4,25 +4,44 @@
 //! the complementary arrangement the `zipline-engine` crate enables: end
 //! hosts run the sharded [`CompressionEngine`] themselves and put wire-ready
 //! ZipLine frames (types 2 and 3) straight onto the network, so the encoder
-//! switch only forwards and the decoder switch restores. The controller's
-//! role collapses to a deviation-table sync — shipping the engine's merged
-//! [`DictionarySnapshot`] to the decoder
-//! ([`ZipLineDecodeProgram::install_snapshot`] /
-//! [`ZipLineDeployment::preload_decoder_snapshot`]).
+//! switch only forwards and the decoder switch restores.
 //!
-//! Take the snapshot *after* compressing: it then contains every identifier
-//! the emitted stream references. (If the engine's dictionary churned past
-//! its capacity, recycled identifiers would alias earlier frames — live
-//! installs over the control channel are the follow-up for that regime.)
+//! The decoder's `identifier → basis` table is kept in sync by **streaming
+//! incremental installs**: the engine journals every dictionary mutation
+//! (install, evict) into a per-batch
+//! [`DictionaryDelta`](zipline_engine::DictionaryDelta), and the
+//! [`EngineControlPlane`] turns each update into the out-of-band
+//! [`ControlMessage`](crate::control::ControlMessage) format —
+//! `InstallMapping` frames carrying a monotonic nonce, `RemoveMapping`
+//! frames echoing the nonce of the install they retire. The control frames
+//! are emitted *in-band*, interleaved into the output frame sequence
+//! immediately before the data frame at whose position the mutation
+//! happened, so on an in-order channel every compressed frame is preceded by
+//! the control traffic that makes it decodable. This is the paper's
+//! two-phase install guarantee (section 5) in streaming form, and it holds
+//! even when the dictionary churns past capacity and recycles identifiers —
+//! the regime where the older one-shot [`DictionarySnapshot`] sync silently
+//! aliased earlier frames to later bases (see the regression tests below).
+//!
+//! The snapshot path ([`EngineHostPath::snapshot`] /
+//! [`ZipLineDecodeProgram::install_snapshot`] /
+//! [`ZipLineDeployment::preload_decoder_snapshot`]) remains available for
+//! *cold-starting* a decoder mid-stream and for workloads provably below
+//! capacity; [`HostPathConfig::live_sync`] turns the live protocol off for
+//! those cases.
 //!
 //! [`CompressionEngine`]: zipline_engine::CompressionEngine
 //! [`DictionarySnapshot`]: zipline_engine::DictionarySnapshot
 //! [`ZipLineDecodeProgram::install_snapshot`]: crate::decoder::ZipLineDecodeProgram::install_snapshot
 //! [`ZipLineDeployment::preload_decoder_snapshot`]: crate::deployment::ZipLineDeployment::preload_decoder_snapshot
 
+use std::cell::RefCell;
+
+use crate::engine_control::{EngineControlPlane, EngineControlStats};
 use crate::error::Result;
 use zipline_engine::{
-    CompressionEngine, DictionarySnapshot, EngineConfig, EngineStream, StreamSummary,
+    CompressionEngine, DictionarySnapshot, DictionaryUpdate, EngineConfig, EngineStream,
+    StreamSummary,
 };
 use zipline_gd::packet::PacketType;
 use zipline_net::ethernet::EthernetFrame;
@@ -31,6 +50,9 @@ use zipline_traces::ChunkWorkload;
 
 /// Boxed payload sink used by the shared stream harness.
 type FrameSink<'a> = Box<dyn FnMut(PacketType, &[u8]) + 'a>;
+
+/// Boxed control sink used by the shared stream harness (live sync).
+type ControlSink<'a> = Box<dyn FnMut(&DictionaryUpdate) + 'a>;
 
 /// Configuration of an [`EngineHostPath`].
 #[derive(Debug, Clone)]
@@ -46,10 +68,16 @@ pub struct HostPathConfig {
     /// EtherType for raw (type 1) frames; processed frames carry the
     /// ZipLine EtherTypes.
     pub raw_ethertype: u16,
+    /// Stream incremental install/remove control frames in-band with the
+    /// data (the default). When false, the caller must sync the decoder via
+    /// [`EngineHostPath::snapshot`] — only sound while the dictionary never
+    /// exceeds capacity.
+    pub live_sync: bool,
 }
 
 impl HostPathConfig {
-    /// Paper GD parameters, 8 shards, 4 workers, 256-chunk batches.
+    /// Paper GD parameters, 8 shards, 4 workers, 256-chunk batches, live
+    /// decoder sync.
     pub fn paper_default() -> Self {
         Self {
             engine: EngineConfig::paper_default(),
@@ -57,13 +85,16 @@ impl HostPathConfig {
             src: MacAddress::local(2),
             dst: MacAddress::local(1),
             raw_ethertype: zipline_net::ethernet::ETHERTYPE_IPV4,
+            live_sync: true,
         }
     }
 }
 
-/// A host NIC-side compression pipeline: data in, ZipLine frames out.
+/// A host NIC-side compression pipeline: data in, ZipLine frames out
+/// (interleaved with the control frames that keep a decoder live-synced).
 pub struct EngineHostPath {
     engine: CompressionEngine,
+    control: EngineControlPlane,
     config: HostPathConfig,
 }
 
@@ -72,6 +103,7 @@ impl EngineHostPath {
     pub fn new(config: HostPathConfig) -> Result<Self> {
         Ok(Self {
             engine: CompressionEngine::new(config.engine)?,
+            control: EngineControlPlane::new(),
             config,
         })
     }
@@ -81,13 +113,28 @@ impl EngineHostPath {
         &self.engine
     }
 
-    /// Merged dictionary snapshot for the decoder sync.
+    /// Control-plane counters of the live sync protocol.
+    pub fn control_stats(&self) -> EngineControlStats {
+        self.control.stats()
+    }
+
+    /// Processes a decoder acknowledgement (`MappingInstalled`), discarding
+    /// stale nonces; returns whether it matched a pending install.
+    pub fn handle_ack(&mut self, id: u64, nonce: u32) -> bool {
+        self.control.handle_ack(id, nonce)
+    }
+
+    /// Merged dictionary snapshot, for *cold* decoder sync. With
+    /// [`HostPathConfig::live_sync`] enabled the emitted frame stream is
+    /// self-sufficient; under churn a post-hoc snapshot alone aliases
+    /// recycled identifiers.
     pub fn snapshot(&self) -> DictionarySnapshot {
         self.engine.snapshot()
     }
 
     /// Compresses a buffer into wire-ready Ethernet frames (one frame per
-    /// stream record) plus the stream totals.
+    /// stream record, plus interleaved control frames under live sync) and
+    /// the stream totals.
     pub fn compress_to_frames(
         &mut self,
         data: &[u8],
@@ -105,23 +152,41 @@ impl EngineHostPath {
     }
 
     /// Shared frame-building stream harness: sets up the engine stream with
-    /// a sink that wraps every payload in an Ethernet frame, runs `feed`,
-    /// and collects the summary.
+    /// a sink that wraps every payload in an Ethernet frame (and, under live
+    /// sync, a control sink that interleaves install/remove frames at their
+    /// journal positions), runs `feed`, and collects the summary.
     fn compress_via(
         &mut self,
-        feed: impl FnOnce(&mut EngineStream<'_, FrameSink<'_>>) -> zipline_gd::error::Result<()>,
+        feed: impl FnOnce(
+            &mut EngineStream<'_, FrameSink<'_>, ControlSink<'_>>,
+        ) -> zipline_gd::error::Result<()>,
     ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
-        let mut frames = Vec::new();
+        // Both sinks push into one ordered frame sequence; the RefCell lets
+        // the payload and control closures share it.
+        let frames: RefCell<Vec<EthernetFrame>> = RefCell::new(Vec::new());
         let (src, dst, raw_ethertype) =
             (self.config.src, self.config.dst, self.config.raw_ethertype);
+        let Self {
+            engine,
+            control,
+            config,
+        } = self;
         let sink: FrameSink<'_> = Box::new(|pt, bytes| {
             let ethertype = pt.ethertype().unwrap_or(raw_ethertype);
-            frames.push(EthernetFrame::new(dst, src, ethertype, bytes.to_vec()));
+            frames
+                .borrow_mut()
+                .push(EthernetFrame::new(dst, src, ethertype, bytes.to_vec()));
         });
-        let mut stream = EngineStream::new(&mut self.engine, self.config.batch_chunks, sink);
+        let control_sink: Option<ControlSink<'_>> = config.live_sync.then(|| {
+            Box::new(|update: &DictionaryUpdate| {
+                control.push_frames_for(update, src, dst, &mut frames.borrow_mut());
+            }) as ControlSink<'_>
+        });
+        let mut stream =
+            EngineStream::with_control_sink(engine, config.batch_chunks, sink, control_sink);
         feed(&mut stream)?;
         let summary = stream.finish()?;
-        Ok((frames, summary))
+        Ok((frames.into_inner(), summary))
     }
 }
 
@@ -130,9 +195,12 @@ mod tests {
     use super::*;
     use crate::decoder::{DecoderConfig, ZipLineDecodeProgram};
     use crate::deployment::{DeploymentConfig, ZipLineDeployment};
+    use zipline_engine::SpawnPolicy;
+    use zipline_gd::config::GdConfig;
     use zipline_net::time::SimTime;
     use zipline_switch::packet_ctx::PacketContext;
     use zipline_switch::program::PipelineProgram;
+    use zipline_traces::{ChurnWorkload, ChurnWorkloadConfig};
 
     fn sensor_style_data(chunks: u32) -> Vec<u8> {
         let mut data = Vec::new();
@@ -145,30 +213,48 @@ mod tests {
         data
     }
 
+    /// Feeds every frame through the decoder program, returning the
+    /// concatenated restored payloads (frames forwarded to the data egress
+    /// port only — acks towards the control port and consumed control frames
+    /// are not data).
+    fn decode_frames(decoder: &mut ZipLineDecodeProgram, frames: Vec<EthernetFrame>) -> Vec<u8> {
+        let data_port = decoder.config().data_egress_port;
+        let mut restored = Vec::new();
+        for frame in frames {
+            let mut ctx = PacketContext::new(0, frame);
+            decoder.ingress(&mut ctx, SimTime::ZERO);
+            if ctx.egress_port == Some(data_port) {
+                restored.extend_from_slice(&ctx.frame.payload);
+            }
+        }
+        restored
+    }
+
     #[test]
     fn host_compressed_frames_restore_through_decoder_program() {
         let mut host = EngineHostPath::new(HostPathConfig::paper_default()).unwrap();
         let mut data = sensor_style_data(120);
         data.extend_from_slice(b"raw-tail");
         let (frames, summary) = host.compress_to_frames(&data).unwrap();
-        assert_eq!(summary.payloads_emitted as usize, frames.len());
+        let control_frames = frames
+            .iter()
+            .filter(|f| f.ethertype == crate::control::ETHERTYPE_ZIPLINE_CONTROL)
+            .count();
+        assert_eq!(
+            summary.payloads_emitted as usize + control_frames,
+            frames.len()
+        );
+        assert_eq!(summary.control_updates as usize, control_frames);
         assert!(summary.compressed_payloads > 100, "most chunks deduplicate");
         assert!(
             (summary.wire_bytes as usize) < data.len() / 2,
             "wire bytes shrink"
         );
 
-        // Decoder switch program, synced via the snapshot.
+        // Decoder switch program, synced purely by the in-band control
+        // frames — no snapshot needed.
         let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
-        decoder
-            .install_snapshot(&host.snapshot(), SimTime::ZERO)
-            .unwrap();
-        let mut restored = Vec::new();
-        for frame in frames {
-            let mut ctx = PacketContext::new(0, frame);
-            decoder.ingress(&mut ctx, SimTime::ZERO);
-            restored.extend_from_slice(&ctx.frame.payload);
-        }
+        let restored = decode_frames(&mut decoder, frames);
         assert_eq!(restored, data);
         assert_eq!(decoder.stats().decode_failures, 0);
     }
@@ -180,9 +266,146 @@ mod tests {
         let (frames, _) = host.compress_to_frames(&data).unwrap();
 
         let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
-        deployment.preload_decoder_snapshot(host.snapshot());
         let outcome = deployment.run_frames(frames).unwrap();
         let received: Vec<u8> = outcome.received_payloads.concat();
         assert_eq!(received, data, "in-network restoration is lossless");
+    }
+
+    #[test]
+    fn snapshot_only_sync_still_works_below_capacity() {
+        let config = HostPathConfig {
+            live_sync: false,
+            ..HostPathConfig::paper_default()
+        };
+        let mut host = EngineHostPath::new(config).unwrap();
+        let data = sensor_style_data(80);
+        let (frames, summary) = host.compress_to_frames(&data).unwrap();
+        assert_eq!(summary.control_updates, 0);
+        assert_eq!(summary.payloads_emitted as usize, frames.len());
+
+        let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+        deployment.preload_decoder_snapshot(host.snapshot());
+        let outcome = deployment.run_frames(frames).unwrap();
+        assert_eq!(outcome.received_payloads.concat(), data);
+    }
+
+    // ---- dictionary-churn regression (the PR-3 aliasing bug) -------------
+
+    /// Small identifier space so churn is cheap to provoke: 64 identifiers,
+    /// 32-byte chunks (m = 8).
+    fn churny_config(live_sync: bool) -> HostPathConfig {
+        HostPathConfig {
+            engine: EngineConfig {
+                gd: GdConfig::for_parameters(8, 6).unwrap(),
+                shards: 4,
+                workers: 2,
+                spawn: SpawnPolicy::Inline,
+            },
+            batch_chunks: 64,
+            src: MacAddress::local(2),
+            dst: MacAddress::local(1),
+            raw_ethertype: zipline_net::ethernet::ETHERTYPE_IPV4,
+            live_sync,
+        }
+    }
+
+    /// 4× more distinct bases than the dictionary holds, each appearing
+    /// twice in a row — the repeats compress to `Ref` records whose
+    /// identifiers are later recycled (see `zipline_traces::churn`).
+    fn churn_workload(config: &HostPathConfig) -> ChurnWorkload {
+        ChurnWorkload::new(ChurnWorkloadConfig::exceeding_capacity(
+            config.engine.gd.dictionary_capacity(),
+            4,
+            config.engine.gd.chunk_bytes,
+        ))
+    }
+
+    fn churny_decoder(config: &HostPathConfig) -> ZipLineDecodeProgram {
+        ZipLineDecodeProgram::new(DecoderConfig {
+            gd: config.engine.gd,
+            ..DecoderConfig::paper_default()
+        })
+        .unwrap()
+    }
+
+    /// Pins the bug this PR fixes: once the dictionary recycles identifiers,
+    /// a post-hoc snapshot maps recycled ids to their *latest* bases, so
+    /// `Ref` frames emitted before an eviction silently alias to the wrong
+    /// basis and the stream misrestores.
+    #[test]
+    fn snapshot_only_sync_aliases_recycled_identifiers_under_churn() {
+        let config = churny_config(false);
+        let mut host = EngineHostPath::new(config.clone()).unwrap();
+        // 4x more distinct bases than identifiers.
+        let data = churn_workload(&config).bytes();
+        let (frames, _) = host.compress_to_frames(&data).unwrap();
+        assert!(
+            host.engine().stats().evictions > 0,
+            "the workload must churn the dictionary"
+        );
+
+        let mut decoder = churny_decoder(&config);
+        decoder
+            .install_snapshot(&host.snapshot(), SimTime::ZERO)
+            .unwrap();
+        let restored = decode_frames(&mut decoder, frames);
+        assert_ne!(
+            restored, data,
+            "snapshot-only sync must misrestore under churn — if this now \
+             roundtrips, the regression pin has lost its bite"
+        );
+    }
+
+    /// The fix: with live incremental sync the same churn-heavy stream
+    /// roundtrips losslessly — every `Ref` is preceded on the wire by the
+    /// install that makes it decodable, and recycled identifiers are retired
+    /// before re-installation.
+    #[test]
+    fn live_sync_roundtrips_churn_losslessly() {
+        let config = churny_config(true);
+        let capacity = config.engine.gd.dictionary_capacity() as u64;
+        let mut host = EngineHostPath::new(config.clone()).unwrap();
+        let workload = churn_workload(&config);
+        let data = workload.bytes();
+        // Feed through the workload-iterator front-end (the streaming API).
+        let (frames, summary) = host.compress_workload_to_frames(&workload).unwrap();
+        assert!(host.engine().stats().evictions > 0, "workload churns");
+        assert!(
+            summary.control_updates > capacity,
+            "churn generates more installs than the dictionary holds"
+        );
+
+        let mut decoder = churny_decoder(&config);
+        let restored = decode_frames(&mut decoder, frames);
+        assert_eq!(restored, data, "live sync restores losslessly");
+        assert_eq!(decoder.stats().decode_failures, 0);
+        let stats = host.control_stats();
+        assert!(stats.removes_sent > 0, "evictions stream removes");
+        assert_eq!(
+            stats.installs_sent,
+            host.engine().stats().bases_learned,
+            "one install per learned basis"
+        );
+    }
+
+    /// End-to-end: the same churn-heavy stream through the full simulated
+    /// deployment (control frames travel in-band through the encoder switch
+    /// and are consumed by the decoder switch, whose acks flow back over the
+    /// out-of-band channel).
+    #[test]
+    fn live_sync_churn_roundtrips_through_full_deployment() {
+        let config = churny_config(true);
+        let mut host = EngineHostPath::new(config.clone()).unwrap();
+        let data = churn_workload(&config).bytes();
+        let (frames, _) = host.compress_to_frames(&data).unwrap();
+
+        let mut deployment = ZipLineDeployment::new(DeploymentConfig {
+            gd: config.engine.gd,
+            ..DeploymentConfig::fast_test()
+        })
+        .unwrap();
+        let outcome = deployment.run_frames(frames).unwrap();
+        assert_eq!(outcome.received_payloads.concat(), data);
+        assert_eq!(outcome.decoder_stats.decode_failures, 0);
     }
 }

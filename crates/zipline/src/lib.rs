@@ -13,6 +13,11 @@
 //!   reverse-mapping-first protocol of section 5;
 //! * [`control`] — the out-of-band control-channel message format used
 //!   between the two ZipLine instances;
+//! * [`engine_control`] / [`host`] — the engine-backed host path: end hosts
+//!   compress with `zipline_engine::CompressionEngine` and the
+//!   [`engine_control::EngineControlPlane`] streams incremental
+//!   install/remove traffic in-band with the data frames, so the decoder
+//!   switch stays in sync even when the dictionary churns past capacity;
 //! * [`deployment`] — ready-made simulated topologies (sender → encoder
 //!   switch → decoder switch → receiver, plus the out-of-band control link);
 //! * [`experiment`] — the drivers that reproduce every figure of the paper's
@@ -45,6 +50,7 @@ pub mod controller;
 pub mod decoder;
 pub mod deployment;
 pub mod encoder;
+pub mod engine_control;
 pub mod error;
 pub mod experiment;
 pub mod host;
@@ -54,4 +60,5 @@ pub use controller::EncoderControlPlane;
 pub use decoder::ZipLineDecodeProgram;
 pub use deployment::{DeploymentConfig, ZipLineDeployment};
 pub use encoder::ZipLineEncodeProgram;
+pub use engine_control::EngineControlPlane;
 pub use error::ZipLineError;
