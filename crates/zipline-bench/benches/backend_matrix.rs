@@ -1,0 +1,103 @@
+//! PR-4 backend matrix: the generic engine driving GD, deflate and
+//! passthrough on the 9000 B stream workload (one jumbo frame's worth of
+//! sensor-style chunks — the same workload as `stream_compressor_9000B` in
+//! `switch_throughput.rs` and the `engine_scaling` grid).
+//!
+//! Every backend runs through the *same* `CompressionEngine<B>::compress_batch`
+//! entry point, so the numbers expose backend cost, not harness skew:
+//!
+//! * `gd_s8_w4` — the sharded GD backend at the paper shape (steady state:
+//!   after the first iteration every basis is known);
+//! * `deflate_default` / `deflate_fast` — one gzip member per batch via
+//!   `zipline-deflate`'s recycled-scratch entry points;
+//! * `passthrough` — the copy floor (memcpy plus accounting).
+//!
+//! Single-core container: compare against the committed `BENCH_PR4.json`
+//! baselines, not wall-clock claims. Regenerate with
+//! `BENCH_JSON=bench.jsonl cargo bench -p zipline-bench --bench backend_matrix`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use zipline_deflate::Level;
+use zipline_engine::{
+    CompressionBackend, DeflateBackend, EngineBuilder, PassthroughBackend, SpawnPolicy,
+};
+use zipline_gd::GdConfig;
+
+/// One jumbo frame's worth of sensor-style chunks (matches the
+/// `stream_compressor_9000B` workload of the PR-1 bench).
+fn stream_9000b(config: &GdConfig) -> Vec<u8> {
+    let mut data = Vec::new();
+    for i in 0..(9000 / config.chunk_bytes) as u32 {
+        let mut chunk = vec![0u8; config.chunk_bytes];
+        chunk[0] = (i % 6) as u8;
+        chunk[8] = 0xA5;
+        if i % 5 == 0 {
+            chunk[20] ^= 0x10; // near-duplicate noise
+        }
+        data.extend_from_slice(&chunk);
+    }
+    data
+}
+
+fn bench_backend_matrix(c: &mut Criterion) {
+    let gd = GdConfig::paper_default();
+    let data = stream_9000b(&gd);
+
+    let mut group = c.benchmark_group("backend_matrix");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    let mut gd_engine = EngineBuilder::new()
+        .shards(8)
+        .workers(4)
+        .spawn(SpawnPolicy::Auto)
+        .build()
+        .unwrap();
+    group.bench_function("gd_s8_w4", |b| {
+        b.iter(|| black_box(gd_engine.compress_batch(black_box(&data)).unwrap()))
+    });
+
+    for (name, level) in [
+        ("deflate_default", Level::Default),
+        ("deflate_fast", Level::Fast),
+    ] {
+        let mut engine = EngineBuilder::new()
+            .backend(DeflateBackend::new(level))
+            .build()
+            .unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let member = engine.compress_batch(black_box(&data)).unwrap();
+                let len = member.len();
+                // Hand the member back to the backend's scratch pool, as the
+                // stream front-end would.
+                engine
+                    .backend_mut()
+                    .emit_batch(member, &mut |_, _| {})
+                    .unwrap();
+                black_box(len)
+            })
+        });
+    }
+
+    let mut floor = EngineBuilder::new()
+        .backend(PassthroughBackend::new())
+        .build()
+        .unwrap();
+    group.bench_function("passthrough", |b| {
+        b.iter(|| {
+            let batch = floor.compress_batch(black_box(&data)).unwrap();
+            let len = batch.len();
+            floor
+                .backend_mut()
+                .emit_batch(batch, &mut |_, _| {})
+                .unwrap();
+            black_box(len)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_matrix);
+criterion_main!(benches);

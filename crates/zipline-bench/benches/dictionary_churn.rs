@@ -80,7 +80,7 @@ fn bench_dictionary_churn(c: &mut Criterion) {
     // The PR-3 protocol: update journal drained per batch, every event
     // handed to the control sink interleaved with the payloads.
     let mut engine = CompressionEngine::new(engine_config(gd)).unwrap();
-    engine.enable_live_sync();
+    engine.set_live_sync(true);
     group.bench_function("live_sync_stream", |b| {
         b.iter(|| {
             let mut sink_bytes = 0u64;

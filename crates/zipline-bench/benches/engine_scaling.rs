@@ -109,7 +109,7 @@ fn bench_batch_decode(c: &mut Criterion) {
         .unwrap();
     group.bench_function("engine_batch_s8", |b| {
         b.iter(|| {
-            let mut dec = EngineDecompressor::new(&config).unwrap();
+            let mut dec = EngineDecompressor::new(config).unwrap();
             black_box(dec.decompress_batch(black_box(&engine_stream)).unwrap())
         })
     });

@@ -25,6 +25,18 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates a writer that appends to an existing byte buffer (which must
+    /// end on a byte boundary, as every byte buffer does). This is what lets
+    /// the streaming entry points (`deflate_compress_into`,
+    /// `gzip_compress_into`) reuse one caller-owned allocation across
+    /// members instead of building and copying a fresh `Vec` per call.
+    pub fn with_buffer(out: Vec<u8>) -> Self {
+        Self {
+            out,
+            ..Self::default()
+        }
+    }
+
     /// Writes the low `count` bits of `value`, LSB first.
     pub fn write_bits(&mut self, value: u32, count: u32) {
         debug_assert!(count <= 32);

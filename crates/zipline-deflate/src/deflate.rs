@@ -41,12 +41,23 @@ const STORED_BLOCK_MAX: usize = 65_535;
 
 /// Compresses `data` into a raw DEFLATE stream.
 pub fn deflate_compress(data: &[u8], level: Level) -> Vec<u8> {
-    let mut writer = BitWriter::new();
+    let mut out = Vec::new();
+    deflate_compress_into(data, level, &mut out);
+    out
+}
+
+/// Streaming-friendly variant of [`deflate_compress`]: appends the DEFLATE
+/// stream to `out`, reusing its allocation. This is the entry point the
+/// engine-side `DeflateBackend` recycles its per-worker encoder scratch
+/// through — steady-state compression of a stream of members touches the
+/// allocator only when a member outgrows the buffer.
+pub fn deflate_compress_into(data: &[u8], level: Level, out: &mut Vec<u8>) {
+    let mut writer = BitWriter::with_buffer(std::mem::take(out));
     match level {
         Level::Store => write_stored(&mut writer, data),
         _ => write_compressed(&mut writer, data, level),
     }
-    writer.into_bytes()
+    *out = writer.into_bytes();
 }
 
 fn write_stored(writer: &mut BitWriter, data: &[u8]) {

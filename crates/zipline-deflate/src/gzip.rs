@@ -6,9 +6,9 @@
 //! with CRC-32 and the uncompressed length modulo 2³².
 
 use crate::crc32::crc32;
-use crate::deflate::{deflate_compress, Level};
+use crate::deflate::{deflate_compress_into, Level};
 use crate::error::{DeflateError, Result};
-use crate::inflate::inflate_with_consumed;
+use crate::inflate::inflate_into;
 
 /// gzip magic bytes.
 const MAGIC: [u8; 2] = [0x1F, 0x8B];
@@ -25,6 +25,16 @@ const FCOMMENT: u8 = 1 << 4;
 /// Compresses `data` into a single-member gzip file.
 pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    gzip_compress_into(data, level, &mut out);
+    out
+}
+
+/// Streaming-friendly variant of [`gzip_compress`]: appends one gzip member
+/// to `out`, reusing its allocation (header and trailer included). Repeated
+/// calls produce a valid multi-member stream; clearing `out` between calls
+/// gives a per-member scratch buffer that a long-running compressor — such
+/// as the engine-side `DeflateBackend` — can recycle indefinitely.
+pub fn gzip_compress_into(data: &[u8], level: Level, out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC);
     out.push(CM_DEFLATE);
     out.push(0); // FLG: no optional fields
@@ -35,17 +45,38 @@ pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
         Level::Default => 0,
     }); // XFL
     out.push(255); // OS = unknown
-    out.extend_from_slice(&deflate_compress(data, level));
+    deflate_compress_into(data, level, out);
     out.extend_from_slice(&crc32(data).to_le_bytes());
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-    out
 }
 
 /// Decompresses a single-member gzip file, verifying the CRC-32 and length
 /// trailer.
 pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    gzip_decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Streaming-friendly variant of [`gzip_decompress`]: appends the restored
+/// bytes of one gzip member to `out` (reusing its allocation) and returns
+/// how many of them were appended. The CRC-32 and ISIZE trailer checks
+/// apply to exactly the appended range, so interleaving members from
+/// several streams into one output buffer stays integrity-checked per
+/// member. On error `out` is left truncated back to its original length.
+pub fn gzip_decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<usize> {
+    let start = out.len();
+    let result = gzip_member_into(data, out, start);
+    if result.is_err() {
+        out.truncate(start);
+    }
+    result
+}
+
+fn gzip_member_into(data: &[u8], out: &mut Vec<u8>, start: usize) -> Result<usize> {
     let body_offset = parse_header(data)?;
-    let (out, consumed) = inflate_with_consumed(&data[body_offset..])?;
+    let consumed = inflate_into(&data[body_offset..], out)?;
+    let restored = &out[start..];
     let trailer_offset = body_offset + consumed;
     if data.len() < trailer_offset + 8 {
         return Err(DeflateError::UnexpectedEof);
@@ -62,20 +93,20 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
         data[trailer_offset + 6],
         data[trailer_offset + 7],
     ]);
-    let actual_crc = crc32(&out);
+    let actual_crc = crc32(restored);
     if actual_crc != expected_crc {
         return Err(DeflateError::ChecksumMismatch {
             expected: expected_crc,
             actual: actual_crc,
         });
     }
-    if expected_len != out.len() as u32 {
+    if expected_len != restored.len() as u32 {
         return Err(DeflateError::Corrupt(format!(
             "ISIZE mismatch: header says {expected_len}, got {}",
-            out.len() as u32
+            restored.len() as u32
         )));
     }
-    Ok(out)
+    Ok(restored.len())
 }
 
 /// Parses the gzip header and returns the offset of the DEFLATE body.
@@ -127,6 +158,7 @@ fn parse_header(data: &[u8]) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deflate::deflate_compress;
     use proptest::prelude::*;
 
     #[test]
@@ -228,6 +260,38 @@ mod tests {
         let data = b"trailer test".repeat(10);
         let gz = gzip_compress(&data, Level::Default);
         assert!(gzip_decompress(&gz[..gz.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn into_variants_append_and_recycle() {
+        let first = b"first member first member first member".repeat(20);
+        let second = b"second member with different content".repeat(20);
+        // Compress both members into one recycled scratch buffer.
+        let mut scratch = Vec::new();
+        gzip_compress_into(&first, Level::Default, &mut scratch);
+        let first_len = scratch.len();
+        assert_eq!(gzip_decompress(&scratch).unwrap(), first);
+        gzip_compress_into(&second, Level::Default, &mut scratch);
+        // Restore both members into one accumulating output buffer.
+        let mut out = Vec::new();
+        let n1 = gzip_decompress_into(&scratch[..first_len], &mut out).unwrap();
+        assert_eq!(n1, first.len());
+        let n2 = gzip_decompress_into(&scratch[first_len..], &mut out).unwrap();
+        assert_eq!(n2, second.len());
+        assert_eq!(out.len(), first.len() + second.len());
+        assert_eq!(&out[..n1], &first[..]);
+        assert_eq!(&out[n1..], &second[..]);
+    }
+
+    #[test]
+    fn failed_into_decode_truncates_back() {
+        let data = b"payload".repeat(30);
+        let mut gz = gzip_compress(&data, Level::Default);
+        let n = gz.len();
+        gz[n - 1] ^= 0xFF; // corrupt ISIZE
+        let mut out = b"prefix".to_vec();
+        assert!(gzip_decompress_into(&gz, &mut out).is_err());
+        assert_eq!(out, b"prefix", "error leaves the accumulator untouched");
     }
 
     proptest! {

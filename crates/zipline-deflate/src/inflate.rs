@@ -16,21 +16,32 @@ pub fn inflate_decompress(data: &[u8]) -> Result<Vec<u8>> {
 /// Decompresses a raw DEFLATE stream and also reports how many input bytes
 /// it occupied (used by the gzip container to find its trailer).
 pub fn inflate_with_consumed(data: &[u8]) -> Result<(Vec<u8>, usize)> {
-    let mut reader = BitReader::new(data);
     let mut out = Vec::new();
+    let consumed = inflate_into(data, &mut out)?;
+    Ok((out, consumed))
+}
+
+/// Streaming-friendly variant: appends the decompressed bytes to `out`
+/// (reusing its allocation) and returns how many input bytes the DEFLATE
+/// stream occupied. Back-references are validated against the bytes this
+/// stream produced, never against whatever the caller already accumulated
+/// in `out`, so a corrupt stream cannot read across member boundaries.
+pub fn inflate_into(data: &[u8], out: &mut Vec<u8>) -> Result<usize> {
+    let start = out.len();
+    let mut reader = BitReader::new(data);
     loop {
         let bfinal = reader.read_bit()?;
         let btype = reader.read_bits(2)?;
         match btype {
-            0b00 => inflate_stored(&mut reader, &mut out)?,
+            0b00 => inflate_stored(&mut reader, out)?,
             0b01 => {
                 let litlen = HuffmanDecoder::from_lengths(&fixed_litlen_lengths())?;
                 let dist = HuffmanDecoder::from_lengths(&fixed_dist_lengths())?;
-                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+                inflate_block(&mut reader, out, start, &litlen, &dist)?;
             }
             0b10 => {
                 let (litlen, dist) = read_dynamic_tables(&mut reader)?;
-                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+                inflate_block(&mut reader, out, start, &litlen, &dist)?;
             }
             _ => return Err(DeflateError::Corrupt("reserved block type 11".into())),
         }
@@ -39,7 +50,7 @@ pub fn inflate_with_consumed(data: &[u8]) -> Result<(Vec<u8>, usize)> {
         }
     }
     reader.align_to_byte();
-    Ok((out, reader.bytes_consumed()))
+    Ok(reader.bytes_consumed())
 }
 
 fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
@@ -123,6 +134,7 @@ fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(HuffmanDecoder, Hu
 fn inflate_block(
     reader: &mut BitReader<'_>,
     out: &mut Vec<u8>,
+    stream_start: usize,
     litlen: &HuffmanDecoder,
     dist: &HuffmanDecoder,
 ) -> Result<()> {
@@ -142,10 +154,10 @@ fn inflate_block(
                 })?;
                 let distance = base_dist as usize + reader.read_bits(dist_extra as u32)? as usize;
 
-                if distance == 0 || distance > out.len() || distance > WINDOW_SIZE {
+                if distance == 0 || distance > out.len() - stream_start || distance > WINDOW_SIZE {
                     return Err(DeflateError::Corrupt(format!(
                         "back-reference distance {distance} exceeds output ({} bytes so far)",
-                        out.len()
+                        out.len() - stream_start
                     )));
                 }
                 let start = out.len() - distance;

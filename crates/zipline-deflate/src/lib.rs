@@ -31,10 +31,10 @@ pub mod inflate;
 pub mod lz77;
 pub mod tables;
 
-pub use deflate::{deflate_compress, Level};
+pub use deflate::{deflate_compress, deflate_compress_into, Level};
 pub use error::DeflateError;
-pub use gzip::{gzip_compress, gzip_decompress};
-pub use inflate::inflate_decompress;
+pub use gzip::{gzip_compress, gzip_compress_into, gzip_decompress, gzip_decompress_into};
+pub use inflate::{inflate_decompress, inflate_into};
 
 /// Compresses `data` into a raw DEFLATE stream.
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {

@@ -1,0 +1,207 @@
+//! One validated front door for engine construction.
+//!
+//! [`EngineBuilder`] replaces the knob surface that accreted across PRs 2
+//! and 3 — `EngineConfig` field poking, `enable_live_sync` /
+//! `disable_live_sync` on the engine, `enable_journal` on the dictionary —
+//! with a single fluent builder that checks the whole shape **once** at
+//! [`build`](EngineBuilder::build):
+//!
+//! ```
+//! use zipline_engine::{DeflateBackend, EngineBuilder, SpawnPolicy};
+//!
+//! // The GD default: paper parameters, 4 shards, 2 workers, live sync on.
+//! let mut engine = EngineBuilder::new()
+//!     .shards(4)
+//!     .workers(2)
+//!     .spawn(SpawnPolicy::Auto)
+//!     .live_sync(true)
+//!     .build()
+//!     .unwrap();
+//! assert!(engine.live_sync_enabled());
+//!
+//! // The same pipeline over gzip: swap the backend, keep the shape.
+//! let mut gzip_engine = EngineBuilder::new()
+//!     .backend(DeflateBackend::default())
+//!     .build()
+//!     .unwrap();
+//! let member = gzip_engine.compress_batch(&[7u8; 4096]).unwrap();
+//! assert!(member.len() < 4096);
+//! ```
+//!
+//! The builder also constructs the mirrored decoder
+//! ([`build_decompressor`](EngineBuilder::build_decompressor)), fixing the
+//! historical asymmetry where `CompressionEngine::new` took its
+//! configuration by value but `EngineDecompressor::new` by reference — both
+//! are now by-value conveniences, and the builder is the canonical path.
+
+use crate::backend::CompressionBackend;
+use crate::engine::{CompressionEngine, EngineConfig, EngineDecompressor, GdBackend, SpawnPolicy};
+use zipline_gd::config::GdConfig;
+use zipline_gd::error::Result;
+
+/// Fluent builder for [`CompressionEngine`] / [`EngineDecompressor`] pairs;
+/// see the module docs.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder<B: CompressionBackend = GdBackend> {
+    config: EngineConfig,
+    live_sync: bool,
+    /// Explicit backend instance; when `None`, `build()` constructs one from
+    /// the configuration via [`CompressionBackend::from_engine_config`].
+    backend: Option<B>,
+}
+
+impl EngineBuilder<GdBackend> {
+    /// Starts from [`EngineConfig::paper_default`] with the GD backend and
+    /// live sync off.
+    pub fn new() -> Self {
+        Self {
+            config: EngineConfig::paper_default(),
+            live_sync: false,
+            backend: None,
+        }
+    }
+
+    /// Starts from the 1-shard/1-worker/inline shape that reproduces
+    /// `GdCompressor::compress_batch` bit for bit.
+    pub fn single_threaded(gd: GdConfig) -> Self {
+        Self::new().config(EngineConfig::single_threaded(gd))
+    }
+}
+
+impl Default for EngineBuilder<GdBackend> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: CompressionBackend> EngineBuilder<B> {
+    /// Replaces the whole engine configuration at once.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the GD parameters (chunk size, Hamming `m`, identifier width).
+    pub fn gd(mut self, gd: GdConfig) -> Self {
+        self.config.gd = gd;
+        self
+    }
+
+    /// Sets the dictionary shard count (a power of two dividing
+    /// `2^id_bits`; checked at [`build`](Self::build)).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the logical worker count (also the partition count of a batch).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the thread spawn policy.
+    pub fn spawn(mut self, spawn: SpawnPolicy) -> Self {
+        self.config.spawn = spawn;
+        self
+    }
+
+    /// Turns live-sync journaling on for the built engine (no-op for
+    /// delta-less backends such as deflate and passthrough).
+    pub fn live_sync(mut self, enabled: bool) -> Self {
+        self.live_sync = enabled;
+        self
+    }
+
+    /// Swaps in an explicit backend instance (e.g.
+    /// [`DeflateBackend::new`](crate::DeflateBackend::new) with a chosen
+    /// level). Without this call, `build()` derives the backend from the
+    /// configuration.
+    ///
+    /// The instance is used **as-is**: the configuration knobs
+    /// ([`gd`](Self::gd)/[`shards`](Self::shards)/[`workers`](Self::workers)/
+    /// [`spawn`](Self::spawn)) are still validated at `build()` but do not
+    /// reshape an already-built backend, so set knobs *or* pass a
+    /// pre-configured backend — not conflicting values of both. Deriving
+    /// both halves from one builder keeps the pair consistent either way:
+    /// [`build_decompressor`](Self::build_decompressor) mirrors the explicit
+    /// instance, not the knobs.
+    pub fn backend<B2: CompressionBackend>(self, backend: B2) -> EngineBuilder<B2> {
+        EngineBuilder {
+            config: self.config,
+            live_sync: self.live_sync,
+            backend: Some(backend),
+        }
+    }
+
+    /// Validates the configuration once and builds the engine.
+    pub fn build(self) -> Result<CompressionEngine<B>> {
+        self.config.validate()?;
+        let mut backend = match self.backend {
+            Some(backend) => backend,
+            None => B::from_engine_config(&self.config)?,
+        };
+        backend.set_live_sync(self.live_sync);
+        Ok(CompressionEngine::from_backend(backend))
+    }
+
+    /// Validates the configuration once and builds the mirrored
+    /// decompressor (worker count and spawn policy are irrelevant to
+    /// decoding). Mirrors the explicit backend instance when one was set,
+    /// and otherwise goes straight to the decoder via
+    /// [`CompressionBackend::decompressor_for`] — no compression-side state
+    /// is built and discarded.
+    pub fn build_decompressor(&self) -> Result<EngineDecompressor<B>> {
+        self.config.validate()?;
+        let inner = match &self.backend {
+            Some(backend) => backend.decompressor()?,
+            None => B::decompressor_for(&self.config)?,
+        };
+        Ok(EngineDecompressor::from_backend_decompressor(inner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::PassthroughBackend;
+
+    #[test]
+    fn build_validates_once_and_rejects_bad_shapes() {
+        assert!(EngineBuilder::new().shards(3).build().is_err());
+        assert!(EngineBuilder::new().workers(0).build().is_err());
+        assert!(EngineBuilder::new().shards(3).build_decompressor().is_err());
+        // A bad GD+shard shape is rejected even for backends that ignore it
+        // — the builder validates the configuration, not the backend.
+        assert!(EngineBuilder::new()
+            .shards(3)
+            .backend(PassthroughBackend::new())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_pair_roundtrips() {
+        let builder = EngineBuilder::new().shards(4).workers(2);
+        let mut dec = builder.build_decompressor().unwrap();
+        let mut engine = builder.build().unwrap();
+        let data = vec![9u8; 32 * 20];
+        let stream = engine.compress_batch(&data).unwrap();
+        assert_eq!(dec.decompress_batch(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn live_sync_is_set_at_build() {
+        let engine = EngineBuilder::new().live_sync(true).build().unwrap();
+        assert!(engine.live_sync_enabled());
+        let engine = EngineBuilder::new().build().unwrap();
+        assert!(!engine.live_sync_enabled());
+        // Delta-less backends silently ignore the knob.
+        let engine = EngineBuilder::new()
+            .backend(PassthroughBackend::new())
+            .live_sync(true)
+            .build()
+            .unwrap();
+        assert!(!engine.live_sync_enabled());
+    }
+}

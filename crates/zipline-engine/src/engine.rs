@@ -1,7 +1,10 @@
-//! The multi-core batch compression engine and its decoder mirror.
+//! The multi-core batch compression engine, its GD backend and the decoder
+//! mirrors.
 //!
-//! [`CompressionEngine`] turns the one-shot [`zipline_gd::GdCompressor`]
-//! into a production-shaped host-side engine. A batch compresses in two
+//! [`CompressionEngine<B>`] is a thin generic shell over a
+//! [`CompressionBackend`]; all the machinery in this module belongs to
+//! [`GdBackend`], the bit-identical default backend that grew out of the
+//! one-shot [`zipline_gd::GdCompressor`]. A GD batch compresses in two
 //! phases:
 //!
 //! 1. **Encode** (embarrassingly parallel): the batch is split into
@@ -19,7 +22,8 @@
 //! routed to it, the compressed stream is a pure function of `(data, shard
 //! count)` — worker count and spawn policy affect wall-clock time, never
 //! bytes. The 1-shard configuration reproduces `GdCompressor::compress_batch`
-//! bit for bit (both properties are enforced by `tests/engine_equivalence.rs`).
+//! bit for bit (both properties are enforced by `tests/engine_equivalence.rs`,
+//! including across the [`CompressionBackend`] trait boundary).
 //!
 //! Threads come from a fixed pool of `std::thread` scoped workers (the build
 //! environment has no crates.io access, so no rayon); each worker owns its
@@ -28,7 +32,12 @@
 //! batch is too small to amortize thread handoff — worker count then only
 //! controls partitioning, keeping output deterministic while never
 //! oversubscribing the machine.
+//!
+//! Construction goes through [`EngineBuilder`](crate::EngineBuilder), which
+//! validates the whole shape once at `build()`; `CompressionEngine::new` and
+//! `EngineDecompressor::new` remain as by-value conveniences.
 
+use crate::backend::{BackendDecompressor, CompressionBackend};
 use crate::shard::{
     DictionaryDelta, DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary,
 };
@@ -57,6 +66,9 @@ pub enum SpawnPolicy {
 }
 
 /// Configuration of a [`CompressionEngine`].
+///
+/// Prefer assembling one through [`EngineBuilder`](crate::EngineBuilder)
+/// (which validates once at `build()`) over poking fields directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// GD parameters (chunk size, Hamming `m`, identifier width).
@@ -111,14 +123,18 @@ struct WorkerScratch {
     encode: EncodeScratch,
 }
 
-/// Sharded, multi-core batch compressor with the same stream semantics as
-/// [`zipline_gd::GdCompressor`]. See the module docs for the pipeline.
+/// The Generalized Deduplication backend: the sharded, multi-core GD codec
+/// with the same stream semantics as [`zipline_gd::GdCompressor`]. This is
+/// the engine's bit-identical default backend; see the module docs for the
+/// two-phase pipeline and the [`CompressionBackend`] impl for the contract
+/// it upholds (ordered [`DictionaryDelta`]s, snapshot sync, per-shard
+/// statistics).
 #[derive(Debug)]
-pub struct CompressionEngine {
+pub struct GdBackend {
     codec: ChunkCodec,
     config: EngineConfig,
     dict: ShardedDictionary,
-    /// Per-shard compression accounting (merged view via [`Self::stats`]).
+    /// Per-shard compression accounting (merged view via `stats`).
     shard_compression_stats: Vec<CompressionStats>,
     /// Accounting for raw tails, which bypass the shards.
     tail_stats: CompressionStats,
@@ -134,14 +150,16 @@ pub struct CompressionEngine {
     per_shard_records: Vec<Vec<Record>>,
     /// Recycled single-chunk slot for the fused inline path.
     inline_slot: EncodedChunk,
+    /// Recycled wire serialization buffer for `emit_batch`.
+    wire_scratch: Vec<u8>,
     /// Host parallelism, queried once at construction —
     /// `std::thread::available_parallelism` reads cgroup files on Linux and
     /// is far too slow to call per batch.
     cores: usize,
 }
 
-impl CompressionEngine {
-    /// Builds an engine with a fresh sharded dictionary.
+impl GdBackend {
+    /// Builds the backend with a fresh sharded dictionary.
     pub fn new(config: EngineConfig) -> Result<Self> {
         config.validate()?;
         Ok(Self {
@@ -155,6 +173,7 @@ impl CompressionEngine {
             per_shard_idx: vec![Vec::new(); config.shards],
             per_shard_records: vec![Vec::new(); config.shards],
             inline_slot: EncodedChunk::default(),
+            wire_scratch: Vec::new(),
             cores: std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1),
@@ -177,54 +196,13 @@ impl CompressionEngine {
         &self.dict
     }
 
-    /// Merged compression statistics across all shards and tails.
-    pub fn stats(&self) -> CompressionStats {
-        let mut merged = self.tail_stats;
-        for s in &self.shard_compression_stats {
-            merged.merge(s);
-        }
-        merged
-    }
-
-    /// Per-shard dictionary counters.
-    pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.dict.shard_stats()
-    }
-
     /// Merged dictionary snapshot, for *cold* decoder sync. Under churn a
     /// post-hoc snapshot aliases recycled identifiers; use live sync
-    /// ([`Self::enable_live_sync`] + [`Self::take_delta`]) for streams that
-    /// may learn more distinct bases than the dictionary holds.
-    pub fn snapshot(&self) -> DictionarySnapshot {
+    /// (journaling via [`CompressionBackend::set_live_sync`] +
+    /// [`CompressionBackend::take_delta`]) for streams that may learn more
+    /// distinct bases than the dictionary holds.
+    pub fn dictionary_snapshot(&self) -> DictionarySnapshot {
         self.dict.snapshot()
-    }
-
-    /// Turns on dictionary update journaling: every batch records its
-    /// install/evict events for [`Self::take_delta`] to drain. Must be
-    /// enabled before compressing; events are journaled from the next batch
-    /// on.
-    pub fn enable_live_sync(&mut self) {
-        self.dict.enable_journal();
-    }
-
-    /// True when dictionary update journaling is enabled.
-    pub fn live_sync_enabled(&self) -> bool {
-        self.dict.journal_enabled()
-    }
-
-    /// Turns journaling back off (discarding undrained events), so batches
-    /// compressed without a live-synced consumer pay no journaling cost.
-    pub fn disable_live_sync(&mut self) {
-        self.dict.disable_journal();
-    }
-
-    /// Drains the update journal accumulated since the last call into an
-    /// ordered [`DictionaryDelta`]. Call once per batch: each update's `at`
-    /// is the input-order record index *within that batch*, so a decoder
-    /// applying every update with `at <= i` before record `i` stays exactly
-    /// in sync (see the [`DictionaryDelta`] ordering guarantees).
-    pub fn take_delta(&mut self) -> DictionaryDelta {
-        self.dict.take_delta()
     }
 
     /// Number of OS threads a batch of `n_chunks` will use.
@@ -246,43 +224,6 @@ impl CompressionEngine {
             }
         };
         threads.clamp(1, n_chunks.max(1))
-    }
-
-    /// Compresses a whole buffer, equivalent to
-    /// [`zipline_gd::GdCompressor::compress_batch`] modulo identifier
-    /// assignment (identical for 1 shard): chunks fan out across the worker
-    /// pool and the sharded dictionary, and records are reassembled in input
-    /// order. A trailing partial chunk is stored verbatim.
-    pub fn compress_batch(&mut self, data: &[u8]) -> Result<CompressedStream> {
-        let chunk_bytes = self.config.gd.chunk_bytes;
-        let n_chunks = data.len() / chunk_bytes;
-        let threads = self.threads_for(n_chunks);
-
-        let mut records = Vec::with_capacity(n_chunks + 1);
-        if threads <= 1 {
-            // Fused single pass (no intermediate batch buffer), exactly the
-            // shape of `GdCompressor::compress_batch` plus shard routing.
-            self.compress_inline(data, &mut records)?;
-        } else {
-            self.encode_phase(data, n_chunks, threads)?;
-            self.classify_parallel(n_chunks, threads, &mut records)?;
-        }
-
-        let tail = &data[n_chunks * chunk_bytes..];
-        if !tail.is_empty() {
-            self.tail_stats.bytes_in += tail.len() as u64;
-            self.tail_stats.bytes_out += tail.len() as u64;
-            self.tail_stats.emitted_raw += 1;
-            self.tail_stats.chunks_in += 1;
-            records.push(Record::RawTail {
-                bytes: tail.to_vec(),
-            });
-        }
-
-        Ok(CompressedStream {
-            config: self.config.gd,
-            records,
-        })
     }
 
     /// Phase 1: encode every whole chunk into `self.encoded` and its shard
@@ -450,6 +391,146 @@ impl CompressionEngine {
     }
 }
 
+impl CompressionBackend for GdBackend {
+    type Batch = CompressedStream;
+    type Decompressor = GdBackendDecompressor;
+
+    fn from_engine_config(config: &EngineConfig) -> Result<Self> {
+        Self::new(*config)
+    }
+
+    fn unit_bytes(&self) -> usize {
+        self.config.gd.chunk_bytes
+    }
+
+    /// Compresses a whole buffer, equivalent to
+    /// [`zipline_gd::GdCompressor::compress_batch`] modulo identifier
+    /// assignment (identical for 1 shard): chunks fan out across the worker
+    /// pool and the sharded dictionary, and records are reassembled in input
+    /// order. A trailing partial chunk is stored verbatim.
+    fn compress_batch(&mut self, data: &[u8]) -> Result<CompressedStream> {
+        let chunk_bytes = self.config.gd.chunk_bytes;
+        let n_chunks = data.len() / chunk_bytes;
+        let threads = self.threads_for(n_chunks);
+
+        let mut records = Vec::with_capacity(n_chunks + 1);
+        if threads <= 1 {
+            // Fused single pass (no intermediate batch buffer), exactly the
+            // shape of `GdCompressor::compress_batch` plus shard routing.
+            self.compress_inline(data, &mut records)?;
+        } else {
+            self.encode_phase(data, n_chunks, threads)?;
+            self.classify_parallel(n_chunks, threads, &mut records)?;
+        }
+
+        let tail = &data[n_chunks * chunk_bytes..];
+        if !tail.is_empty() {
+            self.tail_stats.bytes_in += tail.len() as u64;
+            self.tail_stats.bytes_out += tail.len() as u64;
+            self.tail_stats.emitted_raw += 1;
+            self.tail_stats.chunks_in += 1;
+            records.push(Record::RawTail {
+                bytes: tail.to_vec(),
+            });
+        }
+
+        Ok(CompressedStream {
+            config: self.config.gd,
+            records,
+        })
+    }
+
+    /// Serializes every record of the batch as a wire-ready
+    /// [`ZipLinePayload`] through the one recycled scratch buffer, emitting
+    /// them in input order (the `at` coordinate of the batch's delta).
+    fn emit_batch(
+        &mut self,
+        batch: CompressedStream,
+        emit: &mut dyn FnMut(PacketType, &[u8]),
+    ) -> Result<()> {
+        let gd = self.config.gd;
+        for record in batch.records {
+            let payload = match record {
+                Record::NewBasis {
+                    extra,
+                    deviation,
+                    basis,
+                } => ZipLinePayload::Uncompressed {
+                    deviation,
+                    extra,
+                    basis,
+                },
+                Record::Ref {
+                    extra,
+                    deviation,
+                    id,
+                } => ZipLinePayload::Compressed {
+                    deviation,
+                    extra,
+                    id,
+                },
+                Record::RawTail { bytes } => ZipLinePayload::Raw(bytes),
+            };
+            payload.encode_into(&gd, &mut self.wire_scratch)?;
+            emit(payload.packet_type(), &self.wire_scratch);
+        }
+        Ok(())
+    }
+
+    /// Merged compression statistics across all shards and tails.
+    fn stats(&self) -> CompressionStats {
+        let mut merged = self.tail_stats;
+        for s in &self.shard_compression_stats {
+            merged.merge(s);
+        }
+        merged
+    }
+
+    /// Per-shard dictionary counters.
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.dict.shard_stats()
+    }
+
+    fn snapshot(&self) -> Option<DictionarySnapshot> {
+        Some(self.dictionary_snapshot())
+    }
+
+    fn supports_live_sync(&self) -> bool {
+        true
+    }
+
+    /// Turns dictionary update journaling on or off. Enabling makes every
+    /// batch record its install/evict events for [`Self::take_delta`] to
+    /// drain (from the next batch on); disabling discards undrained events
+    /// and restores the zero-cost default.
+    fn set_live_sync(&mut self, enabled: bool) {
+        self.dict.set_journal(enabled);
+    }
+
+    fn live_sync_enabled(&self) -> bool {
+        self.dict.journal_enabled()
+    }
+
+    /// Drains the update journal accumulated since the last call into an
+    /// ordered [`DictionaryDelta`]. Call once per batch: each update's `at`
+    /// is the input-order record index *within that batch*, so a decoder
+    /// applying every update with `at <= i` before record `i` stays exactly
+    /// in sync (see the [`DictionaryDelta`] ordering guarantees).
+    fn take_delta(&mut self) -> DictionaryDelta {
+        self.dict.take_delta()
+    }
+
+    fn decompressor(&self) -> Result<Self::Decompressor> {
+        GdBackendDecompressor::new(&self.config)
+    }
+
+    fn decompressor_for(config: &EngineConfig) -> Result<Self::Decompressor> {
+        // Straight to the decoder — no sharded dictionary, worker scratch or
+        // `available_parallelism` probe on the compression side to discard.
+        GdBackendDecompressor::new(config)
+    }
+}
+
 /// Builds the stream record for one classified chunk, with the same
 /// statistics accounting as `GdCompressor::record_for_mut`.
 fn record_for_outcome(
@@ -488,13 +569,12 @@ fn record_for_outcome(
     }
 }
 
-/// Decoder mirror of [`CompressionEngine`]: rebuilds the sharded dictionary
-/// from `NewBasis` records (routing by the same basis hash) so engine
-/// streams decode without out-of-band state — provided it is configured with
-/// the *same shard count* the compressor used, just as [`GdConfig`] must
-/// match.
+/// Decoder mirror of [`GdBackend`]: rebuilds the sharded dictionary from
+/// `NewBasis` records (routing by the same basis hash) so engine streams
+/// decode without out-of-band state — provided it is configured with the
+/// *same shard count* the compressor used, just as [`GdConfig`] must match.
 #[derive(Debug)]
-pub struct EngineDecompressor {
+pub struct GdBackendDecompressor {
     codec: ChunkCodec,
     dict: ShardedDictionary,
     stats: CompressionStats,
@@ -502,7 +582,7 @@ pub struct EngineDecompressor {
     gd: GdConfig,
 }
 
-impl EngineDecompressor {
+impl GdBackendDecompressor {
     /// Builds a decompressor mirroring `config` (worker count and spawn
     /// policy are irrelevant to decoding; only `gd` and `shards` matter).
     pub fn new(config: &EngineConfig) -> Result<Self> {
@@ -516,32 +596,9 @@ impl EngineDecompressor {
         })
     }
 
-    /// Current statistics.
-    pub fn stats(&self) -> &CompressionStats {
-        &self.stats
-    }
-
     /// The sharded dictionary rebuilt so far.
     pub fn dictionary(&self) -> &ShardedDictionary {
         &self.dict
-    }
-
-    /// Decompresses a whole engine stream with recycled scratch buffers,
-    /// symmetric to [`CompressionEngine::compress_batch`].
-    pub fn decompress_batch(&mut self, stream: &CompressedStream) -> Result<Vec<u8>> {
-        if stream.config.m != self.gd.m
-            || stream.config.chunk_bytes != self.gd.chunk_bytes
-            || stream.config.id_bits != self.gd.id_bits
-        {
-            return Err(GdError::InvalidConfig(
-                "stream was compressed with a different configuration".into(),
-            ));
-        }
-        let mut out = Vec::with_capacity(stream.records.len() * self.gd.chunk_bytes);
-        for record in &stream.records {
-            self.decompress_record_into(record, &mut out)?;
-        }
-        Ok(out)
     }
 
     /// Decompresses one record, appending the restored bytes to `out`.
@@ -562,34 +619,6 @@ impl EngineDecompressor {
                 self.stats.chunks_decoded += 1;
                 Ok(())
             }
-        }
-    }
-
-    /// Decodes one wire payload produced by the engine stream (see
-    /// `EngineStream`), appending the restored bytes to `out`. Type 2
-    /// payloads teach the dictionary exactly like `NewBasis` records.
-    pub fn restore_payload_into(
-        &mut self,
-        packet_type: PacketType,
-        bytes: &[u8],
-        out: &mut Vec<u8>,
-    ) -> Result<()> {
-        match ZipLinePayload::decode(&self.gd, packet_type, bytes)? {
-            ZipLinePayload::Raw(raw) => {
-                out.extend_from_slice(&raw);
-                self.stats.chunks_decoded += 1;
-                Ok(())
-            }
-            ZipLinePayload::Uncompressed {
-                deviation,
-                extra,
-                basis,
-            } => self.restore_new_basis(&extra, deviation, &basis, out),
-            ZipLinePayload::Compressed {
-                deviation,
-                extra,
-                id,
-            } => self.restore_ref(&extra, deviation, id, out),
         }
     }
 
@@ -636,9 +665,277 @@ impl EngineDecompressor {
     }
 }
 
+impl BackendDecompressor for GdBackendDecompressor {
+    type Batch = CompressedStream;
+
+    /// Decompresses a whole engine stream with recycled scratch buffers,
+    /// symmetric to [`GdBackend::compress_batch`](CompressionBackend::compress_batch).
+    fn decompress_batch(&mut self, stream: &CompressedStream) -> Result<Vec<u8>> {
+        if stream.config.m != self.gd.m
+            || stream.config.chunk_bytes != self.gd.chunk_bytes
+            || stream.config.id_bits != self.gd.id_bits
+        {
+            return Err(GdError::InvalidConfig(
+                "stream was compressed with a different configuration".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(stream.records.len() * self.gd.chunk_bytes);
+        for record in &stream.records {
+            self.decompress_record_into(record, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Decodes one wire payload produced by the engine stream (see
+    /// `EngineStream`), appending the restored bytes to `out`. Type 2
+    /// payloads teach the dictionary exactly like `NewBasis` records.
+    fn restore_payload_into(
+        &mut self,
+        packet_type: PacketType,
+        bytes: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        match ZipLinePayload::decode(&self.gd, packet_type, bytes)? {
+            ZipLinePayload::Raw(raw) => {
+                out.extend_from_slice(&raw);
+                self.stats.chunks_decoded += 1;
+                Ok(())
+            }
+            ZipLinePayload::Uncompressed {
+                deviation,
+                extra,
+                basis,
+            } => self.restore_new_basis(&extra, deviation, &basis, out),
+            ZipLinePayload::Compressed {
+                deviation,
+                extra,
+                id,
+            } => self.restore_ref(&extra, deviation, id, out),
+        }
+    }
+
+    /// Current statistics.
+    fn stats(&self) -> &CompressionStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The generic engine shell
+// ---------------------------------------------------------------------------
+
+/// Sharded, multi-core batch compressor, generic over its
+/// [`CompressionBackend`]. `CompressionEngine` (no type argument) is the
+/// GD-backed engine with the same stream semantics as
+/// [`zipline_gd::GdCompressor`]; `CompressionEngine<DeflateBackend>` and
+/// `CompressionEngine<PassthroughBackend>` drive the same streaming pipeline
+/// through gzip and the identity codec. Construct through
+/// [`EngineBuilder`](crate::EngineBuilder).
+///
+/// [`DeflateBackend`]: crate::DeflateBackend
+/// [`PassthroughBackend`]: crate::PassthroughBackend
+#[derive(Debug)]
+pub struct CompressionEngine<B: CompressionBackend = GdBackend> {
+    backend: B,
+}
+
+impl<B: CompressionBackend> CompressionEngine<B> {
+    /// Wraps an already-built backend. [`EngineBuilder`](crate::EngineBuilder)
+    /// is the validated front door; this is the escape hatch for backends
+    /// with constructor parameters the builder doesn't know about.
+    pub fn from_backend(backend: B) -> Self {
+        Self { backend }
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Unwraps the engine back into its backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Compresses one batch; see
+    /// [`CompressionBackend::compress_batch`].
+    pub fn compress_batch(&mut self, data: &[u8]) -> Result<B::Batch> {
+        self.backend.compress_batch(data)
+    }
+
+    /// Compression statistics accumulated so far.
+    pub fn stats(&self) -> CompressionStats {
+        self.backend.stats()
+    }
+
+    /// Per-shard dictionary counters (empty for unsharded backends).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.backend.shard_stats()
+    }
+
+    /// Turns live-sync journaling on or off (no-op for delta-less backends).
+    pub fn set_live_sync(&mut self, enabled: bool) {
+        self.backend.set_live_sync(enabled);
+    }
+
+    /// True when live-sync journaling is on.
+    pub fn live_sync_enabled(&self) -> bool {
+        self.backend.live_sync_enabled()
+    }
+
+    /// Drains the journal into an ordered delta; see
+    /// [`CompressionBackend::take_delta`].
+    pub fn take_delta(&mut self) -> DictionaryDelta {
+        self.backend.take_delta()
+    }
+
+    /// Builds the mirrored decompressor for this engine's streams.
+    pub fn decompressor(&self) -> Result<EngineDecompressor<B>> {
+        Ok(EngineDecompressor {
+            inner: self.backend.decompressor()?,
+        })
+    }
+}
+
+impl CompressionEngine<GdBackend> {
+    /// Builds a GD engine with a fresh sharded dictionary. Shorthand for
+    /// `EngineBuilder::new().config(config).build()`.
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        Ok(Self::from_backend(GdBackend::new(config)?))
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        self.backend.config()
+    }
+
+    /// The chunk codec.
+    pub fn codec(&self) -> &ChunkCodec {
+        self.backend.codec()
+    }
+
+    /// The sharded dictionary (e.g. to inspect learned bases).
+    pub fn dictionary(&self) -> &ShardedDictionary {
+        self.backend.dictionary()
+    }
+
+    /// Merged dictionary snapshot, for *cold* decoder sync; see
+    /// [`GdBackend::dictionary_snapshot`].
+    pub fn snapshot(&self) -> DictionarySnapshot {
+        self.backend.dictionary_snapshot()
+    }
+
+    /// Deprecated shim for the pre-builder knob surface.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::live_sync(true) or CompressionEngine::set_live_sync"
+    )]
+    pub fn enable_live_sync(&mut self) {
+        self.set_live_sync(true);
+    }
+
+    /// Deprecated shim for the pre-builder knob surface.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::live_sync(false) or CompressionEngine::set_live_sync"
+    )]
+    pub fn disable_live_sync(&mut self) {
+        self.set_live_sync(false);
+    }
+}
+
+/// Decoder mirror of [`CompressionEngine`], generic over the same backend:
+/// `EngineDecompressor` (no type argument) rebuilds the GD sharded
+/// dictionary from the stream itself, `EngineDecompressor<DeflateBackend>`
+/// restores gzip members, and so on. Construct through
+/// [`EngineBuilder::build_decompressor`](crate::EngineBuilder::build_decompressor)
+/// or [`CompressionEngine::decompressor`].
+///
+/// [`DeflateBackend`]: crate::DeflateBackend
+#[derive(Debug)]
+pub struct EngineDecompressor<B: CompressionBackend = GdBackend> {
+    inner: B::Decompressor,
+}
+
+impl<B: CompressionBackend> EngineDecompressor<B> {
+    /// Wraps an already-built backend decompressor.
+    pub fn from_backend_decompressor(inner: B::Decompressor) -> Self {
+        Self { inner }
+    }
+
+    /// The backend decompressor (for backend-specific accessors).
+    pub fn backend(&self) -> &B::Decompressor {
+        &self.inner
+    }
+
+    /// Mutable access to the backend decompressor.
+    pub fn backend_mut(&mut self) -> &mut B::Decompressor {
+        &mut self.inner
+    }
+
+    /// Decompresses a whole batch, symmetric to
+    /// [`CompressionEngine::compress_batch`].
+    pub fn decompress_batch(&mut self, batch: &B::Batch) -> Result<Vec<u8>> {
+        self.inner.decompress_batch(batch)
+    }
+
+    /// Decodes one wire payload produced by the engine stream, appending the
+    /// restored bytes to `out`.
+    pub fn restore_payload_into(
+        &mut self,
+        packet_type: PacketType,
+        bytes: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.inner.restore_payload_into(packet_type, bytes, out)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &CompressionStats {
+        self.inner.stats()
+    }
+}
+
+impl EngineDecompressor<GdBackend> {
+    /// Builds a GD decompressor mirroring `config` — by value, consistent
+    /// with [`CompressionEngine::new`] (worker count and spawn policy are
+    /// irrelevant to decoding; only `gd` and `shards` matter).
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        Ok(Self {
+            inner: GdBackendDecompressor::new(&config)?,
+        })
+    }
+
+    /// Deprecated shim preserving the old by-reference constructor.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineDecompressor::new(config) (by value) or EngineBuilder::build_decompressor()"
+    )]
+    pub fn from_config_ref(config: &EngineConfig) -> Result<Self> {
+        Self::new(*config)
+    }
+
+    /// The sharded dictionary rebuilt so far.
+    pub fn dictionary(&self) -> &ShardedDictionary {
+        self.inner.dictionary()
+    }
+
+    /// Decompresses one record, appending the restored bytes to `out`.
+    pub fn decompress_record_into(&mut self, record: &Record, out: &mut Vec<u8>) -> Result<()> {
+        self.inner.decompress_record_into(record, out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::EngineBuilder;
+    use zipline_gd::codec::GdCompressor;
 
     fn sensor_style_data(chunks: u32, chunk_bytes: usize) -> Vec<u8> {
         let mut data = Vec::new();
@@ -668,13 +965,12 @@ mod tests {
 
     #[test]
     fn engine_roundtrip_with_tail() {
-        let config = EngineConfig {
-            gd: GdConfig::paper_default(),
-            shards: 8,
-            workers: 4,
-            spawn: SpawnPolicy::Threads,
-        };
-        let mut engine = CompressionEngine::new(config).unwrap();
+        let mut engine = EngineBuilder::new()
+            .shards(8)
+            .workers(4)
+            .spawn(SpawnPolicy::Threads)
+            .build()
+            .unwrap();
         let mut data = sensor_style_data(300, 32);
         data.extend_from_slice(b"odd tail");
         let stream = engine.compress_batch(&data).unwrap();
@@ -682,7 +978,7 @@ mod tests {
             stream.records.last(),
             Some(Record::RawTail { .. })
         ));
-        let mut dec = EngineDecompressor::new(&config).unwrap();
+        let mut dec = engine.decompressor().unwrap();
         assert_eq!(dec.decompress_batch(&stream).unwrap(), data);
         assert!(engine.stats().is_consistent());
         assert_eq!(engine.stats().chunks_in, 301);
@@ -694,13 +990,12 @@ mod tests {
         let mut reference: Option<CompressedStream> = None;
         for workers in [1usize, 2, 3, 4, 7] {
             for spawn in [SpawnPolicy::Inline, SpawnPolicy::Threads] {
-                let config = EngineConfig {
-                    gd: GdConfig::paper_default(),
-                    shards: 4,
-                    workers,
-                    spawn,
-                };
-                let mut engine = CompressionEngine::new(config).unwrap();
+                let mut engine = EngineBuilder::new()
+                    .shards(4)
+                    .workers(workers)
+                    .spawn(spawn)
+                    .build()
+                    .unwrap();
                 let stream = engine.compress_batch(&data).unwrap();
                 match &reference {
                     None => reference = Some(stream),
@@ -720,7 +1015,7 @@ mod tests {
         data.extend_from_slice(b"tail!");
         let mut engine = CompressionEngine::new(EngineConfig::single_threaded(gd)).unwrap();
         let engine_stream = engine.compress_batch(&data).unwrap();
-        let mut reference = zipline_gd::GdCompressor::new(&gd).unwrap();
+        let mut reference = GdCompressor::new(&gd).unwrap();
         let reference_stream = reference.compress_batch(&data).unwrap();
         assert_eq!(engine_stream, reference_stream);
         assert_eq!(engine.stats(), *reference.stats());
@@ -728,13 +1023,13 @@ mod tests {
 
     #[test]
     fn snapshot_reflects_learned_bases() {
-        let config = EngineConfig {
-            gd: GdConfig::for_parameters(3, 6).unwrap(),
-            shards: 4,
-            workers: 2,
-            spawn: SpawnPolicy::Inline,
-        };
-        let mut engine = CompressionEngine::new(config).unwrap();
+        let mut engine = EngineBuilder::new()
+            .gd(GdConfig::for_parameters(3, 6).unwrap())
+            .shards(4)
+            .workers(2)
+            .spawn(SpawnPolicy::Inline)
+            .build()
+            .unwrap();
         let data: Vec<u8> = (0..64u8).collect(); // 64 one-byte chunks
         engine.compress_batch(&data).unwrap();
         let snap = engine.snapshot();
@@ -742,5 +1037,20 @@ mod tests {
         assert_eq!(snap.shard_count, 4);
         let total_lookups: u64 = engine.shard_stats().iter().map(|s| s.lookups).sum();
         assert_eq!(total_lookups, 64);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let config = EngineConfig::paper_default();
+        let mut engine = CompressionEngine::new(config).unwrap();
+        engine.enable_live_sync();
+        assert!(engine.live_sync_enabled());
+        engine.disable_live_sync();
+        assert!(!engine.live_sync_enabled());
+        let mut dec = EngineDecompressor::from_config_ref(&config).unwrap();
+        let mut via_builder = EngineBuilder::new().config(config).build().unwrap();
+        let stream = via_builder.compress_batch(&[0u8; 64]).unwrap();
+        assert_eq!(dec.decompress_batch(&stream).unwrap(), vec![0u8; 64]);
     }
 }

@@ -1,36 +1,65 @@
-//! # `zipline-engine` — sharded multi-core GD compression engine
+//! # `zipline-engine` — a backend-generic sharded compression engine
 //!
 //! The ZipLine paper offloads Generalized Deduplication to the switch, but
-//! its end hosts still run the full GD codec. This crate is the host side
-//! grown into a production-shaped engine:
+//! its end hosts still run the full GD codec — and its evaluation compares
+//! GD *against* DEFLATE-class compressors. This crate is the host side grown
+//! into a production-shaped engine whose pipeline is generic over the codec:
 //!
-//! * [`ShardedDictionary`] — the basis dictionary split into `N` independent
+//! * [`CompressionBackend`] — the codec contract: batch compress/decompress
+//!   through recycled scratch, wire serialization in record order, and
+//!   (for backends with shared decoder state) snapshot + delta hooks for
+//!   decoder sync plus per-shard statistics;
+//! * [`GdBackend`] — the default backend: the sharded multi-core GD codec.
+//!   [`ShardedDictionary`] splits the basis dictionary into `N` independent
 //!   [`zipline_gd::BasisDictionary`] shards selected by the word-parallel
 //!   basis hash ([`zipline_gd::BitVec::hash_words`]), with per-shard
 //!   statistics, a merged [`DictionarySnapshot`] for *cold* decoder sync and
-//!   a per-shard update journal for *live* sync: install/evict events merge
-//!   into an ordered [`DictionaryDelta`] per batch;
-//! * [`CompressionEngine`] — a fixed pool of `std::thread` workers, each
-//!   owning its encode scratch, that fans a batch of chunks across the
-//!   shards and reassembles the records in input order. Output is a pure
+//!   a per-shard update journal for *live* sync; batches fan out over a
+//!   fixed pool of `std::thread` workers and reassemble in input order;
+//! * [`DeflateBackend`] — the paper's gzip baseline (via `zipline-deflate`)
+//!   driven through the *same* engine, stream and host path, one gzip
+//!   member per batch; [`PassthroughBackend`] — the identity codec, the
+//!   ratio floor and wire-path test double;
+//! * [`CompressionEngine<B>`] / [`EngineDecompressor<B>`] — the engine
+//!   shell and its decoder mirror. With the default backend
+//!   (`CompressionEngine`, `EngineDecompressor` — the names previous
+//!   releases exported as concrete types keep compiling) output is a pure
 //!   function of `(data, shard count)`: worker count and spawn policy only
 //!   change wall-clock time, and the 1-shard configuration is bit-identical
-//!   to [`zipline_gd::GdCompressor::compress_batch`];
-//! * [`EngineDecompressor`] — the symmetric batch decoder with recycled
-//!   codeword/output scratch, rebuilding the sharded dictionary from the
-//!   stream itself;
+//!   to [`zipline_gd::GdCompressor::compress_batch`] — a property asserted
+//!   across the trait boundary by the equivalence suite;
 //! * [`EngineStream`] — the streaming pipeline API: push records (e.g. from
-//!   `zipline-traces` workload iterators), get wire-ready
-//!   [`zipline_gd::ZipLinePayload`] bytes out through one reused scratch
-//!   buffer per worker. With a control sink attached
-//!   ([`EngineStream::with_control_sink`]) the stream also emits every
+//!   `zipline-traces` workload iterators), get wire-ready payloads out
+//!   through the backend's recycled scratch. With a control sink attached
+//!   ([`EngineStream::control`]) the stream also emits every
 //!   [`DictionaryUpdate`] interleaved with the payloads, which is what keeps
-//!   a remote decoder's table live under identifier churn.
+//!   a remote decoder's table live under identifier churn;
+//! * [`EngineBuilder`] — the one validated front door: backend, shards,
+//!   workers, spawn policy and live sync, checked once at `build()`.
+//!
+//! # The `CompressionBackend` contract
+//!
+//! A backend must (see [`backend`] for the full rules):
+//!
+//! 1. compress batches of a whole number of [`unit_bytes`] (plus one ragged
+//!    final flush) losslessly, reusing internal scratch;
+//! 2. serialize each batch through [`emit_batch`] **once per record, in
+//!    input order** — the record index is the `at` coordinate against which
+//!    the stream interleaves dictionary updates;
+//! 3. if it maintains shared decoder state, journal every mutation and
+//!    drain ordered [`DictionaryDelta`]s whose updates obey the rules below;
+//!    a delta-less backend (deflate: every gzip member is self-contained;
+//!    passthrough: no state at all) opts out by keeping the default no-op
+//!    hooks — snapshots are `None`, deltas are empty, and an attached
+//!    control plane simply never sees traffic.
+//!
+//! [`unit_bytes`]: CompressionBackend::unit_bytes
+//! [`emit_batch`]: CompressionBackend::emit_batch
 //!
 //! # `DictionaryDelta` ordering guarantees
 //!
-//! The delta a batch produces is the contract between the engine and any
-//! decoder-sync control plane:
+//! The delta a batch produces is the contract between a live-sync backend
+//! and any decoder-sync control plane:
 //!
 //! 1. updates are ordered by record position `at` (input-order index within
 //!    the batch), ties broken by shard index then per-shard journal order;
@@ -47,24 +76,43 @@
 //! # Quick example
 //!
 //! ```
-//! use zipline_engine::{CompressionEngine, EngineConfig, EngineDecompressor};
-//!
-//! let config = EngineConfig::paper_default();
-//! let mut engine = CompressionEngine::new(config).unwrap();
+//! use zipline_engine::{DeflateBackend, EngineBuilder};
 //!
 //! // Sensor-style data: many chunks share a few bases.
 //! let data: Vec<u8> = (0..64 * 32).map(|i| (i / 320) as u8).collect();
-//! let stream = engine.compress_batch(&data).unwrap();
 //!
-//! let mut decoder = EngineDecompressor::new(&config).unwrap();
+//! // The GD engine (default backend), 4 shards, 2 workers.
+//! let builder = EngineBuilder::new().shards(4).workers(2);
+//! let mut decoder = builder.build_decompressor().unwrap();
+//! let mut engine = builder.build().unwrap();
+//! let stream = engine.compress_batch(&data).unwrap();
 //! assert_eq!(decoder.decompress_batch(&stream).unwrap(), data);
+//!
+//! // The same engine shell over the paper's gzip baseline.
+//! let mut gzip = EngineBuilder::new()
+//!     .backend(DeflateBackend::default())
+//!     .build()
+//!     .unwrap();
+//! let member = gzip.compress_batch(&data).unwrap();
+//! let mut gzip_decoder = gzip.decompressor().unwrap();
+//! assert_eq!(gzip_decoder.decompress_batch(&member).unwrap(), data);
 //! ```
 
+pub mod backend;
+pub mod builder;
 pub mod engine;
 pub mod shard;
 pub mod stream;
 
-pub use engine::{CompressionEngine, EngineConfig, EngineDecompressor, SpawnPolicy};
+pub use backend::{
+    BackendDecompressor, CompressionBackend, DeflateBackend, DeflateDecompressor,
+    PassthroughBackend, PassthroughDecompressor,
+};
+pub use builder::EngineBuilder;
+pub use engine::{
+    CompressionEngine, EngineConfig, EngineDecompressor, GdBackend, GdBackendDecompressor,
+    SpawnPolicy,
+};
 pub use shard::{
     DictionaryDelta, DictionarySnapshot, DictionaryUpdate, ShardOutcome, ShardStats,
     ShardedDictionary, UpdateOp,

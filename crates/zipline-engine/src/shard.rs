@@ -345,14 +345,25 @@ impl ShardedDictionary {
         classify_in(&mut self.shards[shard], basis, hash, at)
     }
 
-    /// Turns on update journaling: from now on every learned basis records
-    /// an [`UpdateOp::Install`] (preceded by an [`UpdateOp::Remove`] when it
-    /// evicts) for [`Self::take_delta`] to collect. Off by default — a
-    /// decode-side dictionary must not accumulate a journal nobody drains.
-    pub fn enable_journal(&mut self) {
+    /// Turns update journaling on or off. While on, every learned basis
+    /// records an [`UpdateOp::Install`] (preceded by an [`UpdateOp::Remove`]
+    /// when it evicts) for [`Self::take_delta`] to collect. Off by default —
+    /// a decode-side dictionary must not accumulate a journal nobody drains;
+    /// turning it off discards any undrained events, restoring the zero-cost
+    /// default (the global sequence counter is preserved, so re-enabling
+    /// continues monotonically).
+    pub fn set_journal(&mut self, enabled: bool) {
         for shard in &mut self.shards {
-            shard.journal_enabled = true;
+            shard.journal_enabled = enabled;
+            if !enabled {
+                shard.journal.clear();
+            }
         }
+    }
+
+    /// [`Self::set_journal`]`(true)`.
+    pub fn enable_journal(&mut self) {
+        self.set_journal(true);
     }
 
     /// True when update journaling is enabled.
@@ -360,15 +371,9 @@ impl ShardedDictionary {
         self.shards.iter().any(|s| s.journal_enabled)
     }
 
-    /// Turns update journaling back off and discards any undrained events,
-    /// restoring the zero-cost default for callers that no longer stream a
-    /// delta (the global sequence counter is preserved, so re-enabling
-    /// continues monotonically).
+    /// [`Self::set_journal`]`(false)`.
     pub fn disable_journal(&mut self) {
-        for shard in &mut self.shards {
-            shard.journal_enabled = false;
-            shard.journal.clear();
-        }
+        self.set_journal(false);
     }
 
     /// Drains every shard's journal into one ordered [`DictionaryDelta`]:

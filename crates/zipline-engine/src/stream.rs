@@ -2,24 +2,28 @@
 //!
 //! [`EngineStream`] adapts the batch-oriented [`CompressionEngine`] to
 //! record-at-a-time producers such as the `zipline-traces` workload
-//! iterators: records are buffered until a batch's worth of chunks is
-//! available, the batch fans out across the engine, and every resulting
-//! stream record is serialized as a wire-ready [`ZipLinePayload`] through a
-//! single reused scratch buffer ([`ZipLinePayload::encode_into`]) before
-//! being handed to the caller's sink. The shape follows the
-//! `CompressedStream`/`compress_chunk` idiom of the atsc/brro-compressor
-//! exemplar: push records, then `finish()` to flush the remainder (including
-//! a verbatim tail) and collect the summary.
+//! iterators, for **any** [`CompressionBackend`]: records are buffered until
+//! a batch's worth of backend units is available
+//! ([`CompressionBackend::unit_bytes`] — GD chunks, or single bytes for the
+//! deflate and passthrough backends), the batch fans out through the
+//! backend, and every resulting record is serialized as a wire-ready payload
+//! through the backend's recycled scratch
+//! ([`CompressionBackend::emit_batch`]) before being handed to the caller's
+//! sink. The shape follows the `CompressedStream`/`compress_chunk` idiom of
+//! the atsc/brro-compressor exemplar: push records, then `finish()` to flush
+//! the remainder (including a verbatim GD tail) and collect the summary.
 //!
 //! The emitted payload sequence decodes through
-//! [`EngineDecompressor::restore_payload_into`] (configured with the same
-//! shard count) back to the exact input bytes.
+//! [`EngineDecompressor::restore_payload_into`] for the same backend
+//! (configured with the same shard count, for GD) back to the exact input
+//! bytes.
 //!
 //! # Live decoder sync
 //!
-//! [`EngineStream::with_control_sink`] additionally streams the engine's
+//! [`EngineStream::control`] (or the [`Self::with_control_sink`]
+//! constructor) additionally streams the backend's
 //! [`DictionaryUpdate`] events, *interleaved* with the data payloads: at
-//! every batch boundary the engine's journal is drained into a
+//! every batch boundary the backend's journal is drained into a
 //! [`DictionaryDelta`](crate::DictionaryDelta) and each update is handed to
 //! the control sink immediately before the record at whose position it
 //! happened. A control plane that serializes each update onto the same
@@ -27,13 +31,14 @@
 //! compressed payload is preceded on the wire by the install traffic that
 //! makes it decodable — even when the dictionary churns past capacity and
 //! recycles identifiers (the regime a one-shot post-hoc snapshot cannot
-//! express).
+//! express). Delta-less backends (deflate, passthrough) never produce
+//! updates, so an attached control sink simply stays idle.
 
-use crate::engine::CompressionEngine;
+use crate::backend::CompressionBackend;
+use crate::engine::{CompressionEngine, GdBackend};
 use crate::shard::DictionaryUpdate;
-use zipline_gd::codec::Record;
 use zipline_gd::error::Result;
-use zipline_gd::packet::{PacketType, ZipLinePayload};
+use zipline_gd::packet::PacketType;
 use zipline_traces::ChunkWorkload;
 
 /// Totals accumulated by an [`EngineStream`], returned by
@@ -53,62 +58,85 @@ pub struct StreamSummary {
 }
 
 /// Streaming front-end over a [`CompressionEngine`]; see the module docs.
-pub struct EngineStream<'e, F: FnMut(PacketType, &[u8]), G = fn(&DictionaryUpdate)>
+pub struct EngineStream<'e, F, G = fn(&DictionaryUpdate), B = GdBackend>
 where
+    F: FnMut(PacketType, &[u8]),
     G: FnMut(&DictionaryUpdate),
+    B: CompressionBackend,
 {
-    engine: &'e mut CompressionEngine,
+    engine: &'e mut CompressionEngine<B>,
     sink: F,
     /// Live-sync control sink, fed each dictionary update in wire order.
     control_sink: Option<G>,
     /// Bytes pushed but not yet compressed (always shorter than a batch).
     buffer: Vec<u8>,
-    /// Flush threshold in bytes (a whole number of chunks).
+    /// Flush threshold in bytes (a whole number of backend units).
     batch_bytes: usize,
-    /// Reused wire serialization buffer — the "one scratch buffer per
-    /// worker" of the zero-copy payload path.
-    wire_scratch: Vec<u8>,
     summary: StreamSummary,
 }
 
-impl<'e, F: FnMut(PacketType, &[u8])> EngineStream<'e, F> {
-    /// Creates a stream that flushes through `engine` every `batch_chunks`
-    /// chunks, emitting each wire payload to `sink` as
-    /// `(packet type, payload bytes)`.
-    pub fn new(engine: &'e mut CompressionEngine, batch_chunks: usize, sink: F) -> Self {
-        Self::with_control_sink(engine, batch_chunks, sink, None)
+impl<'e, F: FnMut(PacketType, &[u8]), B: CompressionBackend>
+    EngineStream<'e, F, fn(&DictionaryUpdate), B>
+{
+    /// Creates a stream that flushes through `engine` every `batch_units`
+    /// backend units ([`CompressionBackend::unit_bytes`] each — chunks for
+    /// GD, bytes for deflate/passthrough), emitting each wire payload to
+    /// `sink` as `(packet type, payload bytes)`.
+    pub fn new(engine: &'e mut CompressionEngine<B>, batch_units: usize, sink: F) -> Self {
+        Self::with_control_sink(engine, batch_units, sink, None)
     }
 }
 
-impl<'e, F: FnMut(PacketType, &[u8]), G: FnMut(&DictionaryUpdate)> EngineStream<'e, F, G> {
+impl<'e, F, G, B> EngineStream<'e, F, G, B>
+where
+    F: FnMut(PacketType, &[u8]),
+    G: FnMut(&DictionaryUpdate),
+    B: CompressionBackend,
+{
     /// Creates a stream with an optional live-sync control sink. When
-    /// `control_sink` is `Some`, dictionary journaling is enabled on the
-    /// engine and every install/evict event is handed to the sink interleaved
-    /// with the payloads, in the order a decoder must apply them (each update
+    /// `control_sink` is `Some`, journaling is enabled on the backend and
+    /// every install/evict event is handed to the sink interleaved with the
+    /// payloads, in the order a decoder must apply them (each update
     /// strictly before the payload at whose position it happened).
     pub fn with_control_sink(
-        engine: &'e mut CompressionEngine,
-        batch_chunks: usize,
+        engine: &'e mut CompressionEngine<B>,
+        batch_units: usize,
         sink: F,
         control_sink: Option<G>,
     ) -> Self {
-        let chunk_bytes = engine.config().gd.chunk_bytes;
+        let unit_bytes = engine.backend().unit_bytes().max(1);
         if control_sink.is_some() {
-            engine.enable_live_sync();
+            engine.set_live_sync(true);
         }
         Self {
             engine,
             sink,
             control_sink,
             buffer: Vec::new(),
-            batch_bytes: batch_chunks.max(1) * chunk_bytes,
-            wire_scratch: Vec::new(),
+            batch_bytes: batch_units.max(1) * unit_bytes,
             summary: StreamSummary::default(),
         }
     }
 
+    /// Attaches a live-sync control sink, builder style (enables journaling
+    /// on the backend): `EngineStream::new(..).control(sink)`.
+    pub fn control<G2: FnMut(&DictionaryUpdate)>(
+        self,
+        control_sink: G2,
+    ) -> EngineStream<'e, F, G2, B> {
+        self.engine.set_live_sync(true);
+        EngineStream {
+            engine: self.engine,
+            sink: self.sink,
+            control_sink: Some(control_sink),
+            buffer: self.buffer,
+            batch_bytes: self.batch_bytes,
+            summary: self.summary,
+        }
+    }
+
     /// Appends one record (any number of bytes) to the stream, flushing a
-    /// batch through the engine whenever enough chunks have accumulated.
+    /// batch through the engine whenever enough units have accumulated.
     pub fn push_record(&mut self, bytes: &[u8]) -> Result<()> {
         self.summary.bytes_in += bytes.len() as u64;
         // Fill the buffer up to one batch at a time, so a record larger than
@@ -122,7 +150,7 @@ impl<'e, F: FnMut(PacketType, &[u8]), G: FnMut(&DictionaryUpdate)> EngineStream<
             self.buffer.extend_from_slice(&rest[..take]);
             rest = &rest[take..];
             if self.buffer.len() >= self.batch_bytes {
-                self.flush_whole_chunks()?;
+                self.flush_whole_units()?;
             }
         }
         Ok(())
@@ -136,98 +164,79 @@ impl<'e, F: FnMut(PacketType, &[u8]), G: FnMut(&DictionaryUpdate)> EngineStream<
         Ok(())
     }
 
-    /// Compresses and emits every whole buffered chunk, keeping the
+    /// Compresses and emits every whole buffered unit, keeping the
     /// remainder buffered.
-    fn flush_whole_chunks(&mut self) -> Result<()> {
-        let chunk_bytes = self.engine.config().gd.chunk_bytes;
-        let whole = (self.buffer.len() / chunk_bytes) * chunk_bytes;
+    fn flush_whole_units(&mut self) -> Result<()> {
+        let unit_bytes = self.engine.backend().unit_bytes().max(1);
+        let whole = (self.buffer.len() / unit_bytes) * unit_bytes;
         if whole == 0 {
             return Ok(());
         }
         let batch = self.engine.compress_batch(&self.buffer[..whole])?;
-        self.emit_batch(batch.records)?;
+        self.emit_batch(batch)?;
         self.buffer.drain(..whole);
         Ok(())
     }
 
-    /// Emits one compressed batch: drains the engine's dictionary delta (when
-    /// live sync is on) and interleaves its updates with the serialized
-    /// records, each update strictly before the record at whose position it
-    /// happened.
-    fn emit_batch(&mut self, records: Vec<Record>) -> Result<()> {
+    /// Emits one compressed batch: drains the backend's dictionary delta
+    /// (when live sync is on) and interleaves its updates with the
+    /// serialized records, each update strictly before the record at whose
+    /// position it happened.
+    fn emit_batch(&mut self, batch: B::Batch) -> Result<()> {
+        let Self {
+            engine,
+            sink,
+            control_sink,
+            summary,
+            ..
+        } = self;
+        let backend = engine.backend_mut();
         // Drain the journal even when no sink consumes it, so a stream
         // without live sync on a journaling engine cannot leak stale events
         // into a later batch's delta.
-        let updates = if self.engine.live_sync_enabled() {
-            self.engine.take_delta().updates
+        let updates = if backend.live_sync_enabled() {
+            backend.take_delta().updates
         } else {
             Vec::new()
         };
         let mut next_update = updates.into_iter().peekable();
-        for (at, record) in records.into_iter().enumerate() {
-            if let Some(control_sink) = &mut self.control_sink {
-                while next_update.peek().is_some_and(|u| u.at <= at as u64) {
+        let mut at = 0u64;
+        backend.emit_batch(batch, &mut |packet_type, bytes| {
+            if let Some(control_sink) = control_sink.as_mut() {
+                while next_update.peek().is_some_and(|u| u.at <= at) {
                     let update = next_update.next().expect("peeked");
-                    self.summary.control_updates += 1;
+                    summary.control_updates += 1;
                     control_sink(&update);
                 }
             }
-            self.emit_record(record)?;
-        }
+            if packet_type == PacketType::Compressed {
+                summary.compressed_payloads += 1;
+            }
+            summary.payloads_emitted += 1;
+            summary.wire_bytes += bytes.len() as u64;
+            sink(packet_type, bytes);
+            at += 1;
+        })?;
         // Every update's position lies within the batch, so this drain is
         // normally empty; it keeps the delta fully flushed regardless.
-        if let Some(control_sink) = &mut self.control_sink {
+        if let Some(control_sink) = control_sink.as_mut() {
             for update in next_update {
-                self.summary.control_updates += 1;
+                summary.control_updates += 1;
                 control_sink(&update);
             }
         }
         Ok(())
     }
 
-    /// Serializes one record as a wire payload through the reused scratch.
-    fn emit_record(&mut self, record: Record) -> Result<()> {
-        let gd = self.engine.config().gd;
-        let payload = match record {
-            Record::NewBasis {
-                extra,
-                deviation,
-                basis,
-            } => ZipLinePayload::Uncompressed {
-                deviation,
-                extra,
-                basis,
-            },
-            Record::Ref {
-                extra,
-                deviation,
-                id,
-            } => ZipLinePayload::Compressed {
-                deviation,
-                extra,
-                id,
-            },
-            Record::RawTail { bytes } => ZipLinePayload::Raw(bytes),
-        };
-        payload.encode_into(&gd, &mut self.wire_scratch)?;
-        let packet_type = payload.packet_type();
-        if packet_type == PacketType::Compressed {
-            self.summary.compressed_payloads += 1;
-        }
-        self.summary.payloads_emitted += 1;
-        self.summary.wire_bytes += self.wire_scratch.len() as u64;
-        (self.sink)(packet_type, &self.wire_scratch);
-        Ok(())
-    }
-
-    /// Flushes everything still buffered (a trailing partial chunk is
-    /// emitted verbatim as a type 1 payload) and returns the stream totals.
+    /// Flushes everything still buffered (for GD, a trailing partial chunk
+    /// is emitted verbatim as a type 1 payload) and returns the stream
+    /// totals.
     pub fn finish(mut self) -> Result<StreamSummary> {
         if !self.buffer.is_empty() {
             let batch = self
                 .engine
                 .compress_batch(&std::mem::take(&mut self.buffer))?;
-            self.emit_batch(batch.records)?;
+            self.emit_batch(batch)?;
         }
         Ok(self.summary)
     }
@@ -236,22 +245,21 @@ impl<'e, F: FnMut(PacketType, &[u8]), G: FnMut(&DictionaryUpdate)> EngineStream<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{EngineConfig, EngineDecompressor, SpawnPolicy};
-    use zipline_gd::config::GdConfig;
+    use crate::backend::{DeflateBackend, PassthroughBackend};
+    use crate::builder::EngineBuilder;
+    use crate::engine::SpawnPolicy;
 
-    fn test_config() -> EngineConfig {
-        EngineConfig {
-            gd: GdConfig::paper_default(),
-            shards: 4,
-            workers: 2,
-            spawn: SpawnPolicy::Inline,
-        }
+    fn test_builder() -> EngineBuilder {
+        EngineBuilder::new()
+            .shards(4)
+            .workers(2)
+            .spawn(SpawnPolicy::Inline)
     }
 
     #[test]
     fn stream_emits_payloads_that_restore_to_the_input() {
-        let config = test_config();
-        let mut engine = CompressionEngine::new(config).unwrap();
+        let mut dec = test_builder().build_decompressor().unwrap();
+        let mut engine = test_builder().build().unwrap();
         let mut emitted: Vec<(PacketType, Vec<u8>)> = Vec::new();
         let mut stream = EngineStream::new(&mut engine, 16, |pt, bytes| {
             emitted.push((pt, bytes.to_vec()));
@@ -278,7 +286,6 @@ mod tests {
         );
         assert!(summary.compressed_payloads > 140, "most chunks deduplicate");
 
-        let mut dec = EngineDecompressor::new(&config).unwrap();
         let mut restored = Vec::new();
         for (pt, bytes) in &emitted {
             dec.restore_payload_into(*pt, bytes, &mut restored).unwrap();
@@ -288,9 +295,7 @@ mod tests {
 
     #[test]
     fn plain_stream_on_a_journaling_engine_drains_stale_updates() {
-        let config = test_config();
-        let mut engine = CompressionEngine::new(config).unwrap();
-        engine.enable_live_sync();
+        let mut engine = test_builder().live_sync(true).build().unwrap();
         // A stream without a control sink must not leave the journal to leak
         // into a later live-synced stream's delta.
         {
@@ -301,12 +306,8 @@ mod tests {
         }
         let mut updates = Vec::new();
         {
-            let mut stream = EngineStream::with_control_sink(
-                &mut engine,
-                4,
-                |_, _| {},
-                Some(|u: &super::DictionaryUpdate| updates.push(u.clone())),
-            );
+            let mut stream = EngineStream::new(&mut engine, 4, |_, _| {})
+                .control(|u: &DictionaryUpdate| updates.push(u.clone()));
             // The same basis again: known, so the live stream journals
             // nothing new — stale events from the first stream must be gone.
             stream.push_record(&[7u8; 32 * 2]).unwrap();
@@ -317,8 +318,7 @@ mod tests {
 
     #[test]
     fn small_batches_and_large_records_flush_incrementally() {
-        let config = test_config();
-        let mut engine = CompressionEngine::new(config).unwrap();
+        let mut engine = test_builder().build().unwrap();
         let mut count = 0usize;
         {
             let mut stream = EngineStream::new(&mut engine, 1, |_, _| count += 1);
@@ -329,5 +329,51 @@ mod tests {
         assert_eq!(count, 10);
         // The engine keeps its dictionary across streams.
         assert_eq!(engine.stats().bases_learned, 1);
+    }
+
+    #[test]
+    fn deflate_stream_batches_by_bytes_and_roundtrips() {
+        let mut engine = EngineBuilder::new()
+            .backend(DeflateBackend::default())
+            .build()
+            .unwrap();
+        let mut members: Vec<Vec<u8>> = Vec::new();
+        // unit_bytes == 1, so batch_units is a byte count: 4 KiB members.
+        let mut stream = EngineStream::new(&mut engine, 4096, |pt, bytes| {
+            assert_eq!(pt, PacketType::Raw);
+            members.push(bytes.to_vec());
+        });
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 19) as u8).collect();
+        stream.push_record(&data).unwrap();
+        let summary = stream.finish().unwrap();
+        assert_eq!(summary.bytes_in, data.len() as u64);
+        assert_eq!(members.len(), 3, "10000 B split into 4096-byte batches");
+        assert!(summary.wire_bytes < data.len() as u64, "gzip compresses");
+
+        let mut dec = engine.decompressor().unwrap();
+        let mut restored = Vec::new();
+        for member in &members {
+            dec.restore_payload_into(PacketType::Raw, member, &mut restored)
+                .unwrap();
+        }
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn passthrough_stream_is_the_wire_floor() {
+        let mut engine = EngineBuilder::new()
+            .backend(PassthroughBackend::new())
+            .build()
+            .unwrap();
+        let mut wire = Vec::new();
+        let mut stream = EngineStream::new(&mut engine, 512, |_, bytes| {
+            wire.extend_from_slice(bytes);
+        });
+        let data = vec![0xA5u8; 2000];
+        stream.push_record(&data).unwrap();
+        let summary = stream.finish().unwrap();
+        assert_eq!(wire, data, "passthrough is the identity on the wire");
+        assert_eq!(summary.wire_bytes, summary.bytes_in, "ratio floor is 1.0");
+        assert_eq!(summary.compressed_payloads, 0);
     }
 }

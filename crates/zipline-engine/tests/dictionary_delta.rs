@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use zipline_engine::{CompressionEngine, DictionaryDelta, EngineConfig, SpawnPolicy, UpdateOp};
+use zipline_engine::{CompressionEngine, DictionaryDelta, EngineBuilder, SpawnPolicy, UpdateOp};
 use zipline_gd::bits::BitVec;
 use zipline_gd::codec::{ChunkCodec, DecodeScratch, Record};
 use zipline_gd::config::GdConfig;
@@ -26,15 +26,14 @@ fn churny_gd() -> GdConfig {
 }
 
 fn engine(gd: GdConfig, shards: usize, workers: usize, spawn: SpawnPolicy) -> CompressionEngine {
-    let mut engine = CompressionEngine::new(EngineConfig {
-        gd,
-        shards,
-        workers,
-        spawn,
-    })
-    .unwrap();
-    engine.enable_live_sync();
-    engine
+    EngineBuilder::new()
+        .gd(gd)
+        .shards(shards)
+        .workers(workers)
+        .spawn(spawn)
+        .live_sync(true)
+        .build()
+        .unwrap()
 }
 
 /// `distinct` distinct bases (≥ 3-bit pairwise distance so none fold

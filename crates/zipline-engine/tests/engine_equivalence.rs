@@ -11,15 +11,18 @@
 //! * (ISSUE 3) the live-sync interleaved control+data stream roundtrips
 //!   bit-exactly for any shard/worker/spawn shape, including workloads that
 //!   churn the dictionary far past capacity — a decoder driven only by the
-//!   in-order event stream never sees an identifier it cannot restore.
+//!   in-order event stream never sees an identifier it cannot restore;
+//! * (ISSUE 4) the same 1-shard/1-worker equivalence holds across the
+//!   [`CompressionBackend`] trait boundary — the generic engine cannot
+//!   drift from `GdCompressor::compress_batch` however it is driven.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 
 use proptest::prelude::*;
 use zipline_engine::{
-    CompressionEngine, DictionaryUpdate, EngineConfig, EngineDecompressor, EngineStream,
-    SpawnPolicy, UpdateOp,
+    CompressionBackend, CompressionEngine, DictionaryUpdate, EngineConfig, EngineDecompressor,
+    EngineStream, GdBackend, SpawnPolicy, UpdateOp,
 };
 use zipline_gd::bits::BitVec;
 use zipline_gd::codec::{
@@ -151,7 +154,7 @@ proptest! {
             spawn_of(spawn_selector),
         );
         let stream = compress_with(config, &data);
-        let mut dec = EngineDecompressor::new(&config).expect("valid decoder config");
+        let mut dec = EngineDecompressor::new(config).expect("valid decoder config");
         prop_assert_eq!(dec.decompress_batch(&stream).expect("decode succeeds"), data);
     }
 
@@ -194,6 +197,29 @@ proptest! {
         let mut engine = CompressionEngine::new(EngineConfig::single_threaded(gd)).unwrap();
         engine.compress_batch(&data).unwrap();
         prop_assert_eq!(engine.stats(), *reference.stats());
+    }
+
+    /// (ISSUE 4) The PR-2/PR-3 invariant asserted across the
+    /// `CompressionBackend` trait boundary: a `GdBackend` driven exclusively
+    /// through the trait's `compress_batch` in the 1-shard/1-worker config
+    /// stays bit-identical to `GdCompressor::compress_batch`, serialized
+    /// bytes and statistics included — the generic engine shell cannot
+    /// drift from the reference codec.
+    #[test]
+    fn gd_backend_through_trait_boundary_matches_compress_batch(
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let gd = small_gd();
+        let mut backend =
+            <GdBackend as CompressionBackend>::from_engine_config(&EngineConfig::single_threaded(gd))
+                .expect("valid config");
+        let stream =
+            CompressionBackend::compress_batch(&mut backend, &data).expect("compression succeeds");
+        let mut reference = GdCompressor::new(&gd).expect("valid config");
+        let reference_stream = reference.compress_batch(&data).expect("compression succeeds");
+        prop_assert_eq!(&stream, &reference_stream);
+        prop_assert_eq!(stream.to_bytes(), reference_stream.to_bytes());
+        prop_assert_eq!(CompressionBackend::stats(&backend), *reference.stats());
     }
 
     /// Engine streams with one shard also decode through the plain
@@ -309,7 +335,7 @@ proptest! {
         }
         let mut engine = CompressionEngine::new(config).expect("valid config");
         let stream = engine.compress_batch(&data).expect("compression succeeds");
-        let mut dec = EngineDecompressor::new(&config).expect("valid config");
+        let mut dec = EngineDecompressor::new(config).expect("valid config");
         prop_assert_eq!(dec.decompress_batch(&stream).expect("decodes"), data);
         prop_assert!(engine.stats().is_consistent());
     }

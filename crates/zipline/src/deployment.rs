@@ -14,6 +14,14 @@
 //! [`ZipLineDeployment`] builds this topology in the discrete-event network,
 //! replays traffic through it and reports end-to-end statistics. The
 //! experiment drivers (`crate::experiment`) build on top of it.
+//!
+//! The same switch programs carry every engine backend
+//! (`crate::host::EngineHostPath<B>`): GD frames travel pre-processed
+//! (types 2/3) with their in-band control traffic, while deflate/gzip and
+//! passthrough streams travel as raw frames that the encoder may process
+//! and the decoder restores byte-exactly — the receiving host then feeds
+//! the restored payloads to the mirrored backend decompressor (see the
+//! backend tests in `crate::host`).
 
 use crate::controller::ControlPlaneStats;
 use crate::decoder::{DecoderConfig, ZipLineDecodeProgram};

@@ -1,10 +1,21 @@
-//! The engine-backed host-side path.
+//! The engine-backed host-side path, generic over the compression backend.
 //!
 //! The paper's deployment compresses *in the encoder switch*; this module is
 //! the complementary arrangement the `zipline-engine` crate enables: end
 //! hosts run the sharded [`CompressionEngine`] themselves and put wire-ready
 //! ZipLine frames (types 2 and 3) straight onto the network, so the encoder
 //! switch only forwards and the decoder switch restores.
+//!
+//! [`EngineHostPath<B>`] drives any
+//! [`CompressionBackend`](zipline_engine::CompressionBackend) through the
+//! same framing and the same switch programs: the GD default emits
+//! ZipLine-EtherType frames plus live-sync control traffic, while
+//! `EngineHostPath<DeflateBackend>` (the paper's gzip baseline, one member
+//! per batch) and `EngineHostPath<PassthroughBackend>` (the ratio floor)
+//! emit raw frames that the deployment forwards and restores losslessly —
+//! their streams are self-contained, so no control traffic exists to sync.
+//! The mirrored [`EngineHostPath::decompressor`] restores whatever backend
+//! the path was built with.
 //!
 //! The decoder's `identifier → basis` table is kept in sync by **streaming
 //! incremental installs**: the engine journals every dictionary mutation
@@ -40,8 +51,8 @@ use std::cell::RefCell;
 use crate::engine_control::{EngineControlPlane, EngineControlStats};
 use crate::error::Result;
 use zipline_engine::{
-    CompressionEngine, DictionarySnapshot, DictionaryUpdate, EngineConfig, EngineStream,
-    StreamSummary,
+    CompressionBackend, CompressionEngine, DictionarySnapshot, DictionaryUpdate, EngineBuilder,
+    EngineConfig, EngineDecompressor, EngineStream, GdBackend, StreamSummary,
 };
 use zipline_gd::packet::PacketType;
 use zipline_net::ethernet::EthernetFrame;
@@ -90,27 +101,63 @@ impl HostPathConfig {
     }
 }
 
-/// A host NIC-side compression pipeline: data in, ZipLine frames out
-/// (interleaved with the control frames that keep a decoder live-synced).
-pub struct EngineHostPath {
-    engine: CompressionEngine,
+/// A host NIC-side compression pipeline: data in, wire-ready frames out
+/// (for the GD default, interleaved with the control frames that keep a
+/// decoder live-synced). Generic over the engine's
+/// [`CompressionBackend`]; see the module docs.
+pub struct EngineHostPath<B: CompressionBackend = GdBackend> {
+    engine: CompressionEngine<B>,
     control: EngineControlPlane,
     config: HostPathConfig,
 }
 
-impl EngineHostPath {
-    /// Builds the host path.
+impl EngineHostPath<GdBackend> {
+    /// Builds the GD-backed host path.
     pub fn new(config: HostPathConfig) -> Result<Self> {
         Ok(Self {
-            engine: CompressionEngine::new(config.engine)?,
+            engine: EngineBuilder::new().config(config.engine).build()?,
+            control: EngineControlPlane::new(),
+            config,
+        })
+    }
+
+    /// Merged dictionary snapshot, for *cold* decoder sync. With
+    /// [`HostPathConfig::live_sync`] enabled the emitted frame stream is
+    /// self-sufficient; under churn a post-hoc snapshot alone aliases
+    /// recycled identifiers.
+    pub fn snapshot(&self) -> DictionarySnapshot {
+        self.engine.snapshot()
+    }
+}
+
+impl<B: CompressionBackend> EngineHostPath<B> {
+    /// Builds a host path over an explicit backend instance — e.g.
+    /// `EngineHostPath::with_backend(config, DeflateBackend::default())`
+    /// for the gzip-backed path. The engine configuration is validated once;
+    /// for byte-stream backends (`unit_bytes == 1`)
+    /// [`HostPathConfig::batch_chunks`] counts bytes per emitted payload, so
+    /// size it in kilobytes for deflate to give each gzip member a window
+    /// worth compressing.
+    pub fn with_backend(config: HostPathConfig, backend: B) -> Result<Self> {
+        Ok(Self {
+            engine: EngineBuilder::new()
+                .config(config.engine)
+                .backend(backend)
+                .build()?,
             control: EngineControlPlane::new(),
             config,
         })
     }
 
     /// The underlying engine (statistics, snapshot, dictionary).
-    pub fn engine(&self) -> &CompressionEngine {
+    pub fn engine(&self) -> &CompressionEngine<B> {
         &self.engine
+    }
+
+    /// The mirrored decompressor for the frames this path emits (feed it
+    /// the received payloads in order).
+    pub fn decompressor(&self) -> Result<EngineDecompressor<B>> {
+        Ok(self.engine.decompressor()?)
     }
 
     /// Control-plane counters of the live sync protocol.
@@ -122,14 +169,6 @@ impl EngineHostPath {
     /// stale nonces; returns whether it matched a pending install.
     pub fn handle_ack(&mut self, id: u64, nonce: u32) -> bool {
         self.control.handle_ack(id, nonce)
-    }
-
-    /// Merged dictionary snapshot, for *cold* decoder sync. With
-    /// [`HostPathConfig::live_sync`] enabled the emitted frame stream is
-    /// self-sufficient; under churn a post-hoc snapshot alone aliases
-    /// recycled identifiers.
-    pub fn snapshot(&self) -> DictionarySnapshot {
-        self.engine.snapshot()
     }
 
     /// Compresses a buffer into wire-ready Ethernet frames (one frame per
@@ -158,7 +197,7 @@ impl EngineHostPath {
     fn compress_via(
         &mut self,
         feed: impl FnOnce(
-            &mut EngineStream<'_, FrameSink<'_>, ControlSink<'_>>,
+            &mut EngineStream<'_, FrameSink<'_>, ControlSink<'_>, B>,
         ) -> zipline_gd::error::Result<()>,
     ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
         // Both sinks push into one ordered frame sequence; the RefCell lets
@@ -407,5 +446,114 @@ mod tests {
         let outcome = deployment.run_frames(frames).unwrap();
         assert_eq!(outcome.received_payloads.concat(), data);
         assert_eq!(outcome.decoder_stats.decode_failures, 0);
+    }
+
+    // ---- non-GD backends through the same host path (ISSUE 4) ------------
+
+    use zipline_engine::{CompressionBackend, DeflateBackend, PassthroughBackend};
+    use zipline_traces::{
+        ChunkWorkload, DnsWorkload, DnsWorkloadConfig, SensorWorkload, SensorWorkloadConfig,
+    };
+
+    /// A deflate-friendly host config: byte-stream backends interpret
+    /// `batch_chunks` as bytes per payload, so give each gzip member 4 KiB.
+    fn deflate_host_config() -> HostPathConfig {
+        HostPathConfig {
+            batch_chunks: 4096,
+            ..HostPathConfig::paper_default()
+        }
+    }
+
+    /// Runs a backend-emitted frame sequence through the full simulated
+    /// deployment and restores the received payloads with the mirrored
+    /// backend decompressor.
+    fn roundtrip_through_deployment<B: CompressionBackend>(
+        host: &mut EngineHostPath<B>,
+        frames: Vec<EthernetFrame>,
+    ) -> Vec<u8> {
+        let mut deployment = ZipLineDeployment::new(DeploymentConfig::fast_test()).unwrap();
+        let outcome = deployment.run_frames(frames).unwrap();
+        assert_eq!(
+            outcome.decoder_stats.decode_failures, 0,
+            "the switches restore every frame they processed"
+        );
+        let mut dec = host.decompressor().unwrap();
+        let mut restored = Vec::new();
+        for payload in &outcome.received_payloads {
+            dec.restore_payload_into(zipline_gd::packet::PacketType::Raw, payload, &mut restored)
+                .unwrap();
+        }
+        restored
+    }
+
+    /// The acceptance workloads: `DeflateBackend` roundtrips the sensor,
+    /// DNS and churn workloads losslessly through the full deployment — the
+    /// gzip members travel as raw frames, get GD-processed and restored by
+    /// the switches, and decompress byte-exactly at the receiver.
+    #[test]
+    fn deflate_host_path_roundtrips_workloads_through_full_deployment() {
+        let sensor = SensorWorkload::new(SensorWorkloadConfig::small());
+        let dns = DnsWorkload::new(DnsWorkloadConfig::small());
+        let churn = ChurnWorkload::new(ChurnWorkloadConfig::exceeding_capacity(64, 4, 32));
+        let workloads: [(&str, &dyn ChunkWorkload); 3] =
+            [("sensor", &sensor), ("dns", &dns), ("churn", &churn)];
+        for (name, workload) in workloads {
+            let mut host =
+                EngineHostPath::with_backend(deflate_host_config(), DeflateBackend::default())
+                    .unwrap();
+            let (frames, summary) = host.compress_workload_to_frames(workload).unwrap();
+            let data: Vec<u8> = workload.chunks().flatten().collect();
+            assert_eq!(summary.bytes_in, data.len() as u64, "workload {name}");
+            assert_eq!(
+                summary.control_updates, 0,
+                "deflate is delta-less; workload {name}"
+            );
+            assert!(
+                summary.wire_bytes < data.len() as u64,
+                "gzip compresses the {name} workload"
+            );
+            let restored = roundtrip_through_deployment(&mut host, frames);
+            assert_eq!(restored, data, "workload {name} roundtrips losslessly");
+        }
+    }
+
+    /// The passthrough backend is the wire floor: ratio exactly 1.0, and the
+    /// frames still travel (and restore) through the same deployment.
+    #[test]
+    fn passthrough_host_path_is_the_ratio_floor_through_the_deployment() {
+        let mut host =
+            EngineHostPath::with_backend(deflate_host_config(), PassthroughBackend::new()).unwrap();
+        let data = sensor_style_data(100);
+        let (frames, summary) = host.compress_to_frames(&data).unwrap();
+        assert_eq!(summary.wire_bytes, data.len() as u64, "floor ratio is 1.0");
+        let restored = roundtrip_through_deployment(&mut host, frames);
+        assert_eq!(restored, data);
+        assert!(host.engine().stats().is_consistent());
+        assert!(host.engine().backend().snapshot().is_none());
+    }
+
+    /// Backend-generic statistics surface: the deflate engine reports a
+    /// ratio below the passthrough floor on a redundant workload, through
+    /// the same `CompressionEngine` accessors.
+    #[test]
+    fn backend_stats_compare_against_the_floor() {
+        let data = sensor_style_data(200);
+        let mut gzip =
+            EngineHostPath::with_backend(deflate_host_config(), DeflateBackend::default()).unwrap();
+        let mut floor =
+            EngineHostPath::with_backend(deflate_host_config(), PassthroughBackend::new()).unwrap();
+        gzip.compress_to_frames(&data).unwrap();
+        floor.compress_to_frames(&data).unwrap();
+        let gzip_ratio = gzip.engine().stats().compression_ratio().unwrap();
+        let floor_ratio = floor.engine().stats().compression_ratio().unwrap();
+        assert_eq!(floor_ratio, 1.0);
+        assert!(
+            gzip_ratio < floor_ratio,
+            "gzip ({gzip_ratio:.3}) beats the floor"
+        );
+        assert!(
+            gzip.engine().shard_stats().is_empty(),
+            "no shards to report"
+        );
     }
 }

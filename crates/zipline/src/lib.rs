@@ -13,8 +13,10 @@
 //!   reverse-mapping-first protocol of section 5;
 //! * [`control`] — the out-of-band control-channel message format used
 //!   between the two ZipLine instances;
-//! * [`engine_control`] / [`host`] — the engine-backed host path: end hosts
-//!   compress with `zipline_engine::CompressionEngine` and the
+//! * [`engine_control`] / [`host`] — the engine-backed host path, generic
+//!   over the engine's `CompressionBackend`: end hosts compress with
+//!   `zipline_engine::CompressionEngine<B>` (GD by default; deflate/gzip
+//!   and passthrough ride the same pipeline) and, for the GD backend, the
 //!   [`engine_control::EngineControlPlane`] streams incremental
 //!   install/remove traffic in-band with the data frames, so the decoder
 //!   switch stays in sync even when the dictionary churns past capacity;

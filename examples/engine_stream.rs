@@ -24,9 +24,7 @@
 //! [`EngineDecompressor`]: zipline_repro::zipline_engine::EngineDecompressor
 //! [`DictionarySnapshot`]: zipline_repro::zipline_engine::DictionarySnapshot
 
-use zipline_repro::zipline_engine::{
-    CompressionEngine, EngineConfig, EngineDecompressor, EngineStream, SpawnPolicy,
-};
+use zipline_repro::zipline_engine::{EngineBuilder, EngineStream, SpawnPolicy};
 use zipline_repro::zipline_gd::packet::PacketType;
 use zipline_repro::zipline_traces::sensor::{SensorWorkload, SensorWorkloadConfig};
 use zipline_repro::zipline_traces::ChunkWorkload;
@@ -38,13 +36,13 @@ fn main() {
     //    spawn policy are pure wall-clock knobs (SpawnPolicy::Auto spawns
     //    threads only on multi-core hosts).
     // ------------------------------------------------------------------
-    let config = EngineConfig {
-        shards: 8,
-        workers: 4,
-        spawn: SpawnPolicy::Auto,
-        ..EngineConfig::paper_default()
-    };
-    let mut engine = CompressionEngine::new(config).expect("valid engine config");
+    let builder = EngineBuilder::new()
+        .shards(8)
+        .workers(4)
+        .spawn(SpawnPolicy::Auto);
+    let mut decoder = builder.build_decompressor().expect("valid decoder config");
+    let mut engine = builder.build().expect("valid engine config");
+    let config = *engine.config();
     println!(
         "engine: Hamming({}, {}), {} shards x {} ids/shard, {} workers",
         config.gd.n(),
@@ -92,7 +90,6 @@ fn main() {
     // 3. Decode side: a mirrored sharded decompressor rebuilds the
     //    dictionary from the payload stream itself.
     // ------------------------------------------------------------------
-    let mut decoder = EngineDecompressor::new(&config).expect("valid decoder config");
     let mut restored = Vec::new();
     for (packet_type, bytes) in &wire {
         decoder

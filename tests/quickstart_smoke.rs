@@ -1,12 +1,13 @@
-//! Smoke tests mirroring `examples/quickstart.rs` and
-//! `examples/engine_stream.rs` at a reduced scale, so the quickstart flows
-//! (host-side GD, the sharded engine stream, and the simulated two-switch
-//! deployment) are exercised by `cargo test` on every change; CI
-//! additionally runs the real example binaries.
+//! Smoke tests mirroring `examples/quickstart.rs`,
+//! `examples/engine_stream.rs` and `examples/engine_backends.rs` at a
+//! reduced scale, so the quickstart flows (host-side GD, the sharded engine
+//! stream, the backend matrix, and the simulated two-switch deployment) are
+//! exercised by `cargo test` on every change; CI additionally runs the real
+//! example binaries.
 
 use zipline_repro::zipline::deployment::{DeploymentConfig, ZipLineDeployment};
 use zipline_repro::zipline_engine::{
-    CompressionEngine, EngineConfig, EngineDecompressor, EngineStream, SpawnPolicy,
+    DeflateBackend, EngineBuilder, EngineStream, PassthroughBackend, SpawnPolicy,
 };
 use zipline_repro::zipline_gd::codec::{compress, decompress};
 use zipline_repro::zipline_gd::GdConfig;
@@ -52,13 +53,12 @@ fn engine_stream_flow_compresses_and_round_trips() {
     // The engine_stream example flow at reduced scale: records stream
     // through the sharded engine into wire payloads, and the mirrored
     // decompressor restores them byte-exactly.
-    let config = EngineConfig {
-        shards: 8,
-        workers: 4,
-        spawn: SpawnPolicy::Threads, // exercise the threaded path in CI
-        ..EngineConfig::paper_default()
-    };
-    let mut engine = CompressionEngine::new(config).expect("valid engine config");
+    let builder = EngineBuilder::new()
+        .shards(8)
+        .workers(4)
+        .spawn(SpawnPolicy::Threads); // exercise the threaded path in CI
+    let mut decoder = builder.build_decompressor().expect("valid decoder config");
+    let mut engine = builder.build().expect("valid engine config");
     let data = sensor_style_data(300);
 
     let mut wire = Vec::new();
@@ -75,7 +75,6 @@ fn engine_stream_flow_compresses_and_round_trips() {
         "engine stream compresses the redundant workload"
     );
 
-    let mut decoder = EngineDecompressor::new(&config).expect("valid decoder config");
     let mut restored = Vec::new();
     for (packet_type, bytes) in &wire {
         decoder
@@ -83,4 +82,75 @@ fn engine_stream_flow_compresses_and_round_trips() {
             .expect("payload decodes");
     }
     assert_eq!(restored, data, "engine round trip is lossless");
+}
+
+#[test]
+fn backend_matrix_flow_compresses_and_round_trips() {
+    // The engine_backends example flow at reduced scale: the same generic
+    // EngineStream drives GD, deflate and passthrough over one workload,
+    // each restoring byte-exactly through its mirrored decompressor, with
+    // passthrough as the ratio floor.
+    let data = sensor_style_data(200);
+
+    fn stream_through<B: zipline_repro::zipline_engine::CompressionBackend>(
+        mut engine: zipline_repro::zipline_engine::CompressionEngine<B>,
+        mut decoder: zipline_repro::zipline_engine::EngineDecompressor<B>,
+        batch_units: usize,
+        data: &[u8],
+    ) -> u64 {
+        let mut wire = Vec::new();
+        let mut stream = EngineStream::new(&mut engine, batch_units, |pt, bytes: &[u8]| {
+            wire.push((pt, bytes.to_vec()));
+        });
+        stream.push_record(data).expect("record streams");
+        let summary = stream.finish().expect("stream flushes");
+        let mut restored = Vec::new();
+        for (pt, bytes) in &wire {
+            decoder
+                .restore_payload_into(*pt, bytes, &mut restored)
+                .expect("payload decodes");
+        }
+        assert_eq!(restored, data, "backend round trip is lossless");
+        summary.wire_bytes
+    }
+
+    let gd_builder = EngineBuilder::new().shards(4).workers(2);
+    let gd_wire = stream_through(
+        gd_builder.build().expect("valid GD engine"),
+        EngineBuilder::new()
+            .shards(4)
+            .workers(2)
+            .build_decompressor()
+            .expect("valid GD decoder"),
+        64,
+        &data,
+    );
+    let deflate_wire = stream_through(
+        EngineBuilder::new()
+            .backend(DeflateBackend::default())
+            .build()
+            .expect("valid deflate engine"),
+        EngineBuilder::new()
+            .backend(DeflateBackend::default())
+            .build_decompressor()
+            .expect("valid deflate decoder"),
+        4096,
+        &data,
+    );
+    let floor_wire = stream_through(
+        EngineBuilder::new()
+            .backend(PassthroughBackend::new())
+            .build()
+            .expect("valid passthrough engine"),
+        EngineBuilder::new()
+            .backend(PassthroughBackend::new())
+            .build_decompressor()
+            .expect("valid passthrough decoder"),
+        4096,
+        &data,
+    );
+
+    assert_eq!(floor_wire, data.len() as u64, "passthrough is the floor");
+    assert!(gd_wire < floor_wire, "GD beats the floor");
+    assert!(deflate_wire < floor_wire, "deflate beats the floor");
 }
