@@ -1,0 +1,158 @@
+//! `bench_check` — the CI bench-regression gate.
+//!
+//! Compares a fresh criterion-shim run (the JSONL a `BENCH_JSON=… cargo
+//! bench` run appends) against the committed `BENCH_PR*.json` baselines at
+//! the repository root, and exits non-zero when a tracked benchmark
+//! regressed beyond tolerance or a tracked group went missing. The
+//! baselines are authoritative: the gate never re-measures them, it trusts
+//! the committed medians (see `zipline-bench/src/regression.rs` for the
+//! rules and why the default tolerance is generous).
+//!
+//! Usage:
+//! ```sh
+//! # In CI, after the bench job produced fresh.jsonl:
+//! cargo run -p zipline-bench --bin bench_check -- --fresh fresh.jsonl
+//!
+//! # Validate-only (no fresh run): parse baselines, check group coverage.
+//! cargo run -p zipline-bench --bin bench_check
+//!
+//! # Options: --baselines <dir> (default .), --tolerance <x> (default 3.0)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zipline_bench::regression::{
+    compare, parse_records, pr_number, BaselineSet, DEFAULT_TOLERANCE, TRACKED_GROUPS,
+};
+
+struct Args {
+    fresh: Option<PathBuf>,
+    baselines: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fresh: None,
+        baselines: PathBuf::from("."),
+        tolerance: DEFAULT_TOLERANCE,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--fresh" => args.fresh = Some(PathBuf::from(value("--fresh")?)),
+            "--baselines" => args.baselines = PathBuf::from(value("--baselines")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_baselines(dir: &PathBuf) -> Result<BaselineSet, String> {
+    let mut files: Vec<(u32, PathBuf)> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read baseline dir {}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            let pr = pr_number(name)?;
+            name.ends_with(".json").then_some((pr, path))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!(
+            "no BENCH_PR*.json baselines found in {}",
+            dir.display()
+        ));
+    }
+    let mut set = BaselineSet::default();
+    for (pr, path) in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let name = path.file_name().unwrap().to_string_lossy();
+        set.absorb(&name, *pr, &text);
+        println!("baseline {name}: PR {pr}");
+    }
+    Ok(set)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baselines = load_baselines(&args.baselines)?;
+    println!(
+        "{} baselined benchmarks, tracked groups covered: {:?}",
+        baselines.len(),
+        baselines.covered_groups()
+    );
+    let uncovered: Vec<_> = TRACKED_GROUPS
+        .iter()
+        .filter(|g| !baselines.covered_groups().contains(g))
+        .collect();
+    if !uncovered.is_empty() {
+        return Err(format!(
+            "tracked groups without any committed baseline: {uncovered:?}"
+        ));
+    }
+
+    let Some(fresh_path) = args.fresh else {
+        println!("no --fresh run supplied: baseline validation only, OK");
+        return Ok(true);
+    };
+    let fresh_text = std::fs::read_to_string(&fresh_path)
+        .map_err(|e| format!("cannot read fresh run {}: {e}", fresh_path.display()))?;
+    let fresh = parse_records(&fresh_text);
+    println!(
+        "fresh run {}: {} benchmarks",
+        fresh_path.display(),
+        fresh.len()
+    );
+
+    let report = compare(&baselines, &fresh, args.tolerance);
+    for c in &report.comparisons {
+        println!(
+            "{} {:<52} baseline {:>12.1} ns ({}) fresh {:>12.1} ns  ratio {:>5.2} (tolerance {:.2})",
+            if c.regressed { "FAIL" } else { " ok " },
+            c.id,
+            c.baseline_ns,
+            c.source,
+            c.fresh_ns,
+            c.ratio,
+            args.tolerance,
+        );
+    }
+    for group in &report.missing_groups {
+        println!("FAIL tracked group `{group}` produced no benchmarks in the fresh run");
+    }
+    if report.passed() {
+        println!(
+            "bench gate PASS: {} benchmarks within {:.1}x of their committed baselines",
+            report.comparisons.len(),
+            args.tolerance
+        );
+    } else {
+        println!(
+            "bench gate FAIL: {} regression(s), {} missing group(s)",
+            report.regressions().len(),
+            report.missing_groups.len()
+        );
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

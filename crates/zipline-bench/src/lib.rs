@@ -4,6 +4,13 @@
 //! evaluation (see EXPERIMENTS.md at the repository root for the index and
 //! the paper-vs-measured record). The helpers here are just formatting and
 //! argument plumbing so the binaries stay small and uniform.
+//!
+//! The [`regression`] module is the CI bench gate's engine: it parses the
+//! committed `BENCH_PR*.json` baselines and a fresh `BENCH_JSON` run, and
+//! flags tracked benchmarks that regressed beyond tolerance (see
+//! `src/bin/bench_check.rs`).
+
+pub mod regression;
 
 /// Prints a section header in the style used by all harness binaries.
 pub fn print_header(title: &str) {

@@ -1,6 +1,6 @@
 //! The gzip container (RFC 1952).
 //!
-//! The paper's Figure 3 baseline "extract[s] all payloads in a regular file
+//! The paper's Figure 3 baseline "extract\[s\] all payloads in a regular file
 //! that we compress with the gzip compression tool"; this module provides the
 //! same end-to-end format: a 10-byte header, a DEFLATE stream, and a trailer
 //! with CRC-32 and the uncompressed length modulo 2³².

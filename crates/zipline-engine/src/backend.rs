@@ -34,7 +34,7 @@
 //! dictionary) must implement the delta hooks so a remote decoder can track
 //! it: [`set_live_sync`](CompressionBackend::set_live_sync) turns mutation
 //! journaling on, and [`take_delta`](CompressionBackend::take_delta) drains
-//! an ordered [`DictionaryDelta`](crate::DictionaryDelta) per batch. For the
+//! an ordered [`DictionaryDelta`] per batch. For the
 //! delta ordering rules to hold across the trait boundary the backend must
 //! guarantee, per batch:
 //!

@@ -36,6 +36,7 @@
 
 use crate::backend::CompressionBackend;
 use crate::engine::{CompressionEngine, EngineConfig, EngineDecompressor, GdBackend, SpawnPolicy};
+use crate::pipelined::PipelineConfig;
 use zipline_gd::config::GdConfig;
 use zipline_gd::error::Result;
 
@@ -45,6 +46,9 @@ use zipline_gd::error::Result;
 pub struct EngineBuilder<B: CompressionBackend = GdBackend> {
     config: EngineConfig,
     live_sync: bool,
+    /// Ingest pipeline depth for [`PipelinedStream`](crate::PipelinedStream);
+    /// `None` keeps the engine synchronous-only.
+    pipeline_depth: Option<usize>,
     /// Explicit backend instance; when `None`, `build()` constructs one from
     /// the configuration via [`CompressionBackend::from_engine_config`].
     backend: Option<B>,
@@ -57,6 +61,7 @@ impl EngineBuilder<GdBackend> {
         Self {
             config: EngineConfig::paper_default(),
             live_sync: false,
+            pipeline_depth: None,
             backend: None,
         }
     }
@@ -113,6 +118,23 @@ impl<B: CompressionBackend> EngineBuilder<B> {
         self
     }
 
+    /// Opts the built engine in to pipelined ingest
+    /// ([`PipelinedStream`](crate::PipelinedStream)): `depth` is the bounded
+    /// channel capacity — filled batches allowed in flight between the
+    /// ingest thread and the engine worker before `push_record` blocks.
+    /// Depth 1 is classic double buffering. Validated at
+    /// [`build`](Self::build) (`1..=`[`MAX_PIPELINE_DEPTH`]); whether a
+    /// worker thread actually spawns follows the engine's
+    /// [`spawn`](Self::spawn) policy, so a 1-core host under
+    /// [`SpawnPolicy::Auto`] degrades to inline execution with identical
+    /// output.
+    ///
+    /// [`MAX_PIPELINE_DEPTH`]: crate::pipelined::MAX_PIPELINE_DEPTH
+    pub fn pipelined(mut self, depth: usize) -> Self {
+        self.pipeline_depth = Some(depth);
+        self
+    }
+
     /// Swaps in an explicit backend instance (e.g.
     /// [`DeflateBackend::new`](crate::DeflateBackend::new) with a chosen
     /// level). Without this call, `build()` derives the backend from the
@@ -130,6 +152,7 @@ impl<B: CompressionBackend> EngineBuilder<B> {
         EngineBuilder {
             config: self.config,
             live_sync: self.live_sync,
+            pipeline_depth: self.pipeline_depth,
             backend: Some(backend),
         }
     }
@@ -137,12 +160,24 @@ impl<B: CompressionBackend> EngineBuilder<B> {
     /// Validates the configuration once and builds the engine.
     pub fn build(self) -> Result<CompressionEngine<B>> {
         self.config.validate()?;
+        let pipeline = self
+            .pipeline_depth
+            .map(|depth| {
+                let pipeline = PipelineConfig {
+                    depth,
+                    spawn: self.config.spawn,
+                };
+                pipeline.validate().map(|()| pipeline)
+            })
+            .transpose()?;
         let mut backend = match self.backend {
             Some(backend) => backend,
             None => B::from_engine_config(&self.config)?,
         };
         backend.set_live_sync(self.live_sync);
-        Ok(CompressionEngine::from_backend(backend))
+        let mut engine = CompressionEngine::from_backend(backend);
+        engine.set_pipeline(pipeline);
+        Ok(engine)
     }
 
     /// Validates the configuration once and builds the mirrored
@@ -188,6 +223,29 @@ mod tests {
         let data = vec![9u8; 32 * 20];
         let stream = engine.compress_batch(&data).unwrap();
         assert_eq!(dec.decompress_batch(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn pipelined_knob_is_validated_and_carried() {
+        assert!(EngineBuilder::new().pipelined(0).build().is_err());
+        assert!(EngineBuilder::new().pipelined(1 << 20).build().is_err());
+        let engine = EngineBuilder::new()
+            .spawn(SpawnPolicy::Inline)
+            .pipelined(3)
+            .build()
+            .unwrap();
+        let pipeline = engine.pipeline().expect("pipeline configured");
+        assert_eq!(pipeline.depth, 3);
+        assert_eq!(pipeline.spawn, SpawnPolicy::Inline);
+        // Without the knob the engine stays synchronous-only.
+        assert!(EngineBuilder::new().build().unwrap().pipeline().is_none());
+        // The knob survives a backend swap.
+        let engine = EngineBuilder::new()
+            .pipelined(2)
+            .backend(PassthroughBackend::new())
+            .build()
+            .unwrap();
+        assert_eq!(engine.pipeline().unwrap().depth, 2);
     }
 
     #[test]

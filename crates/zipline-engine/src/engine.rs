@@ -38,6 +38,7 @@
 //! `EngineDecompressor::new` remain as by-value conveniences.
 
 use crate::backend::{BackendDecompressor, CompressionBackend};
+use crate::pipelined::PipelineConfig;
 use crate::shard::{
     DictionaryDelta, DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary,
 };
@@ -737,6 +738,10 @@ impl BackendDecompressor for GdBackendDecompressor {
 #[derive(Debug)]
 pub struct CompressionEngine<B: CompressionBackend = GdBackend> {
     backend: B,
+    /// Ingest pipeline shape, when the engine was built for
+    /// [`PipelinedStream`](crate::PipelinedStream) via
+    /// [`EngineBuilder::pipelined`](crate::EngineBuilder::pipelined).
+    pipeline: Option<PipelineConfig>,
 }
 
 impl<B: CompressionBackend> CompressionEngine<B> {
@@ -744,7 +749,25 @@ impl<B: CompressionBackend> CompressionEngine<B> {
     /// is the validated front door; this is the escape hatch for backends
     /// with constructor parameters the builder doesn't know about.
     pub fn from_backend(backend: B) -> Self {
-        Self { backend }
+        Self {
+            backend,
+            pipeline: None,
+        }
+    }
+
+    /// The ingest pipeline shape, when configured (see
+    /// [`EngineBuilder::pipelined`](crate::EngineBuilder::pipelined)).
+    pub fn pipeline(&self) -> Option<PipelineConfig> {
+        self.pipeline
+    }
+
+    /// Opts the engine in to (or out of) pipelined ingest. The builder's
+    /// [`pipelined`](crate::EngineBuilder::pipelined) knob is the validated
+    /// path; this setter is the matching escape hatch for engines built via
+    /// [`from_backend`](Self::from_backend) — the configuration is still
+    /// checked, at [`PipelinedStream`](crate::PipelinedStream) construction.
+    pub fn set_pipeline(&mut self, pipeline: Option<PipelineConfig>) {
+        self.pipeline = pipeline;
     }
 
     /// The backend.
@@ -833,7 +856,8 @@ impl CompressionEngine<GdBackend> {
     /// Deprecated shim for the pre-builder knob surface.
     #[deprecated(
         since = "0.2.0",
-        note = "use EngineBuilder::live_sync(true) or CompressionEngine::set_live_sync"
+        note = "use EngineBuilder::live_sync(true) or CompressionEngine::set_live_sync; \
+                this shim will be removed in 0.4.0"
     )]
     pub fn enable_live_sync(&mut self) {
         self.set_live_sync(true);
@@ -842,7 +866,8 @@ impl CompressionEngine<GdBackend> {
     /// Deprecated shim for the pre-builder knob surface.
     #[deprecated(
         since = "0.2.0",
-        note = "use EngineBuilder::live_sync(false) or CompressionEngine::set_live_sync"
+        note = "use EngineBuilder::live_sync(false) or CompressionEngine::set_live_sync; \
+                this shim will be removed in 0.4.0"
     )]
     pub fn disable_live_sync(&mut self) {
         self.set_live_sync(false);
@@ -914,7 +939,8 @@ impl EngineDecompressor<GdBackend> {
     /// Deprecated shim preserving the old by-reference constructor.
     #[deprecated(
         since = "0.2.0",
-        note = "use EngineDecompressor::new(config) (by value) or EngineBuilder::build_decompressor()"
+        note = "use EngineDecompressor::new(config) (by value) or EngineBuilder::build_decompressor(); \
+                this shim will be removed in 0.4.0"
     )]
     pub fn from_config_ref(config: &EngineConfig) -> Result<Self> {
         Self::new(*config)
@@ -1052,5 +1078,22 @@ mod tests {
         let mut via_builder = EngineBuilder::new().config(config).build().unwrap();
         let stream = via_builder.compress_batch(&[0u8; 64]).unwrap();
         assert_eq!(dec.decompress_batch(&stream).unwrap(), vec![0u8; 64]);
+
+        // The shims route through the same validation as EngineBuilder:
+        // a shape build() would reject is rejected by the shim too.
+        let mut bad = config;
+        bad.shards = 3;
+        assert!(EngineBuilder::new().config(bad).build().is_err());
+        assert!(EngineDecompressor::from_config_ref(&bad).is_err());
+        // And the live-sync pair lands in the same state the builder knob
+        // would have produced.
+        let mut shimmed = CompressionEngine::new(config).unwrap();
+        shimmed.enable_live_sync();
+        let built = EngineBuilder::new()
+            .config(config)
+            .live_sync(true)
+            .build()
+            .unwrap();
+        assert_eq!(shimmed.live_sync_enabled(), built.live_sync_enabled());
     }
 }

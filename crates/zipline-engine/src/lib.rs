@@ -34,8 +34,17 @@
 //!   ([`EngineStream::control`]) the stream also emits every
 //!   [`DictionaryUpdate`] interleaved with the payloads, which is what keeps
 //!   a remote decoder's table live under identifier churn;
+//! * [`PipelinedStream`] — asynchronous ingest over the same pipeline:
+//!   records flow through a bounded, backpressured channel into a dedicated
+//!   engine worker thread while the caller keeps filling the next
+//!   double-buffered batch, with buffers recycled end to end. Output
+//!   (payloads *and* interleaved control updates) is bit-identical to
+//!   [`EngineStream`], and on a single-core host the stream degrades to
+//!   inline execution under [`SpawnPolicy::Auto`];
 //! * [`EngineBuilder`] — the one validated front door: backend, shards,
-//!   workers, spawn policy and live sync, checked once at `build()`.
+//!   workers, spawn policy, live sync and the
+//!   [`pipelined`](EngineBuilder::pipelined) ingest depth, checked once at
+//!   `build()`.
 //!
 //! # The `CompressionBackend` contract
 //!
@@ -101,6 +110,7 @@
 pub mod backend;
 pub mod builder;
 pub mod engine;
+pub mod pipelined;
 pub mod shard;
 pub mod stream;
 
@@ -113,6 +123,7 @@ pub use engine::{
     CompressionEngine, EngineConfig, EngineDecompressor, GdBackend, GdBackendDecompressor,
     SpawnPolicy,
 };
+pub use pipelined::{PipelineConfig, PipelinedStream};
 pub use shard::{
     DictionaryDelta, DictionarySnapshot, DictionaryUpdate, ShardOutcome, ShardStats,
     ShardedDictionary, UpdateOp,

@@ -1,0 +1,619 @@
+//! Pipelined asynchronous ingest: overlap record accumulation with batch
+//! compression.
+//!
+//! [`EngineStream`](crate::EngineStream) is fully synchronous: while a batch
+//! compresses, ingest stalls, and while the next batch accumulates, the
+//! engine idles. On a host that sits between NIC ingest and the wire (the
+//! deployment `zipline::host` models) those two phases are exactly the work
+//! that should overlap. [`PipelinedStream`] does that with standard-library
+//! primitives only (the workspace is offline/vendored — no tokio):
+//!
+//! * the caller pushes records into a **fill buffer**; whenever a batch's
+//!   worth of backend units has accumulated, the buffer is handed to a
+//!   dedicated **engine worker thread** over a *bounded*
+//!   [`std::sync::mpsc::sync_channel`] whose capacity is the pipeline
+//!   *depth* — when the worker falls behind, `push_record` blocks on the
+//!   send, which is the backpressure that keeps memory proportional to
+//!   `depth + 2` batches instead of the stream length;
+//! * the worker owns the [`CompressionEngine`] for the stream's lifetime:
+//!   it compresses each batch, drains the live-sync
+//!   [`DictionaryDelta`](crate::DictionaryDelta), serializes every payload
+//!   through the backend's recycled wire scratch into a flat per-batch
+//!   buffer, and sends the result back;
+//! * batch buffers are **double-buffered and recycled**: each result carries
+//!   its input buffer and wire buffers home, and the caller reuses them for
+//!   the next batch (the same scratch-recycling discipline as the engine's
+//!   per-worker `EncodeScratch`), so steady state allocates nothing beyond
+//!   the per-batch delta `Vec` that live sync drains — the same allocation
+//!   [`take_delta`](crate::CompressionBackend::take_delta) makes on the
+//!   synchronous path;
+//! * the caller drains finished batches opportunistically on every push and
+//!   exhaustively at [`finish`](PipelinedStream::finish), invoking the
+//!   payload and control sinks **on the calling thread**, in batch order —
+//!   sinks therefore need no `Send` bound and observe exactly the sequence
+//!   the synchronous stream would have produced.
+//!
+//! # Determinism
+//!
+//! The worker processes batches in FIFO order against the same engine state
+//! the synchronous stream would have used, and emission goes through the
+//! same `InterleavedEmitter` discipline (shared with `EngineStream`), so
+//! the output — payload bytes
+//! *and* interleaved control updates — remains a pure function of
+//! `(data, shard count, batch size)` and is **bit-identical** to
+//! [`EngineStream`](crate::EngineStream) for every backend, spawn policy and
+//! depth (enforced by `tests/pipelined_ingest.rs`, including churn workloads
+//! with live sync).
+//!
+//! # Single-core degradation
+//!
+//! Under [`SpawnPolicy::Auto`] the stream spawns its worker only when the
+//! host has more than one core — the same fallback the engine's batch
+//! workers use. On a 1-core container it degrades to inline execution on
+//! the calling thread: no channel, no thread, same bytes.
+//!
+//! # Construction
+//!
+//! Opt in through [`EngineBuilder::pipelined`](crate::EngineBuilder::pipelined)
+//! (validated at `build()`), then wrap the engine:
+//!
+//! ```
+//! use zipline_engine::{EngineBuilder, PipelinedStream};
+//!
+//! let engine = EngineBuilder::new()
+//!     .shards(4)
+//!     .workers(2)
+//!     .pipelined(2)
+//!     .build()
+//!     .unwrap();
+//! let mut payloads = 0u64;
+//! let mut stream = PipelinedStream::new(engine, 16, |_pt, _bytes| payloads += 1).unwrap();
+//! stream.push_record(&[7u8; 32 * 40]).unwrap();
+//! let (engine, summary) = stream.finish().unwrap();
+//! assert_eq!(summary.payloads_emitted, payloads);
+//! assert!(engine.stats().is_consistent());
+//! ```
+//!
+//! Because the worker must own the engine, `PipelinedStream` takes the
+//! [`CompressionEngine`] **by value** and returns it from `finish` — unlike
+//! `EngineStream`, which borrows. A control sink is attached at
+//! construction ([`PipelinedStream::with_control_sink`]); it cannot be added
+//! later, since for the threaded mode journaling must be enabled before the
+//! engine moves to the worker.
+
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::backend::CompressionBackend;
+use crate::engine::{CompressionEngine, GdBackend, SpawnPolicy};
+use crate::shard::DictionaryUpdate;
+use crate::stream::{InterleavedEmitter, StreamSummary};
+use zipline_gd::error::{GdError, Result};
+use zipline_gd::packet::PacketType;
+use zipline_traces::ChunkWorkload;
+
+/// Maximum accepted pipeline depth; a larger value is almost certainly a
+/// units mistake (depth is *batches in flight*, not bytes).
+pub const MAX_PIPELINE_DEPTH: usize = 1024;
+
+/// Host parallelism, probed once per process:
+/// `std::thread::available_parallelism` reads cgroup files on Linux
+/// (~14 µs), which would otherwise tax every short-lived stream under
+/// [`SpawnPolicy::Auto`].
+fn host_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Shape of the ingest pipeline, set by
+/// [`EngineBuilder::pipelined`](crate::EngineBuilder::pipelined) and carried
+/// on the built [`CompressionEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Bounded channel capacity: filled batches allowed in flight between
+    /// ingest and the engine worker before `push_record` blocks
+    /// (backpressure). Depth 1 is classic double buffering: one batch
+    /// queued, one compressing, one filling.
+    pub depth: usize,
+    /// Whether the stream may spawn its worker thread (inherited from the
+    /// engine configuration at `build()`): [`SpawnPolicy::Auto`] spawns only
+    /// on multi-core hosts, [`SpawnPolicy::Inline`] never does,
+    /// [`SpawnPolicy::Threads`] always does.
+    pub spawn: SpawnPolicy,
+}
+
+impl PipelineConfig {
+    /// Checks internal consistency (depth in `1..=`[`MAX_PIPELINE_DEPTH`]).
+    pub fn validate(&self) -> Result<()> {
+        if self.depth == 0 || self.depth > MAX_PIPELINE_DEPTH {
+            return Err(GdError::InvalidConfig(format!(
+                "pipeline depth must be in 1..={MAX_PIPELINE_DEPTH}, got {}",
+                self.depth
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One batch travelling through the pipeline, in both directions: towards
+/// the worker `input` holds the filled batch; on the way back `wire`,
+/// `records` and `updates` hold the compressed result and `input` rides
+/// along so the caller can recycle it. The `input`, `wire` and `records`
+/// buffers are reused across the stream's lifetime; `updates` is the `Vec`
+/// freshly allocated by `take_delta` each batch (exactly as on the
+/// synchronous path) and is consumed by the emission.
+#[derive(Debug, Default)]
+struct BatchShuttle {
+    /// The batch's input bytes (a whole number of backend units, except for
+    /// the final flush).
+    input: Vec<u8>,
+    /// Serialized payloads of the whole batch, concatenated.
+    wire: Vec<u8>,
+    /// `(packet type, payload length)` per record, in input order.
+    records: Vec<(PacketType, u32)>,
+    /// Dictionary updates journaled by this batch (empty without live sync).
+    updates: Vec<DictionaryUpdate>,
+}
+
+/// The worker half of the threaded pipeline: owns the engine, compresses
+/// shuttles in FIFO order, returns the engine when the job channel closes.
+fn run_worker<B: CompressionBackend>(
+    mut engine: CompressionEngine<B>,
+    jobs: Receiver<BatchShuttle>,
+    results: Sender<Result<BatchShuttle>>,
+) -> CompressionEngine<B> {
+    while let Ok(mut shuttle) = jobs.recv() {
+        let outcome = compress_shuttle(&mut engine, &mut shuttle);
+        let failed = outcome.is_err();
+        // A send error means the caller is gone (dropped mid-stream); there
+        // is nobody left to observe results, so just stop compressing.
+        if results.send(outcome.map(|()| shuttle)).is_err() || failed {
+            break;
+        }
+    }
+    engine
+}
+
+/// Compresses one shuttle in place: batch → wire bytes + record index +
+/// drained delta. Identical sequencing to `EngineStream::emit_batch`
+/// (compress, drain journal, serialize in input order).
+fn compress_shuttle<B: CompressionBackend>(
+    engine: &mut CompressionEngine<B>,
+    shuttle: &mut BatchShuttle,
+) -> Result<()> {
+    shuttle.wire.clear();
+    shuttle.records.clear();
+    shuttle.updates.clear();
+    let batch = engine.compress_batch(&shuttle.input)?;
+    let backend = engine.backend_mut();
+    // Drain the journal even when no control sink consumes it, so stale
+    // events never leak into a later batch's delta (same rule as the
+    // synchronous stream).
+    if backend.live_sync_enabled() {
+        shuttle.updates = backend.take_delta().updates;
+    }
+    let BatchShuttle { wire, records, .. } = shuttle;
+    backend.emit_batch(batch, &mut |packet_type, bytes| {
+        records.push((packet_type, bytes.len() as u32));
+        wire.extend_from_slice(bytes);
+    })
+}
+
+/// Caller-side state of the threaded pipeline.
+struct Threaded<B: CompressionBackend> {
+    /// Bounded: sending a filled batch blocks when `depth` batches are
+    /// already queued — the stream's backpressure.
+    jobs: SyncSender<BatchShuttle>,
+    /// FIFO results; batch order is emission order.
+    results: Receiver<Result<BatchShuttle>>,
+    worker: JoinHandle<CompressionEngine<B>>,
+    /// Recycled shuttles (input + wire buffers), refilled as results drain.
+    spare: Vec<BatchShuttle>,
+}
+
+/// Where the engine lives for the stream's lifetime.
+enum Backing<B: CompressionBackend> {
+    /// Single-core / inline fallback: the engine stays on the calling
+    /// thread and every batch compresses synchronously at dispatch.
+    Inline(Box<CompressionEngine<B>>),
+    Threaded(Threaded<B>),
+    /// Transient teardown state (after `finish`, or mid-`Drop`).
+    Closed,
+}
+
+/// Pipelined front-end over a [`CompressionEngine`]; see the module docs.
+pub struct PipelinedStream<F, G = fn(&DictionaryUpdate), B = GdBackend>
+where
+    F: FnMut(PacketType, &[u8]),
+    G: FnMut(&DictionaryUpdate),
+    B: CompressionBackend + Send + 'static,
+{
+    backing: Backing<B>,
+    sink: F,
+    /// Live-sync control sink, fed each dictionary update in wire order.
+    control_sink: Option<G>,
+    /// Bytes pushed but not yet dispatched (always shorter than a batch).
+    buffer: Vec<u8>,
+    /// Dispatch threshold in bytes (a whole number of backend units).
+    batch_bytes: usize,
+    summary: StreamSummary,
+}
+
+impl<F, B> PipelinedStream<F, fn(&DictionaryUpdate), B>
+where
+    F: FnMut(PacketType, &[u8]),
+    B: CompressionBackend + Send + 'static,
+{
+    /// Creates a pipelined stream that dispatches a batch every
+    /// `batch_units` backend units ([`CompressionBackend::unit_bytes`] each
+    /// — chunks for GD, bytes for deflate/passthrough), emitting each wire
+    /// payload to `sink` as `(packet type, payload bytes)` on the calling
+    /// thread.
+    ///
+    /// The engine must have been built with
+    /// [`EngineBuilder::pipelined`](crate::EngineBuilder::pipelined);
+    /// `finish` hands it back.
+    pub fn new(engine: CompressionEngine<B>, batch_units: usize, sink: F) -> Result<Self> {
+        Self::with_control_sink(engine, batch_units, sink, None)
+    }
+}
+
+impl<F, G, B> PipelinedStream<F, G, B>
+where
+    F: FnMut(PacketType, &[u8]),
+    G: FnMut(&DictionaryUpdate),
+    B: CompressionBackend + Send + 'static,
+{
+    /// Creates a pipelined stream with an optional live-sync control sink.
+    /// When `control_sink` is `Some`, journaling is enabled on the backend
+    /// (before the engine moves to the worker) and every install/evict
+    /// event is handed to the sink interleaved with the payloads, exactly
+    /// as [`EngineStream::with_control_sink`](crate::EngineStream::with_control_sink)
+    /// would.
+    pub fn with_control_sink(
+        mut engine: CompressionEngine<B>,
+        batch_units: usize,
+        sink: F,
+        control_sink: Option<G>,
+    ) -> Result<Self> {
+        let pipeline = engine.pipeline().ok_or_else(|| {
+            GdError::InvalidConfig(
+                "engine was not configured for pipelined ingest; \
+                 opt in with EngineBuilder::pipelined(depth)"
+                    .into(),
+            )
+        })?;
+        pipeline.validate()?;
+        let unit_bytes = engine.backend().unit_bytes().max(1);
+        if control_sink.is_some() {
+            engine.set_live_sync(true);
+        }
+        let threaded = match pipeline.spawn {
+            SpawnPolicy::Inline => false,
+            SpawnPolicy::Threads => true,
+            SpawnPolicy::Auto => host_cores() > 1,
+        };
+        let backing = if threaded {
+            let (jobs, job_rx) = sync_channel::<BatchShuttle>(pipeline.depth);
+            let (result_tx, results) = std::sync::mpsc::channel();
+            let worker = std::thread::Builder::new()
+                .name("zipline-pipelined".into())
+                .spawn(move || run_worker(engine, job_rx, result_tx))
+                .expect("spawn pipelined engine worker");
+            Backing::Threaded(Threaded {
+                jobs,
+                results,
+                worker,
+                spare: Vec::new(),
+            })
+        } else {
+            Backing::Inline(Box::new(engine))
+        };
+        Ok(Self {
+            backing,
+            sink,
+            control_sink,
+            buffer: Vec::new(),
+            batch_bytes: batch_units.max(1) * unit_bytes,
+            summary: StreamSummary::default(),
+        })
+    }
+
+    /// True when the stream runs an engine worker thread (false on the
+    /// inline fallback — single-core hosts under [`SpawnPolicy::Auto`], or
+    /// [`SpawnPolicy::Inline`]).
+    pub fn is_threaded(&self) -> bool {
+        matches!(self.backing, Backing::Threaded(_))
+    }
+
+    /// Appends one record (any number of bytes) to the stream, dispatching
+    /// a batch to the engine whenever enough units have accumulated. Blocks
+    /// only when `depth` batches are already in flight (backpressure).
+    pub fn push_record(&mut self, bytes: &[u8]) -> Result<()> {
+        self.summary.bytes_in += bytes.len() as u64;
+        // Fill up to one batch at a time so a record larger than the batch
+        // streams through batch-sized dispatches: peak memory stays
+        // proportional to the batch size, never the record size.
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let room = self.batch_bytes - self.buffer.len();
+            let take = room.min(rest.len());
+            self.buffer.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buffer.len() >= self.batch_bytes {
+                self.dispatch_batch()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds every chunk of a workload generator through the stream.
+    pub fn consume_workload(&mut self, workload: &dyn ChunkWorkload) -> Result<()> {
+        for chunk in workload.chunks() {
+            self.push_record(&chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Hands the current fill buffer to the engine. Inline: compresses and
+    /// emits on the spot. Threaded: drains any finished batches first
+    /// (non-blocking), then sends the buffer to the worker, blocking only
+    /// when the pipeline is `depth` batches deep.
+    fn dispatch_batch(&mut self) -> Result<()> {
+        let Self {
+            backing,
+            sink,
+            control_sink,
+            buffer,
+            summary,
+            ..
+        } = self;
+        match backing {
+            Backing::Inline(engine) => {
+                let batch = engine.compress_batch(buffer)?;
+                let backend = engine.backend_mut();
+                let updates = if backend.live_sync_enabled() {
+                    backend.take_delta().updates
+                } else {
+                    Vec::new()
+                };
+                let mut emitter =
+                    InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
+                backend.emit_batch(batch, &mut |packet_type, bytes| {
+                    emitter.payload(packet_type, bytes);
+                })?;
+                emitter.finish();
+                buffer.clear();
+                Ok(())
+            }
+            Backing::Threaded(threaded) => {
+                // Opportunistic drain keeps result memory bounded and
+                // refills the shuttle pool without ever blocking ingest
+                // (both TryRecvError variants just mean "nothing to drain").
+                while let Ok(result) = threaded.results.try_recv() {
+                    let mut shuttle = result?;
+                    emit_shuttle(&mut shuttle, sink, control_sink, summary);
+                    threaded.spare.push(shuttle);
+                }
+                let mut shuttle = threaded.spare.pop().unwrap_or_default();
+                std::mem::swap(&mut shuttle.input, buffer);
+                buffer.clear();
+                if threaded.jobs.send(shuttle).is_err() {
+                    // The worker exited early: the only cause is a
+                    // compression error, which it parked in the results
+                    // channel before stopping.
+                    return Err(Self::collect_worker_error(threaded));
+                }
+                Ok(())
+            }
+            Backing::Closed => unreachable!("dispatch after finish"),
+        }
+    }
+
+    /// Fishes the worker's parked error out of the results channel.
+    fn collect_worker_error(threaded: &Threaded<B>) -> GdError {
+        while let Ok(result) = threaded.results.recv() {
+            if let Err(e) = result {
+                return e;
+            }
+        }
+        GdError::InvalidConfig("pipelined engine worker exited without reporting an error".into())
+    }
+
+    /// Flushes everything still buffered (for GD, a trailing partial chunk
+    /// is emitted verbatim as a type 1 payload), drains the pipeline, joins
+    /// the worker and returns the engine together with the stream totals.
+    pub fn finish(mut self) -> Result<(CompressionEngine<B>, StreamSummary)> {
+        if !self.buffer.is_empty() {
+            self.dispatch_batch()?;
+        }
+        let Self {
+            backing,
+            sink,
+            control_sink,
+            summary,
+            ..
+        } = &mut self;
+        match std::mem::replace(backing, Backing::Closed) {
+            Backing::Inline(engine) => Ok((*engine, *summary)),
+            Backing::Threaded(threaded) => {
+                let Threaded {
+                    jobs,
+                    results,
+                    worker,
+                    ..
+                } = threaded;
+                // Closing the job channel tells the worker to drain and
+                // exit; the exhaustive result drain below preserves batch
+                // order.
+                drop(jobs);
+                let mut failure = None;
+                for result in results.iter() {
+                    match result {
+                        Ok(mut shuttle) => emit_shuttle(&mut shuttle, sink, control_sink, summary),
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let engine = match worker.join() {
+                    Ok(engine) => engine,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                };
+                match failure {
+                    Some(e) => Err(e),
+                    None => Ok((engine, *summary)),
+                }
+            }
+            Backing::Closed => unreachable!("finish called twice"),
+        }
+    }
+}
+
+/// Emits one finished batch through the shared interleaving discipline.
+fn emit_shuttle<F, G>(
+    shuttle: &mut BatchShuttle,
+    sink: &mut F,
+    control_sink: &mut Option<G>,
+    summary: &mut StreamSummary,
+) where
+    F: FnMut(PacketType, &[u8]),
+    G: FnMut(&DictionaryUpdate),
+{
+    let updates = std::mem::take(&mut shuttle.updates);
+    let mut emitter = InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
+    let mut offset = 0usize;
+    for &(packet_type, len) in &shuttle.records {
+        let end = offset + len as usize;
+        emitter.payload(packet_type, &shuttle.wire[offset..end]);
+        offset = end;
+    }
+    emitter.finish();
+}
+
+impl<F, G, B> Drop for PipelinedStream<F, G, B>
+where
+    F: FnMut(PacketType, &[u8]),
+    G: FnMut(&DictionaryUpdate),
+    B: CompressionBackend + Send + 'static,
+{
+    /// Dropping the stream without [`finish`](Self::finish) abandons it:
+    /// the job channel closes, the worker drains its queue and exits, and
+    /// the engine (plus any undelivered output) is discarded. No payloads
+    /// are emitted from `drop` — emission is exclusively a `finish`
+    /// concern, so a panicking caller never observes half a stream.
+    fn drop(&mut self) {
+        if let Backing::Threaded(threaded) = std::mem::replace(&mut self.backing, Backing::Closed) {
+            let Threaded {
+                jobs,
+                results,
+                worker,
+                ..
+            } = threaded;
+            drop(jobs);
+            // Unblock the worker if it is mid-send, then wait for it.
+            for _ in results.iter() {}
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EngineBuilder;
+
+    fn collect_pipelined(
+        builder: EngineBuilder,
+        batch_units: usize,
+        data: &[u8],
+    ) -> Vec<(PacketType, Vec<u8>)> {
+        let engine = builder.build().unwrap();
+        let mut emitted = Vec::new();
+        let mut stream = PipelinedStream::new(engine, batch_units, |pt, bytes: &[u8]| {
+            emitted.push((pt, bytes.to_vec()));
+        })
+        .unwrap();
+        stream.push_record(data).unwrap();
+        stream.finish().unwrap();
+        emitted
+    }
+
+    #[test]
+    fn unpipelined_engine_is_rejected() {
+        let engine = EngineBuilder::new().build().unwrap();
+        let err = match PipelinedStream::new(engine, 16, |_, _| {}) {
+            Ok(_) => panic!("an engine without a pipeline config must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, GdError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn threaded_and_inline_modes_agree() {
+        let data: Vec<u8> = (0..32 * 200).map(|i| (i / 640) as u8).collect();
+        let inline = collect_pipelined(
+            EngineBuilder::new()
+                .shards(4)
+                .workers(2)
+                .spawn(SpawnPolicy::Inline)
+                .pipelined(2),
+            16,
+            &data,
+        );
+        let threaded = collect_pipelined(
+            EngineBuilder::new()
+                .shards(4)
+                .workers(2)
+                .spawn(SpawnPolicy::Threads)
+                .pipelined(2),
+            16,
+            &data,
+        );
+        assert_eq!(inline, threaded);
+        assert!(!inline.is_empty());
+    }
+
+    #[test]
+    fn spawn_policy_controls_threading() {
+        let engine = EngineBuilder::new().pipelined(1).build().unwrap();
+        // paper_default is Auto: threading depends on the host, but the
+        // stream must report whichever mode it chose.
+        let stream = PipelinedStream::new(engine, 16, |_, _| {}).unwrap();
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(stream.is_threaded(), cores > 1);
+        drop(stream);
+
+        let engine = EngineBuilder::new()
+            .spawn(SpawnPolicy::Threads)
+            .pipelined(1)
+            .build()
+            .unwrap();
+        let stream = PipelinedStream::new(engine, 16, |_, _| {}).unwrap();
+        assert!(stream.is_threaded());
+    }
+
+    #[test]
+    fn finish_returns_the_engine_with_its_dictionary_state() {
+        let engine = EngineBuilder::new()
+            .shards(4)
+            .workers(2)
+            .spawn(SpawnPolicy::Threads)
+            .pipelined(2)
+            .build()
+            .unwrap();
+        let mut stream = PipelinedStream::new(engine, 8, |_, _| {}).unwrap();
+        stream.push_record(&[9u8; 32 * 64]).unwrap();
+        let (engine, summary) = stream.finish().unwrap();
+        assert_eq!(summary.bytes_in, 32 * 64);
+        assert_eq!(engine.stats().bases_learned, 1);
+        assert_eq!(engine.stats().chunks_in, 64);
+    }
+}

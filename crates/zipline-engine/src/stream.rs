@@ -14,13 +14,13 @@
 //! the remainder (including a verbatim GD tail) and collect the summary.
 //!
 //! The emitted payload sequence decodes through
-//! [`EngineDecompressor::restore_payload_into`] for the same backend
-//! (configured with the same shard count, for GD) back to the exact input
-//! bytes.
+//! [`EngineDecompressor::restore_payload_into`](crate::EngineDecompressor::restore_payload_into)
+//! for the same backend (configured with the same shard count, for GD) back
+//! to the exact input bytes.
 //!
 //! # Live decoder sync
 //!
-//! [`EngineStream::control`] (or the [`Self::with_control_sink`]
+//! [`EngineStream::control`] (or the [`EngineStream::with_control_sink`]
 //! constructor) additionally streams the backend's
 //! [`DictionaryUpdate`] events, *interleaved* with the data payloads: at
 //! every batch boundary the backend's journal is drained into a
@@ -40,6 +40,78 @@ use crate::shard::DictionaryUpdate;
 use zipline_gd::error::Result;
 use zipline_gd::packet::PacketType;
 use zipline_traces::ChunkWorkload;
+
+/// Shared emission discipline of [`EngineStream`] and
+/// [`PipelinedStream`](crate::PipelinedStream): walks one batch's payloads in
+/// input order, interleaving the batch's dictionary updates so that every
+/// update reaches the control sink strictly before the payload at whose
+/// position it happened, with the same [`StreamSummary`] accounting on both
+/// paths. Keeping this in one place is what makes the pipelined stream
+/// bit-identical (payloads *and* control frames) to the synchronous one.
+pub(crate) struct InterleavedEmitter<'a, F, G>
+where
+    F: FnMut(PacketType, &[u8]),
+    G: FnMut(&DictionaryUpdate),
+{
+    sink: &'a mut F,
+    control_sink: Option<&'a mut G>,
+    updates: std::iter::Peekable<std::vec::IntoIter<DictionaryUpdate>>,
+    summary: &'a mut StreamSummary,
+    /// Input-order index of the next payload (the `at` coordinate updates
+    /// are keyed on).
+    at: u64,
+}
+
+impl<'a, F, G> InterleavedEmitter<'a, F, G>
+where
+    F: FnMut(PacketType, &[u8]),
+    G: FnMut(&DictionaryUpdate),
+{
+    pub(crate) fn new(
+        updates: Vec<DictionaryUpdate>,
+        sink: &'a mut F,
+        control_sink: Option<&'a mut G>,
+        summary: &'a mut StreamSummary,
+    ) -> Self {
+        Self {
+            sink,
+            control_sink,
+            updates: updates.into_iter().peekable(),
+            summary,
+            at: 0,
+        }
+    }
+
+    /// Emits the next payload, preceded by every update at its position.
+    pub(crate) fn payload(&mut self, packet_type: PacketType, bytes: &[u8]) {
+        if let Some(control_sink) = self.control_sink.as_mut() {
+            while self.updates.peek().is_some_and(|u| u.at <= self.at) {
+                let update = self.updates.next().expect("peeked");
+                self.summary.control_updates += 1;
+                control_sink(&update);
+            }
+        }
+        if packet_type == PacketType::Compressed {
+            self.summary.compressed_payloads += 1;
+        }
+        self.summary.payloads_emitted += 1;
+        self.summary.wire_bytes += bytes.len() as u64;
+        (self.sink)(packet_type, bytes);
+        self.at += 1;
+    }
+
+    /// Flushes updates positioned after the last payload. Every update's
+    /// position normally lies within the batch, so this is usually a no-op;
+    /// it keeps the delta fully drained regardless.
+    pub(crate) fn finish(mut self) {
+        if let Some(control_sink) = self.control_sink.as_mut() {
+            for update in self.updates.by_ref() {
+                self.summary.control_updates += 1;
+                control_sink(&update);
+            }
+        }
+    }
+}
 
 /// Totals accumulated by an [`EngineStream`], returned by
 /// [`EngineStream::finish`].
@@ -199,32 +271,11 @@ where
         } else {
             Vec::new()
         };
-        let mut next_update = updates.into_iter().peekable();
-        let mut at = 0u64;
+        let mut emitter = InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
         backend.emit_batch(batch, &mut |packet_type, bytes| {
-            if let Some(control_sink) = control_sink.as_mut() {
-                while next_update.peek().is_some_and(|u| u.at <= at) {
-                    let update = next_update.next().expect("peeked");
-                    summary.control_updates += 1;
-                    control_sink(&update);
-                }
-            }
-            if packet_type == PacketType::Compressed {
-                summary.compressed_payloads += 1;
-            }
-            summary.payloads_emitted += 1;
-            summary.wire_bytes += bytes.len() as u64;
-            sink(packet_type, bytes);
-            at += 1;
+            emitter.payload(packet_type, bytes);
         })?;
-        // Every update's position lies within the batch, so this drain is
-        // normally empty; it keeps the delta fully flushed regardless.
-        if let Some(control_sink) = control_sink.as_mut() {
-            for update in next_update {
-                summary.control_updates += 1;
-                control_sink(&update);
-            }
-        }
+        emitter.finish();
         Ok(())
     }
 

@@ -29,7 +29,7 @@
 //! # Word-path conventions
 //!
 //! [`checksum_words`](CrcEngine::checksum_words) reads words in
-//! [`BitVec`](crate::bits::BitVec) order: word 0 holds the first 64 bits of
+//! [`BitVec`] order: word 0 holds the first 64 bits of
 //! the message with the first bit in the most significant position, i.e. a
 //! word *is* the corresponding 64-coefficient slice of the message
 //! polynomial. A trailing partial word must be left-aligned with its unused
@@ -248,7 +248,7 @@ impl CrcEngine {
     }
 
     /// Computes the CRC of a `bit_len`-bit message stored as packed words in
-    /// [`BitVec`](crate::bits::BitVec) order (see the module docs for the
+    /// [`BitVec`] order (see the module docs for the
     /// exact convention) using slicing-by-8: 64 message bits per step, 9–12
     /// table lookups each. Works for every supported width `m <= 32`.
     ///

@@ -38,7 +38,7 @@
 //! * [`ChunkCodec::encode_chunks`](codec::ChunkCodec::encode_chunks) /
 //!   [`GdCompressor::compress_batch`](codec::GdCompressor::compress_batch)
 //!   batch-encode whole buffers against a reused
-//!   [`EncodeScratch`](codec::EncodeScratch), allocation-free in steady
+//!   [`EncodeScratch`], allocation-free in steady
 //!   state.
 //!
 //! Bit-exact equivalence of every fast path against its bit-serial
@@ -61,7 +61,7 @@
 //!   247-bit keys anywhere on the hot path;
 //! * [`GdDecompressor::decompress_batch`](codec::GdDecompressor::decompress_batch)
 //!   is the decode twin of `compress_batch`: records stream through a
-//!   recycled [`DecodeScratch`](codec::DecodeScratch) via
+//!   recycled [`DecodeScratch`] via
 //!   [`ChunkCodec::decode_parts_into`](codec::ChunkCodec::decode_parts_into);
 //! * [`ZipLinePayload::encode_into`](packet::ZipLinePayload::encode_into)
 //!   serializes wire payloads into a caller-owned scratch buffer, making the

@@ -108,8 +108,8 @@ pub struct TrafficGenerator {
 const GENERATOR_TICK: u64 = 0;
 
 impl TrafficGenerator {
-    /// Creates a generator. Call [`Self::start`] (or schedule a timer with
-    /// token 0 at the configured start time) after adding it to the network.
+    /// Creates a generator. Schedule a timer with token 0 at the configured
+    /// [`start_time`](Self::start_time) after adding it to the network.
     pub fn new(config: GeneratorConfig) -> Self {
         Self {
             config,

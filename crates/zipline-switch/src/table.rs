@@ -1,7 +1,7 @@
 //! Exact-match match-action tables.
 //!
 //! ZipLine stores its basis ↔ identifier mappings "in regular match-action
-//! tables and manage[s] them with the control plane", relying on two TNA
+//! tables and manage\[s\] them with the control plane", relying on two TNA
 //! features in particular (sections 5 and 6):
 //!
 //! * **digests** notify the control plane of unknown bases (modelled by

@@ -7,7 +7,7 @@
 //! switch only forwards and the decoder switch restores.
 //!
 //! [`EngineHostPath<B>`] drives any
-//! [`CompressionBackend`](zipline_engine::CompressionBackend) through the
+//! [`CompressionBackend`] through the
 //! same framing and the same switch programs: the GD default emits
 //! ZipLine-EtherType frames plus live-sync control traffic, while
 //! `EngineHostPath<DeflateBackend>` (the paper's gzip baseline, one member
@@ -41,6 +41,28 @@
 //! capacity; [`HostPathConfig::live_sync`] turns the live protocol off for
 //! those cases.
 //!
+//! # Synchronous vs pipelined ingest
+//!
+//! The path offers two push disciplines over the same engine:
+//!
+//! * **Synchronous** ([`EngineHostPath::compress_to_frames`] /
+//!   [`EngineHostPath::compress_workload_to_frames`]): every batch
+//!   compresses on the calling thread. Zero setup cost, no extra thread,
+//!   and the right default for request/response-shaped callers,
+//!   single-core hosts, and whenever the producer is the bottleneck anyway.
+//! * **Pipelined** ([`EngineHostPath::compress_to_frames_pipelined`] /
+//!   [`EngineHostPath::compress_workload_to_frames_pipelined`], available
+//!   once [`HostPathConfig::pipeline_depth`] is set): record accumulation
+//!   overlaps with batch compression through [`PipelinedStream`] — a bounded,
+//!   backpressured channel feeding a dedicated engine worker thread, with
+//!   double-buffered, recycled batch buffers. Choose it when ingest is
+//!   continuous (a NIC queue, a trace replay) and the host has cores to
+//!   spare; the emitted frame sequence is **bit-identical** to the
+//!   synchronous path, so the choice is purely a latency/throughput one.
+//!   On a single-core host under [`SpawnPolicy`](zipline_engine::SpawnPolicy)
+//!   `::Auto` the pipelined path degrades to inline execution — same
+//!   bytes, no thread — so it is always safe to enable.
+//!
 //! [`CompressionEngine`]: zipline_engine::CompressionEngine
 //! [`DictionarySnapshot`]: zipline_engine::DictionarySnapshot
 //! [`ZipLineDecodeProgram::install_snapshot`]: crate::decoder::ZipLineDecodeProgram::install_snapshot
@@ -52,7 +74,7 @@ use crate::engine_control::{EngineControlPlane, EngineControlStats};
 use crate::error::Result;
 use zipline_engine::{
     CompressionBackend, CompressionEngine, DictionarySnapshot, DictionaryUpdate, EngineBuilder,
-    EngineConfig, EngineDecompressor, EngineStream, GdBackend, StreamSummary,
+    EngineConfig, EngineDecompressor, EngineStream, GdBackend, PipelinedStream, StreamSummary,
 };
 use zipline_gd::packet::PacketType;
 use zipline_net::ethernet::EthernetFrame;
@@ -84,11 +106,17 @@ pub struct HostPathConfig {
     /// [`EngineHostPath::snapshot`] — only sound while the dictionary never
     /// exceeds capacity.
     pub live_sync: bool,
+    /// Opt-in pipelined ingest: when `Some(depth)`, the engine is built
+    /// with [`EngineBuilder::pipelined`] and the `*_pipelined` push methods
+    /// become available (depth = batches in flight before `push` blocks;
+    /// see the module docs for the decision note). `None` keeps the path
+    /// synchronous-only.
+    pub pipeline_depth: Option<usize>,
 }
 
 impl HostPathConfig {
     /// Paper GD parameters, 8 shards, 4 workers, 256-chunk batches, live
-    /// decoder sync.
+    /// decoder sync, synchronous ingest.
     pub fn paper_default() -> Self {
         Self {
             engine: EngineConfig::paper_default(),
@@ -97,6 +125,24 @@ impl HostPathConfig {
             dst: MacAddress::local(1),
             raw_ethertype: zipline_net::ethernet::ETHERTYPE_IPV4,
             live_sync: true,
+            pipeline_depth: None,
+        }
+    }
+
+    /// `paper_default` with pipelined ingest at `depth` batches in flight.
+    pub fn pipelined(depth: usize) -> Self {
+        Self {
+            pipeline_depth: Some(depth),
+            ..Self::paper_default()
+        }
+    }
+
+    /// The engine builder this configuration describes.
+    fn builder(&self) -> EngineBuilder {
+        let builder = EngineBuilder::new().config(self.engine);
+        match self.pipeline_depth {
+            Some(depth) => builder.pipelined(depth),
+            None => builder,
         }
     }
 }
@@ -106,7 +152,10 @@ impl HostPathConfig {
 /// decoder live-synced). Generic over the engine's
 /// [`CompressionBackend`]; see the module docs.
 pub struct EngineHostPath<B: CompressionBackend = GdBackend> {
-    engine: CompressionEngine<B>,
+    /// `None` only transiently, while a pipelined stream owns the engine
+    /// (and permanently if such a stream fails — see
+    /// [`Self::pipelined_via`]).
+    engine: Option<CompressionEngine<B>>,
     control: EngineControlPlane,
     config: HostPathConfig,
 }
@@ -115,7 +164,7 @@ impl EngineHostPath<GdBackend> {
     /// Builds the GD-backed host path.
     pub fn new(config: HostPathConfig) -> Result<Self> {
         Ok(Self {
-            engine: EngineBuilder::new().config(config.engine).build()?,
+            engine: Some(config.builder().build()?),
             control: EngineControlPlane::new(),
             config,
         })
@@ -126,7 +175,7 @@ impl EngineHostPath<GdBackend> {
     /// self-sufficient; under churn a post-hoc snapshot alone aliases
     /// recycled identifiers.
     pub fn snapshot(&self) -> DictionarySnapshot {
-        self.engine.snapshot()
+        self.engine().snapshot()
     }
 }
 
@@ -140,10 +189,7 @@ impl<B: CompressionBackend> EngineHostPath<B> {
     /// worth compressing.
     pub fn with_backend(config: HostPathConfig, backend: B) -> Result<Self> {
         Ok(Self {
-            engine: EngineBuilder::new()
-                .config(config.engine)
-                .backend(backend)
-                .build()?,
+            engine: Some(config.builder().backend(backend).build()?),
             control: EngineControlPlane::new(),
             config,
         })
@@ -151,13 +197,15 @@ impl<B: CompressionBackend> EngineHostPath<B> {
 
     /// The underlying engine (statistics, snapshot, dictionary).
     pub fn engine(&self) -> &CompressionEngine<B> {
-        &self.engine
+        self.engine
+            .as_ref()
+            .expect("engine lost to a failed pipelined stream")
     }
 
     /// The mirrored decompressor for the frames this path emits (feed it
     /// the received payloads in order).
     pub fn decompressor(&self) -> Result<EngineDecompressor<B>> {
-        Ok(self.engine.decompressor()?)
+        Ok(self.engine().decompressor()?)
     }
 
     /// Control-plane counters of the live sync protocol.
@@ -210,6 +258,9 @@ impl<B: CompressionBackend> EngineHostPath<B> {
             control,
             config,
         } = self;
+        let engine = engine
+            .as_mut()
+            .expect("engine lost to a failed pipelined stream");
         let sink: FrameSink<'_> = Box::new(|pt, bytes| {
             let ethertype = pt.ethertype().unwrap_or(raw_ethertype);
             frames
@@ -225,6 +276,87 @@ impl<B: CompressionBackend> EngineHostPath<B> {
             EngineStream::with_control_sink(engine, config.batch_chunks, sink, control_sink);
         feed(&mut stream)?;
         let summary = stream.finish()?;
+        Ok((frames.into_inner(), summary))
+    }
+}
+
+impl<B: CompressionBackend + Send + 'static> EngineHostPath<B> {
+    /// [`Self::compress_to_frames`] over the pipelined ingest path: record
+    /// accumulation overlaps with compression on a dedicated engine worker
+    /// (see the module docs' decision note). Emits the **bit-identical**
+    /// frame sequence. Requires [`HostPathConfig::pipeline_depth`].
+    pub fn compress_to_frames_pipelined(
+        &mut self,
+        data: &[u8],
+    ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
+        self.pipelined_via(|stream| stream.push_record(data))
+    }
+
+    /// [`Self::compress_workload_to_frames`] over the pipelined ingest
+    /// path; the workload iterator runs on the calling thread while batches
+    /// compress on the engine worker — the producer-consumer overlap the
+    /// pipeline exists for.
+    pub fn compress_workload_to_frames_pipelined(
+        &mut self,
+        workload: &dyn ChunkWorkload,
+    ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
+        self.pipelined_via(|stream| stream.consume_workload(workload))
+    }
+
+    /// Pipelined sibling of [`Self::compress_via`]: identical sinks and
+    /// frame assembly, but the engine moves into a
+    /// [`PipelinedStream`](zipline_engine::PipelinedStream) for the call
+    /// (both sinks still run on the calling thread) and is restored when
+    /// the stream finishes. If the stream fails *mid-stream*, the engine is
+    /// lost with it — acceptable because such a failure leaves the
+    /// compressor/decoder pair out of sync anyway. A configuration error
+    /// (the path was built without [`HostPathConfig::pipeline_depth`]) is
+    /// caught *before* the engine moves, so it never costs the engine.
+    fn pipelined_via(
+        &mut self,
+        feed: impl FnOnce(
+            &mut PipelinedStream<FrameSink<'_>, ControlSink<'_>, B>,
+        ) -> zipline_gd::error::Result<()>,
+    ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
+        if self.config.pipeline_depth.is_none() {
+            return Err(zipline_gd::error::GdError::InvalidConfig(
+                "host path was not configured for pipelined ingest; \
+                 set HostPathConfig::pipeline_depth"
+                    .into(),
+            )
+            .into());
+        }
+        let frames: RefCell<Vec<EthernetFrame>> = RefCell::new(Vec::new());
+        let (src, dst, raw_ethertype) =
+            (self.config.src, self.config.dst, self.config.raw_ethertype);
+        let Self {
+            engine,
+            control,
+            config,
+        } = self;
+        let owned_engine = engine
+            .take()
+            .expect("engine lost to a failed pipelined stream");
+        let sink: FrameSink<'_> = Box::new(|pt, bytes| {
+            let ethertype = pt.ethertype().unwrap_or(raw_ethertype);
+            frames
+                .borrow_mut()
+                .push(EthernetFrame::new(dst, src, ethertype, bytes.to_vec()));
+        });
+        let control_sink: Option<ControlSink<'_>> = config.live_sync.then(|| {
+            Box::new(|update: &DictionaryUpdate| {
+                control.push_frames_for(update, src, dst, &mut frames.borrow_mut());
+            }) as ControlSink<'_>
+        });
+        let mut stream = PipelinedStream::with_control_sink(
+            owned_engine,
+            config.batch_chunks,
+            sink,
+            control_sink,
+        )?;
+        feed(&mut stream)?;
+        let (restored_engine, summary) = stream.finish()?;
+        *engine = Some(restored_engine);
         Ok((frames.into_inner(), summary))
     }
 }
@@ -345,6 +477,7 @@ mod tests {
             dst: MacAddress::local(1),
             raw_ethertype: zipline_net::ethernet::ETHERTYPE_IPV4,
             live_sync,
+            pipeline_depth: None,
         }
     }
 
@@ -448,6 +581,107 @@ mod tests {
         assert_eq!(outcome.decoder_stats.decode_failures, 0);
     }
 
+    // ---- pipelined ingest through the host path (ISSUE 5) ----------------
+
+    /// The pipelined push path emits the bit-identical frame sequence —
+    /// payload frames *and* interleaved control frames — on the churn-heavy
+    /// live-sync workload, for every spawn policy and several depths.
+    #[test]
+    fn pipelined_frames_are_bit_identical_to_synchronous() {
+        let sync_config = churny_config(true);
+        let mut sync_host = EngineHostPath::new(sync_config.clone()).unwrap();
+        let workload = churn_workload(&sync_config);
+        let (sync_frames, sync_summary) = sync_host.compress_workload_to_frames(&workload).unwrap();
+        assert!(sync_summary.control_updates > 0, "workload churns");
+
+        for spawn in [SpawnPolicy::Inline, SpawnPolicy::Threads, SpawnPolicy::Auto] {
+            for depth in [1usize, 2, 4] {
+                let config = HostPathConfig {
+                    engine: EngineConfig {
+                        spawn,
+                        ..sync_config.engine
+                    },
+                    pipeline_depth: Some(depth),
+                    ..sync_config.clone()
+                };
+                let mut host = EngineHostPath::new(config).unwrap();
+                let (frames, summary) = host
+                    .compress_workload_to_frames_pipelined(&workload)
+                    .unwrap();
+                assert_eq!(
+                    frames, sync_frames,
+                    "spawn = {spawn:?}, depth = {depth}: frame sequences diverge"
+                );
+                assert_eq!(summary, sync_summary, "spawn = {spawn:?}, depth = {depth}");
+            }
+        }
+    }
+
+    /// Pipelined churn stream through the full simulated deployment: the
+    /// asynchronous ingest layer preserves the in-band control ordering the
+    /// decoder depends on.
+    #[test]
+    fn pipelined_churn_roundtrips_through_full_deployment() {
+        let config = HostPathConfig {
+            pipeline_depth: Some(2),
+            ..churny_config(true)
+        };
+        let mut host = EngineHostPath::new(config.clone()).unwrap();
+        let data = churn_workload(&config).bytes();
+        let (frames, _) = host.compress_to_frames_pipelined(&data).unwrap();
+        assert!(host.engine().stats().evictions > 0, "workload churns");
+
+        let mut deployment = ZipLineDeployment::new(DeploymentConfig {
+            gd: config.engine.gd,
+            ..DeploymentConfig::fast_test()
+        })
+        .unwrap();
+        let outcome = deployment.run_frames(frames).unwrap();
+        assert_eq!(outcome.received_payloads.concat(), data);
+        assert_eq!(outcome.decoder_stats.decode_failures, 0);
+    }
+
+    /// The host path survives alternating pipelined and synchronous pushes:
+    /// the engine (dictionary state included) is handed back after every
+    /// pipelined stream, so the combined frame sequence still decodes.
+    #[test]
+    fn pipelined_and_synchronous_pushes_interleave_on_one_engine() {
+        let config = HostPathConfig {
+            pipeline_depth: Some(1),
+            ..HostPathConfig::paper_default()
+        };
+        let mut host = EngineHostPath::new(config).unwrap();
+        let mut decoder = ZipLineDecodeProgram::new(DecoderConfig::paper_default()).unwrap();
+        let mut all_data = Vec::new();
+        let mut restored = Vec::new();
+        for round in 0..4u8 {
+            let data = sensor_style_data(40 + round as u32);
+            let (frames, _) = if round % 2 == 0 {
+                host.compress_to_frames_pipelined(&data).unwrap()
+            } else {
+                host.compress_to_frames(&data).unwrap()
+            };
+            restored.extend_from_slice(&decode_frames(&mut decoder, frames));
+            all_data.extend_from_slice(&data);
+        }
+        assert_eq!(restored, all_data);
+        assert_eq!(decoder.stats().decode_failures, 0);
+    }
+
+    /// Calling a `*_pipelined` method on a host built without
+    /// `pipeline_depth` errors cleanly — and must NOT poison the engine:
+    /// the synchronous path keeps working afterwards.
+    #[test]
+    fn unpipelined_host_rejects_pipelined_push_without_losing_the_engine() {
+        let mut host = EngineHostPath::new(HostPathConfig::paper_default()).unwrap();
+        let data = sensor_style_data(20);
+        assert!(host.compress_to_frames_pipelined(&data).is_err());
+        // The engine survived: the synchronous path still compresses.
+        let (frames, summary) = host.compress_to_frames(&data).unwrap();
+        assert!(!frames.is_empty());
+        assert_eq!(summary.bytes_in, data.len() as u64);
+    }
+
     // ---- non-GD backends through the same host path (ISSUE 4) ------------
 
     use zipline_engine::{CompressionBackend, DeflateBackend, PassthroughBackend};
@@ -515,6 +749,31 @@ mod tests {
             let restored = roundtrip_through_deployment(&mut host, frames);
             assert_eq!(restored, data, "workload {name} roundtrips losslessly");
         }
+    }
+
+    /// The pipelined ingest layer is backend-generic: the gzip-backed path
+    /// compresses a workload through the worker thread and still roundtrips
+    /// losslessly through the full deployment.
+    #[test]
+    fn deflate_pipelined_host_path_roundtrips_through_deployment() {
+        let config = HostPathConfig {
+            pipeline_depth: Some(2),
+            engine: EngineConfig {
+                spawn: SpawnPolicy::Threads,
+                ..HostPathConfig::paper_default().engine
+            },
+            ..deflate_host_config()
+        };
+        let mut host = EngineHostPath::with_backend(config, DeflateBackend::default()).unwrap();
+        let workload = SensorWorkload::new(SensorWorkloadConfig::small());
+        let (frames, summary) = host
+            .compress_workload_to_frames_pipelined(&workload)
+            .unwrap();
+        let data: Vec<u8> = workload.chunks().flatten().collect();
+        assert_eq!(summary.bytes_in, data.len() as u64);
+        assert!(summary.wire_bytes < data.len() as u64, "gzip compresses");
+        let restored = roundtrip_through_deployment(&mut host, frames);
+        assert_eq!(restored, data);
     }
 
     /// The passthrough backend is the wire floor: ratio exactly 1.0, and the

@@ -85,6 +85,51 @@ fn engine_stream_flow_compresses_and_round_trips() {
 }
 
 #[test]
+fn pipelined_ingest_flow_matches_the_synchronous_stream() {
+    // The pipelined_ingest example flow at reduced scale: the asynchronous
+    // ingest stream (worker forced on to exercise the threaded path in CI)
+    // emits bit-identical wire output to the synchronous stream.
+    use zipline_repro::zipline_engine::PipelinedStream;
+    let data = sensor_style_data(300);
+
+    let mut sync_engine = EngineBuilder::new()
+        .shards(8)
+        .workers(4)
+        .spawn(SpawnPolicy::Threads)
+        .build()
+        .expect("valid engine config");
+    let mut sync_wire = Vec::new();
+    let mut sync_stream = EngineStream::new(&mut sync_engine, 64, |packet_type, bytes| {
+        sync_wire.push((packet_type, bytes.to_vec()));
+    });
+    for chunk in data.chunks(32) {
+        sync_stream.push_record(chunk).expect("record streams");
+    }
+    sync_stream.finish().expect("stream flushes");
+
+    let piped_engine = EngineBuilder::new()
+        .shards(8)
+        .workers(4)
+        .spawn(SpawnPolicy::Threads)
+        .pipelined(2)
+        .build()
+        .expect("valid engine config");
+    let mut piped_wire = Vec::new();
+    let mut piped_stream = PipelinedStream::new(piped_engine, 64, |packet_type, bytes: &[u8]| {
+        piped_wire.push((packet_type, bytes.to_vec()));
+    })
+    .expect("engine is pipelined");
+    assert!(piped_stream.is_threaded(), "worker forced on");
+    for chunk in data.chunks(32) {
+        piped_stream.push_record(chunk).expect("record streams");
+    }
+    let (engine, summary) = piped_stream.finish().expect("stream flushes");
+    assert_eq!(piped_wire, sync_wire, "pipelined output is bit-identical");
+    assert_eq!(summary.bytes_in, data.len() as u64);
+    assert!(engine.stats().is_consistent());
+}
+
+#[test]
 fn backend_matrix_flow_compresses_and_round_trips() {
     // The engine_backends example flow at reduced scale: the same generic
     // EngineStream drives GD, deflate and passthrough over one workload,

@@ -186,7 +186,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Acceptable element-count specifications for [`vec`].
+    /// Acceptable element-count specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
