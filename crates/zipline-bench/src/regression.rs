@@ -44,6 +44,7 @@ pub const TRACKED_GROUPS: &[&str] = &[
     "dictionary_churn",
     "backend_matrix",
     "pipelined_ingest",
+    "recovery",
 ];
 
 /// One measured benchmark: its full id (`group/name[/param]`) and median.
@@ -294,6 +295,7 @@ mod tests {
             ("BENCH_PR3.json", include_str!("../../../BENCH_PR3.json")),
             ("BENCH_PR4.json", include_str!("../../../BENCH_PR4.json")),
             ("BENCH_PR5.json", include_str!("../../../BENCH_PR5.json")),
+            ("BENCH_PR6.json", include_str!("../../../BENCH_PR6.json")),
         ] {
             let pr = pr_number(name).unwrap();
             set.absorb(name, pr, text);

@@ -56,7 +56,7 @@
 //! attached to them simply never sees traffic.
 
 use crate::engine::EngineConfig;
-use crate::shard::{DictionaryDelta, DictionarySnapshot, ShardStats};
+use crate::shard::{DictionaryDelta, DictionarySnapshot, DictionaryState, ShardStats};
 use zipline_deflate::Level;
 use zipline_gd::error::{GdError, Result};
 use zipline_gd::packet::PacketType;
@@ -132,6 +132,25 @@ pub trait CompressionBackend {
     /// ordered [`DictionaryDelta`]; always empty for delta-less backends.
     fn take_delta(&mut self) -> DictionaryDelta {
         DictionaryDelta::default()
+    }
+
+    /// Full behavioural state of the backend's shared dictionary, for the
+    /// persistence layer's checkpoints; `None` for backends without shared
+    /// state (they have nothing to persist — a durable stream still
+    /// journals their frames, and recovery is the frame log alone).
+    fn export_dictionary_state(&self) -> Option<DictionaryState> {
+        None
+    }
+
+    /// Restores the backend's shared dictionary from a persisted
+    /// [`DictionaryState`] (a warm restart). Backends without shared state
+    /// reject the call: a store that carries dictionary state for them is
+    /// mismatched.
+    fn restore_dictionary_state(&mut self, state: &DictionaryState) -> Result<()> {
+        let _ = state;
+        Err(GdError::InvalidConfig(
+            "this backend has no dictionary state to restore".into(),
+        ))
     }
 
     /// Builds the mirrored decompressor for streams this backend produces.

@@ -34,8 +34,12 @@
 //! configuration by value but `EngineDecompressor::new` by reference — both
 //! are now by-value conveniences, and the builder is the canonical path.
 
+use std::path::PathBuf;
+
 use crate::backend::CompressionBackend;
 use crate::engine::{CompressionEngine, EngineConfig, EngineDecompressor, GdBackend, SpawnPolicy};
+use crate::error::{EngineError, Result as EngineResult};
+use crate::persist::{EngineStore, PersistError, StoreOptions};
 use crate::pipelined::PipelineConfig;
 use zipline_gd::config::GdConfig;
 use zipline_gd::error::Result;
@@ -49,6 +53,10 @@ pub struct EngineBuilder<B: CompressionBackend = GdBackend> {
     /// Ingest pipeline depth for [`PipelinedStream`](crate::PipelinedStream);
     /// `None` keeps the engine synchronous-only.
     pipeline_depth: Option<usize>,
+    /// Durable store directory; `None` keeps the engine in-memory only.
+    durable: Option<PathBuf>,
+    /// Store tuning, applied when [`Self::durable`] is set.
+    store_options: StoreOptions,
     /// Explicit backend instance; when `None`, `build()` constructs one from
     /// the configuration via [`CompressionBackend::from_engine_config`].
     backend: Option<B>,
@@ -62,6 +70,8 @@ impl EngineBuilder<GdBackend> {
             config: EngineConfig::paper_default(),
             live_sync: false,
             pipeline_depth: None,
+            durable: None,
+            store_options: StoreOptions::default(),
             backend: None,
         }
     }
@@ -135,6 +145,30 @@ impl<B: CompressionBackend> EngineBuilder<B> {
         self
     }
 
+    /// Makes the built engine durable: an [`EngineStore`] under `dir` is
+    /// opened (warm restart) or created (fresh start) at
+    /// [`build`](Self::build), and every stream batch is committed to it
+    /// before emission. On a warm restart the backend's dictionary is
+    /// rehydrated from the store — no cold-start snapshot resync — and
+    /// the recovery data is available once via
+    /// [`CompressionEngine::take_warm_start`]. For backends with shared
+    /// decoder state, durability forces live sync on (the store journals
+    /// the same deltas the control plane consumes).
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable = Some(dir.into());
+        self
+    }
+
+    /// Sets the durable store's checkpoint cadence: a full-state
+    /// checkpoint every `batches` commits. The default of 1 makes every
+    /// commit bit-exactly recoverable; larger cadences trade checkpoint
+    /// bytes for delta-fold (*consistent*) recovery. No effect without
+    /// [`durable`](Self::durable).
+    pub fn checkpoint_cadence(mut self, batches: u64) -> Self {
+        self.store_options.checkpoint_cadence = batches.max(1);
+        self
+    }
+
     /// Swaps in an explicit backend instance (e.g.
     /// [`DeflateBackend::new`](crate::DeflateBackend::new) with a chosen
     /// level). Without this call, `build()` derives the backend from the
@@ -153,12 +187,16 @@ impl<B: CompressionBackend> EngineBuilder<B> {
             config: self.config,
             live_sync: self.live_sync,
             pipeline_depth: self.pipeline_depth,
+            durable: self.durable,
+            store_options: self.store_options,
             backend: Some(backend),
         }
     }
 
-    /// Validates the configuration once and builds the engine.
-    pub fn build(self) -> Result<CompressionEngine<B>> {
+    /// Validates the configuration once and builds the engine. With
+    /// [`durable`](Self::durable) set, this is also where the store is
+    /// opened or created and a warm restart rehydrates the backend.
+    pub fn build(self) -> EngineResult<CompressionEngine<B>> {
         self.config.validate()?;
         let pipeline = self
             .pipeline_depth
@@ -174,9 +212,47 @@ impl<B: CompressionBackend> EngineBuilder<B> {
             Some(backend) => backend,
             None => B::from_engine_config(&self.config)?,
         };
-        backend.set_live_sync(self.live_sync);
+        // Durability rides on the same journal live sync drains, so a
+        // durable stateful backend always journals.
+        backend.set_live_sync(
+            self.live_sync || (self.durable.is_some() && backend.supports_live_sync()),
+        );
+
+        let durable = self
+            .durable
+            .map(|dir| {
+                let shards = self.config.shards;
+                let per_shard = self.config.gd.dictionary_capacity() / shards;
+                let (mut store, warm) = EngineStore::open_or_create(&dir, shards, per_shard)?;
+                if store.shard_count() != shards || store.shard_capacity() != per_shard {
+                    return Err(PersistError::Corrupt(format!(
+                        "store at {} was created for {} shards of {}, engine wants {} of {}",
+                        dir.display(),
+                        store.shard_count(),
+                        store.shard_capacity(),
+                        shards,
+                        per_shard,
+                    )));
+                }
+                store.set_options(self.store_options);
+                Ok((store, warm))
+            })
+            .transpose()?;
+
         let mut engine = CompressionEngine::from_backend(backend);
         engine.set_pipeline(pipeline);
+        if let Some((store, warm)) = durable {
+            if let Some(warm) = warm {
+                if engine.backend().supports_live_sync() {
+                    engine
+                        .backend_mut()
+                        .restore_dictionary_state(&warm.dictionary)
+                        .map_err(EngineError::Gd)?;
+                }
+                engine.set_warm_start(warm);
+            }
+            engine.attach_store(store);
+        }
         Ok(engine)
     }
 

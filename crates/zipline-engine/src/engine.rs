@@ -38,9 +38,11 @@
 //! `EngineDecompressor::new` remain as by-value conveniences.
 
 use crate::backend::{BackendDecompressor, CompressionBackend};
+use crate::persist::{EngineStore, WarmStart};
 use crate::pipelined::PipelineConfig;
 use crate::shard::{
-    DictionaryDelta, DictionarySnapshot, ShardOutcome, ShardStats, ShardedDictionary,
+    DictionaryDelta, DictionarySnapshot, DictionaryState, ShardOutcome, ShardStats,
+    ShardedDictionary,
 };
 use zipline_gd::codec::{
     ChunkCodec, CompressedStream, DecodeScratch, EncodeScratch, EncodedChunk, Record,
@@ -521,6 +523,33 @@ impl CompressionBackend for GdBackend {
         self.dict.take_delta()
     }
 
+    /// Full behavioural state of the sharded dictionary, what the persist
+    /// layer's checkpoints serialize.
+    fn export_dictionary_state(&self) -> Option<DictionaryState> {
+        Some(self.dict.export_state())
+    }
+
+    /// Warm restart: replaces the sharded dictionary with a persisted
+    /// state, preserving the journaling flag (the global `delta_seq`
+    /// carries over, so live sync continues monotonically).
+    fn restore_dictionary_state(&mut self, state: &DictionaryState) -> Result<()> {
+        if state.shard_count != self.config.shards
+            || state.shard_count * state.shard_capacity != self.config.gd.dictionary_capacity()
+        {
+            return Err(GdError::InvalidConfig(format!(
+                "persisted dictionary shape {}x{} does not match the engine's {} shards of {}",
+                state.shard_count,
+                state.shard_capacity,
+                self.config.shards,
+                self.config.gd.dictionary_capacity() / self.config.shards,
+            )));
+        }
+        let journal = self.dict.journal_enabled();
+        self.dict = ShardedDictionary::from_state(state)?;
+        self.dict.set_journal(journal);
+        Ok(())
+    }
+
     fn decompressor(&self) -> Result<Self::Decompressor> {
         GdBackendDecompressor::new(&self.config)
     }
@@ -742,6 +771,14 @@ pub struct CompressionEngine<B: CompressionBackend = GdBackend> {
     /// [`PipelinedStream`](crate::PipelinedStream) via
     /// [`EngineBuilder::pipelined`](crate::EngineBuilder::pipelined).
     pipeline: Option<PipelineConfig>,
+    /// The durability layer, when the engine was built with
+    /// [`EngineBuilder::durable`](crate::EngineBuilder::durable). Streams
+    /// constructed over the engine journal every batch through it.
+    store: Option<EngineStore>,
+    /// Recovery data from the store the engine was rehydrated from, held
+    /// for the host path to consume once (replay boundary + committed
+    /// wire journal).
+    warm_start: Option<WarmStart>,
 }
 
 impl<B: CompressionBackend> CompressionEngine<B> {
@@ -752,6 +789,8 @@ impl<B: CompressionBackend> CompressionEngine<B> {
         Self {
             backend,
             pipeline: None,
+            store: None,
+            warm_start: None,
         }
     }
 
@@ -783,6 +822,44 @@ impl<B: CompressionBackend> CompressionEngine<B> {
     /// Unwraps the engine back into its backend.
     pub fn into_backend(self) -> B {
         self.backend
+    }
+
+    /// Attaches (or replaces) the durability layer. Streams constructed
+    /// over the engine commit every batch through it before emitting.
+    pub fn attach_store(&mut self, store: EngineStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached durability layer, if any.
+    pub fn store(&self) -> Option<&EngineStore> {
+        self.store.as_ref()
+    }
+
+    /// Detaches and returns the durability layer (used by
+    /// [`PipelinedStream`](crate::PipelinedStream), which journals on the
+    /// caller side while the engine lives on the worker thread).
+    pub fn take_store(&mut self) -> Option<EngineStore> {
+        self.store.take()
+    }
+
+    /// Split borrow: the backend and the attached store, simultaneously
+    /// mutable (the stream needs the backend to emit while the store
+    /// journals).
+    pub fn backend_and_store_mut(&mut self) -> (&mut B, Option<&mut EngineStore>) {
+        (&mut self.backend, self.store.as_mut())
+    }
+
+    /// Stashes warm-restart recovery data (builder-internal).
+    pub(crate) fn set_warm_start(&mut self, warm: WarmStart) {
+        self.warm_start = Some(warm);
+    }
+
+    /// Takes the warm-restart recovery data, if the engine was rehydrated
+    /// from a durable store: the committed batch boundary, the resume
+    /// offset into the input, and the committed wire journal. Consumed
+    /// once — typically by the host path to decide where to resume.
+    pub fn take_warm_start(&mut self) -> Option<WarmStart> {
+        self.warm_start.take()
     }
 
     /// Compresses one batch; see
@@ -852,26 +929,6 @@ impl CompressionEngine<GdBackend> {
     pub fn snapshot(&self) -> DictionarySnapshot {
         self.backend.dictionary_snapshot()
     }
-
-    /// Deprecated shim for the pre-builder knob surface.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use EngineBuilder::live_sync(true) or CompressionEngine::set_live_sync; \
-                this shim will be removed in 0.4.0"
-    )]
-    pub fn enable_live_sync(&mut self) {
-        self.set_live_sync(true);
-    }
-
-    /// Deprecated shim for the pre-builder knob surface.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use EngineBuilder::live_sync(false) or CompressionEngine::set_live_sync; \
-                this shim will be removed in 0.4.0"
-    )]
-    pub fn disable_live_sync(&mut self) {
-        self.set_live_sync(false);
-    }
 }
 
 /// Decoder mirror of [`CompressionEngine`], generic over the same backend:
@@ -934,16 +991,6 @@ impl EngineDecompressor<GdBackend> {
         Ok(Self {
             inner: GdBackendDecompressor::new(&config)?,
         })
-    }
-
-    /// Deprecated shim preserving the old by-reference constructor.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use EngineDecompressor::new(config) (by value) or EngineBuilder::build_decompressor(); \
-                this shim will be removed in 0.4.0"
-    )]
-    pub fn from_config_ref(config: &EngineConfig) -> Result<Self> {
-        Self::new(*config)
     }
 
     /// The sharded dictionary rebuilt so far.
@@ -1066,34 +1113,53 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let config = EngineConfig::paper_default();
-        let mut engine = CompressionEngine::new(config).unwrap();
-        engine.enable_live_sync();
-        assert!(engine.live_sync_enabled());
-        engine.disable_live_sync();
-        assert!(!engine.live_sync_enabled());
-        let mut dec = EngineDecompressor::from_config_ref(&config).unwrap();
-        let mut via_builder = EngineBuilder::new().config(config).build().unwrap();
-        let stream = via_builder.compress_batch(&[0u8; 64]).unwrap();
-        assert_eq!(dec.decompress_batch(&stream).unwrap(), vec![0u8; 64]);
-
-        // The shims route through the same validation as EngineBuilder:
-        // a shape build() would reject is rejected by the shim too.
-        let mut bad = config;
-        bad.shards = 3;
-        assert!(EngineBuilder::new().config(bad).build().is_err());
-        assert!(EngineDecompressor::from_config_ref(&bad).is_err());
-        // And the live-sync pair lands in the same state the builder knob
-        // would have produced.
-        let mut shimmed = CompressionEngine::new(config).unwrap();
-        shimmed.enable_live_sync();
-        let built = EngineBuilder::new()
-            .config(config)
+    fn dictionary_state_roundtrips_through_the_backend_hooks() {
+        let mut engine = EngineBuilder::new()
+            .gd(GdConfig::for_parameters(8, 6).unwrap())
+            .shards(4)
+            .workers(2)
+            .spawn(SpawnPolicy::Inline)
             .live_sync(true)
             .build()
             .unwrap();
-        assert_eq!(shimmed.live_sync_enabled(), built.live_sync_enabled());
+        let data = sensor_style_data(300, 32);
+        engine.compress_batch(&data).unwrap();
+        let _ = engine.take_delta();
+        let state = engine.backend().export_dictionary_state().unwrap();
+
+        // Restoring into a fresh engine of the same shape reproduces the
+        // stream of a continued run bit for bit.
+        let mut restored = EngineBuilder::new()
+            .gd(GdConfig::for_parameters(8, 6).unwrap())
+            .shards(4)
+            .workers(2)
+            .spawn(SpawnPolicy::Inline)
+            .live_sync(true)
+            .build()
+            .unwrap();
+        restored
+            .backend_mut()
+            .restore_dictionary_state(&state)
+            .unwrap();
+        assert!(
+            restored.live_sync_enabled(),
+            "journal flag survives restore"
+        );
+        let more = sensor_style_data(100, 32);
+        let a = engine.compress_batch(&more).unwrap();
+        let b = restored.compress_batch(&more).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(engine.take_delta(), restored.take_delta());
+
+        // A mismatched shape is rejected loudly.
+        let mut other = EngineBuilder::new()
+            .gd(GdConfig::for_parameters(8, 6).unwrap())
+            .shards(8)
+            .build()
+            .unwrap();
+        assert!(other
+            .backend_mut()
+            .restore_dictionary_state(&state)
+            .is_err());
     }
 }

@@ -110,6 +110,8 @@
 pub mod backend;
 pub mod builder;
 pub mod engine;
+pub mod error;
+pub mod persist;
 pub mod pipelined;
 pub mod shard;
 pub mod stream;
@@ -123,9 +125,11 @@ pub use engine::{
     CompressionEngine, EngineConfig, EngineDecompressor, GdBackend, GdBackendDecompressor,
     SpawnPolicy,
 };
+pub use error::EngineError;
+pub use persist::{CommittedEntry, EngineStore, PersistError, StoreOptions, WarmStart};
 pub use pipelined::{PipelineConfig, PipelinedStream};
 pub use shard::{
-    DictionaryDelta, DictionarySnapshot, DictionaryUpdate, ShardOutcome, ShardStats,
-    ShardedDictionary, UpdateOp,
+    DictionaryDelta, DictionarySnapshot, DictionaryState, DictionaryUpdate, ShardOutcome,
+    ShardState, ShardStats, ShardedDictionary, UpdateOp,
 };
 pub use stream::{EngineStream, StreamSummary};

@@ -1,0 +1,1523 @@
+//! Durable shard store + journaled frame log: the engine's crash-recovery
+//! layer.
+//!
+//! A [`ShardedDictionary`] is long-lived shared state — the whole point of
+//! GD is that the `identifier → basis` table amortizes over hours of
+//! traffic — yet before this module it lived only in memory: any engine
+//! restart forced a cold-start snapshot resync, and an interrupted stream
+//! was unrecoverable mid-flight. [`EngineStore`] makes the host path
+//! restartable by journaling both sides of the engine to disk:
+//!
+//! * **shard store** (`shards.zsl`) — an append-only log of the
+//!   [`DictionaryUpdate`] events every batch produces (the same journal
+//!   live sync drains via `take_delta`), interleaved with periodic
+//!   compacted **checkpoints** carrying a full [`DictionaryState`];
+//! * **frame log** (`frames.zfl`) — every wire payload and interleaved
+//!   control update the stream emitted, delimited by batch-boundary
+//!   **commit markers**.
+//!
+//! # On-disk format
+//!
+//! Both files are sequences of self-checking records:
+//!
+//! ```text
+//! record   := len:u32le  payload  crc:u32le
+//! payload  := kind:u8  body
+//! ```
+//!
+//! `len` counts the payload bytes and `crc` is CRC-32 (polynomial
+//! `0x04C11DB7`, the [`CrcEngine`] convention) over the payload, so a
+//! torn, truncated or bit-flipped tail never parses as a valid record.
+//! All integers are little-endian; bit vectors serialize as
+//! `bit_len:u32le` plus their byte-padded words.
+//!
+//! | file         | kinds                                                   |
+//! |--------------|---------------------------------------------------------|
+//! | `shards.zsl` | `0x01` header (`"ZLSS"`, version, shard shape) · `0x02` delta (batch, updates) · `0x03` checkpoint (batch, full state) |
+//! | `frames.zfl` | `0x11` header (`"ZLFL"`, version) · `0x12` frame (packet type, bytes) · `0x13` control (update) · `0x14` commit (batch, cumulative bytes in / frames) |
+//!
+//! # Commit protocol
+//!
+//! [`EngineStore::commit_batch`] makes one batch durable in write order:
+//! frame + control records → shard delta (and checkpoint when the cadence
+//! is due) → shard flush → commit marker → frame flush. The commit marker
+//! is the *only* thing that makes a batch count: everything after the last
+//! valid commit is, by definition, an interrupted batch and is truncated
+//! away on open. A delta record is written for **every** batch (even an
+//! empty one), so recovery can prove coverage of each committed batch.
+//!
+//! # Recovery invariants
+//!
+//! [`EngineStore::open`] scans both logs, stops each scan at the first
+//! record that fails its length or CRC check (the torn tail), and then:
+//!
+//! 1. the last valid commit marker defines the durable boundary `C`;
+//!    frame/control records after it are truncated (the interrupted
+//!    batch re-runs on resume);
+//! 2. the dictionary is rebuilt from the newest checkpoint with
+//!    `batch <= C`, then the deltas for `checkpoint+1 ..= C` are folded in
+//!    via [`ShardedDictionary::apply_update`]; with the default
+//!    checkpoint cadence of 1 the checkpoint *is* batch `C` and the
+//!    restored dictionary's future behaviour is bit-identical (recency
+//!    order included); a folded restore is *consistent* (the
+//!    `identifier → basis` mapping is exact, recency is approximated) —
+//!    [`WarmStart::exact`] reports which one you got;
+//! 3. anything structurally impossible fails **loudly** as
+//!    [`PersistError::Corrupt`] instead of silently misrestoring:
+//!    non-contiguous batch numbers (a duplicated or reordered tail
+//!    segment), a shard log that cannot cover a committed batch (a
+//!    mid-log bit flip upstream of valid commits), a shard log more than
+//!    one batch ahead of the frame log (a frame log that lost commits
+//!    mid-file), or a checkpoint whose state fails the dictionary's own
+//!    structural validation.
+//!
+//! # Compaction
+//!
+//! [`EngineStore::compact`] retires both logs at a quiescent point (e.g.
+//! stream finish): the frame log is rewritten as its header plus one
+//! **baseline** commit carrying the cumulative counters (its journal
+//! entries are already durable downstream, so replaying them on restart
+//! would duplicate wire frames), and the shard log as its header plus one
+//! checkpoint of the final state. Each rewrite is a temp-file-plus-rename;
+//! the frame log goes first, and recovery accepts a first commit with
+//! `batch > 1` as a baseline only when no journal records precede it, so
+//! a crash between the two renames still restores correctly from the old
+//! shard log.
+//!
+//! Durability is at process-crash granularity: records reach the OS in
+//! commit order, so killing the writer at any byte offset leaves a
+//! recoverable prefix. (Power-loss hardening would add `fdatasync` at the
+//! two flush points; the format needs no change.)
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::shard::{
+    DictionaryState, DictionaryUpdate, ShardState, ShardStats, ShardedDictionary, UpdateOp,
+};
+use zipline_gd::dictionary::{BasisDictionaryState, DictionaryEntryState};
+use zipline_gd::packet::PacketType;
+use zipline_gd::{BitVec, CrcEngine, CrcSpec};
+
+/// File name of the dictionary event log + checkpoints.
+const SHARD_LOG: &str = "shards.zsl";
+/// File name of the wire frame journal.
+const FRAME_LOG: &str = "frames.zfl";
+const SHARD_MAGIC: &[u8; 4] = b"ZLSS";
+const FRAME_MAGIC: &[u8; 4] = b"ZLFL";
+const FORMAT_VERSION: u16 = 1;
+/// Upper bound on one record's payload; anything larger is treated as a
+/// torn length field.
+const MAX_RECORD_BYTES: usize = 1 << 28;
+
+const KIND_SHARD_HEADER: u8 = 0x01;
+const KIND_DELTA: u8 = 0x02;
+const KIND_CHECKPOINT: u8 = 0x03;
+const KIND_FRAME_HEADER: u8 = 0x11;
+const KIND_FRAME: u8 = 0x12;
+const KIND_CONTROL: u8 = 0x13;
+const KIND_COMMIT: u8 = 0x14;
+
+/// The record CRC: CRC-32 in the crate's `B(x) mod g(x)` convention.
+fn record_crc() -> CrcEngine {
+    CrcEngine::new(CrcSpec::new(32, 0x04C1_1DB7).expect("CRC-32 spec is valid"))
+}
+
+/// A durability-layer failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An OS-level I/O failure, with the operation that hit it.
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The on-disk state is structurally impossible — recovery refuses to
+    /// guess rather than silently misrestore.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { context, source } => write!(f, "{context}: {source}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Corrupt(_) => None,
+        }
+    }
+}
+
+/// Persistence result alias.
+pub type PersistResult<T> = std::result::Result<T, PersistError>;
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> PersistError {
+    let context = context.into();
+    move |source| PersistError::Io { context, source }
+}
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Body serialization
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bitvec(buf: &mut Vec<u8>, bits: &BitVec) {
+    put_u32(buf, bits.len() as u32);
+    buf.extend_from_slice(&bits.to_bytes());
+}
+
+/// Bounded reader over one record body; every shortfall is a loud
+/// [`PersistError::Corrupt`] naming the record being parsed.
+struct BodyReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> BodyReader<'a> {
+    fn new(data: &'a [u8], what: &'static str) -> Self {
+        Self { data, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> PersistResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        let Some(end) = end else {
+            return Err(corrupt(format!(
+                "{}: body shorter than declared",
+                self.what
+            )));
+        };
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> PersistResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> PersistResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> PersistResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> PersistResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bitvec(&mut self) -> PersistResult<BitVec> {
+        let bit_len = self.u32()? as usize;
+        let bytes = self.take(bit_len.div_ceil(8))?;
+        let mut bits = BitVec::from_bytes(bytes);
+        bits.truncate(bit_len);
+        Ok(bits)
+    }
+
+    fn finish(self) -> PersistResult<()> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(corrupt(format!("{}: trailing bytes in body", self.what)))
+        }
+    }
+}
+
+fn packet_type_code(pt: PacketType) -> u8 {
+    pt.number()
+}
+
+fn packet_type_from(code: u8, what: &'static str) -> PersistResult<PacketType> {
+    match code {
+        1 => Ok(PacketType::Raw),
+        2 => Ok(PacketType::Uncompressed),
+        3 => Ok(PacketType::Compressed),
+        other => Err(corrupt(format!("{what}: unknown packet type {other}"))),
+    }
+}
+
+fn put_update(buf: &mut Vec<u8>, update: &DictionaryUpdate) {
+    put_u64(buf, update.seq);
+    put_u64(buf, update.at);
+    match &update.op {
+        UpdateOp::Install { id, basis } => {
+            buf.push(0);
+            put_u64(buf, *id);
+            put_bitvec(buf, basis);
+        }
+        UpdateOp::Remove { id } => {
+            buf.push(1);
+            put_u64(buf, *id);
+        }
+    }
+}
+
+fn read_update(r: &mut BodyReader<'_>) -> PersistResult<DictionaryUpdate> {
+    let seq = r.u64()?;
+    let at = r.u64()?;
+    let op = match r.u8()? {
+        0 => UpdateOp::Install {
+            id: r.u64()?,
+            basis: r.bitvec()?,
+        },
+        1 => UpdateOp::Remove { id: r.u64()? },
+        other => return Err(corrupt(format!("{}: unknown update op {other}", r.what))),
+    };
+    Ok(DictionaryUpdate { seq, at, op })
+}
+
+fn put_state(buf: &mut Vec<u8>, state: &DictionaryState) {
+    put_u32(buf, state.shard_count as u32);
+    put_u32(buf, state.shard_capacity as u32);
+    put_u64(buf, state.delta_seq);
+    for shard in &state.shards {
+        put_u64(buf, shard.clock);
+        put_u64(buf, shard.stats.lookups);
+        put_u64(buf, shard.stats.hits);
+        put_u64(buf, shard.stats.learned);
+        put_u64(buf, shard.stats.evictions);
+        put_u64(buf, shard.dict.next_fresh);
+        put_u64(buf, shard.dict.evictions);
+        put_u64(buf, shard.dict.expirations);
+        put_u32(buf, shard.dict.released.len() as u32);
+        for &id in &shard.dict.released {
+            put_u64(buf, id);
+        }
+        put_u32(buf, shard.dict.entries.len() as u32);
+        for entry in &shard.dict.entries {
+            put_u64(buf, entry.id);
+            put_u64(buf, entry.last_used);
+            put_u64(buf, entry.inserted_at);
+            put_bitvec(buf, &entry.basis);
+        }
+    }
+}
+
+fn read_state(r: &mut BodyReader<'_>) -> PersistResult<DictionaryState> {
+    let shard_count = r.u32()? as usize;
+    let shard_capacity = r.u32()? as usize;
+    let delta_seq = r.u64()?;
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let clock = r.u64()?;
+        let stats = ShardStats {
+            lookups: r.u64()?,
+            hits: r.u64()?,
+            learned: r.u64()?,
+            evictions: r.u64()?,
+        };
+        let next_fresh = r.u64()?;
+        let evictions = r.u64()?;
+        let expirations = r.u64()?;
+        let released_len = r.u32()? as usize;
+        let mut released = Vec::with_capacity(released_len.min(1 << 20));
+        for _ in 0..released_len {
+            released.push(r.u64()?);
+        }
+        let entry_len = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(entry_len.min(1 << 20));
+        for _ in 0..entry_len {
+            entries.push(DictionaryEntryState {
+                id: r.u64()?,
+                last_used: r.u64()?,
+                inserted_at: r.u64()?,
+                basis: r.bitvec()?,
+            });
+        }
+        shards.push(ShardState {
+            clock,
+            stats,
+            dict: BasisDictionaryState {
+                entries,
+                next_fresh,
+                released,
+                evictions,
+                expirations,
+            },
+        });
+    }
+    Ok(DictionaryState {
+        shard_count,
+        shard_capacity,
+        delta_seq,
+        shards,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------------
+
+/// One CRC-validated record located in a scanned log.
+struct RawRecord {
+    kind: u8,
+    body_start: usize,
+    body_end: usize,
+    /// Byte offset one past the record's trailing CRC.
+    end: usize,
+}
+
+/// Scans a log, returning every CRC-valid record and the byte offset of
+/// the first invalid one (the torn-tail truncation point).
+fn scan_log(data: &[u8], crc: &CrcEngine) -> (Vec<RawRecord>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while let Some(len_bytes) = data.get(offset..offset + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_RECORD_BYTES {
+            break;
+        }
+        let payload_start = offset + 4;
+        let Some(payload) = data.get(payload_start..payload_start + len) else {
+            break;
+        };
+        let Some(crc_bytes) = data.get(payload_start + len..payload_start + len + 4) else {
+            break;
+        };
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc.compute_bytes(payload) as u32 != stored {
+            break;
+        }
+        let end = payload_start + len + 4;
+        records.push(RawRecord {
+            kind: payload[0],
+            body_start: payload_start + 1,
+            body_end: payload_start + len,
+            end,
+        });
+        offset = end;
+    }
+    (records, offset)
+}
+
+/// Frames `kind + body` with its length prefix and CRC and appends it.
+fn append_record(
+    file: &mut File,
+    crc: &CrcEngine,
+    payload: &mut Vec<u8>,
+    kind: u8,
+    body: &[u8],
+    context: &str,
+) -> PersistResult<()> {
+    payload.clear();
+    payload.reserve(body.len() + 9);
+    put_u32(payload, (body.len() + 1) as u32);
+    payload.push(kind);
+    payload.extend_from_slice(body);
+    let sum = crc.compute_bytes(&payload[4..]) as u32;
+    put_u32(payload, sum);
+    file.write_all(payload).map_err(io_err(context.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs of an [`EngineStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Write a full-state checkpoint every `checkpoint_cadence` committed
+    /// batches. The default of 1 makes every commit exactly recoverable
+    /// (bit-identical future behaviour); larger cadences trade checkpoint
+    /// bytes for delta-fold (*consistent*) recovery.
+    pub checkpoint_cadence: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_cadence: 1,
+        }
+    }
+}
+
+/// One replayable entry of the durable frame journal, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommittedEntry {
+    /// A wire payload the stream emitted.
+    Frame {
+        /// The payload's packet type.
+        packet_type: PacketType,
+        /// The payload bytes.
+        bytes: Vec<u8>,
+    },
+    /// An interleaved control-plane dictionary update.
+    Control(DictionaryUpdate),
+}
+
+/// Everything [`EngineStore::open`] recovered: the rehydrated dictionary
+/// state, the durable position, and the committed wire journal for replay.
+#[derive(Debug)]
+pub struct WarmStart {
+    /// Full dictionary state as of batch [`Self::batches`].
+    pub dictionary: DictionaryState,
+    /// Number of durably committed batches.
+    pub batches: u64,
+    /// Cumulative input bytes consumed by those batches — the resume
+    /// offset into the original input.
+    pub bytes_in: u64,
+    /// Cumulative wire frames committed.
+    pub frames: u64,
+    /// Every committed frame and control update, in emission order. A
+    /// resumed run's output appended to this list is the uninterrupted
+    /// stream.
+    pub committed: Vec<CommittedEntry>,
+    /// True when the dictionary was restored from a checkpoint taken at
+    /// exactly the commit boundary (bit-identical future behaviour);
+    /// false when deltas were folded in (`identifier → basis` mapping
+    /// exact, recency approximated — lossless under live sync, but wire
+    /// bytes may diverge from an uninterrupted run after resume).
+    pub exact: bool,
+}
+
+/// The file-backed durability layer: an append-only shard store
+/// (`shards.zsl`) plus a journaled frame log (`frames.zfl`) under one
+/// directory. See the module docs for the format and recovery invariants.
+#[derive(Debug)]
+pub struct EngineStore {
+    dir: PathBuf,
+    shard_log: File,
+    frame_log: File,
+    shard_count: usize,
+    shard_capacity: usize,
+    options: StoreOptions,
+    batches: u64,
+    bytes_in: u64,
+    frames: u64,
+    /// Recycled body assembly buffer.
+    body: Vec<u8>,
+    /// Recycled framed-record buffer.
+    payload: Vec<u8>,
+    crc: CrcEngine,
+}
+
+impl EngineStore {
+    /// Creates a fresh store under `dir` (created if missing), truncating
+    /// any previous logs there.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        shard_count: usize,
+        shard_capacity: usize,
+    ) -> PersistResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(io_err(format!(
+            "creating store directory {}",
+            dir.display()
+        )))?;
+        let crc = record_crc();
+        let mut body = Vec::new();
+        let mut payload = Vec::new();
+
+        let mut shard_log = open_log(&dir.join(SHARD_LOG), true)?;
+        body.extend_from_slice(SHARD_MAGIC);
+        put_u16(&mut body, FORMAT_VERSION);
+        put_u32(&mut body, shard_count as u32);
+        put_u32(&mut body, shard_capacity as u32);
+        append_record(
+            &mut shard_log,
+            &crc,
+            &mut payload,
+            KIND_SHARD_HEADER,
+            &body,
+            "writing shard log header",
+        )?;
+
+        let mut frame_log = open_log(&dir.join(FRAME_LOG), true)?;
+        body.clear();
+        body.extend_from_slice(FRAME_MAGIC);
+        put_u16(&mut body, FORMAT_VERSION);
+        append_record(
+            &mut frame_log,
+            &crc,
+            &mut payload,
+            KIND_FRAME_HEADER,
+            &body,
+            "writing frame log header",
+        )?;
+
+        Ok(Self {
+            dir,
+            shard_log,
+            frame_log,
+            shard_count,
+            shard_capacity,
+            options: StoreOptions::default(),
+            batches: 0,
+            bytes_in: 0,
+            frames: 0,
+            body,
+            payload,
+            crc,
+        })
+    }
+
+    /// True when `dir` holds a store's log files.
+    pub fn exists(dir: impl AsRef<Path>) -> bool {
+        let dir = dir.as_ref();
+        dir.join(SHARD_LOG).is_file() && dir.join(FRAME_LOG).is_file()
+    }
+
+    /// Opens an existing store, recovering to the last durable batch
+    /// boundary: torn tails are truncated, the dictionary is rehydrated
+    /// from the newest covered checkpoint plus delta fold, and anything
+    /// structurally impossible fails loudly ([`PersistError::Corrupt`])
+    /// rather than silently misrestoring. Returns `None` for the warm
+    /// start when the store has never committed anything.
+    pub fn open(dir: impl AsRef<Path>) -> PersistResult<(Self, Option<WarmStart>)> {
+        let dir = dir.as_ref().to_path_buf();
+        let crc = record_crc();
+
+        let frame_path = dir.join(FRAME_LOG);
+        let shard_path = dir.join(SHARD_LOG);
+        let frame_bytes = std::fs::read(&frame_path)
+            .map_err(io_err(format!("reading {}", frame_path.display())))?;
+        let shard_bytes = std::fs::read(&shard_path)
+            .map_err(io_err(format!("reading {}", shard_path.display())))?;
+
+        // ---- frame log: find the durable boundary C ----
+        let (frame_records, _) = scan_log(&frame_bytes, &crc);
+        let Some(header) = frame_records
+            .first()
+            .filter(|r| r.kind == KIND_FRAME_HEADER)
+        else {
+            return Err(corrupt("frame log header missing or torn"));
+        };
+        {
+            let mut r = BodyReader::new(
+                &frame_bytes[header.body_start..header.body_end],
+                "frame log header",
+            );
+            if r.take(4)? != FRAME_MAGIC {
+                return Err(corrupt("frame log magic mismatch"));
+            }
+            let version = r.u16()?;
+            if version != FORMAT_VERSION {
+                return Err(corrupt(format!(
+                    "frame log format version {version} unsupported"
+                )));
+            }
+            r.finish()?;
+        }
+        let mut committed: Vec<CommittedEntry> = Vec::new();
+        let mut pending: Vec<CommittedEntry> = Vec::new();
+        let mut pending_frames = 0u64;
+        let mut commit_batch = 0u64;
+        let mut bytes_in = 0u64;
+        let mut frames = 0u64;
+        let mut have_commit = false;
+        let mut frame_keep_end = header.end;
+        for rec in &frame_records[1..] {
+            let body = &frame_bytes[rec.body_start..rec.body_end];
+            match rec.kind {
+                KIND_FRAME => {
+                    let mut r = BodyReader::new(body, "frame record");
+                    let packet_type = packet_type_from(r.u8()?, "frame record")?;
+                    let len = r.u32()? as usize;
+                    let bytes = r.take(len)?.to_vec();
+                    r.finish()?;
+                    pending.push(CommittedEntry::Frame { packet_type, bytes });
+                    pending_frames += 1;
+                }
+                KIND_CONTROL => {
+                    let mut r = BodyReader::new(body, "control record");
+                    let update = read_update(&mut r)?;
+                    r.finish()?;
+                    pending.push(CommittedEntry::Control(update));
+                }
+                KIND_COMMIT => {
+                    let mut r = BodyReader::new(body, "commit record");
+                    let batch = r.u64()?;
+                    let cum_bytes = r.u64()?;
+                    let cum_frames = r.u64()?;
+                    r.finish()?;
+                    if !have_commit && batch != 1 {
+                        // A compaction baseline: the journal was retired
+                        // down to its header plus one commit carrying the
+                        // pre-compaction counters verbatim. Valid only as
+                        // the log's very first record — journal entries in
+                        // front of it mean the file was spliced.
+                        if !pending.is_empty() {
+                            return Err(corrupt(format!(
+                                "frame log baseline commit for batch {batch} preceded by \
+                                 journal records — duplicated or reordered tail segment"
+                            )));
+                        }
+                    } else {
+                        if batch != commit_batch + 1 {
+                            return Err(corrupt(format!(
+                                "frame log commit for batch {batch} follows batch {commit_batch} \
+                                 — duplicated or reordered tail segment"
+                            )));
+                        }
+                        if cum_bytes < bytes_in || cum_frames != frames + pending_frames {
+                            return Err(corrupt(format!(
+                                "frame log commit for batch {batch} disagrees with the journal \
+                                 ({cum_frames} frames claimed, {} recorded)",
+                                frames + pending_frames
+                            )));
+                        }
+                    }
+                    have_commit = true;
+                    commit_batch = batch;
+                    bytes_in = cum_bytes;
+                    frames = cum_frames;
+                    committed.append(&mut pending);
+                    pending_frames = 0;
+                    frame_keep_end = rec.end;
+                }
+                other => {
+                    return Err(corrupt(format!(
+                        "unexpected record kind {other:#x} in frame log"
+                    )));
+                }
+            }
+        }
+        // Entries in `pending` belong to the interrupted batch and are
+        // dropped with the truncation below.
+
+        // ---- shard log: rebuild the dictionary up to C ----
+        let (shard_records, _) = scan_log(&shard_bytes, &crc);
+        let Some(header) = shard_records
+            .first()
+            .filter(|r| r.kind == KIND_SHARD_HEADER)
+        else {
+            return Err(corrupt("shard log header missing or torn"));
+        };
+        let (shard_count, shard_capacity) = {
+            let mut r = BodyReader::new(
+                &shard_bytes[header.body_start..header.body_end],
+                "shard log header",
+            );
+            if r.take(4)? != SHARD_MAGIC {
+                return Err(corrupt("shard log magic mismatch"));
+            }
+            let version = r.u16()?;
+            if version != FORMAT_VERSION {
+                return Err(corrupt(format!(
+                    "shard log format version {version} unsupported"
+                )));
+            }
+            let counts = (r.u32()? as usize, r.u32()? as usize);
+            r.finish()?;
+            counts
+        };
+        let mut last_batch: Option<u64> = None;
+        let mut checkpoint: Option<(u64, DictionaryState)> = None;
+        let mut deltas: Vec<(u64, Vec<DictionaryUpdate>)> = Vec::new();
+        let mut shard_keep_end = header.end;
+        for rec in &shard_records[1..] {
+            let body = &shard_bytes[rec.body_start..rec.body_end];
+            match rec.kind {
+                KIND_DELTA => {
+                    let mut r = BodyReader::new(body, "delta record");
+                    let batch = r.u64()?;
+                    let count = r.u32()? as usize;
+                    let mut updates = Vec::with_capacity(count.min(1 << 20));
+                    for _ in 0..count {
+                        updates.push(read_update(&mut r)?);
+                    }
+                    r.finish()?;
+                    let expected = last_batch.map_or(1, |b| b + 1);
+                    if batch != expected {
+                        return Err(corrupt(format!(
+                            "shard log delta for batch {batch} where batch {expected} was \
+                             expected — duplicated or reordered tail segment"
+                        )));
+                    }
+                    last_batch = Some(batch);
+                    if batch <= commit_batch {
+                        deltas.push((batch, updates));
+                        shard_keep_end = rec.end;
+                    }
+                }
+                KIND_CHECKPOINT => {
+                    let mut r = BodyReader::new(body, "checkpoint record");
+                    let batch = r.u64()?;
+                    let state = read_state(&mut r)?;
+                    r.finish()?;
+                    match last_batch {
+                        None => last_batch = Some(batch),
+                        Some(b) if b == batch => {}
+                        Some(b) => {
+                            return Err(corrupt(format!(
+                                "checkpoint for batch {batch} interleaved at batch {b} — \
+                                 duplicated or reordered tail segment"
+                            )));
+                        }
+                    }
+                    if batch <= commit_batch {
+                        checkpoint = Some((batch, state));
+                        shard_keep_end = rec.end;
+                    }
+                }
+                other => {
+                    return Err(corrupt(format!(
+                        "unexpected record kind {other:#x} in shard log"
+                    )));
+                }
+            }
+        }
+        // A shard log more than one batch ahead of the last commit means
+        // the frame log lost commit markers mid-file (a valid delta can
+        // only outrun the commit by the one interrupted batch).
+        if let Some(b) = last_batch {
+            if b > commit_batch + 1 {
+                return Err(corrupt(format!(
+                    "shard log covers batch {b} but the frame log's last commit is batch \
+                     {commit_batch} — the frame log lost committed records"
+                )));
+            }
+        }
+
+        // ---- rehydrate ----
+        let (start_batch, mut dict, mut exact) = match &checkpoint {
+            Some((batch, state)) => {
+                if state.shard_count != shard_count || state.shard_capacity != shard_capacity {
+                    return Err(corrupt(format!(
+                        "checkpoint shape {}x{} disagrees with the store header {}x{}",
+                        state.shard_count, state.shard_capacity, shard_count, shard_capacity
+                    )));
+                }
+                let dict = ShardedDictionary::from_state(state)
+                    .map_err(|e| corrupt(format!("checkpoint state rejected: {e}")))?;
+                (*batch, dict, true)
+            }
+            None => {
+                let dict = ShardedDictionary::new(shard_count * shard_capacity, shard_count)
+                    .map_err(|e| corrupt(format!("store header shape rejected: {e}")))?;
+                (0, dict, true)
+            }
+        };
+        for wanted in start_batch + 1..=commit_batch {
+            let Some((_, updates)) = deltas.iter().find(|(b, _)| *b == wanted) else {
+                return Err(corrupt(format!(
+                    "shard store cannot cover committed batch {wanted}: no delta record \
+                     survives for it"
+                )));
+            };
+            for update in updates {
+                dict.apply_update(update)
+                    .map_err(|e| corrupt(format!("folding batch {wanted}: {e}")))?;
+            }
+            exact = false;
+        }
+
+        // ---- truncate both logs to the recovered boundary ----
+        let mut shard_log = open_log(&shard_path, false)?;
+        shard_log
+            .set_len(shard_keep_end as u64)
+            .map_err(io_err("truncating shard log tail"))?;
+        shard_log
+            .seek(SeekFrom::End(0))
+            .map_err(io_err("seeking shard log end"))?;
+        let mut frame_log = open_log(&frame_path, false)?;
+        frame_log
+            .set_len(frame_keep_end as u64)
+            .map_err(io_err("truncating frame log tail"))?;
+        frame_log
+            .seek(SeekFrom::End(0))
+            .map_err(io_err("seeking frame log end"))?;
+
+        let warm = if commit_batch == 0 && checkpoint.is_none() {
+            None
+        } else {
+            Some(WarmStart {
+                dictionary: dict.export_state(),
+                batches: commit_batch,
+                bytes_in,
+                frames,
+                committed,
+                exact,
+            })
+        };
+        Ok((
+            Self {
+                dir,
+                shard_log,
+                frame_log,
+                shard_count,
+                shard_capacity,
+                options: StoreOptions::default(),
+                batches: commit_batch,
+                bytes_in,
+                frames,
+                body: Vec::new(),
+                payload: Vec::new(),
+                crc,
+            },
+            warm,
+        ))
+    }
+
+    /// [`Self::open`] when the store exists, [`Self::create`] otherwise.
+    pub fn open_or_create(
+        dir: impl AsRef<Path>,
+        shard_count: usize,
+        shard_capacity: usize,
+    ) -> PersistResult<(Self, Option<WarmStart>)> {
+        if Self::exists(&dir) {
+            Self::open(dir)
+        } else {
+            Ok((Self::create(dir, shard_count, shard_capacity)?, None))
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Shard count recorded in the store header.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Per-shard identifier capacity recorded in the store header.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Number of durably committed batches.
+    pub fn batches_committed(&self) -> u64 {
+        self.batches
+    }
+
+    /// Cumulative input bytes across committed batches.
+    pub fn bytes_in_committed(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Cumulative wire frames across committed batches.
+    pub fn frames_committed(&self) -> u64 {
+        self.frames
+    }
+
+    /// The tuning knobs.
+    pub fn options(&self) -> StoreOptions {
+        self.options
+    }
+
+    /// Replaces the tuning knobs.
+    pub fn set_options(&mut self, options: StoreOptions) {
+        self.options = options;
+    }
+
+    /// True when the *next* [`Self::commit_batch`] should carry a
+    /// full-state checkpoint under the configured cadence.
+    pub fn checkpoint_due(&self) -> bool {
+        let cadence = self.options.checkpoint_cadence.max(1);
+        (self.batches + 1).is_multiple_of(cadence)
+    }
+
+    /// Makes one batch durable. `records` are the batch's wire payloads
+    /// in emission order (type + length into `wire`, the concatenated
+    /// payload bytes), `updates` its dictionary delta, `state` the full
+    /// dictionary state *after* the batch when a checkpoint is due (see
+    /// [`Self::checkpoint_due`]), and `input_len` the input bytes the
+    /// batch consumed. Write order — frames, shard delta (+ checkpoint),
+    /// shard flush, commit marker, frame flush — guarantees a crash at
+    /// any point leaves a recoverable prefix ending at a batch boundary.
+    pub fn commit_batch(
+        &mut self,
+        records: &[(PacketType, u32)],
+        wire: &[u8],
+        updates: &[DictionaryUpdate],
+        state: Option<&DictionaryState>,
+        input_len: u64,
+    ) -> PersistResult<()> {
+        let batch = self.batches + 1;
+
+        // Frame + control records, in exactly the interleaved emission
+        // order: every update with `at <= i` precedes payload `i`.
+        let mut next_update = updates.iter().peekable();
+        let mut offset = 0usize;
+        for (i, (packet_type, len)) in records.iter().enumerate() {
+            while let Some(u) = next_update.peek() {
+                if u.at > i as u64 {
+                    break;
+                }
+                self.body.clear();
+                put_update(&mut self.body, u);
+                append_record(
+                    &mut self.frame_log,
+                    &self.crc,
+                    &mut self.payload,
+                    KIND_CONTROL,
+                    &self.body,
+                    "writing control record",
+                )?;
+                next_update.next();
+            }
+            let end = offset + *len as usize;
+            let Some(bytes) = wire.get(offset..end) else {
+                return Err(corrupt(format!(
+                    "batch {batch}: record lengths overrun the wire buffer"
+                )));
+            };
+            self.body.clear();
+            self.body.push(packet_type_code(*packet_type));
+            put_u32(&mut self.body, *len);
+            self.body.extend_from_slice(bytes);
+            append_record(
+                &mut self.frame_log,
+                &self.crc,
+                &mut self.payload,
+                KIND_FRAME,
+                &self.body,
+                "writing frame record",
+            )?;
+            offset = end;
+        }
+        for u in next_update {
+            self.body.clear();
+            put_update(&mut self.body, u);
+            append_record(
+                &mut self.frame_log,
+                &self.crc,
+                &mut self.payload,
+                KIND_CONTROL,
+                &self.body,
+                "writing control record",
+            )?;
+        }
+        if offset != wire.len() {
+            return Err(corrupt(format!(
+                "batch {batch}: {} wire bytes left unaccounted for",
+                wire.len() - offset
+            )));
+        }
+
+        // Shard store: the batch's delta (always, even when empty, so
+        // recovery can prove coverage), then the checkpoint when due.
+        self.body.clear();
+        put_u64(&mut self.body, batch);
+        put_u32(&mut self.body, updates.len() as u32);
+        for u in updates {
+            put_update(&mut self.body, u);
+        }
+        append_record(
+            &mut self.shard_log,
+            &self.crc,
+            &mut self.payload,
+            KIND_DELTA,
+            &self.body,
+            "writing delta record",
+        )?;
+        if let Some(state) = state {
+            self.body.clear();
+            put_u64(&mut self.body, batch);
+            put_state(&mut self.body, state);
+            append_record(
+                &mut self.shard_log,
+                &self.crc,
+                &mut self.payload,
+                KIND_CHECKPOINT,
+                &self.body,
+                "writing checkpoint record",
+            )?;
+        }
+        self.shard_log
+            .flush()
+            .map_err(io_err("flushing shard log"))?;
+
+        // The commit marker makes the batch count.
+        self.body.clear();
+        put_u64(&mut self.body, batch);
+        put_u64(&mut self.body, self.bytes_in + input_len);
+        put_u64(&mut self.body, self.frames + records.len() as u64);
+        append_record(
+            &mut self.frame_log,
+            &self.crc,
+            &mut self.payload,
+            KIND_COMMIT,
+            &self.body,
+            "writing commit record",
+        )?;
+        self.frame_log
+            .flush()
+            .map_err(io_err("flushing frame log"))?;
+
+        self.batches = batch;
+        self.bytes_in += input_len;
+        self.frames += records.len() as u64;
+        Ok(())
+    }
+
+    /// Appends a full-state checkpoint at the current batch boundary
+    /// (outside the commit path — e.g. at stream finish).
+    pub fn checkpoint(&mut self, state: &DictionaryState) -> PersistResult<()> {
+        self.body.clear();
+        put_u64(&mut self.body, self.batches);
+        put_state(&mut self.body, state);
+        append_record(
+            &mut self.shard_log,
+            &self.crc,
+            &mut self.payload,
+            KIND_CHECKPOINT,
+            &self.body,
+            "writing checkpoint record",
+        )?;
+        self.shard_log.flush().map_err(io_err("flushing shard log"))
+    }
+
+    /// Compacts the store: atomically rewrites `frames.zfl` as its header
+    /// plus one *baseline* commit carrying the current counters (the
+    /// replayable journal is retired — everything before the baseline is
+    /// already durable downstream), then rewrites `shards.zsl` as its
+    /// header plus one checkpoint of `state` at the current batch
+    /// boundary. Each rewrite goes through a temp file and rename; the
+    /// frame log goes first so a crash between the two renames leaves a
+    /// baseline commit plus the old shard log, which recovery handles (the
+    /// checkpoint and deltas at or below the baseline batch still cover
+    /// it). Call after a checkpoint-worthy quiescent point (e.g. stream
+    /// finish) to bound log growth.
+    pub fn compact(&mut self, state: &DictionaryState) -> PersistResult<()> {
+        let tmp_path = self.dir.join("frames.zfl.tmp");
+        let mut tmp = open_log(&tmp_path, true)?;
+        self.body.clear();
+        self.body.extend_from_slice(FRAME_MAGIC);
+        put_u16(&mut self.body, FORMAT_VERSION);
+        append_record(
+            &mut tmp,
+            &self.crc,
+            &mut self.payload,
+            KIND_FRAME_HEADER,
+            &self.body,
+            "writing compacted frame log header",
+        )?;
+        self.body.clear();
+        put_u64(&mut self.body, self.batches);
+        put_u64(&mut self.body, self.bytes_in);
+        put_u64(&mut self.body, self.frames);
+        append_record(
+            &mut tmp,
+            &self.crc,
+            &mut self.payload,
+            KIND_COMMIT,
+            &self.body,
+            "writing baseline commit",
+        )?;
+        tmp.flush()
+            .map_err(io_err("flushing compacted frame log"))?;
+        drop(tmp);
+        let frame_path = self.dir.join(FRAME_LOG);
+        std::fs::rename(&tmp_path, &frame_path)
+            .map_err(io_err("renaming compacted frame log into place"))?;
+        self.frame_log = open_log(&frame_path, false)?;
+        self.frame_log
+            .seek(SeekFrom::End(0))
+            .map_err(io_err("seeking compacted frame log end"))?;
+
+        let tmp_path = self.dir.join("shards.zsl.tmp");
+        let mut tmp = open_log(&tmp_path, true)?;
+        self.body.clear();
+        self.body.extend_from_slice(SHARD_MAGIC);
+        put_u16(&mut self.body, FORMAT_VERSION);
+        put_u32(&mut self.body, self.shard_count as u32);
+        put_u32(&mut self.body, self.shard_capacity as u32);
+        append_record(
+            &mut tmp,
+            &self.crc,
+            &mut self.payload,
+            KIND_SHARD_HEADER,
+            &self.body,
+            "writing compacted shard log header",
+        )?;
+        self.body.clear();
+        put_u64(&mut self.body, self.batches);
+        put_state(&mut self.body, state);
+        append_record(
+            &mut tmp,
+            &self.crc,
+            &mut self.payload,
+            KIND_CHECKPOINT,
+            &self.body,
+            "writing compacted checkpoint",
+        )?;
+        tmp.flush()
+            .map_err(io_err("flushing compacted shard log"))?;
+        drop(tmp);
+        let shard_path = self.dir.join(SHARD_LOG);
+        std::fs::rename(&tmp_path, &shard_path)
+            .map_err(io_err("renaming compacted shard log into place"))?;
+        self.shard_log = open_log(&shard_path, false)?;
+        self.shard_log
+            .seek(SeekFrom::End(0))
+            .map_err(io_err("seeking compacted shard log end"))?;
+        Ok(())
+    }
+}
+
+/// Opens a log file for appending; `truncate` starts it fresh.
+fn open_log(path: &Path, truncate: bool) -> PersistResult<File> {
+    OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(truncate)
+        .open(path)
+        .map_err(io_err(format!("opening {}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("zipline-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn basis(seed: u8) -> BitVec {
+        BitVec::from_bytes(&[seed; 4])
+    }
+
+    fn install(seq: u64, at: u64, id: u64, seed: u8) -> DictionaryUpdate {
+        DictionaryUpdate {
+            seq,
+            at,
+            op: UpdateOp::Install {
+                id,
+                basis: basis(seed),
+            },
+        }
+    }
+
+    /// A 2x4 dictionary driven through some churn, exported.
+    fn churned_state() -> DictionaryState {
+        let mut dict = ShardedDictionary::new(8, 2).unwrap();
+        dict.set_journal(true);
+        for i in 0..20u8 {
+            let b = basis(i);
+            let hash = b.hash_words();
+            let shard = dict.shard_of_hash(hash);
+            dict.classify_at(shard, &b, hash, i as u64).unwrap();
+        }
+        let _ = dict.take_delta();
+        dict.export_state()
+    }
+
+    #[test]
+    fn state_serialization_roundtrips() {
+        let state = churned_state();
+        let mut buf = Vec::new();
+        put_state(&mut buf, &state);
+        let mut r = BodyReader::new(&buf, "test state");
+        let back = read_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn update_serialization_roundtrips() {
+        let updates = vec![
+            install(0, 3, 7, 0xAB),
+            DictionaryUpdate {
+                seq: 1,
+                at: 3,
+                op: UpdateOp::Remove { id: 7 },
+            },
+        ];
+        let mut buf = Vec::new();
+        for u in &updates {
+            put_update(&mut buf, u);
+        }
+        let mut r = BodyReader::new(&buf, "test updates");
+        let back = vec![read_update(&mut r).unwrap(), read_update(&mut r).unwrap()];
+        r.finish().unwrap();
+        assert_eq!(back, updates);
+    }
+
+    #[test]
+    fn create_commit_reopen_recovers_everything() {
+        let dir = temp_dir("roundtrip");
+        let mut store = EngineStore::create(&dir, 2, 4).unwrap();
+        assert!(store.checkpoint_due());
+
+        let mut dict = ShardedDictionary::new(8, 2).unwrap();
+        dict.set_journal(true);
+        let mut all_updates = Vec::new();
+        for batch in 0..3u8 {
+            for i in 0..4u8 {
+                let b = basis(batch * 4 + i);
+                let hash = b.hash_words();
+                let shard = dict.shard_of_hash(hash);
+                dict.classify_at(shard, &b, hash, i as u64).unwrap();
+            }
+            let delta = dict.take_delta();
+            let records = vec![
+                (PacketType::Uncompressed, 3u32),
+                (PacketType::Compressed, 2u32),
+            ];
+            let wire = vec![batch; 5];
+            let state = dict.export_state();
+            store
+                .commit_batch(&records, &wire, &delta.updates, Some(&state), 128)
+                .unwrap();
+            all_updates.extend(delta.updates);
+        }
+        assert_eq!(store.batches_committed(), 3);
+        assert_eq!(store.bytes_in_committed(), 384);
+        assert_eq!(store.frames_committed(), 6);
+        let final_state = dict.export_state();
+        drop(store);
+
+        let (store, warm) = EngineStore::open(&dir).unwrap();
+        let warm = warm.expect("committed batches imply a warm start");
+        assert_eq!(store.batches_committed(), 3);
+        assert_eq!(warm.batches, 3);
+        assert_eq!(warm.bytes_in, 384);
+        assert_eq!(warm.frames, 6);
+        assert!(warm.exact, "cadence-1 checkpoints restore exactly");
+        assert_eq!(warm.dictionary, final_state);
+        let frames: Vec<_> = warm
+            .committed
+            .iter()
+            .filter(|e| matches!(e, CommittedEntry::Frame { .. }))
+            .collect();
+        assert_eq!(frames.len(), 6);
+        let controls: Vec<_> = warm
+            .committed
+            .iter()
+            .filter_map(|e| match e {
+                CommittedEntry::Control(u) => Some(u.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(controls, all_updates);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tails_truncate_to_the_last_commit() {
+        let dir = temp_dir("torn");
+        let mut store = EngineStore::create(&dir, 1, 8).unwrap();
+        let records = vec![(PacketType::Raw, 4u32)];
+        store
+            .commit_batch(&records, &[1, 2, 3, 4], &[], Some(&churn_free_state()), 4)
+            .unwrap();
+        store
+            .commit_batch(&records, &[5, 6, 7, 8], &[], Some(&churn_free_state()), 4)
+            .unwrap();
+        drop(store);
+
+        // Chop bytes off the frame log at every offset. Shallow cuts (a
+        // crash mid-batch-2) recover to batch 1 or 2; deeper cuts destroy
+        // records the shard log proves were committed, which must be loud
+        // — never a silent rollback.
+        let frame_path = dir.join(FRAME_LOG);
+        let shard_path = dir.join(SHARD_LOG);
+        let full = std::fs::read(&frame_path).unwrap();
+        let shard_full = std::fs::read(&shard_path).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for cut in (0..=full.len()).rev() {
+            std::fs::write(&frame_path, &full[..cut]).unwrap();
+            match EngineStore::open(&dir) {
+                Ok((store, _)) => {
+                    seen.insert(store.batches_committed());
+                    assert!(
+                        (1..=2).contains(&store.batches_committed()),
+                        "cut {cut} silently rolled back past the shard log"
+                    );
+                }
+                Err(PersistError::Corrupt(_)) => {
+                    // Cuts reaching committed batches (or the header) are
+                    // loud, not a guess.
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            // Restore for the next iteration (open() itself truncates).
+            std::fs::write(&frame_path, &full).unwrap();
+            std::fs::write(&shard_path, &shard_full).unwrap();
+        }
+        assert!(seen.contains(&1) && seen.contains(&2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn churn_free_state() -> DictionaryState {
+        ShardedDictionary::new(8, 1).unwrap().export_state()
+    }
+
+    #[test]
+    fn corrupted_shard_record_under_valid_commits_fails_loudly() {
+        let dir = temp_dir("corrupt");
+        let mut store = EngineStore::create(&dir, 1, 8).unwrap();
+        let mut dict = ShardedDictionary::new(8, 1).unwrap();
+        dict.set_journal(true);
+        for batch in 0..2u8 {
+            let b = basis(batch);
+            let hash = b.hash_words();
+            dict.classify_at(0, &b, hash, 0).unwrap();
+            let delta = dict.take_delta();
+            // No checkpoint: recovery must lean on the delta records.
+            store
+                .commit_batch(
+                    &[(PacketType::Raw, 1u32)],
+                    &[batch],
+                    &delta.updates,
+                    None,
+                    1,
+                )
+                .unwrap();
+        }
+        drop(store);
+
+        // Flip one byte inside the first delta record's body. The scan
+        // stops there, the frame log still claims two commits, and open()
+        // must refuse rather than misrestore.
+        let shard_path = dir.join(SHARD_LOG);
+        let mut bytes = std::fs::read(&shard_path).unwrap();
+        let (records, _) = scan_log(&bytes, &record_crc());
+        let delta_rec = &records[1];
+        assert_eq!(delta_rec.kind, KIND_DELTA);
+        let mid = (delta_rec.body_start + delta_rec.body_end) / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&shard_path, &bytes).unwrap();
+        match EngineStore::open(&dir) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("cannot cover committed batch"), "got: {msg}");
+            }
+            other => panic!("expected loud corruption error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicated_tail_segment_fails_loudly() {
+        let dir = temp_dir("dup");
+        let mut store = EngineStore::create(&dir, 1, 8).unwrap();
+        store
+            .commit_batch(&[(PacketType::Raw, 2u32)], &[9, 9], &[], None, 2)
+            .unwrap();
+        drop(store);
+
+        // Duplicate the frame log's tail (the last commit record): the
+        // repeated batch number is structurally impossible.
+        let frame_path = dir.join(FRAME_LOG);
+        let mut bytes = std::fs::read(&frame_path).unwrap();
+        let (records, _) = scan_log(&bytes, &record_crc());
+        let commit = records.last().unwrap();
+        let start = commit.body_start - 5;
+        let tail = bytes[start..commit.end].to_vec();
+        bytes.extend_from_slice(&tail);
+        std::fs::write(&frame_path, &bytes).unwrap();
+        match EngineStore::open(&dir) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("duplicated or reordered"), "got: {msg}");
+            }
+            other => panic!("expected loud corruption error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_checkpoint_plus_newer_deltas_folds_consistently() {
+        let dir = temp_dir("fold");
+        let mut store = EngineStore::create(&dir, 2, 4).unwrap();
+        store.set_options(StoreOptions {
+            checkpoint_cadence: 2,
+        });
+        let mut dict = ShardedDictionary::new(8, 2).unwrap();
+        dict.set_journal(true);
+        for batch in 0..3u8 {
+            let b = basis(batch);
+            let hash = b.hash_words();
+            let shard = dict.shard_of_hash(hash);
+            dict.classify_at(shard, &b, hash, 0).unwrap();
+            let delta = dict.take_delta();
+            let state = store.checkpoint_due().then(|| dict.export_state());
+            store
+                .commit_batch(
+                    &[(PacketType::Raw, 1u32)],
+                    &[batch],
+                    &delta.updates,
+                    state.as_ref(),
+                    1,
+                )
+                .unwrap();
+        }
+        drop(store);
+
+        let (_, warm) = EngineStore::open(&dir).unwrap();
+        let warm = warm.unwrap();
+        assert_eq!(warm.batches, 3);
+        assert!(
+            !warm.exact,
+            "batch 3 has no checkpoint; the delta was folded"
+        );
+        // The id → basis mapping must match the original exactly.
+        let restored = ShardedDictionary::from_state(&warm.dictionary).unwrap();
+        assert_eq!(restored.snapshot().entries, dict.snapshot().entries);
+        assert_eq!(warm.dictionary.delta_seq, dict.delta_seq());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_recovery() {
+        let dir = temp_dir("compact");
+        let mut store = EngineStore::create(&dir, 1, 8).unwrap();
+        let mut dict = ShardedDictionary::new(8, 1).unwrap();
+        dict.set_journal(true);
+        for batch in 0..2u8 {
+            let b = basis(batch);
+            let hash = b.hash_words();
+            dict.classify_at(0, &b, hash, 0).unwrap();
+            let delta = dict.take_delta();
+            let state = dict.export_state();
+            store
+                .commit_batch(
+                    &[(PacketType::Raw, 1u32)],
+                    &[batch],
+                    &delta.updates,
+                    Some(&state),
+                    1,
+                )
+                .unwrap();
+        }
+        let final_state = dict.export_state();
+        store.compact(&final_state).unwrap();
+        let compacted_len = std::fs::metadata(dir.join(SHARD_LOG)).unwrap().len();
+        drop(store);
+
+        let (store, warm) = EngineStore::open(&dir).unwrap();
+        let warm = warm.unwrap();
+        assert_eq!(warm.batches, 2);
+        assert!(warm.exact);
+        assert_eq!(warm.dictionary, final_state);
+        assert_eq!(
+            std::fs::metadata(dir.join(SHARD_LOG)).unwrap().len(),
+            compacted_len,
+            "open() keeps the compacted log intact"
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -80,15 +80,34 @@
 //! construction ([`PipelinedStream::with_control_sink`]); it cannot be added
 //! later, since for the threaded mode journaling must be enabled before the
 //! engine moves to the worker.
+//!
+//! # Durability (commit-then-emit)
+//!
+//! For an engine built with
+//! [`EngineBuilder::durable`](crate::EngineBuilder::durable), the
+//! [`EngineStore`] is detached at construction and held **caller-side**:
+//! each finished batch is committed (frames + dictionary delta + commit
+//! marker) on the emitting thread strictly before its first sink call, so
+//! sinks only ever observe committed output — the same guarantee as the
+//! synchronous [`EngineStream`](crate::EngineStream). Because the
+//! dictionary lives on the worker, mid-stream commits carry no checkpoint;
+//! recovery folds the delta log instead, and
+//! [`finish`](PipelinedStream::finish) compacts the store from the
+//! returned engine (one checkpoint) before re-attaching it. Worker-side
+//! failures surface as typed [`EngineError`]s: a parked compression error
+//! converts via `From<GdError>`, and a worker that vanished without one is
+//! [`EngineError::WorkerLost`].
 
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
 
 use crate::backend::CompressionBackend;
 use crate::engine::{CompressionEngine, GdBackend, SpawnPolicy};
+use crate::error::{EngineError, Result};
+use crate::persist::EngineStore;
 use crate::shard::DictionaryUpdate;
 use crate::stream::{InterleavedEmitter, StreamSummary};
-use zipline_gd::error::{GdError, Result};
+use zipline_gd::error::{GdError, Result as GdResult};
 use zipline_gd::packet::PacketType;
 use zipline_traces::ChunkWorkload;
 
@@ -128,7 +147,7 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     /// Checks internal consistency (depth in `1..=`[`MAX_PIPELINE_DEPTH`]).
-    pub fn validate(&self) -> Result<()> {
+    pub fn validate(&self) -> GdResult<()> {
         if self.depth == 0 || self.depth > MAX_PIPELINE_DEPTH {
             return Err(GdError::InvalidConfig(format!(
                 "pipeline depth must be in 1..={MAX_PIPELINE_DEPTH}, got {}",
@@ -164,7 +183,7 @@ struct BatchShuttle {
 fn run_worker<B: CompressionBackend>(
     mut engine: CompressionEngine<B>,
     jobs: Receiver<BatchShuttle>,
-    results: Sender<Result<BatchShuttle>>,
+    results: Sender<GdResult<BatchShuttle>>,
 ) -> CompressionEngine<B> {
     while let Ok(mut shuttle) = jobs.recv() {
         let outcome = compress_shuttle(&mut engine, &mut shuttle);
@@ -184,7 +203,7 @@ fn run_worker<B: CompressionBackend>(
 fn compress_shuttle<B: CompressionBackend>(
     engine: &mut CompressionEngine<B>,
     shuttle: &mut BatchShuttle,
-) -> Result<()> {
+) -> GdResult<()> {
     shuttle.wire.clear();
     shuttle.records.clear();
     shuttle.updates.clear();
@@ -209,7 +228,7 @@ struct Threaded<B: CompressionBackend> {
     /// already queued — the stream's backpressure.
     jobs: SyncSender<BatchShuttle>,
     /// FIFO results; batch order is emission order.
-    results: Receiver<Result<BatchShuttle>>,
+    results: Receiver<GdResult<BatchShuttle>>,
     worker: JoinHandle<CompressionEngine<B>>,
     /// Recycled shuttles (input + wire buffers), refilled as results drain.
     spare: Vec<BatchShuttle>,
@@ -241,6 +260,16 @@ where
     /// Dispatch threshold in bytes (a whole number of backend units).
     batch_bytes: usize,
     summary: StreamSummary,
+    /// Durable store, detached from the engine at construction and held on
+    /// the **calling** thread: commit-then-emit happens where the sinks run,
+    /// so sinks only ever observe committed batches, while the worker owns
+    /// nothing but the engine. Mid-stream commits carry no checkpoint (the
+    /// dictionary lives on the worker); `finish` compacts the store from
+    /// the returned engine and re-attaches it.
+    store: Option<EngineStore>,
+    /// Reusable staging shuttle for the inline backing, so the inline path
+    /// shares the threaded path's commit-then-emit discipline.
+    inline_shuttle: BatchShuttle,
 }
 
 impl<F, B> PipelinedStream<F, fn(&DictionaryUpdate), B>
@@ -292,6 +321,9 @@ where
         if control_sink.is_some() {
             engine.set_live_sync(true);
         }
+        // The store stays caller-side; only the engine crosses to the
+        // worker thread.
+        let store = engine.take_store();
         let threaded = match pipeline.spawn {
             SpawnPolicy::Inline => false,
             SpawnPolicy::Threads => true,
@@ -320,6 +352,8 @@ where
             buffer: Vec::new(),
             batch_bytes: batch_units.max(1) * unit_bytes,
             summary: StreamSummary::default(),
+            store,
+            inline_shuttle: BatchShuttle::default(),
         })
     }
 
@@ -370,24 +404,16 @@ where
             control_sink,
             buffer,
             summary,
+            store,
+            inline_shuttle,
             ..
         } = self;
         match backing {
             Backing::Inline(engine) => {
-                let batch = engine.compress_batch(buffer)?;
-                let backend = engine.backend_mut();
-                let updates = if backend.live_sync_enabled() {
-                    backend.take_delta().updates
-                } else {
-                    Vec::new()
-                };
-                let mut emitter =
-                    InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
-                backend.emit_batch(batch, &mut |packet_type, bytes| {
-                    emitter.payload(packet_type, bytes);
-                })?;
-                emitter.finish();
+                std::mem::swap(&mut inline_shuttle.input, buffer);
                 buffer.clear();
+                compress_shuttle(engine, inline_shuttle)?;
+                emit_shuttle(inline_shuttle, store.as_mut(), sink, control_sink, summary)?;
                 Ok(())
             }
             Backing::Threaded(threaded) => {
@@ -396,7 +422,7 @@ where
                 // (both TryRecvError variants just mean "nothing to drain").
                 while let Ok(result) = threaded.results.try_recv() {
                     let mut shuttle = result?;
-                    emit_shuttle(&mut shuttle, sink, control_sink, summary);
+                    emit_shuttle(&mut shuttle, store.as_mut(), sink, control_sink, summary)?;
                     threaded.spare.push(shuttle);
                 }
                 let mut shuttle = threaded.spare.pop().unwrap_or_default();
@@ -414,19 +440,26 @@ where
         }
     }
 
-    /// Fishes the worker's parked error out of the results channel.
-    fn collect_worker_error(threaded: &Threaded<B>) -> GdError {
+    /// Fishes the worker's parked error out of the results channel. A
+    /// worker that died without parking one (a torn-down thread, not a
+    /// compression failure) surfaces as the typed
+    /// [`EngineError::WorkerLost`] instead of an ad-hoc string.
+    fn collect_worker_error(threaded: &Threaded<B>) -> EngineError {
         while let Ok(result) = threaded.results.recv() {
             if let Err(e) = result {
-                return e;
+                return e.into();
             }
         }
-        GdError::InvalidConfig("pipelined engine worker exited without reporting an error".into())
+        EngineError::WorkerLost
     }
 
     /// Flushes everything still buffered (for GD, a trailing partial chunk
     /// is emitted verbatim as a type 1 payload), drains the pipeline, joins
     /// the worker and returns the engine together with the stream totals.
+    /// On a durable engine the shard store — held caller-side for the
+    /// stream's lifetime — is compacted from the returned engine's
+    /// dictionary and re-attached, so a subsequent warm restart rehydrates
+    /// from one checkpoint instead of folding the whole delta log.
     pub fn finish(mut self) -> Result<(CompressionEngine<B>, StreamSummary)> {
         if !self.buffer.is_empty() {
             self.dispatch_batch()?;
@@ -436,10 +469,11 @@ where
             sink,
             control_sink,
             summary,
+            store,
             ..
         } = &mut self;
-        match std::mem::replace(backing, Backing::Closed) {
-            Backing::Inline(engine) => Ok((*engine, *summary)),
+        let mut engine = match std::mem::replace(backing, Backing::Closed) {
+            Backing::Inline(engine) => *engine,
             Backing::Threaded(threaded) => {
                 let Threaded {
                     jobs,
@@ -451,12 +485,23 @@ where
                 // exit; the exhaustive result drain below preserves batch
                 // order.
                 drop(jobs);
-                let mut failure = None;
+                let mut failure: Option<EngineError> = None;
                 for result in results.iter() {
                     match result {
-                        Ok(mut shuttle) => emit_shuttle(&mut shuttle, sink, control_sink, summary),
+                        Ok(mut shuttle) => {
+                            if let Err(e) = emit_shuttle(
+                                &mut shuttle,
+                                store.as_mut(),
+                                sink,
+                                control_sink,
+                                summary,
+                            ) {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
                         Err(e) => {
-                            failure = Some(e);
+                            failure = Some(e.into());
                             break;
                         }
                     }
@@ -465,26 +510,47 @@ where
                     Ok(engine) => engine,
                     Err(panic) => std::panic::resume_unwind(panic),
                 };
-                match failure {
-                    Some(e) => Err(e),
-                    None => Ok((engine, *summary)),
+                if let Some(e) = failure {
+                    return Err(e);
                 }
+                engine
             }
             Backing::Closed => unreachable!("finish called twice"),
+        };
+        if let Some(mut store) = store.take() {
+            if let Some(state) = engine.backend().export_dictionary_state() {
+                store.compact(&state)?;
+            }
+            engine.attach_store(store);
         }
+        Ok((engine, *summary))
     }
 }
 
-/// Emits one finished batch through the shared interleaving discipline.
+/// Commits (when durable) then emits one finished batch through the shared
+/// interleaving discipline. The commit happens strictly before the first
+/// sink call, so a crash between them re-emits from the store's journal
+/// rather than losing the batch.
 fn emit_shuttle<F, G>(
     shuttle: &mut BatchShuttle,
+    store: Option<&mut EngineStore>,
     sink: &mut F,
     control_sink: &mut Option<G>,
     summary: &mut StreamSummary,
-) where
+) -> Result<()>
+where
     F: FnMut(PacketType, &[u8]),
     G: FnMut(&DictionaryUpdate),
 {
+    if let Some(store) = store {
+        store.commit_batch(
+            &shuttle.records,
+            &shuttle.wire,
+            &shuttle.updates,
+            None,
+            shuttle.input.len() as u64,
+        )?;
+    }
     let updates = std::mem::take(&mut shuttle.updates);
     let mut emitter = InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
     let mut offset = 0usize;
@@ -494,6 +560,7 @@ fn emit_shuttle<F, G>(
         offset = end;
     }
     emitter.finish();
+    Ok(())
 }
 
 impl<F, G, B> Drop for PipelinedStream<F, G, B>
@@ -551,7 +618,7 @@ mod tests {
             Ok(_) => panic!("an engine without a pipeline config must be rejected"),
             Err(e) => e,
         };
-        assert!(matches!(err, GdError::InvalidConfig(_)));
+        assert!(matches!(err, EngineError::Gd(GdError::InvalidConfig(_))));
     }
 
     #[test]

@@ -37,7 +37,7 @@
 
 use zipline_gd::bits::BitVec;
 use zipline_gd::config::GdConfig;
-use zipline_gd::dictionary::BasisDictionary;
+use zipline_gd::dictionary::{BasisDictionary, BasisDictionaryState, EvictionPolicy};
 use zipline_gd::error::{GdError, Result};
 
 /// Per-shard dictionary counters.
@@ -442,6 +442,107 @@ impl ShardedDictionary {
             .collect()
     }
 
+    /// Next sequence number [`Self::take_delta`] will stamp. The persistence
+    /// layer records it in checkpoints so a restored dictionary continues
+    /// the global update ordering where the crashed one stopped.
+    pub fn delta_seq(&self) -> u64 {
+        self.delta_seq
+    }
+
+    /// Exports the complete behavioural state: every shard's dictionary
+    /// ([`zipline_gd::BasisDictionaryState`]), clock and counters, plus the
+    /// global delta sequence. Undrained journal entries are *not* part of
+    /// the state — the persistence layer always drains ([`Self::take_delta`])
+    /// before checkpointing. Restoring via [`Self::from_state`] yields a
+    /// dictionary whose future outputs are bit-identical to the original's.
+    pub fn export_state(&self) -> DictionaryState {
+        DictionaryState {
+            shard_count: self.shards.len(),
+            shard_capacity: self.shard_capacity,
+            delta_seq: self.delta_seq,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardState {
+                    clock: s.clock,
+                    stats: s.stats,
+                    dict: s.dict.export_state(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a dictionary from an exported state (journaling off; the
+    /// caller re-enables it for live sync). Structural inconsistencies fail
+    /// loudly rather than silently misrestore.
+    pub fn from_state(state: &DictionaryState) -> Result<Self> {
+        if state.shards.len() != state.shard_count {
+            return Err(GdError::InvalidConfig(format!(
+                "dictionary state declares {} shards but carries {}",
+                state.shard_count,
+                state.shards.len()
+            )));
+        }
+        let mut d = Self::new(state.shard_capacity * state.shard_count, state.shard_count)?;
+        for (shard, restored) in d.shards.iter_mut().zip(&state.shards) {
+            shard.dict = BasisDictionary::from_state(
+                state.shard_capacity,
+                EvictionPolicy::Lru,
+                None,
+                &restored.dict,
+            )?;
+            shard.clock = restored.clock;
+            shard.stats = restored.stats;
+        }
+        d.delta_seq = state.delta_seq;
+        Ok(d)
+    }
+
+    /// Replays one journaled update against the dictionary — the delta-fold
+    /// primitive behind crash recovery when the newest checkpoint predates
+    /// the last committed batch. The resulting `identifier → basis` mapping
+    /// is exactly what the original dictionary held after journaling the
+    /// update; recency metadata is approximated (one clock tick per applied
+    /// update), so delta-fold recovery is *consistent* rather than bit-exact
+    /// — see the persist module docs. Updates must arrive in `seq` order; a
+    /// stale or repeated sequence number (a duplicated log tail) fails
+    /// loudly.
+    pub fn apply_update(&mut self, update: &DictionaryUpdate) -> Result<()> {
+        if update.seq < self.delta_seq {
+            return Err(GdError::InvalidConfig(format!(
+                "replayed update seq {} is stale (dictionary is at {}) — \
+                 duplicated or reordered event stream",
+                update.seq, self.delta_seq
+            )));
+        }
+        let id = update.op.id();
+        let shard_index = self.shard_of_id(id);
+        let Some(s) = self.shards.get_mut(shard_index) else {
+            return Err(GdError::InvalidConfig(format!(
+                "replayed update for id {id} maps to shard {shard_index} \
+                 of {}",
+                self.shards.len()
+            )));
+        };
+        let local = id - s.base;
+        match &update.op {
+            UpdateOp::Install { basis, .. } => {
+                s.clock += 1;
+                let now = s.clock;
+                s.dict.install_at(local, basis.clone(), now)?;
+            }
+            UpdateOp::Remove { .. } => {
+                if s.dict.remove_id(local).is_none() {
+                    return Err(GdError::InvalidConfig(format!(
+                        "replayed remove for id {id} with no live mapping"
+                    )));
+                }
+            }
+        }
+        self.delta_seq = update.seq + 1;
+        Ok(())
+    }
+
     /// Merged, shard-transparent view of the dictionary.
     pub fn snapshot(&self) -> DictionarySnapshot {
         let mut entries: Vec<(u64, BitVec)> = self
@@ -491,6 +592,34 @@ impl ShardHandle<'_> {
     pub fn classify_at(&mut self, basis: &BitVec, hash: u64, at: u64) -> Result<ShardOutcome> {
         classify_in(self.shard, basis, hash, at)
     }
+}
+
+/// Per-shard slice of a [`DictionaryState`] export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardState {
+    /// The shard's logical clock.
+    pub clock: u64,
+    /// The shard's counters.
+    pub stats: ShardStats,
+    /// Full behavioural state of the backing dictionary.
+    pub dict: BasisDictionaryState,
+}
+
+/// The complete behavioural state of a [`ShardedDictionary`] — what the
+/// persistence layer's checkpoint records serialize. Unlike the sync-oriented
+/// [`DictionarySnapshot`] (live mappings only), this captures recency order,
+/// identifier pools, clocks and counters, so a restored dictionary evolves
+/// bit-identically to the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictionaryState {
+    /// Number of shards.
+    pub shard_count: usize,
+    /// Identifiers owned by each shard.
+    pub shard_capacity: usize,
+    /// Next global delta sequence number.
+    pub delta_seq: u64,
+    /// Per-shard state, indexed by shard.
+    pub shards: Vec<ShardState>,
 }
 
 /// Merged view of a [`ShardedDictionary`] at a point in time: every
@@ -680,6 +809,99 @@ mod tests {
         let h = b.hash_words();
         d.classify(d.shard_of_hash(h), &b, h).unwrap();
         assert!(d.take_delta().is_empty());
+    }
+
+    /// Churns a journaling dictionary through `values` distinct bases,
+    /// returning the drained delta.
+    fn churn(d: &mut ShardedDictionary, values: std::ops::Range<u64>) -> DictionaryDelta {
+        for (at, v) in values.enumerate() {
+            let b = basis(v);
+            let h = b.hash_words();
+            let shard = d.shard_of_hash(h);
+            d.classify_at(shard, &b, h, at as u64).unwrap();
+        }
+        d.take_delta()
+    }
+
+    #[test]
+    fn export_then_restore_yields_bit_identical_future_deltas() {
+        let mut original = ShardedDictionary::new(8, 2).unwrap();
+        original.enable_journal();
+        churn(&mut original, 0..40);
+
+        let state = original.export_state();
+        let mut restored = ShardedDictionary::from_state(&state).unwrap();
+        assert!(!restored.journal_enabled(), "restore leaves journaling off");
+        assert_eq!(restored.export_state(), state, "export is a fixed point");
+        restored.enable_journal();
+
+        // Same tail of work produces the same classifications AND the same
+        // delta (ids, order, global sequence numbers).
+        let delta_a = churn(&mut original, 40..90);
+        let delta_b = churn(&mut restored, 40..90);
+        assert_eq!(delta_a, delta_b);
+        assert_eq!(original.shard_stats(), restored.shard_stats());
+        assert_eq!(original.delta_seq(), restored.delta_seq());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_shape() {
+        let d = ShardedDictionary::new(8, 2).unwrap();
+        let mut state = d.export_state();
+        state.shards.pop();
+        assert!(ShardedDictionary::from_state(&state).is_err());
+    }
+
+    #[test]
+    fn apply_update_folds_a_delta_to_the_same_mapping() {
+        let mut original = ShardedDictionary::new(8, 2).unwrap();
+        original.enable_journal();
+        let delta = churn(&mut original, 0..50);
+        assert!(
+            original.shard_stats().iter().any(|s| s.evictions > 0),
+            "the workload must churn"
+        );
+
+        let mut replayed = ShardedDictionary::new(8, 2).unwrap();
+        for update in &delta.updates {
+            replayed.apply_update(update).unwrap();
+        }
+        let a = original.snapshot();
+        let b = replayed.snapshot();
+        assert_eq!(a.entries, b.entries, "identical id → basis mapping");
+        assert_eq!(replayed.delta_seq(), original.delta_seq());
+    }
+
+    #[test]
+    fn apply_update_rejects_stale_and_out_of_range_events() {
+        let mut d = ShardedDictionary::new(8, 2).unwrap();
+        let install = DictionaryUpdate {
+            seq: 0,
+            at: 0,
+            op: UpdateOp::Install {
+                id: 0,
+                basis: basis(1),
+            },
+        };
+        d.apply_update(&install).unwrap();
+        // Replaying the same seq again = duplicated log tail.
+        assert!(d.apply_update(&install).is_err());
+        // Identifier outside every shard's slice.
+        assert!(d
+            .apply_update(&DictionaryUpdate {
+                seq: 5,
+                at: 0,
+                op: UpdateOp::Remove { id: 99 },
+            })
+            .is_err());
+        // Remove of a never-installed mapping.
+        assert!(d
+            .apply_update(&DictionaryUpdate {
+                seq: 6,
+                at: 0,
+                op: UpdateOp::Remove { id: 5 },
+            })
+            .is_err());
     }
 
     #[test]

@@ -33,11 +33,25 @@
 //! recycles identifiers (the regime a one-shot post-hoc snapshot cannot
 //! express). Delta-less backends (deflate, passthrough) never produce
 //! updates, so an attached control sink simply stays idle.
+//!
+//! # Durability (commit-then-emit)
+//!
+//! On an engine built with [`EngineBuilder::durable`](crate::EngineBuilder::durable)
+//! the stream journals every batch through the attached
+//! [`EngineStore`](crate::EngineStore) **before** the caller's sinks see
+//! it: payloads and interleaved updates are staged, committed (frame log +
+//! shard delta + checkpoint when due + commit marker), and only then
+//! emitted. Sinks therefore only ever observe committed batches — a crash
+//! at any point either loses an uncommitted batch (whose input re-runs on
+//! resume) or leaves a committed batch replayable from the store's
+//! [`WarmStart`](crate::WarmStart) journal, never a half-emitted one.
+//! [`EngineStream::finish`] compacts the shard store at the final batch
+//! boundary.
 
 use crate::backend::CompressionBackend;
 use crate::engine::{CompressionEngine, GdBackend};
+use crate::error::Result;
 use crate::shard::DictionaryUpdate;
-use zipline_gd::error::Result;
 use zipline_gd::packet::PacketType;
 use zipline_traces::ChunkWorkload;
 
@@ -145,6 +159,10 @@ where
     /// Flush threshold in bytes (a whole number of backend units).
     batch_bytes: usize,
     summary: StreamSummary,
+    /// Recycled staging for the durable path: per-payload type + length …
+    staged_records: Vec<(PacketType, u32)>,
+    /// … and the concatenated payload bytes, committed before emission.
+    staged_wire: Vec<u8>,
 }
 
 impl<'e, F: FnMut(PacketType, &[u8]), B: CompressionBackend>
@@ -187,6 +205,8 @@ where
             buffer: Vec::new(),
             batch_bytes: batch_units.max(1) * unit_bytes,
             summary: StreamSummary::default(),
+            staged_records: Vec::new(),
+            staged_wire: Vec::new(),
         }
     }
 
@@ -204,6 +224,8 @@ where
             buffer: self.buffer,
             batch_bytes: self.batch_bytes,
             summary: self.summary,
+            staged_records: self.staged_records,
+            staged_wire: self.staged_wire,
         }
     }
 
@@ -245,7 +267,7 @@ where
             return Ok(());
         }
         let batch = self.engine.compress_batch(&self.buffer[..whole])?;
-        self.emit_batch(batch)?;
+        self.emit_batch(batch, whole as u64)?;
         self.buffer.drain(..whole);
         Ok(())
     }
@@ -253,16 +275,20 @@ where
     /// Emits one compressed batch: drains the backend's dictionary delta
     /// (when live sync is on) and interleaves its updates with the
     /// serialized records, each update strictly before the record at whose
-    /// position it happened.
-    fn emit_batch(&mut self, batch: B::Batch) -> Result<()> {
+    /// position it happened. On a durable engine the whole batch is
+    /// committed to the store first — sinks only ever see committed
+    /// output.
+    fn emit_batch(&mut self, batch: B::Batch, input_len: u64) -> Result<()> {
         let Self {
             engine,
             sink,
             control_sink,
             summary,
+            staged_records,
+            staged_wire,
             ..
         } = self;
-        let backend = engine.backend_mut();
+        let (backend, store) = engine.backend_and_store_mut();
         // Drain the journal even when no sink consumes it, so a stream
         // without live sync on a journaling engine cannot leak stale events
         // into a later batch's delta.
@@ -271,23 +297,65 @@ where
         } else {
             Vec::new()
         };
-        let mut emitter = InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
-        backend.emit_batch(batch, &mut |packet_type, bytes| {
-            emitter.payload(packet_type, bytes);
-        })?;
-        emitter.finish();
+        if let Some(store) = store {
+            // Commit-then-emit: stage the batch's wire form, make it
+            // durable (frames + delta + checkpoint when due + commit
+            // marker), then emit the staged copy.
+            staged_records.clear();
+            staged_wire.clear();
+            backend.emit_batch(batch, &mut |packet_type, bytes| {
+                staged_records.push((packet_type, bytes.len() as u32));
+                staged_wire.extend_from_slice(bytes);
+            })?;
+            let state = store
+                .checkpoint_due()
+                .then(|| backend.export_dictionary_state())
+                .flatten();
+            store.commit_batch(
+                staged_records,
+                staged_wire,
+                &updates,
+                state.as_ref(),
+                input_len,
+            )?;
+            let mut emitter =
+                InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
+            let mut offset = 0usize;
+            for (packet_type, len) in staged_records.iter() {
+                let end = offset + *len as usize;
+                emitter.payload(*packet_type, &staged_wire[offset..end]);
+                offset = end;
+            }
+            emitter.finish();
+        } else {
+            let mut emitter =
+                InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);
+            backend.emit_batch(batch, &mut |packet_type, bytes| {
+                emitter.payload(packet_type, bytes);
+            })?;
+            emitter.finish();
+        }
         Ok(())
     }
 
     /// Flushes everything still buffered (for GD, a trailing partial chunk
     /// is emitted verbatim as a type 1 payload) and returns the stream
-    /// totals.
+    /// totals. On a durable engine the shard store is compacted at this
+    /// final batch boundary (header + one checkpoint), bounding log growth
+    /// across restarts.
     pub fn finish(mut self) -> Result<StreamSummary> {
         if !self.buffer.is_empty() {
+            let len = self.buffer.len() as u64;
             let batch = self
                 .engine
                 .compress_batch(&std::mem::take(&mut self.buffer))?;
-            self.emit_batch(batch)?;
+            self.emit_batch(batch, len)?;
+        }
+        let (backend, store) = self.engine.backend_and_store_mut();
+        if let Some(store) = store {
+            if let Some(state) = backend.export_dictionary_state() {
+                store.compact(&state)?;
+            }
         }
         Ok(self.summary)
     }

@@ -15,13 +15,17 @@ use std::cell::RefCell;
 
 use proptest::prelude::*;
 use zipline_engine::{
-    CompressionEngine, DictionaryUpdate, EngineBuilder, EngineStream, GdBackend, PipelinedStream,
-    SpawnPolicy,
+    CompressionEngine, DictionaryUpdate, EngineBuilder, EngineError, EngineStream, GdBackend,
+    PipelinedStream, SpawnPolicy,
 };
 use zipline_gd::codec::GdCompressor;
 use zipline_gd::config::GdConfig;
 use zipline_gd::error::Result;
 use zipline_gd::packet::{PacketType, ZipLinePayload};
+
+/// Result alias for code driving the streams (which surface the engine's
+/// typed error, not the bare codec error).
+type EngineResult<T> = std::result::Result<T, EngineError>;
 
 /// One element of the live-sync wire: a dictionary update or a payload, in
 /// emission order (the same shape `engine_equivalence.rs` uses).
@@ -62,7 +66,7 @@ fn run_sync(
     batch_units: usize,
     records: &[Vec<u8>],
     live_sync: bool,
-) -> Result<StreamRun> {
+) -> EngineResult<StreamRun> {
     let events: RefCell<Vec<WireEvent>> = RefCell::new(Vec::new());
     let sink = |pt: PacketType, bytes: &[u8]| {
         events
@@ -89,7 +93,7 @@ fn run_pipelined(
     batch_units: usize,
     records: &[Vec<u8>],
     live_sync: bool,
-) -> Result<StreamRun> {
+) -> EngineResult<StreamRun> {
     let events: RefCell<Vec<WireEvent>> = RefCell::new(Vec::new());
     let sink = |pt: PacketType, bytes: &[u8]| {
         events
@@ -259,7 +263,7 @@ fn worker_errors_surface_to_the_caller() {
         // Six 64-byte batches; the third compress fails. The error may
         // arrive on any push after the failing dispatch or at finish —
         // but it must arrive, and the pipeline must not deadlock.
-        let mut result: Result<()> = Ok(());
+        let mut result: EngineResult<()> = Ok(());
         for _ in 0..6 {
             result = stream.push_record(&[0xAAu8; 64]);
             if result.is_err() {

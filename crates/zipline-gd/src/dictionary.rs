@@ -63,6 +63,42 @@ pub struct InsertOutcome {
     pub evicted: Option<(u64, BitVec)>,
 }
 
+/// One live mapping in a [`BasisDictionaryState`] export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictionaryEntryState {
+    /// Identifier of the mapping.
+    pub id: u64,
+    /// The stored basis.
+    pub basis: BitVec,
+    /// Logical time of last use.
+    pub last_used: u64,
+    /// Logical time of insertion.
+    pub inserted_at: u64,
+}
+
+/// The complete behavioural state of a [`BasisDictionary`].
+///
+/// Everything that influences *future* behaviour is captured: the live
+/// mappings with their recency metadata (in MRU → LRU list order), the
+/// identifier pools, and the cumulative counters. Restoring this state via
+/// [`BasisDictionary::from_state`] yields a dictionary whose subsequent
+/// operations are bit-identical to the original's — the invariant the
+/// persistence layer's checkpoint records rely on. The basis-hash buckets
+/// are derived data and deliberately absent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BasisDictionaryState {
+    /// Live entries in MRU → LRU order (head of the recency list first).
+    pub entries: Vec<DictionaryEntryState>,
+    /// Lowest identifier never handed out.
+    pub next_fresh: u64,
+    /// Released identifiers, oldest release first.
+    pub released: Vec<u64>,
+    /// Cumulative evictions.
+    pub evictions: u64,
+    /// Cumulative TTL expirations.
+    pub expirations: u64,
+}
+
 /// Eviction policy for a full dictionary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvictionPolicy {
@@ -374,6 +410,118 @@ impl BasisDictionary {
         self.released.clear();
     }
 
+    /// Exports the complete behavioural state (see
+    /// [`BasisDictionaryState`]). Entries come out in MRU → LRU order.
+    pub fn export_state(&self) -> BasisDictionaryState {
+        let mut entries = Vec::with_capacity(self.len);
+        let mut cursor = self.head;
+        while let Some(id) = cursor {
+            let e = self.entry_ref(id);
+            entries.push(DictionaryEntryState {
+                id,
+                basis: e.basis.clone(),
+                last_used: e.last_used,
+                inserted_at: e.inserted_at,
+            });
+            cursor = e.next;
+        }
+        BasisDictionaryState {
+            entries,
+            next_fresh: self.next_fresh,
+            released: self.released.iter().copied().collect(),
+            evictions: self.evictions,
+            expirations: self.expirations,
+        }
+    }
+
+    /// Rebuilds a dictionary from an exported state. The result behaves
+    /// bit-identically to the dictionary [`Self::export_state`] was called
+    /// on: same LRU order, same recency timestamps, same identifier pools,
+    /// same counters. Structural inconsistencies (identifier out of range,
+    /// duplicates, pool overlap) are rejected loudly — the persistence
+    /// layer's "never silently misrestore" rule.
+    pub fn from_state(
+        capacity: usize,
+        policy: EvictionPolicy,
+        idle_ttl: Option<u64>,
+        state: &BasisDictionaryState,
+    ) -> Result<Self> {
+        if state.entries.len() > capacity {
+            return Err(GdError::InvalidConfig(format!(
+                "dictionary state holds {} entries but capacity is {capacity}",
+                state.entries.len()
+            )));
+        }
+        let mut d = Self::with_policy(capacity, policy, idle_ttl);
+        // Install LRU-first: each link_front pushes in front of the previous
+        // entry, so the export's first (MRU) entry ends at the head.
+        for e in state.entries.iter().rev() {
+            if e.id >= capacity as u64 {
+                return Err(GdError::InvalidConfig(format!(
+                    "dictionary state id {} out of range 0..{capacity}",
+                    e.id
+                )));
+            }
+            if e.id >= state.next_fresh {
+                return Err(GdError::InvalidConfig(format!(
+                    "dictionary state id {} was never allocated (next_fresh {})",
+                    e.id, state.next_fresh
+                )));
+            }
+            if d.entry(e.id).is_some() {
+                return Err(GdError::InvalidConfig(format!(
+                    "dictionary state repeats id {}",
+                    e.id
+                )));
+            }
+            let hash = e.basis.hash_words();
+            d.install_with_times(e.id, e.basis.clone(), hash, e.last_used, e.inserted_at);
+        }
+        for &id in &state.released {
+            if id >= state.next_fresh || d.entry(id).is_some() {
+                return Err(GdError::InvalidConfig(format!(
+                    "released id {id} is live or was never allocated"
+                )));
+            }
+        }
+        d.next_fresh = state.next_fresh.min(capacity as u64);
+        d.released = state.released.iter().copied().collect();
+        d.evictions = state.evictions;
+        d.expirations = state.expirations;
+        Ok(d)
+    }
+
+    /// Installs `basis` at an *explicit* identifier — the event-replay
+    /// primitive behind delta-fold recovery. An occupied slot is replaced in
+    /// place (its identifier is not released); a free slot is claimed from
+    /// whichever pool holds it. Replayed events arrive in allocation order,
+    /// so an identifier past `next_fresh` indicates a corrupt or reordered
+    /// event stream and fails loudly.
+    pub fn install_at(&mut self, id: u64, basis: BitVec, now: u64) -> Result<()> {
+        if id >= self.capacity as u64 {
+            return Err(GdError::InvalidConfig(format!(
+                "install_at id {id} out of range 0..{}",
+                self.capacity
+            )));
+        }
+        let hash = basis.hash_words();
+        if self.entry(id).is_some() {
+            self.remove_entry(id);
+        } else if id == self.next_fresh {
+            self.next_fresh += 1;
+        } else if id > self.next_fresh {
+            return Err(GdError::InvalidConfig(format!(
+                "install_at id {id} skips ahead of next_fresh {} — \
+                 event stream is corrupt or reordered",
+                self.next_fresh
+            )));
+        } else {
+            self.released.retain(|&r| r != id);
+        }
+        self.install(id, basis, hash, now);
+        Ok(())
+    }
+
     fn allocate_id(&mut self) -> Option<u64> {
         // Prefer identifiers that have never been used; otherwise take the
         // identifier that has been unused the longest.
@@ -387,6 +535,17 @@ impl BasisDictionary {
     }
 
     fn install(&mut self, id: u64, basis: BitVec, hash: u64, now: u64) {
+        self.install_with_times(id, basis, hash, now, now);
+    }
+
+    fn install_with_times(
+        &mut self,
+        id: u64,
+        basis: BitVec,
+        hash: u64,
+        last_used: u64,
+        inserted_at: u64,
+    ) {
         self.by_basis.entry(hash).or_default().push(id);
         let idx = id as usize;
         if idx >= self.slots.len() {
@@ -395,8 +554,8 @@ impl BasisDictionary {
         self.slots[idx] = Some(Entry {
             basis,
             basis_hash: hash,
-            last_used: now,
-            inserted_at: now,
+            last_used,
+            inserted_at,
             prev: None,
             next: None,
         });
@@ -749,6 +908,114 @@ mod tests {
         }
         plain.check_invariants();
         hashed.check_invariants();
+    }
+
+    /// Drives two dictionaries through an identical operation tail and
+    /// asserts every outcome matches — the "bit-identical future" check the
+    /// persistence layer relies on.
+    fn assert_same_future(a: &mut BasisDictionary, b: &mut BasisDictionary, t0: u64) {
+        for i in 0..200u64 {
+            let t = t0 + i;
+            let out_a = a.insert(basis(i % 41), t).unwrap();
+            let out_b = b.insert(basis(i % 41), t).unwrap();
+            assert_eq!(out_a, out_b, "insert {i}");
+            if i % 3 == 0 {
+                assert_eq!(
+                    a.lookup_basis(&basis(i % 17), t, true),
+                    b.lookup_basis(&basis(i % 17), t, true),
+                    "lookup {i}"
+                );
+            }
+        }
+        a.check_invariants();
+        b.check_invariants();
+    }
+
+    #[test]
+    fn export_then_restore_preserves_future_behaviour() {
+        let mut d = BasisDictionary::new(16);
+        for i in 0..100u64 {
+            d.insert(basis(i % 37), i).unwrap();
+            if i % 5 == 0 {
+                d.lookup_basis(&basis(i % 11), i, true);
+            }
+            if i % 13 == 0 {
+                d.remove_id(i % 16);
+            }
+        }
+        let state = d.export_state();
+        assert_eq!(state.entries.first().map(|e| e.id), d.mru_id());
+        assert_eq!(state.entries.last().map(|e| e.id), d.lru_id());
+        let mut restored =
+            BasisDictionary::from_state(16, EvictionPolicy::Lru, None, &state).unwrap();
+        restored.check_invariants();
+        assert_eq!(restored.export_state(), state, "export is a fixed point");
+        assert_eq!(restored.evictions(), d.evictions());
+        assert_same_future(&mut d, &mut restored, 1000);
+    }
+
+    #[test]
+    fn from_state_rejects_structural_corruption() {
+        let mut d = BasisDictionary::new(4);
+        d.insert(basis(1), 1).unwrap();
+        d.insert(basis(2), 2).unwrap();
+        let good = d.export_state();
+
+        // Too many entries for the capacity.
+        assert!(BasisDictionary::from_state(1, EvictionPolicy::Lru, None, &good).is_err());
+        // Duplicate identifier.
+        let mut dup = good.clone();
+        let first = dup.entries[0].clone();
+        dup.entries.push(first);
+        assert!(BasisDictionary::from_state(4, EvictionPolicy::Lru, None, &dup).is_err());
+        // Live id past next_fresh.
+        let mut unalloc = good.clone();
+        unalloc.next_fresh = 1;
+        assert!(BasisDictionary::from_state(4, EvictionPolicy::Lru, None, &unalloc).is_err());
+        // Released id that is also live.
+        let mut overlap = good.clone();
+        overlap.released.push(good.entries[0].id);
+        assert!(BasisDictionary::from_state(4, EvictionPolicy::Lru, None, &overlap).is_err());
+    }
+
+    #[test]
+    fn install_at_replays_allocation_eviction_and_recycling() {
+        // Reference run: natural inserts with churn.
+        let mut live = BasisDictionary::new(3);
+        let mut replay = BasisDictionary::new(3);
+        for i in 0..20u64 {
+            let out = live.insert(basis(i), i).unwrap();
+            // Replay the same events through the explicit-id primitive, the
+            // way delta-fold recovery does: Remove (if evicted) then Install.
+            if let Some((victim, _)) = &out.evicted {
+                replay.remove_id(*victim);
+            }
+            replay.install_at(out.id, basis(i), i).unwrap();
+            replay.check_invariants();
+        }
+        // Identical live mappings.
+        let mut a: Vec<(u64, BitVec)> = live.iter().map(|(i, b)| (i, b.clone())).collect();
+        let mut b: Vec<(u64, BitVec)> = replay.iter().map(|(i, b)| (i, b.clone())).collect();
+        a.sort_by_key(|(i, _)| *i);
+        b.sort_by_key(|(i, _)| *i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn install_at_rejects_out_of_range_and_skipped_ids() {
+        let mut d = BasisDictionary::new(4);
+        assert!(d.install_at(4, basis(1), 0).is_err(), "beyond capacity");
+        assert!(
+            d.install_at(2, basis(1), 0).is_err(),
+            "skips ahead of next_fresh"
+        );
+        d.install_at(0, basis(1), 0).unwrap();
+        d.install_at(1, basis(2), 1).unwrap();
+        // Replacing an occupied slot in place is fine and does not release.
+        d.install_at(0, basis(3), 2).unwrap();
+        assert_eq!(d.peek_id(0), Some(&basis(3)));
+        assert_eq!(d.len(), 2);
+        d.check_invariants();
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub use bits::BitVec;
 pub use codec::{ChunkCodec, DecodeScratch, EncodeScratch, GdCompressor, GdDecompressor};
 pub use config::GdConfig;
 pub use crc::{CrcEngine, CrcSpec};
-pub use dictionary::BasisDictionary;
+pub use dictionary::{BasisDictionary, BasisDictionaryState, DictionaryEntryState};
 pub use error::GdError;
 pub use hamming::HammingCode;
 pub use packet::{PacketType, ZipLinePayload};

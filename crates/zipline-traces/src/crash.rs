@@ -1,0 +1,171 @@
+//! A crash-interrupted churn workload: the shared fixture for warm-restart
+//! and recovery tests.
+//!
+//! The durable engine store (PR 6) promises that a process killed
+//! mid-stream resumes at the last committed batch boundary with no
+//! duplicated or lost wire frames. Exercising that needs a workload split
+//! into the part fed *before* the crash and the part fed by the restarted
+//! process — over data that churns the dictionary past capacity, so the
+//! recovery also has to restore identifier recycling state correctly, not
+//! just a small static dictionary.
+//!
+//! [`CrashWorkload`] wraps a [`ChurnWorkload`] and a crash point (a chunk
+//! index): [`CrashWorkload::pre_crash`] and [`CrashWorkload::post_crash`]
+//! are [`ChunkWorkload`]s over the two halves, and feeding them to two
+//! engine incarnations in sequence must be indistinguishable — frame for
+//! frame past the resume boundary — from feeding [`CrashWorkload::full`]
+//! to one uninterrupted engine.
+
+use crate::churn::{ChurnWorkload, ChurnWorkloadConfig};
+use crate::ChunkWorkload;
+
+/// Configuration of a [`CrashWorkload`].
+#[derive(Debug, Clone)]
+pub struct CrashWorkloadConfig {
+    /// The underlying churn stream (see [`ChurnWorkloadConfig`]).
+    pub churn: ChurnWorkloadConfig,
+    /// Chunk index at which the writer dies: `pre_crash` yields chunks
+    /// `[0, crash_after_chunks)`, `post_crash` the rest. Must lie strictly
+    /// inside the stream so both phases are non-empty.
+    pub crash_after_chunks: usize,
+}
+
+/// The crash-interrupted workload; see the module docs.
+#[derive(Debug, Clone)]
+pub struct CrashWorkload {
+    inner: ChurnWorkload,
+    crash_after: usize,
+}
+
+/// One side of the crash point, usable anywhere a [`ChunkWorkload`] is.
+#[derive(Debug, Clone)]
+pub struct CrashPhase {
+    inner: ChurnWorkload,
+    /// First chunk index of the phase.
+    start: usize,
+    /// One past the last chunk index of the phase.
+    end: usize,
+}
+
+impl CrashWorkload {
+    /// Creates the workload; panics unless the crash point is strictly
+    /// inside the stream (a crash before the first or after the last chunk
+    /// would leave one phase empty and the test vacuous).
+    pub fn new(config: CrashWorkloadConfig) -> Self {
+        let inner = ChurnWorkload::new(config.churn);
+        assert!(
+            config.crash_after_chunks > 0 && config.crash_after_chunks < inner.total_chunks(),
+            "crash point {} must fall strictly inside the {}-chunk stream",
+            config.crash_after_chunks,
+            inner.total_chunks()
+        );
+        Self {
+            inner,
+            crash_after: config.crash_after_chunks,
+        }
+    }
+
+    /// A capacity-exceeding churn stream (`factor`× more distinct bases
+    /// than `capacity`) that crashes at its midpoint — after the
+    /// dictionary has already evicted and recycled identifiers, so the
+    /// recovery must restore churn state, not just a warm cache.
+    pub fn exceeding_capacity(capacity: usize, factor: u32, chunk_len: usize) -> Self {
+        let churn = ChurnWorkloadConfig::exceeding_capacity(capacity, factor, chunk_len);
+        let total = churn.distinct as usize * churn.repeats as usize;
+        Self::new(CrashWorkloadConfig {
+            churn,
+            crash_after_chunks: total / 2,
+        })
+    }
+
+    /// The uninterrupted stream (the reference run recovery is judged
+    /// against).
+    pub fn full(&self) -> &ChurnWorkload {
+        &self.inner
+    }
+
+    /// Chunks fed before the writer dies.
+    pub fn pre_crash(&self) -> CrashPhase {
+        CrashPhase {
+            inner: self.inner.clone(),
+            start: 0,
+            end: self.crash_after,
+        }
+    }
+
+    /// Chunks the restarted writer feeds after recovery.
+    pub fn post_crash(&self) -> CrashPhase {
+        CrashPhase {
+            inner: self.inner.clone(),
+            start: self.crash_after,
+            end: self.inner.total_chunks(),
+        }
+    }
+
+    /// The crash point as a byte offset into [`ChurnWorkload::bytes`] —
+    /// what a resumed producer compares against the store's recovered
+    /// `bytes_in` counter.
+    pub fn crash_offset_bytes(&self) -> usize {
+        self.crash_after * self.inner.chunk_len()
+    }
+}
+
+impl ChunkWorkload for CrashPhase {
+    fn chunk_len(&self) -> usize {
+        self.inner.chunk_len()
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn chunks(&self) -> Box<dyn Iterator<Item = Vec<u8>> + '_> {
+        Box::new(
+            self.inner
+                .chunks()
+                .skip(self.start)
+                .take(self.end - self.start),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_partition_the_full_stream_exactly() {
+        let workload = CrashWorkload::exceeding_capacity(16, 4, 32);
+        let full: Vec<Vec<u8>> = workload.full().chunks().collect();
+        let pre: Vec<Vec<u8>> = workload.pre_crash().chunks().collect();
+        let post: Vec<Vec<u8>> = workload.post_crash().chunks().collect();
+        assert_eq!(pre.len() + post.len(), full.len());
+        assert_eq!(pre.len(), workload.pre_crash().total_chunks());
+        assert_eq!(post.len(), workload.post_crash().total_chunks());
+        let rejoined: Vec<Vec<u8>> = pre.into_iter().chain(post).collect();
+        assert_eq!(rejoined, full);
+        assert_eq!(
+            workload.crash_offset_bytes(),
+            workload.pre_crash().total_chunks() * 32
+        );
+    }
+
+    #[test]
+    fn midpoint_crash_lands_past_the_first_eviction_wave() {
+        // The default crash point must sit deep enough into the stream
+        // that a 16-identifier dictionary has already churned: half of a
+        // 4×-capacity stream covers 32 distinct bases.
+        let workload = CrashWorkload::exceeding_capacity(16, 4, 32);
+        assert!(workload.pre_crash().total_chunks() >= 2 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn crash_outside_the_stream_is_rejected() {
+        let churn = ChurnWorkloadConfig::exceeding_capacity(16, 4, 32);
+        CrashWorkload::new(CrashWorkloadConfig {
+            crash_after_chunks: 128,
+            churn,
+        });
+    }
+}

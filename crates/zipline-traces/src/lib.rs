@@ -17,12 +17,14 @@
 //! [`zipf`] provides the popularity distribution used by the DNS generator.
 
 pub mod churn;
+pub mod crash;
 pub mod dns;
 pub mod sensor;
 pub mod trace;
 pub mod zipf;
 
 pub use churn::{ChurnWorkload, ChurnWorkloadConfig};
+pub use crash::{CrashPhase, CrashWorkload, CrashWorkloadConfig};
 pub use dns::{DnsWorkload, DnsWorkloadConfig};
 pub use sensor::{SensorWorkload, SensorWorkloadConfig};
 pub use trace::{chunks_to_frames, chunks_to_pcap, TraceConfig};

@@ -122,6 +122,46 @@ impl EngineControlPlane {
         out.push(self.message_for(update).to_frame(src, dst));
     }
 
+    /// Rebuilds the control plane after a warm engine restart, returning
+    /// the re-announcement traffic for the recovered dictionary.
+    ///
+    /// A crash loses the in-memory nonce table, but a decoder that stayed
+    /// up still holds the *pre-crash* nonces — a restarted plane that
+    /// started counting from zero would emit removes the decoder discards
+    /// as stale, resurrecting the snapshot-aliasing bug under churn. The
+    /// replay rules are therefore:
+    ///
+    /// 1. `next_nonce` jumps to at least `nonce_floor` (the restored
+    ///    dictionary's `delta_seq`, which bounds every nonce the previous
+    ///    incarnation can have issued), so fresh nonces never collide with
+    ///    in-flight pre-crash acks;
+    /// 2. every live mapping is **re-announced**: each `(id, basis)` gets a
+    ///    fresh [`ControlMessage::InstallMapping`]. The decoder applies
+    ///    installs unconditionally, so the re-announcement both heals a
+    ///    decoder that missed the crash-window tail and re-syncs the nonce
+    ///    table a surviving decoder echoes into removes;
+    /// 3. pre-crash pending installs are dropped — their acks are stale by
+    ///    rule 1, and the re-announcement supersedes them.
+    pub fn reseed(
+        &mut self,
+        live: impl IntoIterator<Item = (u64, Vec<u8>)>,
+        nonce_floor: u32,
+    ) -> Vec<ControlMessage> {
+        self.pending.clear();
+        self.installed.clear();
+        self.next_nonce = self.next_nonce.max(nonce_floor);
+        live.into_iter()
+            .map(|(id, basis)| {
+                let nonce = self.next_nonce;
+                self.next_nonce = self.next_nonce.wrapping_add(1);
+                self.pending.insert(id, nonce);
+                self.installed.insert(id, nonce);
+                self.stats.installs_sent += 1;
+                ControlMessage::InstallMapping { id, nonce, basis }
+            })
+            .collect()
+    }
+
     /// Processes a decoder acknowledgement; returns `true` when it matched
     /// the pending install for `id` (and clears it), `false` when stale.
     pub fn handle_ack(&mut self, id: u64, nonce: u32) -> bool {
@@ -204,6 +244,31 @@ mod tests {
         };
         assert_eq!(second, 1);
         assert_eq!(cp.stats().removes_sent, 2);
+    }
+
+    #[test]
+    fn reseed_reannounces_live_mappings_above_the_nonce_floor() {
+        let mut cp = EngineControlPlane::new();
+        cp.message_for(&install(0, 2, 1)); // pre-crash state, nonce 0
+        let messages = cp.reseed(vec![(2, vec![0xAA]), (5, vec![0xBB])], 17);
+        // Fresh nonces start at the floor, one per live mapping, in order.
+        let nonces: Vec<u32> = messages
+            .iter()
+            .map(|m| match m {
+                ControlMessage::InstallMapping { nonce, .. } => *nonce,
+                other => panic!("reseed emits installs only, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(nonces, vec![17, 18]);
+        // Pre-crash pending installs are gone; the re-announcements pend.
+        assert_eq!(cp.pending(), 2);
+        assert!(!cp.handle_ack(2, 0), "pre-crash ack is stale");
+        assert!(cp.handle_ack(2, 17), "ack for the re-announcement matches");
+        // A remove after reseed echoes the fresh nonce, not the lost one.
+        let ControlMessage::RemoveMapping { nonce, .. } = cp.message_for(&remove(9, 5)) else {
+            panic!("remove update produces a remove message");
+        };
+        assert_eq!(nonce, 18);
     }
 
     #[test]

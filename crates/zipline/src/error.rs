@@ -7,6 +7,9 @@ use std::fmt;
 pub enum ZipLineError {
     /// An error bubbled up from the GD core.
     Gd(zipline_gd::GdError),
+    /// An error bubbled up from the compression engine (persistence,
+    /// pipelined-worker loss, or a wrapped codec error).
+    Engine(zipline_engine::EngineError),
     /// An error bubbled up from the switch substrate.
     Switch(zipline_switch::SwitchError),
     /// An error bubbled up from the network substrate.
@@ -21,6 +24,7 @@ impl fmt::Display for ZipLineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ZipLineError::Gd(e) => write!(f, "GD error: {e}"),
+            ZipLineError::Engine(e) => write!(f, "engine error: {e}"),
             ZipLineError::Switch(e) => write!(f, "switch error: {e}"),
             ZipLineError::Net(e) => write!(f, "network error: {e}"),
             ZipLineError::MalformedControlMessage(msg) => {
@@ -35,6 +39,7 @@ impl std::error::Error for ZipLineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ZipLineError::Gd(e) => Some(e),
+            ZipLineError::Engine(e) => Some(e),
             ZipLineError::Switch(e) => Some(e),
             ZipLineError::Net(e) => Some(e),
             _ => None,
@@ -45,6 +50,17 @@ impl std::error::Error for ZipLineError {
 impl From<zipline_gd::GdError> for ZipLineError {
     fn from(e: zipline_gd::GdError) -> Self {
         ZipLineError::Gd(e)
+    }
+}
+
+impl From<zipline_engine::EngineError> for ZipLineError {
+    fn from(e: zipline_engine::EngineError) -> Self {
+        // A bare codec error inside the engine wrapper is still just a GD
+        // error to callers; unwrap it so matching stays uniform.
+        match e {
+            zipline_engine::EngineError::Gd(e) => ZipLineError::Gd(e),
+            other => ZipLineError::Engine(other),
+        }
     }
 }
 
@@ -73,6 +89,15 @@ mod tests {
         let e: ZipLineError = zipline_gd::GdError::UnknownBasis.into();
         assert!(e.to_string().contains("GD error"));
         assert!(e.source().is_some());
+
+        let e: ZipLineError = zipline_engine::EngineError::WorkerLost.into();
+        assert!(e.to_string().contains("engine error"));
+        assert!(matches!(e, ZipLineError::Engine(_)));
+
+        // An engine-wrapped codec error unwraps to the plain GD variant.
+        let e: ZipLineError =
+            zipline_engine::EngineError::Gd(zipline_gd::GdError::UnknownBasis).into();
+        assert!(matches!(e, ZipLineError::Gd(_)));
 
         let e: ZipLineError = zipline_switch::SwitchError::EntryNotFound("x".into()).into();
         assert!(e.to_string().contains("switch error"));

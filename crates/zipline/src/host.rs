@@ -63,18 +63,52 @@
 //!   `::Auto` the pipelined path degrades to inline execution — same
 //!   bytes, no thread — so it is always safe to enable.
 //!
+//! # Durability and warm restarts
+//!
+//! By default the engine's dictionary lives only in memory: a host crash
+//! loses it, and the only way back in sync with a decoder that kept its
+//! state is a full cold start (fresh dictionary on both sides, or a
+//! snapshot preload — which under churn aliases recycled identifiers, see
+//! above). Setting [`HostPathConfig::durable`] to a directory makes the
+//! engine crash-safe instead: every committed batch appends its dictionary
+//! delta to an event log (with periodic full-state checkpoints) and its
+//! wire frames to a journaled frame log, both sealed by a batch-boundary
+//! commit marker, and sinks only ever observe **committed** batches.
+//! Rebuilding the path over the same directory is then a *warm restart*:
+//!
+//! * the dictionary rehydrates to exactly the last committed batch
+//!   boundary (torn, truncated or bit-flipped log tails are detected by
+//!   per-record CRCs and cut at the last valid commit — or rejected
+//!   loudly when committed records are missing);
+//! * [`EngineHostPath::warm_start`] reports the recovered boundary
+//!   (`batches`, `bytes_in`, `frames`) plus the committed frames, so the
+//!   caller knows where to resume feeding input and what a transport that
+//!   lost the crash-window tail may need re-sent;
+//! * [`EngineHostPath::take_restart_sync_frames`] carries in-band
+//!   re-installs for every live mapping under fresh nonces — the decision
+//!   note: a **surviving decoder** needs them so its nonce table matches
+//!   the restarted control plane (otherwise later evictions are discarded
+//!   as stale and recycled identifiers alias), and a **restarted decoder**
+//!   is cold-started by the very same frames, so the caller never touches
+//!   the snapshot path.
+//!
+//! Durability is process-crash-grade (writes reach the OS in commit
+//! order); checkpoint cadence is [`HostPathConfig::checkpoint_cadence`].
+//!
 //! [`CompressionEngine`]: zipline_engine::CompressionEngine
 //! [`DictionarySnapshot`]: zipline_engine::DictionarySnapshot
 //! [`ZipLineDecodeProgram::install_snapshot`]: crate::decoder::ZipLineDecodeProgram::install_snapshot
 //! [`ZipLineDeployment::preload_decoder_snapshot`]: crate::deployment::ZipLineDeployment::preload_decoder_snapshot
 
 use std::cell::RefCell;
+use std::path::PathBuf;
 
 use crate::engine_control::{EngineControlPlane, EngineControlStats};
 use crate::error::Result;
 use zipline_engine::{
     CompressionBackend, CompressionEngine, DictionarySnapshot, DictionaryUpdate, EngineBuilder,
     EngineConfig, EngineDecompressor, EngineStream, GdBackend, PipelinedStream, StreamSummary,
+    WarmStart,
 };
 use zipline_gd::packet::PacketType;
 use zipline_net::ethernet::EthernetFrame;
@@ -112,6 +146,21 @@ pub struct HostPathConfig {
     /// see the module docs for the decision note). `None` keeps the path
     /// synchronous-only.
     pub pipeline_depth: Option<usize>,
+    /// Opt-in durability: when `Some(dir)`, the engine opens (or creates)
+    /// a crash-safe store there — an append-only dictionary event log with
+    /// periodic checkpoints plus a journaled frame log with batch-boundary
+    /// commit markers ([`EngineBuilder::durable`]). Rebuilding the path
+    /// over the same directory is a **warm restart**: the dictionary
+    /// rehydrates from disk and the control plane re-announces the live
+    /// mappings in-band, so no cold-start snapshot resync is needed (see
+    /// the module docs' durability note). `None` keeps the engine
+    /// in-memory only.
+    pub durable: Option<PathBuf>,
+    /// Full-state checkpoint cadence of the durable store, in committed
+    /// batches (1 = checkpoint every batch, the exact-restore default;
+    /// larger values trade checkpoint volume for a delta-fold on
+    /// recovery). Ignored without [`Self::durable`].
+    pub checkpoint_cadence: u64,
 }
 
 impl HostPathConfig {
@@ -126,6 +175,8 @@ impl HostPathConfig {
             raw_ethertype: zipline_net::ethernet::ETHERTYPE_IPV4,
             live_sync: true,
             pipeline_depth: None,
+            durable: None,
+            checkpoint_cadence: 1,
         }
     }
 
@@ -137,13 +188,27 @@ impl HostPathConfig {
         }
     }
 
+    /// `paper_default` with a durable store at `dir` (see
+    /// [`Self::durable`]).
+    pub fn durable(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            durable: Some(dir.into()),
+            ..Self::paper_default()
+        }
+    }
+
     /// The engine builder this configuration describes.
     fn builder(&self) -> EngineBuilder {
-        let builder = EngineBuilder::new().config(self.engine);
-        match self.pipeline_depth {
-            Some(depth) => builder.pipelined(depth),
-            None => builder,
+        let mut builder = EngineBuilder::new().config(self.engine);
+        if let Some(depth) = self.pipeline_depth {
+            builder = builder.pipelined(depth);
         }
+        if let Some(dir) = &self.durable {
+            builder = builder
+                .durable(dir.clone())
+                .checkpoint_cadence(self.checkpoint_cadence);
+        }
+        builder
     }
 }
 
@@ -158,15 +223,51 @@ pub struct EngineHostPath<B: CompressionBackend = GdBackend> {
     engine: Option<CompressionEngine<B>>,
     control: EngineControlPlane,
     config: HostPathConfig,
+    /// Recovery summary of a warm restart (durable path only; `None` on a
+    /// cold start).
+    warm: Option<WarmStart>,
+    /// Control frames re-announcing the recovered dictionary after a warm
+    /// restart; the caller puts them on the wire before any new data
+    /// ([`Self::take_restart_sync_frames`]).
+    restart_sync: Vec<EthernetFrame>,
 }
 
 impl EngineHostPath<GdBackend> {
-    /// Builds the GD-backed host path.
+    /// Builds the GD-backed host path. With [`HostPathConfig::durable`]
+    /// set and an existing store at that directory, this is a **warm
+    /// restart**: the dictionary rehydrates from disk,
+    /// [`Self::warm_start`] reports the recovered batch boundary, and
+    /// [`Self::take_restart_sync_frames`] carries the in-band
+    /// re-announcement that replaces a cold-start snapshot resync.
     pub fn new(config: HostPathConfig) -> Result<Self> {
+        let mut engine = config.builder().build()?;
+        let mut control = EngineControlPlane::new();
+        let warm = engine.take_warm_start();
+        let mut restart_sync = Vec::new();
+        if let Some(warm) = &warm {
+            if config.live_sync {
+                // Re-announce every live mapping with fresh nonces: heals a
+                // decoder that missed the crash-window tail and re-syncs
+                // the nonce table a surviving decoder echoes into removes.
+                let live = engine
+                    .snapshot()
+                    .entries
+                    .into_iter()
+                    .map(|(id, basis)| (id, basis.to_bytes()));
+                let floor = warm.dictionary.delta_seq.min(u32::MAX as u64) as u32;
+                restart_sync = control
+                    .reseed(live, floor)
+                    .into_iter()
+                    .map(|message| message.to_frame(config.src, config.dst))
+                    .collect();
+            }
+        }
         Ok(Self {
-            engine: Some(config.builder().build()?),
-            control: EngineControlPlane::new(),
+            engine: Some(engine),
+            control,
             config,
+            warm,
+            restart_sync,
         })
     }
 
@@ -188,11 +289,37 @@ impl<B: CompressionBackend> EngineHostPath<B> {
     /// size it in kilobytes for deflate to give each gzip member a window
     /// worth compressing.
     pub fn with_backend(config: HostPathConfig, backend: B) -> Result<Self> {
+        let mut engine = config.builder().backend(backend).build()?;
+        let warm = engine.take_warm_start();
         Ok(Self {
-            engine: Some(config.builder().backend(backend).build()?),
+            engine: Some(engine),
             control: EngineControlPlane::new(),
             config,
+            warm,
+            // Non-GD backends are delta-less and self-contained: nothing to
+            // re-announce.
+            restart_sync: Vec::new(),
         })
+    }
+
+    /// Recovery summary of a warm restart: the committed batch boundary the
+    /// engine resumed from (`batches`, `bytes_in`, `frames` tell the caller
+    /// where to resume feeding input), the frames committed before the
+    /// crash, and whether the restore was bit-exact. `None` on a cold
+    /// start or without [`HostPathConfig::durable`].
+    pub fn warm_start(&self) -> Option<&WarmStart> {
+        self.warm.as_ref()
+    }
+
+    /// Takes the in-band re-announcement frames of a warm restart (empty
+    /// on a cold start, without live sync, or once taken). Put these on
+    /// the wire **before** any newly compressed frames: they re-install
+    /// every recovered mapping under fresh nonces, so a decoder that kept
+    /// its state keeps retiring future evictions correctly and a decoder
+    /// that missed the crash-window control tail is healed — the
+    /// warm-restart replacement for a cold-start snapshot preload.
+    pub fn take_restart_sync_frames(&mut self) -> Vec<EthernetFrame> {
+        std::mem::take(&mut self.restart_sync)
     }
 
     /// The underlying engine (statistics, snapshot, dictionary).
@@ -246,7 +373,7 @@ impl<B: CompressionBackend> EngineHostPath<B> {
         &mut self,
         feed: impl FnOnce(
             &mut EngineStream<'_, FrameSink<'_>, ControlSink<'_>, B>,
-        ) -> zipline_gd::error::Result<()>,
+        ) -> std::result::Result<(), zipline_engine::EngineError>,
     ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
         // Both sinks push into one ordered frame sequence; the RefCell lets
         // the payload and control closures share it.
@@ -257,6 +384,7 @@ impl<B: CompressionBackend> EngineHostPath<B> {
             engine,
             control,
             config,
+            ..
         } = self;
         let engine = engine
             .as_mut()
@@ -316,7 +444,7 @@ impl<B: CompressionBackend + Send + 'static> EngineHostPath<B> {
         &mut self,
         feed: impl FnOnce(
             &mut PipelinedStream<FrameSink<'_>, ControlSink<'_>, B>,
-        ) -> zipline_gd::error::Result<()>,
+        ) -> std::result::Result<(), zipline_engine::EngineError>,
     ) -> Result<(Vec<EthernetFrame>, StreamSummary)> {
         if self.config.pipeline_depth.is_none() {
             return Err(zipline_gd::error::GdError::InvalidConfig(
@@ -333,6 +461,7 @@ impl<B: CompressionBackend + Send + 'static> EngineHostPath<B> {
             engine,
             control,
             config,
+            ..
         } = self;
         let owned_engine = engine
             .take()
@@ -478,6 +607,8 @@ mod tests {
             raw_ethertype: zipline_net::ethernet::ETHERTYPE_IPV4,
             live_sync,
             pipeline_depth: None,
+            durable: None,
+            checkpoint_cadence: 1,
         }
     }
 
@@ -639,6 +770,73 @@ mod tests {
         let outcome = deployment.run_frames(frames).unwrap();
         assert_eq!(outcome.received_payloads.concat(), data);
         assert_eq!(outcome.decoder_stats.decode_failures, 0);
+    }
+
+    // ---- durable warm restart (ISSUE 6) ----------------------------------
+
+    /// The tentpole host-level property: a durable host path killed between
+    /// streams warm-restarts over the same directory and resumes the
+    /// churn-heavy workload against a decoder that **kept its state** — no
+    /// snapshot preload, no decode failures, lossless end to end. The
+    /// restart re-announces every live mapping in-band
+    /// ([`EngineHostPath::take_restart_sync_frames`]) so the surviving
+    /// decoder's nonce table heals before the first resumed `Ref` frame.
+    #[test]
+    fn warm_restart_resumes_churn_against_a_surviving_decoder() {
+        let dir = std::env::temp_dir().join(format!("zipline-host-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = HostPathConfig {
+            durable: Some(dir.clone()),
+            ..churny_config(true)
+        };
+        let workload = zipline_traces::CrashWorkload::exceeding_capacity(
+            config.engine.gd.dictionary_capacity(),
+            4,
+            config.engine.gd.chunk_bytes,
+        );
+        let mut decoder = churny_decoder(&config);
+        let mut restored = Vec::new();
+
+        // Incarnation 1: compresses the pre-crash phase, then dies.
+        let mut host = EngineHostPath::new(config.clone()).unwrap();
+        assert!(host.warm_start().is_none(), "fresh store starts cold");
+        let (frames, _) = host
+            .compress_workload_to_frames(&workload.pre_crash())
+            .unwrap();
+        restored.extend_from_slice(&decode_frames(&mut decoder, frames));
+        drop(host);
+
+        // Incarnation 2 over the same directory: warm restart — the
+        // recovered cursor matches the crash point, and the re-announcement
+        // frames replace the cold-start snapshot resync.
+        let mut host = EngineHostPath::new(config.clone()).unwrap();
+        let warm = host.warm_start().expect("store is warm");
+        assert!(warm.batches > 0);
+        assert_eq!(warm.bytes_in, workload.crash_offset_bytes() as u64);
+        let sync = host.take_restart_sync_frames();
+        assert!(!sync.is_empty(), "restart re-announces live mappings");
+        // Install frames carry no data; feeding them heals the decoder's
+        // nonce table without touching the restored payload stream.
+        restored.extend_from_slice(&decode_frames(&mut decoder, sync));
+        let (frames, _) = host
+            .compress_workload_to_frames(&workload.post_crash())
+            .unwrap();
+        restored.extend_from_slice(&decode_frames(&mut decoder, frames));
+        drop(host);
+
+        assert_eq!(
+            restored,
+            workload.full().bytes(),
+            "crash-spanning roundtrip is lossless"
+        );
+        assert_eq!(decoder.stats().decode_failures, 0);
+
+        // A third incarnation sees the full stream committed.
+        let host = EngineHostPath::new(config).unwrap();
+        let warm = host.warm_start().expect("still warm");
+        assert_eq!(warm.bytes_in, workload.full().bytes().len() as u64);
+        drop(host);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The host path survives alternating pipelined and synchronous pushes:

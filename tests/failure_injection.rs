@@ -254,6 +254,310 @@ fn malformed_control_frames_are_ignored_by_both_sides() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable engine store: recovery fault injection (ISSUE 6)
+// ---------------------------------------------------------------------------
+//
+// The recovery property under attack here: whatever we do to the on-disk
+// logs — truncate them at an arbitrary byte, flip a bit, starve the
+// checkpoint cadence, kill the writer between the commit marker and the
+// frame emission — `EngineStore::open` must either recover a journal that
+// is a *strict prefix* of the reference recovery (bit for bit) or fail
+// loudly with a typed error. Silent misrestoration is the only losing
+// outcome.
+
+mod recovery_injection {
+    use std::cell::RefCell;
+    use std::path::{Path, PathBuf};
+
+    use zipline_repro::zipline_engine::{
+        CommittedEntry, CompressionEngine, DictionaryUpdate, EngineBuilder, EngineStore,
+        EngineStream, GdBackend, ShardedDictionary, SpawnPolicy, WarmStart,
+    };
+    use zipline_repro::zipline_gd::config::GdConfig;
+    use zipline_repro::zipline_gd::packet::PacketType;
+    use zipline_repro::zipline_gd::BitVec;
+    use zipline_repro::zipline_traces::{ChurnWorkload, ChurnWorkloadConfig};
+
+    const FRAME_LOG: &str = "frames.zfl";
+    const SHARD_LOG: &str = "shards.zsl";
+
+    fn recovery_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "zipline-recovery-inject-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn builder(dir: &Path, cadence: u64) -> EngineBuilder {
+        EngineBuilder::new()
+            .gd(GdConfig::for_parameters(8, 4).unwrap())
+            .shards(2)
+            .workers(1)
+            .spawn(SpawnPolicy::Inline)
+            .live_sync(true)
+            .durable(dir.to_path_buf())
+            .checkpoint_cadence(cadence)
+    }
+
+    /// A churny input sized to the 16-identifier dictionary above: twice
+    /// as many distinct bases as identifiers, each repeated twice.
+    fn churny_data() -> Vec<u8> {
+        ChurnWorkload::new(ChurnWorkloadConfig::exceeding_capacity(16, 2, 32)).bytes()
+    }
+
+    /// Seeds `dir` by running a durable stream over `data` and killing it
+    /// without `finish` — both logs keep their full journals, no
+    /// compaction. Returns the wire events the doomed stream emitted.
+    fn seed_store(dir: &Path, cadence: u64, data: &[u8]) -> Vec<CommittedEntry> {
+        let mut engine: CompressionEngine<GdBackend> = builder(dir, cadence).build().unwrap();
+        let events = run_stream(&mut engine, data, false);
+        drop(engine);
+        events
+    }
+
+    /// Feeds `data` through an 8-chunk-batch stream collecting the sinks'
+    /// events in [`CommittedEntry`] shape; `finish` completes or kills it.
+    fn run_stream(
+        engine: &mut CompressionEngine<GdBackend>,
+        data: &[u8],
+        finish: bool,
+    ) -> Vec<CommittedEntry> {
+        let events: RefCell<Vec<CommittedEntry>> = RefCell::new(Vec::new());
+        let sink = |pt: PacketType, bytes: &[u8]| {
+            events.borrow_mut().push(CommittedEntry::Frame {
+                packet_type: pt,
+                bytes: bytes.to_vec(),
+            });
+        };
+        let control_sink = Some(|update: &DictionaryUpdate| {
+            events
+                .borrow_mut()
+                .push(CommittedEntry::Control(update.clone()));
+        });
+        let mut stream = EngineStream::with_control_sink(engine, 8, sink, control_sink);
+        stream.push_record(data).unwrap();
+        if finish {
+            stream.finish().unwrap();
+        } else {
+            drop(stream);
+        }
+        events.into_inner()
+    }
+
+    fn clone_store(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).unwrap();
+        for name in [FRAME_LOG, SHARD_LOG] {
+            std::fs::copy(src.join(name), dst.join(name)).unwrap();
+        }
+    }
+
+    /// The reference recovery of the untampered store.
+    fn reference_warm(dir: &Path) -> WarmStart {
+        let scratch = recovery_dir("reference");
+        clone_store(dir, &scratch);
+        let (_, warm) = EngineStore::open(&scratch).unwrap();
+        let warm = warm.expect("seed committed batches");
+        let _ = std::fs::remove_dir_all(&scratch);
+        warm
+    }
+
+    /// Asserts the fate of one tampered store: recovery yields a strict
+    /// prefix of the reference journal, or a loud typed error. Returns
+    /// whether it recovered (and with how many batches) for sweep stats.
+    fn assert_prefix_or_loud(work: &Path, reference: &WarmStart) -> Option<u64> {
+        match EngineStore::open(work) {
+            Ok((_, warm)) => {
+                let Some(warm) = warm else { return Some(0) };
+                assert!(warm.batches <= reference.batches);
+                assert!(warm.bytes_in <= reference.bytes_in);
+                assert!(
+                    warm.committed.len() <= reference.committed.len()
+                        && warm.committed[..] == reference.committed[..warm.committed.len()],
+                    "recovered journal must be a strict prefix of the reference"
+                );
+                Some(warm.batches)
+            }
+            // PersistError is typed and descriptive; any Err is "loud".
+            Err(_) => None,
+        }
+    }
+
+    /// Kill the writer at *every byte offset* of the frame log: recovery
+    /// must land on the last commit boundary the surviving bytes cover.
+    #[test]
+    fn frame_log_truncated_at_every_offset_recovers_a_prefix_or_fails_loudly() {
+        let dir = recovery_dir("trunc-frame-seed");
+        seed_store(&dir, 1, &churny_data());
+        let reference = reference_warm(&dir);
+        assert!(reference.batches >= 4, "seed must commit several batches");
+
+        let frame_bytes = std::fs::read(dir.join(FRAME_LOG)).unwrap();
+        let work = recovery_dir("trunc-frame-work");
+        let mut boundaries = Vec::new();
+        for cut in 0..=frame_bytes.len() {
+            clone_store(&dir, &work);
+            std::fs::write(work.join(FRAME_LOG), &frame_bytes[..cut]).unwrap();
+            if let Some(batches) = assert_prefix_or_loud(&work, &reference) {
+                boundaries.push(batches);
+            }
+        }
+        // The sweep must see recovery at more than one boundary (early cuts
+        // recover fewer batches, the full file recovers all of them) and
+        // the boundary can only grow as more bytes survive.
+        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(boundaries.last(), Some(&reference.batches));
+        assert!(boundaries.first().unwrap() < &reference.batches);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    /// The same sweep over the shard log. Most cuts leave the frame log
+    /// claiming commits the shard log can no longer cover — that must be a
+    /// loud corruption error, never a silently emptier dictionary.
+    #[test]
+    fn shard_log_truncated_at_every_offset_recovers_or_fails_loudly() {
+        let dir = recovery_dir("trunc-shard-seed");
+        seed_store(&dir, 1, &churny_data());
+        let reference = reference_warm(&dir);
+
+        let shard_bytes = std::fs::read(dir.join(SHARD_LOG)).unwrap();
+        let work = recovery_dir("trunc-shard-work");
+        let (mut recovered, mut loud) = (0usize, 0usize);
+        // Step by a prime: record sizes vary, so every field class is hit
+        // without paying for a full per-byte sweep of the (large) log.
+        for cut in (0..=shard_bytes.len()).step_by(3) {
+            clone_store(&dir, &work);
+            std::fs::write(work.join(SHARD_LOG), &shard_bytes[..cut]).unwrap();
+            match assert_prefix_or_loud(&work, &reference) {
+                Some(batches) => {
+                    recovered += 1;
+                    // The frame log is intact, so a successful recovery
+                    // must reach the full commit boundary.
+                    assert_eq!(batches, reference.batches);
+                }
+                None => loud += 1,
+            }
+        }
+        assert!(recovered > 0, "a torn trailing checkpoint must still fold");
+        assert!(loud > 0, "uncoverable commits must fail loudly");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    /// Single-bit corruption anywhere in either log: CRC framing turns it
+    /// into a shorter valid prefix or a loud error — never silent damage.
+    #[test]
+    fn flipped_bits_never_misrestore_silently() {
+        let dir = recovery_dir("bitflip-seed");
+        seed_store(&dir, 1, &churny_data());
+        let reference = reference_warm(&dir);
+        let work = recovery_dir("bitflip-work");
+        for log in [FRAME_LOG, SHARD_LOG] {
+            let bytes = std::fs::read(dir.join(log)).unwrap();
+            // Step by a prime so the sweep hits every record field class.
+            for pos in (0..bytes.len()).step_by(13) {
+                for mask in [0x01u8, 0x80] {
+                    let mut tampered = bytes.clone();
+                    tampered[pos] ^= mask;
+                    clone_store(&dir, &work);
+                    std::fs::write(work.join(log), &tampered).unwrap();
+                    assert_prefix_or_loud(&work, &reference);
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    /// A sparse checkpoint cadence leaves the tail of the log covered only
+    /// by deltas: recovery folds them onto the stale checkpoint and the
+    /// resumed stream is still bit-identical to the uninterrupted run.
+    #[test]
+    fn stale_checkpoint_with_newer_deltas_folds_and_resumes_bit_identically() {
+        let data = churny_data();
+        let batch_bytes = 8 * 32;
+        let cut = 6 * batch_bytes; // kill after 6 whole batches
+        assert!(cut < data.len());
+
+        let mut plain: CompressionEngine<GdBackend> = EngineBuilder::new()
+            .gd(GdConfig::for_parameters(8, 4).unwrap())
+            .shards(2)
+            .workers(1)
+            .spawn(SpawnPolicy::Inline)
+            .live_sync(true)
+            .build()
+            .unwrap();
+        let reference = run_stream(&mut plain, &data, true);
+
+        // Checkpoints every 4 batches: the kill point sits past the last
+        // checkpoint, so recovery *must* fold deltas (not bit-exact
+        // restore) and still converge.
+        let dir = recovery_dir("stale-checkpoint");
+        let emitted = seed_store(&dir, 4, &data[..cut]);
+
+        let mut engine: CompressionEngine<GdBackend> = builder(&dir, 4).build().unwrap();
+        let warm = engine.take_warm_start().expect("store is warm");
+        assert_eq!(warm.bytes_in, cut as u64);
+        assert!(
+            !warm.exact,
+            "the newest checkpoint is stale; recovery had to fold deltas"
+        );
+        assert_eq!(warm.committed, emitted);
+        let mut rejoined = warm.committed;
+        rejoined.extend(run_stream(&mut engine, &data[cut..], true));
+        assert_eq!(
+            rejoined, reference,
+            "folded recovery must resume bit-identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The commit-then-emit crash window: the store made the batch durable
+    /// but the process died before the sinks saw a byte. Recovery must
+    /// replay the full batch — control update first, then the frame it
+    /// guards — so the downstream decoder never misses it.
+    #[test]
+    fn crash_between_commit_and_emission_replays_the_committed_batch() {
+        let dir = recovery_dir("commit-no-emit");
+        let mut store = EngineStore::create(&dir, 1, 8).unwrap();
+        let mut dict = ShardedDictionary::new(8, 1).unwrap();
+        dict.set_journal(true);
+        let basis = BitVec::from_bytes(&[0x5A; 4]);
+        let hash = basis.hash_words();
+        dict.classify_at(0, &basis, hash, 0).unwrap();
+        let delta = dict.take_delta();
+        assert!(!delta.updates.is_empty());
+        store
+            .commit_batch(
+                &[(PacketType::Compressed, 3u32)],
+                &[9, 9, 9],
+                &delta.updates,
+                None,
+                32,
+            )
+            .unwrap();
+        // Crash here: committed, nothing emitted.
+        drop(store);
+
+        let (_, warm) = EngineStore::open(&dir).unwrap();
+        let warm = warm.expect("the batch was durable");
+        assert_eq!(warm.batches, 1);
+        assert_eq!(warm.bytes_in, 32);
+        match &warm.committed[..] {
+            [CommittedEntry::Control(update), CommittedEntry::Frame { packet_type, bytes }] => {
+                assert_eq!(update, &delta.updates[0]);
+                assert_eq!(*packet_type, PacketType::Compressed);
+                assert_eq!(bytes, &[9, 9, 9]);
+            }
+            other => panic!("expected [install, frame] replay, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn replayed_stale_install_cannot_corrupt_an_active_mapping() {
     use zipline_repro::zipline_switch::program::PipelineProgram;
