@@ -1,0 +1,147 @@
+//! PR-7 bench: the network ingest path end to end — `zipline-server`'s
+//! accept/pipeline/ordered-writer stack driven by the closed-loop load
+//! harness over real loopback sockets.
+//!
+//! * `tcp_single_stream`: one connection, one stream, TCP loopback — the
+//!   per-stream price of the socket path (framing, CRC, the response
+//!   writer) over the in-process engine it wraps.
+//! * `tcp_closed_loop_2conn`: two concurrent connections with a bounded
+//!   in-flight window — the shape CI's load smoke runs, measuring how the
+//!   accept loop and per-connection engines overlap.
+//! * `uds_closed_loop_2conn`: the same loop over a Unix-domain socket,
+//!   isolating transport cost from protocol cost.
+//!
+//! Every iteration opens fresh connections and streams fresh ids against
+//! one long-lived server, so the measurement includes connect/hello/DONE —
+//! the whole closed loop, not just steady-state bytes.
+//!
+//! Snapshots are committed as `BENCH_PR7.json` (regenerate with
+//! `BENCH_JSON=bench.jsonl cargo bench -p zipline-bench --bench server_load`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use zipline::host::HostPathConfig;
+use zipline_engine::{EngineConfig, SpawnPolicy};
+use zipline_gd::config::GdConfig;
+use zipline_server::{run_closed_loop, LoadConfig, ServerConfig, ServerHandle};
+use zipline_traces::{ChunkWorkload, FlowMixConfig, FlowMixWorkload};
+
+/// Chunks per connection per iteration (32-byte chunks → 16 KiB each).
+const CHUNKS_PER_CONN: usize = 512;
+
+/// Small churn-heavy host shape (64-identifier dictionary, 64-chunk
+/// batches) so every iteration exercises learning and eviction, not just a
+/// warm dictionary.
+fn small_host() -> HostPathConfig {
+    HostPathConfig {
+        engine: EngineConfig {
+            gd: GdConfig::for_parameters(8, 6).expect("valid GD parameters"),
+            shards: 4,
+            workers: 2,
+            spawn: SpawnPolicy::Inline,
+        },
+        batch_chunks: 64,
+        ..HostPathConfig::paper_default()
+    }
+}
+
+/// Replays pre-generated chunks so the PRNG cost stays out of the loop.
+struct Replay {
+    chunks: Vec<Vec<u8>>,
+}
+
+impl ChunkWorkload for Replay {
+    fn chunk_len(&self) -> usize {
+        self.chunks.first().map_or(0, Vec::len)
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn chunks(&self) -> Box<dyn Iterator<Item = Vec<u8>> + '_> {
+        Box::new(self.chunks.iter().cloned())
+    }
+}
+
+fn flow_chunks(seed: u64) -> Vec<Vec<u8>> {
+    let config = FlowMixConfig {
+        chunks: CHUNKS_PER_CONN,
+        ..FlowMixConfig::small_with_seed(seed)
+    };
+    FlowMixWorkload::new(config).chunks().collect()
+}
+
+/// One closed-loop pass: `connections` fresh sessions, distinct stream ids.
+fn run_pass(
+    handle: &ServerHandle,
+    load: &LoadConfig,
+    connections: usize,
+    next_id: &mut u64,
+) -> u64 {
+    let workloads: Vec<Box<dyn ChunkWorkload + Send>> = (0..connections as u64)
+        .map(|i| {
+            Box::new(Replay {
+                chunks: flow_chunks(11 + i),
+            }) as Box<dyn ChunkWorkload + Send>
+        })
+        .collect();
+    let base = *next_id;
+    *next_id += connections as u64;
+    let report =
+        run_closed_loop(handle.endpoint(), load, "bench", base, workloads).expect("load runs");
+    assert_eq!(
+        report.records_sent,
+        (connections * CHUNKS_PER_CONN) as u64,
+        "every record must round-trip"
+    );
+    report.wire_bytes
+}
+
+fn bench_server_load(c: &mut Criterion) {
+    let host = small_host();
+    let load = LoadConfig {
+        connections: 2,
+        window_chunks: 256,
+        chunk_bytes: host.engine.gd.chunk_bytes,
+        batch_chunks: host.batch_chunks,
+    };
+    let bytes_per_conn = (CHUNKS_PER_CONN * host.engine.gd.chunk_bytes) as u64;
+    let mut group = c.benchmark_group("server_load");
+
+    let tcp = ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host.clone()))
+        .expect("server binds");
+    let mut next_id = 0x5E17_0000u64;
+
+    group.throughput(Throughput::Bytes(bytes_per_conn));
+    group.bench_function("tcp_single_stream", |b| {
+        b.iter(|| black_box(run_pass(&tcp, &load, 1, &mut next_id)))
+    });
+
+    group.throughput(Throughput::Bytes(2 * bytes_per_conn));
+    group.bench_function("tcp_closed_loop_2conn", |b| {
+        b.iter(|| black_box(run_pass(&tcp, &load, 2, &mut next_id)))
+    });
+    let report = tcp.shutdown();
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    #[cfg(unix)]
+    {
+        let path =
+            std::env::temp_dir().join(format!("zipline-bench-server-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let uds =
+            ServerHandle::bind_uds(&path, ServerConfig::from_host(host)).expect("server binds");
+        group.throughput(Throughput::Bytes(2 * bytes_per_conn));
+        group.bench_function("uds_closed_loop_2conn", |b| {
+            b.iter(|| black_box(run_pass(&uds, &load, 2, &mut next_id)))
+        });
+        let report = uds.shutdown();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_load);
+criterion_main!(benches);

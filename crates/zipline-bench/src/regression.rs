@@ -45,6 +45,7 @@ pub const TRACKED_GROUPS: &[&str] = &[
     "backend_matrix",
     "pipelined_ingest",
     "recovery",
+    "server_load",
 ];
 
 /// One measured benchmark: its full id (`group/name[/param]`) and median.
@@ -296,6 +297,7 @@ mod tests {
             ("BENCH_PR4.json", include_str!("../../../BENCH_PR4.json")),
             ("BENCH_PR5.json", include_str!("../../../BENCH_PR5.json")),
             ("BENCH_PR6.json", include_str!("../../../BENCH_PR6.json")),
+            ("BENCH_PR7.json", include_str!("../../../BENCH_PR7.json")),
         ] {
             let pr = pr_number(name).unwrap();
             set.absorb(name, pr, text);

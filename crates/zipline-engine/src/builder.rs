@@ -39,7 +39,7 @@ use std::path::PathBuf;
 use crate::backend::CompressionBackend;
 use crate::engine::{CompressionEngine, EngineConfig, EngineDecompressor, GdBackend, SpawnPolicy};
 use crate::error::{EngineError, Result as EngineResult};
-use crate::persist::{EngineStore, PersistError, StoreOptions};
+use crate::persist::{EngineStore, PersistError, StoreOptions, SyncPolicy};
 use crate::pipelined::PipelineConfig;
 use zipline_gd::config::GdConfig;
 use zipline_gd::error::Result;
@@ -166,6 +166,16 @@ impl<B: CompressionBackend> EngineBuilder<B> {
     /// [`durable`](Self::durable).
     pub fn checkpoint_cadence(mut self, batches: u64) -> Self {
         self.store_options.checkpoint_cadence = batches.max(1);
+        self
+    }
+
+    /// Sets the durable store's [`SyncPolicy`]: how far each commit's
+    /// durability reaches before `commit_batch` returns. The default,
+    /// [`SyncPolicy::Flush`], covers process crash; [`SyncPolicy::Data`]
+    /// adds `fdatasync` at the two commit flush points and covers power
+    /// loss. No effect without [`durable`](Self::durable).
+    pub fn sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.store_options.sync = policy;
         self
     }
 

@@ -126,7 +126,7 @@ pub use engine::{
     SpawnPolicy,
 };
 pub use error::EngineError;
-pub use persist::{CommittedEntry, EngineStore, PersistError, StoreOptions, WarmStart};
+pub use persist::{CommittedEntry, EngineStore, PersistError, StoreOptions, SyncPolicy, WarmStart};
 pub use pipelined::{PipelineConfig, PipelinedStream};
 pub use shard::{
     DictionaryDelta, DictionarySnapshot, DictionaryState, DictionaryUpdate, ShardOutcome,

@@ -84,10 +84,11 @@
 //! a crash between the two renames still restores correctly from the old
 //! shard log.
 //!
-//! Durability is at process-crash granularity: records reach the OS in
-//! commit order, so killing the writer at any byte offset leaves a
-//! recoverable prefix. (Power-loss hardening would add `fdatasync` at the
-//! two flush points; the format needs no change.)
+//! Durability defaults to process-crash granularity: records reach the OS
+//! in commit order, so killing the writer at any byte offset leaves a
+//! recoverable prefix. Opting into [`SyncPolicy::Data`] (via
+//! [`StoreOptions::sync`] or `EngineBuilder::sync_policy`) adds `fdatasync`
+//! at the two flush points — power-loss durability with no format change.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek as _, SeekFrom, Write as _};
@@ -439,6 +440,23 @@ fn append_record(
 // The store
 // ---------------------------------------------------------------------------
 
+/// How far a commit's durability reaches before [`EngineStore::commit_batch`]
+/// returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Flush to the OS at the two commit flush points (the default):
+    /// records reach the kernel in commit order, so durability covers
+    /// **process crash** — a kill at any byte offset leaves a recoverable
+    /// prefix — but not power loss.
+    #[default]
+    Flush,
+    /// Additionally `fdatasync` at the same two flush points (and on
+    /// checkpoint/compaction writes, with a directory sync after each
+    /// compaction rename): durability covers **power loss**. The on-disk
+    /// format is unchanged; this is purely a write-barrier upgrade.
+    Data,
+}
+
 /// Tuning knobs of an [`EngineStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreOptions {
@@ -447,12 +465,15 @@ pub struct StoreOptions {
     /// (bit-identical future behaviour); larger cadences trade checkpoint
     /// bytes for delta-fold (*consistent*) recovery.
     pub checkpoint_cadence: u64,
+    /// Crash-durability reach of each commit; see [`SyncPolicy`].
+    pub sync: SyncPolicy,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
         Self {
             checkpoint_cadence: 1,
+            sync: SyncPolicy::Flush,
         }
     }
 }
@@ -1045,6 +1066,7 @@ impl EngineStore {
         self.shard_log
             .flush()
             .map_err(io_err("flushing shard log"))?;
+        sync_file(self.options.sync, &self.shard_log, "syncing shard log")?;
 
         // The commit marker makes the batch count.
         self.body.clear();
@@ -1062,6 +1084,7 @@ impl EngineStore {
         self.frame_log
             .flush()
             .map_err(io_err("flushing frame log"))?;
+        sync_file(self.options.sync, &self.frame_log, "syncing frame log")?;
 
         self.batches = batch;
         self.bytes_in += input_len;
@@ -1083,7 +1106,10 @@ impl EngineStore {
             &self.body,
             "writing checkpoint record",
         )?;
-        self.shard_log.flush().map_err(io_err("flushing shard log"))
+        self.shard_log
+            .flush()
+            .map_err(io_err("flushing shard log"))?;
+        sync_file(self.options.sync, &self.shard_log, "syncing shard log")
     }
 
     /// Compacts the store: atomically rewrites `frames.zfl` as its header
@@ -1125,10 +1151,12 @@ impl EngineStore {
         )?;
         tmp.flush()
             .map_err(io_err("flushing compacted frame log"))?;
+        sync_file(self.options.sync, &tmp, "syncing compacted frame log")?;
         drop(tmp);
         let frame_path = self.dir.join(FRAME_LOG);
         std::fs::rename(&tmp_path, &frame_path)
             .map_err(io_err("renaming compacted frame log into place"))?;
+        sync_dir(self.options.sync, &self.dir)?;
         self.frame_log = open_log(&frame_path, false)?;
         self.frame_log
             .seek(SeekFrom::End(0))
@@ -1162,15 +1190,37 @@ impl EngineStore {
         )?;
         tmp.flush()
             .map_err(io_err("flushing compacted shard log"))?;
+        sync_file(self.options.sync, &tmp, "syncing compacted shard log")?;
         drop(tmp);
         let shard_path = self.dir.join(SHARD_LOG);
         std::fs::rename(&tmp_path, &shard_path)
             .map_err(io_err("renaming compacted shard log into place"))?;
+        sync_dir(self.options.sync, &self.dir)?;
         self.shard_log = open_log(&shard_path, false)?;
         self.shard_log
             .seek(SeekFrom::End(0))
             .map_err(io_err("seeking compacted shard log end"))?;
         Ok(())
+    }
+}
+
+/// Applies the store's [`SyncPolicy`] to one file: a no-op under `Flush`
+/// (the caller already flushed to the OS), an `fdatasync` under `Data`.
+fn sync_file(policy: SyncPolicy, file: &File, context: &'static str) -> PersistResult<()> {
+    match policy {
+        SyncPolicy::Flush => Ok(()),
+        SyncPolicy::Data => file.sync_data().map_err(io_err(context)),
+    }
+}
+
+/// Under [`SyncPolicy::Data`], syncs the directory so a rename performed
+/// inside it is itself power-loss durable; no-op under `Flush`.
+fn sync_dir(policy: SyncPolicy, dir: &Path) -> PersistResult<()> {
+    match policy {
+        SyncPolicy::Flush => Ok(()),
+        SyncPolicy::Data => File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(io_err("syncing store directory")),
     }
 }
 
@@ -1444,6 +1494,7 @@ mod tests {
         let mut store = EngineStore::create(&dir, 2, 4).unwrap();
         store.set_options(StoreOptions {
             checkpoint_cadence: 2,
+            ..StoreOptions::default()
         });
         let mut dict = ShardedDictionary::new(8, 2).unwrap();
         dict.set_journal(true);
@@ -1519,5 +1570,56 @@ mod tests {
         );
         drop(store);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn data_sync_policy_commits_checkpoints_and_compacts_identically() {
+        let flush_dir = temp_dir("sync-flush");
+        let data_dir = temp_dir("sync-data");
+        let mut warms = Vec::new();
+        for (dir, sync) in [
+            (&flush_dir, SyncPolicy::Flush),
+            (&data_dir, SyncPolicy::Data),
+        ] {
+            let mut store = EngineStore::create(dir, 1, 8).unwrap();
+            store.set_options(StoreOptions {
+                sync,
+                ..StoreOptions::default()
+            });
+            assert_eq!(store.options().sync, sync);
+            let mut dict = ShardedDictionary::new(8, 1).unwrap();
+            dict.set_journal(true);
+            for batch in 0..3u8 {
+                let b = basis(batch);
+                let hash = b.hash_words();
+                dict.classify_at(0, &b, hash, 0).unwrap();
+                let delta = dict.take_delta();
+                let state = dict.export_state();
+                store
+                    .commit_batch(
+                        &[(PacketType::Raw, 1u32)],
+                        &[batch],
+                        &delta.updates,
+                        Some(&state),
+                        1,
+                    )
+                    .unwrap();
+            }
+            let final_state = dict.export_state();
+            store.checkpoint(&final_state).unwrap();
+            store.compact(&final_state).unwrap();
+            drop(store);
+            let (_store, warm) = EngineStore::open(dir).unwrap();
+            warms.push(warm.expect("committed batches imply a warm start"));
+        }
+        let data = warms.pop().unwrap();
+        let flush = warms.pop().unwrap();
+        assert_eq!(flush.batches, data.batches);
+        assert_eq!(flush.bytes_in, data.bytes_in);
+        assert_eq!(flush.dictionary, data.dictionary);
+        assert_eq!(flush.committed.len(), data.committed.len());
+        assert!(data.exact, "SyncPolicy::Data must not change recovery");
+        let _ = std::fs::remove_dir_all(&flush_dir);
+        let _ = std::fs::remove_dir_all(&data_dir);
     }
 }

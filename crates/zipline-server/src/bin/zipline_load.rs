@@ -1,0 +1,262 @@
+//! `zipline-load` — the closed-loop load generator.
+//!
+//! Drives N concurrent client connections per workload against a
+//! `zipline-serverd` instance (`--connect`) or against an in-process server
+//! spawned on a loopback socket (`--spawn`, the default — the
+//! single-command smoke mode CI uses), and prints one summary line per
+//! workload: throughput, records/s, compression ratio and p50/p99/p999
+//! closed-loop record latency.
+//!
+//! ```text
+//! zipline-load [--connect ENDPOINT | --spawn tcp|uds]
+//!              [--workloads sensor,dns,flows,churn] [--connections N]
+//!              [--chunks N] [--window-chunks N] [--batch-chunks N]
+//!              [--durable DIR] [--sync data]
+//! ```
+
+use std::process::ExitCode;
+
+use zipline::host::HostPathConfig;
+use zipline_engine::SyncPolicy;
+use zipline_server::{run_closed_loop, Endpoint, LoadConfig, ServerConfig, ServerHandle};
+use zipline_traces::{
+    ChunkWorkload, ChurnWorkload, ChurnWorkloadConfig, DnsWorkload, DnsWorkloadConfig,
+    FlowMixConfig, FlowMixWorkload, SensorWorkload, SensorWorkloadConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: zipline-load [--connect ENDPOINT | --spawn tcp|uds]\n\
+         \x20                   [--workloads sensor,dns,flows,churn] [--connections N]\n\
+         \x20                   [--chunks N] [--window-chunks N] [--batch-chunks N]\n\
+         \x20                   [--durable DIR] [--sync data|flush]\n\
+         Default: --spawn tcp --workloads sensor,dns --connections 2."
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    connect: Option<String>,
+    spawn_uds: bool,
+    workloads: Vec<String>,
+    connections: usize,
+    chunks: Option<usize>,
+    window_chunks: usize,
+    host: HostPathConfig,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        connect: None,
+        spawn_uds: false,
+        workloads: vec!["sensor".into(), "dns".into()],
+        connections: 2,
+        chunks: None,
+        window_chunks: 512,
+        host: HostPathConfig::paper_default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--connect" => parsed.connect = Some(value("--connect")),
+            "--spawn" => {
+                parsed.spawn_uds = match value("--spawn").as_str() {
+                    "tcp" => false,
+                    "uds" => true,
+                    other => {
+                        eprintln!("unknown transport {other:?} (expected tcp or uds)");
+                        usage();
+                    }
+                }
+            }
+            "--workloads" => {
+                parsed.workloads = value("--workloads")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--connections" => parsed.connections = numeric(&value("--connections")),
+            "--chunks" => parsed.chunks = Some(numeric(&value("--chunks"))),
+            "--window-chunks" => parsed.window_chunks = numeric(&value("--window-chunks")),
+            "--batch-chunks" => parsed.host.batch_chunks = numeric(&value("--batch-chunks")),
+            "--durable" => parsed.host.durable = Some(value("--durable").into()),
+            "--sync" => {
+                parsed.host.sync = match value("--sync").as_str() {
+                    "data" => SyncPolicy::Data,
+                    "flush" => SyncPolicy::Flush,
+                    other => {
+                        eprintln!("unknown sync policy {other:?} (expected data or flush)");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if parsed.connections == 0 || parsed.workloads.is_empty() {
+        usage();
+    }
+    parsed
+}
+
+fn numeric<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{s:?} is not a valid number");
+        usage();
+    })
+}
+
+/// One boxed workload per connection; seeds vary per connection so the
+/// streams are distinct but deterministic.
+fn build_workloads(
+    name: &str,
+    connections: usize,
+    chunks: Option<usize>,
+    host: &HostPathConfig,
+) -> Option<Vec<Box<dyn ChunkWorkload + Send>>> {
+    let mut out: Vec<Box<dyn ChunkWorkload + Send>> = Vec::with_capacity(connections);
+    for conn in 0..connections as u64 {
+        let boxed: Box<dyn ChunkWorkload + Send> = match name {
+            "sensor" => {
+                let mut config = SensorWorkloadConfig::small();
+                config.seed = config.seed.wrapping_add(conn);
+                if let Some(chunks) = chunks {
+                    config.chunks = chunks;
+                }
+                Box::new(SensorWorkload::new(config))
+            }
+            "dns" => {
+                let mut config = DnsWorkloadConfig::small();
+                config.seed = config.seed.wrapping_add(conn);
+                if let Some(chunks) = chunks {
+                    config.queries = chunks;
+                }
+                Box::new(DnsWorkload::new(config))
+            }
+            "flows" => {
+                let mut config = FlowMixConfig::small_with_seed(0x5A1F_F10E + conn);
+                if let Some(chunks) = chunks {
+                    config.chunks = chunks;
+                }
+                Box::new(FlowMixWorkload::new(config))
+            }
+            "churn" => {
+                // Enough distinct bases to overflow a small dictionary; the
+                // paper-default 2^15-entry table needs --chunks to be pushed
+                // far higher than a smoke run, so cap the pattern space.
+                let capacity = host.engine.gd.dictionary_capacity().min(8192);
+                let mut config = ChurnWorkloadConfig::exceeding_capacity(
+                    capacity,
+                    2,
+                    host.engine.gd.chunk_bytes,
+                );
+                if let Some(chunks) = chunks {
+                    config.distinct = ((chunks / 2).max(1) as u32).min(1 << 16);
+                }
+                Box::new(ChurnWorkload::new(config))
+            }
+            _ => return None,
+        };
+        out.push(boxed);
+    }
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Either connect out, or spawn the server in-process on loopback.
+    let mut spawned: Option<ServerHandle> = None;
+    let endpoint = match &args.connect {
+        Some(s) => match Endpoint::parse(s) {
+            Ok(endpoint) => endpoint,
+            Err(e) => {
+                eprintln!("zipline-load: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let config = ServerConfig::from_host(args.host.clone());
+            let handle = if args.spawn_uds {
+                #[cfg(unix)]
+                {
+                    let path = std::env::temp_dir()
+                        .join(format!("zipline-load-{}.sock", std::process::id()));
+                    ServerHandle::bind_uds(path, config)
+                }
+                #[cfg(not(unix))]
+                {
+                    eprintln!("zipline-load: --spawn uds needs a unix platform");
+                    return ExitCode::from(2);
+                }
+            } else {
+                ServerHandle::bind_tcp("127.0.0.1:0", config)
+            };
+            match handle {
+                Ok(handle) => {
+                    eprintln!("zipline-load: spawned server on {}", handle.endpoint());
+                    let endpoint = handle.endpoint().clone();
+                    spawned = Some(handle);
+                    endpoint
+                }
+                Err(e) => {
+                    eprintln!("zipline-load: spawning server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let load = LoadConfig {
+        connections: args.connections,
+        window_chunks: args.window_chunks,
+        chunk_bytes: args.host.engine.gd.chunk_bytes,
+        batch_chunks: args.host.batch_chunks,
+    };
+
+    let mut failed = false;
+    for (index, name) in args.workloads.iter().enumerate() {
+        let Some(workloads) = build_workloads(name, args.connections, args.chunks, &args.host)
+        else {
+            eprintln!("zipline-load: unknown workload {name:?}");
+            failed = true;
+            continue;
+        };
+        // Distinct id range per workload so durable stream directories
+        // never collide across workloads or reruns in one process.
+        let base_stream_id = 0x10AD_0000 + ((index as u64) << 12);
+        match run_closed_loop(&endpoint, &load, name.clone(), base_stream_id, workloads) {
+            Ok(report) => println!("{}", report.format_line()),
+            Err(e) => {
+                eprintln!("zipline-load: workload {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(handle) = spawned {
+        let report = handle.shutdown();
+        if !report.errors.is_empty() {
+            for error in &report.errors {
+                eprintln!("zipline-load: server stream error: {error}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,196 @@
+//! Client side of the wire protocol: one [`ClientSession`] per stream.
+//!
+//! A session owns the socket's write half and a reader thread that parses
+//! server records into an event queue. The reader exits silently on EOF or
+//! on a torn record — both present to the consumer as the event channel
+//! closing, which is exactly how a server crash looks to a client: only
+//! complete records count, the torn tail does not.
+
+use std::io::Write;
+use std::sync::mpsc::{self, Receiver, TryRecvError};
+use std::thread::{self, JoinHandle};
+
+use zipline_engine::DictionaryUpdate;
+use zipline_gd::packet::PacketType;
+
+use crate::error::{ServerError, ServerResult};
+use crate::net::{Conn, Endpoint};
+use crate::wire::{
+    ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError,
+};
+
+/// One server record, as observed by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerEvent {
+    /// The server's hello (always the first event of a session).
+    Hello(ServerHello),
+    /// One wire payload.
+    Payload {
+        /// ZipLine packet type.
+        packet_type: PacketType,
+        /// Payload bytes.
+        bytes: Vec<u8>,
+    },
+    /// One committed dictionary update.
+    Control(DictionaryUpdate),
+    /// One synthesized install (compacted-journal resync; advisory).
+    Reseed(DictionaryUpdate),
+    /// Clean end of stream.
+    Done(DoneSummary),
+    /// The server reported a failure; the connection is closing.
+    ServerError(String),
+}
+
+/// A connected client stream.
+pub struct ClientSession {
+    conn: Conn,
+    codec: WireCodec,
+    events: Receiver<ServerEvent>,
+    reader: Option<JoinHandle<Result<(), WireError>>>,
+}
+
+impl ClientSession {
+    /// Connects to `endpoint` and starts the reader thread. No records are
+    /// exchanged until [`Self::hello`].
+    pub fn connect(endpoint: &Endpoint) -> ServerResult<Self> {
+        let conn = Conn::connect(endpoint)?;
+        let reader_conn = conn.try_clone()?;
+        let (tx, rx) = mpsc::channel();
+        let reader = thread::Builder::new()
+            .name("zipline-client-reader".into())
+            .spawn(move || {
+                let mut reader = RecordReader::new(reader_conn);
+                loop {
+                    match reader.read_record() {
+                        Ok(Some(record)) => {
+                            let event = match record {
+                                Record::ServerHello(h) => ServerEvent::Hello(h),
+                                Record::Payload { packet_type, bytes } => {
+                                    ServerEvent::Payload { packet_type, bytes }
+                                }
+                                Record::Control(update) => ServerEvent::Control(update),
+                                Record::Reseed(update) => ServerEvent::Reseed(update),
+                                Record::Done(done) => ServerEvent::Done(done),
+                                Record::Error(message) => ServerEvent::ServerError(message),
+                                other => {
+                                    return Err(WireError::Malformed(format!(
+                                        "server sent a client-side record: {}",
+                                        other.kind_name()
+                                    )))
+                                }
+                            };
+                            if tx.send(event).is_err() {
+                                return Ok(());
+                            }
+                        }
+                        Ok(None) => return Ok(()),
+                        Err(e) => return Err(e),
+                    }
+                }
+            })
+            .map_err(|e| ServerError::io("spawning client reader", e))?;
+        Ok(Self {
+            conn,
+            codec: WireCodec::new(),
+            events: rx,
+            reader: Some(reader),
+        })
+    }
+
+    fn send(&mut self, record: &Record) -> ServerResult<()> {
+        let frame = self.codec.encode(record);
+        self.conn
+            .write_all(&frame)
+            .map_err(|e| ServerError::io(format!("sending {}", record.kind_name()), e))?;
+        self.conn
+            .flush()
+            .map_err(|e| ServerError::io("flushing socket", e))
+    }
+
+    /// Opens the stream: sends `CLIENT_HELLO` and waits for the server's
+    /// answer. `entries_held` is the replay cursor — payload + control
+    /// records this client already holds from the stream's current journal
+    /// epoch (0 for a fresh stream or after a clean `Done`).
+    pub fn hello(&mut self, stream_id: u64, entries_held: u64) -> ServerResult<ServerHello> {
+        self.send(&Record::ClientHello(ClientHello {
+            stream_id,
+            entries_held,
+        }))?;
+        match self.events.recv() {
+            Ok(ServerEvent::Hello(hello)) => Ok(hello),
+            Ok(ServerEvent::ServerError(message)) => Err(ServerError::Remote(message)),
+            Ok(other) => Err(ServerError::Protocol(format!(
+                "expected SERVER_HELLO, got {other:?}"
+            ))),
+            Err(_) => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Sends one input record for the engine.
+    pub fn send_data(&mut self, bytes: &[u8]) -> ServerResult<()> {
+        let frame = self.codec.encode_data(bytes);
+        self.conn
+            .write_all(&frame)
+            .map_err(|e| ServerError::io("sending DATA", e))
+    }
+
+    /// Ends the stream cleanly; the server drains, commits and sends `Done`.
+    pub fn end(&mut self) -> ServerResult<()> {
+        self.send(&Record::End)
+    }
+
+    /// Blocks for the next server event; `None` means the connection closed
+    /// (only complete records were delivered).
+    pub fn next_event(&mut self) -> Option<ServerEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Non-blocking poll for a server event.
+    pub fn try_event(&mut self) -> Option<ServerEvent> {
+        match self.events.try_recv() {
+            Ok(event) => Some(event),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drains events until `Done`, handing each intermediate event to
+    /// `on_event`. Errors on a server `ERROR` record or a disconnect.
+    pub fn drain_to_done(
+        &mut self,
+        mut on_event: impl FnMut(ServerEvent),
+    ) -> ServerResult<DoneSummary> {
+        loop {
+            match self.next_event() {
+                Some(ServerEvent::Done(done)) => return Ok(done),
+                Some(ServerEvent::ServerError(message)) => {
+                    return Err(ServerError::Remote(message))
+                }
+                Some(event) => on_event(event),
+                None => return Err(ServerError::Disconnected),
+            }
+        }
+    }
+
+    /// Closes the write half and drains the reader to connection close,
+    /// returning every event received after the last one consumed.
+    pub fn close(mut self) -> Vec<ServerEvent> {
+        self.conn.shutdown(std::net::Shutdown::Write);
+        let mut tail = Vec::new();
+        while let Ok(event) = self.events.recv() {
+            tail.push(event);
+        }
+        if let Some(handle) = self.reader.take() {
+            drop(handle.join());
+        }
+        tail
+    }
+}
+
+impl Drop for ClientSession {
+    fn drop(&mut self) {
+        self.conn.shutdown(std::net::Shutdown::Both);
+        if let Some(handle) = self.reader.take() {
+            drop(handle.join());
+        }
+    }
+}

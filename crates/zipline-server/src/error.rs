@@ -1,0 +1,84 @@
+//! Typed error hierarchy for the server and client paths.
+//!
+//! Everything the subsystem can fail with folds into [`ServerError`]; engine
+//! failures keep their [`EngineError`] identity so callers can still match on
+//! the pipeline-level cause (worker loss, persistence, GD codec).
+
+use std::fmt;
+use std::io;
+
+use zipline_engine::EngineError;
+
+use crate::wire::WireError;
+
+/// Result alias for the server crate.
+pub type ServerResult<T> = Result<T, ServerError>;
+
+/// Any failure on the server or client path.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The byte stream on the socket did not parse as wire records.
+    Wire(WireError),
+    /// The compression engine failed (codec, worker, or store).
+    Engine(EngineError),
+    /// Socket-level failure outside the codec.
+    Io {
+        /// What was being done when the error hit.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// Well-formed records in an order the protocol forbids.
+    Protocol(String),
+    /// The peer reported a failure via an `ERROR` record.
+    Remote(String),
+    /// The peer vanished (clean close or reset) where the protocol still
+    /// owed us records.
+    Disconnected,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServerError::Engine(e) => write!(f, "engine error: {e}"),
+            ServerError::Io { context, source } => write!(f, "i/o error while {context}: {source}"),
+            ServerError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ServerError::Remote(message) => write!(f, "peer reported: {message}"),
+            ServerError::Disconnected => write!(f, "peer disconnected mid-protocol"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Wire(e) => Some(e),
+            ServerError::Engine(e) => Some(e),
+            ServerError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        ServerError::Wire(e)
+    }
+}
+
+impl From<EngineError> for ServerError {
+    fn from(e: EngineError) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+impl ServerError {
+    /// Wraps an [`io::Error`] with the action that produced it.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        ServerError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}

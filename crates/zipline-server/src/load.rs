@@ -1,0 +1,322 @@
+//! Closed-loop load harness: N concurrent client connections, each keeping
+//! a bounded window of unacknowledged input bytes in flight against the
+//! server and timing how long every record takes to come back restored.
+//!
+//! # Closed loop, byte-based windowing
+//!
+//! Each connection sends input records while `sent_bytes - acked_bytes`
+//! stays below the window; each non-raw payload from the server
+//! acknowledges one engine chunk's worth of input. Latency is recorded per
+//! input record: the clock starts when the record is sent and stops when
+//! the cumulative acknowledged bytes cover it. The window must be at least
+//! one engine batch (the server compresses whole batches, so a smaller
+//! window would deadlock the loop) — [`LoadConfig::effective_window_chunks`]
+//! enforces the floor.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use zipline_traces::ChunkWorkload;
+
+use crate::client::{ClientSession, ServerEvent};
+use crate::error::{ServerError, ServerResult};
+use crate::histogram::LatencyHistogram;
+use crate::net::Endpoint;
+use crate::wire::DoneSummary;
+use zipline_gd::packet::PacketType;
+
+/// Shape of one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections (one stream each).
+    pub connections: usize,
+    /// Window of unacknowledged input, in engine chunks.
+    pub window_chunks: usize,
+    /// Engine chunk size in bytes (must match the server's engine; the
+    /// acknowledgement accounting is in these units).
+    pub chunk_bytes: usize,
+    /// Engine batch size in chunks (the window floor; must match the
+    /// server's [`ServerConfig::host`](crate::ServerConfig)).
+    pub batch_chunks: usize,
+}
+
+impl LoadConfig {
+    /// A small shape suitable for smoke runs: 2 connections, 32-byte
+    /// chunks, 256-chunk batches, 512-chunk window.
+    pub fn smoke() -> Self {
+        Self {
+            connections: 2,
+            window_chunks: 512,
+            chunk_bytes: 32,
+            batch_chunks: 256,
+        }
+    }
+
+    /// The window actually used: never below one batch (see module docs).
+    pub fn effective_window_chunks(&self) -> usize {
+        self.window_chunks.max(self.batch_chunks)
+    }
+}
+
+/// Aggregated outcome of one closed-loop run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Label of the workload that was driven.
+    pub workload: String,
+    /// Connections that ran.
+    pub connections: usize,
+    /// Input bytes sent across all connections.
+    pub bytes_sent: u64,
+    /// Input records sent across all connections.
+    pub records_sent: u64,
+    /// Payload records received (raw tail included).
+    pub payloads: u64,
+    /// Control + reseed records received.
+    pub control_updates: u64,
+    /// Wire bytes the server reported emitting (sum of `Done` summaries).
+    pub wire_bytes: u64,
+    /// Wall-clock of the slowest connection (they run concurrently).
+    pub elapsed: Duration,
+    /// Per-record closed-loop latency across all connections.
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Input megabytes per second over the run's wall clock.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.bytes_sent as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+
+    /// Input records per second over the run's wall clock.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.records_sent as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Compression ratio the server reported (input / wire bytes).
+    pub fn ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            return 0.0;
+        }
+        self.bytes_sent as f64 / self.wire_bytes as f64
+    }
+
+    /// One human-readable summary line.
+    pub fn format_line(&self) -> String {
+        format!(
+            "{:<10} {} conns  {:>8.2} MB/s  {:>9.0} rec/s  ratio {:>5.2}  p50 {:>7}  p99 {:>7}  p999 {:>7}  max {:>7}",
+            self.workload,
+            self.connections,
+            self.throughput_mbps(),
+            self.records_per_sec(),
+            self.ratio(),
+            format_ns(self.latency.quantile(0.50)),
+            format_ns(self.latency.quantile(0.99)),
+            format_ns(self.latency.quantile(0.999)),
+            format_ns(self.latency.max_ns()),
+        )
+    }
+}
+
+/// Pretty-prints nanoseconds with an adaptive unit.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Outcome of one connection's closed loop.
+struct ConnOutcome {
+    bytes_sent: u64,
+    records_sent: u64,
+    payloads: u64,
+    control_updates: u64,
+    wire_bytes: u64,
+    elapsed: Duration,
+    latency: LatencyHistogram,
+}
+
+/// Per-connection closed-loop state machine over the event stream.
+struct Driver {
+    chunk_bytes: u64,
+    acked: u64,
+    pending: VecDeque<(u64, Instant)>,
+    latency: LatencyHistogram,
+    payloads: u64,
+    control_updates: u64,
+    done: Option<DoneSummary>,
+}
+
+impl Driver {
+    fn new(chunk_bytes: usize) -> Self {
+        Self {
+            chunk_bytes: chunk_bytes as u64,
+            acked: 0,
+            pending: VecDeque::new(),
+            latency: LatencyHistogram::new(),
+            payloads: 0,
+            control_updates: 0,
+            done: None,
+        }
+    }
+
+    fn on_event(&mut self, event: ServerEvent) -> ServerResult<()> {
+        match event {
+            ServerEvent::Payload { packet_type, bytes } => {
+                self.payloads += 1;
+                match packet_type {
+                    // A raw payload carries its own bytes verbatim — the
+                    // flush tail, shorter than a chunk; account exactly.
+                    PacketType::Raw => self.acked += bytes.len() as u64,
+                    // Compressed/uncompressed payloads each restore one
+                    // engine chunk of input.
+                    _ => self.acked += self.chunk_bytes,
+                }
+                let now = Instant::now();
+                while let Some(&(cum, sent_at)) = self.pending.front() {
+                    if cum <= self.acked {
+                        self.latency.record(now.duration_since(sent_at));
+                        self.pending.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            ServerEvent::Control(_) | ServerEvent::Reseed(_) => {
+                self.control_updates += 1;
+                Ok(())
+            }
+            ServerEvent::Done(done) => {
+                self.done = Some(done);
+                Ok(())
+            }
+            ServerEvent::ServerError(message) => Err(ServerError::Remote(message)),
+            ServerEvent::Hello(_) => Err(ServerError::Protocol(
+                "second SERVER_HELLO mid-stream".into(),
+            )),
+        }
+    }
+}
+
+/// Runs one connection's closed loop to completion.
+fn drive_connection(
+    endpoint: &Endpoint,
+    config: &LoadConfig,
+    workload: &dyn ChunkWorkload,
+    stream_id: u64,
+) -> ServerResult<ConnOutcome> {
+    let window_bytes = (config.effective_window_chunks() * config.chunk_bytes) as u64;
+    let mut session = ClientSession::connect(endpoint)?;
+    session.hello(stream_id, 0)?;
+
+    let start = Instant::now();
+    let mut driver = Driver::new(config.chunk_bytes);
+    let mut sent = 0u64;
+    let mut records_sent = 0u64;
+
+    for chunk in workload.chunks() {
+        while sent.saturating_sub(driver.acked) >= window_bytes {
+            match session.next_event() {
+                Some(event) => driver.on_event(event)?,
+                None => return Err(ServerError::Disconnected),
+            }
+        }
+        session.send_data(&chunk)?;
+        sent += chunk.len() as u64;
+        records_sent += 1;
+        driver.pending.push_back((sent, Instant::now()));
+        while let Some(event) = session.try_event() {
+            driver.on_event(event)?;
+        }
+    }
+    session.end()?;
+    while driver.done.is_none() {
+        match session.next_event() {
+            Some(event) => driver.on_event(event)?,
+            None => return Err(ServerError::Disconnected),
+        }
+    }
+    let elapsed = start.elapsed();
+    let done = driver.done.expect("loop exits with done");
+    Ok(ConnOutcome {
+        bytes_sent: sent,
+        records_sent,
+        payloads: driver.payloads,
+        control_updates: driver.control_updates,
+        wire_bytes: done.wire_bytes,
+        elapsed,
+        latency: driver.latency,
+    })
+}
+
+/// Drives `workloads.len()` concurrent connections (one workload each)
+/// against `endpoint` and aggregates the outcome. Stream ids are
+/// `base_stream_id + index`.
+pub fn run_closed_loop(
+    endpoint: &Endpoint,
+    config: &LoadConfig,
+    label: impl Into<String>,
+    base_stream_id: u64,
+    workloads: Vec<Box<dyn ChunkWorkload + Send>>,
+) -> ServerResult<LoadReport> {
+    assert!(
+        !workloads.is_empty(),
+        "closed loop needs at least one workload"
+    );
+    let connections = workloads.len();
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        for (index, workload) in workloads.into_iter().enumerate() {
+            let tx = tx.clone();
+            let endpoint = endpoint.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let outcome = drive_connection(
+                    &endpoint,
+                    &config,
+                    workload.as_ref(),
+                    base_stream_id + index as u64,
+                );
+                drop(tx.send(outcome));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut report = LoadReport {
+        workload: label.into(),
+        connections,
+        bytes_sent: 0,
+        records_sent: 0,
+        payloads: 0,
+        control_updates: 0,
+        wire_bytes: 0,
+        elapsed: Duration::ZERO,
+        latency: LatencyHistogram::new(),
+    };
+    for outcome in rx {
+        let outcome = outcome?;
+        report.bytes_sent += outcome.bytes_sent;
+        report.records_sent += outcome.records_sent;
+        report.payloads += outcome.payloads;
+        report.control_updates += outcome.control_updates;
+        report.wire_bytes += outcome.wire_bytes;
+        report.elapsed = report.elapsed.max(outcome.elapsed);
+        report.latency.merge(&outcome.latency);
+    }
+    Ok(report)
+}

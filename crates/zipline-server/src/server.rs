@@ -1,0 +1,759 @@
+//! The ingest server: accept loop, per-connection pipelined streams, the
+//! ordered response writer, and graceful shutdown.
+//!
+//! # Connection lifecycle
+//!
+//! Every accepted connection serves exactly one stream:
+//!
+//! 1. The client opens with `CLIENT_HELLO` (stream id + replay cursor).
+//! 2. The server builds one engine for the stream — durable under
+//!    `<root>/stream-<id>` when [`HostPathConfig::durable`] is set — answers
+//!    with `SERVER_HELLO`, replays any committed journal entries past the
+//!    client's cursor, and streams synthesized `RESEED` installs when the
+//!    journal was compacted away.
+//! 3. `DATA` records feed a [`PipelinedStream`]; every emitted payload and
+//!    control update is framed and handed to the **ordered writer** (below).
+//! 4. `END` (or a graceful server shutdown) drains in-flight batches,
+//!    commits, compacts the journal, and answers with `DONE`.
+//!
+//! # Ordered writer and backpressure
+//!
+//! Each connection owns one writer thread fed by a bounded
+//! [`sync_channel`](std::sync::mpsc::sync_channel) of pre-framed records
+//! ([`ServerConfig::writer_depth`] frames deep). Frames enter the channel in
+//! emission order from a single producer (the engine sinks run on the
+//! handler thread), so responses are **totally ordered** — a control update
+//! always reaches the socket before the payload that depends on it. When
+//! the client stops reading, the channel fills and sends block, which in
+//! turn blocks the reader loop: backpressure propagates to the client's
+//! sender instead of buffering unboundedly. A dead client (write failure)
+//! trips the writer's failure flag; the handler notices at the next push
+//! and abandons the stream instead of compressing into the void.
+//!
+//! # Shutdown semantics
+//!
+//! [`ServerHandle::shutdown`] is **graceful**: the listener stops accepting,
+//! each connection's read half closes, and every in-flight stream finishes
+//! exactly as if the client had sent `END` — in-flight batches drain,
+//! the tail commits, `DONE` (with `server_initiated = true`) reaches the
+//! client. [`ServerHandle::abort`] is a **crash**: sockets close both ways
+//! and streams drop without finishing — durable state cuts at the last
+//! commit boundary, which is precisely the state a killed process leaves
+//! behind, so tests use it to exercise warm restarts.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::io::Write;
+use std::net::ToSocketAddrs;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use zipline::host::HostPathConfig;
+use zipline_engine::{
+    CommittedEntry, CompressionBackend, CompressionEngine, DictionaryUpdate, EngineError,
+    GdBackend, PipelinedStream, UpdateOp,
+};
+use zipline_gd::packet::PacketType;
+
+use crate::error::{ServerError, ServerResult};
+use crate::net::{Conn, Endpoint, Listener};
+use crate::wire::{
+    ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError,
+};
+
+/// Boxed payload sink handed to the pipelined stream.
+type PayloadSink = Box<dyn FnMut(PacketType, &[u8])>;
+/// Boxed control sink handed to the pipelined stream.
+type ControlSink = Box<dyn FnMut(&DictionaryUpdate)>;
+
+/// Server configuration: the host-path shape every stream engine is built
+/// from, plus the response writer's depth.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine/host configuration applied to every stream. When
+    /// [`HostPathConfig::durable`] is set it names the *root* directory;
+    /// each stream journals under `stream-<id16>` below it. A `None`
+    /// [`HostPathConfig::pipeline_depth`] is promoted to `Some(2)` — the
+    /// server path is pipelined by construction.
+    pub host: HostPathConfig,
+    /// Bound of the per-connection ordered writer, in framed records.
+    pub writer_depth: usize,
+}
+
+impl ServerConfig {
+    /// Paper-default host path, pipelined at depth 2, 256-record writer.
+    pub fn paper_default() -> Self {
+        Self::from_host(HostPathConfig::paper_default())
+    }
+
+    /// Paper defaults with a durable store rooted at `dir`.
+    pub fn durable(dir: impl Into<PathBuf>) -> Self {
+        Self::from_host(HostPathConfig::durable(dir))
+    }
+
+    /// Wraps an explicit host configuration (pipelining promoted, see
+    /// [`Self::host`]).
+    pub fn from_host(mut host: HostPathConfig) -> Self {
+        if host.pipeline_depth.is_none() {
+            host.pipeline_depth = Some(2);
+        }
+        Self {
+            host,
+            writer_depth: 256,
+        }
+    }
+}
+
+/// Durable directory of one stream under the configured root.
+pub fn stream_dir(root: &Path, stream_id: u64) -> PathBuf {
+    root.join(format!("stream-{stream_id:016x}"))
+}
+
+/// Monotonic counters the server keeps; snapshot via [`ServerHandle::stats`].
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections: AtomicU64,
+    streams_completed: AtomicU64,
+    records_in: AtomicU64,
+    bytes_in: AtomicU64,
+    payloads_out: AtomicU64,
+    controls_out: AtomicU64,
+    bytes_out: AtomicU64,
+    replayed_entries: AtomicU64,
+    failed_streams: AtomicU64,
+}
+
+/// Point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Streams that reached `DONE`.
+    pub streams_completed: u64,
+    /// `DATA` records consumed.
+    pub records_in: u64,
+    /// `DATA` bytes consumed.
+    pub bytes_in: u64,
+    /// Payload records emitted (replay included).
+    pub payloads_out: u64,
+    /// Control + reseed records emitted (replay included).
+    pub controls_out: u64,
+    /// Framed bytes put on sockets.
+    pub bytes_out: u64,
+    /// Journal entries replayed to reconnecting clients.
+    pub replayed_entries: u64,
+    /// Streams that ended in an error (aborted streams excluded).
+    pub failed_streams: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            streams_completed: self.streams_completed.load(Ordering::Relaxed),
+            records_in: self.records_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            payloads_out: self.payloads_out.load(Ordering::Relaxed),
+            controls_out: self.controls_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            replayed_entries: self.replayed_entries.load(Ordering::Relaxed),
+            failed_streams: self.failed_streams.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the accept loop, the handlers and the handle.
+struct Shared {
+    config: ServerConfig,
+    stop: AtomicBool,
+    abort: AtomicBool,
+    stats: ServerStats,
+    active_streams: Mutex<HashSet<u64>>,
+    conns: Mutex<Vec<(Conn, JoinHandle<()>)>>,
+    errors: Mutex<Vec<String>>,
+}
+
+/// What [`ServerHandle::shutdown`]/[`ServerHandle::abort`] hand back.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Final counter values.
+    pub stats: StatsSnapshot,
+    /// Human-readable per-stream failures (empty on a clean run).
+    pub errors: Vec<String>,
+}
+
+/// A running ingest server; dropping the handle **aborts** it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds a TCP listener (GD backend) and starts serving.
+    pub fn bind_tcp(addr: impl ToSocketAddrs, config: ServerConfig) -> ServerResult<Self> {
+        Self::bind_tcp_with::<GdBackend>(addr, config)
+    }
+
+    /// Binds a TCP listener serving engines over backend `B`.
+    pub fn bind_tcp_with<B>(addr: impl ToSocketAddrs, config: ServerConfig) -> ServerResult<Self>
+    where
+        B: CompressionBackend + Send + 'static,
+    {
+        Self::start::<B>(Listener::bind_tcp(addr)?, config)
+    }
+
+    /// Binds a Unix-domain listener (GD backend) and starts serving.
+    #[cfg(unix)]
+    pub fn bind_uds(path: impl Into<PathBuf>, config: ServerConfig) -> ServerResult<Self> {
+        Self::bind_uds_with::<GdBackend>(path, config)
+    }
+
+    /// Binds a Unix-domain listener serving engines over backend `B`.
+    #[cfg(unix)]
+    pub fn bind_uds_with<B>(path: impl Into<PathBuf>, config: ServerConfig) -> ServerResult<Self>
+    where
+        B: CompressionBackend + Send + 'static,
+    {
+        Self::start::<B>(Listener::bind_unix(path)?, config)
+    }
+
+    fn start<B>(listener: Listener, config: ServerConfig) -> ServerResult<Self>
+    where
+        B: CompressionBackend + Send + 'static,
+    {
+        let endpoint = listener.endpoint()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            config,
+            stop: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            stats: ServerStats::default(),
+            active_streams: Mutex::new(HashSet::new()),
+            conns: Mutex::new(Vec::new()),
+            errors: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("zipline-accept".into())
+            .spawn(move || accept_loop::<B>(accept_shared, listener))
+            .map_err(|e| ServerError::io("spawning accept thread", e))?;
+        Ok(Self {
+            shared,
+            endpoint,
+            accept: Some(accept),
+        })
+    }
+
+    /// Where the server listens (with the ephemeral port resolved).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, end every in-flight stream as if
+    /// the client had sent `END` (drain, commit, `DONE`), join everything.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.close(false)
+    }
+
+    /// Hard abort: close every socket both ways and drop in-flight streams
+    /// without finishing — durable state cuts at the last commit boundary,
+    /// exactly like a process kill.
+    pub fn abort(mut self) -> ServerReport {
+        self.close(true)
+    }
+
+    fn close(&mut self, abort: bool) -> ServerReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if abort {
+            self.shared.abort.store(true, Ordering::SeqCst);
+        }
+        if let Some(handle) = self.accept.take() {
+            drop(handle.join());
+        }
+        // Accept loop has exited, so the registry is complete. Unblock every
+        // handler: half-close for graceful (reader sees EOF, stream finishes),
+        // full close for abort.
+        let conns = {
+            let mut guard = self.shared.conns.lock().expect("conns lock");
+            std::mem::take(&mut *guard)
+        };
+        let how = if abort {
+            std::net::Shutdown::Both
+        } else {
+            std::net::Shutdown::Read
+        };
+        for (conn, _) in &conns {
+            conn.shutdown(how);
+        }
+        for (_, handle) in conns {
+            drop(handle.join());
+        }
+        ServerReport {
+            stats: self.shared.stats.snapshot(),
+            errors: std::mem::take(&mut *self.shared.errors.lock().expect("errors lock")),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.close(true);
+        }
+    }
+}
+
+fn accept_loop<B>(shared: Arc<Shared>, listener: Listener)
+where
+    B: CompressionBackend + Send + 'static,
+{
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let registered = match conn.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => continue,
+                };
+                let handler_shared = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name("zipline-conn".into())
+                    .spawn(move || handle_connection::<B>(handler_shared, conn));
+                match spawned {
+                    Ok(handle) => {
+                        let mut conns = shared.conns.lock().expect("conns lock");
+                        // Joining finished handlers is instant; prune so a
+                        // long-lived server's registry stays bounded.
+                        conns.retain(|(_, h)| !h.is_finished());
+                        conns.push((registered, handle));
+                    }
+                    Err(e) => {
+                        let mut errors = shared.errors.lock().expect("errors lock");
+                        errors.push(format!("spawning connection handler: {e}"));
+                    }
+                }
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(2)),
+            Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Removes the stream id from the active set on every exit path.
+struct StreamGuard {
+    shared: Arc<Shared>,
+    stream_id: u64,
+}
+
+impl Drop for StreamGuard {
+    fn drop(&mut self) {
+        self.shared
+            .active_streams
+            .lock()
+            .expect("active set lock")
+            .remove(&self.stream_id);
+    }
+}
+
+fn handle_connection<B>(shared: Arc<Shared>, conn: Conn)
+where
+    B: CompressionBackend + Send + 'static,
+{
+    let reader_conn = match conn.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = RecordReader::new(reader_conn);
+
+    let hello = match reader.read_record() {
+        Ok(Some(Record::ClientHello(hello))) => hello,
+        // Connected and left without a word; nothing to serve.
+        Ok(None) => return,
+        Ok(Some(other)) => {
+            report_failure(
+                &shared,
+                &conn,
+                &ServerError::Protocol(format!("expected CLIENT_HELLO, got {}", other.kind_name())),
+            );
+            return;
+        }
+        Err(e) => {
+            report_failure(&shared, &conn, &ServerError::Wire(e));
+            return;
+        }
+    };
+
+    {
+        let mut active = shared.active_streams.lock().expect("active set lock");
+        if !active.insert(hello.stream_id) {
+            report_failure(
+                &shared,
+                &conn,
+                &ServerError::Protocol(format!(
+                    "stream {:#x} is already being served on another connection",
+                    hello.stream_id
+                )),
+            );
+            return;
+        }
+    }
+    let _guard = StreamGuard {
+        shared: Arc::clone(&shared),
+        stream_id: hello.stream_id,
+    };
+
+    if let Err(e) = serve_stream::<B>(&shared, &conn, &mut reader, &hello) {
+        // A deliberate abort is a staged crash, not a failure to report.
+        if !shared.abort.load(Ordering::SeqCst) {
+            report_failure(&shared, &conn, &e);
+        }
+    }
+}
+
+/// Counts the failure and best-effort sends a typed `ERROR` record before
+/// the connection drops.
+fn report_failure(shared: &Shared, conn: &Conn, error: &ServerError) {
+    shared.stats.failed_streams.fetch_add(1, Ordering::Relaxed);
+    shared
+        .errors
+        .lock()
+        .expect("errors lock")
+        .push(error.to_string());
+    if let Ok(mut writer) = conn.try_clone() {
+        let frame = WireCodec::new().encode(&Record::Error(error.to_string()));
+        drop(writer.write_all(&frame));
+        drop(writer.flush());
+    }
+    conn.shutdown(std::net::Shutdown::Both);
+}
+
+/// The resume plan derived from a stream's warm start and the client's
+/// replay cursor.
+struct ResumePlan {
+    hello: ServerHello,
+    replay: Vec<CommittedEntry>,
+    reseed: Vec<DictionaryUpdate>,
+}
+
+fn resume_plan<B: CompressionBackend>(
+    engine: &mut CompressionEngine<B>,
+    client: &ClientHello,
+) -> ServerResult<ResumePlan> {
+    let warm = engine.take_warm_start();
+    let held = client.entries_held as usize;
+    match warm {
+        None => {
+            if held != 0 {
+                return Err(ServerError::Protocol(format!(
+                    "client holds {held} entries but the stream has no durable state"
+                )));
+            }
+            Ok(ResumePlan {
+                hello: ServerHello {
+                    resume_bytes_in: 0,
+                    replay_entries: 0,
+                    reseed_entries: 0,
+                    warm: false,
+                },
+                replay: Vec::new(),
+                reseed: Vec::new(),
+            })
+        }
+        Some(warm) => {
+            if held > warm.committed.len() {
+                return Err(ServerError::Protocol(format!(
+                    "client holds {held} entries but the journal carries only {}",
+                    warm.committed.len()
+                )));
+            }
+            let replay: Vec<CommittedEntry> = warm.committed.into_iter().skip(held).collect();
+            // A compacted journal (clean finish, then reconnect from zero)
+            // carries no entries; the dictionary still exists, so a fresh
+            // client is synced by synthesized installs instead of replay.
+            let reseed = if held == 0 && replay.is_empty() {
+                reseed_updates(engine)
+            } else {
+                Vec::new()
+            };
+            Ok(ResumePlan {
+                hello: ServerHello {
+                    resume_bytes_in: warm.bytes_in,
+                    replay_entries: replay.len() as u64,
+                    reseed_entries: reseed.len() as u64,
+                    warm: true,
+                },
+                replay,
+                reseed,
+            })
+        }
+    }
+}
+
+/// Synthesizes `Install` updates for every live mapping, ordered by
+/// identifier. `seq`/`at` are advisory (the journal they summarize was
+/// compacted away); the `RESEED` record kind marks them as such.
+fn reseed_updates<B: CompressionBackend>(engine: &CompressionEngine<B>) -> Vec<DictionaryUpdate> {
+    let Some(snapshot) = engine.backend().snapshot() else {
+        return Vec::new();
+    };
+    let mut entries = snapshot.entries;
+    entries.sort_by_key(|(id, _)| *id);
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(i, (id, basis))| DictionaryUpdate {
+            seq: i as u64,
+            at: 0,
+            op: UpdateOp::Install { id, basis },
+        })
+        .collect()
+}
+
+fn serve_stream<B>(
+    shared: &Arc<Shared>,
+    conn: &Conn,
+    reader: &mut RecordReader<Conn>,
+    hello: &ClientHello,
+) -> ServerResult<()>
+where
+    B: CompressionBackend + Send + 'static,
+{
+    let config = &shared.config;
+    let mut host = config.host.clone();
+    if let Some(root) = &host.durable {
+        host.durable = Some(stream_dir(root, hello.stream_id));
+    }
+
+    let backend = B::from_engine_config(&host.engine).map_err(EngineError::Gd)?;
+    let mut engine = host.engine_builder().backend(backend).build()?;
+    let plan = resume_plan(&mut engine, hello)?;
+
+    // Ordered writer: a bounded channel of pre-framed records drained by a
+    // dedicated thread. See the module docs for the backpressure rules.
+    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(config.writer_depth.max(1));
+    let writer_failed = Arc::new(AtomicBool::new(false));
+    let writer_conn = conn.try_clone()?;
+    let writer = {
+        let failed = Arc::clone(&writer_failed);
+        thread::Builder::new()
+            .name("zipline-writer".into())
+            .spawn(move || run_writer(writer_conn, rx, failed))
+            .map_err(|e| ServerError::io("spawning writer thread", e))?
+    };
+
+    let codec = Rc::new(RefCell::new(WireCodec::new()));
+    let bytes_out = |shared: &Shared, frame: &[u8]| {
+        shared
+            .stats
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    };
+
+    {
+        let frame = codec.borrow_mut().encode(&Record::ServerHello(plan.hello));
+        bytes_out(shared, &frame);
+        drop(tx.send(frame));
+    }
+    for entry in &plan.replay {
+        let frame = match entry {
+            CommittedEntry::Frame { packet_type, bytes } => {
+                shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
+                codec.borrow_mut().encode_payload(*packet_type, bytes)
+            }
+            CommittedEntry::Control(update) => {
+                shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
+                codec.borrow_mut().encode_control(update)
+            }
+        };
+        shared
+            .stats
+            .replayed_entries
+            .fetch_add(1, Ordering::Relaxed);
+        bytes_out(shared, &frame);
+        if tx.send(frame).is_err() || writer_failed.load(Ordering::Relaxed) {
+            return Err(ServerError::Disconnected);
+        }
+    }
+    for update in &plan.reseed {
+        let frame = codec.borrow_mut().encode(&Record::Reseed(update.clone()));
+        shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
+        bytes_out(shared, &frame);
+        if tx.send(frame).is_err() || writer_failed.load(Ordering::Relaxed) {
+            return Err(ServerError::Disconnected);
+        }
+    }
+
+    // Live sync was either forced by the durable GD store at build time or
+    // requested by the host configuration; both stream control updates.
+    let live =
+        engine.live_sync_enabled() || (host.live_sync && engine.backend().supports_live_sync());
+
+    let payload_sink: PayloadSink = {
+        let codec = Rc::clone(&codec);
+        let tx = tx.clone();
+        let failed = Arc::clone(&writer_failed);
+        let shared = Arc::clone(shared);
+        Box::new(move |packet_type, bytes| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            let frame = codec.borrow_mut().encode_payload(packet_type, bytes);
+            shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .bytes_out
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            drop(tx.send(frame));
+        })
+    };
+    let control_sink: Option<ControlSink> = if live {
+        let codec = Rc::clone(&codec);
+        let tx = tx.clone();
+        let failed = Arc::clone(&writer_failed);
+        let shared = Arc::clone(shared);
+        Some(Box::new(move |update: &DictionaryUpdate| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            let frame = codec.borrow_mut().encode_control(update);
+            shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .bytes_out
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            drop(tx.send(frame));
+        }))
+    } else {
+        None
+    };
+
+    let mut stream =
+        PipelinedStream::with_control_sink(engine, host.batch_chunks, payload_sink, control_sink)?;
+
+    // Ok(true): the client ended the stream; Ok(false): the read half
+    // closed under a graceful shutdown — both finish cleanly.
+    let outcome: ServerResult<bool> = loop {
+        match reader.read_record() {
+            Ok(Some(Record::Data(bytes))) => {
+                shared.stats.records_in.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .bytes_in
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                if let Err(e) = stream.push_record(&bytes) {
+                    break Err(e.into());
+                }
+                if writer_failed.load(Ordering::Relaxed) {
+                    break Err(ServerError::Disconnected);
+                }
+            }
+            Ok(Some(Record::End)) => break Ok(true),
+            Ok(Some(other)) => {
+                break Err(ServerError::Protocol(format!(
+                    "unexpected {} record mid-stream",
+                    other.kind_name()
+                )))
+            }
+            Ok(None) => {
+                if shared.abort.load(Ordering::SeqCst) {
+                    break Err(ServerError::Disconnected);
+                }
+                // EOF at a record boundary: the client hung up without END,
+                // or our graceful shutdown half-closed the socket. Either
+                // way the data is whole; finish and commit it.
+                break Ok(false);
+            }
+            Err(WireError::Truncated) if shared.stop.load(Ordering::SeqCst) => {
+                if shared.abort.load(Ordering::SeqCst) {
+                    break Err(ServerError::Disconnected);
+                }
+                // Shutdown cut the client mid-record; the torn record was
+                // never pushed, everything before it commits.
+                break Ok(false);
+            }
+            Err(e) => break Err(e.into()),
+        }
+    };
+
+    let result = match outcome {
+        Ok(client_ended) => match stream.finish() {
+            Ok((engine, summary)) => {
+                drop(engine);
+                shared
+                    .stats
+                    .streams_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                let done = Record::Done(DoneSummary {
+                    bytes_in: summary.bytes_in,
+                    payloads_emitted: summary.payloads_emitted,
+                    wire_bytes: summary.wire_bytes,
+                    compressed_payloads: summary.compressed_payloads,
+                    control_updates: summary.control_updates,
+                    server_initiated: !client_ended,
+                });
+                let frame = codec.borrow_mut().encode(&done);
+                bytes_out(shared, &frame);
+                drop(tx.send(frame));
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        },
+        Err(e) => {
+            // Dropping the stream drains the worker without emitting or
+            // committing anything further — crash semantics for the store.
+            drop(stream);
+            Err(e)
+        }
+    };
+
+    // Close the channel (the sinks' clones died with the stream) and let
+    // the writer drain what was queued before it exits.
+    drop(tx);
+    drop(writer.join());
+    result
+}
+
+/// The ordered writer: drains pre-framed records to the socket, batching
+/// bursts through a buffered writer and flushing whenever the queue runs
+/// empty (so closed-loop clients are never left waiting on a full buffer).
+fn run_writer(conn: Conn, rx: Receiver<Vec<u8>>, failed: Arc<AtomicBool>) {
+    let mut writer = std::io::BufWriter::with_capacity(64 * 1024, conn);
+    loop {
+        let frame = match rx.try_recv() {
+            Ok(frame) => frame,
+            Err(TryRecvError::Empty) => {
+                if writer.flush().is_err() {
+                    break;
+                }
+                match rx.recv() {
+                    Ok(frame) => frame,
+                    Err(_) => return void_flush(writer),
+                }
+            }
+            Err(TryRecvError::Disconnected) => return void_flush(writer),
+        };
+        if writer.write_all(&frame).is_err() {
+            break;
+        }
+    }
+    // Write half is dead: mark it and drain so producers never block on a
+    // full channel into a dead pipe.
+    failed.store(true, Ordering::Relaxed);
+    for _ in rx.iter() {}
+}
+
+fn void_flush(mut writer: std::io::BufWriter<Conn>) {
+    drop(writer.flush());
+}

@@ -1,0 +1,793 @@
+//! Framed wire protocol for the ZipLine ingest server.
+//!
+//! The framing reuses the record discipline of the durable store
+//! (`zipline-engine`'s `persist.rs`): every record on the socket is
+//!
+//! ```text
+//! record  := len:u32le payload crc:u32le
+//! payload := kind:u8 body
+//! ```
+//!
+//! where `len` counts the payload bytes (kind byte included) and `crc` is a
+//! CRC-32 (polynomial `0x04C1_1DB7`) over the payload. A reader therefore
+//! needs no protocol state to reframe a byte stream: it reads `len`, takes
+//! that many payload bytes, and verifies the trailing CRC. Anything that does
+//! not parse — a zero or oversized length, a short read, a CRC mismatch, an
+//! unknown kind — is a loud [`WireError`]; the codec never panics on foreign
+//! bytes and never silently accepts a damaged frame.
+//!
+//! # Record kinds
+//!
+//! Client → server:
+//!
+//! | kind   | record                                            |
+//! |--------|---------------------------------------------------|
+//! | `0x41` | [`ClientHello`] — magic `ZLRQ`, version, stream id, replay cursor |
+//! | `0x42` | `Data` — raw input record bytes for the engine    |
+//! | `0x43` | `End` — clean end of stream (drain + commit)      |
+//!
+//! Server → client:
+//!
+//! | kind   | record                                            |
+//! |--------|---------------------------------------------------|
+//! | `0x51` | [`ServerHello`] — magic `ZLRS`, resume offset, replay/reseed counts |
+//! | `0x52` | `Payload` — one wire payload (`packet_type` + bytes) |
+//! | `0x53` | `Control` — one committed dictionary update (live sync) |
+//! | `0x54` | `Done` — stream summary, closes the journal epoch |
+//! | `0x55` | `Error` — typed failure, connection closes after  |
+//! | `0x56` | `Reseed` — synthesized dictionary install for a compacted journal (advisory; not part of the replay cursor) |
+//!
+//! The body encodings for dictionary updates mirror the store's
+//! `put_update`/`read_update` byte-for-byte so a journal replay is a straight
+//! re-framing of [`zipline_engine::CommittedEntry`] values, no re-encoding.
+
+use std::fmt;
+use std::io::{self, Read};
+
+use zipline_engine::{DictionaryUpdate, UpdateOp};
+use zipline_gd::packet::PacketType;
+use zipline_gd::{BitVec, CrcEngine, CrcSpec};
+
+/// Wire protocol version spoken by this crate.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on a single record's payload bytes; anything larger is
+/// rejected before buffering (a 4-byte length field must not become a
+/// memory-exhaustion lever).
+pub const MAX_WIRE_RECORD_BYTES: usize = 1 << 24;
+
+/// Magic prefix of a [`ClientHello`] body.
+pub const REQUEST_MAGIC: [u8; 4] = *b"ZLRQ";
+/// Magic prefix of a [`ServerHello`] body.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"ZLRS";
+
+const KIND_CLIENT_HELLO: u8 = 0x41;
+const KIND_DATA: u8 = 0x42;
+const KIND_END: u8 = 0x43;
+const KIND_SERVER_HELLO: u8 = 0x51;
+const KIND_PAYLOAD: u8 = 0x52;
+const KIND_CONTROL: u8 = 0x53;
+const KIND_DONE: u8 = 0x54;
+const KIND_ERROR: u8 = 0x55;
+const KIND_RESEED: u8 = 0x56;
+
+/// Decoding failure; every variant is terminal for the connection.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file error while reading.
+    Io(io::Error),
+    /// The stream ended inside a record (after at least one framing byte).
+    Truncated,
+    /// Declared payload length is zero or exceeds [`MAX_WIRE_RECORD_BYTES`].
+    OversizedRecord(usize),
+    /// Trailing CRC does not match the payload.
+    BadCrc,
+    /// A hello record carried the wrong magic.
+    BadMagic,
+    /// A hello record spoke a protocol version we do not.
+    UnsupportedVersion(u16),
+    /// Correctly framed record with a kind byte we do not know.
+    UnknownKind(u8),
+    /// The body of a known kind did not parse.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Truncated => write!(f, "stream truncated inside a record"),
+            WireError::OversizedRecord(len) => write!(
+                f,
+                "record payload of {len} bytes outside (0, {MAX_WIRE_RECORD_BYTES}]"
+            ),
+            WireError::BadCrc => write!(f, "record CRC mismatch"),
+            WireError::BadMagic => write!(f, "hello record carries the wrong magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown record kind {k:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed record body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// First record on every connection, client → server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Caller-chosen stream identifier; doubles as the durable directory key,
+    /// so reconnecting with the same id resumes the same journal.
+    pub stream_id: u64,
+    /// Replay cursor: payload + control records the client has received since
+    /// the stream's last `Done` (i.e. within the current journal epoch).
+    pub entries_held: u64,
+}
+
+/// First record on every connection, server → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Input byte offset the client must resume feeding from after the
+    /// replayed records (always a commit-boundary, i.e. a batch multiple).
+    pub resume_bytes_in: u64,
+    /// Committed records about to be replayed from the journal.
+    pub replay_entries: u64,
+    /// Synthesized `Reseed` installs about to follow (compacted journal).
+    pub reseed_entries: u64,
+    /// Whether the stream restored warm state from a durable store.
+    pub warm: bool,
+}
+
+/// Final record of a clean stream, server → client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoneSummary {
+    /// Record bytes the engine consumed.
+    pub bytes_in: u64,
+    /// Wire payloads emitted.
+    pub payloads_emitted: u64,
+    /// Total wire bytes emitted.
+    pub wire_bytes: u64,
+    /// Payloads emitted in compressed (type 3) form.
+    pub compressed_payloads: u64,
+    /// Dictionary updates streamed to the client.
+    pub control_updates: u64,
+    /// True when the server (graceful shutdown) rather than the client's
+    /// `End` record ended the stream.
+    pub server_initiated: bool,
+}
+
+/// One wire record, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// `0x41`: connection opener, client → server.
+    ClientHello(ClientHello),
+    /// `0x42`: raw input record bytes for the engine.
+    Data(Vec<u8>),
+    /// `0x43`: clean end of stream.
+    End,
+    /// `0x51`: connection opener, server → client.
+    ServerHello(ServerHello),
+    /// `0x52`: one compressed/uncompressed/raw wire payload.
+    Payload {
+        /// ZipLine packet type of the payload.
+        packet_type: PacketType,
+        /// Payload bytes exactly as the backend emitted them.
+        bytes: Vec<u8>,
+    },
+    /// `0x53`: one committed dictionary update (live sync).
+    Control(DictionaryUpdate),
+    /// `0x56`: synthesized dictionary install replacing a compacted journal.
+    Reseed(DictionaryUpdate),
+    /// `0x54`: stream summary; closes the journal epoch.
+    Done(DoneSummary),
+    /// `0x55`: typed failure; the connection closes after this record.
+    Error(String),
+}
+
+impl Record {
+    /// Short human tag for protocol errors.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Record::ClientHello(_) => "CLIENT_HELLO",
+            Record::Data(_) => "DATA",
+            Record::End => "END",
+            Record::ServerHello(_) => "SERVER_HELLO",
+            Record::Payload { .. } => "PAYLOAD",
+            Record::Control(_) => "CONTROL",
+            Record::Reseed(_) => "RESEED",
+            Record::Done(_) => "DONE",
+            Record::Error(_) => "ERROR",
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bitvec(buf: &mut Vec<u8>, bits: &BitVec) {
+    put_u32(buf, bits.len() as u32);
+    buf.extend_from_slice(&bits.to_bytes());
+}
+
+/// Serializes a dictionary update exactly like the store's `put_update`.
+pub(crate) fn put_update(buf: &mut Vec<u8>, update: &DictionaryUpdate) {
+    put_u64(buf, update.seq);
+    put_u64(buf, update.at);
+    match &update.op {
+        UpdateOp::Install { id, basis } => {
+            buf.push(0);
+            put_u64(buf, *id);
+            put_bitvec(buf, basis);
+        }
+        UpdateOp::Remove { id } => {
+            buf.push(1);
+            put_u64(buf, *id);
+        }
+    }
+}
+
+/// Bounded reader over one record body; every shortfall is a loud
+/// [`WireError::Malformed`] naming the record being parsed.
+struct BodyReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> BodyReader<'a> {
+    fn new(data: &'a [u8], what: &'static str) -> Self {
+        Self { data, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        let Some(end) = end else {
+            return Err(WireError::Malformed(format!(
+                "{}: body shorter than declared",
+                self.what
+            )));
+        };
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bitvec(&mut self) -> Result<BitVec, WireError> {
+        let bit_len = self.u32()? as usize;
+        let bytes = self.take(bit_len.div_ceil(8))?;
+        let mut bits = BitVec::from_bytes(bytes);
+        bits.truncate(bit_len);
+        Ok(bits)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.data[self.pos..];
+        self.pos = self.data.len();
+        slice
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{}: trailing bytes in body",
+                self.what
+            )))
+        }
+    }
+}
+
+fn read_update(r: &mut BodyReader<'_>) -> Result<DictionaryUpdate, WireError> {
+    let seq = r.u64()?;
+    let at = r.u64()?;
+    let op = match r.u8()? {
+        0 => UpdateOp::Install {
+            id: r.u64()?,
+            basis: r.bitvec()?,
+        },
+        1 => UpdateOp::Remove { id: r.u64()? },
+        other => {
+            return Err(WireError::Malformed(format!(
+                "{}: unknown update op {other}",
+                r.what
+            )))
+        }
+    };
+    Ok(DictionaryUpdate { seq, at, op })
+}
+
+fn packet_type_from(code: u8) -> Result<PacketType, WireError> {
+    match code {
+        1 => Ok(PacketType::Raw),
+        2 => Ok(PacketType::Uncompressed),
+        3 => Ok(PacketType::Compressed),
+        other => Err(WireError::Malformed(format!("unknown packet type {other}"))),
+    }
+}
+
+/// Stateless encoder/decoder for wire [`Record`]s.
+///
+/// Holds the CRC engine and a scratch buffer so framing does not allocate
+/// per record beyond the payload itself.
+pub struct WireCodec {
+    crc: CrcEngine,
+    scratch: Vec<u8>,
+}
+
+impl Default for WireCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireCodec {
+    /// Creates a codec (CRC-32, polynomial `0x04C1_1DB7`).
+    pub fn new() -> Self {
+        Self {
+            crc: CrcEngine::new(CrcSpec::new(32, 0x04C1_1DB7).expect("CRC-32 spec is valid")),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Appends the framed encoding of `record` to `out`.
+    pub fn encode_into(&mut self, record: &Record, out: &mut Vec<u8>) {
+        self.scratch.clear();
+        let body = &mut self.scratch;
+        match record {
+            Record::ClientHello(h) => {
+                body.push(KIND_CLIENT_HELLO);
+                body.extend_from_slice(&REQUEST_MAGIC);
+                put_u16(body, WIRE_VERSION);
+                put_u64(body, h.stream_id);
+                put_u64(body, h.entries_held);
+            }
+            Record::Data(bytes) => {
+                body.push(KIND_DATA);
+                body.extend_from_slice(bytes);
+            }
+            Record::End => body.push(KIND_END),
+            Record::ServerHello(h) => {
+                body.push(KIND_SERVER_HELLO);
+                body.extend_from_slice(&RESPONSE_MAGIC);
+                put_u16(body, WIRE_VERSION);
+                put_u64(body, h.resume_bytes_in);
+                put_u64(body, h.replay_entries);
+                put_u64(body, h.reseed_entries);
+                body.push(u8::from(h.warm));
+            }
+            Record::Payload { packet_type, bytes } => {
+                body.push(KIND_PAYLOAD);
+                body.push(packet_type.number());
+                put_u32(body, bytes.len() as u32);
+                body.extend_from_slice(bytes);
+            }
+            Record::Control(update) => {
+                body.push(KIND_CONTROL);
+                put_update(body, update);
+            }
+            Record::Reseed(update) => {
+                body.push(KIND_RESEED);
+                put_update(body, update);
+            }
+            Record::Done(d) => {
+                body.push(KIND_DONE);
+                put_u64(body, d.bytes_in);
+                put_u64(body, d.payloads_emitted);
+                put_u64(body, d.wire_bytes);
+                put_u64(body, d.compressed_payloads);
+                put_u64(body, d.control_updates);
+                body.push(u8::from(d.server_initiated));
+            }
+            Record::Error(message) => {
+                body.push(KIND_ERROR);
+                body.extend_from_slice(message.as_bytes());
+            }
+        }
+        debug_assert!(!body.is_empty() && body.len() <= MAX_WIRE_RECORD_BYTES);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body);
+        let crc = self.crc.compute_bytes(body) as u32;
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Frames `record` into a fresh buffer.
+    pub fn encode(&mut self, record: &Record) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(record, &mut out);
+        out
+    }
+
+    /// Frames a `Payload` record straight from a borrowed byte slice (the
+    /// hot path — avoids the intermediate `Record::Payload` copy).
+    pub fn encode_payload(&mut self, packet_type: PacketType, bytes: &[u8]) -> Vec<u8> {
+        self.scratch.clear();
+        let body = &mut self.scratch;
+        body.push(KIND_PAYLOAD);
+        body.push(packet_type.number());
+        put_u32(body, bytes.len() as u32);
+        body.extend_from_slice(bytes);
+        self.seal()
+    }
+
+    /// Frames a `Data` record straight from a borrowed byte slice.
+    pub fn encode_data(&mut self, bytes: &[u8]) -> Vec<u8> {
+        self.scratch.clear();
+        self.scratch.push(KIND_DATA);
+        self.scratch.extend_from_slice(bytes);
+        self.seal()
+    }
+
+    /// Frames a `Control` record straight from a borrowed update.
+    pub fn encode_control(&mut self, update: &DictionaryUpdate) -> Vec<u8> {
+        self.scratch.clear();
+        self.scratch.push(KIND_CONTROL);
+        put_update(&mut self.scratch, update);
+        self.seal()
+    }
+
+    /// Frames whatever `scratch` currently holds as one record.
+    fn seal(&mut self) -> Vec<u8> {
+        let body = &self.scratch;
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body);
+        let crc = self.crc.compute_bytes(body) as u32;
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Attempts to decode one record from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` holds only a prefix of a record (more
+    /// bytes needed), `Ok(Some((record, consumed)))` on success, and a
+    /// [`WireError`] for anything that can never become a valid record no
+    /// matter how many bytes follow.
+    pub fn decode(&self, buf: &[u8]) -> Result<Option<(Record, usize)>, WireError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_WIRE_RECORD_BYTES {
+            return Err(WireError::OversizedRecord(len));
+        }
+        let total = 4 + len + 4;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let payload = &buf[4..4 + len];
+        let stored = u32::from_le_bytes(buf[4 + len..total].try_into().unwrap());
+        let computed = self.crc.compute_bytes(payload) as u32;
+        if stored != computed {
+            return Err(WireError::BadCrc);
+        }
+        let record = Self::parse_payload(payload)?;
+        Ok(Some((record, total)))
+    }
+
+    fn parse_payload(payload: &[u8]) -> Result<Record, WireError> {
+        let kind = payload[0];
+        let body = &payload[1..];
+        match kind {
+            KIND_CLIENT_HELLO => {
+                let mut r = BodyReader::new(body, "CLIENT_HELLO");
+                if r.take(4)? != REQUEST_MAGIC {
+                    return Err(WireError::BadMagic);
+                }
+                let version = r.u16()?;
+                if version != WIRE_VERSION {
+                    return Err(WireError::UnsupportedVersion(version));
+                }
+                let hello = ClientHello {
+                    stream_id: r.u64()?,
+                    entries_held: r.u64()?,
+                };
+                r.finish()?;
+                Ok(Record::ClientHello(hello))
+            }
+            KIND_DATA => Ok(Record::Data(body.to_vec())),
+            KIND_END => {
+                BodyReader::new(body, "END").finish()?;
+                Ok(Record::End)
+            }
+            KIND_SERVER_HELLO => {
+                let mut r = BodyReader::new(body, "SERVER_HELLO");
+                if r.take(4)? != RESPONSE_MAGIC {
+                    return Err(WireError::BadMagic);
+                }
+                let version = r.u16()?;
+                if version != WIRE_VERSION {
+                    return Err(WireError::UnsupportedVersion(version));
+                }
+                let hello = ServerHello {
+                    resume_bytes_in: r.u64()?,
+                    replay_entries: r.u64()?,
+                    reseed_entries: r.u64()?,
+                    warm: r.u8()? != 0,
+                };
+                r.finish()?;
+                Ok(Record::ServerHello(hello))
+            }
+            KIND_PAYLOAD => {
+                let mut r = BodyReader::new(body, "PAYLOAD");
+                let packet_type = packet_type_from(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                r.finish()?;
+                Ok(Record::Payload { packet_type, bytes })
+            }
+            KIND_CONTROL => {
+                let mut r = BodyReader::new(body, "CONTROL");
+                let update = read_update(&mut r)?;
+                r.finish()?;
+                Ok(Record::Control(update))
+            }
+            KIND_RESEED => {
+                let mut r = BodyReader::new(body, "RESEED");
+                let update = read_update(&mut r)?;
+                r.finish()?;
+                Ok(Record::Reseed(update))
+            }
+            KIND_DONE => {
+                let mut r = BodyReader::new(body, "DONE");
+                let done = DoneSummary {
+                    bytes_in: r.u64()?,
+                    payloads_emitted: r.u64()?,
+                    wire_bytes: r.u64()?,
+                    compressed_payloads: r.u64()?,
+                    control_updates: r.u64()?,
+                    server_initiated: r.u8()? != 0,
+                };
+                r.finish()?;
+                Ok(Record::Done(done))
+            }
+            KIND_ERROR => {
+                let mut r = BodyReader::new(body, "ERROR");
+                let bytes = r.rest();
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| WireError::Malformed("ERROR: message is not UTF-8".into()))?;
+                Ok(Record::Error(message))
+            }
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+}
+
+/// Incremental record reader over any [`Read`] source (a socket, usually).
+///
+/// Buffers internally and reframes; `read_record` returns `Ok(None)` only on
+/// a clean EOF at a record boundary. EOF inside a record is
+/// [`WireError::Truncated`] — a torn tail is never silently dropped.
+pub struct RecordReader<R> {
+    inner: R,
+    codec: WireCodec,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl<R: Read> RecordReader<R> {
+    /// Wraps `inner`; no bytes are read until the first `read_record`.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            codec: WireCodec::new(),
+            buf: Vec::with_capacity(16 * 1024),
+            start: 0,
+        }
+    }
+
+    /// Reads the next record, blocking on the source as needed.
+    pub fn read_record(&mut self) -> Result<Option<Record>, WireError> {
+        loop {
+            if let Some((record, used)) = self.codec.decode(&self.buf[self.start..])? {
+                self.start += used;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                return Ok(Some(record));
+            }
+            if self.start > 0 {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(WireError::Truncated)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+
+    /// Consumes the reader, returning the wrapped source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::ClientHello(ClientHello {
+                stream_id: 0xDEAD_BEEF,
+                entries_held: 7,
+            }),
+            Record::Data(vec![0u8; 32]),
+            Record::Data((0..=255u8).collect()),
+            Record::End,
+            Record::ServerHello(ServerHello {
+                resume_bytes_in: 8192,
+                replay_entries: 3,
+                reseed_entries: 0,
+                warm: true,
+            }),
+            Record::Payload {
+                packet_type: PacketType::Compressed,
+                bytes: vec![1, 2, 3, 4],
+            },
+            Record::Control(DictionaryUpdate {
+                seq: 9,
+                at: 41,
+                op: UpdateOp::Install {
+                    id: 12,
+                    basis: BitVec::from_bytes(&[0xAB, 0xCD, 0xEF]),
+                },
+            }),
+            Record::Reseed(DictionaryUpdate {
+                seq: 0,
+                at: 0,
+                op: UpdateOp::Remove { id: 3 },
+            }),
+            Record::Done(DoneSummary {
+                bytes_in: 1,
+                payloads_emitted: 2,
+                wire_bytes: 3,
+                compressed_payloads: 4,
+                control_updates: 5,
+                server_initiated: true,
+            }),
+            Record::Error("engine exploded".into()),
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_the_slice_decoder() {
+        let mut codec = WireCodec::new();
+        let mut wire = Vec::new();
+        for record in sample_records() {
+            codec.encode_into(&record, &mut wire);
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while let Some((record, used)) = codec.decode(&wire[offset..]).expect("valid frames") {
+            decoded.push(record);
+            offset += used;
+        }
+        assert_eq!(offset, wire.len());
+        assert_eq!(decoded, sample_records());
+    }
+
+    #[test]
+    fn record_reader_reframes_across_arbitrary_chunking() {
+        struct DribbleReader {
+            data: Vec<u8>,
+            pos: usize,
+            step: usize,
+        }
+        impl Read for DribbleReader {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                let n = self
+                    .step
+                    .min(out.len())
+                    .min(self.data.len() - self.pos)
+                    .min(1 + self.pos % 3);
+                out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+
+        let mut codec = WireCodec::new();
+        let mut wire = Vec::new();
+        for record in sample_records() {
+            codec.encode_into(&record, &mut wire);
+        }
+        let mut reader = RecordReader::new(DribbleReader {
+            data: wire,
+            pos: 0,
+            step: 7,
+        });
+        let mut decoded = Vec::new();
+        while let Some(record) = reader.read_record().expect("valid frames") {
+            decoded.push(record);
+        }
+        assert_eq!(decoded, sample_records());
+    }
+
+    #[test]
+    fn borrowed_encoders_match_the_record_encoder() {
+        let mut codec = WireCodec::new();
+        let update = DictionaryUpdate {
+            seq: 4,
+            at: 17,
+            op: UpdateOp::Install {
+                id: 2,
+                basis: BitVec::from_bytes(&[0x55; 8]),
+            },
+        };
+        assert_eq!(
+            codec.encode_payload(PacketType::Uncompressed, &[9, 8, 7]),
+            codec.encode(&Record::Payload {
+                packet_type: PacketType::Uncompressed,
+                bytes: vec![9, 8, 7],
+            })
+        );
+        assert_eq!(
+            codec.encode_control(&update),
+            codec.encode(&Record::Control(update))
+        );
+        assert_eq!(
+            codec.encode_data(&[1, 2, 3]),
+            codec.encode(&Record::Data(vec![1, 2, 3]))
+        );
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_rejected() {
+        let codec = WireCodec::new();
+        let mut zero = vec![0u8; 8];
+        zero[4] = KIND_END;
+        assert!(matches!(
+            codec.decode(&zero),
+            Err(WireError::OversizedRecord(0))
+        ));
+
+        let huge = ((MAX_WIRE_RECORD_BYTES + 1) as u32).to_le_bytes().to_vec();
+        assert!(matches!(
+            codec.decode(&huge),
+            Err(WireError::OversizedRecord(_))
+        ));
+    }
+}

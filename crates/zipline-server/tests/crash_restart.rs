@@ -1,0 +1,226 @@
+//! The PR-7 acceptance property, over the socket: a **durable server killed
+//! mid-stream** and restarted over the same store yields a client-observed
+//! record stream **bit-identical** to an uninterrupted run.
+//!
+//! The run is staged with [`ServerHandle::abort`] (sockets close both ways,
+//! streams drop without finishing — exactly the state a process kill leaves
+//! behind) against a churn-heavy [`CrashWorkload`], so the recovery has to
+//! restore identifier-recycling state, not just a warm cache. The
+//! reconnecting client presents its replay cursor (`entries_held`); the
+//! server replays the committed journal past it and names the input byte
+//! offset to resume from.
+
+use std::path::PathBuf;
+
+use zipline::host::HostPathConfig;
+use zipline_engine::{DictionaryUpdate, EngineConfig, SpawnPolicy, SyncPolicy};
+use zipline_gd::packet::PacketType;
+use zipline_gd::GdConfig;
+use zipline_server::{
+    server::stream_dir, ClientSession, Endpoint, ServerConfig, ServerEvent, ServerHandle,
+};
+use zipline_traces::{ChunkWorkload, CrashWorkload};
+
+const CHUNK: usize = 32;
+const STREAM_ID: u64 = 0xCAFE;
+
+/// One client-observed record, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+enum Entry {
+    Payload(PacketType, Vec<u8>),
+    Control(DictionaryUpdate),
+}
+
+fn entry_of(event: ServerEvent) -> Option<Entry> {
+    match event {
+        ServerEvent::Payload { packet_type, bytes } => Some(Entry::Payload(packet_type, bytes)),
+        ServerEvent::Control(update) => Some(Entry::Control(update)),
+        _ => None,
+    }
+}
+
+/// Churn-heavy durable host shape: 64-identifier dictionary, 32-chunk
+/// batches, checkpoint every batch, fdatasync barriers.
+fn durable_host(dir: PathBuf) -> HostPathConfig {
+    HostPathConfig {
+        engine: EngineConfig {
+            gd: GdConfig::for_parameters(8, 6).expect("valid GD parameters"),
+            shards: 4,
+            workers: 2,
+            spawn: SpawnPolicy::Inline,
+        },
+        batch_chunks: 32,
+        durable: Some(dir),
+        sync: SyncPolicy::Data,
+        ..HostPathConfig::paper_default()
+    }
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zipline-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bind(dir: PathBuf) -> ServerHandle {
+    ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(durable_host(dir)))
+        .expect("server binds")
+}
+
+/// Streams `bytes` (chunked) through one clean session, returning every
+/// payload/control entry in order.
+fn uninterrupted_run(endpoint: &Endpoint, bytes: &[u8]) -> Vec<Entry> {
+    let mut session = ClientSession::connect(endpoint).expect("connects");
+    let hello = session.hello(STREAM_ID, 0).expect("hello answered");
+    assert_eq!(hello.replay_entries, 0, "fresh store has nothing to replay");
+    for chunk in bytes.chunks(CHUNK) {
+        session.send_data(chunk).expect("data sent");
+    }
+    session.end().expect("end sent");
+    let mut entries = Vec::new();
+    let done = session
+        .drain_to_done(|event| entries.extend(entry_of(event)))
+        .expect("clean finish");
+    assert_eq!(done.bytes_in, bytes.len() as u64);
+    entries
+}
+
+#[test]
+fn killed_mid_stream_and_restarted_is_bit_identical_to_uninterrupted() {
+    let workload = CrashWorkload::exceeding_capacity(64, 4, CHUNK);
+    let full_bytes = workload.full().bytes();
+
+    // Ground truth: the same stream against a durable server that never
+    // dies.
+    let ref_dir = temp_root("ref");
+    let ref_server = bind(ref_dir.clone());
+    let reference = uninterrupted_run(ref_server.endpoint(), &full_bytes);
+    let report = ref_server.shutdown();
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(
+        reference
+            .iter()
+            .any(|e| matches!(e, Entry::Control(DictionaryUpdate { .. }))),
+        "the workload must churn the dictionary"
+    );
+
+    // Incarnation 1: feed the pre-crash phase, never send END, kill the
+    // server once some responses have arrived.
+    let crash_dir = temp_root("crash");
+    let server_a = bind(crash_dir.clone());
+    let mut client1 = ClientSession::connect(server_a.endpoint()).expect("connects");
+    let hello = client1.hello(STREAM_ID, 0).expect("hello answered");
+    assert!(!hello.warm);
+    let mut received: Vec<Entry> = Vec::new();
+    for chunk in workload.pre_crash().chunks() {
+        client1.send_data(&chunk).expect("data sent");
+        while let Some(event) = client1.try_event() {
+            received.extend(entry_of(event));
+        }
+    }
+    // Let responses land so the kill happens with entries both delivered
+    // and still in flight; completeness is not required — whatever arrived
+    // becomes the replay cursor.
+    while received.len() < 50 {
+        match client1.next_event() {
+            Some(event) => received.extend(entry_of(event)),
+            None => panic!("server hung up before the staged crash"),
+        }
+    }
+    server_a.abort();
+    // Drain the tail: only complete records count, a torn one is dropped by
+    // the reader — exactly the client's view of a real crash.
+    for event in client1.close() {
+        received.extend(entry_of(event));
+    }
+    let held = received.len() as u64;
+    assert!(
+        stream_dir(&crash_dir, STREAM_ID)
+            .join("frames.log")
+            .exists()
+            || stream_dir(&crash_dir, STREAM_ID).exists(),
+        "the stream journaled under its own directory"
+    );
+
+    // Incarnation 2: restart over the same store, reconnect with the
+    // replay cursor, resume input at the server-named offset.
+    let server_b = bind(crash_dir.clone());
+    let mut client2 = ClientSession::connect(server_b.endpoint()).expect("connects");
+    let hello = client2.hello(STREAM_ID, held).expect("hello answered");
+    assert!(hello.warm, "restart must restore the durable store");
+    assert_eq!(
+        hello.reseed_entries, 0,
+        "a live journal replays, not reseeds"
+    );
+    let resume = hello.resume_bytes_in as usize;
+    assert_eq!(resume % CHUNK, 0, "commits cut at whole-batch boundaries");
+    assert!(
+        resume <= workload.crash_offset_bytes(),
+        "cannot have committed past the crash point"
+    );
+
+    let mut resumed: Vec<Entry> = Vec::new();
+    for chunk in full_bytes[resume..].chunks(CHUNK) {
+        client2.send_data(chunk).expect("data sent");
+        while let Some(event) = client2.try_event() {
+            resumed.extend(entry_of(event));
+        }
+    }
+    client2.end().expect("end sent");
+    let done = client2
+        .drain_to_done(|event| resumed.extend(entry_of(event)))
+        .expect("clean finish");
+    assert!(!done.server_initiated);
+    let report = server_b.shutdown();
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(
+        report.stats.replayed_entries > 0 || held == report.stats.replayed_entries,
+        "journal replay is part of the resume path"
+    );
+
+    // The acceptance property: pre-crash + replayed + resumed records,
+    // concatenated, are bit-identical to the uninterrupted run.
+    received.extend(resumed);
+    assert_eq!(
+        received.len(),
+        reference.len(),
+        "crash-restart stream length diverges from the uninterrupted run"
+    );
+    assert_eq!(
+        received, reference,
+        "crash-restart stream must be bit-identical to the uninterrupted run"
+    );
+
+    // Epilogue: after the clean DONE the journal compacted and the cursor
+    // reset — a cold reconnect is resynced by synthesized RESEED installs,
+    // not by replay.
+    let server_c = bind(crash_dir.clone());
+    let mut client3 = ClientSession::connect(server_c.endpoint()).expect("connects");
+    let hello = client3.hello(STREAM_ID, 0).expect("hello answered");
+    assert!(hello.warm);
+    assert_eq!(hello.replay_entries, 0, "compacted journal has no entries");
+    assert!(
+        hello.reseed_entries > 0,
+        "a surviving dictionary reseeds a cold client"
+    );
+    let mut reseeds = 0u64;
+    client3.end().expect("end sent");
+    let done = client3
+        .drain_to_done(|event| {
+            if matches!(event, ServerEvent::Reseed(_)) {
+                reseeds += 1;
+            }
+        })
+        .expect("empty resumed stream still finishes");
+    assert_eq!(reseeds, hello.reseed_entries);
+    assert_eq!(done.bytes_in, 0, "nothing was pushed this incarnation");
+    assert_eq!(
+        hello.resume_bytes_in,
+        full_bytes.len() as u64,
+        "the store's input-byte total persists across the clean finish"
+    );
+    drop(server_c.shutdown());
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}

@@ -1,0 +1,184 @@
+//! A Zipf-mixed flow workload for the network server's load harness.
+//!
+//! Models what a compressing host actually sees on the wire: traffic from
+//! many concurrent *flows*, where flow popularity is heavy-tailed (a few
+//! elephants, a long tail of mice) and each flow's payload **drifts** over
+//! its lifetime — periodically changing content so hot flows keep churning
+//! the dictionary while cold flows stay compressible against their original
+//! basis. Chunks are drawn flow-by-flow from a seeded [`Zipf`] sampler, so
+//! the sequence is exactly reproducible and every load-harness connection
+//! can run its own deterministic variant by varying the seed.
+//!
+//! The chunk layout reuses the churn generator's ≥ 3-bit separation trick:
+//! flow index and drift generation are each spread over three bytes, so no
+//! two distinct (flow, generation) pairs can fold onto one basis under GD's
+//! single-bit deviation correction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::zipf::Zipf;
+use crate::ChunkWorkload;
+
+/// Configuration of a [`FlowMixWorkload`].
+#[derive(Debug, Clone)]
+pub struct FlowMixConfig {
+    /// Distinct flows in the mix (at most 65 536 stay distinct).
+    pub flows: usize,
+    /// Total chunks to draw.
+    pub chunks: usize,
+    /// Chunk size in bytes (≥ 32 so the pattern bytes fit).
+    pub chunk_len: usize,
+    /// Zipf popularity exponent across flows (1.0 ≈ classic web/DNS skew).
+    pub zipf_exponent: f64,
+    /// A flow's payload changes after this many of its own appearances
+    /// (0 disables drift).
+    pub drift_every: u32,
+    /// RNG seed; same seed, same sequence.
+    pub seed: u64,
+}
+
+impl FlowMixConfig {
+    /// A small mix for smoke runs and tests: 256 flows, 16 384 chunks of
+    /// 32 bytes, exponent 1.0, drift every 512 appearances.
+    pub fn small() -> Self {
+        Self {
+            flows: 256,
+            chunks: 16_384,
+            chunk_len: 32,
+            zipf_exponent: 1.0,
+            drift_every: 512,
+            seed: 0x5A1F_F10E,
+        }
+    }
+
+    /// The small mix re-seeded (one per load-harness connection).
+    pub fn small_with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::small()
+        }
+    }
+}
+
+/// The Zipf flow-mix workload; see the module docs.
+#[derive(Debug, Clone)]
+pub struct FlowMixWorkload {
+    config: FlowMixConfig,
+    zipf: Zipf,
+}
+
+impl FlowMixWorkload {
+    /// Creates the workload.
+    pub fn new(config: FlowMixConfig) -> Self {
+        assert!(config.flows > 0, "flow mix needs at least one flow");
+        assert!(
+            config.flows <= 1 << 16,
+            "at most 65536 distinct flows ({} requested)",
+            config.flows
+        );
+        assert!(config.chunk_len >= 32, "pattern needs 32 bytes");
+        let zipf = Zipf::new(config.flows, config.zipf_exponent);
+        Self { config, zipf }
+    }
+
+    /// One chunk of `flow` at drift `generation`; both spread over three
+    /// bytes for ≥ 3-bit pairwise separation.
+    fn pattern(&self, flow: u32, generation: u32) -> Vec<u8> {
+        let mut chunk = vec![0u8; self.config.chunk_len];
+        chunk[0] = flow as u8;
+        chunk[4] = flow as u8;
+        chunk[8] = flow as u8;
+        chunk[12] = (flow >> 8) as u8;
+        chunk[16] = (flow >> 8) as u8;
+        chunk[20] = (flow >> 8) as u8;
+        chunk[24] = generation as u8;
+        chunk[26] = generation as u8;
+        chunk[28] = generation as u8;
+        chunk
+    }
+}
+
+impl ChunkWorkload for FlowMixWorkload {
+    fn chunk_len(&self) -> usize {
+        self.config.chunk_len
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.config.chunks
+    }
+
+    fn chunks(&self) -> Box<dyn Iterator<Item = Vec<u8>> + '_> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut appearances = vec![0u32; self.config.flows];
+        Box::new((0..self.config.chunks).map(move |_| {
+            let flow = self.zipf.sample(&mut rng);
+            let seen = appearances[flow];
+            appearances[flow] = seen.wrapping_add(1);
+            let generation = seen.checked_div(self.config.drift_every).unwrap_or(0);
+            self.pattern(flow as u32, generation)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence_different_seed_differs() {
+        let a: Vec<Vec<u8>> = FlowMixWorkload::new(FlowMixConfig::small())
+            .chunks()
+            .take(512)
+            .collect();
+        let b: Vec<Vec<u8>> = FlowMixWorkload::new(FlowMixConfig::small())
+            .chunks()
+            .take(512)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<Vec<u8>> = FlowMixWorkload::new(FlowMixConfig::small_with_seed(7))
+            .chunks()
+            .take(512)
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let workload = FlowMixWorkload::new(FlowMixConfig::small());
+        let mut counts = vec![0usize; 256];
+        for chunk in workload.chunks() {
+            let flow = chunk[0] as usize | ((chunk[12] as usize) << 8);
+            counts[flow] += 1;
+        }
+        let top = counts[0];
+        let tail: usize = counts[200..].iter().sum();
+        assert!(
+            top > counts[100] * 5,
+            "rank 0 ({top}) should dominate rank 100 ({})",
+            counts[100]
+        );
+        assert!(top > tail / 8, "head should rival the far tail in volume");
+    }
+
+    #[test]
+    fn drift_changes_a_hot_flows_payload() {
+        let workload = FlowMixWorkload::new(FlowMixConfig {
+            drift_every: 16,
+            chunks: 4096,
+            ..FlowMixConfig::small()
+        });
+        let mut rank0 = Vec::new();
+        for chunk in workload.chunks() {
+            if chunk[0] == 0 && chunk[12] == 0 {
+                rank0.push(chunk);
+            }
+        }
+        assert!(rank0.len() > 32, "rank 0 must appear often");
+        let distinct: std::collections::HashSet<&Vec<u8>> = rank0.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "drift must change the hot flow's payload"
+        );
+    }
+}

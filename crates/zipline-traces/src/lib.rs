@@ -19,6 +19,7 @@
 pub mod churn;
 pub mod crash;
 pub mod dns;
+pub mod flows;
 pub mod sensor;
 pub mod trace;
 pub mod zipf;
@@ -26,6 +27,7 @@ pub mod zipf;
 pub use churn::{ChurnWorkload, ChurnWorkloadConfig};
 pub use crash::{CrashPhase, CrashWorkload, CrashWorkloadConfig};
 pub use dns::{DnsWorkload, DnsWorkloadConfig};
+pub use flows::{FlowMixConfig, FlowMixWorkload};
 pub use sensor::{SensorWorkload, SensorWorkloadConfig};
 pub use trace::{chunks_to_frames, chunks_to_pcap, TraceConfig};
 pub use zipf::Zipf;

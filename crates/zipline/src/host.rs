@@ -108,7 +108,7 @@ use crate::error::Result;
 use zipline_engine::{
     CompressionBackend, CompressionEngine, DictionarySnapshot, DictionaryUpdate, EngineBuilder,
     EngineConfig, EngineDecompressor, EngineStream, GdBackend, PipelinedStream, StreamSummary,
-    WarmStart,
+    SyncPolicy, WarmStart,
 };
 use zipline_gd::packet::PacketType;
 use zipline_net::ethernet::EthernetFrame;
@@ -161,6 +161,10 @@ pub struct HostPathConfig {
     /// larger values trade checkpoint volume for a delta-fold on
     /// recovery). Ignored without [`Self::durable`].
     pub checkpoint_cadence: u64,
+    /// Durability barrier of the store's commits ([`SyncPolicy::Flush`]
+    /// survives process crash, [`SyncPolicy::Data`] adds `fdatasync` and
+    /// survives power loss). Ignored without [`Self::durable`].
+    pub sync: SyncPolicy,
 }
 
 impl HostPathConfig {
@@ -177,6 +181,7 @@ impl HostPathConfig {
             pipeline_depth: None,
             durable: None,
             checkpoint_cadence: 1,
+            sync: SyncPolicy::Flush,
         }
     }
 
@@ -197,8 +202,11 @@ impl HostPathConfig {
         }
     }
 
-    /// The engine builder this configuration describes.
-    fn builder(&self) -> EngineBuilder {
+    /// The engine builder this configuration describes. Public so other
+    /// front-ends over the same configuration — the network server, most
+    /// prominently — construct byte-identical engines to the in-process
+    /// host path.
+    pub fn engine_builder(&self) -> EngineBuilder {
         let mut builder = EngineBuilder::new().config(self.engine);
         if let Some(depth) = self.pipeline_depth {
             builder = builder.pipelined(depth);
@@ -206,7 +214,8 @@ impl HostPathConfig {
         if let Some(dir) = &self.durable {
             builder = builder
                 .durable(dir.clone())
-                .checkpoint_cadence(self.checkpoint_cadence);
+                .checkpoint_cadence(self.checkpoint_cadence)
+                .sync_policy(self.sync);
         }
         builder
     }
@@ -240,7 +249,7 @@ impl EngineHostPath<GdBackend> {
     /// [`Self::take_restart_sync_frames`] carries the in-band
     /// re-announcement that replaces a cold-start snapshot resync.
     pub fn new(config: HostPathConfig) -> Result<Self> {
-        let mut engine = config.builder().build()?;
+        let mut engine = config.engine_builder().build()?;
         let mut control = EngineControlPlane::new();
         let warm = engine.take_warm_start();
         let mut restart_sync = Vec::new();
@@ -289,7 +298,7 @@ impl<B: CompressionBackend> EngineHostPath<B> {
     /// size it in kilobytes for deflate to give each gzip member a window
     /// worth compressing.
     pub fn with_backend(config: HostPathConfig, backend: B) -> Result<Self> {
-        let mut engine = config.builder().backend(backend).build()?;
+        let mut engine = config.engine_builder().backend(backend).build()?;
         let warm = engine.take_warm_start();
         Ok(Self {
             engine: Some(engine),
@@ -609,6 +618,7 @@ mod tests {
             pipeline_depth: None,
             durable: None,
             checkpoint_cadence: 1,
+            sync: SyncPolicy::Flush,
         }
     }
 

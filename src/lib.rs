@@ -10,5 +10,6 @@ pub use zipline_deflate;
 pub use zipline_engine;
 pub use zipline_gd;
 pub use zipline_net;
+pub use zipline_server;
 pub use zipline_switch;
 pub use zipline_traces;
