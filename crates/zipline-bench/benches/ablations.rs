@@ -18,6 +18,7 @@ use zipline_gd::hamming::HammingCode;
 use zipline_gd::GdConfig;
 
 fn bench_hamming_parameter_sweep(c: &mut Criterion) {
+    // zipline-lint: allow(L003): paper ablation sweep, run manually for figures, not a CI-gated perf path
     let mut group = c.benchmark_group("ablation_hamming_parameter");
     for m in [3u32, 5, 8, 10, 12] {
         let config = GdConfig::for_parameters(m, 15).unwrap();
@@ -34,6 +35,7 @@ fn bench_hamming_parameter_sweep(c: &mut Criterion) {
 }
 
 fn bench_dictionary_capacity_sweep(c: &mut Criterion) {
+    // zipline-lint: allow(L003): paper ablation sweep, run manually for figures, not a CI-gated perf path
     let mut group = c.benchmark_group("ablation_identifier_width");
     for id_bits in [7u32, 15, 20] {
         let mut dictionary = BasisDictionary::with_id_bits(id_bits);
@@ -65,6 +67,7 @@ fn bench_dictionary_capacity_sweep(c: &mut Criterion) {
 }
 
 fn bench_eviction_policy(c: &mut Criterion) {
+    // zipline-lint: allow(L003): paper ablation sweep, run manually for figures, not a CI-gated perf path
     let mut group = c.benchmark_group("ablation_eviction_policy");
     for (label, policy) in [("lru", EvictionPolicy::Lru), ("fifo", EvictionPolicy::Fifo)] {
         group.bench_function(BenchmarkId::new("churn", label), |b| {
@@ -81,6 +84,7 @@ fn bench_eviction_policy(c: &mut Criterion) {
 }
 
 fn bench_crc_implementation(c: &mut Criterion) {
+    // zipline-lint: allow(L003): paper ablation sweep, run manually for figures, not a CI-gated perf path
     let mut group = c.benchmark_group("ablation_crc_implementation");
     let code = HammingCode::new(8).unwrap();
     let engine: &CrcEngine = code.crc();

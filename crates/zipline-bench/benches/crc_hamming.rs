@@ -21,6 +21,7 @@ fn chunk_bytes(len: usize) -> Vec<u8> {
 }
 
 fn bench_crc(c: &mut Criterion) {
+    // zipline-lint: allow(L003): micro-kernel characterization bench, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("crc8_over_32B_chunk");
     group.throughput(Throughput::Bytes(32));
     let engine = CrcEngine::new(CrcSpec::new(8, 0x1D).unwrap());
@@ -43,6 +44,7 @@ fn bench_crc(c: &mut Criterion) {
 /// bit-serial reference, over the exact `n`-bit Hamming blocks the GD data
 /// path hashes. Acceptance: `word_parallel` >= 5x faster than `bit_serial`.
 fn bench_syndrome_word_vs_bit_serial(c: &mut Criterion) {
+    // zipline-lint: allow(L003): micro-kernel characterization bench, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("syndrome_word_vs_bit_serial");
     for m in [3u32, 8, 11] {
         let code = HammingCode::new(m).unwrap();
@@ -64,6 +66,7 @@ fn bench_syndrome_word_vs_bit_serial(c: &mut Criterion) {
 }
 
 fn bench_hamming(c: &mut Criterion) {
+    // zipline-lint: allow(L003): micro-kernel characterization bench, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("hamming_255_247");
     let code = HammingCode::new(8).unwrap();
     let word = BitVec::from_bytes(&chunk_bytes(32)).slice(0..255);
@@ -82,6 +85,7 @@ fn bench_hamming(c: &mut Criterion) {
 }
 
 fn bench_transform(c: &mut Criterion) {
+    // zipline-lint: allow(L003): micro-kernel characterization bench, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("gd_transform");
     for m in [3u32, 8, 11] {
         let transform = HammingTransform::new(m).unwrap();
@@ -105,6 +109,7 @@ fn bench_transform(c: &mut Criterion) {
 }
 
 fn bench_chunk_codec(c: &mut Criterion) {
+    // zipline-lint: allow(L003): micro-kernel characterization bench, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("chunk_codec_paper_params");
     group.throughput(Throughput::Bytes(32));
     let codec = ChunkCodec::new(&GdConfig::paper_default()).unwrap();
@@ -128,6 +133,7 @@ fn bench_batch_encode(c: &mut Criterion) {
     let codec = ChunkCodec::new(&config).unwrap();
     let data = chunk_bytes(config.chunk_bytes * CHUNKS);
 
+    // zipline-lint: allow(L003): micro-kernel characterization bench, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("batch_encode_64_chunks");
     group.throughput(Throughput::Bytes(data.len() as u64));
     group.bench_function("per_chunk_loop", |b| {

@@ -31,6 +31,7 @@ fn bench_gzip_levels(c: &mut Criterion) {
     }));
 
     for (name, data) in [("sensor", &sensor), ("dns", &dns)] {
+        // zipline-lint: allow(L003): expands to gzip_baseline_sensor / gzip_baseline_dns; manual comparison baselines, not CI-gated
         let mut group = c.benchmark_group(format!("gzip_baseline_{name}"));
         group.throughput(Throughput::Bytes(data.len() as u64));
         group.sample_size(20);

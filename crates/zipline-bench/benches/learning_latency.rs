@@ -8,6 +8,7 @@ use zipline::experiment::learning::{run_learning_experiment, LearningExperimentC
 use zipline_net::time::SimDuration;
 
 fn bench_learning_run(c: &mut Criterion) {
+    // zipline-lint: allow(L003): paper learning-latency study, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("dynamic_learning_measurement");
     group.sample_size(10);
     for latency_us in [20u64, 200, 590] {

@@ -12,6 +12,7 @@ fn bench_latency_experiment(c: &mut Criterion) {
         probes: 10,
         ..LatencyExperimentConfig::paper_default()
     };
+    // zipline-lint: allow(L003): paper figure-5 RTT study, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("figure5_rtt_measurement");
     group.sample_size(20);
     for op in SwitchOperation::all() {

@@ -23,6 +23,7 @@ fn raw_frame(wire_size: usize) -> EthernetFrame {
 }
 
 fn bench_per_packet_processing(c: &mut Criterion) {
+    // zipline-lint: allow(L003): paper figure-4 switch study, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("switch_program_per_packet");
     group.throughput(Throughput::Elements(1));
 
@@ -83,6 +84,7 @@ fn bench_end_to_end_simulation_rate(c: &mut Criterion) {
         frames_per_run: 5_000,
         ..ThroughputExperimentConfig::paper_default()
     };
+    // zipline-lint: allow(L003): paper figure-4 switch study, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("figure4_single_cell_simulation");
     group.sample_size(10);
     group.throughput(Throughput::Elements(config.frames_per_run));
@@ -111,6 +113,7 @@ fn bench_stream_compressor_batch_vs_per_chunk(c: &mut Criterion) {
         data.extend_from_slice(&chunk);
     }
 
+    // zipline-lint: allow(L003): paper figure-4 switch study, run manually, not a CI-gated perf path
     let mut group = c.benchmark_group("stream_compressor_9000B");
     group.throughput(Throughput::Bytes(data.len() as u64));
     // The compressors live outside the measurement so the dictionary build

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced while decoding DEFLATE or gzip streams.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DeflateError {
     /// The input ended before the stream was complete.
     UnexpectedEof,

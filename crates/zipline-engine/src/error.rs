@@ -15,6 +15,7 @@ use zipline_gd::error::GdError;
 
 /// Any failure an engine-level API can surface.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     /// A codec-layer failure (configuration, encoding, decoding).
     Gd(GdError),

@@ -122,11 +122,13 @@ const KIND_COMMIT: u8 = 0x14;
 
 /// The record CRC: CRC-32 in the crate's `B(x) mod g(x)` convention.
 fn record_crc() -> CrcEngine {
+    // zipline-lint: allow(L001): CRC-32 spec parameters are compile-time constants; construction cannot fail
     CrcEngine::new(CrcSpec::new(32, 0x04C1_1DB7).expect("CRC-32 spec is valid"))
 }
 
 /// A durability-layer failure.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PersistError {
     /// An OS-level I/O failure, with the operation that hit it.
     Io {
@@ -217,20 +219,30 @@ impl<'a> BodyReader<'a> {
         Ok(slice)
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array. The length always
+    /// matches because `take` returned exactly `N` bytes, so the slice
+    /// pattern is irrefutable — no fallible conversion anywhere.
+    fn array<const N: usize>(&mut self) -> PersistResult<[u8; N]> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> PersistResult<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> PersistResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> PersistResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> PersistResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn bitvec(&mut self) -> PersistResult<BitVec> {
@@ -384,13 +396,21 @@ struct RawRecord {
     end: usize,
 }
 
+/// Little-endian `u32` starting at byte `at`; `None` when `data` is too
+/// short — length checks and extraction in one step, no indexing.
+fn read_le_u32(data: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let bytes: [u8; 4] = data.get(at..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
 /// Scans a log, returning every CRC-valid record and the byte offset of
 /// the first invalid one (the torn-tail truncation point).
 fn scan_log(data: &[u8], crc: &CrcEngine) -> (Vec<RawRecord>, usize) {
     let mut records = Vec::new();
     let mut offset = 0usize;
-    while let Some(len_bytes) = data.get(offset..offset + 4) {
-        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    while let Some(len) = read_le_u32(data, offset) {
+        let len = len as usize;
         if len == 0 || len > MAX_RECORD_BYTES {
             break;
         }
@@ -398,16 +418,18 @@ fn scan_log(data: &[u8], crc: &CrcEngine) -> (Vec<RawRecord>, usize) {
         let Some(payload) = data.get(payload_start..payload_start + len) else {
             break;
         };
-        let Some(crc_bytes) = data.get(payload_start + len..payload_start + len + 4) else {
+        let Some(stored) = read_le_u32(data, payload_start + len) else {
             break;
         };
-        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
         if crc.compute_bytes(payload) as u32 != stored {
             break;
         }
+        let Some((&kind, _)) = payload.split_first() else {
+            break;
+        };
         let end = payload_start + len + 4;
         records.push(RawRecord {
-            kind: payload[0],
+            kind,
             body_start: payload_start + 1,
             body_end: payload_start + len,
             end,
@@ -1304,6 +1326,57 @@ mod tests {
         let back = vec![read_update(&mut r).unwrap(), read_update(&mut r).unwrap()];
         r.finish().unwrap();
         assert_eq!(back, updates);
+    }
+
+    /// Exhaustiveness companion to the workspace lint's L002 rule: one
+    /// committed batch carrying a delta, a checkpoint, frames and control
+    /// updates must leave every declared record kind on disk. A kind
+    /// added to the format without flowing through `commit_batch` (or
+    /// without coverage here) fails this test or the lint.
+    #[test]
+    fn every_declared_kind_appears_on_disk_after_a_full_commit() {
+        let dir = temp_dir("kinds");
+        let mut store = EngineStore::create(&dir, 2, 4).unwrap();
+        let mut dict = ShardedDictionary::new(8, 2).unwrap();
+        dict.set_journal(true);
+        for i in 0..4u8 {
+            let b = basis(i);
+            let hash = b.hash_words();
+            let shard = dict.shard_of_hash(hash);
+            dict.classify_at(shard, &b, hash, i as u64).unwrap();
+        }
+        let delta = dict.take_delta();
+        assert!(!delta.updates.is_empty());
+        let state = dict.export_state();
+        let records = vec![(PacketType::Uncompressed, 3u32)];
+        store
+            .commit_batch(&records, &[7; 3], &delta.updates, Some(&state), 64)
+            .unwrap();
+        drop(store);
+
+        let crc = record_crc();
+        let mut kinds = std::collections::BTreeSet::new();
+        for log in [SHARD_LOG, FRAME_LOG] {
+            let data = std::fs::read(dir.join(log)).unwrap();
+            let (raw, valid) = scan_log(&data, &crc);
+            assert_eq!(valid, data.len(), "{log} has a torn tail");
+            kinds.extend(raw.iter().map(|r| r.kind));
+        }
+        for (name, kind) in [
+            ("SHARD_HEADER", KIND_SHARD_HEADER),
+            ("DELTA", KIND_DELTA),
+            ("CHECKPOINT", KIND_CHECKPOINT),
+            ("FRAME_HEADER", KIND_FRAME_HEADER),
+            ("FRAME", KIND_FRAME),
+            ("CONTROL", KIND_CONTROL),
+            ("COMMIT", KIND_COMMIT),
+        ] {
+            assert!(
+                kinds.contains(&kind),
+                "declared kind {name} ({kind:#04x}) was never written"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

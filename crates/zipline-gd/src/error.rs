@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by the Generalized Deduplication core.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GdError {
     /// A buffer or chunk did not have the length required by the operation.
     ///

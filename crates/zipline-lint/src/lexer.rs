@@ -1,0 +1,487 @@
+//! A deliberately small Rust lexer: just enough token structure for the
+//! lint rules, with full string/char/comment awareness so a `panic!` inside
+//! a string literal or a doc comment never trips a rule.
+//!
+//! The scanner handles the syntax that actually occurs in this workspace
+//! (and the syntax that would otherwise cause false positives):
+//!
+//! * line comments (`//`, `///`, `//!`) — captured with line numbers so the
+//!   allow-directive parser can see them;
+//! * nested block comments (`/* /* */ */`);
+//! * string literals, raw strings (`r"…"`, `r#"…"#`, any hash depth), byte
+//!   and byte-raw strings — captured with their *content* so rules can read
+//!   bench group names and deprecation notes;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * identifiers, integer/float literals, and punctuation (with `=>`, `==`,
+//!   `::`, `..`, `->` kept as single tokens where a rule cares).
+//!
+//! It is *not* a parser: rules pattern-match over the token stream. That is
+//! the right trade for an offline workspace with no `syn` — the rules below
+//! need token adjacency, not a full AST.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token kinds the rules can pattern-match over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `match`, `KIND_DATA`, …).
+    Ident(String),
+    /// Integer literal (`0`, `0x41`, `1_000`), kept as written.
+    Int(String),
+    /// Float literal (`1.5`, `1e9`).
+    Float(String),
+    /// String literal of any flavor, with the raw *content* (quotes,
+    /// prefixes and hashes stripped; escapes left unprocessed).
+    Str(String),
+    /// Char or byte literal (content not needed by any rule).
+    Char,
+    /// Lifetime (`'a`); distinct from chars so `'a'` never confuses rules.
+    Lifetime,
+    /// Single punctuation character (`#`, `[`, `(`, `.`, `!`, …).
+    Punct(char),
+    /// `=>`
+    FatArrow,
+    /// `==`
+    EqEq,
+    /// `::`
+    PathSep,
+    /// `..` (also covers the head of `..=` and `...`)
+    DotDot,
+    /// `->`
+    ThinArrow,
+}
+
+impl TokKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is exactly this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// A captured `//` comment (content after the slashes, untrimmed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//` (or inside the `/* */`).
+    pub text: String,
+}
+
+/// The full lex of one source file: tokens plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// Comments in order (line + block).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`; never fails — unterminated constructs are consumed to
+/// end-of-file, which is the forgiving behavior a linter wants (the
+/// compiler, not the linter, owns syntax errors).
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.tokens.push(Tok { line, kind: $kind })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..end].to_string(),
+                });
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let comment_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut end = start;
+                while end < bytes.len() && depth > 0 {
+                    if bytes[end] == b'\n' {
+                        line += 1;
+                        end += 1;
+                    } else if bytes[end] == b'/' && bytes.get(end + 1) == Some(&b'*') {
+                        depth += 1;
+                        end += 2;
+                    } else if bytes[end] == b'*' && bytes.get(end + 1) == Some(&b'/') {
+                        depth -= 1;
+                        end += 2;
+                    } else {
+                        end += 1;
+                    }
+                }
+                let content_end = end.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: comment_line,
+                    text: source[start..content_end].to_string(),
+                });
+                i = end;
+            }
+            '"' => {
+                let (content, next, newlines) = scan_string(source, i + 1);
+                push!(TokKind::Str(content));
+                line += newlines;
+                i = next;
+            }
+            'r' | 'b' if is_string_prefix(bytes, i) => {
+                // r"…", r#"…"#, b"…", br"…", rb is not rust but harmless.
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                // `j` now sits on the opening quote.
+                let raw = source[i..j].contains('r');
+                if raw {
+                    let (content, next, newlines) = scan_raw_string(source, j + 1, hashes);
+                    push!(TokKind::Str(content));
+                    line += newlines;
+                    i = next;
+                } else {
+                    let (content, next, newlines) = scan_string(source, j + 1);
+                    push!(TokKind::Str(content));
+                    line += newlines;
+                    i = next;
+                }
+            }
+            '\'' => {
+                // Lifetime vs. char literal: a lifetime is `'` + ident with
+                // no closing quote right after the identifier.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'\\') {
+                    // Escaped char literal: consume through the close quote.
+                    j += 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    push!(TokKind::Char);
+                    i = (j + 1).min(bytes.len());
+                } else {
+                    let ident_end = scan_ident_end(bytes, j);
+                    if ident_end > j && bytes.get(ident_end) != Some(&b'\'') {
+                        push!(TokKind::Lifetime);
+                        i = ident_end;
+                    } else {
+                        // 'x' or '∂' (multi-byte): consume to closing quote.
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            if bytes[j] == b'\n' {
+                                line += 1;
+                            }
+                            j += 1;
+                        }
+                        push!(TokKind::Char);
+                        i = (j + 1).min(bytes.len());
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let end = scan_ident_end(bytes, i);
+                push!(TokKind::Ident(source[i..end].to_string()));
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let (kind, end) = scan_number(source, i);
+                push!(kind);
+                i = end;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'>') => {
+                push!(TokKind::FatArrow);
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'=') => {
+                push!(TokKind::EqEq);
+                i += 2;
+            }
+            ':' if bytes.get(i + 1) == Some(&b':') => {
+                push!(TokKind::PathSep);
+                i += 2;
+            }
+            '.' if bytes.get(i + 1) == Some(&b'.') => {
+                push!(TokKind::DotDot);
+                i += 2;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                push!(TokKind::ThinArrow);
+                i += 2;
+            }
+            other => {
+                push!(TokKind::Punct(other));
+                i += other.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+fn is_string_prefix(bytes: &[u8], i: usize) -> bool {
+    // `r`/`b` starts a string prefix only when the run of r/b/# characters
+    // ends at a double quote AND the prefix char is not part of a longer
+    // identifier (e.g. `radius` or `break`).
+    if i > 0 {
+        let prev = bytes[i - 1] as char;
+        if prev.is_ascii_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+        j += 1;
+    }
+    // More than two prefix chars means an identifier like `rrr`.
+    if j - i > 2 {
+        return false;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn scan_ident_end(bytes: &[u8], start: usize) -> usize {
+    let mut end = start;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_ascii_alphanumeric() || c == '_' {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    end
+}
+
+/// Scans a non-raw string body starting just after the opening quote.
+/// Returns (content, index past the closing quote, newlines crossed).
+fn scan_string(source: &str, start: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                return (source[start..i].to_string(), i + 1, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (source[start..].to_string(), bytes.len(), newlines)
+}
+
+/// Scans a raw string body (`hashes` trailing `#`s close it) starting just
+/// after the opening quote.
+fn scan_raw_string(source: &str, start: usize, hashes: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (source[start..i].to_string(), i + 1 + hashes, newlines);
+            }
+        }
+        if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    (source[start..].to_string(), bytes.len(), newlines)
+}
+
+fn scan_number(source: &str, start: usize) -> (TokKind, usize) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    let mut float = false;
+    // Hex/octal/binary prefixes keep everything in the Int bucket.
+    if bytes[i] == b'0'
+        && matches!(
+            bytes.get(i + 1),
+            Some(&b'x') | Some(&b'X') | Some(&b'o') | Some(&b'b')
+        )
+    {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (TokKind::Int(source[start..i].to_string()), i);
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_digit() || c == '_' {
+            i += 1;
+        } else if c == '.' && !float && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+            // `1.5` is a float; `1..n` is an int followed by a range.
+            float = true;
+            i += 1;
+        } else if (c == 'e' || c == 'E')
+            && bytes
+                .get(i + 1)
+                .is_some_and(|b| b.is_ascii_digit() || *b == b'-' || *b == b'+')
+        {
+            float = true;
+            i += 2;
+        } else if c.is_ascii_alphabetic() {
+            // Type suffix (`u8`, `f64`, `usize`): consume, keep the kind.
+            if c == 'f' {
+                float = true;
+            }
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let text = source[start..i].to_string();
+    if float {
+        (TokKind::Float(text), i)
+    } else {
+        (TokKind::Int(text), i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed.tokens.iter().filter_map(|t| t.kind.ident()).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r###"
+            // panic! in a comment is fine
+            let s = "unwrap() inside a string";
+            let r = r#"panic!("raw")"#;
+            /* block with unreachable!() and /* nesting */ still one comment */
+            let c = 'p';
+        "###;
+        let lexed = lex(src);
+        assert!(!idents(&lexed).contains(&"panic"));
+        assert!(!idents(&lexed).contains(&"unwrap"));
+        assert!(!idents(&lexed).contains(&"unreachable"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("panic!"));
+        let strings: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            strings,
+            vec!["unwrap() inside a string", r#"panic!("raw")"#]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nunwrap";
+        let lexed = lex(src);
+        let last = lexed.tokens.last().unwrap();
+        assert_eq!(last.kind, TokKind::Ident("unwrap".into()));
+        assert_eq!(last.line, 5);
+    }
+
+    #[test]
+    fn composite_punctuation_stays_composite() {
+        let lexed = lex("match k { A => 1, _ if a == b => 2 }; a..b; x::y; fn f() -> u8 {}");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::FatArrow));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::EqEq));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::DotDot));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::PathSep));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::ThinArrow));
+    }
+
+    #[test]
+    fn numbers_classify_and_carry_text() {
+        let lexed = lex("0x41 1_000 1.5 1e9 9000 64u32");
+        let kinds: Vec<_> = lexed.tokens.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &TokKind::Int("0x41".into()),
+                &TokKind::Int("1_000".into()),
+                &TokKind::Float("1.5".into()),
+                &TokKind::Float("1e9".into()),
+                &TokKind::Int("9000".into()),
+                &TokKind::Int("64u32".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes_do_not_eat_identifiers() {
+        let lexed = lex("let radius = b\"bytes\"; let brr = r\"raw\";");
+        let ids = idents(&lexed);
+        assert!(ids.contains(&"radius"));
+        assert!(ids.contains(&"brr"));
+    }
+}

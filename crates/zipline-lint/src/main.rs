@@ -1,0 +1,87 @@
+//! CLI driver: `cargo run -p zipline-lint -- --workspace`.
+//!
+//! Exit status 0 when the tree is clean, 1 when there are findings,
+//! 2 on usage or I/O errors — so CI can distinguish "violations" from
+//! "the linter itself failed to run".
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: zipline-lint --workspace [--root <path>]\n\
+         \n\
+         Checks the workspace invariants (L001..L005) and prints findings\n\
+         as `path:line: RULE: message`. Exits 1 on findings, 2 on errors.\n\
+         \n\
+         --workspace      lint the whole workspace (required; the only mode)\n\
+         --root <path>    workspace root to lint (default: ancestor of the\n\
+                          current directory containing Cargo.toml, else `.`)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut workspace_mode = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace_mode = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if !workspace_mode {
+        usage();
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let findings = match zipline_lint::run(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("zipline-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if findings.is_empty() {
+        eprintln!("zipline-lint: workspace clean ({} ok)", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "zipline-lint: {} finding{} — see `crates/zipline-lint/README.md` \
+         for the rules and the allow syntax",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}
+
+/// Nearest ancestor of the current directory containing a `Cargo.toml`
+/// with a `[workspace]` table; falls back to the current directory. Lets
+/// the binary run from any subdirectory, matching cargo's own behavior.
+fn find_workspace_root() -> PathBuf {
+    let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd,
+        }
+    }
+}

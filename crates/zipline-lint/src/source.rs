@@ -1,0 +1,294 @@
+//! Per-file analysis state: the lexed token stream plus the two structural
+//! overlays every rule needs — which lines are *test code* (skipped by the
+//! panic rules, counted by the exhaustiveness rule) and which lines carry
+//! an `allow` opt-out directive.
+//!
+//! # Test scope
+//!
+//! A region is test code when it is the item following a `#[cfg(test)]`
+//! attribute (typically `mod tests { … }`, but any item form works) or a
+//! `mod tests { … }` block without the attribute. Regions are computed by
+//! brace-matching over the token stream — strings and comments are already
+//! out of the way, so `{`/`}` counting is exact.
+//!
+//! # Allow directives
+//!
+//! ```text
+//! // zipline-lint: allow(L001): CRC-32 spec is a compile-time constant
+//! ```
+//!
+//! The justification after the final colon is **required**: an allow
+//! without one is itself a finding (`BAD-ALLOW`). A directive suppresses
+//! findings of the named rule on its own line (trailing-comment style) and
+//! on the following line (line-above style).
+
+use crate::lexer::{lex, Comment, Lexed, Tok};
+
+/// One source file, lexed and annotated.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (`crates/…/src/x.rs`).
+    pub rel_path: String,
+    /// Code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+    /// Inclusive `(start_line, end_line)` spans of test code.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Parsed allow directives.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// A parsed `// zipline-lint: allow(RULE): why` comment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowDirective {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rule code being allowed (`L001` … `L005`).
+    pub rule: String,
+    /// Justification text after the colon; empty means malformed.
+    pub justification: String,
+}
+
+impl SourceFile {
+    /// Lexes and annotates one file.
+    pub fn parse(rel_path: impl Into<String>, source: &str) -> Self {
+        let Lexed { tokens, comments } = lex(source);
+        let test_ranges = compute_test_ranges(&tokens);
+        let allows = parse_allows(&comments);
+        Self {
+            rel_path: rel_path.into(),
+            tokens,
+            comments,
+            test_ranges,
+            allows,
+        }
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` item or `mod tests`.
+    pub fn in_test_scope(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// True when a well-formed allow for `rule` covers `line` (the
+    /// directive's own line for trailing comments, or the line directly
+    /// below it for line-above comments).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule && !a.justification.is_empty() && (a.line == line || a.line + 1 == line)
+        })
+    }
+
+    /// Allow directives missing their required justification.
+    pub fn malformed_allows(&self) -> impl Iterator<Item = &AllowDirective> {
+        self.allows.iter().filter(|a| a.justification.is_empty())
+    }
+}
+
+/// Finds the spans of test items; see the module docs for the definition.
+fn compute_test_ranges(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let start_line = tokens[i].line;
+        // `#[cfg(test)]` — seven tokens exactly.
+        let is_cfg_test = tokens[i].kind.is_punct('#')
+            && matches!(tokens.get(i + 1), Some(t) if t.kind.is_punct('['))
+            && matches!(tokens.get(i + 2), Some(t) if t.kind.ident() == Some("cfg"))
+            && matches!(tokens.get(i + 3), Some(t) if t.kind.is_punct('('))
+            && matches!(tokens.get(i + 4), Some(t) if t.kind.ident() == Some("test"))
+            && matches!(tokens.get(i + 5), Some(t) if t.kind.is_punct(')'))
+            && matches!(tokens.get(i + 6), Some(t) if t.kind.is_punct(']'));
+        // `mod tests` without the attribute.
+        let is_mod_tests = tokens[i].kind.ident() == Some("mod")
+            && matches!(tokens.get(i + 1), Some(t) if t.kind.ident() == Some("tests"));
+
+        if is_cfg_test {
+            // Skip this attribute and any further attributes, then span the
+            // item that follows (to its matching `}` or terminating `;`).
+            let mut j = i + 7;
+            while matches!(tokens.get(j), Some(t) if t.kind.is_punct('#')) {
+                j = skip_attribute(tokens, j);
+            }
+            if let Some((end_line, next)) = span_item(tokens, j) {
+                ranges.push((start_line, end_line));
+                i = next;
+                continue;
+            }
+        } else if is_mod_tests {
+            if let Some((end_line, next)) = span_item(tokens, i + 2) {
+                ranges.push((start_line, end_line));
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Skips one `#[…]` attribute starting at the `#`; returns the index past
+/// its closing `]`.
+fn skip_attribute(tokens: &[Tok], at: usize) -> usize {
+    let mut j = at + 1; // past '#'
+    if !matches!(tokens.get(j), Some(t) if t.kind.is_punct('[')) {
+        return at + 1;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        if tokens[j].kind.is_punct('[') {
+            depth += 1;
+        } else if tokens[j].kind.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// From the first token of an item, finds its end: the line of the
+/// matching `}` of its first brace block, or of a `;` reached before any
+/// `{`. Returns `(end_line, index past the item)`.
+fn span_item(tokens: &[Tok], start: usize) -> Option<(u32, usize)> {
+    let mut j = start;
+    while j < tokens.len() {
+        if tokens[j].kind.is_punct(';') {
+            return Some((tokens[j].line, j + 1));
+        }
+        if tokens[j].kind.is_punct('{') {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].kind.is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].kind.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((tokens[j].line, j + 1));
+                    }
+                }
+                j += 1;
+            }
+            // Unbalanced braces: treat the rest of the file as the item.
+            return Some((tokens.last()?.line, tokens.len()));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Extracts allow directives from the comment stream. Doc comments
+/// (`///`, `//!`, `/**`, `/*!`) are excluded: documentation may quote the
+/// directive syntax without enacting it.
+fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
+    let mut allows = Vec::new();
+    for comment in comments {
+        if matches!(comment.text.chars().next(), Some('/' | '!' | '*')) {
+            continue;
+        }
+        let Some(at) = comment.text.find("zipline-lint:") else {
+            continue;
+        };
+        let rest = comment.text[at + "zipline-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = &rest[close + 1..];
+        let justification = tail
+            .strip_prefix(':')
+            .map(|j| j.trim().to_string())
+            .unwrap_or_default();
+        allows.push(AllowDirective {
+            line: comment.line,
+            rule,
+            justification,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_and_mod_tests_regions_are_spanned() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+mod tests {
+    fn more() {}
+}
+fn live_again() {}
+";
+        let file = SourceFile::parse("x.rs", src);
+        assert_eq!(file.test_ranges, vec![(2, 5), (6, 8)]);
+        assert!(!file.in_test_scope(1));
+        assert!(file.in_test_scope(4));
+        assert!(file.in_test_scope(7));
+        assert!(!file.in_test_scope(9));
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes_spans_the_item() {
+        let src = "\
+#[cfg(test)]
+#[allow(dead_code)]
+fn only_in_tests() {
+    body();
+}
+fn live() {}
+";
+        let file = SourceFile::parse("x.rs", src);
+        assert_eq!(file.test_ranges, vec![(1, 5)]);
+        assert!(!file.in_test_scope(6));
+    }
+
+    #[test]
+    fn allow_directives_parse_and_require_justification() {
+        let src = "\
+// zipline-lint: allow(L001): CRC spec is a compile-time constant
+let a = x.unwrap();
+let b = y.unwrap(); // zipline-lint: allow(L001): checked two lines up
+// zipline-lint: allow(L003):
+let c = 1;
+/// docs quoting `zipline-lint: allow(L002): example` are not directives
+let d = 2;
+";
+        let file = SourceFile::parse("x.rs", src);
+        assert!(file.is_allowed("L001", 2), "line-above form");
+        assert!(file.is_allowed("L001", 3), "trailing form");
+        assert!(!file.is_allowed("L001", 5), "directives do not leak");
+        assert!(!file.is_allowed("L003", 5), "empty justification is void");
+        assert!(
+            !file.is_allowed("L002", 7),
+            "doc comments are not directives"
+        );
+        assert_eq!(file.malformed_allows().count(), 1);
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_break_spans() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    const S: &str = \"}}}{{{\";
+}
+fn live() {}
+";
+        let file = SourceFile::parse("x.rs", src);
+        assert_eq!(file.test_ranges, vec![(1, 4)]);
+        assert!(!file.in_test_scope(5));
+    }
+}

@@ -1,0 +1,179 @@
+//! Workspace discovery: walks the repository tree, lexes every first-party
+//! `.rs` file, and reads the workspace version from the root `Cargo.toml`.
+//!
+//! Skipped subtrees:
+//!
+//! * `target/` — build output;
+//! * `vendor/` — offline API-subset shims for crates.io dependencies; they
+//!   are third-party stand-ins, not repo code, and deliberately do not
+//!   follow repo conventions;
+//! * `fixtures/` — lint-rule test fixtures are *intentionally* full of
+//!   violations and must never count against the live tree;
+//! * dot-directories (`.git/`, `.github/` has no Rust anyway).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures"];
+
+/// The lexed view of every first-party source file plus workspace
+/// metadata the rules need.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute root the walk started from.
+    pub root: PathBuf,
+    /// Every `.rs` file found, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// `version` from `[workspace.package]` in the root `Cargo.toml`,
+    /// parsed as numeric components (`0.1.0` → `[0, 1, 0]`).
+    pub version: Vec<u64>,
+}
+
+impl Workspace {
+    /// Walks `root` and lexes everything. I/O errors are real errors — a
+    /// linter that silently skips unreadable files is lying about coverage.
+    pub fn load(root: impl AsRef<Path>) -> io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        let mut paths = Vec::new();
+        collect_rs_files(&root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile::parse(rel, &text));
+        }
+        let version = workspace_version(&root)?;
+        Ok(Self {
+            root,
+            files,
+            version,
+        })
+    }
+
+    /// Files whose relative path starts with `prefix` (or equals it).
+    pub fn files_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceFile> {
+        self.files
+            .iter()
+            .filter(move |f| f.rel_path == prefix || f.rel_path.starts_with(prefix))
+    }
+
+    /// The file at exactly this relative path.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Reads `version = "…"` from the `[workspace.package]` section of the
+/// root manifest. Absent version (or manifest) is `[0]` — rules that
+/// compare against it (L004) then only fire on explicit `0.x` deadlines,
+/// which is the conservative direction.
+fn workspace_version(root: &Path) -> io::Result<Vec<u64>> {
+    let manifest = root.join("Cargo.toml");
+    let text = match fs::read_to_string(&manifest) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(vec![0]),
+        Err(e) => return Err(e),
+    };
+    let mut in_section = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == "[workspace.package]" || line == "[package]";
+            continue;
+        }
+        if in_section {
+            if let Some(rest) = line.strip_prefix("version") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    if let Some(v) = parse_quoted_version(rest) {
+                        return Ok(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(vec![0])
+}
+
+fn parse_quoted_version(s: &str) -> Option<Vec<u64>> {
+    let s = s.trim();
+    let s = s.strip_prefix('"')?;
+    let end = s.find('"')?;
+    parse_version(&s[..end])
+}
+
+/// Parses `1.2.3` (any component count ≥ 1) into its numeric components.
+pub fn parse_version(s: &str) -> Option<Vec<u64>> {
+    let parts: Vec<u64> = s
+        .trim()
+        .trim_end_matches(|c: char| !c.is_ascii_digit())
+        .split('.')
+        .map(|p| p.parse().ok())
+        .collect::<Option<Vec<u64>>>()?;
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts)
+    }
+}
+
+/// Compares dotted versions component-wise, treating missing components
+/// as zero (`0.2` == `0.2.0`).
+pub fn version_at_least(current: &[u64], target: &[u64]) -> bool {
+    let len = current.len().max(target.len());
+    for i in 0..len {
+        let c = current.get(i).copied().unwrap_or(0);
+        let t = target.get(i).copied().unwrap_or(0);
+        match c.cmp(&t) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_parse_and_compare() {
+        assert_eq!(parse_version("0.2.0"), Some(vec![0, 2, 0]));
+        assert_eq!(parse_version("1.10"), Some(vec![1, 10]));
+        assert_eq!(parse_version("0.3."), Some(vec![0, 3]));
+        assert_eq!(parse_version("x.y"), None);
+        assert!(version_at_least(&[0, 2, 0], &[0, 2]));
+        assert!(version_at_least(&[0, 3], &[0, 2, 9]));
+        assert!(!version_at_least(&[0, 1, 9], &[0, 2]));
+    }
+}

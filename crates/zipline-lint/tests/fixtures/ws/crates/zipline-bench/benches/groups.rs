@@ -1,0 +1,11 @@
+//! Fixture for L003 forward checks: tracked, untracked, allowed and
+//! dynamically-named bench groups.
+
+fn bench(c: &mut Criterion) {
+    let mut tracked = c.benchmark_group("engine_scaling");
+    let mut untracked = c.benchmark_group("untracked_experiment");
+    // zipline-lint: allow(L003): scratch bench for local profiling only
+    let mut scratch = c.benchmark_group("scratch_local");
+    let name = format!("dynamic_{}", 1);
+    let mut dynamic = c.benchmark_group(name);
+}

@@ -1,0 +1,25 @@
+//! Fixture for L002 with comparison-style decode sites (the persist.rs
+//! idiom: header kinds are matched with `==`, not `match` arms).
+
+const KIND_HEADER: u8 = 0x10;
+const KIND_RECORD: u8 = 0x11;
+
+pub fn write_logs(out: &mut Vec<u8>) {
+    out.push(KIND_HEADER);
+    out.push(KIND_RECORD);
+}
+
+pub fn is_header(kind: u8) -> bool {
+    kind == KIND_HEADER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_detected() {
+        assert!(is_header(KIND_HEADER));
+        let _ = KIND_RECORD;
+    }
+}

@@ -1,0 +1,48 @@
+//! Fixture for L004 (deprecation expiry), L005 (error-enum hygiene) and
+//! allow-directive hygiene. The fixture workspace is at version 0.9.0.
+
+use std::fmt;
+
+#[deprecated(note = "use new_thing instead; remove in 0.5.0")]
+pub fn expired_thing() {}
+
+#[deprecated(note = "use newer_thing instead; remove in 2.0.0")]
+pub fn aging_thing() {}
+
+#[deprecated(note = "just do not call this")]
+pub fn versionless_thing() {}
+
+#[deprecated]
+pub fn noteless_thing() {}
+
+// zipline-lint: allow(L004): removal is blocked on the v2 migration tooling
+#[deprecated(note = "remove in 0.1.0")]
+pub fn pinned_thing() {}
+
+#[non_exhaustive]
+pub enum GoodError {
+    Broken,
+}
+
+impl fmt::Display for GoodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "broken")
+    }
+}
+
+impl std::error::Error for GoodError {}
+
+pub enum BadError {
+    Oops,
+}
+
+// zipline-lint: allow(L005): crate-internal failure type, replaced by the error rework
+pub enum SidecarError {
+    Hmm,
+}
+
+// zipline-lint: allow(L001)
+pub fn missing_justification() {}
+
+// zipline-lint: allow(L999): this rule does not exist
+pub fn unknown_rule() {}

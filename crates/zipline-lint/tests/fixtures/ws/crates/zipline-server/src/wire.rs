@@ -1,0 +1,47 @@
+//! Fixture for L001 (panic paths) and L002 (record-kind exhaustiveness),
+//! mirroring the real wire.rs layout. Never compiled — consumed by the
+//! lint's integration tests, which assert on exact lines below.
+
+const KIND_ALPHA: u8 = 0x01;
+const KIND_BETA: u8 = 0x02;
+const KIND_GAMMA: u8 = 0x03;
+// zipline-lint: allow(L002): reserved for the replication protocol, lands with it
+const KIND_RESERVED: u8 = 0x7F;
+
+pub fn encode(out: &mut Vec<u8>) {
+    out.push(KIND_ALPHA);
+    out.push(KIND_BETA);
+}
+
+pub fn decode(payload: &[u8]) -> u8 {
+    let kind = payload[0];
+    match kind {
+        KIND_ALPHA => payload.len() as u8,
+        other => other,
+    }
+}
+
+pub fn helpers(buf: &[u8]) -> u32 {
+    let a = buf.first().unwrap();
+    let b = buf.get(1).expect("second byte");
+    if *a > *b {
+        panic!("inverted");
+    }
+    // zipline-lint: allow(L001): length checked by the caller's framing contract
+    let c = buf.get(2).unwrap();
+    (*a + *b + *c) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_roundtrips() {
+        let mut out = Vec::new();
+        encode(&mut out);
+        assert_eq!(decode(&out), KIND_ALPHA);
+        let first = out.first().unwrap();
+        assert_eq!(*first, KIND_ALPHA);
+    }
+}

@@ -1,0 +1,206 @@
+//! Expected-diagnostic tests over the fixture workspace in
+//! `tests/fixtures/ws/` — every rule has at least one firing case, one
+//! clean case and one allowed case — plus a generated-workspace test for
+//! L003's reverse direction and an exit-code test for the CLI.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use zipline_lint::Finding;
+
+fn fixture_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    zipline_lint::run(&root).expect("fixture workspace scans")
+}
+
+/// `(path, line, rule)` triples of every finding for one rule.
+fn sites(findings: &[Finding], rule: &str) -> Vec<(String, u32)> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.path.clone(), f.line))
+        .collect()
+}
+
+const WIRE: &str = "crates/zipline-server/src/wire.rs";
+const PERSIST: &str = "crates/zipline-engine/src/persist.rs";
+const GROUPS: &str = "crates/zipline-bench/benches/groups.rs";
+const MISC: &str = "crates/zipline-misc/src/lib.rs";
+
+#[test]
+fn l001_flags_panic_sites_and_honors_tests_and_allows() {
+    let findings = fixture_findings();
+    assert_eq!(
+        sites(&findings, "L001"),
+        vec![
+            (WIRE.into(), 17), // payload[0]
+            (WIRE.into(), 25), // .unwrap()
+            (WIRE.into(), 26), // .expect()
+            (WIRE.into(), 28), // panic!
+        ],
+        "allowed site (line 31) and test-scope unwrap must not fire"
+    );
+}
+
+#[test]
+fn l002_reports_missing_facets_per_declared_kind() {
+    let findings = fixture_findings();
+    assert_eq!(
+        sites(&findings, "L002"),
+        vec![
+            (PERSIST.into(), 5), // KIND_RECORD: no `==`/match decode
+            (WIRE.into(), 6),    // KIND_BETA: no decode, no test
+            (WIRE.into(), 7),    // KIND_GAMMA: nothing at all
+        ],
+        "KIND_ALPHA/KIND_HEADER are fully covered; KIND_RESERVED is allowed"
+    );
+    let beta = findings
+        .iter()
+        .find(|f| f.rule == "L002" && f.line == 6)
+        .expect("KIND_BETA finding");
+    assert!(beta.message.contains("decode"), "{}", beta.message);
+    assert!(beta.message.contains("test"), "{}", beta.message);
+    assert!(
+        !beta.message.contains("encode site"),
+        "KIND_BETA is encoded: {}",
+        beta.message
+    );
+}
+
+#[test]
+fn l003_flags_untracked_and_dynamic_groups() {
+    let findings = fixture_findings();
+    assert_eq!(
+        sites(&findings, "L003"),
+        vec![
+            (GROUPS.into(), 6),  // untracked_experiment
+            (GROUPS.into(), 10), // benchmark_group(name)
+        ],
+        "tracked group (line 5) and allowed scratch group (line 8) must not fire"
+    );
+}
+
+#[test]
+fn l004_enforces_removal_deadlines() {
+    let findings = fixture_findings();
+    assert_eq!(
+        sites(&findings, "L004"),
+        vec![
+            (MISC.into(), 6),  // remove in 0.5.0, workspace at 0.9.0
+            (MISC.into(), 12), // note without a removal version
+            (MISC.into(), 15), // no note at all
+        ],
+        "future deadline (2.0.0) and allowed shim must not fire"
+    );
+}
+
+#[test]
+fn l005_requires_non_exhaustive_display_and_error() {
+    let findings = fixture_findings();
+    let bad: Vec<_> = findings.iter().filter(|f| f.rule == "L005").collect();
+    assert_eq!(bad.len(), 3, "{bad:?}");
+    assert!(bad.iter().all(|f| f.path == MISC && f.line == 35));
+    let messages: BTreeSet<_> = bad.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("non_exhaustive")));
+    assert!(messages.iter().any(|m| m.contains("Display")));
+    assert!(messages.iter().any(|m| m.contains("std::error::Error")));
+}
+
+#[test]
+fn malformed_allows_are_findings_not_silent_noops() {
+    let findings = fixture_findings();
+    assert_eq!(
+        sites(&findings, "BAD-ALLOW"),
+        vec![
+            (MISC.into(), 44), // no justification
+            (MISC.into(), 47), // unknown rule L999
+        ]
+    );
+}
+
+#[test]
+fn fixture_total_is_exactly_the_cases_above() {
+    // A new rule or a detection change must update the expectations, not
+    // slip extra findings past them.
+    assert_eq!(fixture_findings().len(), 17);
+}
+
+/// L003's reverse direction: a group in the tracked set with no
+/// `benchmark_group` registration. The workspace is generated so the
+/// expectations track the real `TRACKED_GROUPS` as it grows.
+#[test]
+fn l003_flags_tracked_groups_with_no_registration() {
+    let tracked = zipline_bench::regression::TRACKED_GROUPS;
+    let (kept, dropped) = tracked.split_at(tracked.len() - 1);
+    let dropped = dropped.first().expect("tracked set is non-empty");
+
+    let root = std::env::temp_dir().join(format!("zipline-lint-reverse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let bench_dir = root.join("crates/zipline-bench/benches");
+    let src_dir = root.join("crates/zipline-bench/src");
+    std::fs::create_dir_all(&bench_dir).unwrap();
+    std::fs::create_dir_all(&src_dir).unwrap();
+
+    let mut regression = String::from("pub const TRACKED_GROUPS: &[&str] = &[\n");
+    for group in tracked {
+        regression.push_str(&format!("    \"{group}\",\n"));
+    }
+    regression.push_str("];\n");
+    std::fs::write(src_dir.join("regression.rs"), regression).unwrap();
+
+    let mut bench = String::from("fn bench(c: &mut Criterion) {\n");
+    for group in kept {
+        bench.push_str(&format!(
+            "    let mut g = c.benchmark_group(\"{group}\");\n"
+        ));
+    }
+    bench.push_str("}\n");
+    std::fs::write(bench_dir.join("all_but_one.rs"), bench).unwrap();
+
+    let findings = zipline_lint::run(&root).expect("generated workspace scans");
+    let l003 = sites(&findings, "L003");
+    assert_eq!(l003.len(), 1, "{findings:?}");
+    let (path, _) = &l003[0];
+    assert_eq!(path, "crates/zipline-bench/src/regression.rs");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "L003" && f.message.contains(dropped)),
+        "finding must name the unregistered group `{dropped}`: {findings:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The CLI contract CI relies on: exit 1 with `path:line:` diagnostics on
+/// a dirty tree, exit 0 on a clean one.
+#[test]
+fn cli_exit_codes_and_output_shape() {
+    let bin = env!("CARGO_BIN_EXE_zipline-lint");
+    let fixture: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+
+    let dirty = std::process::Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&fixture)
+        .output()
+        .expect("run zipline-lint");
+    assert_eq!(dirty.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(
+        stdout.contains("crates/zipline-server/src/wire.rs:17: L001:"),
+        "diagnostics are file:line: RULE: message — got:\n{stdout}"
+    );
+
+    let live_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let clean = std::process::Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&live_root)
+        .output()
+        .expect("run zipline-lint");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "live tree must lint clean:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+}

@@ -1,0 +1,20 @@
+//! The lint eats its own dog food: the live workspace must be clean, so a
+//! violation introduced anywhere in the tree fails `cargo test` even
+//! before CI's dedicated lint step runs.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = zipline_lint::run(&root).expect("workspace scans");
+    assert!(
+        findings.is_empty(),
+        "the live tree must lint clean; fix or allow (with justification):\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

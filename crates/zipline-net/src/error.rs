@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by the network substrate.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NetError {
     /// A frame or packet could not be parsed.
     Malformed(String),

@@ -16,6 +16,7 @@ pub type ServerResult<T> = Result<T, ServerError>;
 
 /// Any failure on the server or client path.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServerError {
     /// The byte stream on the socket did not parse as wire records.
     Wire(WireError),

@@ -244,14 +244,16 @@ fn drive_connection(
         }
     }
     session.end()?;
-    while driver.done.is_none() {
+    let done = loop {
+        if let Some(done) = driver.done.take() {
+            break done;
+        }
         match session.next_event() {
             Some(event) => driver.on_event(event)?,
             None => return Err(ServerError::Disconnected),
         }
-    }
+    };
     let elapsed = start.elapsed();
-    let done = driver.done.expect("loop exits with done");
     Ok(ConnOutcome {
         bytes_sent: sent,
         records_sent,

@@ -167,6 +167,17 @@ impl ServerStats {
     }
 }
 
+/// Locks a mutex, recovering the data even when another thread panicked
+/// while holding it. The protected registries (connection list, error log,
+/// active-stream set) stay consistent under item-level mutation, so a
+/// handler's panic must not wedge shutdown or error reporting for the
+/// whole server.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// State shared between the accept loop, the handlers and the handle.
 struct Shared {
     config: ServerConfig,
@@ -285,7 +296,7 @@ impl ServerHandle {
         // handler: half-close for graceful (reader sees EOF, stream finishes),
         // full close for abort.
         let conns = {
-            let mut guard = self.shared.conns.lock().expect("conns lock");
+            let mut guard = lock_unpoisoned(&self.shared.conns);
             std::mem::take(&mut *guard)
         };
         let how = if abort {
@@ -301,7 +312,7 @@ impl ServerHandle {
         }
         ServerReport {
             stats: self.shared.stats.snapshot(),
-            errors: std::mem::take(&mut *self.shared.errors.lock().expect("errors lock")),
+            errors: std::mem::take(&mut *lock_unpoisoned(&self.shared.errors)),
         }
     }
 }
@@ -332,14 +343,14 @@ where
                     .spawn(move || handle_connection::<B>(handler_shared, conn));
                 match spawned {
                     Ok(handle) => {
-                        let mut conns = shared.conns.lock().expect("conns lock");
+                        let mut conns = lock_unpoisoned(&shared.conns);
                         // Joining finished handlers is instant; prune so a
                         // long-lived server's registry stays bounded.
                         conns.retain(|(_, h)| !h.is_finished());
                         conns.push((registered, handle));
                     }
                     Err(e) => {
-                        let mut errors = shared.errors.lock().expect("errors lock");
+                        let mut errors = lock_unpoisoned(&shared.errors);
                         errors.push(format!("spawning connection handler: {e}"));
                     }
                 }
@@ -359,11 +370,7 @@ struct StreamGuard {
 
 impl Drop for StreamGuard {
     fn drop(&mut self) {
-        self.shared
-            .active_streams
-            .lock()
-            .expect("active set lock")
-            .remove(&self.stream_id);
+        lock_unpoisoned(&self.shared.active_streams).remove(&self.stream_id);
     }
 }
 
@@ -396,7 +403,7 @@ where
     };
 
     {
-        let mut active = shared.active_streams.lock().expect("active set lock");
+        let mut active = lock_unpoisoned(&shared.active_streams);
         if !active.insert(hello.stream_id) {
             report_failure(
                 &shared,
@@ -426,11 +433,7 @@ where
 /// the connection drops.
 fn report_failure(shared: &Shared, conn: &Conn, error: &ServerError) {
     shared.stats.failed_streams.fetch_add(1, Ordering::Relaxed);
-    shared
-        .errors
-        .lock()
-        .expect("errors lock")
-        .push(error.to_string());
+    lock_unpoisoned(&shared.errors).push(error.to_string());
     if let Ok(mut writer) = conn.try_clone() {
         let frame = WireCodec::new().encode(&Record::Error(error.to_string()));
         drop(writer.write_all(&frame));

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by switch resources and programs.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SwitchError {
     /// A table has reached its maximum number of entries.
     TableFull { table: String, max_entries: usize },

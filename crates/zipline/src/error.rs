@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced while assembling or driving a ZipLine deployment.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ZipLineError {
     /// An error bubbled up from the GD core.
     Gd(zipline_gd::GdError),
