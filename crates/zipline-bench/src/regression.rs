@@ -46,6 +46,7 @@ pub const TRACKED_GROUPS: &[&str] = &[
     "pipelined_ingest",
     "recovery",
     "server_load",
+    "multi_tenant",
 ];
 
 /// One measured benchmark: its full id (`group/name[/param]`) and median.
@@ -298,6 +299,7 @@ mod tests {
             ("BENCH_PR5.json", include_str!("../../../BENCH_PR5.json")),
             ("BENCH_PR6.json", include_str!("../../../BENCH_PR6.json")),
             ("BENCH_PR7.json", include_str!("../../../BENCH_PR7.json")),
+            ("BENCH_PR9.json", include_str!("../../../BENCH_PR9.json")),
         ] {
             let pr = pr_number(name).unwrap();
             set.absorb(name, pr, text);

@@ -41,8 +41,8 @@ use crate::backend::{BackendDecompressor, CompressionBackend};
 use crate::persist::{EngineStore, WarmStart};
 use crate::pipelined::PipelineConfig;
 use crate::shard::{
-    DictionaryDelta, DictionarySnapshot, DictionaryState, ShardOutcome, ShardStats,
-    ShardedDictionary,
+    DictionaryDelta, DictionarySnapshot, DictionaryState, DictionaryUpdate, ShardOutcome,
+    ShardStats, ShardedDictionary,
 };
 use zipline_gd::codec::{
     ChunkCodec, CompressedStream, DecodeScratch, EncodeScratch, EncodedChunk, Record,
@@ -629,6 +629,14 @@ impl GdBackendDecompressor {
     /// The sharded dictionary rebuilt so far.
     pub fn dictionary(&self) -> &ShardedDictionary {
         &self.dict
+    }
+
+    /// Applies one out-of-band dictionary update (an `Install`/`Remove`
+    /// received on a control plane rather than learned in-band from a
+    /// type 2 payload). Used to bootstrap a decoder from reseed frames
+    /// after a warm restart compacted the journal away.
+    pub fn apply_update(&mut self, update: &DictionaryUpdate) -> Result<()> {
+        self.dict.apply_update(update)
     }
 
     /// Decompresses one record, appending the restored bytes to `out`.

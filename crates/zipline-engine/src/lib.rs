@@ -115,6 +115,7 @@ pub mod persist;
 pub mod pipelined;
 pub mod shard;
 pub mod stream;
+pub mod tenant;
 
 pub use backend::{
     BackendDecompressor, CompressionBackend, DeflateBackend, DeflateDecompressor,
@@ -133,3 +134,7 @@ pub use shard::{
     ShardState, ShardStats, ShardedDictionary, UpdateOp,
 };
 pub use stream::{EngineStream, StreamSummary};
+pub use tenant::{
+    flow_dir, flow_placement, plan_resume, reseed_updates, tenant_dir, FlowDecoderPool, FlowError,
+    FlowEvent, FlowKey, FlowResume, FlowRouter, FlowRouterConfig, FlowSummary, TenantStats,
+};

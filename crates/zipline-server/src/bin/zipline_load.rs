@@ -10,27 +10,40 @@
 //! ```text
 //! zipline-load [--connect ENDPOINT | --spawn tcp|uds]
 //!              [--workloads sensor,dns,flows,churn] [--connections N]
+//!              [--flows N] [--tenants N]
 //!              [--chunks N] [--window-chunks N] [--batch-chunks N]
 //!              [--durable DIR] [--sync data]
 //! ```
+//!
+//! `--flows N` switches to the **multiplexed** mode: each connection opens
+//! one multiplexed session carrying N tenant-scoped flows (zipf-skewed
+//! tenant popularity, interleaved sensor/DNS/churn styles from
+//! `ManyFlowsWorkload`) and the report adds one throughput/ratio line per
+//! tenant.
 
 use std::process::ExitCode;
 
 use zipline::host::HostPathConfig;
 use zipline_engine::SyncPolicy;
-use zipline_server::{run_closed_loop, Endpoint, LoadConfig, ServerConfig, ServerHandle};
+use zipline_server::{
+    run_closed_loop, run_multiplexed, Endpoint, LoadConfig, ServerConfig, ServerHandle,
+};
 use zipline_traces::{
     ChunkWorkload, ChurnWorkload, ChurnWorkloadConfig, DnsWorkload, DnsWorkloadConfig,
-    FlowMixConfig, FlowMixWorkload, SensorWorkload, SensorWorkloadConfig,
+    FlowMixConfig, FlowMixWorkload, ManyFlowsConfig, ManyFlowsWorkload, SensorWorkload,
+    SensorWorkloadConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: zipline-load [--connect ENDPOINT | --spawn tcp|uds]\n\
          \x20                   [--workloads sensor,dns,flows,churn] [--connections N]\n\
+         \x20                   [--flows N] [--tenants N]\n\
          \x20                   [--chunks N] [--window-chunks N] [--batch-chunks N]\n\
          \x20                   [--durable DIR] [--sync data|flush]\n\
-         Default: --spawn tcp --workloads sensor,dns --connections 2."
+         Default: --spawn tcp --workloads sensor,dns --connections 2.\n\
+         --flows N drives N multiplexed flows per connection instead of\n\
+         the named workloads and reports per-tenant lines."
     );
     std::process::exit(2);
 }
@@ -40,6 +53,8 @@ struct Args {
     spawn_uds: bool,
     workloads: Vec<String>,
     connections: usize,
+    flows: Option<usize>,
+    tenants: Option<usize>,
     chunks: Option<usize>,
     window_chunks: usize,
     host: HostPathConfig,
@@ -51,6 +66,8 @@ fn parse_args() -> Args {
         spawn_uds: false,
         workloads: vec!["sensor".into(), "dns".into()],
         connections: 2,
+        flows: None,
+        tenants: None,
         chunks: None,
         window_chunks: 512,
         host: HostPathConfig::paper_default(),
@@ -83,6 +100,8 @@ fn parse_args() -> Args {
                     .collect()
             }
             "--connections" => parsed.connections = numeric(&value("--connections")),
+            "--flows" => parsed.flows = Some(numeric(&value("--flows"))),
+            "--tenants" => parsed.tenants = Some(numeric(&value("--tenants"))),
             "--chunks" => parsed.chunks = Some(numeric(&value("--chunks"))),
             "--window-chunks" => parsed.window_chunks = numeric(&value("--window-chunks")),
             "--batch-chunks" => parsed.host.batch_chunks = numeric(&value("--batch-chunks")),
@@ -226,23 +245,34 @@ fn main() -> ExitCode {
     };
 
     let mut failed = false;
-    for (index, name) in args.workloads.iter().enumerate() {
-        let Some(workloads) = build_workloads(name, args.connections, args.chunks, &args.host)
-        else {
-            eprintln!("zipline-load: unknown workload {name:?}");
-            failed = true;
-            continue;
-        };
-        // Distinct id range per workload so durable stream directories
-        // never collide across workloads or reruns in one process.
-        let base_stream_id = 0x10AD_0000 + ((index as u64) << 12);
-        match run_closed_loop(&endpoint, &load, name.clone(), base_stream_id, workloads) {
-            Ok(report) => println!("{}", report.format_line()),
+    if let Some(flows) = args.flows {
+        // Multiplexed mode: one session per connection, `flows` tenant-scoped
+        // flows each; connections share tenants but get disjoint flow ids.
+        let mut mixes = Vec::with_capacity(args.connections);
+        for conn in 0..args.connections as u64 {
+            let mut config = ManyFlowsConfig::small_with_seed(0x0F10_3535 ^ (conn << 8));
+            config.flows = flows;
+            config.tenants = args.tenants.unwrap_or(config.tenants.min(flows));
+            config.chunk_len = args.host.engine.gd.chunk_bytes.max(32);
+            if let Some(chunks) = args.chunks {
+                config.chunks = chunks;
+            }
+            mixes.push(ManyFlowsWorkload::new(config));
+        }
+        match run_multiplexed(&endpoint, &load, "multiflow", mixes) {
+            Ok(report) => {
+                println!("{}", report.format_line());
+                for line in report.format_tenant_lines() {
+                    println!("{line}");
+                }
+            }
             Err(e) => {
-                eprintln!("zipline-load: workload {name}: {e}");
+                eprintln!("zipline-load: multiplexed run: {e}");
                 failed = true;
             }
         }
+    } else {
+        run_named_workloads(&args, &endpoint, &load, &mut failed);
     }
 
     if let Some(handle) = spawned {
@@ -258,5 +288,28 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// The classic single-stream-per-connection mode: one closed loop per named
+/// workload.
+fn run_named_workloads(args: &Args, endpoint: &Endpoint, load: &LoadConfig, failed: &mut bool) {
+    for (index, name) in args.workloads.iter().enumerate() {
+        let Some(workloads) = build_workloads(name, args.connections, args.chunks, &args.host)
+        else {
+            eprintln!("zipline-load: unknown workload {name:?}");
+            *failed = true;
+            continue;
+        };
+        // Distinct id range per workload so durable stream directories
+        // never collide across workloads or reruns in one process.
+        let base_stream_id = 0x10AD_0000 + ((index as u64) << 12);
+        match run_closed_loop(endpoint, load, name.clone(), base_stream_id, workloads) {
+            Ok(report) => println!("{}", report.format_line()),
+            Err(e) => {
+                eprintln!("zipline-load: workload {name}: {e}");
+                *failed = true;
+            }
+        }
     }
 }

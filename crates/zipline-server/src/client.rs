@@ -10,7 +10,7 @@ use std::io::Write;
 use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::thread::{self, JoinHandle};
 
-use zipline_engine::DictionaryUpdate;
+use zipline_engine::{DictionaryUpdate, FlowKey};
 use zipline_gd::packet::PacketType;
 
 use crate::error::{ServerError, ServerResult};
@@ -39,6 +39,45 @@ pub enum ServerEvent {
     Done(DoneSummary),
     /// The server reported a failure; the connection is closing.
     ServerError(String),
+    /// One flow's resume plan (multiplexed connections; answers
+    /// [`ClientSession::open_flow`], delivered in order with the flow's
+    /// replay/reseed records).
+    FlowOpened {
+        /// The opened flow.
+        key: FlowKey,
+        /// The flow's resume plan.
+        resume: ServerHello,
+    },
+    /// One wire payload of one flow.
+    FlowPayload {
+        /// The owning flow.
+        key: FlowKey,
+        /// ZipLine packet type.
+        packet_type: PacketType,
+        /// Payload bytes.
+        bytes: Vec<u8>,
+    },
+    /// One committed dictionary update of one flow.
+    FlowControl {
+        /// The owning flow.
+        key: FlowKey,
+        /// The tagged update.
+        update: DictionaryUpdate,
+    },
+    /// One synthesized install of one flow (compacted journal; advisory).
+    FlowReseed {
+        /// The owning flow.
+        key: FlowKey,
+        /// The synthesized update.
+        update: DictionaryUpdate,
+    },
+    /// Clean end of one flow.
+    FlowDone {
+        /// The finished flow.
+        key: FlowKey,
+        /// The flow's totals.
+        summary: DoneSummary,
+    },
 }
 
 /// A connected client stream.
@@ -72,6 +111,27 @@ impl ClientSession {
                                 Record::Reseed(update) => ServerEvent::Reseed(update),
                                 Record::Done(done) => ServerEvent::Done(done),
                                 Record::Error(message) => ServerEvent::ServerError(message),
+                                Record::FlowOpened { key, resume } => {
+                                    ServerEvent::FlowOpened { key, resume }
+                                }
+                                Record::FlowPayload {
+                                    key,
+                                    packet_type,
+                                    bytes,
+                                } => ServerEvent::FlowPayload {
+                                    key,
+                                    packet_type,
+                                    bytes,
+                                },
+                                Record::FlowControl { key, update } => {
+                                    ServerEvent::FlowControl { key, update }
+                                }
+                                Record::FlowReseed { key, update } => {
+                                    ServerEvent::FlowReseed { key, update }
+                                }
+                                Record::FlowDone { key, summary } => {
+                                    ServerEvent::FlowDone { key, summary }
+                                }
                                 other => {
                                     return Err(WireError::Malformed(format!(
                                         "server sent a client-side record: {}",
@@ -112,10 +172,26 @@ impl ClientSession {
     /// records this client already holds from the stream's current journal
     /// epoch (0 for a fresh stream or after a clean `Done`).
     pub fn hello(&mut self, stream_id: u64, entries_held: u64) -> ServerResult<ServerHello> {
-        self.send(&Record::ClientHello(ClientHello {
+        self.hello_record(ClientHello {
             stream_id,
             entries_held,
-        }))?;
+            multiplex: false,
+        })
+    }
+
+    /// Opens a **multiplexed** connection: the server acknowledges with a
+    /// connection-level hello, then every flow opens individually via
+    /// [`Self::open_flow`].
+    pub fn hello_multiplex(&mut self) -> ServerResult<ServerHello> {
+        self.hello_record(ClientHello {
+            stream_id: 0,
+            entries_held: 0,
+            multiplex: true,
+        })
+    }
+
+    fn hello_record(&mut self, hello: ClientHello) -> ServerResult<ServerHello> {
+        self.send(&Record::ClientHello(hello))?;
         match self.events.recv() {
             Ok(ServerEvent::Hello(hello)) => Ok(hello),
             Ok(ServerEvent::ServerError(message)) => Err(ServerError::Remote(message)),
@@ -124,6 +200,28 @@ impl ClientSession {
             ))),
             Err(_) => Err(ServerError::Disconnected),
         }
+    }
+
+    /// Opens one flow on a multiplexed connection. Does **not** block: the
+    /// server's [`ServerEvent::FlowOpened`] answer arrives in order with
+    /// the flow's replay/reseed records, so consuming the event stream
+    /// observes the resume plan strictly before the flow's data.
+    pub fn open_flow(&mut self, key: FlowKey, entries_held: u64) -> ServerResult<()> {
+        self.send(&Record::FlowOpen { key, entries_held })
+    }
+
+    /// Sends one input record for `key`'s flow.
+    pub fn send_flow_data(&mut self, key: FlowKey, bytes: &[u8]) -> ServerResult<()> {
+        let frame = self.codec.encode_flow_data(key, bytes);
+        self.conn
+            .write_all(&frame)
+            .map_err(|e| ServerError::io("sending FLOW_DATA", e))
+    }
+
+    /// Ends `key`'s flow cleanly; the server drains, commits and sends the
+    /// flow's [`ServerEvent::FlowDone`].
+    pub fn end_flow(&mut self, key: FlowKey) -> ServerResult<()> {
+        self.send(&Record::FlowEnd { key })
     }
 
     /// Sends one input record for the engine.

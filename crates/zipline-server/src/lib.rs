@@ -13,10 +13,23 @@
 //! Both directions speak length-prefixed, CRC-tagged records — the exact
 //! record discipline of the durable store's on-disk logs (`len:u32le ·
 //! kind:u8+body · crc32`, CRC-32 polynomial `0x04C1_1DB7` over the
-//! payload). A connection serves one stream: `CLIENT_HELLO` (stream id +
-//! replay cursor) → `SERVER_HELLO` (resume offset + replay/reseed counts) →
-//! replayed journal entries (after a crash) → `DATA`* → `END` →
-//! `DONE`. Full field layouts live in [`wire`].
+//! payload). A connection serves one stream by default: `CLIENT_HELLO`
+//! (stream id + replay cursor) → `SERVER_HELLO` (resume offset +
+//! replay/reseed counts) → replayed journal entries (after a crash) →
+//! `DATA`* → `END` → `DONE`. Full field layouts live in [`wire`].
+//!
+//! # Multiplexed flows (the PR-9 layer)
+//!
+//! A `CLIENT_HELLO` with the multiplex flag upgrades the connection to
+//! carry **many tenant-scoped flows over one socket**: `FLOW_OPEN` places a
+//! flow onto its tenant's partition pool (own engine, own dictionary
+//! namespace, own `tenant-<id>/stream-<id>` durable directory via the
+//! `zipline-flow` router), `FLOW_DATA` routes input by flow key, and every
+//! response leaves flow-tagged (`FLOW_OPENED`/`FLOW_PAYLOAD`/
+//! `FLOW_CONTROL`/`FLOW_RESEED`/`FLOW_DONE`) so one client decoder pool
+//! tracks the interleaved streams independently — one tenant's dictionary
+//! churn never perturbs another's decoder. Per flow the byte stream is
+//! bit-identical to a dedicated single-stream connection, resume included.
 //!
 //! # Durable resume (the PR-6 loop, closed)
 //!
@@ -61,10 +74,11 @@ pub mod wire;
 pub use client::{ClientSession, ServerEvent};
 pub use error::{ServerError, ServerResult};
 pub use histogram::LatencyHistogram;
-pub use load::{run_closed_loop, LoadConfig, LoadReport};
+pub use load::{run_closed_loop, run_multiplexed, LoadConfig, LoadReport, TenantLine};
 pub use net::Endpoint;
-pub use server::{ServerConfig, ServerHandle, ServerReport, StatsSnapshot};
+pub use server::{stream_dir, ServerConfig, ServerHandle, ServerReport, StatsSnapshot};
 pub use wire::{
     ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError,
     MAX_WIRE_RECORD_BYTES, WIRE_VERSION,
 };
+pub use zipline_flow::{FlowDecoderPool, FlowKey};

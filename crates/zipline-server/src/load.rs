@@ -13,12 +13,13 @@
 //! window would deadlock the loop) — [`LoadConfig::effective_window_chunks`]
 //! enforces the floor.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use zipline_traces::ChunkWorkload;
+use zipline_engine::FlowKey;
+use zipline_traces::{ChunkWorkload, ManyFlowsWorkload};
 
 use crate::client::{ClientSession, ServerEvent};
 use crate::error::{ServerError, ServerResult};
@@ -81,6 +82,40 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Per-record closed-loop latency across all connections.
     pub latency: LatencyHistogram,
+    /// Per-tenant totals (multiplexed runs; empty on single-stream runs).
+    pub tenants: Vec<TenantLine>,
+}
+
+/// Per-tenant totals of a multiplexed run, folded from the flows'
+/// `FLOW_DONE` summaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantLine {
+    /// The tenant.
+    pub tenant: u64,
+    /// Flows of this tenant that completed.
+    pub flows: u64,
+    /// Input bytes the tenant's flows consumed.
+    pub bytes_in: u64,
+    /// Wire bytes the tenant's flows emitted.
+    pub wire_bytes: u64,
+}
+
+impl TenantLine {
+    /// Compression ratio of the tenant's flows (input / wire bytes).
+    pub fn ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            return 0.0;
+        }
+        self.bytes_in as f64 / self.wire_bytes as f64
+    }
+
+    /// Tenant throughput over the run's wall clock, in MB/s.
+    pub fn throughput_mbps(&self, elapsed: Duration) -> f64 {
+        if elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.bytes_in as f64 / 1e6 / elapsed.as_secs_f64()
+    }
 }
 
 impl LoadReport {
@@ -106,6 +141,22 @@ impl LoadReport {
             return 0.0;
         }
         self.bytes_sent as f64 / self.wire_bytes as f64
+    }
+
+    /// One human-readable line per tenant (multiplexed runs only).
+    pub fn format_tenant_lines(&self) -> Vec<String> {
+        self.tenants
+            .iter()
+            .map(|line| {
+                format!(
+                    "  tenant {:#06x}  {:>4} flows  {:>8.2} MB/s  ratio {:>5.2}",
+                    line.tenant,
+                    line.flows,
+                    line.throughput_mbps(self.elapsed),
+                    line.ratio(),
+                )
+            })
+            .collect()
     }
 
     /// One human-readable summary line.
@@ -147,6 +198,7 @@ struct ConnOutcome {
     wire_bytes: u64,
     elapsed: Duration,
     latency: LatencyHistogram,
+    tenants: BTreeMap<u64, TenantLine>,
 }
 
 /// Per-connection closed-loop state machine over the event stream.
@@ -158,6 +210,7 @@ struct Driver {
     payloads: u64,
     control_updates: u64,
     done: Option<DoneSummary>,
+    tenants: BTreeMap<u64, TenantLine>,
 }
 
 impl Driver {
@@ -170,34 +223,59 @@ impl Driver {
             payloads: 0,
             control_updates: 0,
             done: None,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// Accounts one restored payload against the byte window. Acks are
+    /// cumulative across flows on a multiplexed connection, so latency is
+    /// measured on the aggregate loop, not per flow.
+    fn ack_payload(&mut self, packet_type: PacketType, bytes: &[u8]) {
+        self.payloads += 1;
+        match packet_type {
+            // A raw payload carries its own bytes verbatim — the
+            // flush tail, shorter than a chunk; account exactly.
+            PacketType::Raw => self.acked += bytes.len() as u64,
+            // Compressed/uncompressed payloads each restore one
+            // engine chunk of input.
+            _ => self.acked += self.chunk_bytes,
+        }
+        let now = Instant::now();
+        while let Some(&(cum, sent_at)) = self.pending.front() {
+            if cum <= self.acked {
+                self.latency.record(now.duration_since(sent_at));
+                self.pending.pop_front();
+            } else {
+                break;
+            }
         }
     }
 
     fn on_event(&mut self, event: ServerEvent) -> ServerResult<()> {
         match event {
-            ServerEvent::Payload { packet_type, bytes } => {
-                self.payloads += 1;
-                match packet_type {
-                    // A raw payload carries its own bytes verbatim — the
-                    // flush tail, shorter than a chunk; account exactly.
-                    PacketType::Raw => self.acked += bytes.len() as u64,
-                    // Compressed/uncompressed payloads each restore one
-                    // engine chunk of input.
-                    _ => self.acked += self.chunk_bytes,
-                }
-                let now = Instant::now();
-                while let Some(&(cum, sent_at)) = self.pending.front() {
-                    if cum <= self.acked {
-                        self.latency.record(now.duration_since(sent_at));
-                        self.pending.pop_front();
-                    } else {
-                        break;
-                    }
-                }
+            ServerEvent::Payload { packet_type, bytes }
+            | ServerEvent::FlowPayload {
+                packet_type, bytes, ..
+            } => {
+                self.ack_payload(packet_type, &bytes);
                 Ok(())
             }
-            ServerEvent::Control(_) | ServerEvent::Reseed(_) => {
+            ServerEvent::Control(_)
+            | ServerEvent::Reseed(_)
+            | ServerEvent::FlowControl { .. }
+            | ServerEvent::FlowReseed { .. } => {
                 self.control_updates += 1;
+                Ok(())
+            }
+            // The resume plan arrives in order before the flow's records;
+            // the load loop always opens cold, so there is nothing to do.
+            ServerEvent::FlowOpened { .. } => Ok(()),
+            ServerEvent::FlowDone { key, summary } => {
+                let line = self.tenants.entry(key.tenant).or_default();
+                line.tenant = key.tenant;
+                line.flows += 1;
+                line.bytes_in += summary.bytes_in;
+                line.wire_bytes += summary.wire_bytes;
                 Ok(())
             }
             ServerEvent::Done(done) => {
@@ -262,6 +340,82 @@ fn drive_connection(
         wire_bytes: done.wire_bytes,
         elapsed,
         latency: driver.latency,
+        tenants: driver.tenants,
+    })
+}
+
+/// Runs one multiplexed connection's closed loop to completion: every flow
+/// of `mix` opens up front on one socket, then the interleaved flow chunks
+/// stream under one aggregate byte window.
+///
+/// The window floor is one engine batch **per flow**: each flow buffers a
+/// whole batch server-side before any of its payloads come back, so a
+/// smaller aggregate window could deadlock with every flow mid-batch.
+fn drive_multiplexed(
+    endpoint: &Endpoint,
+    config: &LoadConfig,
+    mix: &ManyFlowsWorkload,
+    flow_base: u64,
+) -> ServerResult<ConnOutcome> {
+    let keys: Vec<FlowKey> = mix
+        .keys()
+        .into_iter()
+        .map(|(tenant, flow)| FlowKey::new(tenant, flow_base + flow))
+        .collect();
+    let floor_chunks = config.batch_chunks.saturating_mul(keys.len());
+    let window_chunks = config.effective_window_chunks().max(floor_chunks);
+    let window_bytes = (window_chunks * config.chunk_bytes) as u64;
+
+    let mut session = ClientSession::connect(endpoint)?;
+    session.hello_multiplex()?;
+    for &key in &keys {
+        session.open_flow(key, 0)?;
+    }
+
+    let start = Instant::now();
+    let mut driver = Driver::new(config.chunk_bytes);
+    let mut sent = 0u64;
+    let mut records_sent = 0u64;
+
+    for chunk in mix.events() {
+        while sent.saturating_sub(driver.acked) >= window_bytes {
+            match session.next_event() {
+                Some(event) => driver.on_event(event)?,
+                None => return Err(ServerError::Disconnected),
+            }
+        }
+        let key = FlowKey::new(chunk.tenant, flow_base + chunk.flow);
+        session.send_flow_data(key, &chunk.bytes)?;
+        sent += chunk.bytes.len() as u64;
+        records_sent += 1;
+        driver.pending.push_back((sent, Instant::now()));
+        while let Some(event) = session.try_event() {
+            driver.on_event(event)?;
+        }
+    }
+    for &key in &keys {
+        session.end_flow(key)?;
+    }
+    session.end()?;
+    let done = loop {
+        if let Some(done) = driver.done.take() {
+            break done;
+        }
+        match session.next_event() {
+            Some(event) => driver.on_event(event)?,
+            None => return Err(ServerError::Disconnected),
+        }
+    };
+    let elapsed = start.elapsed();
+    Ok(ConnOutcome {
+        bytes_sent: sent,
+        records_sent,
+        payloads: driver.payloads,
+        control_updates: driver.control_updates,
+        wire_bytes: done.wire_bytes,
+        elapsed,
+        latency: driver.latency,
+        tenants: driver.tenants,
     })
 }
 
@@ -299,6 +453,47 @@ pub fn run_closed_loop(
     });
     drop(tx);
 
+    aggregate_outcomes(label, connections, rx)
+}
+
+/// Drives `mixes.len()` concurrent **multiplexed** connections (one
+/// [`ManyFlowsWorkload`] each, all of its flows on one socket) against
+/// `endpoint` and aggregates the outcome, including per-tenant totals.
+/// Connections share the tenant space but get disjoint flow-id ranges, so
+/// the per-tenant lines aggregate across sockets while no flow is ever
+/// claimed twice.
+pub fn run_multiplexed(
+    endpoint: &Endpoint,
+    config: &LoadConfig,
+    label: impl Into<String>,
+    mixes: Vec<ManyFlowsWorkload>,
+) -> ServerResult<LoadReport> {
+    assert!(!mixes.is_empty(), "multiplexed loop needs at least one mix");
+    let connections = mixes.len();
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        for (index, mix) in mixes.iter().enumerate() {
+            let tx = tx.clone();
+            let endpoint = endpoint.clone();
+            let config = config.clone();
+            let flow_base = (index as u64) << 32;
+            scope.spawn(move || {
+                let outcome = drive_multiplexed(&endpoint, &config, mix, flow_base);
+                drop(tx.send(outcome));
+            });
+        }
+    });
+    drop(tx);
+    aggregate_outcomes(label, connections, rx)
+}
+
+/// Folds per-connection outcomes into one [`LoadReport`].
+fn aggregate_outcomes(
+    label: impl Into<String>,
+    connections: usize,
+    rx: mpsc::Receiver<ServerResult<ConnOutcome>>,
+) -> ServerResult<LoadReport> {
+    let mut tenants: BTreeMap<u64, TenantLine> = BTreeMap::new();
     let mut report = LoadReport {
         workload: label.into(),
         connections,
@@ -309,6 +504,7 @@ pub fn run_closed_loop(
         wire_bytes: 0,
         elapsed: Duration::ZERO,
         latency: LatencyHistogram::new(),
+        tenants: Vec::new(),
     };
     for outcome in rx {
         let outcome = outcome?;
@@ -319,6 +515,14 @@ pub fn run_closed_loop(
         report.wire_bytes += outcome.wire_bytes;
         report.elapsed = report.elapsed.max(outcome.elapsed);
         report.latency.merge(&outcome.latency);
+        for (tenant, line) in outcome.tenants {
+            let entry = tenants.entry(tenant).or_default();
+            entry.tenant = tenant;
+            entry.flows += line.flows;
+            entry.bytes_in += line.bytes_in;
+            entry.wire_bytes += line.wire_bytes;
+        }
     }
+    report.tenants = tenants.into_values().collect();
     Ok(report)
 }

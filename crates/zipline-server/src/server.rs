@@ -3,18 +3,35 @@
 //!
 //! # Connection lifecycle
 //!
-//! Every accepted connection serves exactly one stream:
+//! An accepted connection serves either **one stream** (the classic path)
+//! or, when the client's hello sets the multiplex flag, **many flows over
+//! one socket** (the [`zipline_flow`] path):
 //!
 //! 1. The client opens with `CLIENT_HELLO` (stream id + replay cursor).
 //! 2. The server builds one engine for the stream — durable under
-//!    `<root>/stream-<id>` when [`HostPathConfig::durable`] is set — answers
-//!    with `SERVER_HELLO`, replays any committed journal entries past the
-//!    client's cursor, and streams synthesized `RESEED` installs when the
-//!    journal was compacted away.
+//!    `<root>/tenant-<id>/stream-<id>` when [`HostPathConfig::durable`] is
+//!    set — answers with `SERVER_HELLO`, replays any committed journal
+//!    entries past the client's cursor, and streams synthesized `RESEED`
+//!    installs when the journal was compacted away.
 //! 3. `DATA` records feed a [`PipelinedStream`]; every emitted payload and
 //!    control update is framed and handed to the **ordered writer** (below).
 //! 4. `END` (or a graceful server shutdown) drains in-flight batches,
 //!    commits, compacts the journal, and answers with `DONE`.
+//!
+//! # Multiplexed connections
+//!
+//! With the multiplex flag, the connection carries a [`FlowRouter`]: every
+//! `FLOW_OPEN` places one flow onto its tenant's partition pool (own engine,
+//! own dictionary namespace, own durable directory), `FLOW_DATA` records
+//! route by flow key, and every emission leaves flow-tagged
+//! (`FLOW_PAYLOAD`/`FLOW_CONTROL`). The single ordered writer preserves each
+//! flow's controls-strictly-before-dependent-payloads invariant because the
+//! router drains emissions in order. `FLOW_END` finishes one flow
+//! (`FLOW_DONE` answers); connection `END` or a graceful shutdown finishes
+//! the remaining flows in sorted key order and answers with an aggregate
+//! `DONE`. Flow keys live in the same server-wide active set as classic
+//! streams (which occupy tenant 0), so a flow can be served by at most one
+//! connection at a time.
 //!
 //! # Ordered writer and backpressure
 //!
@@ -56,8 +73,9 @@ use std::time::Duration;
 use zipline::host::HostPathConfig;
 use zipline_engine::{
     CommittedEntry, CompressionBackend, CompressionEngine, DictionaryUpdate, EngineError,
-    GdBackend, PipelinedStream, UpdateOp,
+    GdBackend, PipelinedStream, StreamSummary,
 };
+use zipline_flow::{flow_dir, FlowError, FlowEvent, FlowKey, FlowRouter, FlowRouterConfig};
 use zipline_gd::packet::PacketType;
 
 use crate::error::{ServerError, ServerResult};
@@ -109,9 +127,12 @@ impl ServerConfig {
     }
 }
 
-/// Durable directory of one stream under the configured root.
+/// Durable directory of one classic (single-stream-per-connection) stream
+/// under the configured root. Classic streams occupy tenant 0 of the
+/// tenant-scoped layout, so a stream created before multiplexing can be
+/// reopened as tenant 0's flow of the same id and vice versa.
 pub fn stream_dir(root: &Path, stream_id: u64) -> PathBuf {
-    root.join(format!("stream-{stream_id:016x}"))
+    flow_dir(root, FlowKey::new(0, stream_id))
 }
 
 /// Monotonic counters the server keeps; snapshot via [`ServerHandle::stats`].
@@ -184,7 +205,7 @@ struct Shared {
     stop: AtomicBool,
     abort: AtomicBool,
     stats: ServerStats,
-    active_streams: Mutex<HashSet<u64>>,
+    active_streams: Mutex<HashSet<FlowKey>>,
     conns: Mutex<Vec<(Conn, JoinHandle<()>)>>,
     errors: Mutex<Vec<String>>,
 }
@@ -362,15 +383,45 @@ where
     }
 }
 
-/// Removes the stream id from the active set on every exit path.
-struct StreamGuard {
+/// Connection-scoped claim on flow keys in the server-wide active set:
+/// every key registered here is released on every exit path, so a dead
+/// connection never wedges its flows.
+struct FlowSetGuard {
     shared: Arc<Shared>,
-    stream_id: u64,
+    keys: Vec<FlowKey>,
 }
 
-impl Drop for StreamGuard {
+impl FlowSetGuard {
+    fn new(shared: Arc<Shared>) -> Self {
+        Self {
+            shared,
+            keys: Vec::new(),
+        }
+    }
+
+    /// Claims `key`; false when another connection is already serving it.
+    fn register(&mut self, key: FlowKey) -> bool {
+        if lock_unpoisoned(&self.shared.active_streams).insert(key) {
+            self.keys.push(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `key` early (its flow finished while the connection lives).
+    fn release(&mut self, key: FlowKey) {
+        lock_unpoisoned(&self.shared.active_streams).remove(&key);
+        self.keys.retain(|k| *k != key);
+    }
+}
+
+impl Drop for FlowSetGuard {
     fn drop(&mut self) {
-        lock_unpoisoned(&self.shared.active_streams).remove(&self.stream_id);
+        let mut active = lock_unpoisoned(&self.shared.active_streams);
+        for key in &self.keys {
+            active.remove(key);
+        }
     }
 }
 
@@ -402,24 +453,30 @@ where
         }
     };
 
-    {
-        let mut active = lock_unpoisoned(&shared.active_streams);
-        if !active.insert(hello.stream_id) {
-            report_failure(
-                &shared,
-                &conn,
-                &ServerError::Protocol(format!(
-                    "stream {:#x} is already being served on another connection",
-                    hello.stream_id
-                )),
-            );
-            return;
+    if hello.multiplex {
+        if let Err(e) = serve_flows::<B>(&shared, &conn, &mut reader) {
+            // A deliberate abort is a staged crash, not a failure to report.
+            if !shared.abort.load(Ordering::SeqCst) {
+                report_failure(&shared, &conn, &e);
+            }
         }
+        return;
     }
-    let _guard = StreamGuard {
-        shared: Arc::clone(&shared),
-        stream_id: hello.stream_id,
-    };
+
+    // Classic streams occupy tenant 0 of the flow-key space, sharing the
+    // active set with multiplexed flows.
+    let mut guard = FlowSetGuard::new(Arc::clone(&shared));
+    if !guard.register(FlowKey::new(0, hello.stream_id)) {
+        report_failure(
+            &shared,
+            &conn,
+            &ServerError::Protocol(format!(
+                "stream {:#x} is already being served on another connection",
+                hello.stream_id
+            )),
+        );
+        return;
+    }
 
     if let Err(e) = serve_stream::<B>(&shared, &conn, &mut reader, &hello) {
         // A deliberate abort is a staged crash, not a failure to report.
@@ -450,78 +507,37 @@ struct ResumePlan {
     reseed: Vec<DictionaryUpdate>,
 }
 
+/// Maps a flow-layer error onto the server's error type: engine failures
+/// stay typed, everything else is a protocol violation by the client.
+fn flow_error(error: FlowError) -> ServerError {
+    match error {
+        FlowError::Engine(e) => ServerError::Engine(e),
+        other => ServerError::Protocol(other.to_string()),
+    }
+}
+
+/// Renders a flow resume plan as the wire hello announcing it.
+fn resume_hello(resume: &zipline_flow::FlowResume) -> ServerHello {
+    ServerHello {
+        resume_bytes_in: resume.resume_bytes_in,
+        replay_entries: resume.replay.len() as u64,
+        reseed_entries: resume.reseed.len() as u64,
+        warm: resume.warm,
+    }
+}
+
 fn resume_plan<B: CompressionBackend>(
     engine: &mut CompressionEngine<B>,
     client: &ClientHello,
 ) -> ServerResult<ResumePlan> {
-    let warm = engine.take_warm_start();
-    let held = client.entries_held as usize;
-    match warm {
-        None => {
-            if held != 0 {
-                return Err(ServerError::Protocol(format!(
-                    "client holds {held} entries but the stream has no durable state"
-                )));
-            }
-            Ok(ResumePlan {
-                hello: ServerHello {
-                    resume_bytes_in: 0,
-                    replay_entries: 0,
-                    reseed_entries: 0,
-                    warm: false,
-                },
-                replay: Vec::new(),
-                reseed: Vec::new(),
-            })
-        }
-        Some(warm) => {
-            if held > warm.committed.len() {
-                return Err(ServerError::Protocol(format!(
-                    "client holds {held} entries but the journal carries only {}",
-                    warm.committed.len()
-                )));
-            }
-            let replay: Vec<CommittedEntry> = warm.committed.into_iter().skip(held).collect();
-            // A compacted journal (clean finish, then reconnect from zero)
-            // carries no entries; the dictionary still exists, so a fresh
-            // client is synced by synthesized installs instead of replay.
-            let reseed = if held == 0 && replay.is_empty() {
-                reseed_updates(engine)
-            } else {
-                Vec::new()
-            };
-            Ok(ResumePlan {
-                hello: ServerHello {
-                    resume_bytes_in: warm.bytes_in,
-                    replay_entries: replay.len() as u64,
-                    reseed_entries: reseed.len() as u64,
-                    warm: true,
-                },
-                replay,
-                reseed,
-            })
-        }
-    }
-}
-
-/// Synthesizes `Install` updates for every live mapping, ordered by
-/// identifier. `seq`/`at` are advisory (the journal they summarize was
-/// compacted away); the `RESEED` record kind marks them as such.
-fn reseed_updates<B: CompressionBackend>(engine: &CompressionEngine<B>) -> Vec<DictionaryUpdate> {
-    let Some(snapshot) = engine.backend().snapshot() else {
-        return Vec::new();
-    };
-    let mut entries = snapshot.entries;
-    entries.sort_by_key(|(id, _)| *id);
-    entries
-        .into_iter()
-        .enumerate()
-        .map(|(i, (id, basis))| DictionaryUpdate {
-            seq: i as u64,
-            at: 0,
-            op: UpdateOp::Install { id, basis },
-        })
-        .collect()
+    // The warm-start arithmetic (cursor validation, replay tail, reseed
+    // synthesis) is shared with the multiplexed path via the flow layer.
+    let resume = zipline_flow::plan_resume(engine, client.entries_held).map_err(flow_error)?;
+    Ok(ResumePlan {
+        hello: resume_hello(&resume),
+        replay: resume.replay,
+        reseed: resume.reseed,
+    })
 }
 
 fn serve_stream<B>(
@@ -723,6 +739,334 @@ where
 
     // Close the channel (the sinks' clones died with the stream) and let
     // the writer drain what was queued before it exits.
+    drop(tx);
+    drop(writer.join());
+    result
+}
+
+/// Renders one finished flow's stream totals as a wire `DONE` body.
+fn flow_done(summary: &StreamSummary, server_initiated: bool) -> DoneSummary {
+    DoneSummary {
+        bytes_in: summary.bytes_in,
+        payloads_emitted: summary.payloads_emitted,
+        wire_bytes: summary.wire_bytes,
+        compressed_payloads: summary.compressed_payloads,
+        control_updates: summary.control_updates,
+        server_initiated,
+    }
+}
+
+/// Frames every tagged emission the router queued since the last drain and
+/// hands the frames to the ordered writer, preserving emission order (per
+/// flow: controls strictly before the payloads that need them).
+fn frame_flow_events(
+    shared: &Shared,
+    codec: &mut WireCodec,
+    events: Vec<FlowEvent>,
+    tx: &mpsc::SyncSender<Vec<u8>>,
+    writer_failed: &AtomicBool,
+) -> ServerResult<()> {
+    for event in events {
+        let frame = match &event {
+            FlowEvent::Payload {
+                key,
+                packet_type,
+                bytes,
+            } => {
+                shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
+                codec.encode_flow_payload(*key, *packet_type, bytes)
+            }
+            FlowEvent::Control { key, update } => {
+                shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
+                codec.encode_flow_control(*key, update)
+            }
+        };
+        shared
+            .stats
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        if tx.send(frame).is_err() || writer_failed.load(Ordering::Relaxed) {
+            return Err(ServerError::Disconnected);
+        }
+    }
+    Ok(())
+}
+
+/// Serves a multiplexed connection: one [`FlowRouter`] carrying many
+/// tenant-scoped flows over one socket. See the module docs for the
+/// lifecycle; error and shutdown semantics mirror [`serve_stream`] (an
+/// error path drops the router, abandoning every flow at its last commit
+/// boundary — crash semantics for the durable stores).
+fn serve_flows<B>(
+    shared: &Arc<Shared>,
+    conn: &Conn,
+    reader: &mut RecordReader<Conn>,
+) -> ServerResult<()>
+where
+    B: CompressionBackend + Send + 'static,
+{
+    let config = &shared.config;
+    let host = &config.host;
+    let mut flow_config = FlowRouterConfig::new(host.engine);
+    flow_config.batch_units = host.batch_chunks;
+    flow_config.live_sync = host.live_sync;
+    flow_config.pipeline_depth = host.pipeline_depth.unwrap_or(2);
+    flow_config.durable_root = host.durable.clone();
+    flow_config.checkpoint_cadence = host.checkpoint_cadence;
+    flow_config.sync = host.sync;
+    let mut router: FlowRouter<B> = FlowRouter::new(flow_config).map_err(flow_error)?;
+
+    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(config.writer_depth.max(1));
+    let writer_failed = Arc::new(AtomicBool::new(false));
+    let writer_conn = conn.try_clone()?;
+    let writer = {
+        let failed = Arc::clone(&writer_failed);
+        thread::Builder::new()
+            .name("zipline-writer".into())
+            .spawn(move || run_writer(writer_conn, rx, failed))
+            .map_err(|e| ServerError::io("spawning writer thread", e))?
+    };
+
+    let mut codec = WireCodec::new();
+    let mut guard = FlowSetGuard::new(Arc::clone(shared));
+    // Running totals across finished flows for the aggregate `DONE`.
+    let mut agg = DoneSummary {
+        bytes_in: 0,
+        payloads_emitted: 0,
+        wire_bytes: 0,
+        compressed_payloads: 0,
+        control_updates: 0,
+        server_initiated: false,
+    };
+    let absorb = |agg: &mut DoneSummary, summary: &StreamSummary| {
+        agg.bytes_in += summary.bytes_in;
+        agg.payloads_emitted += summary.payloads_emitted;
+        agg.wire_bytes += summary.wire_bytes;
+        agg.compressed_payloads += summary.compressed_payloads;
+        agg.control_updates += summary.control_updates;
+    };
+    let send = |shared: &Shared,
+                tx: &mpsc::SyncSender<Vec<u8>>,
+                failed: &AtomicBool,
+                frame: Vec<u8>|
+     -> ServerResult<()> {
+        shared
+            .stats
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        if tx.send(frame).is_err() || failed.load(Ordering::Relaxed) {
+            return Err(ServerError::Disconnected);
+        }
+        Ok(())
+    };
+
+    // Connection-level acknowledgement: no stream opens with the hello on a
+    // multiplexed connection, so the resume fields are all zero.
+    {
+        let frame = codec.encode(&Record::ServerHello(ServerHello {
+            resume_bytes_in: 0,
+            replay_entries: 0,
+            reseed_entries: 0,
+            warm: false,
+        }));
+        send(shared, &tx, &writer_failed, frame)?;
+    }
+
+    // Ok(true): the client ended the connection; Ok(false): the read half
+    // closed under a graceful shutdown — both finish the remaining flows.
+    let outcome: ServerResult<bool> = loop {
+        match reader.read_record() {
+            Ok(Some(Record::FlowOpen { key, entries_held })) => {
+                if !guard.register(key) {
+                    break Err(ServerError::Protocol(format!(
+                        "{key} is already being served on another connection"
+                    )));
+                }
+                let resume = match router.open_flow(key, entries_held) {
+                    Ok(resume) => resume,
+                    Err(e) => break Err(flow_error(e)),
+                };
+                let opened = codec.encode(&Record::FlowOpened {
+                    key,
+                    resume: resume_hello(&resume),
+                });
+                if let Err(e) = send(shared, &tx, &writer_failed, opened) {
+                    break Err(e);
+                }
+                // Replay and reseed stay tagged so interleaved flows never
+                // bleed into each other's decoders.
+                let mut failed = None;
+                for entry in &resume.replay {
+                    let frame = match entry {
+                        CommittedEntry::Frame { packet_type, bytes } => {
+                            shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
+                            codec.encode_flow_payload(key, *packet_type, bytes)
+                        }
+                        CommittedEntry::Control(update) => {
+                            shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
+                            codec.encode_flow_control(key, update)
+                        }
+                    };
+                    shared
+                        .stats
+                        .replayed_entries
+                        .fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = send(shared, &tx, &writer_failed, frame) {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                if failed.is_none() {
+                    for update in &resume.reseed {
+                        let frame = codec.encode(&Record::FlowReseed {
+                            key,
+                            update: update.clone(),
+                        });
+                        shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
+                        if let Err(e) = send(shared, &tx, &writer_failed, frame) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    break Err(e);
+                }
+            }
+            Ok(Some(Record::FlowData { key, bytes })) => {
+                shared.stats.records_in.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .bytes_in
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                if let Err(e) = router.push(key, &bytes) {
+                    break Err(flow_error(e));
+                }
+                if let Err(e) = frame_flow_events(
+                    shared,
+                    &mut codec,
+                    router.drain_events(),
+                    &tx,
+                    &writer_failed,
+                ) {
+                    break Err(e);
+                }
+            }
+            Ok(Some(Record::FlowEnd { key })) => {
+                let finished = match router.end_flow(key) {
+                    Ok(finished) => finished,
+                    Err(e) => break Err(flow_error(e)),
+                };
+                if let Err(e) = frame_flow_events(
+                    shared,
+                    &mut codec,
+                    router.drain_events(),
+                    &tx,
+                    &writer_failed,
+                ) {
+                    break Err(e);
+                }
+                guard.release(key);
+                absorb(&mut agg, &finished.summary);
+                shared
+                    .stats
+                    .streams_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = codec.encode(&Record::FlowDone {
+                    key,
+                    summary: flow_done(&finished.summary, false),
+                });
+                if let Err(e) = send(shared, &tx, &writer_failed, frame) {
+                    break Err(e);
+                }
+            }
+            Ok(Some(Record::End)) => break Ok(true),
+            Ok(Some(other)) => {
+                break Err(ServerError::Protocol(format!(
+                    "unexpected {} record on a multiplexed connection",
+                    other.kind_name()
+                )))
+            }
+            Ok(None) => {
+                if shared.abort.load(Ordering::SeqCst) {
+                    break Err(ServerError::Disconnected);
+                }
+                // EOF at a record boundary: finish what is whole (see
+                // serve_stream).
+                break Ok(false);
+            }
+            Err(WireError::Truncated) if shared.stop.load(Ordering::SeqCst) => {
+                if shared.abort.load(Ordering::SeqCst) {
+                    break Err(ServerError::Disconnected);
+                }
+                break Ok(false);
+            }
+            Err(e) => break Err(e.into()),
+        }
+    };
+
+    let result = match outcome {
+        Ok(client_ended) => {
+            // Finish the remaining flows in sorted key order (deterministic
+            // drain), then answer with the aggregate totals.
+            let mut finish_result = Ok(());
+            for key in router.active_keys() {
+                let finished = match router.end_flow(key) {
+                    Ok(finished) => finished,
+                    Err(e) => {
+                        finish_result = Err(flow_error(e));
+                        break;
+                    }
+                };
+                if let Err(e) = frame_flow_events(
+                    shared,
+                    &mut codec,
+                    router.drain_events(),
+                    &tx,
+                    &writer_failed,
+                ) {
+                    finish_result = Err(e);
+                    break;
+                }
+                guard.release(key);
+                absorb(&mut agg, &finished.summary);
+                shared
+                    .stats
+                    .streams_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = codec.encode(&Record::FlowDone {
+                    key,
+                    summary: flow_done(&finished.summary, true),
+                });
+                if let Err(e) = send(shared, &tx, &writer_failed, frame) {
+                    finish_result = Err(e);
+                    break;
+                }
+            }
+            match finish_result {
+                Ok(()) => {
+                    agg.server_initiated = !client_ended;
+                    let frame = codec.encode(&Record::Done(agg));
+                    shared
+                        .stats
+                        .bytes_out
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    drop(tx.send(frame));
+                    Ok(())
+                }
+                Err(e) => {
+                    // Abandon whatever did not finish — crash semantics.
+                    drop(router);
+                    Err(e)
+                }
+            }
+        }
+        Err(e) => {
+            drop(router);
+            Err(e)
+        }
+    };
+
     drop(tx);
     drop(writer.join());
     result

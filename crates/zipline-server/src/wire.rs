@@ -22,9 +22,12 @@
 //!
 //! | kind   | record                                            |
 //! |--------|---------------------------------------------------|
-//! | `0x41` | [`ClientHello`] — magic `ZLRQ`, version, stream id, replay cursor |
+//! | `0x41` | [`ClientHello`] — magic `ZLRQ`, version, stream id, replay cursor, multiplex flag |
 //! | `0x42` | `Data` — raw input record bytes for the engine    |
 //! | `0x43` | `End` — clean end of stream (drain + commit)      |
+//! | `0x44` | `FlowOpen` — open one flow on a multiplexed connection (key + replay cursor) |
+//! | `0x45` | `FlowData` — raw input record bytes for one flow  |
+//! | `0x46` | `FlowEnd` — clean end of one flow                 |
 //!
 //! Server → client:
 //!
@@ -36,6 +39,17 @@
 //! | `0x54` | `Done` — stream summary, closes the journal epoch |
 //! | `0x55` | `Error` — typed failure, connection closes after  |
 //! | `0x56` | `Reseed` — synthesized dictionary install for a compacted journal (advisory; not part of the replay cursor) |
+//! | `0x57` | `FlowOpened` — per-flow resume plan (the flow's `ServerHello`) |
+//! | `0x58` | `FlowPayload` — one wire payload of one flow      |
+//! | `0x59` | `FlowControl` — one committed dictionary update of one flow |
+//! | `0x5A` | `FlowReseed` — synthesized install of one flow (compacted journal) |
+//! | `0x5B` | `FlowDone` — one flow's summary, closes its journal epoch |
+//!
+//! The `Flow*` kinds (wire version 2) multiplex many flows over one
+//! connection: each carries a [`FlowKey`] tag ahead of the same body its
+//! single-stream counterpart uses, so per flow the record sequence — and
+//! in particular the controls-strictly-before-data interleaving — is
+//! exactly the single-stream protocol's.
 //!
 //! The body encodings for dictionary updates mirror the store's
 //! `put_update`/`read_update` byte-for-byte so a journal replay is a straight
@@ -44,12 +58,14 @@
 use std::fmt;
 use std::io::{self, Read};
 
-use zipline_engine::{DictionaryUpdate, UpdateOp};
+use zipline_engine::{DictionaryUpdate, FlowKey, UpdateOp};
 use zipline_gd::packet::PacketType;
 use zipline_gd::{BitVec, CrcEngine, CrcSpec};
 
-/// Wire protocol version spoken by this crate.
-pub const WIRE_VERSION: u16 = 1;
+/// Wire protocol version spoken by this crate. Version 2 added the
+/// multiplex flag to [`ClientHello`] and the flow-tagged record kinds;
+/// version-1 peers are rejected with a typed `ERROR` record.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on a single record's payload bytes; anything larger is
 /// rejected before buffering (a 4-byte length field must not become a
@@ -64,12 +80,20 @@ pub const RESPONSE_MAGIC: [u8; 4] = *b"ZLRS";
 const KIND_CLIENT_HELLO: u8 = 0x41;
 const KIND_DATA: u8 = 0x42;
 const KIND_END: u8 = 0x43;
+const KIND_FLOW_OPEN: u8 = 0x44;
+const KIND_FLOW_DATA: u8 = 0x45;
+const KIND_FLOW_END: u8 = 0x46;
 const KIND_SERVER_HELLO: u8 = 0x51;
 const KIND_PAYLOAD: u8 = 0x52;
 const KIND_CONTROL: u8 = 0x53;
 const KIND_DONE: u8 = 0x54;
 const KIND_ERROR: u8 = 0x55;
 const KIND_RESEED: u8 = 0x56;
+const KIND_FLOW_OPENED: u8 = 0x57;
+const KIND_FLOW_PAYLOAD: u8 = 0x58;
+const KIND_FLOW_CONTROL: u8 = 0x59;
+const KIND_FLOW_RESEED: u8 = 0x5A;
+const KIND_FLOW_DONE: u8 = 0x5B;
 
 /// Decoding failure; every variant is terminal for the connection.
 #[derive(Debug)]
@@ -129,6 +153,10 @@ pub struct ClientHello {
     /// Replay cursor: payload + control records the client has received since
     /// the stream's last `Done` (i.e. within the current journal epoch).
     pub entries_held: u64,
+    /// Wire version 2: when set the connection is multiplexed — the
+    /// `stream_id`/`entries_held` fields are ignored and flows open
+    /// individually via `FlowOpen` records.
+    pub multiplex: bool,
 }
 
 /// First record on every connection, server → client.
@@ -172,6 +200,26 @@ pub enum Record {
     Data(Vec<u8>),
     /// `0x43`: clean end of stream.
     End,
+    /// `0x44`: opens one flow on a multiplexed connection; `entries_held`
+    /// is the flow's replay cursor, exactly as on a [`ClientHello`].
+    FlowOpen {
+        /// The flow being opened.
+        key: FlowKey,
+        /// The flow's replay cursor.
+        entries_held: u64,
+    },
+    /// `0x45`: raw input record bytes for one flow.
+    FlowData {
+        /// The owning flow.
+        key: FlowKey,
+        /// The record bytes.
+        bytes: Vec<u8>,
+    },
+    /// `0x46`: clean end of one flow (drain + commit, `FlowDone` follows).
+    FlowEnd {
+        /// The flow being ended.
+        key: FlowKey,
+    },
     /// `0x51`: connection opener, server → client.
     ServerHello(ServerHello),
     /// `0x52`: one compressed/uncompressed/raw wire payload.
@@ -189,6 +237,43 @@ pub enum Record {
     Done(DoneSummary),
     /// `0x55`: typed failure; the connection closes after this record.
     Error(String),
+    /// `0x57`: per-flow resume plan — the flow's [`ServerHello`], tagged.
+    FlowOpened {
+        /// The opened flow.
+        key: FlowKey,
+        /// The flow's resume plan (same fields as a connection hello).
+        resume: ServerHello,
+    },
+    /// `0x58`: one wire payload of one flow.
+    FlowPayload {
+        /// The owning flow.
+        key: FlowKey,
+        /// ZipLine packet type of the payload.
+        packet_type: PacketType,
+        /// Payload bytes exactly as the backend emitted them.
+        bytes: Vec<u8>,
+    },
+    /// `0x59`: one committed dictionary update of one flow (live sync).
+    FlowControl {
+        /// The owning flow.
+        key: FlowKey,
+        /// The tagged update.
+        update: DictionaryUpdate,
+    },
+    /// `0x5A`: synthesized install of one flow (compacted journal).
+    FlowReseed {
+        /// The owning flow.
+        key: FlowKey,
+        /// The synthesized update.
+        update: DictionaryUpdate,
+    },
+    /// `0x5B`: one flow's summary; closes the flow's journal epoch.
+    FlowDone {
+        /// The finished flow.
+        key: FlowKey,
+        /// The flow's stream totals.
+        summary: DoneSummary,
+    },
 }
 
 impl Record {
@@ -204,6 +289,14 @@ impl Record {
             Record::Reseed(_) => "RESEED",
             Record::Done(_) => "DONE",
             Record::Error(_) => "ERROR",
+            Record::FlowOpen { .. } => "FLOW_OPEN",
+            Record::FlowData { .. } => "FLOW_DATA",
+            Record::FlowEnd { .. } => "FLOW_END",
+            Record::FlowOpened { .. } => "FLOW_OPENED",
+            Record::FlowPayload { .. } => "FLOW_PAYLOAD",
+            Record::FlowControl { .. } => "FLOW_CONTROL",
+            Record::FlowReseed { .. } => "FLOW_RESEED",
+            Record::FlowDone { .. } => "FLOW_DONE",
         }
     }
 }
@@ -223,6 +316,11 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn put_bitvec(buf: &mut Vec<u8>, bits: &BitVec) {
     put_u32(buf, bits.len() as u32);
     buf.extend_from_slice(&bits.to_bytes());
+}
+
+fn put_flow_key(buf: &mut Vec<u8>, key: FlowKey) {
+    put_u64(buf, key.tenant);
+    put_u64(buf, key.flow);
 }
 
 /// Serializes a dictionary update exactly like the store's `put_update`.
@@ -320,6 +418,13 @@ impl<'a> BodyReader<'a> {
     }
 }
 
+fn read_flow_key(r: &mut BodyReader<'_>) -> Result<FlowKey, WireError> {
+    Ok(FlowKey {
+        tenant: r.u64()?,
+        flow: r.u64()?,
+    })
+}
+
 fn read_update(r: &mut BodyReader<'_>) -> Result<DictionaryUpdate, WireError> {
     let seq = r.u64()?;
     let at = r.u64()?;
@@ -392,12 +497,27 @@ impl WireCodec {
                 put_u16(body, WIRE_VERSION);
                 put_u64(body, h.stream_id);
                 put_u64(body, h.entries_held);
+                body.push(u8::from(h.multiplex));
             }
             Record::Data(bytes) => {
                 body.push(KIND_DATA);
                 body.extend_from_slice(bytes);
             }
             Record::End => body.push(KIND_END),
+            Record::FlowOpen { key, entries_held } => {
+                body.push(KIND_FLOW_OPEN);
+                put_flow_key(body, *key);
+                put_u64(body, *entries_held);
+            }
+            Record::FlowData { key, bytes } => {
+                body.push(KIND_FLOW_DATA);
+                put_flow_key(body, *key);
+                body.extend_from_slice(bytes);
+            }
+            Record::FlowEnd { key } => {
+                body.push(KIND_FLOW_END);
+                put_flow_key(body, *key);
+            }
             Record::ServerHello(h) => {
                 body.push(KIND_SERVER_HELLO);
                 body.extend_from_slice(&RESPONSE_MAGIC);
@@ -433,6 +553,45 @@ impl WireCodec {
             Record::Error(message) => {
                 body.push(KIND_ERROR);
                 body.extend_from_slice(message.as_bytes());
+            }
+            Record::FlowOpened { key, resume } => {
+                body.push(KIND_FLOW_OPENED);
+                put_flow_key(body, *key);
+                put_u64(body, resume.resume_bytes_in);
+                put_u64(body, resume.replay_entries);
+                put_u64(body, resume.reseed_entries);
+                body.push(u8::from(resume.warm));
+            }
+            Record::FlowPayload {
+                key,
+                packet_type,
+                bytes,
+            } => {
+                body.push(KIND_FLOW_PAYLOAD);
+                put_flow_key(body, *key);
+                body.push(packet_type.number());
+                put_u32(body, bytes.len() as u32);
+                body.extend_from_slice(bytes);
+            }
+            Record::FlowControl { key, update } => {
+                body.push(KIND_FLOW_CONTROL);
+                put_flow_key(body, *key);
+                put_update(body, update);
+            }
+            Record::FlowReseed { key, update } => {
+                body.push(KIND_FLOW_RESEED);
+                put_flow_key(body, *key);
+                put_update(body, update);
+            }
+            Record::FlowDone { key, summary } => {
+                body.push(KIND_FLOW_DONE);
+                put_flow_key(body, *key);
+                put_u64(body, summary.bytes_in);
+                put_u64(body, summary.payloads_emitted);
+                put_u64(body, summary.wire_bytes);
+                put_u64(body, summary.compressed_payloads);
+                put_u64(body, summary.control_updates);
+                body.push(u8::from(summary.server_initiated));
             }
         }
         debug_assert!(!body.is_empty() && body.len() <= MAX_WIRE_RECORD_BYTES);
@@ -474,6 +633,42 @@ impl WireCodec {
         self.scratch.clear();
         self.scratch.push(KIND_CONTROL);
         put_update(&mut self.scratch, update);
+        self.seal()
+    }
+
+    /// Frames a `FlowPayload` record straight from a borrowed byte slice
+    /// (the multiplexed hot path).
+    pub fn encode_flow_payload(
+        &mut self,
+        key: FlowKey,
+        packet_type: PacketType,
+        bytes: &[u8],
+    ) -> Vec<u8> {
+        self.scratch.clear();
+        let body = &mut self.scratch;
+        body.push(KIND_FLOW_PAYLOAD);
+        put_flow_key(body, key);
+        body.push(packet_type.number());
+        put_u32(body, bytes.len() as u32);
+        body.extend_from_slice(bytes);
+        self.seal()
+    }
+
+    /// Frames a `FlowControl` record straight from a borrowed update.
+    pub fn encode_flow_control(&mut self, key: FlowKey, update: &DictionaryUpdate) -> Vec<u8> {
+        self.scratch.clear();
+        self.scratch.push(KIND_FLOW_CONTROL);
+        put_flow_key(&mut self.scratch, key);
+        put_update(&mut self.scratch, update);
+        self.seal()
+    }
+
+    /// Frames a `FlowData` record straight from a borrowed byte slice.
+    pub fn encode_flow_data(&mut self, key: FlowKey, bytes: &[u8]) -> Vec<u8> {
+        self.scratch.clear();
+        self.scratch.push(KIND_FLOW_DATA);
+        put_flow_key(&mut self.scratch, key);
+        self.scratch.extend_from_slice(bytes);
         self.seal()
     }
 
@@ -535,6 +730,7 @@ impl WireCodec {
                 let hello = ClientHello {
                     stream_id: r.u64()?,
                     entries_held: r.u64()?,
+                    multiplex: r.u8()? != 0,
                 };
                 r.finish()?;
                 Ok(Record::ClientHello(hello))
@@ -543,6 +739,25 @@ impl WireCodec {
             KIND_END => {
                 BodyReader::new(body, "END").finish()?;
                 Ok(Record::End)
+            }
+            KIND_FLOW_OPEN => {
+                let mut r = BodyReader::new(body, "FLOW_OPEN");
+                let key = read_flow_key(&mut r)?;
+                let entries_held = r.u64()?;
+                r.finish()?;
+                Ok(Record::FlowOpen { key, entries_held })
+            }
+            KIND_FLOW_DATA => {
+                let mut r = BodyReader::new(body, "FLOW_DATA");
+                let key = read_flow_key(&mut r)?;
+                let bytes = r.rest().to_vec();
+                Ok(Record::FlowData { key, bytes })
+            }
+            KIND_FLOW_END => {
+                let mut r = BodyReader::new(body, "FLOW_END");
+                let key = read_flow_key(&mut r)?;
+                r.finish()?;
+                Ok(Record::FlowEnd { key })
             }
             KIND_SERVER_HELLO => {
                 let mut r = BodyReader::new(body, "SERVER_HELLO");
@@ -601,6 +816,59 @@ impl WireCodec {
                 let message = String::from_utf8(bytes.to_vec())
                     .map_err(|_| WireError::Malformed("ERROR: message is not UTF-8".into()))?;
                 Ok(Record::Error(message))
+            }
+            KIND_FLOW_OPENED => {
+                let mut r = BodyReader::new(body, "FLOW_OPENED");
+                let key = read_flow_key(&mut r)?;
+                let resume = ServerHello {
+                    resume_bytes_in: r.u64()?,
+                    replay_entries: r.u64()?,
+                    reseed_entries: r.u64()?,
+                    warm: r.u8()? != 0,
+                };
+                r.finish()?;
+                Ok(Record::FlowOpened { key, resume })
+            }
+            KIND_FLOW_PAYLOAD => {
+                let mut r = BodyReader::new(body, "FLOW_PAYLOAD");
+                let key = read_flow_key(&mut r)?;
+                let packet_type = packet_type_from(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                r.finish()?;
+                Ok(Record::FlowPayload {
+                    key,
+                    packet_type,
+                    bytes,
+                })
+            }
+            KIND_FLOW_CONTROL => {
+                let mut r = BodyReader::new(body, "FLOW_CONTROL");
+                let key = read_flow_key(&mut r)?;
+                let update = read_update(&mut r)?;
+                r.finish()?;
+                Ok(Record::FlowControl { key, update })
+            }
+            KIND_FLOW_RESEED => {
+                let mut r = BodyReader::new(body, "FLOW_RESEED");
+                let key = read_flow_key(&mut r)?;
+                let update = read_update(&mut r)?;
+                r.finish()?;
+                Ok(Record::FlowReseed { key, update })
+            }
+            KIND_FLOW_DONE => {
+                let mut r = BodyReader::new(body, "FLOW_DONE");
+                let key = read_flow_key(&mut r)?;
+                let summary = DoneSummary {
+                    bytes_in: r.u64()?,
+                    payloads_emitted: r.u64()?,
+                    wire_bytes: r.u64()?,
+                    compressed_payloads: r.u64()?,
+                    control_updates: r.u64()?,
+                    server_initiated: r.u8()? != 0,
+                };
+                r.finish()?;
+                Ok(Record::FlowDone { key, summary })
             }
             other => Err(WireError::UnknownKind(other)),
         }
@@ -671,15 +939,32 @@ impl<R: Read> RecordReader<R> {
 mod tests {
     use super::*;
 
+    fn sample_key() -> FlowKey {
+        FlowKey {
+            tenant: 0xA1,
+            flow: 0xF700_0001,
+        }
+    }
+
     fn sample_records() -> Vec<Record> {
         vec![
             Record::ClientHello(ClientHello {
                 stream_id: 0xDEAD_BEEF,
                 entries_held: 7,
+                multiplex: true,
             }),
             Record::Data(vec![0u8; 32]),
             Record::Data((0..=255u8).collect()),
             Record::End,
+            Record::FlowOpen {
+                key: sample_key(),
+                entries_held: 11,
+            },
+            Record::FlowData {
+                key: sample_key(),
+                bytes: vec![5u8; 48],
+            },
+            Record::FlowEnd { key: sample_key() },
             Record::ServerHello(ServerHello {
                 resume_bytes_in: 8192,
                 replay_entries: 3,
@@ -712,6 +997,50 @@ mod tests {
                 server_initiated: true,
             }),
             Record::Error("engine exploded".into()),
+            Record::FlowOpened {
+                key: sample_key(),
+                resume: ServerHello {
+                    resume_bytes_in: 4096,
+                    replay_entries: 2,
+                    reseed_entries: 1,
+                    warm: true,
+                },
+            },
+            Record::FlowPayload {
+                key: sample_key(),
+                packet_type: PacketType::Uncompressed,
+                bytes: vec![6, 7, 8],
+            },
+            Record::FlowControl {
+                key: sample_key(),
+                update: DictionaryUpdate {
+                    seq: 13,
+                    at: 2,
+                    op: UpdateOp::Install {
+                        id: 5,
+                        basis: BitVec::from_bytes(&[0x0F, 0xF0]),
+                    },
+                },
+            },
+            Record::FlowReseed {
+                key: sample_key(),
+                update: DictionaryUpdate {
+                    seq: 1,
+                    at: 0,
+                    op: UpdateOp::Remove { id: 9 },
+                },
+            },
+            Record::FlowDone {
+                key: sample_key(),
+                summary: DoneSummary {
+                    bytes_in: 10,
+                    payloads_emitted: 20,
+                    wire_bytes: 30,
+                    compressed_payloads: 40,
+                    control_updates: 50,
+                    server_initiated: false,
+                },
+            },
         ]
     }
 
@@ -725,12 +1054,20 @@ mod tests {
             KIND_CLIENT_HELLO,
             KIND_DATA,
             KIND_END,
+            KIND_FLOW_OPEN,
+            KIND_FLOW_DATA,
+            KIND_FLOW_END,
             KIND_SERVER_HELLO,
             KIND_PAYLOAD,
             KIND_CONTROL,
             KIND_DONE,
             KIND_ERROR,
             KIND_RESEED,
+            KIND_FLOW_OPENED,
+            KIND_FLOW_PAYLOAD,
+            KIND_FLOW_CONTROL,
+            KIND_FLOW_RESEED,
+            KIND_FLOW_DONE,
         ];
         let mut codec = WireCodec::new();
         // The kind byte sits directly after the 4-byte length prefix.
@@ -820,12 +1157,75 @@ mod tests {
         );
         assert_eq!(
             codec.encode_control(&update),
-            codec.encode(&Record::Control(update))
+            codec.encode(&Record::Control(update.clone()))
         );
         assert_eq!(
             codec.encode_data(&[1, 2, 3]),
             codec.encode(&Record::Data(vec![1, 2, 3]))
         );
+        assert_eq!(
+            codec.encode_flow_payload(sample_key(), PacketType::Raw, &[4, 5]),
+            codec.encode(&Record::FlowPayload {
+                key: sample_key(),
+                packet_type: PacketType::Raw,
+                bytes: vec![4, 5],
+            })
+        );
+        assert_eq!(
+            codec.encode_flow_control(sample_key(), &update),
+            codec.encode(&Record::FlowControl {
+                key: sample_key(),
+                update,
+            })
+        );
+        assert_eq!(
+            codec.encode_flow_data(sample_key(), &[6]),
+            codec.encode(&Record::FlowData {
+                key: sample_key(),
+                bytes: vec![6],
+            })
+        );
+    }
+
+    /// A version-1 peer's hello decodes to `UnsupportedVersion` — the
+    /// server answers with a typed `ERROR` record (covered end-to-end by
+    /// the `flow_mux` suite) instead of crashing or mis-parsing.
+    #[test]
+    fn version_one_hellos_are_rejected() {
+        // Hand-craft a v1 CLIENT_HELLO frame: magic + version 1 + stream
+        // id + cursor (no multiplex byte — the v1 body).
+        let mut body = vec![KIND_CLIENT_HELLO];
+        body.extend_from_slice(&REQUEST_MAGIC);
+        put_u16(&mut body, 1);
+        put_u64(&mut body, 77);
+        put_u64(&mut body, 0);
+        let crc = WireCodec::new().crc.compute_bytes(&body) as u32;
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&crc.to_le_bytes());
+
+        let codec = WireCodec::new();
+        assert!(matches!(
+            codec.decode(&frame),
+            Err(WireError::UnsupportedVersion(1))
+        ));
+
+        // Same for a v1 SERVER_HELLO, so an old server is equally loud.
+        let mut body = vec![KIND_SERVER_HELLO];
+        body.extend_from_slice(&RESPONSE_MAGIC);
+        put_u16(&mut body, 1);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
+        body.push(0);
+        let crc = WireCodec::new().crc.compute_bytes(&body) as u32;
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            codec.decode(&frame),
+            Err(WireError::UnsupportedVersion(1))
+        ));
     }
 
     #[test]

@@ -17,8 +17,13 @@ use zipline_engine::{DictionaryUpdate, UpdateOp};
 use zipline_gd::packet::PacketType;
 use zipline_gd::BitVec;
 use zipline_server::{
-    ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError,
+    ClientHello, DoneSummary, FlowKey, Record, RecordReader, ServerHello, WireCodec, WireError,
 };
+
+/// Splits one random word into a tenant-scoped flow key.
+fn key_from(seed: u64) -> FlowKey {
+    FlowKey::new(seed & 0xFF, seed >> 8)
+}
 
 /// Splits one random word into a dictionary update (install or remove,
 /// basis length 1–9 bytes with a ragged bit tail).
@@ -44,6 +49,7 @@ fn record_strategy() -> BoxedStrategy<Record> {
         any::<u64>().prop_map(|seed| Record::ClientHello(ClientHello {
             stream_id: seed,
             entries_held: seed.rotate_left(17) & 0xFFFF,
+            multiplex: seed & 2 == 2,
         })),
         proptest::collection::vec(any::<u8>(), 0..200).prop_map(Record::Data),
         Just(Record::End),
@@ -73,6 +79,52 @@ fn record_strategy() -> BoxedStrategy<Record> {
         })),
         proptest::collection::vec(0x20u8..0x7F, 0..60)
             .prop_map(|bytes| Record::Error(String::from_utf8(bytes).expect("ascii"))),
+        any::<u64>().prop_map(|seed| Record::FlowOpen {
+            key: key_from(seed),
+            entries_held: seed.rotate_left(29) & 0xFFFF,
+        }),
+        any::<u64>().prop_map(|seed| {
+            let bytes: Vec<u8> = (0..seed % 120).map(|i| (seed >> (i % 57)) as u8).collect();
+            Record::FlowData {
+                key: key_from(seed),
+                bytes,
+            }
+        }),
+        any::<u64>().prop_map(|seed| Record::FlowEnd {
+            key: key_from(seed)
+        }),
+        any::<u64>().prop_map(|seed| {
+            let bytes: Vec<u8> = (0..seed % 120).map(|i| (seed >> (i % 61)) as u8).collect();
+            let packet_type = match seed % 3 {
+                0 => PacketType::Raw,
+                1 => PacketType::Uncompressed,
+                _ => PacketType::Compressed,
+            };
+            Record::FlowPayload {
+                key: key_from(seed),
+                packet_type,
+                bytes,
+            }
+        }),
+        any::<u64>().prop_map(|seed| Record::FlowControl {
+            key: key_from(seed),
+            update: update_from(seed.rotate_right(11)),
+        }),
+        any::<u64>().prop_map(|seed| Record::FlowReseed {
+            key: key_from(seed),
+            update: update_from(seed.rotate_right(23)),
+        }),
+        any::<u64>().prop_map(|seed| Record::FlowDone {
+            key: key_from(seed),
+            summary: DoneSummary {
+                bytes_in: seed >> 2,
+                payloads_emitted: seed >> 5,
+                wire_bytes: seed >> 9,
+                compressed_payloads: seed % 11,
+                control_updates: seed % 3,
+                server_initiated: seed & 1 == 1,
+            },
+        }),
     ]
     .boxed()
 }

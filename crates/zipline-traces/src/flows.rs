@@ -121,6 +121,194 @@ impl ChunkWorkload for FlowMixWorkload {
     }
 }
 
+/// Configuration of a [`ManyFlowsWorkload`].
+#[derive(Debug, Clone)]
+pub struct ManyFlowsConfig {
+    /// Distinct tenants; tenant popularity is Zipf-skewed by rank.
+    pub tenants: usize,
+    /// Distinct flows in total, split evenly across tenants (at least one
+    /// per tenant).
+    pub flows: usize,
+    /// Total chunks to draw.
+    pub chunks: usize,
+    /// Chunk size in bytes (≥ 32 so the pattern bytes fit).
+    pub chunk_len: usize,
+    /// Zipf exponent for tenant *and* per-tenant flow popularity.
+    pub zipf_exponent: f64,
+    /// Drift cadence of the sensor-style flows (0 disables drift).
+    pub drift_every: u32,
+    /// RNG seed; same seed, same event sequence.
+    pub seed: u64,
+}
+
+impl ManyFlowsConfig {
+    /// A small mix for tests and smoke runs: 8 tenants, 64 flows,
+    /// 8 192 chunks of 32 bytes, exponent 1.0, drift every 64.
+    pub fn small() -> Self {
+        Self {
+            tenants: 8,
+            flows: 64,
+            chunks: 8_192,
+            chunk_len: 32,
+            zipf_exponent: 1.0,
+            drift_every: 64,
+            seed: 0x0F10_3535,
+        }
+    }
+
+    /// The small mix re-seeded (one per load-harness connection).
+    pub fn small_with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::small()
+        }
+    }
+
+    /// Flows each tenant owns (the even split, at least one).
+    pub fn flows_per_tenant(&self) -> usize {
+        (self.flows / self.tenants).max(1)
+    }
+}
+
+/// One event of a [`ManyFlowsWorkload`]: a chunk tagged with its owning
+/// tenant and per-tenant flow id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowChunk {
+    /// The owning tenant (Zipf rank: tenant 0 is the most popular).
+    pub tenant: u64,
+    /// The flow id within the tenant.
+    pub flow: u64,
+    /// The chunk payload.
+    pub bytes: Vec<u8>,
+}
+
+/// Thousands of interleaved flows across Zipf-skewed tenants — the
+/// multiplexed counterpart of [`FlowMixWorkload`], feeding the flow
+/// router, the multiplexed server tests and the `multi_tenant` bench.
+///
+/// Every event samples a tenant by Zipf popularity, then a flow within
+/// that tenant by the same skew. Flow content comes in three styles,
+/// assigned round-robin by `(tenant + flow) % 3`:
+///
+/// - **sensor**: slow drift — payload changes every
+///   [`drift_every`](ManyFlowsConfig::drift_every) appearances;
+/// - **dns**: a cycling pool of eight payload generations (a stable name
+///   set revisited over and over — maximally dictionary-friendly);
+/// - **churn**: a fresh generation on every appearance (worst case —
+///   every chunk installs a new basis).
+///
+/// Tenant, flow and generation are each spread over three chunk bytes,
+/// so any two distinct `(tenant, flow, generation)` triples differ in at
+/// least 3 bits and never fold onto one basis under GD's single-bit
+/// deviation correction.
+#[derive(Debug, Clone)]
+pub struct ManyFlowsWorkload {
+    config: ManyFlowsConfig,
+    tenant_zipf: Zipf,
+    flow_zipf: Zipf,
+}
+
+impl ManyFlowsWorkload {
+    /// Creates the workload.
+    pub fn new(config: ManyFlowsConfig) -> Self {
+        assert!(config.tenants > 0, "many-flows mix needs a tenant");
+        assert!(
+            config.tenants <= 256,
+            "at most 256 distinct tenants ({} requested)",
+            config.tenants
+        );
+        assert!(
+            config.flows >= config.tenants,
+            "need at least one flow per tenant ({} flows, {} tenants)",
+            config.flows,
+            config.tenants
+        );
+        assert!(config.chunk_len >= 32, "pattern needs 32 bytes");
+        let tenant_zipf = Zipf::new(config.tenants, config.zipf_exponent);
+        let flow_zipf = Zipf::new(config.flows_per_tenant(), config.zipf_exponent);
+        Self {
+            config,
+            tenant_zipf,
+            flow_zipf,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ManyFlowsConfig {
+        &self.config
+    }
+
+    /// Every `(tenant, flow)` pair the workload can emit, in order.
+    pub fn keys(&self) -> Vec<(u64, u64)> {
+        let per_tenant = self.config.flows_per_tenant();
+        (0..self.config.tenants as u64)
+            .flat_map(|tenant| (0..per_tenant as u64).map(move |flow| (tenant, flow)))
+            .collect()
+    }
+
+    /// One chunk of `(tenant, flow)` at drift `generation`; all three
+    /// spread over three bytes for ≥ 3-bit pairwise separation.
+    fn pattern(&self, tenant: u64, flow: u64, generation: u32) -> Vec<u8> {
+        let mut chunk = vec![0u8; self.config.chunk_len];
+        chunk[0] = flow as u8;
+        chunk[4] = flow as u8;
+        chunk[8] = flow as u8;
+        chunk[12] = tenant as u8;
+        chunk[16] = tenant as u8;
+        chunk[20] = tenant as u8;
+        chunk[24] = generation as u8;
+        chunk[26] = generation as u8;
+        chunk[28] = generation as u8;
+        // High flow byte, for mixes wider than 256 flows per tenant.
+        chunk[1] = (flow >> 8) as u8;
+        chunk[5] = (flow >> 8) as u8;
+        chunk[9] = (flow >> 8) as u8;
+        chunk
+    }
+
+    /// The tagged event stream: deterministic for a given seed.
+    pub fn events(&self) -> Box<dyn Iterator<Item = FlowChunk> + '_> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let per_tenant = self.config.flows_per_tenant();
+        let mut appearances = vec![0u32; self.config.tenants * per_tenant];
+        Box::new((0..self.config.chunks).map(move |_| {
+            let tenant = self.tenant_zipf.sample(&mut rng);
+            let flow = self.flow_zipf.sample(&mut rng);
+            let index = tenant * per_tenant + flow;
+            let seen = appearances[index];
+            appearances[index] = seen.wrapping_add(1);
+            let generation = match (tenant + flow) % 3 {
+                // Sensor style: slow drift.
+                0 => seen.checked_div(self.config.drift_every).unwrap_or(0),
+                // DNS style: a cycling pool of eight generations.
+                1 => seen % 8,
+                // Churn style: a fresh basis every appearance.
+                _ => seen,
+            };
+            FlowChunk {
+                tenant: tenant as u64,
+                flow: flow as u64,
+                bytes: self.pattern(tenant as u64, flow as u64, generation),
+            }
+        }))
+    }
+}
+
+impl ChunkWorkload for ManyFlowsWorkload {
+    fn chunk_len(&self) -> usize {
+        self.config.chunk_len
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.config.chunks
+    }
+
+    /// The untagged chunk stream (for single-stream reuse of the mix).
+    fn chunks(&self) -> Box<dyn Iterator<Item = Vec<u8>> + '_> {
+        Box::new(self.events().map(|event| event.bytes))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +368,66 @@ mod tests {
             distinct.len() > 1,
             "drift must change the hot flow's payload"
         );
+    }
+
+    #[test]
+    fn many_flows_is_deterministic_and_tagged_in_range() {
+        let workload = ManyFlowsWorkload::new(ManyFlowsConfig::small());
+        let a: Vec<FlowChunk> = workload.events().take(1024).collect();
+        let b: Vec<FlowChunk> = workload.events().take(1024).collect();
+        assert_eq!(a, b);
+        let other = ManyFlowsWorkload::new(ManyFlowsConfig::small_with_seed(3));
+        let c: Vec<FlowChunk> = other.events().take(1024).collect();
+        assert_ne!(a, c);
+        let keys = workload.keys();
+        for event in &a {
+            assert!(keys.contains(&(event.tenant, event.flow)));
+            assert_eq!(event.bytes.len(), 32);
+        }
+    }
+
+    #[test]
+    fn many_flows_tenant_popularity_is_skewed() {
+        let workload = ManyFlowsWorkload::new(ManyFlowsConfig::small());
+        let mut per_tenant = [0usize; 8];
+        for event in workload.events() {
+            per_tenant[event.tenant as usize] += 1;
+        }
+        assert!(
+            per_tenant[0] > per_tenant[7] * 3,
+            "tenant 0 ({}) should dominate tenant 7 ({})",
+            per_tenant[0],
+            per_tenant[7]
+        );
+        assert!(per_tenant.iter().all(|&n| n > 0), "every tenant appears");
+    }
+
+    #[test]
+    fn many_flows_mixes_stable_and_churning_styles() {
+        let workload = ManyFlowsWorkload::new(ManyFlowsConfig {
+            chunks: 16_384,
+            ..ManyFlowsConfig::small()
+        });
+        let mut distinct: std::collections::HashMap<
+            (u64, u64),
+            std::collections::HashSet<Vec<u8>>,
+        > = std::collections::HashMap::new();
+        let mut appearances: std::collections::HashMap<(u64, u64), usize> =
+            std::collections::HashMap::new();
+        for event in workload.events() {
+            let key = (event.tenant, event.flow);
+            distinct.entry(key).or_default().insert(event.bytes);
+            *appearances.entry(key).or_default() += 1;
+        }
+        // A hot churn-style flow installs a new basis per appearance; a hot
+        // dns-style flow cycles at most eight payloads.
+        let churny = distinct.iter().any(|(key, set)| {
+            (key.0 + key.1) % 3 == 2 && set.len() > 32 && set.len() == appearances[key]
+        });
+        let stable = distinct
+            .iter()
+            .any(|(key, set)| (key.0 + key.1) % 3 == 1 && appearances[key] > 64 && set.len() <= 8);
+        assert!(churny, "expected a churn-style flow with per-chunk bases");
+        assert!(stable, "expected a dns-style flow cycling a small pool");
     }
 }

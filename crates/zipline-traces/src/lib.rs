@@ -27,7 +27,7 @@ pub mod zipf;
 pub use churn::{ChurnWorkload, ChurnWorkloadConfig};
 pub use crash::{CrashPhase, CrashWorkload, CrashWorkloadConfig};
 pub use dns::{DnsWorkload, DnsWorkloadConfig};
-pub use flows::{FlowMixConfig, FlowMixWorkload};
+pub use flows::{FlowChunk, FlowMixConfig, FlowMixWorkload, ManyFlowsConfig, ManyFlowsWorkload};
 pub use sensor::{SensorWorkload, SensorWorkloadConfig};
 pub use trace::{chunks_to_frames, chunks_to_pcap, TraceConfig};
 pub use zipf::Zipf;

@@ -29,10 +29,10 @@
 //! [`DictionaryDelta`]: zipline_engine::DictionaryDelta
 //! [`EngineHostPath`]: crate::host::EngineHostPath
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::control::ControlMessage;
-use zipline_engine::{DictionaryUpdate, UpdateOp};
+use zipline_engine::{DictionaryUpdate, FlowKey, UpdateOp};
 use zipline_net::ethernet::EthernetFrame;
 use zipline_net::mac::MacAddress;
 
@@ -180,6 +180,92 @@ impl EngineControlPlane {
     }
 }
 
+/// One control plane per tenant-scoped flow: the multi-tenant counterpart
+/// of [`EngineControlPlane`] for hosts that drive a
+/// [`zipline_engine::FlowRouter`].
+///
+/// Every flow owns an isolated nonce space and pending-install table, so a
+/// delayed acknowledgement (or remove) from one tenant's decoder can never
+/// retire or confirm a mapping in another tenant's — the control-plane
+/// analogue of the router's dictionary-namespace isolation. Planes are
+/// created lazily on first use and dropped with [`Self::close`] when the
+/// flow ends.
+#[derive(Debug, Clone, Default)]
+pub struct FlowControlPlanes {
+    planes: BTreeMap<FlowKey, EngineControlPlane>,
+}
+
+impl FlowControlPlanes {
+    /// Creates an empty set of per-flow control planes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The plane of `key`'s flow, created empty on first use.
+    pub fn plane_mut(&mut self, key: FlowKey) -> &mut EngineControlPlane {
+        self.planes.entry(key).or_default()
+    }
+
+    /// Builds the control message for one update of `key`'s flow,
+    /// advancing only that flow's nonce state.
+    pub fn message_for(&mut self, key: FlowKey, update: &DictionaryUpdate) -> ControlMessage {
+        self.plane_mut(key).message_for(update)
+    }
+
+    /// Builds the control frame(s) for one update of `key`'s flow and
+    /// appends them to `out`.
+    pub fn push_frames_for(
+        &mut self,
+        key: FlowKey,
+        update: &DictionaryUpdate,
+        src: MacAddress,
+        dst: MacAddress,
+        out: &mut Vec<EthernetFrame>,
+    ) {
+        self.plane_mut(key).push_frames_for(update, src, dst, out);
+    }
+
+    /// Rebuilds one flow's plane after a warm restart; see
+    /// [`EngineControlPlane::reseed`]. Other flows are untouched.
+    pub fn reseed(
+        &mut self,
+        key: FlowKey,
+        live: impl IntoIterator<Item = (u64, Vec<u8>)>,
+        nonce_floor: u32,
+    ) -> Vec<ControlMessage> {
+        self.plane_mut(key).reseed(live, nonce_floor)
+    }
+
+    /// Routes a decoder acknowledgement to `key`'s flow; an ack for a flow
+    /// that has no plane is stale by definition.
+    pub fn handle_ack(&mut self, key: FlowKey, id: u64, nonce: u32) -> bool {
+        match self.planes.get_mut(&key) {
+            Some(plane) => plane.handle_ack(id, nonce),
+            None => false,
+        }
+    }
+
+    /// Counters of `key`'s flow, if it ever produced control traffic.
+    pub fn stats(&self, key: FlowKey) -> Option<EngineControlStats> {
+        self.planes.get(&key).map(EngineControlPlane::stats)
+    }
+
+    /// Installs awaiting acknowledgement across all flows.
+    pub fn pending_total(&self) -> usize {
+        self.planes.values().map(EngineControlPlane::pending).sum()
+    }
+
+    /// Flows that currently hold a plane, in key order.
+    pub fn flows(&self) -> Vec<FlowKey> {
+        self.planes.keys().copied().collect()
+    }
+
+    /// Drops `key`'s plane (the flow ended), returning its final counters.
+    pub fn close(&mut self, key: FlowKey) -> Option<EngineControlStats> {
+        self.planes.remove(&key).map(|plane| plane.stats())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,5 +365,53 @@ mod tests {
         cp.message_for(&install(2, 3, 2)); // nonce 1 recycles id 3
         assert!(!cp.handle_ack(3, 0), "late ack for the old install");
         assert!(cp.handle_ack(3, 1), "ack for the live install");
+    }
+
+    #[test]
+    fn flow_planes_isolate_nonce_spaces_per_flow() {
+        let mut planes = FlowControlPlanes::new();
+        let a = FlowKey::new(1, 10);
+        let b = FlowKey::new(2, 10); // same flow id, different tenant
+        let ControlMessage::InstallMapping { nonce: first_a, .. } =
+            planes.message_for(a, &install(0, 7, 1))
+        else {
+            panic!("install update produces an install message");
+        };
+        let ControlMessage::InstallMapping { nonce: first_b, .. } =
+            planes.message_for(b, &install(0, 7, 2))
+        else {
+            panic!("install update produces an install message");
+        };
+        // Both flows start from nonce 0: isolated counters, not a shared one.
+        assert_eq!((first_a, first_b), (0, 0));
+        assert_eq!(planes.pending_total(), 2);
+        // Flow a's ack clears only flow a; the same (id, nonce) pair from
+        // flow b's decoder is routed to b's plane.
+        assert!(planes.handle_ack(a, 7, 0));
+        assert_eq!(planes.pending_total(), 1);
+        assert!(planes.handle_ack(b, 7, 0));
+        assert!(
+            !planes.handle_ack(FlowKey::new(3, 10), 7, 0),
+            "ack for a flow without a plane is stale"
+        );
+        assert_eq!(planes.flows(), vec![a, b]);
+    }
+
+    #[test]
+    fn flow_plane_reseed_and_close_touch_one_flow_only() {
+        let mut planes = FlowControlPlanes::new();
+        let a = FlowKey::new(1, 1);
+        let b = FlowKey::new(1, 2);
+        planes.message_for(a, &install(0, 2, 1));
+        planes.message_for(b, &install(0, 9, 3));
+        let messages = planes.reseed(a, vec![(2, vec![0xAA])], 11);
+        assert_eq!(messages.len(), 1);
+        // Flow a restarted above its floor; flow b's state is untouched.
+        assert!(planes.handle_ack(a, 2, 11));
+        assert!(planes.handle_ack(b, 9, 0));
+        let closed = planes.close(b).expect("flow b held a plane");
+        assert_eq!(closed.installs_sent, 1);
+        assert_eq!(planes.flows(), vec![a]);
+        assert!(planes.stats(b).is_none(), "closed plane is gone");
     }
 }

@@ -62,5 +62,5 @@ pub use controller::EncoderControlPlane;
 pub use decoder::ZipLineDecodeProgram;
 pub use deployment::{DeploymentConfig, ZipLineDeployment};
 pub use encoder::ZipLineEncodeProgram;
-pub use engine_control::EngineControlPlane;
+pub use engine_control::{EngineControlPlane, FlowControlPlanes};
 pub use error::ZipLineError;
