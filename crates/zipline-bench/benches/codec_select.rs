@@ -1,0 +1,108 @@
+//! PR-10 codec selection: what the registry's routing layer costs on the
+//! wire-facing compress path.
+//!
+//! One mixed workload (GD-friendly sensor-style segments alternating with
+//! text-like segments deflate wins) runs batch-by-batch through four
+//! backends behind the same [`CompressionBackend`] entry points:
+//!
+//! * `gd` / `deflate` — the fixed baselines;
+//! * `hybrid` — GD, then one gzip member over the GD residue (the
+//!   paper's "GD + secondary compressor");
+//! * `auto` — the registry router: per-batch deflate sampling, EWMA-
+//!   tracked GD ratio, hysteresis. Its delta over the winning fixed
+//!   backend is the whole price of self-describing batch routing.
+//!
+//! Single-core container: compare against the committed `BENCH_PR10.json`
+//! baselines, not wall-clock claims. Regenerate with
+//! `BENCH_JSON=bench.jsonl cargo bench -p zipline-bench --bench codec_select`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use zipline_deflate::Level;
+use zipline_engine::{
+    AutoBackend, AutoConfig, CompressionBackend, DeflateBackend, EngineConfig, GdBackend,
+    HybridGdDeflateBackend, SpawnPolicy,
+};
+
+const SEGMENTS: usize = 8;
+const CHUNKS_PER_SEGMENT: usize = 256;
+
+/// Mixed workload: alternating GD territory (few chunk bases, sparse
+/// deviations) and deflate territory (fresh bases, low-entropy text), so
+/// the router has real switching decisions to make.
+fn mixed_data(chunk_bytes: usize) -> Vec<u8> {
+    let mut data = Vec::new();
+    for s in 0..SEGMENTS {
+        for i in 0..CHUNKS_PER_SEGMENT {
+            let mut chunk = vec![0u8; chunk_bytes];
+            if s % 2 == 0 {
+                chunk[0] = (s % 5) as u8;
+                chunk[8] = 0xA5;
+                if i % 7 == 0 {
+                    chunk[20] ^= 0x10;
+                }
+            } else {
+                for (j, byte) in chunk.iter_mut().enumerate() {
+                    *byte = ((s * 131 + i * 17 + j * 7) % 9) as u8 + b'a';
+                }
+            }
+            data.extend_from_slice(&chunk);
+        }
+    }
+    data
+}
+
+fn engine_config() -> EngineConfig {
+    let mut config = EngineConfig::paper_default();
+    config.shards = 4;
+    config.workers = 1;
+    config.spawn = SpawnPolicy::Inline;
+    config
+}
+
+/// Drives `backend` over the whole workload in 64-chunk batches — compress
+/// plus emit, the full wire-facing path the router sits on.
+fn drive<B: CompressionBackend>(backend: &mut B, data: &[u8], batch_bytes: usize) -> usize {
+    let mut wire = 0usize;
+    for batch in data.chunks(batch_bytes) {
+        let compressed = backend.compress_batch(batch).unwrap();
+        backend
+            .emit_batch(compressed, &mut |_, bytes| wire += bytes.len())
+            .unwrap();
+    }
+    wire
+}
+
+fn bench_codec_select(c: &mut Criterion) {
+    let config = engine_config();
+    let data = mixed_data(config.gd.chunk_bytes);
+    let batch_bytes = 64 * config.gd.chunk_bytes;
+
+    let mut group = c.benchmark_group("codec_select");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    let mut gd = GdBackend::new(config).unwrap();
+    group.bench_function("gd", |b| {
+        b.iter(|| black_box(drive(&mut gd, black_box(&data), batch_bytes)))
+    });
+
+    let mut deflate = DeflateBackend::new(Level::Default);
+    group.bench_function("deflate", |b| {
+        b.iter(|| black_box(drive(&mut deflate, black_box(&data), batch_bytes)))
+    });
+
+    let mut hybrid = HybridGdDeflateBackend::new(config, Level::Default).unwrap();
+    group.bench_function("hybrid", |b| {
+        b.iter(|| black_box(drive(&mut hybrid, black_box(&data), batch_bytes)))
+    });
+
+    let mut auto = AutoBackend::new(config, AutoConfig::default()).unwrap();
+    group.bench_function("auto", |b| {
+        b.iter(|| black_box(drive(&mut auto, black_box(&data), batch_bytes)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec_select);
+criterion_main!(benches);

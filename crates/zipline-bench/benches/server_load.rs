@@ -23,7 +23,9 @@ use std::hint::black_box;
 use zipline::host::HostPathConfig;
 use zipline_engine::{EngineConfig, SpawnPolicy};
 use zipline_gd::config::GdConfig;
-use zipline_server::{run_closed_loop, LoadConfig, ServerConfig, ServerHandle};
+use zipline_server::{
+    run_closed_loop, BackendChoice, LoadConfig, ServerConfigBuilder, ServerHandle,
+};
 use zipline_traces::{ChunkWorkload, FlowMixConfig, FlowMixWorkload};
 
 /// Chunks per connection per iteration (32-byte chunks → 16 KiB each).
@@ -105,12 +107,19 @@ fn bench_server_load(c: &mut Criterion) {
         window_chunks: 256,
         chunk_bytes: host.engine.gd.chunk_bytes,
         batch_chunks: host.batch_chunks,
+        backend: BackendChoice::Gd,
     };
     let bytes_per_conn = (CHUNKS_PER_CONN * host.engine.gd.chunk_bytes) as u64;
     let mut group = c.benchmark_group("server_load");
 
-    let tcp = ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host.clone()))
-        .expect("server binds");
+    let tcp = ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host.clone())
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
     let mut next_id = 0x5E17_0000u64;
 
     group.throughput(Throughput::Bytes(bytes_per_conn));
@@ -130,8 +139,14 @@ fn bench_server_load(c: &mut Criterion) {
         let path =
             std::env::temp_dir().join(format!("zipline-bench-server-{}.sock", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        let uds =
-            ServerHandle::bind_uds(&path, ServerConfig::from_host(host)).expect("server binds");
+        let uds = ServerHandle::bind_uds(
+            &path,
+            ServerConfigBuilder::new()
+                .host(host)
+                .build()
+                .expect("valid server config"),
+        )
+        .expect("server binds");
         group.throughput(Throughput::Bytes(2 * bytes_per_conn));
         group.bench_function("uds_closed_loop_2conn", |b| {
             b.iter(|| black_box(run_pass(&uds, &load, 2, &mut next_id)))

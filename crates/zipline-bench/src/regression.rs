@@ -47,6 +47,7 @@ pub const TRACKED_GROUPS: &[&str] = &[
     "recovery",
     "server_load",
     "multi_tenant",
+    "codec_select",
 ];
 
 /// One measured benchmark: its full id (`group/name[/param]`) and median.
@@ -300,6 +301,7 @@ mod tests {
             ("BENCH_PR6.json", include_str!("../../../BENCH_PR6.json")),
             ("BENCH_PR7.json", include_str!("../../../BENCH_PR7.json")),
             ("BENCH_PR9.json", include_str!("../../../BENCH_PR9.json")),
+            ("BENCH_PR10.json", include_str!("../../../BENCH_PR10.json")),
         ] {
             let pr = pr_number(name).unwrap();
             set.absorb(name, pr, text);

@@ -56,6 +56,7 @@
 //! attached to them simply never sees traffic.
 
 use crate::engine::EngineConfig;
+use crate::registry::{CodecId, CODEC_DEFLATE, CODEC_PASSTHROUGH};
 use crate::shard::{DictionaryDelta, DictionarySnapshot, DictionaryState, ShardStats};
 use zipline_deflate::Level;
 use zipline_gd::error::{GdError, Result};
@@ -78,6 +79,35 @@ pub trait CompressionBackend {
     fn from_engine_config(config: &EngineConfig) -> Result<Self>
     where
         Self: Sized;
+
+    /// The backend's stable [`CodecId`] — the tag a self-describing
+    /// container carries so a decoder can pick the right
+    /// [`BackendDecompressor`] without out-of-band knowledge. Routing
+    /// backends ([`AutoBackend`](crate::AutoBackend)) return the id of
+    /// their stateful core; the per-batch decision is exposed through
+    /// [`Self::batch_codec_id`] instead.
+    fn codec_id(&self) -> CodecId;
+
+    /// The codec one specific batch was routed to. Fixed backends always
+    /// answer [`Self::codec_id`]; only routing backends override this.
+    fn batch_codec_id(&self, batch: &Self::Batch) -> CodecId {
+        let _ = batch;
+        self.codec_id()
+    }
+
+    /// True when this backend's output must carry per-batch codec tags to
+    /// be decodable (i.e. different batches may use different codecs).
+    /// Fixed backends stay `false` and keep the untagged fast path: their
+    /// containers are decoded by the stream's negotiated backend alone.
+    fn tags_batches(&self) -> bool {
+        false
+    }
+
+    /// Every codec id this backend may emit — what a hello advertises so
+    /// the peer can check its decoder pool covers the stream.
+    fn codec_ids(&self) -> Vec<CodecId> {
+        vec![self.codec_id()]
+    }
 
     /// Size in bytes of the backend's indivisible input unit. Batches passed
     /// to [`Self::compress_batch`] hold a whole number of units except for
@@ -266,6 +296,10 @@ impl CompressionBackend for DeflateBackend {
         Ok(Self::default())
     }
 
+    fn codec_id(&self) -> CodecId {
+        CODEC_DEFLATE
+    }
+
     fn unit_bytes(&self) -> usize {
         1
     }
@@ -385,6 +419,10 @@ impl CompressionBackend for PassthroughBackend {
 
     fn from_engine_config(_config: &EngineConfig) -> Result<Self> {
         Ok(Self::new())
+    }
+
+    fn codec_id(&self) -> CodecId {
+        CODEC_PASSTHROUGH
     }
 
     fn unit_bytes(&self) -> usize {

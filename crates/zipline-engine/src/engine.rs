@@ -40,6 +40,7 @@
 use crate::backend::{BackendDecompressor, CompressionBackend};
 use crate::persist::{EngineStore, WarmStart};
 use crate::pipelined::PipelineConfig;
+use crate::registry::{CodecId, CODEC_GD};
 use crate::shard::{
     DictionaryDelta, DictionarySnapshot, DictionaryState, DictionaryUpdate, ShardOutcome,
     ShardStats, ShardedDictionary,
@@ -400,6 +401,10 @@ impl CompressionBackend for GdBackend {
 
     fn from_engine_config(config: &EngineConfig) -> Result<Self> {
         Self::new(*config)
+    }
+
+    fn codec_id(&self) -> CodecId {
+        CODEC_GD
     }
 
     fn unit_bytes(&self) -> usize {

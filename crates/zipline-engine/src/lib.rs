@@ -113,6 +113,7 @@ pub mod engine;
 pub mod error;
 pub mod persist;
 pub mod pipelined;
+pub mod registry;
 pub mod shard;
 pub mod stream;
 pub mod tenant;
@@ -129,6 +130,11 @@ pub use engine::{
 pub use error::EngineError;
 pub use persist::{CommittedEntry, EngineStore, PersistError, StoreOptions, SyncPolicy, WarmStart};
 pub use pipelined::{PipelineConfig, PipelinedStream};
+pub use registry::{
+    codec_from_u8, AnyDecompressor, AutoBackend, AutoBatch, AutoConfig, AutoDecompressor,
+    CodecCursor, CodecEntry, CodecId, CodecRegistry, HybridDecompressor, HybridGdDeflateBackend,
+    RegistryDecompressor, CODEC_DEFLATE, CODEC_GD, CODEC_HYBRID, CODEC_PASSTHROUGH,
+};
 pub use shard::{
     DictionaryDelta, DictionarySnapshot, DictionaryState, DictionaryUpdate, ShardOutcome,
     ShardState, ShardStats, ShardedDictionary, UpdateOp,

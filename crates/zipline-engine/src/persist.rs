@@ -34,7 +34,12 @@
 //! | file         | kinds                                                   |
 //! |--------------|---------------------------------------------------------|
 //! | `shards.zsl` | `0x01` header (`"ZLSS"`, version, shard shape) · `0x02` delta (batch, updates) · `0x03` checkpoint (batch, full state) |
-//! | `frames.zfl` | `0x11` header (`"ZLFL"`, version) · `0x12` frame (packet type, bytes) · `0x13` control (update) · `0x14` commit (batch, cumulative bytes in / frames) |
+//! | `frames.zfl` | `0x11` header (`"ZLFL"`, version) · `0x12` frame (packet type, bytes) · `0x13` control (update) · `0x14` commit (batch, cumulative bytes in / frames) · `0x15` tagged frame (codec id, packet type, bytes) |
+//!
+//! A `0x12` frame belongs to the stream's fixed backend; a `0x15` frame
+//! carries an explicit per-batch [`CodecId`] tag so a self-describing
+//! (multi-codec) stream replays through the right decoder after restart.
+//! An unknown codec id fails loudly as [`PersistError::Corrupt`].
 //!
 //! # Commit protocol
 //!
@@ -94,6 +99,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
+use crate::registry::{codec_from_u8, CodecId};
 use crate::shard::{
     DictionaryState, DictionaryUpdate, ShardState, ShardStats, ShardedDictionary, UpdateOp,
 };
@@ -119,6 +125,7 @@ const KIND_FRAME_HEADER: u8 = 0x11;
 const KIND_FRAME: u8 = 0x12;
 const KIND_CONTROL: u8 = 0x13;
 const KIND_COMMIT: u8 = 0x14;
+const KIND_FRAME_TAGGED: u8 = 0x15;
 
 /// The record CRC: CRC-32 in the crate's `B(x) mod g(x)` convention.
 fn record_crc() -> CrcEngine {
@@ -507,6 +514,9 @@ pub enum CommittedEntry {
     Frame {
         /// The payload's packet type.
         packet_type: PacketType,
+        /// The per-batch codec tag for self-describing streams; `None`
+        /// for a fixed-backend stream's untagged frames.
+        codec: Option<CodecId>,
         /// The payload bytes.
         bytes: Vec<u8>,
     },
@@ -684,7 +694,30 @@ impl EngineStore {
                     let len = r.u32()? as usize;
                     let bytes = r.take(len)?.to_vec();
                     r.finish()?;
-                    pending.push(CommittedEntry::Frame { packet_type, bytes });
+                    pending.push(CommittedEntry::Frame {
+                        packet_type,
+                        codec: None,
+                        bytes,
+                    });
+                    pending_frames += 1;
+                }
+                KIND_FRAME_TAGGED => {
+                    let mut r = BodyReader::new(body, "tagged frame record");
+                    let raw = r.u8()?;
+                    let Some(codec) = codec_from_u8(raw) else {
+                        return Err(corrupt(format!(
+                            "tagged frame record names unknown codec id {raw}"
+                        )));
+                    };
+                    let packet_type = packet_type_from(r.u8()?, "tagged frame record")?;
+                    let len = r.u32()? as usize;
+                    let bytes = r.take(len)?.to_vec();
+                    r.finish()?;
+                    pending.push(CommittedEntry::Frame {
+                        packet_type,
+                        codec: Some(codec),
+                        bytes,
+                    });
                     pending_frames += 1;
                 }
                 KIND_CONTROL => {
@@ -980,7 +1013,10 @@ impl EngineStore {
 
     /// Makes one batch durable. `records` are the batch's wire payloads
     /// in emission order (type + length into `wire`, the concatenated
-    /// payload bytes), `updates` its dictionary delta, `state` the full
+    /// payload bytes), `codec` the batch's codec tag (`Some` only for
+    /// self-describing multi-codec streams — the frames journal as
+    /// `0x15` tagged records and replay with the tag attached),
+    /// `updates` its dictionary delta, `state` the full
     /// dictionary state *after* the batch when a checkpoint is due (see
     /// [`Self::checkpoint_due`]), and `input_len` the input bytes the
     /// batch consumed. Write order — frames, shard delta (+ checkpoint),
@@ -990,6 +1026,7 @@ impl EngineStore {
         &mut self,
         records: &[(PacketType, u32)],
         wire: &[u8],
+        codec: Option<CodecId>,
         updates: &[DictionaryUpdate],
         state: Option<&DictionaryState>,
         input_len: u64,
@@ -1024,6 +1061,9 @@ impl EngineStore {
                 )));
             };
             self.body.clear();
+            if let Some(codec) = codec {
+                self.body.push(codec.as_u8());
+            }
             self.body.push(packet_type_code(*packet_type));
             put_u32(&mut self.body, *len);
             self.body.extend_from_slice(bytes);
@@ -1031,7 +1071,11 @@ impl EngineStore {
                 &mut self.frame_log,
                 &self.crc,
                 &mut self.payload,
-                KIND_FRAME,
+                if codec.is_some() {
+                    KIND_FRAME_TAGGED
+                } else {
+                    KIND_FRAME
+                },
                 &self.body,
                 "writing frame record",
             )?;
@@ -1350,7 +1394,17 @@ mod tests {
         let state = dict.export_state();
         let records = vec![(PacketType::Uncompressed, 3u32)];
         store
-            .commit_batch(&records, &[7; 3], &delta.updates, Some(&state), 64)
+            .commit_batch(&records, &[7; 3], None, &delta.updates, Some(&state), 64)
+            .unwrap();
+        store
+            .commit_batch(
+                &records,
+                &[8; 3],
+                Some(crate::registry::CODEC_DEFLATE),
+                &[],
+                Some(&state),
+                64,
+            )
             .unwrap();
         drop(store);
 
@@ -1370,6 +1424,7 @@ mod tests {
             ("FRAME", KIND_FRAME),
             ("CONTROL", KIND_CONTROL),
             ("COMMIT", KIND_COMMIT),
+            ("FRAME_TAGGED", KIND_FRAME_TAGGED),
         ] {
             assert!(
                 kinds.contains(&kind),
@@ -1403,7 +1458,7 @@ mod tests {
             let wire = vec![batch; 5];
             let state = dict.export_state();
             store
-                .commit_batch(&records, &wire, &delta.updates, Some(&state), 128)
+                .commit_batch(&records, &wire, None, &delta.updates, Some(&state), 128)
                 .unwrap();
             all_updates.extend(delta.updates);
         }
@@ -1445,10 +1500,24 @@ mod tests {
         let mut store = EngineStore::create(&dir, 1, 8).unwrap();
         let records = vec![(PacketType::Raw, 4u32)];
         store
-            .commit_batch(&records, &[1, 2, 3, 4], &[], Some(&churn_free_state()), 4)
+            .commit_batch(
+                &records,
+                &[1, 2, 3, 4],
+                None,
+                &[],
+                Some(&churn_free_state()),
+                4,
+            )
             .unwrap();
         store
-            .commit_batch(&records, &[5, 6, 7, 8], &[], Some(&churn_free_state()), 4)
+            .commit_batch(
+                &records,
+                &[5, 6, 7, 8],
+                None,
+                &[],
+                Some(&churn_free_state()),
+                4,
+            )
             .unwrap();
         drop(store);
 
@@ -1505,6 +1574,7 @@ mod tests {
                 .commit_batch(
                     &[(PacketType::Raw, 1u32)],
                     &[batch],
+                    None,
                     &delta.updates,
                     None,
                     1,
@@ -1538,7 +1608,7 @@ mod tests {
         let dir = temp_dir("dup");
         let mut store = EngineStore::create(&dir, 1, 8).unwrap();
         store
-            .commit_batch(&[(PacketType::Raw, 2u32)], &[9, 9], &[], None, 2)
+            .commit_batch(&[(PacketType::Raw, 2u32)], &[9, 9], None, &[], None, 2)
             .unwrap();
         drop(store);
 
@@ -1582,6 +1652,7 @@ mod tests {
                 .commit_batch(
                     &[(PacketType::Raw, 1u32)],
                     &[batch],
+                    None,
                     &delta.updates,
                     state.as_ref(),
                     1,
@@ -1620,6 +1691,7 @@ mod tests {
                 .commit_batch(
                     &[(PacketType::Raw, 1u32)],
                     &[batch],
+                    None,
                     &delta.updates,
                     Some(&state),
                     1,
@@ -1672,6 +1744,7 @@ mod tests {
                     .commit_batch(
                         &[(PacketType::Raw, 1u32)],
                         &[batch],
+                        None,
                         &delta.updates,
                         Some(&state),
                         1,

@@ -105,6 +105,7 @@ use crate::backend::CompressionBackend;
 use crate::engine::{CompressionEngine, GdBackend, SpawnPolicy};
 use crate::error::{EngineError, Result};
 use crate::persist::EngineStore;
+use crate::registry::{CodecCursor, CodecId};
 use crate::shard::DictionaryUpdate;
 use crate::stream::{InterleavedEmitter, StreamSummary};
 use zipline_gd::error::{GdError, Result as GdResult};
@@ -176,6 +177,9 @@ struct BatchShuttle {
     records: Vec<(PacketType, u32)>,
     /// Dictionary updates journaled by this batch (empty without live sync).
     updates: Vec<DictionaryUpdate>,
+    /// The batch's codec tag, captured worker-side from a tagging
+    /// (multi-codec) backend; `None` for fixed backends.
+    codec: Option<CodecId>,
 }
 
 /// The worker half of the threaded pipeline: owns the engine, compresses
@@ -215,6 +219,10 @@ fn compress_shuttle<B: CompressionBackend>(
     if backend.live_sync_enabled() {
         shuttle.updates = backend.take_delta().updates;
     }
+    // Resolve the tag before emit_batch consumes the batch by value.
+    shuttle.codec = backend
+        .tags_batches()
+        .then(|| backend.batch_codec_id(&batch));
     let BatchShuttle { wire, records, .. } = shuttle;
     backend.emit_batch(batch, &mut |packet_type, bytes| {
         records.push((packet_type, bytes.len() as u32));
@@ -270,6 +278,11 @@ where
     /// Reusable staging shuttle for the inline backing, so the inline path
     /// shares the threaded path's commit-then-emit discipline.
     inline_shuttle: BatchShuttle,
+    /// When attached, publishes each batch's codec tag before its payloads
+    /// reach the sink (see [`EngineStream::set_codec_cursor`]).
+    ///
+    /// [`EngineStream::set_codec_cursor`]: crate::EngineStream::set_codec_cursor
+    codec_cursor: Option<CodecCursor>,
 }
 
 impl<F, B> PipelinedStream<F, fn(&DictionaryUpdate), B>
@@ -354,7 +367,17 @@ where
             summary: StreamSummary::default(),
             store,
             inline_shuttle: BatchShuttle::default(),
+            codec_cursor: None,
         })
+    }
+
+    /// Attaches a [`CodecCursor`] the stream publishes each batch's codec
+    /// tag through, exactly as
+    /// [`EngineStream::set_codec_cursor`](crate::EngineStream::set_codec_cursor)
+    /// does: `Some(id)` while a tagging backend's batch flows to the sink,
+    /// `None` for fixed backends.
+    pub fn set_codec_cursor(&mut self, cursor: CodecCursor) {
+        self.codec_cursor = Some(cursor);
     }
 
     /// True when the stream runs an engine worker thread (false on the
@@ -406,6 +429,7 @@ where
             summary,
             store,
             inline_shuttle,
+            codec_cursor,
             ..
         } = self;
         match backing {
@@ -413,7 +437,14 @@ where
                 std::mem::swap(&mut inline_shuttle.input, buffer);
                 buffer.clear();
                 compress_shuttle(engine, inline_shuttle)?;
-                emit_shuttle(inline_shuttle, store.as_mut(), sink, control_sink, summary)?;
+                emit_shuttle(
+                    inline_shuttle,
+                    store.as_mut(),
+                    codec_cursor.as_ref(),
+                    sink,
+                    control_sink,
+                    summary,
+                )?;
                 Ok(())
             }
             Backing::Threaded(threaded) => {
@@ -422,7 +453,14 @@ where
                 // (both TryRecvError variants just mean "nothing to drain").
                 while let Ok(result) = threaded.results.try_recv() {
                     let mut shuttle = result?;
-                    emit_shuttle(&mut shuttle, store.as_mut(), sink, control_sink, summary)?;
+                    emit_shuttle(
+                        &mut shuttle,
+                        store.as_mut(),
+                        codec_cursor.as_ref(),
+                        sink,
+                        control_sink,
+                        summary,
+                    )?;
                     threaded.spare.push(shuttle);
                 }
                 let mut shuttle = threaded.spare.pop().unwrap_or_default();
@@ -470,6 +508,7 @@ where
             control_sink,
             summary,
             store,
+            codec_cursor,
             ..
         } = &mut self;
         let mut engine = match std::mem::replace(backing, Backing::Closed) {
@@ -492,6 +531,7 @@ where
                             if let Err(e) = emit_shuttle(
                                 &mut shuttle,
                                 store.as_mut(),
+                                codec_cursor.as_ref(),
                                 sink,
                                 control_sink,
                                 summary,
@@ -534,6 +574,7 @@ where
 fn emit_shuttle<F, G>(
     shuttle: &mut BatchShuttle,
     store: Option<&mut EngineStore>,
+    cursor: Option<&CodecCursor>,
     sink: &mut F,
     control_sink: &mut Option<G>,
     summary: &mut StreamSummary,
@@ -546,10 +587,14 @@ where
         store.commit_batch(
             &shuttle.records,
             &shuttle.wire,
+            shuttle.codec,
             &shuttle.updates,
             None,
             shuttle.input.len() as u64,
         )?;
+    }
+    if let Some(cursor) = cursor {
+        cursor.set(shuttle.codec);
     }
     let updates = std::mem::take(&mut shuttle.updates);
     let mut emitter = InterleavedEmitter::new(updates, sink, control_sink.as_mut(), summary);

@@ -51,6 +51,7 @@
 use crate::backend::CompressionBackend;
 use crate::engine::{CompressionEngine, GdBackend};
 use crate::error::Result;
+use crate::registry::CodecCursor;
 use crate::shard::DictionaryUpdate;
 use zipline_gd::packet::PacketType;
 use zipline_traces::ChunkWorkload;
@@ -163,6 +164,10 @@ where
     staged_records: Vec<(PacketType, u32)>,
     /// … and the concatenated payload bytes, committed before emission.
     staged_wire: Vec<u8>,
+    /// When attached, publishes each batch's codec tag before its payloads
+    /// reach the sink — how a tagging (multi-codec) backend's routing
+    /// decision travels to wire encoders without changing the sink shape.
+    codec_cursor: Option<CodecCursor>,
 }
 
 impl<'e, F: FnMut(PacketType, &[u8]), B: CompressionBackend>
@@ -207,7 +212,16 @@ where
             summary: StreamSummary::default(),
             staged_records: Vec::new(),
             staged_wire: Vec::new(),
+            codec_cursor: None,
         }
+    }
+
+    /// Attaches a [`CodecCursor`] the stream publishes each batch's codec
+    /// tag through. For a tagging backend ([`CompressionBackend::tags_batches`])
+    /// the cursor reads `Some(id)` while that batch's payloads flow to the
+    /// sink; for a fixed backend it always reads `None` (untagged).
+    pub fn set_codec_cursor(&mut self, cursor: CodecCursor) {
+        self.codec_cursor = Some(cursor);
     }
 
     /// Attaches a live-sync control sink, builder style (enables journaling
@@ -226,6 +240,7 @@ where
             summary: self.summary,
             staged_records: self.staged_records,
             staged_wire: self.staged_wire,
+            codec_cursor: self.codec_cursor,
         }
     }
 
@@ -286,6 +301,7 @@ where
             summary,
             staged_records,
             staged_wire,
+            codec_cursor,
             ..
         } = self;
         let (backend, store) = engine.backend_and_store_mut();
@@ -297,6 +313,13 @@ where
         } else {
             Vec::new()
         };
+        // Resolve the tag before emit_batch consumes the batch by value.
+        let codec = backend
+            .tags_batches()
+            .then(|| backend.batch_codec_id(&batch));
+        if let Some(cursor) = codec_cursor.as_ref() {
+            cursor.set(codec);
+        }
         if let Some(store) = store {
             // Commit-then-emit: stage the batch's wire form, make it
             // durable (frames + delta + checkpoint when due + commit
@@ -314,6 +337,7 @@ where
             store.commit_batch(
                 staged_records,
                 staged_wire,
+                codec,
                 &updates,
                 state.as_ref(),
                 input_len,

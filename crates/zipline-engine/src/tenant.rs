@@ -53,12 +53,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
-use crate::backend::{BackendDecompressor, CompressionBackend};
+use crate::backend::CompressionBackend;
 use crate::builder::EngineBuilder;
-use crate::engine::{CompressionEngine, EngineConfig, GdBackend, GdBackendDecompressor};
+use crate::engine::{CompressionEngine, EngineConfig, GdBackend};
 use crate::error::EngineError;
 use crate::persist::{CommittedEntry, SyncPolicy};
 use crate::pipelined::PipelinedStream;
+use crate::registry::{CodecCursor, CodecId, RegistryDecompressor, CODEC_GD};
 use crate::shard::{DictionaryUpdate, UpdateOp};
 use crate::stream::StreamSummary;
 use zipline_gd::error::GdError;
@@ -177,6 +178,9 @@ pub enum FlowEvent {
         key: FlowKey,
         /// Payload packet type.
         packet_type: PacketType,
+        /// The batch's codec tag for a tagging (multi-codec) backend;
+        /// `None` for a fixed backend's untagged payloads.
+        codec: Option<CodecId>,
         /// Serialized payload bytes.
         bytes: Vec<u8>,
     },
@@ -571,10 +575,16 @@ impl<B: CompressionBackend + Send + 'static> FlowRouter<B> {
         let live = engine.live_sync_enabled()
             || (self.config.live_sync && engine.backend().supports_live_sync());
         let payload_events = Rc::clone(&self.events);
+        // Each flow gets its own codec cursor: the stream publishes the
+        // batch tag through it just before the sink sees the payloads, so
+        // tagging backends stamp every event and fixed backends read None.
+        let cursor = CodecCursor::new();
+        let sink_cursor = cursor.clone();
         let sink: PayloadSink = Box::new(move |packet_type, bytes| {
             payload_events.borrow_mut().push_back(FlowEvent::Payload {
                 key,
                 packet_type,
+                codec: sink_cursor.get(),
                 bytes: bytes.to_vec(),
             });
         });
@@ -589,8 +599,9 @@ impl<B: CompressionBackend + Send + 'static> FlowRouter<B> {
         } else {
             None
         };
-        let stream =
+        let mut stream =
             PipelinedStream::with_control_sink(engine, self.config.batch_units, sink, control)?;
+        stream.set_codec_cursor(cursor);
 
         let slot = tenant.place(key).ok_or(FlowError::TenantSaturated {
             tenant: key.tenant,
@@ -742,17 +753,19 @@ impl<B: CompressionBackend + Send + 'static> FlowRouter<B> {
     }
 }
 
-/// One flow's decoder: the GD mirror plus the flow's control cursor.
+/// One flow's decoder: the registry mirror plus the flow's control cursor.
 struct FlowDecoder {
-    dec: GdBackendDecompressor,
+    dec: RegistryDecompressor,
     /// Lowest acceptable control `seq`: updates must arrive in
     /// nondecreasing order per flow (the tagged interleaving invariant).
     next_control_seq: u64,
 }
 
-/// The receive side of the routing layer: one [`GdBackendDecompressor`]
+/// The receive side of the routing layer: one [`RegistryDecompressor`]
 /// per flow, keyed like the router, so a single pool tracks many
-/// interleaved streams. Decoding state is fully partitioned — one flow's
+/// interleaved streams — and, per flow, dispatches each payload's codec
+/// tag to the right registered decoder (untagged payloads go to the GD
+/// default). Decoding state is fully partitioned — one flow's
 /// installs/evictions never touch another flow's dictionary — and each
 /// flow's control cursor enforces the per-flow tag ordering.
 ///
@@ -781,7 +794,7 @@ impl FlowDecoderPool {
         if self.flows.contains_key(&key) {
             return Err(FlowError::FlowActive(key));
         }
-        let dec = GdBackendDecompressor::new(&self.config)?;
+        let dec = RegistryDecompressor::new(self.config, CODEC_GD)?;
         self.flows.insert(
             key,
             FlowDecoder {
@@ -831,15 +844,20 @@ impl FlowDecoderPool {
     }
 
     /// Decodes one tagged payload, appending the restored bytes to `out`.
+    /// `codec` is the payload's per-batch codec tag; `None` (untagged)
+    /// decodes through the flow's default (GD) decoder, and an unknown id
+    /// fails as [`GdError::UnknownCodec`].
     pub fn decode_payload(
         &mut self,
         key: FlowKey,
+        codec: Option<CodecId>,
         packet_type: PacketType,
         bytes: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<(), FlowError> {
         let flow = self.flow_mut(key)?;
-        flow.dec.restore_payload_into(packet_type, bytes, out)?;
+        flow.dec
+            .restore_payload_tagged(codec, packet_type, bytes, out)?;
         Ok(())
     }
 
@@ -850,16 +868,18 @@ impl FlowDecoderPool {
             FlowEvent::Payload {
                 key,
                 packet_type,
+                codec,
                 bytes,
-            } => self.decode_payload(*key, *packet_type, bytes, out),
+            } => self.decode_payload(*key, *codec, *packet_type, bytes, out),
             FlowEvent::Control { key, update } => self.observe_control(*key, update),
         }
     }
 
-    /// Closes `key`'s decoder, returning its statistics.
+    /// Closes `key`'s decoder, returning its statistics (merged across
+    /// every codec the flow's payloads dispatched to).
     pub fn close(&mut self, key: FlowKey) -> Result<CompressionStats, FlowError> {
         let flow = self.flows.remove(&key).ok_or(FlowError::UnknownFlow(key))?;
-        Ok(*flow.dec.stats())
+        Ok(flow.dec.stats())
     }
 
     /// Number of open flow decoders.

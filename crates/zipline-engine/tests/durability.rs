@@ -83,7 +83,9 @@ fn committed_events(committed: Vec<CommittedEntry>) -> Vec<WireEvent> {
     committed
         .into_iter()
         .map(|entry| match entry {
-            CommittedEntry::Frame { packet_type, bytes } => WireEvent::Payload(packet_type, bytes),
+            CommittedEntry::Frame {
+                packet_type, bytes, ..
+            } => WireEvent::Payload(packet_type, bytes),
             CommittedEntry::Control(update) => WireEvent::Update(update),
         })
         .collect()

@@ -217,6 +217,10 @@ impl zipline_engine::CompressionBackend for FailingBackend {
         Ok(Self::default())
     }
 
+    fn codec_id(&self) -> zipline_engine::CodecId {
+        zipline_engine::CODEC_PASSTHROUGH
+    }
+
     fn unit_bytes(&self) -> usize {
         1
     }

@@ -29,6 +29,8 @@ pub enum GdError {
     Malformed(String),
     /// An identifier does not fit in the configured identifier width.
     IdentifierOverflow { id: u64, bits: u32 },
+    /// A per-batch codec tag named an id no registry entry covers.
+    UnknownCodec(u8),
 }
 
 impl fmt::Display for GdError {
@@ -54,6 +56,7 @@ impl fmt::Display for GdError {
             GdError::IdentifierOverflow { id, bits } => {
                 write!(f, "identifier {id} does not fit in {bits} bits")
             }
+            GdError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
         }
     }
 }

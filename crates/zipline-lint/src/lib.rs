@@ -24,6 +24,10 @@
 //!   lint fails until the shim is deleted.
 //! * **L005 error-enum hygiene** — public `*Error` enums are
 //!   `#[non_exhaustive]` and implement `Display` + `std::error::Error`.
+//! * **L006 codec-id exhaustiveness** — every `CODEC_*` constant declared
+//!   in `zipline-engine/src/registry.rs` must have a registry `.entry(…)`,
+//!   an encode site, a decode match/comparison, and test coverage, so no
+//!   codec id ships that the registry cannot build or nothing can parse.
 //!
 //! Findings print as `path:line: RULE: message` and a non-empty set makes
 //! the binary exit non-zero, so CI can gate on it directly. Opt-outs are

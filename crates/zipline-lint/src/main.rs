@@ -12,7 +12,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: zipline-lint --workspace [--root <path>]\n\
          \n\
-         Checks the workspace invariants (L001..L005) and prints findings\n\
+         Checks the workspace invariants (L001..L006) and prints findings\n\
          as `path:line: RULE: message`. Exits 1 on findings, 2 on errors.\n\
          \n\
          --workspace      lint the whole workspace (required; the only mode)\n\

@@ -1,4 +1,4 @@
-//! The five workspace-invariant rules. Each is a pure function from the
+//! The six workspace-invariant rules. Each is a pure function from the
 //! lexed [`Workspace`] to a list of [`Finding`]s; `run_all` applies every
 //! rule plus the allow-directive hygiene pass.
 //!
@@ -9,6 +9,7 @@
 //! | L003 | every criterion bench group is in the CI gate's tracked set (or explicitly allowed) |
 //! | L004 | `#[deprecated]` items name a removal version that has not been reached |
 //! | L005 | public error enums are `#[non_exhaustive]` and implement `Display` + `Error` |
+//! | L006 | every `CODEC_*` codec id has a registry entry, an encode site, a decode match and test coverage |
 //!
 //! Every rule honors `// zipline-lint: allow(CODE): justification` on the
 //! finding's line or the line above; see [`crate::source`].
@@ -26,7 +27,7 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule code (`L001` … `L005`, or `BAD-ALLOW`).
+    /// Rule code (`L001` … `L006`, or `BAD-ALLOW`).
     pub rule: String,
     /// Human-readable description of the violation.
     pub message: String,
@@ -52,7 +53,7 @@ fn finding(file: &SourceFile, line: u32, rule: &str, message: impl Into<String>)
 }
 
 /// Rule codes an allow directive may name.
-pub const KNOWN_RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005"];
+pub const KNOWN_RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005", "L006"];
 
 /// Runs every rule and the allow-hygiene pass; findings come back sorted
 /// by path, line, rule.
@@ -64,6 +65,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
     findings.extend(l003_tracked_bench_sync(ws));
     findings.extend(l004_deprecation_expiry(ws));
     findings.extend(l005_error_enum_hygiene(ws));
+    findings.extend(l006_codec_id_exhaustiveness(ws));
     findings.sort();
     findings
 }
@@ -556,6 +558,138 @@ fn l005_error_enum_hygiene(ws: &Workspace) -> Vec<Finding> {
         }
     }
     findings
+}
+
+// ---------------------------------------------------------------------------
+// L006 — codec-id exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// The file whose `CODEC_*` constants define the codec id space.
+pub const L006_REGISTRY_FILE: &str = "crates/zipline-engine/src/registry.rs";
+
+const L006: &str = "L006";
+
+/// Every `CODEC_*` constant declared in the codec registry must be
+/// registered (a `.entry(CODEC_X, …)` call in the registry file), appear at
+/// an encode site, in a decode match/comparison, and in at least one test.
+/// A codec id that only exists as a constant is a wire byte nothing can
+/// produce or parse — exactly the drift this rule pins down. Occurrences
+/// inside `use` declarations are ignored: a re-export is not an encode site.
+fn l006_codec_id_exhaustiveness(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(decl_file) = ws.file(L006_REGISTRY_FILE) else {
+        return findings;
+    };
+    for (name, decl_line) in codec_const_declarations(decl_file) {
+        let mut has_entry = false;
+        let mut has_encode = false;
+        let mut has_decode = false;
+        let mut has_test = false;
+        for file in &ws.files {
+            let in_use = use_statement_tokens(&file.tokens);
+            for (i, tok) in file.tokens.iter().enumerate() {
+                if tok.kind.ident() != Some(name.as_str()) || in_use[i] {
+                    continue;
+                }
+                // Skip the declaration itself.
+                if file.rel_path == L006_REGISTRY_FILE
+                    && i > 0
+                    && file.tokens[i - 1].kind.ident() == Some("const")
+                {
+                    continue;
+                }
+                let in_test = file.rel_path.contains("/tests/") || file.in_test_scope(tok.line);
+                if in_test {
+                    has_test = true;
+                    continue;
+                }
+                // Registry entry: the first argument of an `.entry(…)` call
+                // in the registry file. Registration alone is neither an
+                // encode nor a decode site.
+                if file.rel_path == L006_REGISTRY_FILE
+                    && i >= 2
+                    && file.tokens[i - 1].kind.is_punct('(')
+                    && file.tokens[i - 2].kind.ident() == Some("entry")
+                {
+                    has_entry = true;
+                    continue;
+                }
+                let next = file.tokens.get(i + 1).map(|t| &t.kind);
+                let prev = i.checked_sub(1).map(|p| &file.tokens[p].kind);
+                let is_decode = matches!(next, Some(TokKind::FatArrow))
+                    || matches!(next, Some(TokKind::Punct('|')))
+                    || matches!(next, Some(TokKind::EqEq))
+                    || matches!(prev, Some(TokKind::EqEq));
+                if is_decode {
+                    has_decode = true;
+                } else {
+                    has_encode = true;
+                }
+            }
+        }
+        let mut missing = Vec::new();
+        if !has_entry {
+            missing.push("a registry entry (`.entry(…)` in the registry)");
+        }
+        if !has_encode {
+            missing.push("an encode site");
+        }
+        if !has_decode {
+            missing.push("a decode match/comparison");
+        }
+        if !has_test {
+            missing.push("test coverage (a `#[cfg(test)]` or tests/ reference)");
+        }
+        if !missing.is_empty() && !decl_file.is_allowed(L006, decl_line) {
+            findings.push(finding(
+                decl_file,
+                decl_line,
+                L006,
+                format!(
+                    "codec id `{name}` is missing {} — an id the registry cannot \
+                     build, nothing emits or nothing parses is codec-space drift",
+                    missing.join(" and ")
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// `const CODEC_*` declarations in one file: `(name, line)`.
+fn codec_const_declarations(file: &SourceFile) -> Vec<(String, u32)> {
+    let mut decls = Vec::new();
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind.ident() == Some("const") {
+            if let Some(next) = toks.get(i + 1) {
+                if let Some(name) = next.kind.ident() {
+                    if name.starts_with("CODEC_") {
+                        decls.push((name.to_string(), next.line));
+                    }
+                }
+            }
+        }
+    }
+    decls
+}
+
+/// Marks every token that belongs to a `use` declaration (from the `use`
+/// keyword through its terminating `;`), so imports and re-exports can be
+/// excluded from site classification.
+fn use_statement_tokens(toks: &[Tok]) -> Vec<bool> {
+    let mut in_use = vec![false; toks.len()];
+    let mut active = false;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind.ident() == Some("use") {
+            active = true;
+        }
+        in_use[i] = active;
+        if active && tok.kind.is_punct(';') {
+            active = false;
+        }
+    }
+    in_use
 }
 
 /// The `src/` tree prefix of the crate owning `rel_path`, or `None` for

@@ -1,0 +1,31 @@
+//! Fixture for L006: every codec id constant must be registered,
+//! encoded, decoded and tested.
+
+pub struct CodecId(pub u8);
+
+pub const CODEC_FULL: CodecId = CodecId(1);
+pub const CODEC_NOENTRY: CodecId = CodecId(2);
+pub const CODEC_BARE: CodecId = CodecId(3);
+// zipline-lint: allow(L006): reserved id, wired up in the next PR
+pub const CODEC_RESERVED: CodecId = CodecId(9);
+
+pub fn standard(registry: &mut Registry) {
+    registry.entry(CODEC_FULL, "full");
+}
+
+pub fn emit(out: &mut Vec<u8>) {
+    out.push(CODEC_FULL.0);
+    out.push(CODEC_NOENTRY.0);
+}
+
+pub fn parse(id: u8) -> bool {
+    id == CODEC_FULL.0 || id == CODEC_NOENTRY.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ids_are_distinct() {
+        assert!(super::CODEC_FULL.0 != super::CODEC_NOENTRY.0);
+    }
+}

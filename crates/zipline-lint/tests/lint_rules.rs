@@ -107,6 +107,41 @@ fn l005_requires_non_exhaustive_display_and_error() {
 }
 
 #[test]
+fn l006_requires_entry_encode_decode_and_test_per_codec_id() {
+    const REGISTRY: &str = "crates/zipline-engine/src/registry.rs";
+    let findings = fixture_findings();
+    assert_eq!(
+        sites(&findings, "L006"),
+        vec![
+            (REGISTRY.into(), 7), // CODEC_NOENTRY: never registered
+            (REGISTRY.into(), 8), // CODEC_BARE: nothing at all
+        ],
+        "CODEC_FULL is fully covered; CODEC_RESERVED is allowed"
+    );
+    let noentry = findings
+        .iter()
+        .find(|f| f.rule == "L006" && f.line == 7)
+        .expect("CODEC_NOENTRY finding");
+    assert!(
+        noentry.message.contains("registry entry"),
+        "{}",
+        noentry.message
+    );
+    assert!(
+        !noentry.message.contains("encode site") && !noentry.message.contains("decode"),
+        "CODEC_NOENTRY is encoded and decoded: {}",
+        noentry.message
+    );
+    let bare = findings
+        .iter()
+        .find(|f| f.rule == "L006" && f.line == 8)
+        .expect("CODEC_BARE finding");
+    for facet in ["registry entry", "encode site", "decode", "test"] {
+        assert!(bare.message.contains(facet), "{}", bare.message);
+    }
+}
+
+#[test]
 fn malformed_allows_are_findings_not_silent_noops() {
     let findings = fixture_findings();
     assert_eq!(
@@ -122,7 +157,7 @@ fn malformed_allows_are_findings_not_silent_noops() {
 fn fixture_total_is_exactly_the_cases_above() {
     // A new rule or a detection change must update the expectations, not
     // slip extra findings past them.
-    assert_eq!(fixture_findings().len(), 17);
+    assert_eq!(fixture_findings().len(), 19);
 }
 
 /// L003's reverse direction: a group in the tracked set with no

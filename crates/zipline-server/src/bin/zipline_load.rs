@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! zipline-load [--connect ENDPOINT | --spawn tcp|uds]
+//!              [--backend gd|deflate|hybrid|auto]
 //!              [--workloads sensor,dns,flows,churn] [--connections N]
 //!              [--flows N] [--tenants N]
 //!              [--chunks N] [--window-chunks N] [--batch-chunks N]
@@ -26,7 +27,8 @@ use std::process::ExitCode;
 use zipline::host::HostPathConfig;
 use zipline_engine::SyncPolicy;
 use zipline_server::{
-    run_closed_loop, run_multiplexed, Endpoint, LoadConfig, ServerConfig, ServerHandle,
+    run_closed_loop, run_multiplexed, BackendChoice, Endpoint, LoadConfig, ServerConfigBuilder,
+    ServerHandle,
 };
 use zipline_traces::{
     ChunkWorkload, ChurnWorkload, ChurnWorkloadConfig, DnsWorkload, DnsWorkloadConfig,
@@ -37,11 +39,14 @@ use zipline_traces::{
 fn usage() -> ! {
     eprintln!(
         "usage: zipline-load [--connect ENDPOINT | --spawn tcp|uds]\n\
+         \x20                   [--backend gd|deflate|hybrid|auto]\n\
          \x20                   [--workloads sensor,dns,flows,churn] [--connections N]\n\
          \x20                   [--flows N] [--tenants N]\n\
          \x20                   [--chunks N] [--window-chunks N] [--batch-chunks N]\n\
          \x20                   [--durable DIR] [--sync data|flush]\n\
-         Default: --spawn tcp --workloads sensor,dns --connections 2.\n\
+         Default: --spawn tcp --backend gd --workloads sensor,dns --connections 2.\n\
+         --backend also shapes the ack accounting when connecting out, so\n\
+         pass the server's backend with --connect.\n\
          --flows N drives N multiplexed flows per connection instead of\n\
          the named workloads and reports per-tenant lines."
     );
@@ -58,6 +63,7 @@ struct Args {
     chunks: Option<usize>,
     window_chunks: usize,
     host: HostPathConfig,
+    backend: BackendChoice,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +77,7 @@ fn parse_args() -> Args {
         chunks: None,
         window_chunks: 512,
         host: HostPathConfig::paper_default(),
+        backend: BackendChoice::Gd,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -98,6 +105,13 @@ fn parse_args() -> Args {
                     .map(|s| s.trim().to_string())
                     .filter(|s| !s.is_empty())
                     .collect()
+            }
+            "--backend" => {
+                let name = value("--backend");
+                parsed.backend = BackendChoice::parse_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown backend {name:?} (expected gd, deflate, hybrid or auto)");
+                    usage();
+                })
             }
             "--connections" => parsed.connections = numeric(&value("--connections")),
             "--flows" => parsed.flows = Some(numeric(&value("--flows"))),
@@ -206,7 +220,17 @@ fn main() -> ExitCode {
             }
         },
         None => {
-            let config = ServerConfig::from_host(args.host.clone());
+            let config = match ServerConfigBuilder::new()
+                .host(args.host.clone())
+                .backend(args.backend)
+                .build()
+            {
+                Ok(config) => config,
+                Err(e) => {
+                    eprintln!("zipline-load: {e}");
+                    return ExitCode::from(2);
+                }
+            };
             let handle = if args.spawn_uds {
                 #[cfg(unix)]
                 {
@@ -242,6 +266,7 @@ fn main() -> ExitCode {
         window_chunks: args.window_chunks,
         chunk_bytes: args.host.engine.gd.chunk_bytes,
         batch_chunks: args.host.batch_chunks,
+        backend: args.backend,
     };
 
     let mut failed = false;

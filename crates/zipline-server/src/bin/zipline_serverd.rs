@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! zipline-serverd [--listen tcp://127.0.0.1:7641 | unix://PATH]
+//!                 [--backend gd|deflate|hybrid|auto]
 //!                 [--durable DIR] [--sync data]
 //!                 [--batch-chunks N] [--pipeline-depth N]
 //!                 [--writer-depth N] [--checkpoint-cadence N]
@@ -17,11 +18,12 @@ use std::process::ExitCode;
 
 use zipline::host::HostPathConfig;
 use zipline_engine::SyncPolicy;
-use zipline_server::{Endpoint, ServerConfig, ServerHandle};
+use zipline_server::{BackendChoice, Endpoint, ServerConfig, ServerConfigBuilder, ServerHandle};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: zipline-serverd [--listen ENDPOINT] [--durable DIR] [--sync data|flush]\n\
+        "usage: zipline-serverd [--listen ENDPOINT] [--backend gd|deflate|hybrid|auto]\n\
+         \x20                      [--durable DIR] [--sync data|flush]\n\
          \x20                      [--batch-chunks N] [--pipeline-depth N]\n\
          \x20                      [--writer-depth N] [--checkpoint-cadence N]\n\
          ENDPOINT is tcp://host:port, unix://path or a bare host:port.\n\
@@ -39,11 +41,19 @@ fn parse_args() -> Args {
     let mut listen = "tcp://127.0.0.1:7641".to_string();
     let mut host = HostPathConfig::paper_default();
     let mut writer_depth = 256usize;
+    let mut backend = BackendChoice::Gd;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_for(flag));
         match flag.as_str() {
             "--listen" => listen = value("--listen"),
+            "--backend" => {
+                let name = value("--backend");
+                backend = BackendChoice::parse_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown backend {name:?} (expected gd, deflate, hybrid or auto)");
+                    usage();
+                })
+            }
             "--durable" => host.durable = Some(value("--durable").into()),
             "--sync" => {
                 host.sync = match value("--sync").as_str() {
@@ -68,8 +78,15 @@ fn parse_args() -> Args {
             }
         }
     }
-    let mut config = ServerConfig::from_host(host);
-    config.writer_depth = writer_depth;
+    let config = ServerConfigBuilder::new()
+        .host(host)
+        .writer_depth(writer_depth)
+        .backend(backend)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("zipline-serverd: {e}");
+            std::process::exit(2);
+        });
     Args { listen, config }
 }
 

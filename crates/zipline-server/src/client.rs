@@ -10,7 +10,7 @@ use std::io::Write;
 use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::thread::{self, JoinHandle};
 
-use zipline_engine::{DictionaryUpdate, FlowKey};
+use zipline_engine::{CodecId, CodecRegistry, DictionaryUpdate, FlowKey};
 use zipline_gd::packet::PacketType;
 
 use crate::error::{ServerError, ServerResult};
@@ -18,6 +18,13 @@ use crate::net::{Conn, Endpoint};
 use crate::wire::{
     ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError,
 };
+
+/// The codec ids this client can decode: everything in the standard
+/// registry, advertised in the hello so the server can refuse a stream the
+/// client could not restore.
+fn supported_codecs() -> Vec<CodecId> {
+    CodecRegistry::standard().ids()
+}
 
 /// One server record, as observed by the client.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +35,8 @@ pub enum ServerEvent {
     Payload {
         /// ZipLine packet type.
         packet_type: PacketType,
+        /// Per-batch codec tag; `None` means the stream's fixed backend.
+        codec: Option<CodecId>,
         /// Payload bytes.
         bytes: Vec<u8>,
     },
@@ -54,6 +63,8 @@ pub enum ServerEvent {
         key: FlowKey,
         /// ZipLine packet type.
         packet_type: PacketType,
+        /// Per-batch codec tag; `None` means the flow's fixed backend.
+        codec: Option<CodecId>,
         /// Payload bytes.
         bytes: Vec<u8>,
     },
@@ -104,9 +115,15 @@ impl ClientSession {
                         Ok(Some(record)) => {
                             let event = match record {
                                 Record::ServerHello(h) => ServerEvent::Hello(h),
-                                Record::Payload { packet_type, bytes } => {
-                                    ServerEvent::Payload { packet_type, bytes }
-                                }
+                                Record::Payload {
+                                    packet_type,
+                                    codec,
+                                    bytes,
+                                } => ServerEvent::Payload {
+                                    packet_type,
+                                    codec,
+                                    bytes,
+                                },
                                 Record::Control(update) => ServerEvent::Control(update),
                                 Record::Reseed(update) => ServerEvent::Reseed(update),
                                 Record::Done(done) => ServerEvent::Done(done),
@@ -117,10 +134,12 @@ impl ClientSession {
                                 Record::FlowPayload {
                                     key,
                                     packet_type,
+                                    codec,
                                     bytes,
                                 } => ServerEvent::FlowPayload {
                                     key,
                                     packet_type,
+                                    codec,
                                     bytes,
                                 },
                                 Record::FlowControl { key, update } => {
@@ -172,22 +191,19 @@ impl ClientSession {
     /// records this client already holds from the stream's current journal
     /// epoch (0 for a fresh stream or after a clean `Done`).
     pub fn hello(&mut self, stream_id: u64, entries_held: u64) -> ServerResult<ServerHello> {
-        self.hello_record(ClientHello {
-            stream_id,
-            entries_held,
-            multiplex: false,
-        })
+        let mut hello = ClientHello::new(stream_id, entries_held);
+        hello.codecs = supported_codecs();
+        self.hello_record(hello)
     }
 
     /// Opens a **multiplexed** connection: the server acknowledges with a
     /// connection-level hello, then every flow opens individually via
     /// [`Self::open_flow`].
     pub fn hello_multiplex(&mut self) -> ServerResult<ServerHello> {
-        self.hello_record(ClientHello {
-            stream_id: 0,
-            entries_held: 0,
-            multiplex: true,
-        })
+        let mut hello = ClientHello::new(0, 0);
+        hello.multiplex = true;
+        hello.codecs = supported_codecs();
+        self.hello_record(hello)
     }
 
     fn hello_record(&mut self, hello: ClientHello) -> ServerResult<ServerHello> {

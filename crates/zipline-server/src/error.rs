@@ -31,6 +31,8 @@ pub enum ServerError {
     },
     /// Well-formed records in an order the protocol forbids.
     Protocol(String),
+    /// A configuration value rejected at build time.
+    Config(String),
     /// The peer reported a failure via an `ERROR` record.
     Remote(String),
     /// The peer vanished (clean close or reset) where the protocol still
@@ -45,6 +47,7 @@ impl fmt::Display for ServerError {
             ServerError::Engine(e) => write!(f, "engine error: {e}"),
             ServerError::Io { context, source } => write!(f, "i/o error while {context}: {source}"),
             ServerError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ServerError::Config(what) => write!(f, "invalid configuration: {what}"),
             ServerError::Remote(message) => write!(f, "peer reported: {message}"),
             ServerError::Disconnected => write!(f, "peer disconnected mid-protocol"),
         }

@@ -76,9 +76,12 @@ pub use error::{ServerError, ServerResult};
 pub use histogram::LatencyHistogram;
 pub use load::{run_closed_loop, run_multiplexed, LoadConfig, LoadReport, TenantLine};
 pub use net::Endpoint;
-pub use server::{stream_dir, ServerConfig, ServerHandle, ServerReport, StatsSnapshot};
+pub use server::{
+    stream_dir, BackendChoice, ServerConfig, ServerConfigBuilder, ServerHandle, ServerReport,
+    StatsSnapshot,
+};
 pub use wire::{
     ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError,
-    MAX_WIRE_RECORD_BYTES, WIRE_VERSION,
+    MAX_WIRE_RECORD_BYTES, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 pub use zipline_flow::{FlowDecoderPool, FlowKey};

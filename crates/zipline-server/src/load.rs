@@ -18,13 +18,14 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use zipline_engine::FlowKey;
+use zipline_engine::{CodecId, FlowKey, CODEC_GD, CODEC_PASSTHROUGH};
 use zipline_traces::{ChunkWorkload, ManyFlowsWorkload};
 
 use crate::client::{ClientSession, ServerEvent};
 use crate::error::{ServerError, ServerResult};
 use crate::histogram::LatencyHistogram;
 use crate::net::Endpoint;
+use crate::server::BackendChoice;
 use crate::wire::DoneSummary;
 use zipline_gd::packet::PacketType;
 
@@ -41,17 +42,23 @@ pub struct LoadConfig {
     /// Engine batch size in chunks (the window floor; must match the
     /// server's [`ServerConfig::host`](crate::ServerConfig)).
     pub batch_chunks: usize,
+    /// Backend the server is running (must match the server's
+    /// [`ServerConfig::backend`](crate::ServerConfig)); drives the
+    /// acknowledgement accounting — container backends answer a whole
+    /// batch per payload, GD answers per chunk.
+    pub backend: BackendChoice,
 }
 
 impl LoadConfig {
     /// A small shape suitable for smoke runs: 2 connections, 32-byte
-    /// chunks, 256-chunk batches, 512-chunk window.
+    /// chunks, 256-chunk batches, 512-chunk window, GD backend.
     pub fn smoke() -> Self {
         Self {
             connections: 2,
             window_chunks: 512,
             chunk_bytes: 32,
             batch_chunks: 256,
+            backend: BackendChoice::Gd,
         }
     }
 
@@ -204,6 +211,10 @@ struct ConnOutcome {
 /// Per-connection closed-loop state machine over the event stream.
 struct Driver {
     chunk_bytes: u64,
+    batch_bytes: u64,
+    /// The stream's fixed backend emits whole-batch containers (deflate,
+    /// hybrid), so untagged payloads ack a batch, not a chunk.
+    container_default: bool,
     acked: u64,
     pending: VecDeque<(u64, Instant)>,
     latency: LatencyHistogram,
@@ -214,9 +225,14 @@ struct Driver {
 }
 
 impl Driver {
-    fn new(chunk_bytes: usize) -> Self {
+    fn new(config: &LoadConfig) -> Self {
         Self {
-            chunk_bytes: chunk_bytes as u64,
+            chunk_bytes: config.chunk_bytes as u64,
+            batch_bytes: (config.chunk_bytes as u64) * (config.batch_chunks as u64),
+            container_default: matches!(
+                config.backend,
+                BackendChoice::Deflate | BackendChoice::Hybrid
+            ),
             acked: 0,
             pending: VecDeque::new(),
             latency: LatencyHistogram::new(),
@@ -230,16 +246,30 @@ impl Driver {
     /// Accounts one restored payload against the byte window. Acks are
     /// cumulative across flows on a multiplexed connection, so latency is
     /// measured on the aggregate loop, not per flow.
-    fn ack_payload(&mut self, packet_type: PacketType, bytes: &[u8]) {
+    ///
+    /// A container payload (deflate/hybrid member, whether the stream's
+    /// fixed backend or a per-batch codec tag says so) restores a whole
+    /// engine batch; the final partial batch over-credits, which only
+    /// closes the window early on a loop that has already sent everything.
+    fn ack_payload(&mut self, codec: Option<CodecId>, packet_type: PacketType, bytes: &[u8]) {
         self.payloads += 1;
-        match packet_type {
-            // A raw payload carries its own bytes verbatim — the
-            // flush tail, shorter than a chunk; account exactly.
-            PacketType::Raw => self.acked += bytes.len() as u64,
-            // Compressed/uncompressed payloads each restore one
-            // engine chunk of input.
-            _ => self.acked += self.chunk_bytes,
-        }
+        let container = match codec {
+            Some(id) => id != CODEC_GD && id != CODEC_PASSTHROUGH,
+            None => self.container_default,
+        };
+        let credit = if container {
+            self.batch_bytes
+        } else {
+            match packet_type {
+                // A raw payload carries its own bytes verbatim — the
+                // flush tail, shorter than a chunk; account exactly.
+                PacketType::Raw => bytes.len() as u64,
+                // Compressed/uncompressed payloads each restore one
+                // engine chunk of input.
+                _ => self.chunk_bytes,
+            }
+        };
+        self.acked = self.acked.saturating_add(credit);
         let now = Instant::now();
         while let Some(&(cum, sent_at)) = self.pending.front() {
             if cum <= self.acked {
@@ -253,11 +283,18 @@ impl Driver {
 
     fn on_event(&mut self, event: ServerEvent) -> ServerResult<()> {
         match event {
-            ServerEvent::Payload { packet_type, bytes }
+            ServerEvent::Payload {
+                packet_type,
+                codec,
+                bytes,
+            }
             | ServerEvent::FlowPayload {
-                packet_type, bytes, ..
+                packet_type,
+                codec,
+                bytes,
+                ..
             } => {
-                self.ack_payload(packet_type, &bytes);
+                self.ack_payload(codec, packet_type, &bytes);
                 Ok(())
             }
             ServerEvent::Control(_)
@@ -302,7 +339,7 @@ fn drive_connection(
     session.hello(stream_id, 0)?;
 
     let start = Instant::now();
-    let mut driver = Driver::new(config.chunk_bytes);
+    let mut driver = Driver::new(config);
     let mut sent = 0u64;
     let mut records_sent = 0u64;
 
@@ -373,7 +410,7 @@ fn drive_multiplexed(
     }
 
     let start = Instant::now();
-    let mut driver = Driver::new(config.chunk_bytes);
+    let mut driver = Driver::new(config);
     let mut sent = 0u64;
     let mut records_sent = 0u64;
 

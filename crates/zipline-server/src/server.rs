@@ -72,8 +72,9 @@ use std::time::Duration;
 
 use zipline::host::HostPathConfig;
 use zipline_engine::{
-    CommittedEntry, CompressionBackend, CompressionEngine, DictionaryUpdate, EngineError,
-    GdBackend, PipelinedStream, StreamSummary,
+    AutoBackend, CodecCursor, CodecId, CommittedEntry, CompressionBackend, CompressionEngine,
+    DeflateBackend, DictionaryUpdate, EngineError, GdBackend, HybridGdDeflateBackend,
+    PipelinedStream, StreamSummary, SyncPolicy,
 };
 use zipline_flow::{flow_dir, FlowError, FlowEvent, FlowKey, FlowRouter, FlowRouterConfig};
 use zipline_gd::packet::PacketType;
@@ -81,7 +82,7 @@ use zipline_gd::packet::PacketType;
 use crate::error::{ServerError, ServerResult};
 use crate::net::{Conn, Endpoint, Listener};
 use crate::wire::{
-    ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError,
+    ClientHello, DoneSummary, Record, RecordReader, ServerHello, WireCodec, WireError, WIRE_VERSION,
 };
 
 /// Boxed payload sink handed to the pipelined stream.
@@ -89,8 +90,58 @@ type PayloadSink = Box<dyn FnMut(PacketType, &[u8])>;
 /// Boxed control sink handed to the pipelined stream.
 type ControlSink = Box<dyn FnMut(&DictionaryUpdate)>;
 
+/// Which compression backend the server builds for every stream, selected
+/// by name from the codec registry (plus the `auto` router, which has no
+/// registry id of its own — it routes each batch to a registered codec).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Generalized deduplication (the paper's engine); registry id 1.
+    #[default]
+    Gd,
+    /// Plain DEFLATE/gzip batches; registry id 2.
+    Deflate,
+    /// GD first, gzip the residue — one container per batch; registry id 4.
+    Hybrid,
+    /// Per-batch sampling router over GD and deflate; emissions carry
+    /// per-batch codec tags, so `auto` requires a wire-v3 peer.
+    Auto,
+}
+
+impl BackendChoice {
+    /// Parses a backend name as accepted by `--backend` (`gd`, `deflate`,
+    /// `hybrid`, `auto`).
+    pub fn parse_name(name: &str) -> Option<Self> {
+        match name {
+            "gd" => Some(Self::Gd),
+            "deflate" => Some(Self::Deflate),
+            "hybrid" => Some(Self::Hybrid),
+            "auto" => Some(Self::Auto),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (`parse_name`'s inverse).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Gd => "gd",
+            Self::Deflate => "deflate",
+            Self::Hybrid => "hybrid",
+            Self::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Server configuration: the host-path shape every stream engine is built
-/// from, plus the response writer's depth.
+/// from, the backend choice, and the response writer's depth.
+///
+/// Build one with [`ServerConfigBuilder`] (validated) or the
+/// [`Self::paper_default`]/[`Self::durable`] shorthands.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Engine/host configuration applied to every stream. When
@@ -101,28 +152,146 @@ pub struct ServerConfig {
     pub host: HostPathConfig,
     /// Bound of the per-connection ordered writer, in framed records.
     pub writer_depth: usize,
+    /// Backend every stream engine is built over.
+    pub backend: BackendChoice,
 }
 
 impl ServerConfig {
-    /// Paper-default host path, pipelined at depth 2, 256-record writer.
+    /// Paper-default host path, pipelined at depth 2, 256-record writer,
+    /// GD backend.
     pub fn paper_default() -> Self {
-        Self::from_host(HostPathConfig::paper_default())
+        // Defaults are valid by construction — no need for the fallible
+        // `build` (which exists to catch caller-supplied zeroes).
+        ServerConfigBuilder::new().finish_unchecked()
     }
 
     /// Paper defaults with a durable store rooted at `dir`.
     pub fn durable(dir: impl Into<PathBuf>) -> Self {
-        Self::from_host(HostPathConfig::durable(dir))
+        ServerConfigBuilder::new()
+            .store_root(dir)
+            .finish_unchecked()
     }
 
     /// Wraps an explicit host configuration (pipelining promoted, see
     /// [`Self::host`]).
-    pub fn from_host(mut host: HostPathConfig) -> Self {
-        if host.pipeline_depth.is_none() {
-            host.pipeline_depth = Some(2);
-        }
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServerConfigBuilder (validated, names every knob); remove in 0.2.0"
+    )]
+    pub fn from_host(host: HostPathConfig) -> Self {
+        ServerConfigBuilder::new().host(host).finish_unchecked()
+    }
+}
+
+/// Validated builder for [`ServerConfig`], mirroring the engine's builder
+/// idiom: every knob is named, and `build` rejects nonsensical values with
+/// a typed error instead of letting them fail deep inside a handler.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    host: HostPathConfig,
+    writer_depth: usize,
+    backend: BackendChoice,
+}
+
+impl Default for ServerConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerConfigBuilder {
+    /// Paper-default host path, 256-record writer, GD backend.
+    pub fn new() -> Self {
         Self {
-            host,
+            host: HostPathConfig::paper_default(),
             writer_depth: 256,
+            backend: BackendChoice::Gd,
+        }
+    }
+
+    /// Replaces the whole host configuration (the other host knobs below
+    /// then mutate this value).
+    pub fn host(mut self, host: HostPathConfig) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Roots a durable store at `dir`; each stream journals below it.
+    pub fn store_root(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.host.durable = Some(dir.into());
+        self
+    }
+
+    /// Chunks per compression batch.
+    pub fn batch_chunks(mut self, chunks: usize) -> Self {
+        self.host.batch_chunks = chunks;
+        self
+    }
+
+    /// In-flight batch bound of each stream's pipeline.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.host.pipeline_depth = Some(depth);
+        self
+    }
+
+    /// Commits between durable checkpoints.
+    pub fn checkpoint_cadence(mut self, cadence: u64) -> Self {
+        self.host.checkpoint_cadence = cadence;
+        self
+    }
+
+    /// Durability barrier of the store's commits.
+    pub fn sync(mut self, sync: SyncPolicy) -> Self {
+        self.host.sync = sync;
+        self
+    }
+
+    /// Stream dictionary updates to clients as they commit.
+    pub fn live_sync(mut self, live: bool) -> Self {
+        self.host.live_sync = live;
+        self
+    }
+
+    /// Bound of the per-connection ordered writer, in framed records.
+    pub fn writer_depth(mut self, depth: usize) -> Self {
+        self.writer_depth = depth;
+        self
+    }
+
+    /// Backend every stream engine is built over.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> ServerResult<ServerConfig> {
+        if self.writer_depth == 0 {
+            return Err(ServerError::Config(
+                "writer_depth must be at least 1".into(),
+            ));
+        }
+        if self.host.batch_chunks == 0 {
+            return Err(ServerError::Config(
+                "batch_chunks must be at least 1".into(),
+            ));
+        }
+        if self.host.pipeline_depth == Some(0) {
+            return Err(ServerError::Config(
+                "pipeline_depth must be at least 1".into(),
+            ));
+        }
+        Ok(self.finish_unchecked())
+    }
+
+    fn finish_unchecked(mut self) -> ServerConfig {
+        if self.host.pipeline_depth.is_none() {
+            self.host.pipeline_depth = Some(2);
+        }
+        ServerConfig {
+            host: self.host,
+            writer_depth: self.writer_depth,
+            backend: self.backend,
         }
     }
 }
@@ -227,9 +396,15 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Binds a TCP listener (GD backend) and starts serving.
+    /// Binds a TCP listener and starts serving over the configured
+    /// [`BackendChoice`].
     pub fn bind_tcp(addr: impl ToSocketAddrs, config: ServerConfig) -> ServerResult<Self> {
-        Self::bind_tcp_with::<GdBackend>(addr, config)
+        match config.backend {
+            BackendChoice::Gd => Self::bind_tcp_with::<GdBackend>(addr, config),
+            BackendChoice::Deflate => Self::bind_tcp_with::<DeflateBackend>(addr, config),
+            BackendChoice::Hybrid => Self::bind_tcp_with::<HybridGdDeflateBackend>(addr, config),
+            BackendChoice::Auto => Self::bind_tcp_with::<AutoBackend>(addr, config),
+        }
     }
 
     /// Binds a TCP listener serving engines over backend `B`.
@@ -240,10 +415,16 @@ impl ServerHandle {
         Self::start::<B>(Listener::bind_tcp(addr)?, config)
     }
 
-    /// Binds a Unix-domain listener (GD backend) and starts serving.
+    /// Binds a Unix-domain listener and starts serving over the configured
+    /// [`BackendChoice`].
     #[cfg(unix)]
     pub fn bind_uds(path: impl Into<PathBuf>, config: ServerConfig) -> ServerResult<Self> {
-        Self::bind_uds_with::<GdBackend>(path, config)
+        match config.backend {
+            BackendChoice::Gd => Self::bind_uds_with::<GdBackend>(path, config),
+            BackendChoice::Deflate => Self::bind_uds_with::<DeflateBackend>(path, config),
+            BackendChoice::Hybrid => Self::bind_uds_with::<HybridGdDeflateBackend>(path, config),
+            BackendChoice::Auto => Self::bind_uds_with::<AutoBackend>(path, config),
+        }
     }
 
     /// Binds a Unix-domain listener serving engines over backend `B`.
@@ -454,7 +635,7 @@ where
     };
 
     if hello.multiplex {
-        if let Err(e) = serve_flows::<B>(&shared, &conn, &mut reader) {
+        if let Err(e) = serve_flows::<B>(&shared, &conn, &mut reader, &hello) {
             // A deliberate abort is a staged crash, not a failure to report.
             if !shared.abort.load(Ordering::SeqCst) {
                 report_failure(&shared, &conn, &e);
@@ -516,14 +697,52 @@ fn flow_error(error: FlowError) -> ServerError {
     }
 }
 
-/// Renders a flow resume plan as the wire hello announcing it.
+/// Renders a flow resume plan as the wire hello announcing it. Version and
+/// codec set are neutral here; the connection-level hello carries the
+/// negotiated values (see [`negotiate_version`]).
 fn resume_hello(resume: &zipline_flow::FlowResume) -> ServerHello {
     ServerHello {
+        version: WIRE_VERSION,
         resume_bytes_in: resume.resume_bytes_in,
         replay_entries: resume.replay.len() as u64,
         reseed_entries: resume.reseed.len() as u64,
         warm: resume.warm,
+        codecs: Vec::new(),
     }
+}
+
+/// Negotiates the connection's wire version from the client hello and the
+/// stream backend's codec needs.
+///
+/// * The answer is `min(client, ours)` — a v2 peer gets a byte-exact v2
+///   `SERVER_HELLO` back.
+/// * A tagging backend (the `auto` router) emits per-batch codec tags,
+///   which only wire v3 can carry: a v2 peer is refused with a typed
+///   protocol error instead of being fed frames it cannot parse.
+/// * When a v3 client advertises a codec set, every codec the backend may
+///   emit must be in it; an empty advertisement means "no preference".
+fn negotiate_version(
+    hello: &ClientHello,
+    backend_codecs: &[CodecId],
+    tags: bool,
+) -> ServerResult<u16> {
+    let version = hello.version.min(WIRE_VERSION);
+    if tags && version < 3 {
+        return Err(ServerError::Protocol(format!(
+            "stream backend emits per-batch codec tags, which wire version {version} cannot carry"
+        )));
+    }
+    if version >= 3 && !hello.codecs.is_empty() {
+        for id in backend_codecs {
+            if !hello.codecs.contains(id) {
+                return Err(ServerError::Protocol(format!(
+                    "client codec set {:?} is missing codec {id} required by the stream backend",
+                    hello.codecs
+                )));
+            }
+        }
+    }
+    Ok(version)
 }
 
 fn resume_plan<B: CompressionBackend>(
@@ -556,8 +775,14 @@ where
     }
 
     let backend = B::from_engine_config(&host.engine).map_err(EngineError::Gd)?;
+    // Capture the codec needs before the backend moves into the engine.
+    let advertised = backend.codec_ids();
+    let tags = backend.tags_batches();
+    let version = negotiate_version(hello, &advertised, tags)?;
     let mut engine = host.engine_builder().backend(backend).build()?;
-    let plan = resume_plan(&mut engine, hello)?;
+    let mut plan = resume_plan(&mut engine, hello)?;
+    plan.hello.version = version;
+    plan.hello.codecs = advertised;
 
     // Ordered writer: a bounded channel of pre-framed records drained by a
     // dedicated thread. See the module docs for the backpressure rules.
@@ -587,9 +812,13 @@ where
     }
     for entry in &plan.replay {
         let frame = match entry {
-            CommittedEntry::Frame { packet_type, bytes } => {
+            CommittedEntry::Frame {
+                packet_type,
+                codec: tag,
+                bytes,
+            } => {
                 shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
-                codec.borrow_mut().encode_payload(*packet_type, bytes)
+                codec.borrow_mut().encode_payload(*tag, *packet_type, bytes)
             }
             CommittedEntry::Control(update) => {
                 shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
@@ -619,8 +848,15 @@ where
     let live =
         engine.live_sync_enabled() || (host.live_sync && engine.backend().supports_live_sync());
 
+    // Per-batch codec tags: the stream publishes the active batch's tag
+    // through this cursor just before replaying its payloads, and the sink
+    // samples it per payload. Fixed backends never set it (`None` frames
+    // the untagged kind), so v2 streams keep their historical bytes.
+    let codec_cursor = CodecCursor::new();
+
     let payload_sink: PayloadSink = {
         let codec = Rc::clone(&codec);
+        let cursor = codec_cursor.clone();
         let tx = tx.clone();
         let failed = Arc::clone(&writer_failed);
         let shared = Arc::clone(shared);
@@ -628,7 +864,9 @@ where
             if failed.load(Ordering::Relaxed) {
                 return;
             }
-            let frame = codec.borrow_mut().encode_payload(packet_type, bytes);
+            let frame = codec
+                .borrow_mut()
+                .encode_payload(cursor.get(), packet_type, bytes);
             shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
             shared
                 .stats
@@ -660,6 +898,7 @@ where
 
     let mut stream =
         PipelinedStream::with_control_sink(engine, host.batch_chunks, payload_sink, control_sink)?;
+    stream.set_codec_cursor(codec_cursor);
 
     // Ok(true): the client ended the stream; Ok(false): the read half
     // closed under a graceful shutdown — both finish cleanly.
@@ -771,10 +1010,11 @@ fn frame_flow_events(
             FlowEvent::Payload {
                 key,
                 packet_type,
+                codec: tag,
                 bytes,
             } => {
                 shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
-                codec.encode_flow_payload(*key, *packet_type, bytes)
+                codec.encode_flow_payload(*key, *tag, *packet_type, bytes)
             }
             FlowEvent::Control { key, update } => {
                 shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);
@@ -801,12 +1041,21 @@ fn serve_flows<B>(
     shared: &Arc<Shared>,
     conn: &Conn,
     reader: &mut RecordReader<Conn>,
+    hello: &ClientHello,
 ) -> ServerResult<()>
 where
     B: CompressionBackend + Send + 'static,
 {
     let config = &shared.config;
     let host = &config.host;
+
+    // Probe the backend shape once for negotiation; the router builds its
+    // own per-flow instances.
+    let (advertised, tags) = {
+        let probe = B::from_engine_config(&host.engine).map_err(EngineError::Gd)?;
+        (probe.codec_ids(), probe.tags_batches())
+    };
+    let version = negotiate_version(hello, &advertised, tags)?;
     let mut flow_config = FlowRouterConfig::new(host.engine);
     flow_config.batch_units = host.batch_chunks;
     flow_config.live_sync = host.live_sync;
@@ -864,10 +1113,12 @@ where
     // multiplexed connection, so the resume fields are all zero.
     {
         let frame = codec.encode(&Record::ServerHello(ServerHello {
+            version,
             resume_bytes_in: 0,
             replay_entries: 0,
             reseed_entries: 0,
             warm: false,
+            codecs: advertised,
         }));
         send(shared, &tx, &writer_failed, frame)?;
     }
@@ -898,9 +1149,13 @@ where
                 let mut failed = None;
                 for entry in &resume.replay {
                     let frame = match entry {
-                        CommittedEntry::Frame { packet_type, bytes } => {
+                        CommittedEntry::Frame {
+                            packet_type,
+                            codec: tag,
+                            bytes,
+                        } => {
                             shared.stats.payloads_out.fetch_add(1, Ordering::Relaxed);
-                            codec.encode_flow_payload(key, *packet_type, bytes)
+                            codec.encode_flow_payload(key, *tag, *packet_type, bytes)
                         }
                         CommittedEntry::Control(update) => {
                             shared.stats.controls_out.fetch_add(1, Ordering::Relaxed);

@@ -44,12 +44,25 @@
 //! | `0x59` | `FlowControl` — one committed dictionary update of one flow |
 //! | `0x5A` | `FlowReseed` — synthesized install of one flow (compacted journal) |
 //! | `0x5B` | `FlowDone` — one flow's summary, closes its journal epoch |
+//! | `0x5C` | `PayloadTagged` — one wire payload with a per-batch codec tag (`codec_id` + `packet_type` + bytes) |
+//! | `0x5D` | `FlowPayloadTagged` — one tagged wire payload of one flow |
 //!
 //! The `Flow*` kinds (wire version 2) multiplex many flows over one
 //! connection: each carries a [`FlowKey`] tag ahead of the same body its
 //! single-stream counterpart uses, so per flow the record sequence — and
 //! in particular the controls-strictly-before-data interleaving — is
 //! exactly the single-stream protocol's.
+//!
+//! The `*Tagged` kinds (wire version 3) make the stream self-describing:
+//! a routing backend (`AutoBackend`) stamps every batch's payloads with
+//! the [`CodecId`] that actually compressed them, so a decoder pool picks
+//! the right decompressor from the tag alone. Untagged `Payload`/
+//! `FlowPayload` records stay valid and mean "the stream's fixed
+//! backend" — a v2 peer therefore keeps decoding fixed-backend streams
+//! unchanged. Version 3 hellos additionally advertise the codec ids each
+//! side supports; a v2 hello is answered with a v2-shaped reply and an
+//! empty codec set. A tag byte no registry entry covers is the typed
+//! [`WireError::UnknownCodec`].
 //!
 //! The body encodings for dictionary updates mirror the store's
 //! `put_update`/`read_update` byte-for-byte so a journal replay is a straight
@@ -58,14 +71,20 @@
 use std::fmt;
 use std::io::{self, Read};
 
-use zipline_engine::{DictionaryUpdate, FlowKey, UpdateOp};
+use zipline_engine::{codec_from_u8, CodecId, DictionaryUpdate, FlowKey, UpdateOp};
 use zipline_gd::packet::PacketType;
 use zipline_gd::{BitVec, CrcEngine, CrcSpec};
 
 /// Wire protocol version spoken by this crate. Version 2 added the
 /// multiplex flag to [`ClientHello`] and the flow-tagged record kinds;
-/// version-1 peers are rejected with a typed `ERROR` record.
-pub const WIRE_VERSION: u16 = 2;
+/// version 3 added per-batch codec tags (`PayloadTagged`/
+/// `FlowPayloadTagged`) and the hello codec-set advertisement. Version-2
+/// peers are still accepted (they negotiate an untagged, fixed-backend
+/// stream); version-1 peers are rejected with a typed `ERROR` record.
+pub const WIRE_VERSION: u16 = 3;
+
+/// Oldest wire version this crate still speaks.
+pub const MIN_WIRE_VERSION: u16 = 2;
 
 /// Upper bound on a single record's payload bytes; anything larger is
 /// rejected before buffering (a 4-byte length field must not become a
@@ -94,6 +113,8 @@ const KIND_FLOW_PAYLOAD: u8 = 0x58;
 const KIND_FLOW_CONTROL: u8 = 0x59;
 const KIND_FLOW_RESEED: u8 = 0x5A;
 const KIND_FLOW_DONE: u8 = 0x5B;
+const KIND_PAYLOAD_TAGGED: u8 = 0x5C;
+const KIND_FLOW_PAYLOAD_TAGGED: u8 = 0x5D;
 
 /// Decoding failure; every variant is terminal for the connection.
 #[derive(Debug)]
@@ -113,6 +134,8 @@ pub enum WireError {
     UnsupportedVersion(u16),
     /// Correctly framed record with a kind byte we do not know.
     UnknownKind(u8),
+    /// A tagged payload named a codec id no registry entry covers.
+    UnknownCodec(u8),
     /// The body of a known kind did not parse.
     Malformed(String),
 }
@@ -130,6 +153,9 @@ impl fmt::Display for WireError {
             WireError::BadMagic => write!(f, "hello record carries the wrong magic"),
             WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
             WireError::UnknownKind(k) => write!(f, "unknown record kind {k:#04x}"),
+            WireError::UnknownCodec(id) => {
+                write!(f, "tagged payload names unknown codec id {id}")
+            }
             WireError::Malformed(what) => write!(f, "malformed record body: {what}"),
         }
     }
@@ -147,6 +173,10 @@ impl std::error::Error for WireError {
 /// First record on every connection, client → server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientHello {
+    /// The wire version the client speaks. Encoding is version-shaped:
+    /// a `version <= 2` hello keeps the exact v2 body (no codec set), so
+    /// old servers parse it cleanly.
+    pub version: u16,
     /// Caller-chosen stream identifier; doubles as the durable directory key,
     /// so reconnecting with the same id resumes the same journal.
     pub stream_id: u64,
@@ -157,11 +187,34 @@ pub struct ClientHello {
     /// `stream_id`/`entries_held` fields are ignored and flows open
     /// individually via `FlowOpen` records.
     pub multiplex: bool,
+    /// Wire version 3: codec ids the client can decode. Empty means
+    /// "unstated" (v2 peer, or a client that accepts anything its
+    /// registry covers); a non-empty set lets the server refuse a stream
+    /// whose backend would emit tags the client cannot decode.
+    pub codecs: Vec<CodecId>,
+}
+
+impl ClientHello {
+    /// A current-version hello for stream `stream_id` with replay cursor
+    /// `entries_held` and an unstated (empty) codec set.
+    pub fn new(stream_id: u64, entries_held: u64) -> Self {
+        Self {
+            version: WIRE_VERSION,
+            stream_id,
+            entries_held,
+            multiplex: false,
+            codecs: Vec::new(),
+        }
+    }
 }
 
 /// First record on every connection, server → client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerHello {
+    /// The wire version the reply speaks: the minimum of the server's own
+    /// and the client's, so a v2 client gets a v2-shaped reply it can
+    /// parse (no codec set).
+    pub version: u16,
     /// Input byte offset the client must resume feeding from after the
     /// replayed records (always a commit-boundary, i.e. a batch multiple).
     pub resume_bytes_in: u64,
@@ -171,6 +224,9 @@ pub struct ServerHello {
     pub reseed_entries: u64,
     /// Whether the stream restored warm state from a durable store.
     pub warm: bool,
+    /// Wire version 3: codec ids the serving backend may stamp on this
+    /// stream's payloads (empty for a fixed, untagged backend).
+    pub codecs: Vec<CodecId>,
 }
 
 /// Final record of a clean stream, server → client.
@@ -222,10 +278,14 @@ pub enum Record {
     },
     /// `0x51`: connection opener, server → client.
     ServerHello(ServerHello),
-    /// `0x52`: one compressed/uncompressed/raw wire payload.
+    /// `0x52` untagged / `0x5C` tagged: one compressed/uncompressed/raw
+    /// wire payload.
     Payload {
         /// ZipLine packet type of the payload.
         packet_type: PacketType,
+        /// Per-batch codec tag (`Some` encodes as `0x5C`); `None` means
+        /// the stream's fixed backend and encodes as plain `0x52`.
+        codec: Option<CodecId>,
         /// Payload bytes exactly as the backend emitted them.
         bytes: Vec<u8>,
     },
@@ -244,12 +304,15 @@ pub enum Record {
         /// The flow's resume plan (same fields as a connection hello).
         resume: ServerHello,
     },
-    /// `0x58`: one wire payload of one flow.
+    /// `0x58` untagged / `0x5D` tagged: one wire payload of one flow.
     FlowPayload {
         /// The owning flow.
         key: FlowKey,
         /// ZipLine packet type of the payload.
         packet_type: PacketType,
+        /// Per-batch codec tag (`Some` encodes as `0x5D`); `None` means
+        /// the flow's fixed backend and encodes as plain `0x58`.
+        codec: Option<CodecId>,
         /// Payload bytes exactly as the backend emitted them.
         bytes: Vec<u8>,
     },
@@ -284,6 +347,7 @@ impl Record {
             Record::Data(_) => "DATA",
             Record::End => "END",
             Record::ServerHello(_) => "SERVER_HELLO",
+            Record::Payload { codec: Some(_), .. } => "PAYLOAD_TAGGED",
             Record::Payload { .. } => "PAYLOAD",
             Record::Control(_) => "CONTROL",
             Record::Reseed(_) => "RESEED",
@@ -293,6 +357,7 @@ impl Record {
             Record::FlowData { .. } => "FLOW_DATA",
             Record::FlowEnd { .. } => "FLOW_END",
             Record::FlowOpened { .. } => "FLOW_OPENED",
+            Record::FlowPayload { codec: Some(_), .. } => "FLOW_PAYLOAD_TAGGED",
             Record::FlowPayload { .. } => "FLOW_PAYLOAD",
             Record::FlowControl { .. } => "FLOW_CONTROL",
             Record::FlowReseed { .. } => "FLOW_RESEED",
@@ -321,6 +386,18 @@ fn put_bitvec(buf: &mut Vec<u8>, bits: &BitVec) {
 fn put_flow_key(buf: &mut Vec<u8>, key: FlowKey) {
     put_u64(buf, key.tenant);
     put_u64(buf, key.flow);
+}
+
+/// Appends a hello's codec-set suffix — only on v3+ bodies, so a v2 hello
+/// keeps its exact historical shape.
+fn put_codec_set(buf: &mut Vec<u8>, version: u16, codecs: &[CodecId]) {
+    if version >= 3 {
+        debug_assert!(codecs.len() <= u8::MAX as usize, "codec set too large");
+        buf.push(codecs.len() as u8);
+        for id in codecs {
+            buf.push(id.as_u8());
+        }
+    }
 }
 
 /// Serializes a dictionary update exactly like the store's `put_update`.
@@ -425,6 +502,23 @@ fn read_flow_key(r: &mut BodyReader<'_>) -> Result<FlowKey, WireError> {
     })
 }
 
+/// Reads a hello's codec-set suffix (absent before v3). Advertised ids
+/// are carried verbatim — an id this build does not know is fine in an
+/// *advertisement* (set intersection handles it); only a payload *tag*
+/// must resolve, which `codec_from_u8` enforces at the tagged-payload
+/// parse sites.
+fn read_codec_set(r: &mut BodyReader<'_>, version: u16) -> Result<Vec<CodecId>, WireError> {
+    if version < 3 {
+        return Ok(Vec::new());
+    }
+    let n = r.u8()? as usize;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(CodecId(r.u8()?));
+    }
+    Ok(ids)
+}
+
 fn read_update(r: &mut BodyReader<'_>) -> Result<DictionaryUpdate, WireError> {
     let seq = r.u64()?;
     let at = r.u64()?;
@@ -494,10 +588,11 @@ impl WireCodec {
             Record::ClientHello(h) => {
                 body.push(KIND_CLIENT_HELLO);
                 body.extend_from_slice(&REQUEST_MAGIC);
-                put_u16(body, WIRE_VERSION);
+                put_u16(body, h.version);
                 put_u64(body, h.stream_id);
                 put_u64(body, h.entries_held);
                 body.push(u8::from(h.multiplex));
+                put_codec_set(body, h.version, &h.codecs);
             }
             Record::Data(bytes) => {
                 body.push(KIND_DATA);
@@ -521,14 +616,25 @@ impl WireCodec {
             Record::ServerHello(h) => {
                 body.push(KIND_SERVER_HELLO);
                 body.extend_from_slice(&RESPONSE_MAGIC);
-                put_u16(body, WIRE_VERSION);
+                put_u16(body, h.version);
                 put_u64(body, h.resume_bytes_in);
                 put_u64(body, h.replay_entries);
                 put_u64(body, h.reseed_entries);
                 body.push(u8::from(h.warm));
+                put_codec_set(body, h.version, &h.codecs);
             }
-            Record::Payload { packet_type, bytes } => {
-                body.push(KIND_PAYLOAD);
+            Record::Payload {
+                packet_type,
+                codec,
+                bytes,
+            } => {
+                match codec {
+                    Some(id) => {
+                        body.push(KIND_PAYLOAD_TAGGED);
+                        body.push(id.as_u8());
+                    }
+                    None => body.push(KIND_PAYLOAD),
+                }
                 body.push(packet_type.number());
                 put_u32(body, bytes.len() as u32);
                 body.extend_from_slice(bytes);
@@ -565,10 +671,20 @@ impl WireCodec {
             Record::FlowPayload {
                 key,
                 packet_type,
+                codec,
                 bytes,
             } => {
-                body.push(KIND_FLOW_PAYLOAD);
-                put_flow_key(body, *key);
+                match codec {
+                    Some(id) => {
+                        body.push(KIND_FLOW_PAYLOAD_TAGGED);
+                        put_flow_key(body, *key);
+                        body.push(id.as_u8());
+                    }
+                    None => {
+                        body.push(KIND_FLOW_PAYLOAD);
+                        put_flow_key(body, *key);
+                    }
+                }
                 body.push(packet_type.number());
                 put_u32(body, bytes.len() as u32);
                 body.extend_from_slice(bytes);
@@ -609,11 +725,24 @@ impl WireCodec {
     }
 
     /// Frames a `Payload` record straight from a borrowed byte slice (the
-    /// hot path — avoids the intermediate `Record::Payload` copy).
-    pub fn encode_payload(&mut self, packet_type: PacketType, bytes: &[u8]) -> Vec<u8> {
+    /// hot path — avoids the intermediate `Record::Payload` copy). `codec`
+    /// is the per-batch tag: `Some` frames the tagged `0x5C` kind, `None`
+    /// the plain `0x52`.
+    pub fn encode_payload(
+        &mut self,
+        codec: Option<CodecId>,
+        packet_type: PacketType,
+        bytes: &[u8],
+    ) -> Vec<u8> {
         self.scratch.clear();
         let body = &mut self.scratch;
-        body.push(KIND_PAYLOAD);
+        match codec {
+            Some(id) => {
+                body.push(KIND_PAYLOAD_TAGGED);
+                body.push(id.as_u8());
+            }
+            None => body.push(KIND_PAYLOAD),
+        }
         body.push(packet_type.number());
         put_u32(body, bytes.len() as u32);
         body.extend_from_slice(bytes);
@@ -637,17 +766,28 @@ impl WireCodec {
     }
 
     /// Frames a `FlowPayload` record straight from a borrowed byte slice
-    /// (the multiplexed hot path).
+    /// (the multiplexed hot path). `codec` is the per-batch tag: `Some`
+    /// frames the tagged `0x5D` kind, `None` the plain `0x58`.
     pub fn encode_flow_payload(
         &mut self,
         key: FlowKey,
+        codec: Option<CodecId>,
         packet_type: PacketType,
         bytes: &[u8],
     ) -> Vec<u8> {
         self.scratch.clear();
         let body = &mut self.scratch;
-        body.push(KIND_FLOW_PAYLOAD);
-        put_flow_key(body, key);
+        match codec {
+            Some(id) => {
+                body.push(KIND_FLOW_PAYLOAD_TAGGED);
+                put_flow_key(body, key);
+                body.push(id.as_u8());
+            }
+            None => {
+                body.push(KIND_FLOW_PAYLOAD);
+                put_flow_key(body, key);
+            }
+        }
         body.push(packet_type.number());
         put_u32(body, bytes.len() as u32);
         body.extend_from_slice(bytes);
@@ -724,16 +864,21 @@ impl WireCodec {
                     return Err(WireError::BadMagic);
                 }
                 let version = r.u16()?;
-                if version != WIRE_VERSION {
+                if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
                     return Err(WireError::UnsupportedVersion(version));
                 }
-                let hello = ClientHello {
-                    stream_id: r.u64()?,
-                    entries_held: r.u64()?,
-                    multiplex: r.u8()? != 0,
-                };
+                let stream_id = r.u64()?;
+                let entries_held = r.u64()?;
+                let multiplex = r.u8()? != 0;
+                let codecs = read_codec_set(&mut r, version)?;
                 r.finish()?;
-                Ok(Record::ClientHello(hello))
+                Ok(Record::ClientHello(ClientHello {
+                    version,
+                    stream_id,
+                    entries_held,
+                    multiplex,
+                    codecs,
+                }))
             }
             KIND_DATA => Ok(Record::Data(body.to_vec())),
             KIND_END => {
@@ -765,17 +910,23 @@ impl WireCodec {
                     return Err(WireError::BadMagic);
                 }
                 let version = r.u16()?;
-                if version != WIRE_VERSION {
+                if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
                     return Err(WireError::UnsupportedVersion(version));
                 }
-                let hello = ServerHello {
-                    resume_bytes_in: r.u64()?,
-                    replay_entries: r.u64()?,
-                    reseed_entries: r.u64()?,
-                    warm: r.u8()? != 0,
-                };
+                let resume_bytes_in = r.u64()?;
+                let replay_entries = r.u64()?;
+                let reseed_entries = r.u64()?;
+                let warm = r.u8()? != 0;
+                let codecs = read_codec_set(&mut r, version)?;
                 r.finish()?;
-                Ok(Record::ServerHello(hello))
+                Ok(Record::ServerHello(ServerHello {
+                    version,
+                    resume_bytes_in,
+                    replay_entries,
+                    reseed_entries,
+                    warm,
+                    codecs,
+                }))
             }
             KIND_PAYLOAD => {
                 let mut r = BodyReader::new(body, "PAYLOAD");
@@ -783,7 +934,27 @@ impl WireCodec {
                 let len = r.u32()? as usize;
                 let bytes = r.take(len)?.to_vec();
                 r.finish()?;
-                Ok(Record::Payload { packet_type, bytes })
+                Ok(Record::Payload {
+                    packet_type,
+                    codec: None,
+                    bytes,
+                })
+            }
+            KIND_PAYLOAD_TAGGED => {
+                let mut r = BodyReader::new(body, "PAYLOAD_TAGGED");
+                let raw = r.u8()?;
+                let Some(codec) = codec_from_u8(raw) else {
+                    return Err(WireError::UnknownCodec(raw));
+                };
+                let packet_type = packet_type_from(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                r.finish()?;
+                Ok(Record::Payload {
+                    packet_type,
+                    codec: Some(codec),
+                    bytes,
+                })
             }
             KIND_CONTROL => {
                 let mut r = BodyReader::new(body, "CONTROL");
@@ -820,11 +991,16 @@ impl WireCodec {
             KIND_FLOW_OPENED => {
                 let mut r = BodyReader::new(body, "FLOW_OPENED");
                 let key = read_flow_key(&mut r)?;
+                // The embedded resume plan carries only the resume fields;
+                // version and codec set were negotiated by the connection
+                // hello, so the per-flow copy inherits neutral defaults.
                 let resume = ServerHello {
+                    version: WIRE_VERSION,
                     resume_bytes_in: r.u64()?,
                     replay_entries: r.u64()?,
                     reseed_entries: r.u64()?,
                     warm: r.u8()? != 0,
+                    codecs: Vec::new(),
                 };
                 r.finish()?;
                 Ok(Record::FlowOpened { key, resume })
@@ -839,6 +1015,25 @@ impl WireCodec {
                 Ok(Record::FlowPayload {
                     key,
                     packet_type,
+                    codec: None,
+                    bytes,
+                })
+            }
+            KIND_FLOW_PAYLOAD_TAGGED => {
+                let mut r = BodyReader::new(body, "FLOW_PAYLOAD_TAGGED");
+                let key = read_flow_key(&mut r)?;
+                let raw = r.u8()?;
+                let Some(codec) = codec_from_u8(raw) else {
+                    return Err(WireError::UnknownCodec(raw));
+                };
+                let packet_type = packet_type_from(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                r.finish()?;
+                Ok(Record::FlowPayload {
+                    key,
+                    packet_type,
+                    codec: Some(codec),
                     bytes,
                 })
             }
@@ -949,9 +1144,11 @@ mod tests {
     fn sample_records() -> Vec<Record> {
         vec![
             Record::ClientHello(ClientHello {
+                version: WIRE_VERSION,
                 stream_id: 0xDEAD_BEEF,
                 entries_held: 7,
                 multiplex: true,
+                codecs: vec![zipline_engine::CODEC_GD, zipline_engine::CODEC_DEFLATE],
             }),
             Record::Data(vec![0u8; 32]),
             Record::Data((0..=255u8).collect()),
@@ -966,14 +1163,22 @@ mod tests {
             },
             Record::FlowEnd { key: sample_key() },
             Record::ServerHello(ServerHello {
+                version: WIRE_VERSION,
                 resume_bytes_in: 8192,
                 replay_entries: 3,
                 reseed_entries: 0,
                 warm: true,
+                codecs: vec![zipline_engine::CODEC_GD],
             }),
             Record::Payload {
                 packet_type: PacketType::Compressed,
+                codec: None,
                 bytes: vec![1, 2, 3, 4],
+            },
+            Record::Payload {
+                packet_type: PacketType::Compressed,
+                codec: Some(zipline_engine::CODEC_DEFLATE),
+                bytes: vec![11, 12, 13],
             },
             Record::Control(DictionaryUpdate {
                 seq: 9,
@@ -1000,16 +1205,25 @@ mod tests {
             Record::FlowOpened {
                 key: sample_key(),
                 resume: ServerHello {
+                    version: WIRE_VERSION,
                     resume_bytes_in: 4096,
                     replay_entries: 2,
                     reseed_entries: 1,
                     warm: true,
+                    codecs: Vec::new(),
                 },
             },
             Record::FlowPayload {
                 key: sample_key(),
                 packet_type: PacketType::Uncompressed,
+                codec: None,
                 bytes: vec![6, 7, 8],
+            },
+            Record::FlowPayload {
+                key: sample_key(),
+                packet_type: PacketType::Uncompressed,
+                codec: Some(zipline_engine::CODEC_GD),
+                bytes: vec![16, 17],
             },
             Record::FlowControl {
                 key: sample_key(),
@@ -1068,6 +1282,8 @@ mod tests {
             KIND_FLOW_CONTROL,
             KIND_FLOW_RESEED,
             KIND_FLOW_DONE,
+            KIND_PAYLOAD_TAGGED,
+            KIND_FLOW_PAYLOAD_TAGGED,
         ];
         let mut codec = WireCodec::new();
         // The kind byte sits directly after the 4-byte length prefix.
@@ -1149,10 +1365,23 @@ mod tests {
             },
         };
         assert_eq!(
-            codec.encode_payload(PacketType::Uncompressed, &[9, 8, 7]),
+            codec.encode_payload(None, PacketType::Uncompressed, &[9, 8, 7]),
             codec.encode(&Record::Payload {
                 packet_type: PacketType::Uncompressed,
+                codec: None,
                 bytes: vec![9, 8, 7],
+            })
+        );
+        assert_eq!(
+            codec.encode_payload(
+                Some(zipline_engine::CODEC_DEFLATE),
+                PacketType::Compressed,
+                &[9, 8]
+            ),
+            codec.encode(&Record::Payload {
+                packet_type: PacketType::Compressed,
+                codec: Some(zipline_engine::CODEC_DEFLATE),
+                bytes: vec![9, 8],
             })
         );
         assert_eq!(
@@ -1164,11 +1393,26 @@ mod tests {
             codec.encode(&Record::Data(vec![1, 2, 3]))
         );
         assert_eq!(
-            codec.encode_flow_payload(sample_key(), PacketType::Raw, &[4, 5]),
+            codec.encode_flow_payload(sample_key(), None, PacketType::Raw, &[4, 5]),
             codec.encode(&Record::FlowPayload {
                 key: sample_key(),
                 packet_type: PacketType::Raw,
+                codec: None,
                 bytes: vec![4, 5],
+            })
+        );
+        assert_eq!(
+            codec.encode_flow_payload(
+                sample_key(),
+                Some(zipline_engine::CODEC_GD),
+                PacketType::Compressed,
+                &[4]
+            ),
+            codec.encode(&Record::FlowPayload {
+                key: sample_key(),
+                packet_type: PacketType::Compressed,
+                codec: Some(zipline_engine::CODEC_GD),
+                bytes: vec![4],
             })
         );
         assert_eq!(
@@ -1225,6 +1469,120 @@ mod tests {
         assert!(matches!(
             codec.decode(&frame),
             Err(WireError::UnsupportedVersion(1))
+        ));
+    }
+
+    /// A version-2 peer (pre-registry, no codec set) still connects: its
+    /// exact historical hello body parses to a hello with an empty codec
+    /// set, which the server treats as "fixed backend, untagged stream".
+    #[test]
+    fn version_two_hellos_are_accepted_with_an_empty_codec_set() {
+        let codec = WireCodec::new();
+
+        // Hand-craft the exact v2 CLIENT_HELLO body: magic + version 2 +
+        // stream id + cursor + multiplex flag, nothing after.
+        let mut body = vec![KIND_CLIENT_HELLO];
+        body.extend_from_slice(&REQUEST_MAGIC);
+        put_u16(&mut body, 2);
+        put_u64(&mut body, 42);
+        put_u64(&mut body, 5);
+        body.push(1);
+        let crc = WireCodec::new().crc.compute_bytes(&body) as u32;
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        let (record, used) = codec
+            .decode(&frame)
+            .expect("v2 hello parses")
+            .expect("whole");
+        assert_eq!(used, frame.len());
+        assert_eq!(
+            record,
+            Record::ClientHello(ClientHello {
+                version: 2,
+                stream_id: 42,
+                entries_held: 5,
+                multiplex: true,
+                codecs: Vec::new(),
+            })
+        );
+
+        // And the exact v2 SERVER_HELLO body.
+        let mut body = vec![KIND_SERVER_HELLO];
+        body.extend_from_slice(&RESPONSE_MAGIC);
+        put_u16(&mut body, 2);
+        put_u64(&mut body, 1024);
+        put_u64(&mut body, 2);
+        put_u64(&mut body, 1);
+        body.push(0);
+        let crc = WireCodec::new().crc.compute_bytes(&body) as u32;
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        let (record, _) = codec
+            .decode(&frame)
+            .expect("v2 hello parses")
+            .expect("whole");
+        assert_eq!(
+            record,
+            Record::ServerHello(ServerHello {
+                version: 2,
+                resume_bytes_in: 1024,
+                replay_entries: 2,
+                reseed_entries: 1,
+                warm: false,
+                codecs: Vec::new(),
+            })
+        );
+
+        // A hello encoded at version 2 through the codec produces the
+        // same historical body shape — no codec-set suffix.
+        let mut v2_codec = WireCodec::new();
+        let encoded = v2_codec.encode(&Record::ClientHello(ClientHello {
+            version: 2,
+            stream_id: 42,
+            entries_held: 5,
+            multiplex: true,
+            codecs: vec![zipline_engine::CODEC_GD],
+        }));
+        assert_eq!(encoded, frame_of_v2_client_hello());
+    }
+
+    fn frame_of_v2_client_hello() -> Vec<u8> {
+        let mut body = vec![KIND_CLIENT_HELLO];
+        body.extend_from_slice(&REQUEST_MAGIC);
+        put_u16(&mut body, 2);
+        put_u64(&mut body, 42);
+        put_u64(&mut body, 5);
+        body.push(1);
+        let crc = WireCodec::new().crc.compute_bytes(&body) as u32;
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame
+    }
+
+    /// A tagged payload naming a codec id outside the registry's range is
+    /// a typed error, not a panic or a silent mis-decode.
+    #[test]
+    fn unknown_codec_tags_are_rejected_with_a_typed_error() {
+        let mut codec = WireCodec::new();
+        // Encode a valid tagged payload, then corrupt the codec id byte
+        // (directly after the kind byte) to an unassigned value.
+        let mut frame = codec.encode(&Record::Payload {
+            packet_type: PacketType::Compressed,
+            codec: Some(zipline_engine::CODEC_GD),
+            bytes: vec![1, 2],
+        });
+        frame[5] = 0xEE;
+        // Recompute the trailer CRC over the patched body so the frame
+        // fails on the codec id, not the checksum.
+        let body_end = frame.len() - 4;
+        let crc = WireCodec::new().crc.compute_bytes(&frame[4..body_end]) as u32;
+        frame[body_end..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            codec.decode(&frame),
+            Err(WireError::UnknownCodec(0xEE))
         ));
     }
 

@@ -17,7 +17,7 @@ use zipline_engine::{DictionaryUpdate, EngineConfig, SpawnPolicy, SyncPolicy};
 use zipline_gd::packet::PacketType;
 use zipline_gd::GdConfig;
 use zipline_server::{
-    server::stream_dir, ClientSession, Endpoint, ServerConfig, ServerEvent, ServerHandle,
+    server::stream_dir, ClientSession, Endpoint, ServerConfigBuilder, ServerEvent, ServerHandle,
 };
 use zipline_traces::{ChunkWorkload, CrashWorkload};
 
@@ -33,7 +33,9 @@ enum Entry {
 
 fn entry_of(event: ServerEvent) -> Option<Entry> {
     match event {
-        ServerEvent::Payload { packet_type, bytes } => Some(Entry::Payload(packet_type, bytes)),
+        ServerEvent::Payload {
+            packet_type, bytes, ..
+        } => Some(Entry::Payload(packet_type, bytes)),
         ServerEvent::Control(update) => Some(Entry::Control(update)),
         _ => None,
     }
@@ -63,8 +65,14 @@ fn temp_root(tag: &str) -> PathBuf {
 }
 
 fn bind(dir: PathBuf) -> ServerHandle {
-    ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(durable_host(dir)))
-        .expect("server binds")
+    ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(durable_host(dir))
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds")
 }
 
 /// Streams `bytes` (chunked) through one clean session, returning every

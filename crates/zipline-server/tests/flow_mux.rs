@@ -12,12 +12,12 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use zipline::host::HostPathConfig;
-use zipline_engine::{flow_dir, DictionaryUpdate, EngineConfig, SpawnPolicy, SyncPolicy};
+use zipline_engine::{flow_dir, CodecId, DictionaryUpdate, EngineConfig, SpawnPolicy, SyncPolicy};
 use zipline_gd::packet::PacketType;
 use zipline_gd::{CrcEngine, CrcSpec, GdConfig};
 use zipline_server::wire::REQUEST_MAGIC;
 use zipline_server::{
-    ClientSession, Endpoint, FlowDecoderPool, FlowKey, Record, RecordReader, ServerConfig,
+    ClientSession, Endpoint, FlowDecoderPool, FlowKey, Record, RecordReader, ServerConfigBuilder,
     ServerEvent, ServerHandle,
 };
 
@@ -41,8 +41,14 @@ fn host(durable: Option<PathBuf>) -> HostPathConfig {
 }
 
 fn bind(durable: Option<PathBuf>) -> ServerHandle {
-    ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host(durable)))
-        .expect("server binds")
+    ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host(durable))
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds")
 }
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -71,7 +77,7 @@ fn flow_bytes(seed: u64, chunks: usize) -> Vec<u8> {
 /// One client-observed record of one flow, tag stripped, in arrival order.
 #[derive(Debug, Clone, PartialEq)]
 enum Entry {
-    Payload(PacketType, Vec<u8>),
+    Payload(Option<CodecId>, PacketType, Vec<u8>),
     Control(DictionaryUpdate),
 }
 
@@ -80,9 +86,10 @@ fn flow_entry(event: &ServerEvent) -> Option<(FlowKey, Entry)> {
     match event {
         ServerEvent::FlowPayload {
             key,
+            codec,
             packet_type,
             bytes,
-        } => Some((*key, Entry::Payload(*packet_type, bytes.clone()))),
+        } => Some((*key, Entry::Payload(*codec, *packet_type, bytes.clone()))),
         ServerEvent::FlowControl { key, update } => Some((*key, Entry::Control(update.clone()))),
         _ => None,
     }
@@ -101,8 +108,12 @@ fn dedicated_run(endpoint: &Endpoint, stream_id: u64, bytes: &[u8]) -> Vec<Entry
     let mut entries = Vec::new();
     session
         .drain_to_done(|event| match event {
-            ServerEvent::Payload { packet_type, bytes } => {
-                entries.push(Entry::Payload(packet_type, bytes));
+            ServerEvent::Payload {
+                codec,
+                packet_type,
+                bytes,
+            } => {
+                entries.push(Entry::Payload(codec, packet_type, bytes));
             }
             ServerEvent::Control(update) => entries.push(Entry::Control(update)),
             _ => {}
@@ -183,8 +194,8 @@ fn many_flows_one_socket_decode_losslessly_and_independently() {
         let mut restored = Vec::new();
         for entry in streams.get(key).expect("flow produced records") {
             match entry {
-                Entry::Payload(pt, payload) => pool
-                    .decode_payload(*key, *pt, payload, &mut restored)
+                Entry::Payload(codec, pt, payload) => pool
+                    .decode_payload(*key, *codec, *pt, payload, &mut restored)
                     .expect("payload decodes"),
                 Entry::Control(update) => {
                     pool.observe_control(*key, update)

@@ -11,7 +11,8 @@ use zipline_engine::{
 use zipline_gd::packet::PacketType;
 use zipline_gd::GdConfig;
 use zipline_server::{
-    run_closed_loop, ClientSession, Endpoint, LoadConfig, ServerConfig, ServerEvent, ServerHandle,
+    run_closed_loop, BackendChoice, ClientSession, Endpoint, LoadConfig, ServerConfigBuilder,
+    ServerEvent, ServerHandle,
 };
 use zipline_traces::{ChunkWorkload, FlowMixConfig, FlowMixWorkload};
 
@@ -96,9 +97,9 @@ fn stream_over_socket(
     };
     let done = session
         .drain_to_done(|event| match event {
-            ServerEvent::Payload { packet_type, bytes } => {
-                output.payloads.push((packet_type, bytes))
-            }
+            ServerEvent::Payload {
+                packet_type, bytes, ..
+            } => output.payloads.push((packet_type, bytes)),
             ServerEvent::Control(update) => output.controls.push(update),
             other => panic!("unexpected event {other:?}"),
         })
@@ -113,8 +114,14 @@ fn tcp_stream_is_bit_identical_to_the_local_pipeline() {
     let chunks = workload_chunks(1);
     let reference = reference_run(&host, &chunks);
 
-    let handle =
-        ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host)).expect("server binds");
+    let handle = ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host)
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
     let (output, bytes_in) = stream_over_socket(handle.endpoint(), 0xA, &chunks);
     assert_eq!(bytes_in, (chunks.len() * 32) as u64);
     assert!(!output.controls.is_empty(), "the workload churns");
@@ -133,8 +140,14 @@ fn uds_stream_is_bit_identical_to_the_local_pipeline() {
     let reference = reference_run(&host, &chunks);
 
     let path = std::env::temp_dir().join(format!("zipline-uds-{}.sock", std::process::id()));
-    let handle =
-        ServerHandle::bind_uds(&path, ServerConfig::from_host(host)).expect("server binds");
+    let handle = ServerHandle::bind_uds(
+        &path,
+        ServerConfigBuilder::new()
+            .host(host)
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
     let (output, _) = stream_over_socket(handle.endpoint(), 0xB, &chunks);
     assert_eq!(output, reference, "UDS path must match the local engine");
 
@@ -146,8 +159,14 @@ fn uds_stream_is_bit_identical_to_the_local_pipeline() {
 #[test]
 fn concurrent_connections_each_match_their_own_reference() {
     let host = small_host();
-    let handle = ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host.clone()))
-        .expect("server binds");
+    let handle = ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host.clone())
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
     let endpoint = handle.endpoint().clone();
 
     let outputs: Vec<(u64, StreamOutput)> = std::thread::scope(|scope| {
@@ -177,8 +196,14 @@ fn concurrent_connections_each_match_their_own_reference() {
 #[test]
 fn graceful_shutdown_finishes_in_flight_streams_with_done() {
     let host = small_host();
-    let handle =
-        ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host)).expect("server binds");
+    let handle = ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host)
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
 
     let mut session = ClientSession::connect(handle.endpoint()).expect("connects");
     session.hello(0xC, 0).expect("hello answered");
@@ -204,8 +229,14 @@ fn graceful_shutdown_finishes_in_flight_streams_with_done() {
 #[test]
 fn duplicate_stream_ids_are_rejected_and_released() {
     let host = small_host();
-    let handle =
-        ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host)).expect("server binds");
+    let handle = ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host)
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
 
     let mut first = ClientSession::connect(handle.endpoint()).expect("connects");
     first.hello(0xD, 0).expect("hello answered");
@@ -250,8 +281,14 @@ fn duplicate_stream_ids_are_rejected_and_released() {
 #[test]
 fn protocol_violations_surface_as_typed_error_records() {
     let host = small_host();
-    let handle =
-        ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host)).expect("server binds");
+    let handle = ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host)
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
 
     // DATA before CLIENT_HELLO.
     let mut rude = ClientSession::connect(handle.endpoint()).expect("connects");
@@ -281,14 +318,21 @@ fn protocol_violations_surface_as_typed_error_records() {
 #[test]
 fn closed_loop_harness_reports_sane_numbers() {
     let host = small_host();
-    let handle = ServerHandle::bind_tcp("127.0.0.1:0", ServerConfig::from_host(host.clone()))
-        .expect("server binds");
+    let handle = ServerHandle::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfigBuilder::new()
+            .host(host.clone())
+            .build()
+            .expect("valid server config"),
+    )
+    .expect("server binds");
 
     let load = LoadConfig {
         connections: 2,
         window_chunks: 256,
         chunk_bytes: host.engine.gd.chunk_bytes,
         batch_chunks: host.batch_chunks,
+        backend: BackendChoice::Gd,
     };
     let workloads: Vec<Box<dyn ChunkWorkload + Send>> = (0..2u64)
         .map(|i| {

@@ -13,16 +13,48 @@
 use std::io::{Cursor, Read};
 
 use proptest::prelude::*;
-use zipline_engine::{DictionaryUpdate, UpdateOp};
+use zipline_engine::{codec_from_u8, CodecId, DictionaryUpdate, UpdateOp};
 use zipline_gd::packet::PacketType;
 use zipline_gd::BitVec;
 use zipline_server::{
     ClientHello, DoneSummary, FlowKey, Record, RecordReader, ServerHello, WireCodec, WireError,
+    MIN_WIRE_VERSION, WIRE_VERSION,
 };
 
 /// Splits one random word into a tenant-scoped flow key.
 fn key_from(seed: u64) -> FlowKey {
     FlowKey::new(seed & 0xFF, seed >> 8)
+}
+
+/// Splits one random word into a negotiable wire version (v2 or v3).
+fn version_from(seed: u64) -> u16 {
+    if seed & 4 == 4 {
+        WIRE_VERSION
+    } else {
+        MIN_WIRE_VERSION
+    }
+}
+
+/// A hello codec advertisement consistent with `version`: v2 hellos carry
+/// no codec set on the wire, so only v3 draws advertise ids. Advertised ids
+/// roundtrip verbatim (even unregistered ones — peers skip unknown ids).
+fn advertised_from(seed: u64, version: u16) -> Vec<CodecId> {
+    if version < WIRE_VERSION {
+        return Vec::new();
+    }
+    (0..(seed >> 24) % 4)
+        .map(|i| CodecId(1 + ((seed >> (8 + 3 * i)) as u8 % 9)))
+        .collect()
+}
+
+/// An optional *payload* codec tag. Unlike hello advertisements, payload
+/// tags must decode through the registry, so only registered ids appear.
+fn payload_codec_from(seed: u64) -> Option<CodecId> {
+    if seed & 8 == 8 {
+        codec_from_u8(1 + (seed >> 13) as u8 % 4)
+    } else {
+        None
+    }
 }
 
 /// Splits one random word into a dictionary update (install or remove,
@@ -46,26 +78,41 @@ fn update_from(seed: u64) -> DictionaryUpdate {
 
 fn record_strategy() -> BoxedStrategy<Record> {
     prop_oneof![
-        any::<u64>().prop_map(|seed| Record::ClientHello(ClientHello {
-            stream_id: seed,
-            entries_held: seed.rotate_left(17) & 0xFFFF,
-            multiplex: seed & 2 == 2,
-        })),
+        any::<u64>().prop_map(|seed| {
+            let version = version_from(seed);
+            Record::ClientHello(ClientHello {
+                version,
+                stream_id: seed,
+                entries_held: seed.rotate_left(17) & 0xFFFF,
+                multiplex: seed & 2 == 2,
+                codecs: advertised_from(seed, version),
+            })
+        }),
         proptest::collection::vec(any::<u8>(), 0..200).prop_map(Record::Data),
         Just(Record::End),
-        any::<u64>().prop_map(|seed| Record::ServerHello(ServerHello {
-            resume_bytes_in: seed >> 8,
-            replay_entries: seed & 0x7F,
-            reseed_entries: (seed >> 32) & 0x7F,
-            warm: seed & 1 == 1,
-        })),
-        proptest::collection::vec(any::<u8>(), 1..160).prop_map(|mut bytes| {
+        any::<u64>().prop_map(|seed| {
+            let version = version_from(seed);
+            Record::ServerHello(ServerHello {
+                version,
+                resume_bytes_in: seed >> 8,
+                replay_entries: seed & 0x7F,
+                reseed_entries: (seed >> 32) & 0x7F,
+                warm: seed & 1 == 1,
+                codecs: advertised_from(seed.rotate_left(9), version),
+            })
+        }),
+        proptest::collection::vec(any::<u8>(), 2..160).prop_map(|mut bytes| {
+            let codec = payload_codec_from(u64::from(bytes.pop().expect("non-empty draw")));
             let packet_type = match bytes.pop().expect("non-empty draw") % 3 {
                 0 => PacketType::Raw,
                 1 => PacketType::Uncompressed,
                 _ => PacketType::Compressed,
             };
-            Record::Payload { packet_type, bytes }
+            Record::Payload {
+                codec,
+                packet_type,
+                bytes,
+            }
         }),
         any::<u64>().prop_map(|seed| Record::Control(update_from(seed))),
         any::<u64>().prop_map(|seed| Record::Reseed(update_from(seed))),
@@ -102,6 +149,7 @@ fn record_strategy() -> BoxedStrategy<Record> {
             };
             Record::FlowPayload {
                 key: key_from(seed),
+                codec: payload_codec_from(seed.rotate_right(7)),
                 packet_type,
                 bytes,
             }

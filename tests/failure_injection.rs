@@ -329,6 +329,7 @@ mod recovery_injection {
         let sink = |pt: PacketType, bytes: &[u8]| {
             events.borrow_mut().push(CommittedEntry::Frame {
                 packet_type: pt,
+                codec: None,
                 bytes: bytes.to_vec(),
             });
         };
@@ -534,6 +535,7 @@ mod recovery_injection {
             .commit_batch(
                 &[(PacketType::Compressed, 3u32)],
                 &[9, 9, 9],
+                None,
                 &delta.updates,
                 None,
                 32,
@@ -547,7 +549,11 @@ mod recovery_injection {
         assert_eq!(warm.batches, 1);
         assert_eq!(warm.bytes_in, 32);
         match &warm.committed[..] {
-            [CommittedEntry::Control(update), CommittedEntry::Frame { packet_type, bytes }] => {
+            [CommittedEntry::Control(update), CommittedEntry::Frame {
+                packet_type,
+                codec: None,
+                bytes,
+            }] => {
                 assert_eq!(update, &delta.updates[0]);
                 assert_eq!(*packet_type, PacketType::Compressed);
                 assert_eq!(bytes, &[9, 9, 9]);
